@@ -1,0 +1,757 @@
+//! The paper's three evaluation case studies as runnable experiments.
+//!
+//! Each `run_case*` function executes the workload on the emulator,
+//! anatomizes the traces into event-handling intervals, featurizes them as
+//! instruction counters, ranks them with a plug-in detector, and — unlike
+//! the paper, which relied on manual inspection — also computes the
+//! ground-truth set of bug-symptom intervals from independent oracles, so
+//! the ranking quality is machine-checkable.
+
+use crate::{ctp, forwarder, oscilloscope};
+use mlcore::{
+    EnsembleDetector, KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, PcaDetector,
+};
+use sentomist_core::{harvest, Pipeline, Report, Sample, SampleIndex};
+use sentomist_trace::{Recorder, Trace};
+use std::error::Error;
+use tinyvm::devices::NodeConfig;
+use tinyvm::isa::irq;
+use tinyvm::node::Node;
+use tinyvm::LifecycleItem;
+
+/// Simulated clock rate (cycles per second).
+pub const CYCLES_PER_SECOND: u64 = tinyvm::isa::DEFAULT_CLOCK_HZ;
+
+/// Which plug-in detector to use (paper §VI-E: the detector is a plug-in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorKind {
+    /// One-class SVM with the given ν (the paper's default).
+    OcSvm {
+        /// ν parameter.
+        nu: f64,
+    },
+    /// PCA reconstruction error.
+    Pca,
+    /// kNN mean distance.
+    Knn,
+    /// Mahalanobis distance with shrinkage.
+    Mahalanobis,
+    /// Parzen-window kernel density.
+    Kde,
+    /// One-class Kernel Fisher Discriminant.
+    Kfd,
+    /// Rank-averaging committee (OC-SVM + Mahalanobis + kNN).
+    Ensemble {
+        /// ν for the OC-SVM member.
+        nu: f64,
+    },
+}
+
+impl DetectorKind {
+    /// All detector kinds, for ablation sweeps.
+    pub fn all(nu: f64) -> [DetectorKind; 7] {
+        [
+            DetectorKind::OcSvm { nu },
+            DetectorKind::Pca,
+            DetectorKind::Knn,
+            DetectorKind::Mahalanobis,
+            DetectorKind::Kde,
+            DetectorKind::Kfd,
+            DetectorKind::Ensemble { nu },
+        ]
+    }
+
+    /// Builds the pipeline for this detector.
+    pub fn pipeline(self) -> Pipeline {
+        match self {
+            DetectorKind::OcSvm { nu } => Pipeline::default_ocsvm(nu),
+            DetectorKind::Pca => Pipeline::new(Box::new(PcaDetector::default())),
+            DetectorKind::Knn => Pipeline::new(Box::new(KnnDetector::default())),
+            DetectorKind::Mahalanobis => {
+                Pipeline::new(Box::new(MahalanobisDetector::default()))
+            }
+            DetectorKind::Kde => Pipeline::new(Box::new(KdeDetector::default())),
+            DetectorKind::Kfd => Pipeline::new(Box::new(KfdDetector::default())),
+            DetectorKind::Ensemble { nu } => {
+                Pipeline::new(Box::new(EnsembleDetector::committee(nu)))
+            }
+        }
+    }
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::OcSvm { .. } => "ocsvm",
+            DetectorKind::Pca => "pca",
+            DetectorKind::Knn => "knn",
+            DetectorKind::Mahalanobis => "mahalanobis",
+            DetectorKind::Kde => "kde",
+            DetectorKind::Kfd => "kfd",
+            DetectorKind::Ensemble { .. } => "ensemble",
+        }
+    }
+}
+
+/// Outcome of one case study.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The suspicion ranking (Figure-5 table material).
+    pub report: Report,
+    /// Total samples mined.
+    pub sample_count: usize,
+    /// Ground-truth bug-symptom samples (oracle-flagged), in sample order.
+    pub buggy: Vec<SampleIndex>,
+    /// 1-based ranks of the buggy samples, ascending.
+    pub buggy_ranks: Vec<usize>,
+}
+
+impl CaseResult {
+    fn new(report: Report, sample_count: usize, buggy: Vec<SampleIndex>) -> CaseResult {
+        let mut buggy_ranks: Vec<usize> = buggy
+            .iter()
+            .filter_map(|&ix| report.rank_of(ix))
+            .collect();
+        buggy_ranks.sort_unstable();
+        CaseResult {
+            report,
+            sample_count,
+            buggy,
+            buggy_ranks,
+        }
+    }
+
+    /// Whether every ground-truth buggy sample ranks within the top `k`.
+    pub fn all_buggy_in_top(&self, k: usize) -> bool {
+        !self.buggy_ranks.is_empty() && self.buggy_ranks.iter().all(|&r| r <= k)
+    }
+
+    /// The worst (largest) rank of a buggy sample.
+    pub fn worst_buggy_rank(&self) -> Option<usize> {
+        self.buggy_ranks.last().copied()
+    }
+}
+
+/// True when `interval` of `sample` contains a *nested* interrupt of the
+/// same line — the paper's outlier pattern for case study I ("ADC
+/// interrupt, posting a task, interrupt exit, ADC interrupt, interrupt
+/// exit, running the task").
+fn contains_nested_int(trace: &Trace, sample: &Sample, line: u8) -> bool {
+    (sample.interval.start_index + 1..sample.interval.end_index)
+        .any(|i| trace.events[i].item == LifecycleItem::Int(line))
+}
+
+// ---------------------------------------------------------------------
+// Case study I: data pollution in single-hop data collection
+// ---------------------------------------------------------------------
+
+/// Configuration for case study I.
+#[derive(Debug, Clone)]
+pub struct Case1Config {
+    /// Sampling periods `D` (ms), one testing run each (paper: 20..100).
+    pub periods_ms: Vec<u32>,
+    /// Duration of each testing run in simulated seconds (paper: 10 s).
+    pub run_seconds: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Detector plug-in.
+    pub detector: DetectorKind,
+    /// Use the fixed (race-free) application instead of the buggy one.
+    pub use_fixed: bool,
+}
+
+impl Default for Case1Config {
+    fn default() -> Self {
+        Case1Config {
+            periods_ms: vec![20, 40, 60, 80, 100],
+            run_seconds: 10,
+            seed: 45,
+            detector: DetectorKind::OcSvm { nu: 0.05 },
+            use_fixed: false,
+        }
+    }
+}
+
+/// Runs case study I and ranks the ADC event-handling intervals.
+///
+/// Ground truth: an interval is a bug symptom iff another ADC interrupt
+/// fired inside it (the data race's only trigger pattern); the UART data
+/// oracle (actual packet pollution) is checked for agreement.
+///
+/// # Errors
+///
+/// Propagates VM faults, trace extraction and pipeline errors.
+pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
+    let params_for = |ms: u32| oscilloscope::OscilloscopeParams::with_period_ms(ms);
+    let mut all_samples: Vec<Sample> = Vec::new();
+    let mut buggy: Vec<SampleIndex> = Vec::new();
+    let mut polluted_packets = 0usize;
+    for (r, &period) in config.periods_ms.iter().enumerate() {
+        let params = params_for(period);
+        let program = if config.use_fixed {
+            oscilloscope::fixed(&params)?
+        } else {
+            oscilloscope::buggy(&params)?
+        };
+        let mut node = Node::new(
+            program.clone(),
+            NodeConfig {
+                seed: config.seed.wrapping_add(r as u64),
+                ..NodeConfig::default()
+            },
+        );
+        let mut recorder = Recorder::new(program.len());
+        node.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorder)?;
+        polluted_packets += oscilloscope::parse_uart(node.uart())
+            .iter()
+            .filter(|p| p.polluted())
+            .count();
+        let trace = recorder.into_trace();
+        let run_no = r as u32 + 1;
+        let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::RunSeq {
+            run: run_no,
+            seq,
+        })?;
+        for s in &samples {
+            if contains_nested_int(&trace, s, irq::ADC) {
+                buggy.push(s.index);
+            }
+        }
+        all_samples.extend(samples);
+    }
+    let sample_count = all_samples.len();
+    let report = config.detector.pipeline().rank(all_samples)?;
+    let result = CaseResult::new(report, sample_count, buggy);
+    // Cross-check the two independent oracles: every polluted packet stems
+    // from a nested-interrupt interval. (The trace oracle can flag one
+    // extra interval at the horizon whose packet never got sent.)
+    debug_assert!(
+        result.buggy.len() >= polluted_packets,
+        "oracles disagree: {} intervals vs {} polluted packets",
+        result.buggy.len(),
+        polluted_packets
+    );
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------
+// Case study II: packet loss in multi-hop forwarding
+// ---------------------------------------------------------------------
+
+/// Configuration for case study II.
+#[derive(Debug, Clone)]
+pub struct Case2Config {
+    /// Workload parameters.
+    pub params: forwarder::ForwarderParams,
+    /// Test duration in simulated seconds (paper: 20 s).
+    pub run_seconds: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Detector plug-in.
+    pub detector: DetectorKind,
+    /// Use the fixed relay instead of the buggy one.
+    pub use_fixed: bool,
+    /// Independent per-packet radio loss probability on every link — the
+    /// "common wireless losses" the paper says the bug hides among.
+    pub link_loss: f64,
+}
+
+impl Default for Case2Config {
+    fn default() -> Self {
+        Case2Config {
+            params: forwarder::ForwarderParams::default(),
+            run_seconds: 20,
+            seed: 4,
+            detector: DetectorKind::OcSvm { nu: 0.05 },
+            use_fixed: false,
+            link_loss: 0.04,
+        }
+    }
+}
+
+/// Runs case study II and ranks the relay's packet-arrival intervals.
+///
+/// Ground truth: an interval is a bug symptom iff the relay executed its
+/// active-drop branch during it (located by the `fwd_drop` label).
+///
+/// # Errors
+///
+/// Propagates simulation, extraction and pipeline errors.
+pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
+    let relay = if config.use_fixed {
+        forwarder::relay_program_fixed()?
+    } else {
+        forwarder::relay_program_buggy()?
+    };
+    let drop_pc = relay.label("fwd_drop");
+    let link = netsim::LinkConfig {
+        loss_prob: config.link_loss,
+        ..netsim::LinkConfig::default()
+    };
+    let mut sim = netsim::NetSim::new(netsim::Topology::chain(3, link), config.seed);
+    sim.add_node(
+        forwarder::sink_program()?,
+        forwarder::node_config(forwarder::nodes::SINK, config.seed),
+    );
+    sim.add_node(
+        relay.clone(),
+        forwarder::node_config(forwarder::nodes::RELAY, config.seed + 1),
+    );
+    sim.add_node(
+        forwarder::source_program(&config.params)?,
+        forwarder::node_config(forwarder::nodes::SOURCE, config.seed + 2),
+    );
+    let mut recorders = vec![
+        Recorder::new(sim.node(0).program().len()),
+        Recorder::new(relay.len()),
+        Recorder::new(sim.node(2).program().len()),
+    ];
+    sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
+    let relay_trace = recorders.swap_remove(1).into_trace();
+    let samples = harvest(&relay_trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
+    let buggy: Vec<SampleIndex> = match drop_pc {
+        Some(pc) => samples
+            .iter()
+            .filter(|s| s.features[pc as usize] > 0.0)
+            .map(|s| s.index)
+            .collect(),
+        None => Vec::new(), // fixed relay has no drop branch to hit
+    };
+    let sample_count = samples.len();
+    let report = config.detector.pipeline().rank(samples)?;
+    Ok(CaseResult::new(report, sample_count, buggy))
+}
+
+// ---------------------------------------------------------------------
+// Case study III: unhandled failure from two co-existing protocols
+// ---------------------------------------------------------------------
+
+/// Configuration for case study III.
+#[derive(Debug, Clone)]
+pub struct Case3Config {
+    /// Workload parameters.
+    pub params: ctp::CtpParams,
+    /// Test duration in simulated seconds (paper: 15 s).
+    pub run_seconds: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Detector plug-in.
+    pub detector: DetectorKind,
+    /// Use the fixed variant instead of the buggy one.
+    pub use_fixed: bool,
+}
+
+impl Default for Case3Config {
+    fn default() -> Self {
+        Case3Config {
+            params: ctp::CtpParams::default(),
+            run_seconds: 15,
+            seed: 3,
+            detector: DetectorKind::OcSvm { nu: 0.1 },
+            use_fixed: false,
+        }
+    }
+}
+
+/// Runs case study III and ranks the report-timer intervals of the four
+/// source nodes (pooled, as in the paper's 95-sample table).
+///
+/// Ground truth: an interval is a bug symptom iff the CTP send-failure
+/// branch executed during it (located by the `ctp_fail` label).
+///
+/// # Errors
+///
+/// Propagates simulation, extraction and pipeline errors.
+pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
+    let program = if config.use_fixed {
+        ctp::fixed(&config.params)?
+    } else {
+        ctp::buggy(&config.params)?
+    };
+    let fail_pc = program
+        .label("ctp_fail")
+        .ok_or("ctp program lacks the ctp_fail label")? as usize;
+    let mut sim = netsim::NetSim::new(ctp::topology(), config.seed);
+    for id in 0..ctp::NODE_COUNT {
+        sim.add_node(program.clone(), ctp::node_config(id, config.seed));
+    }
+    let mut recorders: Vec<Recorder> = (0..ctp::NODE_COUNT)
+        .map(|_| Recorder::new(program.len()))
+        .collect();
+    sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
+
+    let mut all_samples = Vec::new();
+    let mut buggy = Vec::new();
+    // Walk recorders in reverse id order so indices stay valid.
+    let mut traces: Vec<(u16, Trace)> = recorders
+        .into_iter()
+        .enumerate()
+        .map(|(id, r)| (id as u16, r.into_trace()))
+        .collect();
+    traces.retain(|(id, _)| ctp::SOURCES.contains(id));
+    for (node_id, trace) in &traces {
+        let node = *node_id;
+        let samples = harvest(trace, irq::TIMER0, |seq, _| SampleIndex::NodeSeq {
+            node,
+            seq,
+        })?;
+        for s in &samples {
+            if s.features[fail_pc] > 0.0 {
+                buggy.push(s.index);
+            }
+        }
+        all_samples.extend(samples);
+    }
+    let sample_count = all_samples.len();
+    let report = config.detector.pipeline().rank(all_samples)?;
+    Ok(CaseResult::new(report, sample_count, buggy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_kinds_build_pipelines() {
+        for kind in DetectorKind::all(0.1) {
+            let p = kind.pipeline();
+            assert_eq!(p.detector_name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn case_result_rank_bookkeeping() {
+        use sentomist_core::{RankedSample, Report};
+        use sentomist_trace::EventInterval;
+        let iv = EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        };
+        let report = Report {
+            detector: "test".into(),
+            ranking: (1..=5)
+                .map(|i| RankedSample {
+                    index: SampleIndex::Seq(i),
+                    score: i as f64,
+                    interval: iv,
+                })
+                .collect(),
+        };
+        let result = CaseResult::new(report, 5, vec![SampleIndex::Seq(2), SampleIndex::Seq(1)]);
+        assert_eq!(result.buggy_ranks, vec![1, 2]);
+        assert!(result.all_buggy_in_top(2));
+        assert!(!result.all_buggy_in_top(1));
+        assert_eq!(result.worst_buggy_rank(), Some(2));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Emulator-fidelity study (§VI-E: why Avrora, not TOSSIM)
+// ---------------------------------------------------------------------
+
+/// Outcome of running case study I's workload under one timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FidelityOutcome {
+    /// Packets whose content was polluted by the race.
+    pub polluted_packets: usize,
+    /// ADC intervals containing a nested ADC interrupt (the symptom).
+    pub symptom_intervals: usize,
+    /// Total ADC intervals observed.
+    pub intervals: usize,
+    /// Whether any handler nesting occurred at all in the trace.
+    pub any_preemption: bool,
+}
+
+/// Runs the case-I workload (one testing run) under the given timing
+/// model. Under [`tinyvm::TimingModel::CycleAccurate`] (the Avrora-like
+/// default) the data race manifests; under
+/// [`tinyvm::TimingModel::ZeroCostEvents`] (the TOSSIM-style sequential
+/// abstraction) event executions never overlap, so neither the symptom
+/// nor the pollution can appear — reproducing the paper's argument for a
+/// cycle-accurate emulator.
+///
+/// # Errors
+///
+/// Propagates VM faults and extraction errors.
+pub fn run_fidelity(
+    timing: tinyvm::TimingModel,
+    period_ms: u32,
+    run_seconds: u64,
+    seed: u64,
+) -> Result<FidelityOutcome, Box<dyn Error>> {
+    let params = oscilloscope::OscilloscopeParams::with_period_ms(period_ms);
+    let program = oscilloscope::buggy(&params)?;
+    let mut node = Node::new(
+        program.clone(),
+        NodeConfig {
+            seed,
+            timing,
+            ..NodeConfig::default()
+        },
+    );
+    let mut recorder = Recorder::new(program.len());
+    node.run(run_seconds * CYCLES_PER_SECOND, &mut recorder)?;
+    let polluted = oscilloscope::parse_uart(node.uart())
+        .iter()
+        .filter(|p| p.polluted())
+        .count();
+    let trace = recorder.into_trace();
+    let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))?;
+    let symptom_intervals = samples
+        .iter()
+        .filter(|s| contains_nested_int(&trace, s, irq::ADC))
+        .count();
+    let mut depth = 0usize;
+    let mut any_preemption = false;
+    for e in &trace.events {
+        match e.item {
+            LifecycleItem::Int(_) => {
+                depth += 1;
+                if depth > 1 {
+                    any_preemption = true;
+                }
+            }
+            LifecycleItem::Reti => depth -= 1,
+            _ => {}
+        }
+    }
+    Ok(FidelityOutcome {
+        polluted_packets: polluted,
+        symptom_intervals,
+        intervals: samples.len(),
+        any_preemption,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Inspection-effort study: the paper's headline claim, quantified
+// ---------------------------------------------------------------------
+
+/// How much manual inspection a tester spends before reaching the bug
+/// symptoms, under Sentomist's ranking versus the baselines the paper
+/// argues against (chronological brute-force scanning; random sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffortSummary {
+    /// Total intervals available for inspection.
+    pub samples: usize,
+    /// True bug-symptom intervals.
+    pub positives: usize,
+    /// Inspections until the *first* symptom, following the ranking.
+    pub ranked_first: Option<usize>,
+    /// Inspections until *all* symptoms, following the ranking.
+    pub ranked_all: Option<usize>,
+    /// Inspections until the first symptom when scanning chronologically
+    /// (the brute-force trace inspection the paper contrasts against).
+    pub chrono_first: Option<usize>,
+    /// Expected inspections until the first symptom under uniformly
+    /// random inspection order.
+    pub random_expected_first: f64,
+    /// ROC-AUC of the suspicion ranking against ground truth.
+    pub auc: f64,
+    /// Average precision of the ranking against ground truth.
+    pub avg_precision: f64,
+}
+
+fn chronology_key(ix: &SampleIndex) -> (u32, u32) {
+    match *ix {
+        SampleIndex::RunSeq { run, seq } => (run, seq),
+        SampleIndex::Seq(s) => (0, s),
+        SampleIndex::NodeSeq { node, seq } => (node as u32, seq),
+    }
+}
+
+/// Computes the inspection-effort summary of a case-study outcome.
+pub fn effort_summary(result: &CaseResult) -> EffortSummary {
+    use mlcore::evaluation as ev;
+    let relevant = |ix: &SampleIndex| result.buggy.contains(ix);
+    let ranked: Vec<SampleIndex> = result.report.ranking.iter().map(|r| r.index).collect();
+    let mut chrono = ranked.clone();
+    chrono.sort_by_key(chronology_key);
+    EffortSummary {
+        samples: result.sample_count,
+        positives: result.buggy.len(),
+        ranked_first: ev::inspections_until_first(&ranked, relevant),
+        ranked_all: ev::inspections_until_all(&ranked, relevant),
+        chrono_first: ev::inspections_until_first(&chrono, relevant),
+        random_expected_first: ev::expected_random_inspections(
+            result.sample_count,
+            result.buggy.len(),
+        ),
+        auc: ev::roc_auc(&ranked, relevant),
+        avg_precision: ev::average_precision(&ranked, relevant),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trigger campaign: how hard is the bug to hit, and does mining find it
+// whenever it is hit? (paper §IV: "the bug is not easy to be triggered
+// unless we generate a variety of random interleaving scenarios")
+// ---------------------------------------------------------------------
+
+/// Outcome of one testing run within a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignRun {
+    /// Seed of the run.
+    pub seed: u64,
+    /// Intervals mined from the run.
+    pub intervals: usize,
+    /// True symptom intervals in the run.
+    pub symptoms: usize,
+    /// Rank of the best-ranked true symptom when mining this run alone
+    /// (`None` if the bug never triggered).
+    pub first_symptom_rank: Option<usize>,
+}
+
+/// Runs `runs` independent case-I testing runs (sampling period
+/// `period_ms`, 10 s each) and mines each in isolation — measuring both
+/// the per-run trigger probability of the race and the per-run mining
+/// success.
+///
+/// # Errors
+///
+/// Propagates VM faults, extraction and pipeline errors.
+pub fn run_trigger_campaign(
+    period_ms: u32,
+    runs: u64,
+    base_seed: u64,
+    nu: f64,
+) -> Result<Vec<CampaignRun>, Box<dyn Error>> {
+    let params = oscilloscope::OscilloscopeParams::with_period_ms(period_ms);
+    let program = oscilloscope::buggy(&params)?;
+    let mut out = Vec::new();
+    for i in 0..runs {
+        let seed = base_seed + i;
+        let mut node = Node::new(
+            program.clone(),
+            NodeConfig {
+                seed,
+                ..NodeConfig::default()
+            },
+        );
+        let mut recorder = Recorder::new(program.len());
+        node.run(10 * CYCLES_PER_SECOND, &mut recorder)?;
+        let trace = recorder.into_trace();
+        let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))?;
+        let buggy: Vec<SampleIndex> = samples
+            .iter()
+            .filter(|s| contains_nested_int(&trace, s, irq::ADC))
+            .map(|s| s.index)
+            .collect();
+        let intervals = samples.len();
+        let first_symptom_rank = if buggy.is_empty() {
+            None
+        } else {
+            let report = Pipeline::default_ocsvm(nu).rank(samples)?;
+            buggy.iter().filter_map(|&b| report.rank_of(b)).min()
+        };
+        out.push(CampaignRun {
+            seed,
+            intervals,
+            symptoms: buggy.len(),
+            first_symptom_rank,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Case study I, multi-node form: several sensors + a sink (the paper's
+// literal setup: "several sensor nodes monitor temperature and report
+// the readings to a data sink in a single hop manner")
+// ---------------------------------------------------------------------
+
+/// Configuration for the multi-node variant of case study I.
+#[derive(Debug, Clone)]
+pub struct Case1MultiConfig {
+    /// Number of sensing nodes (the sink is node 0 in addition).
+    pub sensors: u16,
+    /// Sampling period D in milliseconds (one value; samples are pooled
+    /// across nodes and indexed `[node, seq]`).
+    pub period_ms: u32,
+    /// Run duration in simulated seconds.
+    pub run_seconds: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Detector plug-in.
+    pub detector: DetectorKind,
+}
+
+impl Default for Case1MultiConfig {
+    fn default() -> Self {
+        Case1MultiConfig {
+            sensors: 4,
+            period_ms: 20,
+            run_seconds: 10,
+            seed: 42,
+            detector: DetectorKind::OcSvm { nu: 0.05 },
+        }
+    }
+}
+
+/// Runs the multi-node single-hop variant of case study I: `sensors`
+/// nodes run the buggy Oscilloscope program and broadcast packets a sink
+/// overhears; ADC intervals are pooled across the sensing nodes.
+///
+/// # Errors
+///
+/// Propagates simulation, extraction and pipeline errors.
+pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<dyn Error>> {
+    let params = oscilloscope::OscilloscopeParams::with_period_ms(config.period_ms);
+    let sensor_program = oscilloscope::buggy(&params)?;
+    let sink_program = crate::forwarder::sink_program()?;
+    let node_count = config.sensors + 1;
+    let topo = netsim::Topology::star(node_count, netsim::LinkConfig::default());
+    let mut sim = netsim::NetSim::new(topo, config.seed);
+    sim.add_node(
+        sink_program.clone(),
+        NodeConfig {
+            node_id: 0,
+            seed: config.seed,
+            ..NodeConfig::default()
+        },
+    );
+    for id in 1..node_count {
+        sim.add_node(
+            sensor_program.clone(),
+            NodeConfig {
+                node_id: id,
+                seed: config.seed.wrapping_add(id as u64 * 101),
+                ..NodeConfig::default()
+            },
+        );
+    }
+    let mut recorders: Vec<Recorder> = (0..node_count)
+        .map(|id| {
+            if id == 0 {
+                Recorder::new(sink_program.len())
+            } else {
+                Recorder::new(sensor_program.len())
+            }
+        })
+        .collect();
+    sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
+
+    let mut all_samples = Vec::new();
+    let mut buggy = Vec::new();
+    for (id, rec) in recorders.into_iter().enumerate().skip(1) {
+        let node = id as u16;
+        let trace = rec.into_trace();
+        let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::NodeSeq {
+            node,
+            seq,
+        })?;
+        for s in &samples {
+            if contains_nested_int(&trace, s, irq::ADC) {
+                buggy.push(s.index);
+            }
+        }
+        all_samples.extend(samples);
+    }
+    let sample_count = all_samples.len();
+    let report = config.detector.pipeline().rank(all_samples)?;
+    Ok(CaseResult::new(report, sample_count, buggy))
+}

@@ -1,0 +1,31 @@
+//! # sentomist-apps — case-study applications and experiment drivers
+//!
+//! The three evaluation case studies of ["Sentomist: Unveiling Transient
+//! Sensor Network Bugs via Symptom
+//! Mining"](https://doi.org/10.1109/ICDCS.2010.75), rebuilt as TinyVM
+//! assembly programs with the paper's transient bugs faithfully injected:
+//!
+//! * [`oscilloscope`] — case I: the Figure-2 data-pollution race in a
+//!   single-hop data-collection application (ADC interrupt);
+//! * [`forwarder`] — case II: the busy-flag active packet drop in a
+//!   multi-hop forwarding relay (radio/SPI interrupt);
+//! * [`ctp`] — case III: the unhandled send-failure hang when a CTP-style
+//!   collection protocol and a heartbeat protocol contend for one radio
+//!   chip (timer interrupt).
+//!
+//! Each module also ships a *fixed* variant of its application, and
+//! [`experiments`] drives the full Sentomist pipeline over each scenario
+//! with machine-checkable ground-truth oracles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctp;
+pub mod experiments;
+pub mod forwarder;
+pub mod oscilloscope;
+
+pub use experiments::{
+    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config, CaseResult,
+    DetectorKind,
+};

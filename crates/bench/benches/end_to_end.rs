@@ -1,0 +1,29 @@
+//! End-to-end wall time of the full Sentomist pipeline on each case study
+//! (emulate → trace → anatomize → featurize → detect → rank), the numbers
+//! behind the paper's "greatly speeds up debugging" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sentomist_apps::{
+    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config,
+};
+
+fn bench_cases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.bench_function("case1_five_runs_10s", |b| {
+        b.iter(|| run_case1(&Case1Config::default()).unwrap().sample_count)
+    });
+    group.bench_function("case2_chain_20s", |b| {
+        b.iter(|| run_case2(&Case2Config::default()).unwrap().sample_count)
+    });
+    group.bench_function("case3_tree_15s", |b| {
+        b.iter(|| run_case3(&Case3Config::default()).unwrap().sample_count)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_cases
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Detector benchmarks: SMO one-class SVM solve time versus sample count
+//! and ν, and a wall-time comparison of all plug-in detectors on the same
+//! sample set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcore::{
+    KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Synthetic instruction-counter-like samples: a dense normal cluster with
+/// correlated dimensions plus a sprinkle of outliers.
+fn samples(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let outlier = i % 97 == 96;
+            (0..d)
+                .map(|j| {
+                    let base = ((j * 13) % 7) as f64 * 10.0;
+                    let noise: f64 = rng.gen_range(-1.0..1.0);
+                    if outlier && j % 5 == 0 {
+                        base * 2.0 + 40.0 + noise
+                    } else {
+                        base + noise
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ocsvm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocsvm_samples");
+    for n in [100usize, 400, 1000] {
+        let data = Scaler::fit_transform(&samples(n, 64, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| OneClassSvm::with_nu(0.05).score(d).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ocsvm_nu(c: &mut Criterion) {
+    let data = Scaler::fit_transform(&samples(400, 64, 2));
+    let mut group = c.benchmark_group("ocsvm_nu");
+    for nu in [0.02f64, 0.05, 0.2, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(nu), &data, |b, d| {
+            b.iter(|| OneClassSvm::with_nu(nu).score(d).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_detector_comparison(c: &mut Criterion) {
+    let data = Scaler::fit_transform(&samples(400, 64, 3));
+    let detectors: Vec<Box<dyn OutlierDetector>> = vec![
+        Box::new(OneClassSvm::with_nu(0.05)),
+        Box::new(PcaDetector::default()),
+        Box::new(KnnDetector::default()),
+        Box::new(MahalanobisDetector::default()),
+    ];
+    let mut group = c.benchmark_group("detector_wall_time");
+    for det in detectors {
+        let name = det.name();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, d| {
+            b.iter(|| det.score(d).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ocsvm_scaling, bench_ocsvm_nu, bench_detector_comparison
+}
+criterion_main!(benches);

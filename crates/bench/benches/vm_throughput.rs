@@ -1,0 +1,90 @@
+//! Emulator throughput: instructions retired per second of host time, for
+//! a compute-bound program and for the event-driven Oscilloscope workload
+//! (which sleeps between events), plus assembler speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tinyvm::devices::NodeConfig;
+use tinyvm::node::Node;
+use tinyvm::NullSink;
+
+const SPIN: &str = "\
+.data acc 1
+main:
+ ldi r1, 0
+ ldi r2, 0
+outer:
+ ldi r3, 1000
+inner:
+ add r1, r3
+ subi r3, 1
+ brne inner
+ addi r2, 1
+ cmpi r2, 200
+ brne outer
+ sta acc, r1
+ halt
+";
+
+fn bench_cpu(c: &mut Criterion) {
+    let program = Arc::new(tinyvm::assemble(SPIN).unwrap());
+    let mut group = c.benchmark_group("vm");
+    // Count retired instructions once so throughput is meaningful.
+    let mut probe = Node::new(program.clone(), NodeConfig::default());
+    probe.run(u64::MAX / 2, &mut NullSink).unwrap();
+    let instructions = probe.instructions_retired();
+    group.throughput(Throughput::Elements(instructions));
+    group.bench_function("compute_bound_instructions", |b| {
+        b.iter(|| {
+            let mut node = Node::new(program.clone(), NodeConfig::default());
+            node.run(u64::MAX / 2, &mut NullSink).unwrap();
+            assert!(node.halted());
+            node.instructions_retired()
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_driven(c: &mut Criterion) {
+    let params = sentomist_apps::oscilloscope::OscilloscopeParams::with_period_ms(20);
+    let program = sentomist_apps::oscilloscope::buggy(&params).unwrap();
+    let mut group = c.benchmark_group("vm_event_driven");
+    for seconds in [1u64, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("oscilloscope_sim_seconds", seconds),
+            &seconds,
+            |b, &secs| {
+                b.iter(|| {
+                    let mut node = Node::new(program.clone(), NodeConfig::default());
+                    node.run(secs * 1_000_000, &mut NullSink).unwrap();
+                    node.instructions_retired()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let params = sentomist_apps::oscilloscope::OscilloscopeParams::default();
+    // Re-generate the source each iteration? No: assembling is the cost.
+    let src = {
+        // Assemble once to grab a representative source via the public API.
+        let _ = sentomist_apps::oscilloscope::buggy(&params).unwrap();
+        // Use the stress of assembling the CTP program (the largest app).
+        sentomist_apps::ctp::buggy(&sentomist_apps::ctp::CtpParams::default()).unwrap()
+    };
+    drop(src);
+    c.bench_function("assemble_ctp_app", |b| {
+        b.iter(|| {
+            sentomist_apps::ctp::buggy(&sentomist_apps::ctp::CtpParams::default()).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_cpu, bench_event_driven, bench_assembler
+}
+criterion_main!(benches);

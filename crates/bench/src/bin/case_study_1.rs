@@ -1,0 +1,24 @@
+//! Regenerates Figure 5(a): the suspicion ranking of ADC event-handling
+//! intervals in the single-hop data-collection application (case study I).
+//!
+//! Paper setup: five 10-second testing runs with sampling period
+//! D ∈ {20, 40, 60, 80, 100} ms; 1099 intervals; the top-3 ranked
+//! instances all contained the data-pollution race.
+//!
+//! Run with: `cargo run --release -p sentomist-bench --bin case_study_1`
+
+use sentomist_apps::{run_case1, Case1Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let result = run_case1(&Case1Config::default())?;
+    print!(
+        "{}",
+        sentomist_bench::render_case(
+            "Figure 5(a) — case study I: data pollution (ADC interrupt)",
+            1099,
+            "top-3 inspected, all three confirmed the bug",
+            &result,
+        )
+    );
+    Ok(())
+}

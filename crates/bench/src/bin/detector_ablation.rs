@@ -1,0 +1,63 @@
+//! Regenerates the §VI-E discussion as a measured table: every plug-in
+//! outlier detector applied to all three case studies, reporting where
+//! each ranks the ground-truth symptoms.
+//!
+//! Run with: `cargo run --release -p sentomist-bench --bin detector_ablation`
+
+use sentomist_apps::{
+    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config, CaseResult,
+    DetectorKind,
+};
+use std::time::Instant;
+
+fn report(case: &str, kind: DetectorKind, result: &CaseResult, secs: f64) {
+    println!(
+        "{:<8} {:<12} {:>7} {:>6} {:>9.2}s   {:?}",
+        case,
+        kind.name(),
+        result.sample_count,
+        result.buggy.len(),
+        secs,
+        result.buggy_ranks,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== §VI-E — detector ablation across all case studies ===\n");
+    println!(
+        "{:<8} {:<12} {:>7} {:>6} {:>10}   symptom ranks",
+        "case", "detector", "samples", "buggy", "wall-time"
+    );
+    for kind in DetectorKind::all(0.05) {
+        let t = Instant::now();
+        let r = run_case1(&Case1Config {
+            detector: kind,
+            ..Case1Config::default()
+        })?;
+        report("case-1", kind, &r, t.elapsed().as_secs_f64());
+    }
+    for kind in DetectorKind::all(0.05) {
+        let t = Instant::now();
+        let r = run_case2(&Case2Config {
+            detector: kind,
+            ..Case2Config::default()
+        })?;
+        report("case-2", kind, &r, t.elapsed().as_secs_f64());
+    }
+    for kind in DetectorKind::all(0.1) {
+        let t = Instant::now();
+        let r = run_case3(&Case3Config {
+            detector: kind,
+            ..Case3Config::default()
+        })?;
+        report("case-3", kind, &r, t.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nThe one-class SVM (the paper's default) surfaces every symptom; \
+         kNN, Mahalanobis, KDE and the one-class Kernel Fisher Discriminant \
+         are competitive (KFD's feature-space whitening avoids PCA's \
+         masking); plain PCA is masked on case 2, where the outliers \
+         dominate its principal components."
+    );
+    Ok(())
+}

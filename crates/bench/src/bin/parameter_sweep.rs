@@ -1,0 +1,106 @@
+//! Sensitivity of the symptom ranking to the one-class SVM's two
+//! hyperparameters — ν (outlier-fraction bound) and the RBF width γ —
+//! the ablation DESIGN.md calls out for the paper's (unstated) defaults.
+//!
+//! Run with: `cargo run --release -p sentomist-bench --bin parameter_sweep`
+
+use mlcore::{Kernel, OcSvmConfig, OneClassSvm};
+use sentomist_apps::{forwarder, Case2Config};
+use sentomist_core::{harvest, Pipeline, SampleIndex};
+use sentomist_trace::Recorder;
+use tinyvm::isa::irq;
+
+/// One prepared case-II sample set with its ground truth.
+struct Prepared {
+    samples: Vec<sentomist_core::Sample>,
+    buggy: Vec<SampleIndex>,
+}
+
+fn prepare() -> Result<Prepared, Box<dyn std::error::Error>> {
+    let config = Case2Config::default();
+    let relay = forwarder::relay_program_buggy()?;
+    let drop_pc = relay.label("fwd_drop").expect("fwd_drop label") as usize;
+    let link = netsim::LinkConfig {
+        loss_prob: config.link_loss,
+        ..netsim::LinkConfig::default()
+    };
+    let mut sim = netsim::NetSim::new(netsim::Topology::chain(3, link), config.seed);
+    sim.add_node(
+        forwarder::sink_program()?,
+        forwarder::node_config(forwarder::nodes::SINK, config.seed),
+    );
+    sim.add_node(
+        relay.clone(),
+        forwarder::node_config(forwarder::nodes::RELAY, config.seed + 1),
+    );
+    sim.add_node(
+        forwarder::source_program(&config.params)?,
+        forwarder::node_config(forwarder::nodes::SOURCE, config.seed + 2),
+    );
+    let mut recorders = vec![
+        Recorder::new(sim.node(0).program().len()),
+        Recorder::new(relay.len()),
+        Recorder::new(sim.node(2).program().len()),
+    ];
+    sim.run(config.run_seconds * 1_000_000, &mut recorders)?;
+    let trace = recorders.swap_remove(1).into_trace();
+    let samples = harvest(&trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
+    let buggy = samples
+        .iter()
+        .filter(|s| s.features[drop_pc] > 0.0)
+        .map(|s| s.index)
+        .collect();
+    Ok(Prepared { samples, buggy })
+}
+
+fn ranks_for(prepared: &Prepared, nu: f64, kernel: Option<Kernel>) -> Vec<usize> {
+    let detector = OneClassSvm {
+        config: OcSvmConfig {
+            nu,
+            kernel,
+            ..OcSvmConfig::default()
+        },
+    };
+    let report = Pipeline::new(Box::new(detector))
+        .rank(prepared.samples.clone())
+        .expect("pipeline runs");
+    let mut ranks: Vec<usize> = prepared
+        .buggy
+        .iter()
+        .filter_map(|&b| report.rank_of(b))
+        .collect();
+    ranks.sort_unstable();
+    ranks
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prepared = prepare()?;
+    let l = prepared.samples.len();
+    println!("=== Hyperparameter sweep on case study II ({l} samples, {} true drops) ===\n", prepared.buggy.len());
+
+    println!("--- nu sweep (RBF gamma = 1/d) ---");
+    println!("{:>6} {:>8}   symptom ranks", "nu", "nu*l");
+    for nu in [0.01f64, 0.02, 0.05, 0.1, 0.2, 0.4] {
+        let ranks = ranks_for(&prepared, nu, None);
+        println!("{:>6} {:>8.1}   {:?}", nu, nu * l as f64, ranks);
+    }
+
+    println!("\n--- gamma sweep (nu = 0.05) ---");
+    println!("{:>12}   symptom ranks", "gamma");
+    let d = prepared.samples[0].features.len() as f64;
+    for scale in [0.01f64, 0.1, 1.0, 10.0, 100.0] {
+        let gamma = scale / d;
+        let ranks = ranks_for(&prepared, 0.05, Some(Kernel::Rbf { gamma }));
+        println!("{:>12.5}   {:?}", gamma, ranks);
+    }
+
+    println!(
+        "\nReading: γ is a free parameter — the ranking is unchanged across \
+         four orders of magnitude. ν matters only through the dual mass \
+         ν·l: below ~5 the dual has too little mass for ρ to exceed an \
+         isolated point's self-kernel term, and the symptoms sit *on* the \
+         estimated boundary instead of outside it (they rank mid-pack). \
+         Any ν with ν·l ≳ 10 reproduces the paper's top-3 ranking."
+    );
+    Ok(())
+}

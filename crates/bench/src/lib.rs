@@ -1,0 +1,67 @@
+//! Shared helpers for the evaluation-table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation section (Figure 5(a)–(c) and the §VI-E detector
+//! discussion); this library renders the common report format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sentomist_apps::CaseResult;
+
+/// Renders one case-study outcome: the Figure-5-style table, the
+/// ground-truth symptom ranks, and the paper-vs-measured summary line.
+pub fn render_case(
+    title: &str,
+    paper_samples: usize,
+    paper_ranks: &str,
+    result: &CaseResult,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    let _ = writeln!(out);
+    let _ = write!(out, "{}", result.report.table(8, 2));
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "samples:        {} measured vs {} in the paper",
+        result.sample_count, paper_samples
+    );
+    let _ = writeln!(
+        out,
+        "true symptoms:  {} interval(s), ranked {:?}",
+        result.buggy.len(),
+        result.buggy_ranks
+    );
+    let _ = writeln!(out, "paper ranks:    {paper_ranks}");
+    let verdict = if result.buggy.is_empty() {
+        "NO SYMPTOM TRIGGERED (re-run with another seed)"
+    } else if result.all_buggy_in_top(result.buggy.len().max(4)) {
+        "REPRODUCED: symptoms at the very top of the ranking"
+    } else if result
+        .worst_buggy_rank()
+        .is_some_and(|r| r <= result.sample_count / 20 + 5)
+    {
+        "REPRODUCED (shape): symptoms within the top ~5%"
+    } else {
+        "NOT REPRODUCED: symptoms buried in the ranking"
+    };
+    let _ = writeln!(out, "verdict:        {verdict}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentomist_apps::{run_case2, Case2Config};
+
+    #[test]
+    fn render_includes_table_and_verdict() {
+        let result = run_case2(&Case2Config::default()).unwrap();
+        let s = render_case("Case study II", 195, "1, 2, 3", &result);
+        assert!(s.contains("Instance Index"));
+        assert!(s.contains("REPRODUCED"));
+        assert!(s.contains("vs 195 in the paper"));
+    }
+}

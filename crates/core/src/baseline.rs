@@ -1,0 +1,194 @@
+//! Baseline-model monitoring: fit the one-class SVM (plus its feature
+//! scaler) on a trusted reference run, persist it, and score intervals of
+//! *later* runs against the frozen boundary.
+//!
+//! Batch mining ranks a sample set against itself, which is right for
+//! testing campaigns; in regression testing one instead wants "does
+//! today's build behave like the known-good run?" — a frozen baseline
+//! answers that without re-fitting, and scores stay comparable across
+//! runs.
+
+use crate::pipeline::PipelineError;
+use crate::sample::Sample;
+use mlcore::{MlError, OcSvmModel, OneClassSvm, Scaler};
+use serde::{Deserialize, Serialize};
+
+/// A frozen reference model: scaler + fitted one-class SVM.
+///
+/// # Examples
+///
+/// ```
+/// use sentomist_core::{baseline::BaselineModel, Sample, SampleIndex};
+/// # use sentomist_trace::EventInterval;
+/// # fn iv() -> EventInterval {
+/// #     EventInterval { irq: 0, start_index: 0, end_index: 1, last_run_index: None,
+/// #         start_cycle: 0, end_cycle: 1, task_count: 0 }
+/// # }
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let reference: Vec<Sample> = (0..40)
+///     .map(|i| Sample {
+///         index: SampleIndex::Seq(i),
+///         interval: iv(),
+///         features: vec![10.0 + (i % 3) as f64, 5.0],
+///     })
+///     .collect();
+/// let model = BaselineModel::fit(&reference, 0.1)?;
+/// // A later run's interval that matches the baseline scores high...
+/// let normal = model.score(&[10.0, 5.0]);
+/// // ...and a deviating one scores lower.
+/// let weird = model.score(&[80.0, -3.0]);
+/// assert!(weird < normal);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineModel {
+    scaler: Scaler,
+    model: OcSvmModel,
+    /// Feature dimensionality (program length) the model was fit on.
+    pub dimension: usize,
+}
+
+impl BaselineModel {
+    /// Fits a baseline on reference samples with the given ν.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoSamples`] / [`PipelineError::DimensionMismatch`]
+    /// on bad input; [`PipelineError::Detector`] if the solver fails.
+    pub fn fit(reference: &[Sample], nu: f64) -> Result<BaselineModel, PipelineError> {
+        if reference.is_empty() {
+            return Err(PipelineError::NoSamples);
+        }
+        let dimension = reference[0].features.len();
+        if reference.iter().any(|s| s.features.len() != dimension) {
+            return Err(PipelineError::DimensionMismatch);
+        }
+        let raw: Vec<Vec<f64>> = reference.iter().map(|s| s.features.clone()).collect();
+        let scaler = Scaler::fit(&raw);
+        let scaled: Vec<Vec<f64>> = raw.iter().map(|r| scaler.transform(r)).collect();
+        let model = OneClassSvm::with_nu(nu)
+            .fit(&scaled)
+            .map_err(PipelineError::Detector)?;
+        Ok(BaselineModel {
+            scaler,
+            model,
+            dimension,
+        })
+    }
+
+    /// Signed decision value of one (raw, unscaled) instruction counter:
+    /// positive = consistent with the baseline, negative = outside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension differs from the fitted one.
+    pub fn score(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.dimension, "dimension mismatch");
+        self.model.decide(&self.scaler.transform(features))
+    }
+
+    /// Scores a batch of samples, returning `(index-in-input, score)`
+    /// sorted ascending (most deviating first).
+    pub fn screen(&self, samples: &[Sample]) -> Result<Vec<(usize, f64)>, MlError> {
+        if samples.iter().any(|s| s.features.len() != self.dimension) {
+            return Err(MlError::RaggedSamples);
+        }
+        let mut scored: Vec<(usize, f64)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, self.score(&s.features)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(scored)
+    }
+
+    /// Fraction of reference-class support vectors (a capacity indicator).
+    pub fn support_fraction(&self) -> f64 {
+        // The model was fit on the reference set; ν lower-bounds this.
+        self.model.num_support() as f64 / self.dimension.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleIndex;
+    use sentomist_trace::EventInterval;
+
+    fn iv() -> EventInterval {
+        EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        }
+    }
+
+    fn sample(seq: u32, features: Vec<f64>) -> Sample {
+        Sample {
+            index: SampleIndex::Seq(seq),
+            interval: iv(),
+            features,
+        }
+    }
+
+    fn reference() -> Vec<Sample> {
+        (0..40)
+            .map(|i| sample(i, vec![100.0 + (i % 4) as f64, 7.0, (i % 3) as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn deviating_sample_scores_below_conforming_one() {
+        let model = BaselineModel::fit(&reference(), 0.1).unwrap();
+        let normal = model.score(&[101.0, 7.0, 1.0]);
+        let weird = model.score(&[101.0, 7.0, 40.0]);
+        assert!(weird < normal, "{weird} !< {normal}");
+    }
+
+    #[test]
+    fn screen_ranks_a_later_run() {
+        let model = BaselineModel::fit(&reference(), 0.1).unwrap();
+        let mut later = reference();
+        later.push(sample(99, vec![160.0, 7.0, 9.0]));
+        let screened = model.screen(&later).unwrap();
+        assert_eq!(screened[0].0, 40, "the injected deviant screens first");
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        // serde_json's default float parsing may be off by one ulp (its
+        // `float_roundtrip` feature is off), so the contract is scoring
+        // agreement within rounding, not bitwise struct equality.
+        let model = BaselineModel::fit(&reference(), 0.1).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: BaselineModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dimension, model.dimension);
+        for x in [
+            [100.0, 7.0, 2.0],
+            [102.0, 7.0, 0.0],
+            [140.0, 9.0, 5.0],
+        ] {
+            assert!((back.score(&x) - model.score(&x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let model = BaselineModel::fit(&reference(), 0.1).unwrap();
+        let bad = vec![sample(0, vec![1.0])];
+        assert!(model.screen(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_reference_rejected() {
+        assert!(matches!(
+            BaselineModel::fit(&[], 0.1),
+            Err(PipelineError::NoSamples)
+        ));
+    }
+}

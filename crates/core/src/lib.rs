@@ -1,0 +1,67 @@
+//! # sentomist-core — the Sentomist symptom-mining pipeline
+//!
+//! End-to-end reproduction of the framework in ["Sentomist: Unveiling
+//! Transient Sensor Network Bugs via Symptom
+//! Mining"](https://doi.org/10.1109/ICDCS.2010.75) (ICDCS 2010): take a
+//! WSN application binary and a test scenario, run it on the emulator,
+//! anatomize the program runtime into event-handling intervals, featurize
+//! each as an instruction counter, apply a plug-in outlier detector, and
+//! rank the intervals by how suspicious they are — the priority order for
+//! manual inspection.
+//!
+//! * [`sample::harvest`] — trace → labeled, featurized samples per event
+//!   type;
+//! * [`Pipeline`] — scale → detect → normalize → rank;
+//! * [`Report`] — Figure-5-style ranking tables and rank queries;
+//! * [`localize()`](localize::localize) — the paper's future-work extension: map an outlier's
+//!   deviating instruction counts back to assembly lines and routines.
+//!
+//! ```
+//! # use std::sync::Arc;
+//! # use tinyvm::{asm, devices::NodeConfig, node::Node};
+//! use sentomist_core::{harvest, Pipeline, SampleIndex};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let program = Arc::new(asm::assemble("\
+//! # .handler TIMER0 h
+//! # main:
+//! #  ldi r1, 4
+//! #  out TIMER0_PERIOD, r1
+//! #  ldi r1, 1
+//! #  out TIMER0_CTRL, r1
+//! #  ret
+//! # h:
+//! #  reti
+//! # ")?);
+//! // Run the application under test and record its lifecycle trace.
+//! let mut node = Node::new(program.clone(), NodeConfig::default());
+//! let mut recorder = sentomist_trace::Recorder::new(program.len());
+//! node.run(2_000_000, &mut recorder)?;
+//! let trace = recorder.into_trace();
+//!
+//! // Anatomize + featurize the TIMER0 event procedure, then rank.
+//! let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |seq, _| {
+//!     SampleIndex::Seq(seq)
+//! })?;
+//! let report = Pipeline::default_ocsvm(0.05).rank(samples)?;
+//! println!("{}", report.table(5, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod localize;
+pub mod monitor;
+pub mod pipeline;
+pub mod report;
+pub mod sample;
+
+pub use baseline::BaselineModel;
+pub use localize::{localize, ImplicatedInstruction};
+pub use monitor::WindowedMiner;
+pub use pipeline::{Pipeline, PipelineError};
+pub use report::{RankedSample, Report};
+pub use sample::{harvest, Sample, SampleIndex};

@@ -1,0 +1,173 @@
+//! Bug localization (the paper's stated future work, Section VII):
+//! correlating a suspicious interval's symptoms with program locations.
+//!
+//! Given the sample population and one flagged sample, each instruction is
+//! scored by how far the flagged sample's count deviates from the
+//! population (a robust z-score); the top deviating instructions, mapped
+//! back to assembly source lines and routines, tell the developer *where*
+//! the abnormal behavior happened.
+
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+use tinyvm::Program;
+
+/// One instruction implicated in an outlier's deviation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImplicatedInstruction {
+    /// Instruction index (PC).
+    pub pc: u16,
+    /// Deviation z-score (always ≥ 0; larger = more anomalous).
+    pub z_score: f64,
+    /// The flagged sample's count at this instruction.
+    pub observed: f64,
+    /// Population mean count.
+    pub expected: f64,
+    /// 1-based assembly source line, if the program knows it.
+    pub source_line: Option<u32>,
+    /// Enclosing routine label, if any.
+    pub routine: Option<String>,
+}
+
+/// Ranks instructions by the flagged sample's deviation from the
+/// population mean, descending; instructions whose counts match the
+/// population (z below `min_z`) are omitted.
+///
+/// # Examples
+///
+/// ```
+/// use sentomist_core::{localize, Sample, SampleIndex};
+/// # use sentomist_trace::EventInterval;
+/// # fn iv() -> EventInterval {
+/// #     EventInterval { irq: 0, start_index: 0, end_index: 1, last_run_index: None,
+/// #         start_cycle: 0, end_cycle: 1, task_count: 0 }
+/// # }
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = tinyvm::assemble("main:\n nop\n nop\n ret\n")?;
+/// let mut samples: Vec<Sample> = (0..20)
+///     .map(|i| Sample { index: SampleIndex::Seq(i), interval: iv(),
+///                       features: vec![1.0, 1.0, 1.0] })
+///     .collect();
+/// // The outlier executed instruction 1 five times instead of once.
+/// samples.push(Sample { index: SampleIndex::Seq(20), interval: iv(),
+///                       features: vec![1.0, 5.0, 1.0] });
+/// let hits = localize(&samples, 20, &program, 1.0);
+/// assert_eq!(hits[0].pc, 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// `flagged` indexes into `samples`. The population statistics include the
+/// flagged sample itself (with hundreds of samples the bias is negligible,
+/// and it keeps the estimator well-defined for tiny populations).
+///
+/// # Panics
+///
+/// Panics if `flagged` is out of range or samples are ragged.
+pub fn localize(
+    samples: &[Sample],
+    flagged: usize,
+    program: &Program,
+    min_z: f64,
+) -> Vec<ImplicatedInstruction> {
+    let d = samples[flagged].features.len();
+    let n = samples.len() as f64;
+    let mut result = Vec::new();
+    for pc in 0..d {
+        let mean: f64 = samples.iter().map(|s| s.features[pc]).sum::<f64>() / n;
+        let var: f64 = samples
+            .iter()
+            .map(|s| {
+                let dv = s.features[pc] - mean;
+                dv * dv
+            })
+            .sum::<f64>()
+            / n;
+        // Floor the deviation at a quarter count: never-varying
+        // instructions that suddenly execute get a finite but large score
+        // (a one-count deviation on a constant dimension scores z = 4).
+        let std = var.sqrt().max(0.25);
+        let observed = samples[flagged].features[pc];
+        let z = (observed - mean).abs() / std;
+        if z >= min_z {
+            let pc16 = pc as u16;
+            result.push(ImplicatedInstruction {
+                pc: pc16,
+                z_score: z,
+                observed,
+                expected: mean,
+                source_line: program.source_line(pc16),
+                routine: program.enclosing_label(pc16).map(str::to_owned),
+            });
+        }
+    }
+    result.sort_by(|a, b| {
+        b.z_score
+            .partial_cmp(&a.z_score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pc.cmp(&b.pc))
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleIndex;
+    use sentomist_trace::EventInterval;
+
+    fn iv() -> EventInterval {
+        EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        }
+    }
+
+    fn sample(features: Vec<f64>) -> Sample {
+        Sample {
+            index: SampleIndex::Seq(0),
+            interval: iv(),
+            features,
+        }
+    }
+
+    #[test]
+    fn implicates_the_deviant_instruction() {
+        let program = tinyvm::assemble("main:\n nop\n nop\n nop\n ret\n").unwrap();
+        let mut samples: Vec<Sample> =
+            (0..20).map(|_| sample(vec![1.0, 1.0, 5.0, 1.0])).collect();
+        // The flagged sample executed instruction 1 twice (the paper's
+        // double-execution symptom).
+        samples.push(sample(vec![1.0, 2.0, 5.0, 1.0]));
+        let hits = localize(&samples, 20, &program, 0.5);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].pc, 1);
+        assert_eq!(hits[0].observed, 2.0);
+        assert!(hits[0].expected < 1.1);
+        assert_eq!(hits[0].routine.as_deref(), Some("main"));
+        assert_eq!(hits[0].source_line, Some(3));
+    }
+
+    #[test]
+    fn matching_counts_not_implicated() {
+        let program = tinyvm::assemble("main:\n nop\n ret\n").unwrap();
+        let samples: Vec<Sample> = (0..10).map(|_| sample(vec![3.0, 1.0])).collect();
+        let hits = localize(&samples, 0, &program, 0.5);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn results_sorted_by_z_descending() {
+        let program = tinyvm::assemble("main:\n nop\n nop\n ret\n").unwrap();
+        let mut samples: Vec<Sample> = (0..30).map(|_| sample(vec![1.0, 1.0, 1.0])).collect();
+        samples.push(sample(vec![2.0, 9.0, 1.0]));
+        let hits = localize(&samples, 30, &program, 0.5);
+        assert!(hits.len() >= 2);
+        assert!(hits[0].z_score >= hits[1].z_score);
+        assert_eq!(hits[0].pc, 1);
+    }
+}

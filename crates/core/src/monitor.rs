@@ -1,0 +1,192 @@
+//! Windowed live mining: a rolling sample window re-ranked on demand,
+//! pairing with [`sentomist_trace::OnlineExtractor`] for open-ended
+//! monitoring runs where the full sample set never fits in memory.
+//!
+//! The window is FIFO over arrival order; ranking a window uses the same
+//! scale → detect → normalize pipeline as batch mining, so a symptom that
+//! occurs within the last `window` intervals surfaces exactly as it would
+//! in a batch run over that span.
+
+use crate::pipeline::{Pipeline, PipelineError};
+use crate::report::Report;
+use crate::sample::Sample;
+use std::collections::VecDeque;
+
+/// A rolling-window miner.
+///
+/// # Examples
+///
+/// ```
+/// use sentomist_core::{monitor::WindowedMiner, Pipeline, Sample, SampleIndex};
+/// # use sentomist_trace::EventInterval;
+/// # fn iv() -> EventInterval {
+/// #     EventInterval { irq: 0, start_index: 0, end_index: 1, last_run_index: None,
+/// #         start_cycle: 0, end_cycle: 1, task_count: 0 }
+/// # }
+///
+/// let mut miner = WindowedMiner::new(Pipeline::default_ocsvm(0.2), 128)
+///     .with_min_samples(10);
+/// for i in 0..30 {
+///     miner.push(Sample {
+///         index: SampleIndex::Seq(i),
+///         interval: iv(),
+///         features: vec![1.0, (i % 3) as f64],
+///     });
+/// }
+/// let report = miner.rank()?.expect("enough samples");
+/// assert_eq!(report.ranking.len(), 30);
+/// # Ok::<(), sentomist_core::PipelineError>(())
+/// ```
+pub struct WindowedMiner {
+    pipeline: Pipeline,
+    window: usize,
+    min_samples: usize,
+    samples: VecDeque<Sample>,
+    total_seen: u64,
+}
+
+impl WindowedMiner {
+    /// Creates a miner retaining at most `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(pipeline: Pipeline, window: usize) -> WindowedMiner {
+        assert!(window > 0, "window must be positive");
+        WindowedMiner {
+            pipeline,
+            window,
+            min_samples: 20,
+            samples: VecDeque::with_capacity(window),
+            total_seen: 0,
+        }
+    }
+
+    /// Sets the minimum population size required before [`WindowedMiner::rank`]
+    /// will produce a report (outlier detection on a handful of samples is
+    /// noise). Default 20.
+    pub fn with_min_samples(mut self, min_samples: usize) -> WindowedMiner {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Adds a sample, evicting the oldest when the window is full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+        self.total_seen += 1;
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples ever pushed.
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Ranks the current window, or `None` while the population is below
+    /// the configured minimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector failures.
+    pub fn rank(&self) -> Result<Option<Report>, PipelineError> {
+        if self.samples.len() < self.min_samples {
+            return Ok(None);
+        }
+        let window: Vec<Sample> = self.samples.iter().cloned().collect();
+        self.pipeline.rank(window).map(Some)
+    }
+}
+
+impl std::fmt::Debug for WindowedMiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedMiner")
+            .field("pipeline", &self.pipeline)
+            .field("window", &self.window)
+            .field("retained", &self.samples.len())
+            .field("total_seen", &self.total_seen)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleIndex;
+    use sentomist_trace::EventInterval;
+
+    fn sample(seq: u32, features: Vec<f64>) -> Sample {
+        Sample {
+            index: SampleIndex::Seq(seq),
+            interval: EventInterval {
+                irq: 0,
+                start_index: 0,
+                end_index: 1,
+                last_run_index: None,
+                start_cycle: 0,
+                end_cycle: 1,
+                task_count: 0,
+            },
+            features,
+        }
+    }
+
+    fn miner(window: usize) -> WindowedMiner {
+        WindowedMiner::new(Pipeline::default_ocsvm(0.2), window).with_min_samples(10)
+    }
+
+    #[test]
+    fn below_minimum_yields_no_report() {
+        let mut m = miner(100);
+        for i in 0..9 {
+            m.push(sample(i, vec![1.0, 2.0]));
+        }
+        assert!(m.rank().unwrap().is_none());
+        m.push(sample(9, vec![1.0, 2.0]));
+        assert!(m.rank().unwrap().is_some());
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut m = miner(16);
+        for i in 0..40 {
+            m.push(sample(i, vec![i as f64]));
+        }
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.total_seen(), 40);
+        let report = m.rank().unwrap().unwrap();
+        // Only the last 16 samples are present.
+        assert!(report
+            .ranking
+            .iter()
+            .all(|r| matches!(r.index, SampleIndex::Seq(s) if s >= 24)));
+    }
+
+    #[test]
+    fn recent_outlier_surfaces_in_window_ranking() {
+        let mut m = miner(64);
+        for i in 0..50 {
+            m.push(sample(i, vec![5.0 + (i % 3) as f64 * 0.01, 1.0]));
+        }
+        m.push(sample(50, vec![50.0, -7.0]));
+        let report = m.rank().unwrap().unwrap();
+        assert_eq!(report.ranking[0].index, SampleIndex::Seq(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        WindowedMiner::new(Pipeline::default_ocsvm(0.1), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The symptom-mining pipeline: scale → detect → normalize → rank.
+
+use crate::report::{RankedSample, Report};
+use crate::sample::Sample;
+use mlcore::{normalize_scores, rank_ascending, MlError, OutlierDetector, OneClassSvm, Scaler};
+use std::error::Error;
+use std::fmt;
+
+/// Pipeline failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// No samples were supplied.
+    NoSamples,
+    /// Samples disagree on feature dimensionality.
+    DimensionMismatch,
+    /// The plug-in detector failed.
+    Detector(MlError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoSamples => f.write_str("no samples to rank"),
+            PipelineError::DimensionMismatch => {
+                f.write_str("samples have mismatched feature dimensions")
+            }
+            PipelineError::Detector(e) => write!(f, "detector failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Detector(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for PipelineError {
+    fn from(e: MlError) -> Self {
+        PipelineError::Detector(e)
+    }
+}
+
+/// The back-end of Sentomist: feeds instruction counters to a plug-in
+/// outlier detector and ranks the intervals by suspicion.
+///
+/// # Examples
+///
+/// ```
+/// use mlcore::OneClassSvm;
+/// use sentomist_core::{Pipeline, Sample, SampleIndex};
+/// # use sentomist_trace::EventInterval;
+/// # fn iv() -> EventInterval {
+/// #     EventInterval { irq: 0, start_index: 0, end_index: 1, last_run_index: None,
+/// #         start_cycle: 0, end_cycle: 1, task_count: 0 }
+/// # }
+///
+/// let mut samples: Vec<Sample> = (0..30)
+///     .map(|i| Sample {
+///         index: SampleIndex::Seq(i + 1),
+///         interval: iv(),
+///         features: vec![10.0, (i % 3) as f64],
+///     })
+///     .collect();
+/// samples.push(Sample {
+///     index: SampleIndex::Seq(31),
+///     interval: iv(),
+///     features: vec![55.0, 9.0], // the odd one out
+/// });
+/// let pipeline = Pipeline::new(Box::new(OneClassSvm::with_nu(0.1)));
+/// let report = pipeline.rank(samples)?;
+/// assert_eq!(report.ranking[0].index, SampleIndex::Seq(31));
+/// # Ok::<(), sentomist_core::PipelineError>(())
+/// ```
+pub struct Pipeline {
+    detector: Box<dyn OutlierDetector>,
+    scale: bool,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given detector and min-max scaling on.
+    pub fn new(detector: Box<dyn OutlierDetector>) -> Pipeline {
+        Pipeline {
+            detector,
+            scale: true,
+        }
+    }
+
+    /// The paper's default configuration: one-class SVM (RBF, ν as given)
+    /// over min-max-scaled counters.
+    pub fn default_ocsvm(nu: f64) -> Pipeline {
+        Pipeline::new(Box::new(OneClassSvm::with_nu(nu)))
+    }
+
+    /// Disables feature scaling (for ablation).
+    pub fn without_scaling(mut self) -> Pipeline {
+        self.scale = false;
+        self
+    }
+
+    /// The plug-in detector's name.
+    pub fn detector_name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    /// Scores and ranks the samples, most suspicious first. Scores are
+    /// normalized so the largest positive score is 1 (the paper's Figure-5
+    /// convention).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoSamples`] / [`PipelineError::DimensionMismatch`]
+    /// on bad input; [`PipelineError::Detector`] if the detector fails.
+    pub fn rank(&self, samples: Vec<Sample>) -> Result<Report, PipelineError> {
+        if samples.is_empty() {
+            return Err(PipelineError::NoSamples);
+        }
+        let d = samples[0].features.len();
+        if samples.iter().any(|s| s.features.len() != d) {
+            return Err(PipelineError::DimensionMismatch);
+        }
+        let features: Vec<Vec<f64>> = if self.scale {
+            let raw: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+            Scaler::fit_transform(&raw)
+        } else {
+            samples.iter().map(|s| s.features.clone()).collect()
+        };
+        let mut scores = self.detector.score(&features)?;
+        normalize_scores(&mut scores);
+        let order = rank_ascending(&scores);
+        let ranking = order
+            .into_iter()
+            .map(|i| RankedSample {
+                index: samples[i].index,
+                score: scores[i],
+                interval: samples[i].interval,
+            })
+            .collect();
+        Ok(Report {
+            detector: self.detector.name().to_string(),
+            ranking,
+        })
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("detector", &self.detector.name())
+            .field("scale", &self.scale)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleIndex;
+    use sentomist_trace::EventInterval;
+
+    fn iv() -> EventInterval {
+        EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        }
+    }
+
+    fn sample(seq: u32, features: Vec<f64>) -> Sample {
+        Sample {
+            index: SampleIndex::Seq(seq),
+            interval: iv(),
+            features,
+        }
+    }
+
+    fn cluster_plus_outlier() -> Vec<Sample> {
+        let mut v: Vec<Sample> = (0..40)
+            .map(|i| sample(i + 1, vec![100.0 + (i % 4) as f64, 50.0, (i % 3) as f64]))
+            .collect();
+        v.push(sample(41, vec![200.0, 50.0, 9.0]));
+        v
+    }
+
+    #[test]
+    fn outlier_ranks_first_and_scores_normalized() {
+        let report = Pipeline::default_ocsvm(0.1)
+            .rank(cluster_plus_outlier())
+            .unwrap();
+        assert_eq!(report.ranking[0].index, SampleIndex::Seq(41));
+        let max = report
+            .ranking
+            .iter()
+            .map(|r| r.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - 1.0).abs() < 1e-9, "largest positive score is 1");
+        assert!(report.ranking[0].score < report.ranking.last().unwrap().score);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(
+            Pipeline::default_ocsvm(0.1).rank(vec![]).unwrap_err(),
+            PipelineError::NoSamples
+        );
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        let samples = vec![sample(1, vec![1.0]), sample(2, vec![1.0, 2.0])];
+        assert_eq!(
+            Pipeline::default_ocsvm(0.5).rank(samples).unwrap_err(),
+            PipelineError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn alternative_detectors_plug_in() {
+        // Cluster with two perfectly correlated dimensions; the outlier
+        // breaks the correlation (stays in range, so scaling does not mask
+        // it) — a shape every detector family should flag.
+        let mut samples: Vec<Sample> = (0..40)
+            .map(|i| {
+                let t = (i % 5) as f64;
+                sample(i + 1, vec![100.0 + t, 50.0, 10.0 + t])
+            })
+            .collect();
+        samples.push(sample(41, vec![103.0, 50.0, 2.0]));
+        for det in [
+            Box::new(mlcore::KnnDetector::default()) as Box<dyn OutlierDetector>,
+            Box::new(mlcore::PcaDetector::default()),
+            Box::new(mlcore::MahalanobisDetector::default()),
+            Box::new(mlcore::OneClassSvm::with_nu(0.1)),
+        ] {
+            let name = det.name();
+            let report = Pipeline::new(det).rank(samples.clone()).unwrap();
+            assert_eq!(
+                report.ranking[0].index,
+                SampleIndex::Seq(41),
+                "detector {name} should still find the outlier"
+            );
+            assert_eq!(report.detector, name);
+        }
+    }
+
+    #[test]
+    fn scaling_ablation_changes_nothing_for_prescaled_data() {
+        // Features already in [0,1]: scaled and unscaled agree on ranking.
+        let samples: Vec<Sample> = (0..20)
+            .map(|i| sample(i + 1, vec![(i % 2) as f64 * 0.01, 0.5]))
+            .chain(std::iter::once(sample(21, vec![1.0, 0.0])))
+            .collect();
+        let with = Pipeline::default_ocsvm(0.1).rank(samples.clone()).unwrap();
+        let without = Pipeline::default_ocsvm(0.1)
+            .without_scaling()
+            .rank(samples)
+            .unwrap();
+        assert_eq!(with.ranking[0].index, without.ranking[0].index);
+    }
+
+    #[test]
+    fn deterministic_ranking() {
+        let a = Pipeline::default_ocsvm(0.1)
+            .rank(cluster_plus_outlier())
+            .unwrap();
+        let b = Pipeline::default_ocsvm(0.1)
+            .rank(cluster_plus_outlier())
+            .unwrap();
+        let ia: Vec<_> = a.ranking.iter().map(|r| r.index).collect();
+        let ib: Vec<_> = b.ranking.iter().map(|r| r.index).collect();
+        assert_eq!(ia, ib);
+    }
+}

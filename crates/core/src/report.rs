@@ -1,0 +1,163 @@
+//! Ranking reports rendered in the style of the paper's Figure 5.
+
+use crate::sample::SampleIndex;
+use sentomist_trace::EventInterval;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One ranked sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedSample {
+    /// Table label.
+    pub index: SampleIndex,
+    /// Normalized score (largest positive = 1.0); lower = more suspicious.
+    pub score: f64,
+    /// The underlying interval.
+    pub interval: EventInterval,
+}
+
+/// The ranked output of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Name of the detector that produced the scores.
+    pub detector: String,
+    /// Samples in ascending score order (most suspicious first).
+    pub ranking: Vec<RankedSample>,
+}
+
+impl Report {
+    /// 1-based rank of the sample labeled `index`, if present.
+    pub fn rank_of(&self, index: SampleIndex) -> Option<usize> {
+        self.ranking
+            .iter()
+            .position(|r| r.index == index)
+            .map(|p| p + 1)
+    }
+
+    /// The `k` most suspicious samples.
+    pub fn top(&self, k: usize) -> &[RankedSample] {
+        &self.ranking[..k.min(self.ranking.len())]
+    }
+
+    /// Serializes the full ranking as CSV (`rank,index,score,irq,
+    /// start_cycle,end_cycle,tasks`), for external plotting.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("rank,index,score,irq,start_cycle,end_cycle,tasks\n");
+        for (i, r) in self.ranking.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                i + 1,
+                r.index,
+                r.score,
+                r.interval.irq,
+                r.interval.start_cycle,
+                r.interval.end_cycle,
+                r.interval.task_count,
+            );
+        }
+        out
+    }
+
+    /// Renders a Figure-5-style two-column table: the `head` most
+    /// suspicious rows, an ellipsis, and the `tail` least suspicious rows.
+    pub fn table(&self, head: usize, tail: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>16}  {:>8}", "Instance Index", "Score");
+        let n = self.ranking.len();
+        let head = head.min(n);
+        for r in &self.ranking[..head] {
+            let _ = writeln!(out, "{:>16}  {:>8.4}", r.index.to_string(), r.score);
+        }
+        if head + tail < n {
+            let _ = writeln!(out, "{:>16}  {:>8}", "...", "...");
+        }
+        let tail_start = n.saturating_sub(tail).max(head);
+        for r in &self.ranking[tail_start..] {
+            let _ = writeln!(out, "{:>16}  {:>8.4}", r.index.to_string(), r.score);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv() -> EventInterval {
+        EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        }
+    }
+
+    fn report() -> Report {
+        Report {
+            detector: "ocsvm".into(),
+            ranking: vec![
+                RankedSample {
+                    index: SampleIndex::RunSeq { run: 1, seq: 76 },
+                    score: -1.5554,
+                    interval: iv(),
+                },
+                RankedSample {
+                    index: SampleIndex::RunSeq { run: 1, seq: 176 },
+                    score: -0.5291,
+                    interval: iv(),
+                },
+                RankedSample {
+                    index: SampleIndex::RunSeq { run: 1, seq: 153 },
+                    score: 1.0,
+                    interval: iv(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rank_of_is_one_based() {
+        let r = report();
+        assert_eq!(r.rank_of(SampleIndex::RunSeq { run: 1, seq: 76 }), Some(1));
+        assert_eq!(r.rank_of(SampleIndex::RunSeq { run: 1, seq: 153 }), Some(3));
+        assert_eq!(r.rank_of(SampleIndex::Seq(9)), None);
+    }
+
+    #[test]
+    fn table_contains_head_ellipsis_tail() {
+        let t = report().table(1, 1);
+        assert!(t.contains("[1, 76]"));
+        assert!(t.contains("..."));
+        assert!(t.contains("[1, 153]"));
+        assert!(!t.contains("[1, 176]"));
+        assert!(t.contains("-1.5554"));
+        assert!(t.contains("1.0000"));
+    }
+
+    #[test]
+    fn table_handles_small_reports() {
+        let t = report().table(10, 10);
+        assert!(!t.contains("..."));
+        assert_eq!(t.lines().count(), 4); // header + 3 rows
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("rank,index,score"));
+        assert!(lines[1].starts_with("1,[1, 76],-1.5554"));
+    }
+
+    #[test]
+    fn top_clamps() {
+        assert_eq!(report().top(100).len(), 3);
+        assert_eq!(report().top(2).len(), 2);
+    }
+}

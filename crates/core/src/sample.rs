@@ -1,0 +1,148 @@
+//! Samples: featurized event-handling intervals with human-readable
+//! indices.
+
+use sentomist_trace::{extract, CounterTable, EventInterval, ExtractError, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a sample is labeled in ranking tables — matching the three index
+/// styles of the paper's Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SampleIndex {
+    /// `[run, seq]` — case study I labels samples by testing run and
+    /// chronological order within the run.
+    RunSeq {
+        /// Testing-run index (1-based in the paper).
+        run: u32,
+        /// Chronological order within the run (1-based).
+        seq: u32,
+    },
+    /// Bare chronological index — case study II.
+    Seq(u32),
+    /// `[node, seq]` — case study III labels samples by node id and
+    /// per-node chronological order.
+    NodeSeq {
+        /// Node id.
+        node: u16,
+        /// Chronological order on that node (1-based).
+        seq: u32,
+    },
+}
+
+impl fmt::Display for SampleIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleIndex::RunSeq { run, seq } => write!(f, "[{run}, {seq}]"),
+            SampleIndex::Seq(s) => write!(f, "{s}"),
+            SampleIndex::NodeSeq { node, seq } => write!(f, "[{node}, {seq}]"),
+        }
+    }
+}
+
+/// One featurized event-handling interval, ready for outlier detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Table label.
+    pub index: SampleIndex,
+    /// The underlying interval.
+    pub interval: EventInterval,
+    /// Raw (unscaled) instruction-counter features — Definition 4.
+    pub features: Vec<f64>,
+}
+
+/// Harvests the samples of one event type from a recorded trace:
+/// anatomizes the trace (Figure 4), featurizes each interval of `irq`
+/// (Definition 4), and labels them via `label(seq, interval)` with `seq`
+/// the 1-based chronological order.
+///
+/// # Errors
+///
+/// Propagates [`ExtractError`] for ill-formed traces.
+///
+/// # Examples
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use tinyvm::{asm, devices::NodeConfig, node::Node};
+/// # use sentomist_core::sample::{harvest, SampleIndex};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let program = Arc::new(asm::assemble("\
+/// # .handler TIMER0 h
+/// # main:
+/// #  ldi r1, 4
+/// #  out TIMER0_PERIOD, r1
+/// #  ldi r1, 1
+/// #  out TIMER0_CTRL, r1
+/// #  ret
+/// # h:
+/// #  reti
+/// # ")?);
+/// let mut node = Node::new(program.clone(), NodeConfig::default());
+/// let mut rec = sentomist_trace::Recorder::new(program.len());
+/// node.run(200_000, &mut rec)?;
+/// let trace = rec.into_trace();
+/// let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |seq, _| {
+///     SampleIndex::Seq(seq)
+/// })?;
+/// assert!(!samples.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn harvest(
+    trace: &Trace,
+    irq: u8,
+    mut label: impl FnMut(u32, &EventInterval) -> SampleIndex,
+) -> Result<Vec<Sample>, ExtractError> {
+    let extraction = extract(trace)?;
+    let table = CounterTable::new(trace);
+    Ok(extraction
+        .for_irq(irq)
+        .into_iter()
+        .enumerate()
+        .map(|(i, interval)| Sample {
+            index: label(i as u32 + 1, &interval),
+            features: table.features(&interval),
+            interval,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_display_matches_figure_5() {
+        assert_eq!(SampleIndex::RunSeq { run: 1, seq: 76 }.to_string(), "[1, 76]");
+        assert_eq!(SampleIndex::Seq(20).to_string(), "20");
+        assert_eq!(SampleIndex::NodeSeq { node: 8, seq: 2 }.to_string(), "[8, 2]");
+    }
+
+    #[test]
+    fn harvest_labels_sequentially() {
+        use sentomist_trace::TraceEvent;
+        use tinyvm::LifecycleItem;
+        let items = [
+            LifecycleItem::Int(0),
+            LifecycleItem::Reti,
+            LifecycleItem::Int(0),
+            LifecycleItem::Reti,
+        ];
+        let trace = Trace {
+            events: items
+                .iter()
+                .enumerate()
+                .map(|(i, &item)| TraceEvent {
+                    cycle: i as u64,
+                    item,
+                })
+                .collect(),
+            segments: vec![vec![0]; 5],
+            program_len: 1,
+        };
+        let samples = harvest(&trace, 0, |seq, _| SampleIndex::Seq(seq)).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].index, SampleIndex::Seq(1));
+        assert_eq!(samples[1].index, SampleIndex::Seq(2));
+    }
+}

@@ -1,0 +1,136 @@
+//! The plug-in outlier-detector interface (paper Section VI-E: "Sentomist
+//! can actually plug in these outlier detection algorithms conveniently").
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure of an outlier detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// No samples (or fewer than the detector requires).
+    TooFewSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Samples of inconsistent dimensionality.
+    RaggedSamples,
+    /// An invalid hyperparameter.
+    BadParameter(String),
+    /// A numeric routine failed.
+    Numeric(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::TooFewSamples { got, need } => {
+                write!(f, "need at least {need} samples, got {got}")
+            }
+            MlError::RaggedSamples => f.write_str("samples have inconsistent dimensions"),
+            MlError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            MlError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+/// An unsupervised outlier detector over a fixed sample set.
+///
+/// Implementations fit on the given samples and return one score per
+/// sample, **lower = more suspicious**. For the one-class SVM the score is
+/// the signed distance to the decision boundary (negative on the outlier
+/// side — exactly the ranking quantity of the paper's Figure 5); other
+/// detectors return negated distances or reconstruction errors so that the
+/// ordering convention matches.
+pub trait OutlierDetector {
+    /// A short, stable identifier ("ocsvm", "pca", ...).
+    fn name(&self) -> &'static str;
+
+    /// Scores every sample; `scores[i]` corresponds to `samples[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] on empty/ragged input or solver failure.
+    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError>;
+}
+
+/// Validates a sample set: non-empty and rectangular. Returns the
+/// dimensionality.
+pub fn validate_samples(samples: &[Vec<f64>], need: usize) -> Result<usize, MlError> {
+    if samples.len() < need {
+        return Err(MlError::TooFewSamples {
+            got: samples.len(),
+            need,
+        });
+    }
+    let d = samples[0].len();
+    if samples.iter().any(|s| s.len() != d) {
+        return Err(MlError::RaggedSamples);
+    }
+    Ok(d)
+}
+
+/// Normalizes scores the way the paper's Figure 5 does: divide everything
+/// by the largest positive score so the most-normal sample scores 1.0.
+/// Scores are unchanged if no score is positive.
+pub fn normalize_scores(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= max;
+        }
+    }
+}
+
+/// Returns sample indices sorted ascending by score (most suspicious
+/// first), ties broken by index for determinism.
+pub fn rank_ascending(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_makes_max_one() {
+        let mut s = vec![-2.0, 0.5, 4.0];
+        normalize_scores(&mut s);
+        assert_eq!(s, vec![-0.5, 0.125, 1.0]);
+    }
+
+    #[test]
+    fn normalize_no_positive_is_identity() {
+        let mut s = vec![-3.0, -1.0];
+        normalize_scores(&mut s);
+        assert_eq!(s, vec![-3.0, -1.0]);
+    }
+
+    #[test]
+    fn rank_is_ascending_and_stable() {
+        let order = rank_ascending(&[0.5, -1.0, 0.5, -2.0]);
+        assert_eq!(order, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn validate_catches_ragged() {
+        let e = validate_samples(&[vec![1.0], vec![1.0, 2.0]], 1).unwrap_err();
+        assert_eq!(e, MlError::RaggedSamples);
+    }
+
+    #[test]
+    fn validate_catches_too_few() {
+        let e = validate_samples(&[vec![1.0]], 2).unwrap_err();
+        assert!(matches!(e, MlError::TooFewSamples { got: 1, need: 2 }));
+    }
+}

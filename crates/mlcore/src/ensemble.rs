@@ -1,0 +1,179 @@
+//! Rank-averaging detector ensemble — an extension beyond the paper,
+//! motivated by a measured weakness: when a transient bug fires often
+//! enough that its symptom intervals form a dense cluster, density-based
+//! detectors (one-class SVM, kNN, KDE) absorb the cluster as a second
+//! normal mode, while the global-covariance Mahalanobis detector still
+//! flags it; conversely, plain PCA can be masked where the others are
+//! fine. Averaging the detectors' *rank percentiles* (not their
+//! incomparable raw scores) keeps the symptoms near the top as long as
+//! at least some members see them.
+
+use crate::detector::{rank_ascending, MlError, OutlierDetector};
+use crate::{KnnDetector, MahalanobisDetector, OneClassSvm};
+
+/// An ensemble scoring each sample by its mean rank percentile across
+/// member detectors (0 = unanimously most suspicious).
+///
+/// # Examples
+///
+/// ```
+/// use mlcore::{EnsembleDetector, OutlierDetector, rank_ascending};
+///
+/// let mut samples: Vec<Vec<f64>> =
+///     (0..30).map(|i| vec![(i % 5) as f64 * 0.1, 0.0]).collect();
+/// samples.push(vec![7.0, -7.0]);
+/// let scores = EnsembleDetector::committee(0.1).score(&samples)?;
+/// assert_eq!(rank_ascending(&scores)[0], 30);
+/// # Ok::<(), mlcore::MlError>(())
+/// ```
+pub struct EnsembleDetector {
+    members: Vec<Box<dyn OutlierDetector>>,
+}
+
+impl EnsembleDetector {
+    /// Creates an ensemble from explicit members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn OutlierDetector>>) -> EnsembleDetector {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        EnsembleDetector { members }
+    }
+
+    /// The default committee: one-class SVM (boundary-based), Mahalanobis
+    /// (global covariance) and kNN (local density) — three different
+    /// failure modes.
+    pub fn committee(nu: f64) -> EnsembleDetector {
+        EnsembleDetector::new(vec![
+            Box::new(OneClassSvm::with_nu(nu)),
+            Box::new(MahalanobisDetector::default()),
+            Box::new(KnnDetector::default()),
+        ])
+    }
+
+    /// Number of member detectors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Converts scores to rank percentiles in `[0, 1]`, giving *tied* samples
+/// the mean percentile of their tie group. Ties are detected with a
+/// tolerance relative to the score magnitude, so a member whose scores
+/// are pure numerical noise (all values within rounding of one another)
+/// contributes a flat 0.5 to everyone instead of an index-ordered ramp
+/// that would drown the informative members.
+fn tie_aware_percentiles(scores: &[f64]) -> Vec<(usize, f64)> {
+    let l = scores.len();
+    if l <= 1 {
+        return scores.iter().enumerate().map(|(i, _)| (i, 0.0)).collect();
+    }
+    let order = rank_ascending(scores);
+    let max_abs = scores.iter().fold(0.0f64, |m, s| m.max(s.abs()));
+    let tol = 1e-9 * max_abs.max(1.0);
+    let mut out = Vec::with_capacity(l);
+    let mut group_start = 0usize;
+    while group_start < l {
+        let mut group_end = group_start;
+        while group_end + 1 < l
+            && scores[order[group_end + 1]] - scores[order[group_end]] <= tol
+        {
+            group_end += 1;
+        }
+        let mean_rank = (group_start + group_end) as f64 / 2.0;
+        let pct = mean_rank / (l - 1) as f64;
+        for &idx in &order[group_start..=group_end] {
+            out.push((idx, pct));
+        }
+        group_start = group_end + 1;
+    }
+    out
+}
+
+impl std::fmt::Debug for EnsembleDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleDetector")
+            .field(
+                "members",
+                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl OutlierDetector for EnsembleDetector {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        let l = samples.len();
+        let mut mean_percentile = vec![0.0f64; l];
+        for member in &self.members {
+            let scores = member.score(samples)?;
+            for (idx, pct) in tie_aware_percentiles(&scores) {
+                mean_percentile[idx] += pct / self.members.len() as f64;
+            }
+        }
+        Ok(mean_percentile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::rank_ascending;
+
+    #[test]
+    fn committee_finds_a_plain_outlier() {
+        let mut pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 5) as f64 * 0.1, (i % 3) as f64 * 0.1])
+            .collect();
+        pts.push(vec![8.0, -8.0]);
+        let scores = EnsembleDetector::committee(0.1).score(&pts).unwrap();
+        assert_eq!(rank_ascending(&scores)[0], 30);
+    }
+
+    #[test]
+    fn one_dissenting_member_cannot_bury_a_unanimous_top() {
+        // Member A ranks sample 0 first; member B ranks it last; the
+        // ensemble places it mid-pack — never silently last.
+        struct Fixed(Vec<f64>);
+        impl OutlierDetector for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn score(&self, _s: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+                Ok(self.0.clone())
+            }
+        }
+        let a = Fixed(vec![-1.0, 0.0, 1.0, 2.0]);
+        let b = Fixed(vec![2.0, 0.0, 1.0, -1.0]);
+        let ensemble = EnsembleDetector::new(vec![Box::new(a), Box::new(b)]);
+        let scores = ensemble.score(&vec![vec![0.0]; 4]).unwrap();
+        // Samples 0 and 3 tie mid-pack; 1 is unanimously second.
+        assert!((scores[0] - scores[3]).abs() < 1e-12);
+        assert!(scores[1] < scores[0]);
+    }
+
+    #[test]
+    fn percentiles_bounded() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let scores = EnsembleDetector::committee(0.3).score(&pts).unwrap();
+        for s in scores {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        EnsembleDetector::new(Vec::new());
+    }
+}

@@ -1,0 +1,259 @@
+//! Ranking-quality metrics for outlier detection, used by the ablation
+//! and inspection-effort studies: precision/recall at k, average
+//! precision, ROC-AUC, and the expected manual-inspection cost that the
+//! paper's evaluation argues Sentomist reduces.
+
+/// Precision among the first `k` ranked items: fraction that are relevant.
+///
+/// `ranked` is the ranking (most suspicious first) as item identifiers;
+/// `relevant(i)` says whether an item is a true symptom. Returns 0 for
+/// `k == 0`.
+pub fn precision_at_k<T>(ranked: &[T], k: usize, mut relevant: impl FnMut(&T) -> bool) -> f64 {
+    let k = k.min(ranked.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked[..k].iter().filter(|x| relevant(x)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall among the first `k` ranked items: fraction of all relevant items
+/// found. Returns 1 when there are no relevant items (nothing to find).
+pub fn recall_at_k<T>(ranked: &[T], k: usize, mut relevant: impl FnMut(&T) -> bool) -> f64 {
+    let total = ranked.iter().filter(|x| relevant(x)).count();
+    if total == 0 {
+        return 1.0;
+    }
+    let k = k.min(ranked.len());
+    let hits = ranked[..k].iter().filter(|x| relevant(x)).count();
+    hits as f64 / total as f64
+}
+
+/// Average precision (area under the precision-recall curve, interpolated
+/// at each relevant item). Returns 1 when there are no relevant items.
+pub fn average_precision<T>(ranked: &[T], relevant: impl FnMut(&T) -> bool) -> f64 {
+    let flags: Vec<bool> = ranked.iter().map(relevant).collect();
+    let total = flags.iter().filter(|&&f| f).count();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total as f64
+}
+
+/// ROC-AUC of the ranking: the probability that a uniformly random
+/// relevant item is ranked above a uniformly random irrelevant one
+/// (ties in rank cannot occur since a ranking is a permutation).
+/// Returns 0.5 when either class is empty.
+pub fn roc_auc<T>(ranked: &[T], relevant: impl FnMut(&T) -> bool) -> f64 {
+    let flags: Vec<bool> = ranked.iter().map(relevant).collect();
+    let positives = flags.iter().filter(|&&f| f).count();
+    let negatives = flags.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // For each positive at position i (0-based), the number of negatives
+    // ranked below it (positions > i) counts as a win.
+    let mut wins = 0usize;
+    let mut negatives_seen = 0usize;
+    for &f in &flags {
+        if f {
+            wins += negatives - negatives_seen;
+        } else {
+            negatives_seen += 1;
+        }
+    }
+    wins as f64 / (positives * negatives) as f64
+}
+
+/// Number of items a human must inspect, following the ranking top-down,
+/// until the first true symptom is seen. `None` if there is none.
+pub fn inspections_until_first<T>(
+    ranked: &[T],
+    relevant: impl FnMut(&T) -> bool,
+) -> Option<usize> {
+    ranked.iter().position(relevant).map(|p| p + 1)
+}
+
+/// Number of items a human must inspect, following the ranking top-down,
+/// until *every* true symptom has been seen. `None` if there are none.
+pub fn inspections_until_all<T>(
+    ranked: &[T],
+    mut relevant: impl FnMut(&T) -> bool,
+) -> Option<usize> {
+    let mut last = None;
+    for (i, x) in ranked.iter().enumerate() {
+        if relevant(x) {
+            last = Some(i + 1);
+        }
+    }
+    last
+}
+
+/// Points of the ROC curve (false-positive rate, true-positive rate),
+/// one per ranking prefix, starting at (0, 0) and ending at (1, 1).
+/// Returns just the endpoints when either class is empty.
+pub fn roc_curve<T>(ranked: &[T], relevant: impl FnMut(&T) -> bool) -> Vec<(f64, f64)> {
+    let flags: Vec<bool> = ranked.iter().map(relevant).collect();
+    let positives = flags.iter().filter(|&&f| f).count();
+    let negatives = flags.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut curve = Vec::with_capacity(flags.len() + 1);
+    curve.push((0.0, 0.0));
+    let (mut tp, mut fp) = (0usize, 0usize);
+    for f in flags {
+        if f {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        curve.push((fp as f64 / negatives as f64, tp as f64 / positives as f64));
+    }
+    curve
+}
+
+/// Points of the precision-recall curve `(recall, precision)`, one per
+/// ranking prefix. Empty when there are no relevant items.
+pub fn pr_curve<T>(ranked: &[T], relevant: impl FnMut(&T) -> bool) -> Vec<(f64, f64)> {
+    let flags: Vec<bool> = ranked.iter().map(relevant).collect();
+    let positives = flags.iter().filter(|&&f| f).count();
+    if positives == 0 {
+        return Vec::new();
+    }
+    let mut curve = Vec::with_capacity(flags.len());
+    let mut tp = 0usize;
+    for (i, f) in flags.into_iter().enumerate() {
+        if f {
+            tp += 1;
+        }
+        curve.push((tp as f64 / positives as f64, tp as f64 / (i + 1) as f64));
+    }
+    curve
+}
+
+/// Expected inspections until the first of `positives` symptoms under a
+/// *uniformly random* inspection order of `total` items — the brute-force
+/// baseline the paper contrasts against: `(total + 1) / (positives + 1)`.
+pub fn expected_random_inspections(total: usize, positives: usize) -> f64 {
+    if positives == 0 {
+        return total as f64;
+    }
+    (total as f64 + 1.0) / (positives as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Ranking of ids; relevant ids in a set.
+    fn rel(set: &[usize]) -> impl FnMut(&usize) -> bool + '_ {
+        move |x| set.contains(x)
+    }
+
+    #[test]
+    fn precision_and_recall_basics() {
+        let ranked = vec![1, 2, 3, 4, 5];
+        assert_eq!(precision_at_k(&ranked, 2, rel(&[1, 5])), 0.5);
+        assert_eq!(precision_at_k(&ranked, 0, rel(&[1])), 0.0);
+        assert_eq!(recall_at_k(&ranked, 2, rel(&[1, 5])), 0.5);
+        assert_eq!(recall_at_k(&ranked, 5, rel(&[1, 5])), 1.0);
+        assert_eq!(recall_at_k(&ranked, 3, rel(&[])), 1.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        let ranked = vec![1, 2, 3, 4];
+        assert_eq!(average_precision(&ranked, rel(&[1, 2])), 1.0);
+        // Both relevant items at the bottom: (1/3 + 2/4) / 2.
+        let ap = average_precision(&ranked, rel(&[3, 4]));
+        assert!((ap - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_extremes_and_middle() {
+        let ranked = vec![1, 2, 3, 4];
+        assert_eq!(roc_auc(&ranked, rel(&[1, 2])), 1.0);
+        assert_eq!(roc_auc(&ranked, rel(&[3, 4])), 0.0);
+        assert_eq!(roc_auc(&ranked, rel(&[1, 4])), 0.5);
+        assert_eq!(roc_auc(&ranked, rel(&[])), 0.5);
+    }
+
+    #[test]
+    fn inspection_counts() {
+        let ranked = vec![10, 20, 30, 40];
+        assert_eq!(inspections_until_first(&ranked, rel(&[30])), Some(3));
+        assert_eq!(inspections_until_all(&ranked, rel(&[10, 30])), Some(3));
+        assert_eq!(inspections_until_first(&ranked, rel(&[])), None);
+    }
+
+    #[test]
+    fn random_baseline_formula() {
+        // 99 items, 1 positive: expect (99+1)/2 = 50 inspections.
+        assert_eq!(expected_random_inspections(99, 1), 50.0);
+        assert_eq!(expected_random_inspections(10, 0), 10.0);
+    }
+
+    #[test]
+    fn roc_curve_shape_and_auc_consistency() {
+        let ranked = vec![1, 2, 3, 4, 5, 6];
+        let curve = roc_curve(&ranked, rel(&[1, 3]));
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        // Monotone in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+        // Trapezoid integration of the curve equals roc_auc.
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0;
+        }
+        assert!((area - roc_auc(&ranked, rel(&[1, 3]))).abs() < 1e-12);
+        // Degenerate class.
+        assert_eq!(roc_curve(&ranked, rel(&[])), vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn pr_curve_shape() {
+        let ranked = vec![1, 2, 3, 4];
+        let curve = pr_curve(&ranked, rel(&[1, 4]));
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0], (0.5, 1.0));
+        assert_eq!(curve[3], (1.0, 0.5));
+        assert!(pr_curve(&ranked, rel(&[])).is_empty());
+    }
+
+    #[test]
+    fn auc_matches_pairwise_definition_on_example() {
+        let ranked = vec![1, 2, 3, 4, 5, 6];
+        let relevant_set = [2usize, 3, 6];
+        let auc = roc_auc(&ranked, rel(&relevant_set));
+        // Brute force.
+        let mut wins = 0;
+        let mut pairs = 0;
+        for (i, a) in ranked.iter().enumerate() {
+            if !relevant_set.contains(a) {
+                continue;
+            }
+            for (j, b) in ranked.iter().enumerate() {
+                if relevant_set.contains(b) {
+                    continue;
+                }
+                pairs += 1;
+                if i < j {
+                    wins += 1;
+                }
+            }
+        }
+        assert!((auc - wins as f64 / pairs as f64).abs() < 1e-12);
+    }
+}

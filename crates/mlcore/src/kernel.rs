@@ -1,0 +1,121 @@
+//! Kernel functions for the one-class SVM.
+//!
+//! The paper relies on the kernel trick to let the one-class SVM find a
+//! *nonlinear* boundary around the normal samples; the RBF kernel is the
+//! default (as in LIBSVM, which Sentomist plugs in).
+
+use crate::linalg::{dist_sq, dot};
+use serde::{Deserialize, Serialize};
+
+/// A kernel function `k(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `k(x, y) = x · y`.
+    Linear,
+    /// `k(x, y) = exp(-gamma * ||x - y||²)`.
+    Rbf {
+        /// Width parameter; LIBSVM's default is `1 / num_features`.
+        gamma: f64,
+    },
+    /// `k(x, y) = (gamma * x·y + coef0)^degree`.
+    Poly {
+        /// Scale of the inner product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+        /// Polynomial degree.
+        degree: u32,
+    },
+}
+
+impl Kernel {
+    /// The LIBSVM-style default: RBF with `gamma = 1 / num_features`.
+    pub fn rbf_default(num_features: usize) -> Kernel {
+        Kernel::Rbf {
+            gamma: 1.0 / (num_features.max(1) as f64),
+        }
+    }
+
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ.
+    pub fn eval(self, x: &[f64], y: &[f64]) -> f64 {
+        match self {
+            Kernel::Linear => dot(x, y),
+            Kernel::Rbf { gamma } => (-gamma * dist_sq(x, y)).exp(),
+            Kernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(x, y) + coef0).powi(degree as i32),
+        }
+    }
+
+    /// Full Gram matrix of a sample set (row-major, symmetric).
+    pub fn gram(self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let l = samples.len();
+        let mut q = vec![vec![0.0; l]; l];
+        for i in 0..l {
+            for j in i..l {
+                let v = self.eval(&samples[i], &samples[j]);
+                q[i][j] = v;
+                q[j][i] = v;
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_identity_and_decay() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[2.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn poly_matches_formula() {
+        let k = Kernel::Poly {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
+        // (1*2 + 1)^2 = 9 for x·y = 2.
+        assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 9.0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn gram_is_symmetric_with_unit_diagonal_for_rbf() {
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0]];
+        let q = Kernel::rbf_default(1).gram(&pts);
+        for i in 0..3 {
+            assert_eq!(q[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(q[i][j], q[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn rbf_default_gamma() {
+        match Kernel::rbf_default(4) {
+            Kernel::Rbf { gamma } => assert_eq!(gamma, 0.25),
+            _ => unreachable!(),
+        }
+    }
+}

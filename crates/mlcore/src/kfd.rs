@@ -1,0 +1,200 @@
+//! One-class Kernel Fisher Discriminant detector — the second alternative
+//! the paper's §VI-E names explicitly ("Principal Component Analysis and
+//! one-class Kernel Fisher Discriminants").
+//!
+//! Following the one-class KFD construction (Roth, *Kernel Fisher
+//! discriminants for outlier detection*, Neural Computation 2006, in its
+//! Gaussian-model reading): model the data in the kernel-induced feature
+//! space with a Gaussian, i.e. score each sample by its Mahalanobis
+//! distance to the feature-space mean under the empirical covariance
+//! operator. Everything is computable from the centered Gram matrix: with
+//! eigenpairs `(λ_k, u_k)` of the centered Gram `K̃` (so feature-space
+//! principal directions have variance `λ_k / n`), the squared whitened
+//! distance of training sample `i` decomposes along components as
+//!
+//! ```text
+//! d²(x_i) = Σ_k  (u_{k,i}² · λ_k / (λ_k/n + r))   (projection² / variance)
+//! ```
+//!
+//! with a ridge `r` (a fraction of the average eigenvalue mass) playing
+//! the regularization role of the within-class scatter floor. Scores are
+//! the negated distances, so outliers rank first.
+//!
+//! Only the leading eigenpairs carry signal; they are obtained with the
+//! deflated power iteration in [`crate::linalg::top_eigen_psd`], keeping
+//! the detector usable at the thousand-sample scale of case study I.
+
+use crate::detector::{validate_samples, MlError, OutlierDetector};
+use crate::kernel::Kernel;
+use crate::linalg;
+use serde::{Deserialize, Serialize};
+
+/// One-class KFD configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KfdConfig {
+    /// Kernel; `None` selects RBF with `gamma = 1/num_features`.
+    pub kernel: Option<Kernel>,
+    /// Number of leading feature-space components to whiten.
+    pub components: usize,
+    /// Ridge regularization as a fraction of the mean component variance.
+    pub ridge: f64,
+    /// Power-iteration steps per component.
+    pub iterations: usize,
+}
+
+impl Default for KfdConfig {
+    fn default() -> Self {
+        KfdConfig {
+            kernel: None,
+            components: 16,
+            ridge: 0.1,
+            iterations: 200,
+        }
+    }
+}
+
+/// The one-class Kernel Fisher Discriminant detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KfdDetector {
+    /// Configuration.
+    pub config: KfdConfig,
+}
+
+impl KfdDetector {
+    /// Creates a detector with the given number of whitened components.
+    pub fn with_components(components: usize) -> KfdDetector {
+        KfdDetector {
+            config: KfdConfig {
+                components,
+                ..KfdConfig::default()
+            },
+        }
+    }
+}
+
+impl OutlierDetector for KfdDetector {
+    fn name(&self) -> &'static str {
+        "kfd"
+    }
+
+    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        let d = validate_samples(samples, 2)?;
+        if self.config.components == 0 {
+            return Err(MlError::BadParameter("components must be positive".into()));
+        }
+        if self.config.ridge <= 0.0 {
+            return Err(MlError::BadParameter("ridge must be positive".into()));
+        }
+        let kernel = self.config.kernel.unwrap_or(Kernel::rbf_default(d));
+        let n = samples.len();
+        let gram = kernel.gram(samples);
+
+        // Center the Gram matrix: K̃ = K - 1K - K1 + 1K1.
+        let row_mean: Vec<f64> = gram
+            .iter()
+            .map(|row| row.iter().sum::<f64>() / n as f64)
+            .collect();
+        let total_mean: f64 = row_mean.iter().sum::<f64>() / n as f64;
+        let mut centered = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                centered[i][j] = gram[i][j] - row_mean[i] - row_mean[j] + total_mean;
+            }
+        }
+
+        let k = self.config.components.min(n);
+        let (vals, vecs) =
+            linalg::top_eigen_psd(&centered, k, self.config.iterations).map_err(|e| {
+                MlError::Numeric(e.to_string())
+            })?;
+        if vals.is_empty() {
+            // Degenerate data: all samples identical in feature space.
+            return Ok(vec![0.0; n]);
+        }
+        // Mean feature-space variance over the captured components, as the
+        // ridge scale.
+        let mean_var = vals.iter().map(|l| l / n as f64).sum::<f64>() / vals.len() as f64;
+        let ridge = self.config.ridge * mean_var.max(1e-300);
+
+        let scores = (0..n)
+            .map(|i| {
+                let mut dist_sq = 0.0;
+                for (lambda, u) in vals.iter().zip(&vecs) {
+                    let variance = lambda / n as f64;
+                    // Projection of centered φ(x_i) on component k equals
+                    // u_{k,i} · sqrt(λ_k); whitened with (variance + ridge).
+                    let proj_sq = u[i] * u[i] * lambda;
+                    dist_sq += proj_sq / (variance + ridge);
+                }
+                -dist_sq.sqrt()
+            })
+            .collect();
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::rank_ascending;
+
+    fn cluster_with_outlier() -> Vec<Vec<f64>> {
+        let mut pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 5) as f64 * 0.1, (i % 3) as f64 * 0.1])
+            .collect();
+        pts.push(vec![4.0, -4.0]);
+        pts
+    }
+
+    #[test]
+    fn outlier_ranks_first() {
+        let pts = cluster_with_outlier();
+        let scores = KfdDetector::default().score(&pts).unwrap();
+        assert_eq!(rank_ascending(&scores)[0], 30);
+    }
+
+    #[test]
+    fn identical_points_degenerate_ok() {
+        let pts = vec![vec![2.0, 2.0]; 8];
+        let scores = KfdDetector::default().score(&pts).unwrap();
+        assert_eq!(scores, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn two_modes_are_both_normal() {
+        // Two dense clusters plus one isolated point: the isolated point
+        // must rank below both modes.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i % 4) as f64 * 0.02, 0.0]);
+        }
+        for i in 0..12 {
+            pts.push(vec![1.0 + (i % 4) as f64 * 0.02, 1.0]);
+        }
+        pts.push(vec![5.0, -5.0]);
+        let scores = KfdDetector::default().score(&pts).unwrap();
+        let order = rank_ascending(&scores);
+        assert_eq!(order[0], 32);
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(KfdDetector::with_components(0).score(&pts).is_err());
+        let bad_ridge = KfdDetector {
+            config: KfdConfig {
+                ridge: 0.0,
+                ..KfdConfig::default()
+            },
+        };
+        assert!(bad_ridge.score(&pts).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = cluster_with_outlier();
+        let a = KfdDetector::default().score(&pts).unwrap();
+        let b = KfdDetector::default().score(&pts).unwrap();
+        assert_eq!(a, b);
+    }
+}

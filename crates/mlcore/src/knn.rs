@@ -1,0 +1,111 @@
+//! k-nearest-neighbor distance outlier detector.
+//!
+//! Scores each sample by the negated mean Euclidean distance to its `k`
+//! nearest neighbors within the sample set — a classic density-based
+//! baseline for the detector-ablation study.
+
+use crate::detector::{validate_samples, MlError, OutlierDetector};
+use crate::linalg::dist_sq;
+use serde::{Deserialize, Serialize};
+
+/// kNN detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbors (clamped to `samples - 1` at scoring time).
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 5 }
+    }
+}
+
+/// The kNN-distance detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnDetector {
+    /// Configuration.
+    pub config: KnnConfig,
+}
+
+impl KnnDetector {
+    /// Creates a detector with the given neighbor count.
+    pub fn with_k(k: usize) -> KnnDetector {
+        KnnDetector {
+            config: KnnConfig { k },
+        }
+    }
+}
+
+impl OutlierDetector for KnnDetector {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        validate_samples(samples, 2)?;
+        if self.config.k == 0 {
+            return Err(MlError::BadParameter("k must be positive".into()));
+        }
+        let k = self.config.k.min(samples.len() - 1);
+        let scores = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut dists: Vec<f64> = samples
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, o)| dist_sq(s, o))
+                    .collect();
+                dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let mean: f64 =
+                    dists.iter().take(k).map(|d| d.sqrt()).sum::<f64>() / k as f64;
+                -mean
+            })
+            .collect();
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::rank_ascending;
+
+    #[test]
+    fn isolated_point_ranks_first() {
+        let mut pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![(i % 3) as f64 * 0.1, (i % 4) as f64 * 0.1])
+            .collect();
+        pts.push(vec![9.0, 9.0]);
+        let scores = KnnDetector::default().score(&pts).unwrap();
+        assert_eq!(rank_ascending(&scores)[0], 10);
+    }
+
+    #[test]
+    fn k_clamped_to_sample_count() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let scores = KnnDetector::with_k(100).score(&pts).unwrap();
+        assert_eq!(scores.len(), 3);
+        // Middle point is closest to both others.
+        assert!(scores[1] > scores[0]);
+        assert!(scores[1] > scores[2]);
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(matches!(
+            KnnDetector::with_k(0).score(&pts),
+            Err(MlError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_score_zero() {
+        let pts = vec![vec![3.0, 3.0]; 6];
+        let scores = KnnDetector::with_k(2).score(&pts).unwrap();
+        assert_eq!(scores, vec![0.0; 6]);
+    }
+}

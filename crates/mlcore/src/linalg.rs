@@ -1,0 +1,472 @@
+//! Small dense linear-algebra helpers: vector ops, covariance, a Jacobi
+//! eigensolver for symmetric matrices, and Cholesky factorization.
+//!
+//! Everything operates on `Vec<f64>`/row-major `Vec<Vec<f64>>`; dimensions
+//! in this project are small (instruction counters of a few hundred
+//! entries), so clarity beats blocking and SIMD.
+//!
+//! Index-based loops are deliberate here: matrix kernels read much more
+//! naturally with explicit `(i, j, k)` indices than with iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Numeric failure in a linear-algebra routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Input matrix was empty or ragged.
+    BadShape,
+    /// Cholesky factorization hit a non-positive pivot (matrix not
+    /// positive definite).
+    NotPositiveDefinite,
+    /// The Jacobi sweep limit was reached before convergence.
+    NoConvergence,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::BadShape => f.write_str("empty or ragged matrix"),
+            LinalgError::NotPositiveDefinite => f.write_str("matrix is not positive definite"),
+            LinalgError::NoConvergence => f.write_str("eigensolver did not converge"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean of a set of row vectors.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or ragged.
+pub fn mean(rows: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!rows.is_empty());
+    let d = rows[0].len();
+    let mut m = vec![0.0; d];
+    for r in rows {
+        assert_eq!(r.len(), d, "ragged rows");
+        for (mi, &v) in m.iter_mut().zip(r) {
+            *mi += v;
+        }
+    }
+    let n = rows.len() as f64;
+    for mi in &mut m {
+        *mi /= n;
+    }
+    m
+}
+
+/// Sample covariance matrix (divisor `n`, not `n-1`, matching the
+/// population form used by the detectors; shrinkage dominates the
+/// difference in practice).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or ragged.
+pub fn covariance(rows: &[Vec<f64>], mean: &[f64]) -> Vec<Vec<f64>> {
+    let d = mean.len();
+    let n = rows.len() as f64;
+    let mut cov = vec![vec![0.0; d]; d];
+    for r in rows {
+        for i in 0..d {
+            let di = r[i] - mean[i];
+            for j in i..d {
+                cov[i][j] += di * (r[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            cov[i][j] /= n;
+            cov[j][i] = cov[i][j];
+        }
+    }
+    cov
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// `eigenvectors[k]` is the unit eigenvector of `eigenvalues[k]`.
+///
+/// # Errors
+///
+/// [`LinalgError::BadShape`] for empty/ragged input;
+/// [`LinalgError::NoConvergence`] if 100 sweeps do not reduce the
+/// off-diagonal mass below tolerance.
+pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>), LinalgError> {
+    let n = matrix.len();
+    if n == 0 || matrix.iter().any(|r| r.len() != n) {
+        return Err(LinalgError::BadShape);
+    }
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    // v starts as identity; columns accumulate the rotations.
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    let off = |a: &[Vec<f64>]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += a[i][j] * a[i][j];
+            }
+        }
+        s
+    };
+    let scale: f64 = (0..n).map(|i| a[i][i].abs()).sum::<f64>().max(1e-300);
+    let tol = 1e-20 * scale * scale;
+
+    for _sweep in 0..100 {
+        if off(&a) <= tol {
+            let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+                .map(|k| (a[k][k], (0..n).map(|r| v[r][k]).collect()))
+                .collect();
+            pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+            let (vals, vecs) = pairs.into_iter().unzip();
+            return Ok((vals, vecs));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vkp = row[p];
+                    let vkq = row[q];
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence)
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower-triangular factor `L`.
+///
+/// # Errors
+///
+/// [`LinalgError::BadShape`] for empty/ragged input;
+/// [`LinalgError::NotPositiveDefinite`] on a non-positive pivot.
+pub fn cholesky(matrix: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
+    let n = matrix.len();
+    if n == 0 || matrix.iter().any(|r| r.len() != n) {
+        return Err(LinalgError::BadShape);
+    }
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = matrix[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L Lᵀ x = b` given the Cholesky factor `L`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = l.len();
+    assert_eq!(b.len(), n);
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+/// Top-`k` eigenpairs of a symmetric positive-semidefinite matrix by
+/// power iteration with deflation — O(k · iters · n²), usable where the
+/// full Jacobi sweep (O(n³) per sweep) is too slow (e.g. Gram matrices of
+/// a thousand samples).
+///
+/// Returns `(eigenvalues, eigenvectors)` in descending eigenvalue order;
+/// iteration stops early for eigenvalues that vanish (rank-deficient
+/// input), so fewer than `k` pairs may be returned.
+///
+/// # Errors
+///
+/// [`LinalgError::BadShape`] for empty or ragged input.
+pub fn top_eigen_psd(
+    matrix: &[Vec<f64>],
+    k: usize,
+    iterations: usize,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), LinalgError> {
+    let n = matrix.len();
+    if n == 0 || matrix.iter().any(|r| r.len() != n) {
+        return Err(LinalgError::BadShape);
+    }
+    let mut deflated: Vec<Vec<f64>> = matrix.to_vec();
+    let mut vals = Vec::new();
+    let mut vecs: Vec<Vec<f64>> = Vec::new();
+    let trace: f64 = (0..n).map(|i| matrix[i][i]).sum();
+    let negligible = (trace / n as f64).abs() * 1e-10 + 1e-300;
+    for round in 0..k.min(n) {
+        // Deterministic, non-degenerate start vector.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| 1.0 + ((i * 2654435761 + round * 40503) % 1000) as f64 / 1000.0)
+            .collect();
+        let norm = dot(&v, &v).sqrt();
+        for x in &mut v {
+            *x /= norm;
+        }
+        let mut lambda = 0.0;
+        for _ in 0..iterations {
+            // w = A v.
+            let mut w = vec![0.0; n];
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi = dot(&deflated[i], &v);
+            }
+            lambda = dot(&w, &v);
+            let norm = dot(&w, &w).sqrt();
+            if norm < negligible {
+                lambda = 0.0;
+                break;
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            v = w;
+        }
+        if lambda <= negligible {
+            break;
+        }
+        // Deflate: A <- A - lambda v vᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                deflated[i][j] -= lambda * v[i] * v[j];
+            }
+        }
+        vals.push(lambda);
+        vecs.push(v);
+    }
+    Ok((vals, vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn dot_and_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let m = mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn covariance_of_correlated_data() {
+        let rows = vec![
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ];
+        let m = mean(&rows);
+        let c = covariance(&rows, &m);
+        // var(x) = 2/3, cov(x, 2x) = 4/3, var(2x) = 8/3.
+        assert!(approx(c[0][0], 2.0 / 3.0, 1e-12));
+        assert!(approx(c[0][1], 4.0 / 3.0, 1e-12));
+        assert!(approx(c[1][1], 8.0 / 3.0, 1e-12));
+        assert_eq!(c[0][1], c[1][0]);
+    }
+
+    #[test]
+    fn jacobi_on_diagonal_matrix() {
+        let (vals, _) = jacobi_eigen(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(approx(vals[0], 3.0, 1e-12));
+        assert!(approx(vals[1], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn jacobi_known_eigensystem() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1), (1,-1).
+        let (vals, vecs) = jacobi_eigen(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        assert!(approx(vals[0], 3.0, 1e-10));
+        assert!(approx(vals[1], 1.0, 1e-10));
+        let v0 = &vecs[0];
+        assert!(approx(v0[0].abs(), v0[1].abs(), 1e-10));
+        // Orthonormality.
+        assert!(approx(dot(&vecs[0], &vecs[0]), 1.0, 1e-10));
+        assert!(approx(dot(&vecs[0], &vecs[1]), 0.0, 1e-10));
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ];
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        // A = Σ λ_k v_k v_kᵀ.
+        for i in 0..3 {
+            for j in 0..3 {
+                let recon: f64 = (0..3).map(|k| vals[k] * vecs[k][i] * vecs[k][j]).sum();
+                assert!(approx(recon, a[i][j], 1e-9), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+        ];
+        let (vals, _) = jacobi_eigen(&a).unwrap();
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        let a = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ];
+        let l = cholesky(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let recon: f64 = (0..3).map(|k| l[i][k] * l[j][k]).sum();
+                assert!(approx(recon, a[i][j], 1e-12));
+            }
+        }
+        // Solve A x = b and verify.
+        let b = vec![1.0, 2.0, 3.0];
+        let x = cholesky_solve(&l, &b);
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|k| a[i][k] * x[k]).sum();
+            assert!(approx(ax, b[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        assert_eq!(cholesky(&a), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn top_eigen_matches_jacobi_on_small_matrix() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ];
+        let (jv, jvec) = jacobi_eigen(&a).unwrap();
+        let (pv, pvec) = top_eigen_psd(&a, 3, 500).unwrap();
+        for k in 0..3 {
+            assert!(approx(pv[k], jv[k], 1e-6), "lambda_{k}: {} vs {}", pv[k], jv[k]);
+            // Eigenvectors match up to sign.
+            let d = dot(&pvec[k], &jvec[k]).abs();
+            assert!(approx(d, 1.0, 1e-5), "v_{k} alignment {d}");
+        }
+    }
+
+    #[test]
+    fn top_eigen_stops_at_rank() {
+        // Rank-1 matrix: v vᵀ with v = (1,2,2), eigenvalue ||v||² = 9.
+        let v = [1.0, 2.0, 2.0];
+        let a: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..3).map(|j| v[i] * v[j]).collect())
+            .collect();
+        let (vals, vecs) = top_eigen_psd(&a, 3, 300).unwrap();
+        assert_eq!(vals.len(), 1, "rank-1 input yields one pair: {vals:?}");
+        assert!(approx(vals[0], 9.0, 1e-8));
+        assert_eq!(vecs.len(), 1);
+    }
+
+    #[test]
+    fn top_eigen_bad_shape() {
+        assert_eq!(top_eigen_psd(&[], 1, 10), Err(LinalgError::BadShape));
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        assert_eq!(jacobi_eigen(&[]), Err(LinalgError::BadShape));
+        assert_eq!(
+            jacobi_eigen(&[vec![1.0, 2.0]]),
+            Err(LinalgError::BadShape)
+        );
+        assert_eq!(cholesky(&[]), Err(LinalgError::BadShape));
+    }
+}
+

@@ -1,0 +1,130 @@
+//! Mahalanobis-distance outlier detector with covariance shrinkage.
+//!
+//! Scores each sample by the negated Mahalanobis distance from the sample
+//! mean under a shrunk covariance `Σ' = (1-λ)Σ + λ·(tr Σ / d)·I` — the
+//! shrinkage keeps `Σ'` positive definite even when instruction counters
+//! contain constant or collinear dimensions.
+
+use crate::detector::{validate_samples, MlError, OutlierDetector};
+use crate::linalg::{self};
+use serde::{Deserialize, Serialize};
+
+/// Mahalanobis detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MahalanobisConfig {
+    /// Shrinkage coefficient λ ∈ (0, 1].
+    pub shrinkage: f64,
+}
+
+impl Default for MahalanobisConfig {
+    fn default() -> Self {
+        MahalanobisConfig { shrinkage: 0.1 }
+    }
+}
+
+/// The Mahalanobis-distance detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MahalanobisDetector {
+    /// Configuration.
+    pub config: MahalanobisConfig,
+}
+
+impl MahalanobisDetector {
+    /// Creates a detector with the given shrinkage coefficient.
+    pub fn with_shrinkage(shrinkage: f64) -> MahalanobisDetector {
+        MahalanobisDetector {
+            config: MahalanobisConfig { shrinkage },
+        }
+    }
+}
+
+impl OutlierDetector for MahalanobisDetector {
+    fn name(&self) -> &'static str {
+        "mahalanobis"
+    }
+
+    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        let d = validate_samples(samples, 2)?;
+        let lambda = self.config.shrinkage;
+        if !(0.0..=1.0).contains(&lambda) || lambda <= 0.0 {
+            return Err(MlError::BadParameter(format!(
+                "shrinkage {lambda} outside (0, 1]"
+            )));
+        }
+        let mean = linalg::mean(samples);
+        let mut cov = linalg::covariance(samples, &mean);
+        let trace: f64 = (0..d).map(|i| cov[i][i]).sum();
+        // For fully degenerate data (trace 0) fall back to the identity so
+        // every sample scores 0.
+        let ridge = lambda * (trace / d as f64).max(1e-12);
+        for (i, row) in cov.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= 1.0 - lambda;
+                if i == j {
+                    *v += ridge;
+                }
+            }
+        }
+        let l = linalg::cholesky(&cov)?;
+        let scores = samples
+            .iter()
+            .map(|s| {
+                let centered: Vec<f64> = s.iter().zip(&mean).map(|(a, m)| a - m).collect();
+                let solved = linalg::cholesky_solve(&l, &centered);
+                -linalg::dot(&centered, &solved).max(0.0).sqrt()
+            })
+            .collect();
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::rank_ascending;
+
+    #[test]
+    fn far_point_ranks_first() {
+        let mut pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 4) as f64 * 0.1, (i % 5) as f64 * 0.1])
+            .collect();
+        pts.push(vec![50.0, -50.0]);
+        let scores = MahalanobisDetector::default().score(&pts).unwrap();
+        assert_eq!(rank_ascending(&scores)[0], 20);
+    }
+
+    #[test]
+    fn accounts_for_correlation() {
+        // Data stretched along y = x. A point at distance r along the
+        // ridge is less anomalous than the same r across it.
+        let mut pts: Vec<Vec<f64>> = (-10..=10).map(|i| vec![i as f64, i as f64]).collect();
+        let along = vec![8.0, 8.0];
+        let across = vec![5.66, -5.66]; // same Euclidean norm as (8,8)
+        pts.push(along);
+        pts.push(across);
+        let scores = MahalanobisDetector::with_shrinkage(0.05)
+            .score(&pts)
+            .unwrap();
+        let n = pts.len();
+        assert!(
+            scores[n - 1] < scores[n - 2],
+            "across-ridge point must be more anomalous"
+        );
+    }
+
+    #[test]
+    fn degenerate_constant_data_ok() {
+        let pts = vec![vec![4.0, 4.0]; 8];
+        let scores = MahalanobisDetector::default().score(&pts).unwrap();
+        for s in scores {
+            assert!(s.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_shrinkage_rejected() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(MahalanobisDetector::with_shrinkage(0.0).score(&pts).is_err());
+        assert!(MahalanobisDetector::with_shrinkage(2.0).score(&pts).is_err());
+    }
+}

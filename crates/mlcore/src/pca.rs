@@ -1,0 +1,178 @@
+//! PCA reconstruction-error outlier detector — one of the alternative
+//! plug-ins the paper names (Section VI-E).
+//!
+//! Fits principal components on the sample set, keeps the smallest number
+//! of leading components explaining a target variance fraction, and scores
+//! each sample by the negated Euclidean reconstruction error: samples far
+//! from the principal subspace are suspicious.
+
+use crate::detector::{validate_samples, MlError, OutlierDetector};
+use crate::linalg::{self, LinalgError};
+use serde::{Deserialize, Serialize};
+
+/// PCA detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcaConfig {
+    /// Fraction of total variance the kept components must explain,
+    /// in `(0, 1]`.
+    pub variance_fraction: f64,
+    /// Hard cap on the number of components (`None` = no cap).
+    pub max_components: Option<usize>,
+}
+
+impl Default for PcaConfig {
+    fn default() -> Self {
+        PcaConfig {
+            variance_fraction: 0.95,
+            max_components: None,
+        }
+    }
+}
+
+/// The PCA reconstruction-error detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PcaDetector {
+    /// Configuration.
+    pub config: PcaConfig,
+}
+
+impl PcaDetector {
+    /// Creates a detector keeping components for the given variance
+    /// fraction.
+    pub fn with_variance(variance_fraction: f64) -> PcaDetector {
+        PcaDetector {
+            config: PcaConfig {
+                variance_fraction,
+                ..PcaConfig::default()
+            },
+        }
+    }
+}
+
+impl From<LinalgError> for MlError {
+    fn from(e: LinalgError) -> Self {
+        MlError::Numeric(e.to_string())
+    }
+}
+
+impl OutlierDetector for PcaDetector {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        validate_samples(samples, 2)?;
+        let frac = self.config.variance_fraction;
+        if !(0.0..=1.0).contains(&frac) || frac <= 0.0 {
+            return Err(MlError::BadParameter(format!(
+                "variance fraction {frac} outside (0, 1]"
+            )));
+        }
+        let mean = linalg::mean(samples);
+        let cov = linalg::covariance(samples, &mean);
+        let (vals, vecs) = linalg::jacobi_eigen(&cov)?;
+        let total: f64 = vals.iter().filter(|&&v| v > 0.0).sum();
+        if total <= 0.0 {
+            // Degenerate data (all points identical): zero error everywhere.
+            return Ok(vec![0.0; samples.len()]);
+        }
+        let mut kept = 0usize;
+        let mut acc = 0.0;
+        for &v in &vals {
+            if v <= 0.0 {
+                break;
+            }
+            kept += 1;
+            acc += v;
+            if acc / total >= frac {
+                break;
+            }
+        }
+        if let Some(cap) = self.config.max_components {
+            kept = kept.min(cap.max(1));
+        }
+        // Always leave at least one residual direction, otherwise every
+        // sample reconstructs exactly and the detector is blind.
+        if total > 0.0 && vals.len() > 1 {
+            kept = kept.min(vals.len() - 1);
+        }
+        let basis = &vecs[..kept];
+
+        let scores = samples
+            .iter()
+            .map(|s| {
+                let centered: Vec<f64> = s.iter().zip(&mean).map(|(a, m)| a - m).collect();
+                // Residual² = ||centered||² − Σ projections².
+                let norm_sq: f64 = centered.iter().map(|v| v * v).sum();
+                let proj_sq: f64 = basis
+                    .iter()
+                    .map(|b| {
+                        let p = linalg::dot(b, &centered);
+                        p * p
+                    })
+                    .sum();
+                -(norm_sq - proj_sq).max(0.0).sqrt()
+            })
+            .collect();
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::rank_ascending;
+
+    #[test]
+    fn off_subspace_point_ranks_first() {
+        // Data on the line y = x, one point far off it.
+        let mut pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, i as f64 + (i % 3) as f64 * 0.01])
+            .collect();
+        pts.push(vec![20.0, -20.0]);
+        let scores = PcaDetector::with_variance(0.8).score(&pts).unwrap();
+        assert_eq!(rank_ascending(&scores)[0], 40);
+    }
+
+    #[test]
+    fn on_subspace_points_score_near_zero() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let scores = PcaDetector::with_variance(0.99).score(&pts).unwrap();
+        for s in scores {
+            assert!(s.abs() < 1e-5, "residual should vanish on the line: {s}");
+        }
+    }
+
+    #[test]
+    fn identical_points_degenerate_ok() {
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let scores = PcaDetector::default().score(&pts).unwrap();
+        assert_eq!(scores, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn component_cap_respected() {
+        let detector = PcaDetector {
+            config: PcaConfig {
+                variance_fraction: 1.0,
+                max_components: Some(1),
+            },
+        };
+        // Full-rank 2-D data with a cap of 1 component: residuals nonzero.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.5],
+            vec![2.0, -0.5],
+            vec![3.0, 0.2],
+        ];
+        let scores = detector.score(&pts).unwrap();
+        assert!(scores.iter().any(|&s| s < -1e-6));
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(PcaDetector::with_variance(0.0).score(&pts).is_err());
+        assert!(PcaDetector::with_variance(1.5).score(&pts).is_err());
+    }
+}

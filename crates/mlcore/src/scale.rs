@@ -1,0 +1,124 @@
+//! Min-max feature scaling (the `svm-scale` step of a LIBSVM workflow).
+//!
+//! Instruction counters mix dimensions with very different magnitudes
+//! (a loop body executes thousands of times; a branch target twice).
+//! Scaling every dimension to `[0, 1]` keeps the RBF kernel from being
+//! dominated by high-count instructions. Constant dimensions map to 0.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension min-max scaler fitted on a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits the scaler on `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or ragged.
+    pub fn fit(samples: &[Vec<f64>]) -> Scaler {
+        assert!(!samples.is_empty(), "cannot fit a scaler on no samples");
+        let d = samples[0].len();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for s in samples {
+            assert_eq!(s.len(), d, "ragged samples");
+            for i in 0..d {
+                mins[i] = mins[i].min(s[i]);
+                maxs[i] = maxs[i].max(s[i]);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| hi - lo)
+            .collect();
+        Scaler { mins, ranges }
+    }
+
+    /// Scales one sample into `[0, 1]` per dimension (constant dimensions
+    /// become 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the fitted one.
+    pub fn transform(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.mins.len());
+        sample
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if self.ranges[i] > 0.0 {
+                    (v - self.mins[i]) / self.ranges[i]
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Fits on `samples` and transforms them all.
+    pub fn fit_transform(samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let scaler = Scaler::fit(samples);
+        samples.iter().map(|s| scaler.transform(s)).collect()
+    }
+
+    /// Indices of dimensions that vary across the fitted samples.
+    pub fn active_dimensions(&self) -> Vec<usize> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_unit_interval() {
+        let samples = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 15.0]];
+        let scaled = Scaler::fit_transform(&samples);
+        for s in &scaled {
+            for &v in s {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(scaled[0], vec![0.0, 0.0]);
+        assert_eq!(scaled[1], vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let samples = vec![vec![7.0, 1.0], vec![7.0, 2.0]];
+        let scaled = Scaler::fit_transform(&samples);
+        assert_eq!(scaled[0][0], 0.0);
+        assert_eq!(scaled[1][0], 0.0);
+    }
+
+    #[test]
+    fn transform_extrapolates_outside_fit_range() {
+        let scaler = Scaler::fit(&[vec![0.0], vec![10.0]]);
+        assert_eq!(scaler.transform(&[20.0]), vec![2.0]);
+        assert_eq!(scaler.transform(&[-10.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn active_dimensions_excludes_constants() {
+        let scaler = Scaler::fit(&[vec![1.0, 2.0, 3.0], vec![1.0, 5.0, 3.0]]);
+        assert_eq!(scaler.active_dimensions(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        Scaler::fit(&[]);
+    }
+}

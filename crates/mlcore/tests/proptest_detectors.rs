@@ -1,0 +1,124 @@
+//! Property tests for the detector suite: the one-class SVM's dual
+//! constraints and ν-bound, scaler range guarantees, and ranking-utility
+//! invariants, over randomized sample sets.
+
+use mlcore::{
+    normalize_scores, rank_ascending, KdeDetector, KfdDetector, KnnDetector,
+    MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler,
+};
+use proptest::prelude::*;
+
+/// Random rectangular sample sets: n points in d dimensions, values in a
+/// bounded range (instruction counters are nonnegative and bounded).
+fn sample_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (4usize..40, 1usize..6).prop_flat_map(|(n, d)| {
+        prop::collection::vec(
+            prop::collection::vec(0.0f64..1000.0, d..=d),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ocsvm_dual_constraints_hold(samples in sample_set(), nu in 0.2f64..0.9) {
+        let svm = OneClassSvm::with_nu(nu);
+        prop_assume!(nu * samples.len() as f64 >= 1.0);
+        let model = svm.fit(&samples).unwrap();
+        let sum: f64 = model.support.iter().map(|(_, a)| a).sum();
+        prop_assert!((sum - nu * samples.len() as f64).abs() < 1e-6,
+            "sum alpha = {} vs nu*l = {}", sum, nu * samples.len() as f64);
+        for (_, a) in &model.support {
+            prop_assert!(*a > 0.0 && *a <= 1.0 + 1e-9);
+        }
+        // Support-vector lower bound: at least ceil(nu*l) - small slack
+        // points carry positive alpha (Schölkopf Prop. 4).
+        prop_assert!(model.num_support() as f64 + 1e-9 >= nu * samples.len() as f64);
+    }
+
+    #[test]
+    fn ocsvm_nu_bounds_margin_violations(samples in sample_set()) {
+        let nu = 0.3;
+        let svm = OneClassSvm::with_nu(nu);
+        prop_assume!(nu * samples.len() as f64 >= 1.0);
+        let scores = svm.score(&samples).unwrap();
+        let margin = svm.config.tolerance * 10.0;
+        let violators = scores.iter().filter(|&&s| s < -margin).count();
+        prop_assert!(violators as f64 <= nu * samples.len() as f64 + 1.0);
+    }
+
+    #[test]
+    fn detectors_return_finite_scores(samples in sample_set()) {
+        let detectors: Vec<Box<dyn OutlierDetector>> = vec![
+            Box::new(OneClassSvm::with_nu(0.5)),
+            Box::new(PcaDetector::default()),
+            Box::new(KnnDetector::default()),
+            Box::new(MahalanobisDetector::default()),
+            Box::new(KdeDetector::default()),
+            Box::new(KfdDetector::default()),
+        ];
+        for det in detectors {
+            let scores = det.score(&samples).unwrap();
+            prop_assert_eq!(scores.len(), samples.len(), "{}", det.name());
+            for s in &scores {
+                prop_assert!(s.is_finite(), "{} produced {}", det.name(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_maps_fit_data_into_unit_box(samples in sample_set()) {
+        let scaled = Scaler::fit_transform(&samples);
+        for row in &scaled {
+            for &v in row {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_translation_invariant_for_ranking(samples in sample_set(), shift in -500.0f64..500.0) {
+        // Shifting every feature by a constant must not change the kNN
+        // ranking after scaling.
+        let shifted: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|r| r.iter().map(|v| v + shift).collect())
+            .collect();
+        let a = KnnDetector::default()
+            .score(&Scaler::fit_transform(&samples))
+            .unwrap();
+        let b = KnnDetector::default()
+            .score(&Scaler::fit_transform(&shifted))
+            .unwrap();
+        // Exact rank equality can flip on floating-point ties; the scores
+        // themselves must agree to within rounding.
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn normalize_keeps_order_and_caps_at_one(mut scores in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let before = rank_ascending(&scores);
+        normalize_scores(&mut scores);
+        let after = rank_ascending(&scores);
+        prop_assert_eq!(before, after, "normalization must preserve order");
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(max <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn rank_ascending_is_a_sorted_permutation(scores in prop::collection::vec(-10.0f64..10.0, 0..40)) {
+        let order = rank_ascending(&scores);
+        let mut seen = vec![false; scores.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert!(scores[w[0]] <= scores[w[1]]);
+        }
+    }
+}

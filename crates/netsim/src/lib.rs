@@ -1,0 +1,23 @@
+//! # netsim — deterministic multi-node WSN simulation
+//!
+//! Binds several [`tinyvm`] sensor nodes into one network: a [`Topology`]
+//! of lossy, latency-bearing radio links and a conservative
+//! discrete-event engine ([`NetSim`]) that keeps node clocks synchronized
+//! within a lookahead window derived from the smallest link latency.
+//!
+//! This crate plays the role of Avrora's multi-node network simulation in
+//! the Sentomist reproduction: case studies II (multi-hop forwarding) and
+//! III (CTP + heartbeat contention) run on it.
+//!
+//! Determinism: given the same programs, node configs, topology and seeds,
+//! a simulation replays bit-identically — every experiment in the
+//! reproduction is exactly re-runnable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod topology;
+
+pub use sim::{Delivery, NetSim, SimError};
+pub use topology::{LinkConfig, Topology, MIN_LINK_LATENCY};

@@ -1,0 +1,325 @@
+//! Network topology: which nodes can hear which, and with what link
+//! quality.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Properties of one directed radio link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Propagation + demodulation latency in cycles, added after the
+    /// sender's on-air duration. Must be at least [`MIN_LINK_LATENCY`]
+    /// (the conservative-synchronization lookahead bound).
+    pub latency_cycles: u64,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss_prob: f64,
+}
+
+/// Minimum permitted link latency; the simulator's lookahead window derives
+/// from it.
+pub const MIN_LINK_LATENCY: u64 = 64;
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_cycles: 128,
+            loss_prob: 0.0,
+        }
+    }
+}
+
+/// A directed-link topology over nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::topology::{LinkConfig, Topology};
+///
+/// let mut topo = Topology::new(3);
+/// topo.connect(0, 1, LinkConfig::default());
+/// topo.connect(1, 2, LinkConfig::default());
+/// assert!(topo.link(0, 1).is_some());
+/// assert!(topo.link(0, 2).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    node_count: u16,
+    links: BTreeMap<(u16, u16), LinkConfig>,
+}
+
+impl Topology {
+    /// Creates a topology over `node_count` nodes with no links.
+    pub fn new(node_count: u16) -> Topology {
+        Topology {
+            node_count,
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u16 {
+        self.node_count
+    }
+
+    /// Adds a bidirectional link between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, `a == b`, or the latency
+    /// is below [`MIN_LINK_LATENCY`].
+    pub fn connect(&mut self, a: u16, b: u16, config: LinkConfig) -> &mut Self {
+        self.connect_directed(a, b, config);
+        self.connect_directed(b, a, config);
+        self
+    }
+
+    /// Adds a directed link from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Topology::connect`].
+    pub fn connect_directed(&mut self, from: u16, to: u16, config: LinkConfig) -> &mut Self {
+        assert!(from < self.node_count, "node {from} out of range");
+        assert!(to < self.node_count, "node {to} out of range");
+        assert_ne!(from, to, "self-links are not allowed");
+        assert!(
+            config.latency_cycles >= MIN_LINK_LATENCY,
+            "link latency {} below minimum {}",
+            config.latency_cycles,
+            MIN_LINK_LATENCY
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.loss_prob),
+            "loss probability out of range"
+        );
+        self.links.insert((from, to), config);
+        self
+    }
+
+    /// The link from `from` to `to`, if present.
+    pub fn link(&self, from: u16, to: u16) -> Option<&LinkConfig> {
+        self.links.get(&(from, to))
+    }
+
+    /// Out-neighbors of `from` with their link configs, in id order.
+    pub fn neighbors(&self, from: u16) -> impl Iterator<Item = (u16, &LinkConfig)> + '_ {
+        self.links
+            .range((from, 0)..=(from, u16::MAX))
+            .map(|(&(_, to), cfg)| (to, cfg))
+    }
+
+    /// Smallest link latency in the topology (the lookahead bound), or
+    /// `None` for a linkless topology.
+    pub fn min_latency(&self) -> Option<u64> {
+        self.links.values().map(|l| l.latency_cycles).min()
+    }
+
+    /// Builds a linear chain `0 - 1 - ... - (n-1)` with uniform links.
+    pub fn chain(node_count: u16, config: LinkConfig) -> Topology {
+        let mut t = Topology::new(node_count);
+        for i in 1..node_count {
+            t.connect(i - 1, i, config);
+        }
+        t
+    }
+
+    /// Builds a fully connected mesh with uniform links.
+    pub fn mesh(node_count: u16, config: LinkConfig) -> Topology {
+        let mut t = Topology::new(node_count);
+        for a in 0..node_count {
+            for b in (a + 1)..node_count {
+                t.connect(a, b, config);
+            }
+        }
+        t
+    }
+
+    /// Builds a star with `0` as the hub.
+    pub fn star(node_count: u16, config: LinkConfig) -> Topology {
+        let mut t = Topology::new(node_count);
+        for i in 1..node_count {
+            t.connect(0, i, config);
+        }
+        t
+    }
+
+    /// Builds a `width x height` grid with 4-neighbor links (node id =
+    /// `y * width + x`), the classic WSN testbed layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `u16` or either side is 0.
+    pub fn grid(width: u16, height: u16, config: LinkConfig) -> Topology {
+        assert!(width > 0 && height > 0, "degenerate grid");
+        let count = width.checked_mul(height).expect("grid too large");
+        let mut t = Topology::new(count);
+        for y in 0..height {
+            for x in 0..width {
+                let id = y * width + x;
+                if x + 1 < width {
+                    t.connect(id, id + 1, config);
+                }
+                if y + 1 < height {
+                    t.connect(id, id + width, config);
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a unit-disk topology from node positions: nodes within
+    /// `range` of each other are connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` positions are given.
+    pub fn unit_disk(positions: &[(f64, f64)], range: f64, config: LinkConfig) -> Topology {
+        let count = u16::try_from(positions.len()).expect("too many nodes");
+        let mut t = Topology::new(count);
+        for a in 0..positions.len() {
+            for b in (a + 1)..positions.len() {
+                let dx = positions[a].0 - positions[b].0;
+                let dy = positions[a].1 - positions[b].1;
+                if (dx * dx + dy * dy).sqrt() <= range {
+                    t.connect(a as u16, b as u16, config);
+                }
+            }
+        }
+        t
+    }
+
+    /// Whether every node can reach every other over the links.
+    pub fn is_connected(&self) -> bool {
+        if self.node_count == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.node_count as usize];
+        let mut stack = vec![0u16];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for (to, _) in self.neighbors(n) {
+                if !seen[to as usize] {
+                    seen[to as usize] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen.into_iter().all(|v| v)
+    }
+
+    /// Total number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_is_bidirectional() {
+        let mut t = Topology::new(2);
+        t.connect(0, 1, LinkConfig::default());
+        assert!(t.link(0, 1).is_some());
+        assert!(t.link(1, 0).is_some());
+    }
+
+    #[test]
+    fn neighbors_in_id_order() {
+        let mut t = Topology::new(4);
+        t.connect(1, 3, LinkConfig::default());
+        t.connect(1, 0, LinkConfig::default());
+        t.connect(1, 2, LinkConfig::default());
+        let ns: Vec<u16> = t.neighbors(1).map(|(n, _)| n).collect();
+        assert_eq!(ns, vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        Topology::new(2).connect(1, 1, LinkConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "below minimum")]
+    fn tiny_latency_rejected() {
+        Topology::new(2).connect(
+            0,
+            1,
+            LinkConfig {
+                latency_cycles: 1,
+                loss_prob: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    fn chain_mesh_star_shapes() {
+        let c = Topology::chain(4, LinkConfig::default());
+        assert!(c.link(0, 1).is_some() && c.link(1, 2).is_some() && c.link(2, 3).is_some());
+        assert!(c.link(0, 2).is_none());
+
+        let m = Topology::mesh(3, LinkConfig::default());
+        assert_eq!(m.neighbors(0).count(), 2);
+
+        let s = Topology::star(4, LinkConfig::default());
+        assert_eq!(s.neighbors(0).count(), 3);
+        assert_eq!(s.neighbors(1).count(), 1);
+    }
+
+    #[test]
+    fn grid_shape_and_connectivity() {
+        let g = Topology::grid(3, 2, LinkConfig::default());
+        assert_eq!(g.node_count(), 6);
+        // Node 1 (0,1) connects to 0, 2 and 4.
+        let ns: Vec<u16> = g.neighbors(1).map(|(n, _)| n).collect();
+        assert_eq!(ns, vec![0, 2, 4]);
+        assert!(g.is_connected());
+        // 2*w*h - w - h undirected edges, doubled for directed.
+        assert_eq!(g.link_count(), 2 * (2 * 6 - 3 - 2));
+    }
+
+    #[test]
+    fn unit_disk_respects_range() {
+        let positions = [(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)];
+        let t = Topology::unit_disk(&positions, 1.5, LinkConfig::default());
+        assert!(t.link(0, 1).is_some());
+        assert!(t.link(1, 2).is_none());
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn connectivity_detects_islands() {
+        let mut t = Topology::new(4);
+        t.connect(0, 1, LinkConfig::default());
+        t.connect(2, 3, LinkConfig::default());
+        assert!(!t.is_connected());
+        t.connect(1, 2, LinkConfig::default());
+        assert!(t.is_connected());
+        assert!(Topology::new(0).is_connected());
+    }
+
+    #[test]
+    fn min_latency_reported() {
+        let mut t = Topology::new(3);
+        t.connect(
+            0,
+            1,
+            LinkConfig {
+                latency_cycles: 200,
+                loss_prob: 0.0,
+            },
+        );
+        t.connect(
+            1,
+            2,
+            LinkConfig {
+                latency_cycles: 100,
+                loss_prob: 0.0,
+            },
+        );
+        assert_eq!(t.min_latency(), Some(100));
+        assert_eq!(Topology::new(1).min_latency(), None);
+    }
+}

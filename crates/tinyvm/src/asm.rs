@@ -1,0 +1,697 @@
+//! Two-pass assembler for TinyVM programs.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; full-line or trailing comments start with ';'
+//! .const RATE 125          ; symbolic constant
+//! .data  buf 8             ; reserve 8 zero-initialized data words
+//! .word  limit 3           ; one initialized data word per value
+//! .task  send_task         ; declare a deferred task (label must exist)
+//! .handler ADC adc_ready   ; vector the ADC interrupt to a label
+//!
+//! main:                    ; entry point (required)
+//!     ldi  r1, RATE
+//!     out  TIMER0_PERIOD, r1
+//!     ret                  ; returning from main enters the scheduler
+//!
+//! adc_ready:
+//!     in   r1, ADC_DATA
+//!     sta  buf, r1
+//!     post send_task
+//!     reti
+//!
+//! send_task:
+//!     lda  r1, buf
+//!     out  RADIO_TX_PUSH, r1
+//!     ldi  r2, 0
+//!     out  RADIO_SEND, r2
+//!     ret
+//! ```
+//!
+//! Operands: registers `r0`–`r15`; immediates in decimal, hex (`0x..`), or
+//! negative decimal; symbolic constants; label names (resolving to the
+//! instruction index for code labels or the data address for data labels),
+//! optionally with a `+N` offset; indexed memory `[rN]`, `[rN+k]`, `[rN-k]`;
+//! and symbolic port names from [`crate::isa::port`].
+
+use crate::isa::{irq, port, Cond, Op, Reg, TaskId};
+use crate::program::{Program, TaskDef};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// An assembly failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: u32, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Symbol table built during the first pass.
+struct Symbols {
+    consts: BTreeMap<String, u16>,
+    data: BTreeMap<String, u16>,
+    code: BTreeMap<String, u16>,
+    tasks: Vec<String>,
+}
+
+impl Symbols {
+    /// Resolves `name` or `name+off` to a 16-bit value.
+    fn resolve(&self, expr: &str, line: u32) -> Result<u16, AsmError> {
+        let (name, offset) = match expr.split_once('+') {
+            Some((n, o)) => {
+                let off = parse_int(o.trim())
+                    .ok_or_else(|| err(line, format!("bad offset in `{expr}`")))?;
+                (n.trim(), off)
+            }
+            None => (expr, 0),
+        };
+        let base = self
+            .consts
+            .get(name)
+            .or_else(|| self.data.get(name))
+            .or_else(|| self.code.get(name))
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown symbol `{name}`")))?;
+        Ok(base.wrapping_add(offset))
+    }
+}
+
+/// Parses a bare integer: decimal, negative decimal, or `0x` hex.
+/// Negative values are encoded two's-complement into u16.
+fn parse_int(s: &str) -> Option<u16> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u16::from_str_radix(hex, 16).ok()
+    } else if let Some(neg) = s.strip_prefix('-') {
+        neg.parse::<u32>().ok().and_then(|v| {
+            if v <= 32768 {
+                Some((v as i32).wrapping_neg() as i16 as u16)
+            } else {
+                None
+            }
+        })
+    } else {
+        s.parse::<u16>().ok()
+    }
+}
+
+fn parse_reg(s: &str, line: u32) -> Result<Reg, AsmError> {
+    let num = s
+        .strip_prefix('r')
+        .or_else(|| s.strip_prefix('R'))
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::new);
+    num.ok_or_else(|| err(line, format!("expected register, got `{s}`")))
+}
+
+/// Parses an immediate operand: literal int, const, or label(+off).
+fn parse_imm(s: &str, syms: &Symbols, line: u32) -> Result<u16, AsmError> {
+    if let Some(v) = parse_int(s) {
+        Ok(v)
+    } else {
+        syms.resolve(s, line)
+    }
+}
+
+fn parse_port(s: &str, line: u32) -> Result<u8, AsmError> {
+    if let Some(p) = port::from_name(s) {
+        Ok(p)
+    } else if let Some(v) = parse_int(s) {
+        u8::try_from(v).map_err(|_| err(line, format!("port `{s}` out of range")))
+    } else {
+        Err(err(line, format!("unknown port `{s}`")))
+    }
+}
+
+/// Parses `[rN]`, `[rN+k]`, `[rN-k]` into `(reg, offset)`.
+fn parse_mem(s: &str, line: u32) -> Result<(Reg, i8), AsmError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], got `{s}`")))?;
+    let (reg_s, off) = if let Some(pos) = inner.find(['+', '-']) {
+        let (r, rest) = inner.split_at(pos);
+        let off: i16 = rest
+            .parse()
+            .map_err(|_| err(line, format!("bad offset `{rest}`")))?;
+        let off = i8::try_from(off).map_err(|_| err(line, "offset out of i8 range"))?;
+        (r.trim(), off)
+    } else {
+        (inner.trim(), 0i8)
+    };
+    Ok((parse_reg(reg_s, line)?, off))
+}
+
+/// Strips comments and splits a line into (optional label, rest).
+fn split_line(raw: &str) -> (&str, Option<&str>, &str) {
+    let no_comment = match raw.find(';') {
+        Some(i) => &raw[..i],
+        None => raw,
+    };
+    let trimmed = no_comment.trim();
+    if let Some(colon) = trimmed.find(':') {
+        // Only treat as label if the prefix is a bare identifier.
+        let head = &trimmed[..colon];
+        if is_ident(head) {
+            return (trimmed, Some(head), trimmed[colon + 1..].trim());
+        }
+    }
+    (trimmed, None, trimmed)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Splits an operand list on commas, trimming whitespace.
+fn operands(rest: &str) -> Vec<&str> {
+    if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    }
+}
+
+/// Assembles TinyVM assembly source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending source line on syntax errors,
+/// unknown symbols, duplicate labels, a missing `main`, or `.task`/`.handler`
+/// directives naming labels that do not exist.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), tinyvm::asm::AsmError> {
+/// let program = tinyvm::asm::assemble("main:\n nop\n ret\n")?;
+/// assert_eq!(program.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // -------- pass 1: symbols, data layout, instruction addresses --------
+    let mut syms = Symbols {
+        consts: BTreeMap::new(),
+        data: BTreeMap::new(),
+        code: BTreeMap::new(),
+        tasks: Vec::new(),
+    };
+    let mut handlers: Vec<(u32, String, String)> = Vec::new(); // line, irq name, label
+    let mut data_init: Vec<(u16, u16)> = Vec::new();
+    let mut data_cursor: u16 = 0;
+    let mut pc: u16 = 0;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let (_, label, rest) = split_line(raw);
+        if let Some(l) = label {
+            if syms.code.contains_key(l) || syms.data.contains_key(l) || syms.consts.contains_key(l)
+            {
+                return Err(err(line, format!("duplicate label `{l}`")));
+            }
+            syms.code.insert(l.to_string(), pc);
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            let mut parts = directive.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            match kind {
+                "const" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".const needs a name"))?;
+                    let val_s = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".const needs a value"))?;
+                    let val = parse_int(val_s)
+                        .ok_or_else(|| err(line, format!("bad constant `{val_s}`")))?;
+                    if syms.consts.insert(name.to_string(), val).is_some() {
+                        return Err(err(line, format!("duplicate constant `{name}`")));
+                    }
+                }
+                "data" => {
+                    let name = parts.next().ok_or_else(|| err(line, ".data needs a name"))?;
+                    let size_s = parts.next().ok_or_else(|| err(line, ".data needs a size"))?;
+                    let size = parse_int(size_s)
+                        .filter(|&s| s > 0)
+                        .ok_or_else(|| err(line, format!("bad size `{size_s}`")))?;
+                    if syms.data.insert(name.to_string(), data_cursor).is_some() {
+                        return Err(err(line, format!("duplicate data label `{name}`")));
+                    }
+                    data_cursor = data_cursor
+                        .checked_add(size)
+                        .ok_or_else(|| err(line, "data segment overflow"))?;
+                }
+                "word" => {
+                    let name = parts.next().ok_or_else(|| err(line, ".word needs a name"))?;
+                    let values: Vec<u16> = parts
+                        .map(|v| parse_int(v).ok_or_else(|| err(line, format!("bad value `{v}`"))))
+                        .collect::<Result<_, _>>()?;
+                    if values.is_empty() {
+                        return Err(err(line, ".word needs at least one value"));
+                    }
+                    if syms.data.insert(name.to_string(), data_cursor).is_some() {
+                        return Err(err(line, format!("duplicate data label `{name}`")));
+                    }
+                    for v in values {
+                        data_init.push((data_cursor, v));
+                        data_cursor = data_cursor
+                            .checked_add(1)
+                            .ok_or_else(|| err(line, "data segment overflow"))?;
+                    }
+                }
+                "task" => {
+                    let name = parts.next().ok_or_else(|| err(line, ".task needs a label"))?;
+                    if syms.tasks.iter().any(|t| t == name) {
+                        return Err(err(line, format!("duplicate task `{name}`")));
+                    }
+                    syms.tasks.push(name.to_string());
+                }
+                "handler" => {
+                    let irq_name = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".handler needs an IRQ name"))?;
+                    let label = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".handler needs a label"))?;
+                    handlers.push((line, irq_name.to_string(), label.to_string()));
+                }
+                other => return Err(err(line, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+        // An instruction occupies one slot.
+        pc = pc
+            .checked_add(1)
+            .filter(|&p| p < crate::isa::RETURN_SENTINEL)
+            .ok_or_else(|| err(line, "program too large"))?;
+    }
+
+    // -------- pass 2: encode instructions --------
+    let mut ops: Vec<Op> = Vec::with_capacity(pc as usize);
+    let mut src_lines: Vec<u32> = Vec::with_capacity(pc as usize);
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let (_, _, rest) = split_line(raw);
+        if rest.is_empty() || rest.starts_with('.') {
+            continue;
+        }
+        let (mnemonic, args_s) = match rest.split_once(char::is_whitespace) {
+            Some((m, a)) => (m, a.trim()),
+            None => (rest, ""),
+        };
+        let args = operands(args_s);
+        let want = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` wants {n} operand(s), got {}", args.len()),
+                ))
+            }
+        };
+        let op = match mnemonic.to_ascii_lowercase().as_str() {
+            "nop" => {
+                want(0)?;
+                Op::Nop
+            }
+            "halt" => {
+                want(0)?;
+                Op::Halt
+            }
+            "sleep" => {
+                want(0)?;
+                Op::Sleep
+            }
+            "sei" => {
+                want(0)?;
+                Op::Sei
+            }
+            "cli" => {
+                want(0)?;
+                Op::Cli
+            }
+            "ret" => {
+                want(0)?;
+                Op::Ret
+            }
+            "reti" => {
+                want(0)?;
+                Op::Reti
+            }
+            "ldi" => {
+                want(2)?;
+                Op::Ldi(parse_reg(args[0], line)?, parse_imm(args[1], &syms, line)?)
+            }
+            "mov" => {
+                want(2)?;
+                Op::Mov(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "ld" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[1], line)?;
+                Op::Ld(parse_reg(args[0], line)?, base, off)
+            }
+            "st" => {
+                want(2)?;
+                let (base, off) = parse_mem(args[0], line)?;
+                Op::St(base, off, parse_reg(args[1], line)?)
+            }
+            "lda" => {
+                want(2)?;
+                Op::Lda(parse_reg(args[0], line)?, parse_imm(args[1], &syms, line)?)
+            }
+            "sta" => {
+                want(2)?;
+                Op::Sta(parse_imm(args[0], &syms, line)?, parse_reg(args[1], line)?)
+            }
+            "add" => {
+                want(2)?;
+                Op::Add(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "sub" => {
+                want(2)?;
+                Op::Sub(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "and" => {
+                want(2)?;
+                Op::And(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "or" => {
+                want(2)?;
+                Op::Or(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "xor" => {
+                want(2)?;
+                Op::Xor(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "mul" => {
+                want(2)?;
+                Op::Mul(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "addi" => {
+                want(2)?;
+                Op::Addi(parse_reg(args[0], line)?, parse_imm(args[1], &syms, line)?)
+            }
+            "subi" => {
+                want(2)?;
+                Op::Subi(parse_reg(args[0], line)?, parse_imm(args[1], &syms, line)?)
+            }
+            "cmp" => {
+                want(2)?;
+                Op::Cmp(parse_reg(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "cmpi" => {
+                want(2)?;
+                Op::Cmpi(parse_reg(args[0], line)?, parse_imm(args[1], &syms, line)?)
+            }
+            "shl" => {
+                want(2)?;
+                let amount = parse_int(args[1])
+                    .filter(|&v| v < 16)
+                    .ok_or_else(|| err(line, "shift amount must be 0-15"))?;
+                Op::Shl(parse_reg(args[0], line)?, amount as u8)
+            }
+            "shr" => {
+                want(2)?;
+                let amount = parse_int(args[1])
+                    .filter(|&v| v < 16)
+                    .ok_or_else(|| err(line, "shift amount must be 0-15"))?;
+                Op::Shr(parse_reg(args[0], line)?, amount as u8)
+            }
+            "jmp" => {
+                want(1)?;
+                Op::Jmp(syms.resolve(args[0], line)?)
+            }
+            "breq" => {
+                want(1)?;
+                Op::Br(Cond::Eq, syms.resolve(args[0], line)?)
+            }
+            "brne" => {
+                want(1)?;
+                Op::Br(Cond::Ne, syms.resolve(args[0], line)?)
+            }
+            "brlt" => {
+                want(1)?;
+                Op::Br(Cond::Lt, syms.resolve(args[0], line)?)
+            }
+            "brge" => {
+                want(1)?;
+                Op::Br(Cond::Ge, syms.resolve(args[0], line)?)
+            }
+            "brltu" => {
+                want(1)?;
+                Op::Br(Cond::Ltu, syms.resolve(args[0], line)?)
+            }
+            "brgeu" => {
+                want(1)?;
+                Op::Br(Cond::Geu, syms.resolve(args[0], line)?)
+            }
+            "call" => {
+                want(1)?;
+                Op::Call(syms.resolve(args[0], line)?)
+            }
+            "push" => {
+                want(1)?;
+                Op::Push(parse_reg(args[0], line)?)
+            }
+            "pop" => {
+                want(1)?;
+                Op::Pop(parse_reg(args[0], line)?)
+            }
+            "in" => {
+                want(2)?;
+                Op::In(parse_reg(args[0], line)?, parse_port(args[1], line)?)
+            }
+            "out" => {
+                want(2)?;
+                Op::Out(parse_port(args[0], line)?, parse_reg(args[1], line)?)
+            }
+            "post" => {
+                want(1)?;
+                let pos = syms
+                    .tasks
+                    .iter()
+                    .position(|t| t == args[0])
+                    .ok_or_else(|| err(line, format!("`{}` is not a declared .task", args[0])))?;
+                Op::Post(TaskId(pos as u16))
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        ops.push(op);
+        src_lines.push(line);
+    }
+
+    // -------- finalize: vectors, tasks, entry --------
+    let mut vectors = [None; irq::NUM_IRQS];
+    for (line, irq_name, label) in handlers {
+        let n = irq::from_name(&irq_name)
+            .ok_or_else(|| err(line, format!("unknown IRQ `{irq_name}`")))?;
+        let entry = *syms
+            .code
+            .get(&label)
+            .ok_or_else(|| err(line, format!("handler label `{label}` not defined")))?;
+        if vectors[n as usize].is_some() {
+            return Err(err(line, format!("IRQ `{irq_name}` vectored twice")));
+        }
+        vectors[n as usize] = Some(entry);
+    }
+    let tasks: Vec<TaskDef> = syms
+        .tasks
+        .iter()
+        .map(|name| {
+            syms.code
+                .get(name)
+                .map(|&entry| TaskDef {
+                    name: name.clone(),
+                    entry,
+                })
+                .ok_or_else(|| err(0, format!("task label `{name}` not defined")))
+        })
+        .collect::<Result<_, _>>()?;
+    let entry = *syms
+        .code
+        .get("main")
+        .ok_or_else(|| err(0, "no `main` label"))?;
+
+    let mut labels = BTreeMap::new();
+    labels.extend(syms.code.iter().map(|(k, &v)| (k.clone(), v)));
+    labels.extend(syms.data.iter().map(|(k, &v)| (k.clone(), v)));
+    let data_label_names: BTreeSet<String> = syms.data.keys().cloned().collect();
+
+    let mut program = Program {
+        ops,
+        src_lines,
+        labels,
+        vectors,
+        tasks,
+        data_init,
+        data_size: data_cursor,
+        entry,
+        data_label_set: BTreeSet::new(),
+    };
+    program.set_data_labels(data_label_names);
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = assemble("main:\n nop\n halt\n").unwrap();
+        assert_eq!(p.ops, vec![Op::Nop, Op::Halt]);
+        assert_eq!(p.entry, 0);
+    }
+
+    #[test]
+    fn missing_main_is_error() {
+        let e = assemble("start:\n nop\n").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble("main:\n jmp fwd\nback:\n nop\nfwd:\n jmp back\n").unwrap();
+        assert_eq!(p.ops[0], Op::Jmp(2));
+        assert_eq!(p.ops[2], Op::Jmp(1));
+    }
+
+    #[test]
+    fn consts_and_data_resolve() {
+        let src = "\
+.const K 10
+.data buf 4
+.word init 7 8
+main:
+ ldi r1, K
+ lda r2, buf
+ lda r3, init+1
+ ret
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.ops[0], Op::Ldi(Reg(1), 10));
+        assert_eq!(p.ops[1], Op::Lda(Reg(2), 0));
+        assert_eq!(p.ops[2], Op::Lda(Reg(3), 5));
+        assert_eq!(p.data_size, 6);
+        assert_eq!(p.data_init, vec![(4, 7), (5, 8)]);
+    }
+
+    #[test]
+    fn indexed_memory_operands() {
+        let p = assemble("main:\n ld r1, [r2+3]\n st [r4-1], r5\n ld r6, [r7]\n ret\n").unwrap();
+        assert_eq!(p.ops[0], Op::Ld(Reg(1), Reg(2), 3));
+        assert_eq!(p.ops[1], Op::St(Reg(4), -1, Reg(5)));
+        assert_eq!(p.ops[2], Op::Ld(Reg(6), Reg(7), 0));
+    }
+
+    #[test]
+    fn tasks_and_handlers() {
+        let src = "\
+.task t_send
+.handler ADC on_adc
+main:
+ ret
+on_adc:
+ post t_send
+ reti
+t_send:
+ ret
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.tasks.len(), 1);
+        assert_eq!(p.tasks[0].name, "t_send");
+        assert_eq!(p.vectors[irq::ADC as usize], Some(p.label("on_adc").unwrap()));
+        assert_eq!(p.ops[1], Op::Post(TaskId(0)));
+    }
+
+    #[test]
+    fn post_unknown_task_is_error() {
+        let e = assemble("main:\n post nothing\n ret\n").unwrap_err();
+        assert!(e.message.contains("not a declared"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble("main:\n nop\nmain:\n nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("main:\n frobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; header\nmain: ; entry\n nop ; do nothing\n\n ret\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn ports_parse_symbolically_and_numerically() {
+        let p = assemble("main:\n in r1, ADC_DATA\n out 0x30, r1\n ret\n").unwrap();
+        assert_eq!(p.ops[0], Op::In(Reg(1), port::ADC_DATA));
+        assert_eq!(p.ops[1], Op::Out(port::UART_OUT, Reg(1)));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("main:\n ldi r1, -2\n ldi r2, 0xFF\n ret\n").unwrap();
+        assert_eq!(p.ops[0], Op::Ldi(Reg(1), 0xFFFE));
+        assert_eq!(p.ops[1], Op::Ldi(Reg(2), 0xFF));
+    }
+
+    #[test]
+    fn handler_for_unknown_irq_is_error() {
+        let e = assemble(".handler NOPE x\nmain:\n ret\nx:\n reti\n").unwrap_err();
+        assert!(e.message.contains("unknown IRQ"));
+    }
+
+    #[test]
+    fn task_without_label_is_error() {
+        let e = assemble(".task ghost\nmain:\n ret\n").unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn src_lines_track_instructions() {
+        let p = assemble("; c\nmain:\n nop\n\n ret\n").unwrap();
+        assert_eq!(p.src_lines, vec![3, 5]);
+    }
+
+    #[test]
+    fn shift_amount_validated() {
+        assert!(assemble("main:\n shl r1, 16\n ret\n").is_err());
+        let p = assemble("main:\n shl r1, 15\n ret\n").unwrap();
+        assert_eq!(p.ops[0], Op::Shl(Reg(1), 15));
+    }
+}

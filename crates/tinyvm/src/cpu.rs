@@ -1,0 +1,643 @@
+//! The MCU execution core: registers, memory, flags, interrupt frames.
+//!
+//! The CPU is deliberately unaware of devices and of the OS scheduler: port
+//! accesses go through a [`Bus`] implemented by the node, and `post`, `ret`
+//! to the runtime sentinel, `reti`, `sleep` and `halt` are surfaced as
+//! [`CpuEvent`]s for the node to act on.
+
+use crate::error::VmError;
+use crate::isa::{Cond, Op, TaskId, RETURN_SENTINEL};
+use crate::program::Program;
+
+/// Cycles consumed by hardware interrupt entry (vectoring + state save).
+pub const INT_DISPATCH_CYCLES: u64 = 4;
+
+/// Port-access interface provided to the CPU by the node.
+pub trait Bus {
+    /// Reads a device port.
+    fn port_in(&mut self, port: u8, pc: u16, cycle: u64) -> Result<u16, VmError>;
+    /// Writes a device port.
+    fn port_out(&mut self, port: u8, value: u16, pc: u16, cycle: u64) -> Result<(), VmError>;
+}
+
+/// Status flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero.
+    pub z: bool,
+    /// Sign of the last result.
+    pub n: bool,
+    /// Unsigned borrow of the last compare/subtract (i.e. `a < b` unsigned).
+    pub ltu: bool,
+    /// Signed less-than of the last compare/subtract.
+    pub lts: bool,
+    /// Global interrupt enable.
+    pub i: bool,
+}
+
+/// A saved interrupt frame.
+///
+/// The full register file is saved and restored around every handler,
+/// modelling the register save/restore prologue and epilogue a compiler
+/// generates for interrupt service routines: a preempted task must never
+/// observe handler-clobbered registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntFrame {
+    /// PC to resume at, or `None` if the CPU was idle/sleeping.
+    pub saved_pc: Option<u16>,
+    /// Saved flags.
+    pub saved_flags: Flags,
+    /// Saved general-purpose registers.
+    pub saved_regs: [u16; crate::isa::NUM_REGS],
+    /// The IRQ line being serviced by this frame.
+    pub irq: u8,
+}
+
+/// Side effects of one instruction that the node must handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuEvent {
+    /// `ret` popped the runtime sentinel: main or a task finished.
+    Returned,
+    /// `reti` completed; carries the IRQ line whose handler exited.
+    Reti {
+        /// The serviced IRQ line.
+        irq: u8,
+    },
+    /// `post` executed.
+    Posted(TaskId),
+    /// `sleep` executed; the CPU is now parked until an interrupt.
+    Slept,
+    /// `halt` executed; the node is permanently stopped.
+    Halted,
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepResult {
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// The PC of the retired instruction (for instruction counting).
+    pub pc: u16,
+    /// Event for the node, if any.
+    pub event: Option<CpuEvent>,
+}
+
+/// The execution core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers.
+    pub regs: [u16; crate::isa::NUM_REGS],
+    /// Program counter (instruction index).
+    pub pc: u16,
+    /// Stack pointer (next free slot; grows downward).
+    pub sp: u16,
+    /// Status flags.
+    pub flags: Flags,
+    /// Data memory (word-addressed).
+    pub mem: Vec<u16>,
+    /// Whether a `sleep` instruction parked the CPU.
+    pub sleeping: bool,
+    /// Whether `halt` stopped the CPU permanently.
+    pub halted: bool,
+    /// Whether a base context (main or a task) is currently executing.
+    active: bool,
+    /// Stack floor: `sp` may not descend below this (data segment guard).
+    stack_floor: u16,
+    int_frames: Vec<IntFrame>,
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed memory of `mem_words` words, applying the
+    /// program's data image and entering `main`.
+    pub fn new(program: &Program, mem_words: u16) -> Cpu {
+        let mut mem = vec![0u16; mem_words as usize];
+        for &(addr, value) in &program.data_init {
+            if let Some(slot) = mem.get_mut(addr as usize) {
+                *slot = value;
+            }
+        }
+        let mut cpu = Cpu {
+            regs: [0; crate::isa::NUM_REGS],
+            pc: 0,
+            sp: mem_words.saturating_sub(1),
+            flags: Flags {
+                i: true,
+                ..Flags::default()
+            },
+            mem,
+            sleeping: false,
+            halted: false,
+            active: false,
+            stack_floor: program.data_size,
+            int_frames: Vec::new(),
+        };
+        cpu.enter(program.entry);
+        cpu
+    }
+
+    /// Whether a base context (main or a task) is executing.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of nested interrupt handlers currently in service.
+    pub fn int_depth(&self) -> usize {
+        self.int_frames.len()
+    }
+
+    /// Whether the handler for `irq` is currently in service at any depth.
+    pub fn irq_in_service(&self, irq: u8) -> bool {
+        self.int_frames.iter().any(|f| f.irq == irq)
+    }
+
+    /// Whether the CPU can execute an instruction right now.
+    pub fn runnable(&self) -> bool {
+        !self.halted && !self.sleeping && (self.active || !self.int_frames.is_empty())
+    }
+
+    /// Begins executing a base context (main or a task) at `entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a base context is already active — the node must only call
+    /// this from the scheduler, when the CPU is idle.
+    pub fn enter(&mut self, entry: u16) {
+        assert!(!self.active, "enter() while a base context is active");
+        self.active = true;
+        self.sleeping = false;
+        self.pc = entry;
+        // The runtime sentinel is implicit: `ret` with an empty frame is
+        // detected via the pushed sentinel value.
+        // Push it onto the data stack like a real call would.
+        let slot = self.sp as usize;
+        if let Some(s) = self.mem.get_mut(slot) {
+            *s = RETURN_SENTINEL;
+        }
+        self.sp = self.sp.wrapping_sub(1);
+    }
+
+    /// Vectors an interrupt: saves the current context and jumps to `entry`.
+    pub fn enter_interrupt(&mut self, irq: u8, entry: u16) {
+        let saved_pc = if self.active || !self.int_frames.is_empty() {
+            Some(self.pc)
+        } else {
+            None
+        };
+        self.int_frames.push(IntFrame {
+            saved_pc,
+            saved_flags: self.flags,
+            saved_regs: self.regs,
+            irq,
+        });
+        // Waking from `sleep` is permanent: after the handler returns,
+        // execution resumes at the instruction following `sleep` (AVR-style
+        // wake-up), so `sleeping` is cleared and not restored by `reti`.
+        self.sleeping = false;
+        self.pc = entry;
+    }
+
+    fn push_word(&mut self, value: u16, pc: u16) -> Result<(), VmError> {
+        if self.sp < self.stack_floor || self.sp as usize >= self.mem.len() {
+            return Err(VmError::StackOverflow { pc });
+        }
+        self.mem[self.sp as usize] = value;
+        self.sp = self.sp.wrapping_sub(1);
+        Ok(())
+    }
+
+    fn pop_word(&mut self, pc: u16) -> Result<u16, VmError> {
+        let next = self.sp.wrapping_add(1);
+        if next as usize >= self.mem.len() {
+            return Err(VmError::StackUnderflow { pc });
+        }
+        self.sp = next;
+        Ok(self.mem[next as usize])
+    }
+
+    fn mem_read(&self, addr: u32, pc: u16) -> Result<u16, VmError> {
+        self.mem
+            .get(addr as usize)
+            .copied()
+            .ok_or(VmError::MemOutOfRange { pc, addr })
+    }
+
+    fn mem_write(&mut self, addr: u32, value: u16, pc: u16) -> Result<(), VmError> {
+        match self.mem.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(VmError::MemOutOfRange { pc, addr }),
+        }
+    }
+
+    fn set_arith_flags(&mut self, result: u16) {
+        self.flags.z = result == 0;
+        self.flags.n = (result as i16) < 0;
+        self.flags.lts = self.flags.n;
+        // ltu untouched for pure logical results.
+    }
+
+    fn set_cmp_flags(&mut self, a: u16, b: u16) {
+        let result = a.wrapping_sub(b);
+        self.flags.z = result == 0;
+        self.flags.n = (result as i16) < 0;
+        self.flags.ltu = a < b;
+        self.flags.lts = (a as i16) < (b as i16);
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::Eq => self.flags.z,
+            Cond::Ne => !self.flags.z,
+            Cond::Lt => self.flags.lts,
+            Cond::Ge => !self.flags.lts,
+            Cond::Ltu => self.flags.ltu,
+            Cond::Geu => !self.flags.ltu,
+        }
+    }
+
+    fn effective_addr(base: u16, off: i8) -> u32 {
+        (base as i32 + off as i32).rem_euclid(0x1_0000) as u32
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on machine faults (bad PC, memory violation,
+    /// stack misuse, unknown port, `reti` outside a handler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the CPU is not [`Cpu::runnable`]; the node's
+    /// main loop upholds this.
+    pub fn step(&mut self, program: &Program, bus: &mut dyn Bus, cycle: u64) -> Result<StepResult, VmError> {
+        assert!(self.runnable(), "step() on a non-runnable CPU");
+        let pc = self.pc;
+        let op = *program
+            .ops
+            .get(pc as usize)
+            .ok_or(VmError::PcOutOfRange { pc })?;
+        let mut cycles = op.cycles();
+        let mut event = None;
+        self.pc = self.pc.wrapping_add(1);
+
+        match op {
+            Op::Nop => {}
+            Op::Halt => {
+                self.halted = true;
+                event = Some(CpuEvent::Halted);
+            }
+            Op::Sleep => {
+                self.sleeping = true;
+                event = Some(CpuEvent::Slept);
+            }
+            Op::Ldi(rd, imm) => self.regs[rd.index()] = imm,
+            Op::Mov(rd, rs) => self.regs[rd.index()] = self.regs[rs.index()],
+            Op::Ld(rd, base, off) => {
+                let addr = Self::effective_addr(self.regs[base.index()], off);
+                self.regs[rd.index()] = self.mem_read(addr, pc)?;
+            }
+            Op::St(base, off, rv) => {
+                let addr = Self::effective_addr(self.regs[base.index()], off);
+                let v = self.regs[rv.index()];
+                self.mem_write(addr, v, pc)?;
+            }
+            Op::Lda(rd, addr) => self.regs[rd.index()] = self.mem_read(addr as u32, pc)?,
+            Op::Sta(addr, rs) => {
+                let v = self.regs[rs.index()];
+                self.mem_write(addr as u32, v, pc)?;
+            }
+            Op::Add(rd, rs) => {
+                let (r, carry) = self.regs[rd.index()].overflowing_add(self.regs[rs.index()]);
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+                self.flags.ltu = carry;
+            }
+            Op::Sub(rd, rs) => {
+                let a = self.regs[rd.index()];
+                let b = self.regs[rs.index()];
+                self.set_cmp_flags(a, b);
+                self.regs[rd.index()] = a.wrapping_sub(b);
+            }
+            Op::And(rd, rs) => {
+                let r = self.regs[rd.index()] & self.regs[rs.index()];
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+            }
+            Op::Or(rd, rs) => {
+                let r = self.regs[rd.index()] | self.regs[rs.index()];
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+            }
+            Op::Xor(rd, rs) => {
+                let r = self.regs[rd.index()] ^ self.regs[rs.index()];
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+            }
+            Op::Mul(rd, rs) => {
+                let r = self.regs[rd.index()].wrapping_mul(self.regs[rs.index()]);
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+            }
+            Op::Addi(rd, imm) => {
+                let (r, carry) = self.regs[rd.index()].overflowing_add(imm);
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+                self.flags.ltu = carry;
+            }
+            Op::Subi(rd, imm) => {
+                let a = self.regs[rd.index()];
+                self.set_cmp_flags(a, imm);
+                self.regs[rd.index()] = a.wrapping_sub(imm);
+            }
+            Op::Cmp(ra, rb) => {
+                let (a, b) = (self.regs[ra.index()], self.regs[rb.index()]);
+                self.set_cmp_flags(a, b);
+            }
+            Op::Cmpi(ra, imm) => {
+                let a = self.regs[ra.index()];
+                self.set_cmp_flags(a, imm);
+            }
+            Op::Shl(rd, amount) => {
+                let r = self.regs[rd.index()] << amount;
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+            }
+            Op::Shr(rd, amount) => {
+                let r = self.regs[rd.index()] >> amount;
+                self.regs[rd.index()] = r;
+                self.set_arith_flags(r);
+            }
+            Op::Jmp(target) => self.pc = target,
+            Op::Br(cond, target) => {
+                if self.cond_holds(cond) {
+                    self.pc = target;
+                    cycles += 1;
+                }
+            }
+            Op::Call(target) => {
+                let ret_pc = self.pc;
+                self.push_word(ret_pc, pc)?;
+                self.pc = target;
+            }
+            Op::Ret => {
+                let ret_pc = self.pop_word(pc)?;
+                if ret_pc == RETURN_SENTINEL {
+                    self.active = false;
+                    event = Some(CpuEvent::Returned);
+                } else {
+                    self.pc = ret_pc;
+                }
+            }
+            Op::Reti => {
+                let frame = self
+                    .int_frames
+                    .pop()
+                    .ok_or(VmError::RetiOutsideHandler { pc })?;
+                // Preserve the handler's interrupt-enable choice is not
+                // meaningful here: flags are fully restored, per AVR RETI
+                // semantics (which also re-enables interrupts).
+                self.flags = frame.saved_flags;
+                self.regs = frame.saved_regs;
+                match frame.saved_pc {
+                    Some(saved) => self.pc = saved,
+                    None => {
+                        // Interrupt arrived while idle; stay idle.
+                    }
+                }
+                event = Some(CpuEvent::Reti { irq: frame.irq });
+            }
+            Op::Push(rs) => {
+                let v = self.regs[rs.index()];
+                self.push_word(v, pc)?;
+            }
+            Op::Pop(rd) => {
+                let v = self.pop_word(pc)?;
+                self.regs[rd.index()] = v;
+            }
+            Op::In(rd, p) => {
+                self.regs[rd.index()] = bus.port_in(p, pc, cycle)?;
+            }
+            Op::Out(p, rs) => {
+                let v = self.regs[rs.index()];
+                bus.port_out(p, v, pc, cycle)?;
+            }
+            Op::Post(task) => {
+                if task.index() >= program.tasks.len() {
+                    return Err(VmError::BadTask { pc, task: task.0 });
+                }
+                event = Some(CpuEvent::Posted(task));
+            }
+            Op::Sei => self.flags.i = true,
+            Op::Cli => self.flags.i = false,
+        }
+
+        Ok(StepResult { cycles, pc, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    struct NoBus;
+    impl Bus for NoBus {
+        fn port_in(&mut self, port: u8, pc: u16, _cycle: u64) -> Result<u16, VmError> {
+            Err(VmError::BadPort { pc, port })
+        }
+        fn port_out(&mut self, port: u8, _v: u16, pc: u16, _cycle: u64) -> Result<(), VmError> {
+            Err(VmError::BadPort { pc, port })
+        }
+    }
+
+    fn run_to_return(src: &str) -> Cpu {
+        let p = assemble(src).unwrap();
+        let mut cpu = Cpu::new(&p, 256);
+        let mut bus = NoBus;
+        for _ in 0..10_000 {
+            let r = cpu.step(&p, &mut bus, 0).unwrap();
+            if matches!(r.event, Some(CpuEvent::Returned) | Some(CpuEvent::Halted)) {
+                return cpu;
+            }
+        }
+        panic!("program did not return");
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let cpu = run_to_return(
+            "main:\n ldi r1, 7\n ldi r2, 5\n add r1, r2\n ret\n",
+        );
+        assert_eq!(cpu.regs[1], 12);
+        assert!(!cpu.flags.z);
+    }
+
+    #[test]
+    fn wrapping_add_sets_carry() {
+        let cpu = run_to_return("main:\n ldi r1, 0xFFFF\n addi r1, 1\n ret\n");
+        assert_eq!(cpu.regs[1], 0);
+        assert!(cpu.flags.z);
+        assert!(cpu.flags.ltu, "carry out recorded in ltu");
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        // -1 (0xFFFF) vs 1: signed lt true, unsigned lt false.
+        let cpu = run_to_return(
+            "main:\n ldi r1, 0xFFFF\n ldi r2, 1\n cmp r1, r2\n ret\n",
+        );
+        assert!(cpu.flags.lts);
+        assert!(!cpu.flags.ltu);
+    }
+
+    #[test]
+    fn branches_taken_and_not() {
+        let cpu = run_to_return(
+            "main:\n ldi r1, 3\n cmpi r1, 3\n breq yes\n ldi r2, 1\nyes:\n ldi r3, 9\n ret\n",
+        );
+        assert_eq!(cpu.regs[2], 0, "breq should skip");
+        assert_eq!(cpu.regs[3], 9);
+    }
+
+    #[test]
+    fn call_and_ret_nest() {
+        let cpu = run_to_return(
+            "main:\n call f\n ldi r2, 2\n ret\nf:\n ldi r1, 1\n ret\n",
+        );
+        assert_eq!(cpu.regs[1], 1);
+        assert_eq!(cpu.regs[2], 2);
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let cpu = run_to_return(
+            "main:\n ldi r1, 42\n push r1\n ldi r1, 0\n pop r2\n ret\n",
+        );
+        assert_eq!(cpu.regs[2], 42);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let cpu = run_to_return(
+            ".data buf 4\nmain:\n ldi r1, 99\n sta buf, r1\n lda r2, buf\n ldi r3, buf\n ld r4, [r3+0]\n ret\n",
+        );
+        assert_eq!(cpu.regs[2], 99);
+        assert_eq!(cpu.regs[4], 99);
+    }
+
+    #[test]
+    fn data_init_applied_at_reset() {
+        let p = assemble(".word k 17\nmain:\n lda r1, k\n ret\n").unwrap();
+        let cpu = Cpu::new(&p, 64);
+        assert_eq!(cpu.mem[0], 17);
+    }
+
+    #[test]
+    fn reti_outside_handler_faults() {
+        let p = assemble("main:\n reti\n").unwrap();
+        let mut cpu = Cpu::new(&p, 64);
+        let e = cpu.step(&p, &mut NoBus, 0).unwrap_err();
+        assert_eq!(e, VmError::RetiOutsideHandler { pc: 0 });
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        // mem of 8 words, data_size 4 -> stack region is tiny.
+        let p = assemble(".data pad 6\nmain:\nlp:\n push r1\n jmp lp\n").unwrap();
+        let mut cpu = Cpu::new(&p, 8);
+        let mut bus = NoBus;
+        let mut saw_overflow = false;
+        for _ in 0..64 {
+            match cpu.step(&p, &mut bus, 0) {
+                Err(VmError::StackOverflow { .. }) => {
+                    saw_overflow = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected fault {e}"),
+                Ok(_) => {}
+            }
+        }
+        assert!(saw_overflow);
+    }
+
+    #[test]
+    fn interrupt_entry_and_reti_restore_context() {
+        let p = assemble(
+            ".handler TIMER0 h\nmain:\n ldi r1, 1\n ldi r2, 2\n ret\nh:\n ldi r3, 3\n reti\n",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(&p, 64);
+        let mut bus = NoBus;
+        // Execute first instruction of main.
+        cpu.step(&p, &mut bus, 0).unwrap();
+        let pc_before = cpu.pc;
+        cpu.enter_interrupt(0, p.label("h").unwrap());
+        assert_eq!(cpu.int_depth(), 1);
+        assert!(cpu.irq_in_service(0));
+        // Run the handler.
+        cpu.step(&p, &mut bus, 0).unwrap();
+        let r = cpu.step(&p, &mut bus, 0).unwrap();
+        assert_eq!(r.event, Some(CpuEvent::Reti { irq: 0 }));
+        assert_eq!(cpu.pc, pc_before);
+        assert_eq!(cpu.int_depth(), 0);
+        // The register file is restored: handler-local values do not leak
+        // into the preempted context.
+        assert_eq!(cpu.regs[3], 0);
+        assert_eq!(cpu.regs[1], 1, "pre-interrupt registers preserved");
+    }
+
+    #[test]
+    fn interrupt_while_idle_returns_to_idle() {
+        let p = assemble(".handler TIMER0 h\nmain:\n ret\nh:\n reti\n").unwrap();
+        let mut cpu = Cpu::new(&p, 64);
+        let mut bus = NoBus;
+        let r = cpu.step(&p, &mut bus, 0).unwrap();
+        assert_eq!(r.event, Some(CpuEvent::Returned));
+        assert!(!cpu.is_active());
+        cpu.enter_interrupt(0, p.label("h").unwrap());
+        assert!(cpu.runnable());
+        let r = cpu.step(&p, &mut bus, 0).unwrap();
+        assert_eq!(r.event, Some(CpuEvent::Reti { irq: 0 }));
+        assert!(!cpu.runnable(), "CPU returns to idle after handler");
+    }
+
+    #[test]
+    fn sleep_sets_flag_and_interrupt_wakes() {
+        let p = assemble(
+            ".handler TIMER0 h\nmain:\n sleep\n ldi r1, 5\n ret\nh:\n reti\n",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(&p, 64);
+        let mut bus = NoBus;
+        let r = cpu.step(&p, &mut bus, 0).unwrap();
+        assert_eq!(r.event, Some(CpuEvent::Slept));
+        assert!(!cpu.runnable());
+        cpu.enter_interrupt(0, p.label("h").unwrap());
+        cpu.step(&p, &mut bus, 0).unwrap(); // reti
+        // Wake-up is permanent: execution resumes after the `sleep`.
+        assert!(!cpu.sleeping);
+        let r = cpu.step(&p, &mut bus, 0).unwrap();
+        assert!(r.event.is_none());
+        assert_eq!(cpu.regs[1], 5);
+    }
+
+    #[test]
+    fn post_surfaces_event() {
+        let p = assemble(".task t\nmain:\n post t\n ret\nt:\n ret\n").unwrap();
+        let mut cpu = Cpu::new(&p, 64);
+        let r = cpu.step(&p, &mut NoBus, 0).unwrap();
+        assert_eq!(r.event, Some(CpuEvent::Posted(TaskId(0))));
+    }
+
+    #[test]
+    fn mul_and_shifts() {
+        let cpu = run_to_return(
+            "main:\n ldi r1, 6\n ldi r2, 7\n mul r1, r2\n mov r3, r1\n shl r3, 2\n shr r3, 1\n ret\n",
+        );
+        assert_eq!(cpu.regs[1], 42);
+        assert_eq!(cpu.regs[3], 84);
+    }
+}

@@ -1,0 +1,691 @@
+//! Memory-mapped peripherals: timers, ADC, radio, UART, RNG.
+//!
+//! All devices share one future-event queue keyed by node-local cycle;
+//! [`Devices`] implements the CPU's [`Bus`] so `in`/`out` reach the
+//! peripherals, and the node drains due events between instructions.
+//! Interrupt requests are accumulated in a pending bitmask that the node's
+//! dispatch loop consumes.
+
+use crate::cpu::Bus;
+use crate::error::VmError;
+use crate::isa::{irq, port};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Maximum payload words the radio TX buffer accepts; further pushes are
+/// silently dropped (mirrors a fixed-size chip FIFO).
+pub const MAX_PAYLOAD_WORDS: usize = 64;
+
+/// A radio packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sending node id.
+    pub src: u16,
+    /// Destination node id, or [`port::BROADCAST`].
+    pub dest: u16,
+    /// Payload words.
+    pub payload: Vec<u16>,
+}
+
+/// A packet leaving a node, with its transmission window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutgoingPacket {
+    /// The packet.
+    pub packet: Packet,
+    /// Cycle at which transmission began.
+    pub sent_at: u64,
+    /// On-air duration in cycles (handshake + payload airtime).
+    pub duration: u64,
+}
+
+/// ADC configuration: conversion latency and the synthetic sensor model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdcConfig {
+    /// Fixed conversion latency in cycles.
+    pub latency_cycles: u64,
+    /// Additional uniform jitter in `[0, jitter_cycles)`.
+    pub jitter_cycles: u64,
+    /// Sensor baseline value.
+    pub sensor_base: u16,
+    /// Sensor noise amplitude: samples are `base + U[0, noise)`.
+    pub sensor_noise: u16,
+}
+
+impl Default for AdcConfig {
+    fn default() -> Self {
+        AdcConfig {
+            latency_cycles: 200,
+            jitter_cycles: 100,
+            sensor_base: 100,
+            sensor_noise: 32,
+        }
+    }
+}
+
+/// Radio timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Fixed per-transmission overhead in cycles (preamble, header).
+    pub overhead_cycles: u64,
+    /// Airtime per payload word in cycles.
+    pub per_word_cycles: u64,
+    /// Extra cycles for the CSMA control exchange (RTS/CTS/ACK) on unicast
+    /// sends; broadcasts skip it.
+    pub handshake_cycles: u64,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            overhead_cycles: 2_000,
+            per_word_cycles: 500,
+            handshake_cycles: 6_000,
+        }
+    }
+}
+
+/// How execution time is modelled.
+///
+/// [`TimingModel::CycleAccurate`] is the Avrora-like default: every
+/// instruction consumes cycles, so handlers and tasks have real duration
+/// and can interleave. [`TimingModel::ZeroCostEvents`] reproduces the
+/// TOSSIM-style discrete-event abstraction the paper's §VI-E argues
+/// against: handlers and tasks execute instantaneously at their trigger
+/// times ("in a consequential manner"), so executions never overlap and
+/// interleaving-dependent transient bugs cannot manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingModel {
+    /// Instructions consume cycles (cycle-accurate emulation).
+    #[default]
+    CycleAccurate,
+    /// Event executions take zero simulated time (TOSSIM-style).
+    ZeroCostEvents,
+}
+
+/// Complete node configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// This node's id (readable via the `NODE_ID` port, used as the packet
+    /// source address).
+    pub node_id: u16,
+    /// Data memory size in words.
+    pub mem_words: u16,
+    /// RNG seed for this node's jitter / sensor / `RAND`-port streams.
+    pub seed: u64,
+    /// ADC configuration.
+    pub adc: AdcConfig,
+    /// Radio configuration.
+    pub radio: RadioConfig,
+    /// OS task queue capacity.
+    pub task_queue_capacity: usize,
+    /// Execution-time model (see [`TimingModel`]).
+    pub timing: TimingModel,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            node_id: 0,
+            mem_words: 4096,
+            seed: 0xC0FFEE,
+            adc: AdcConfig::default(),
+            radio: RadioConfig::default(),
+            task_queue_capacity: 64,
+            timing: TimingModel::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    TimerFire { which: u8, generation: u32 },
+    AdcReady { sample: u16 },
+    RadioTxDone,
+    RadioDeliver { packet: Packet },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    cycle: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Timer {
+    period_ticks: u16,
+    running: bool,
+    generation: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Adc {
+    pending: bool,
+    data: u16,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Radio {
+    tx_buf: Vec<u16>,
+    tx_busy: bool,
+    send_failed: bool,
+    rx_queue: VecDeque<Packet>,
+    rx_cursor: usize,
+}
+
+/// The peripheral complex of one node.
+#[derive(Debug, Clone)]
+pub struct Devices {
+    config: NodeConfig,
+    timers: [Timer; 2],
+    adc: Adc,
+    radio: Radio,
+    uart: Vec<u16>,
+    rng: ChaCha8Rng,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// Pending interrupt lines (bitmask).
+    pending: u8,
+    outbox: Vec<OutgoingPacket>,
+}
+
+impl Devices {
+    /// Creates the peripheral complex from a node configuration.
+    pub fn new(config: NodeConfig) -> Devices {
+        let seed = config.seed ^ (config.node_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Devices {
+            config,
+            timers: Default::default(),
+            adc: Adc::default(),
+            radio: Radio::default(),
+            uart: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            events: BinaryHeap::new(),
+            seq: 0,
+            pending: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    fn schedule(&mut self, cycle: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { cycle, seq, kind }));
+    }
+
+    fn raise(&mut self, line: u8) {
+        self.pending |= 1 << line;
+    }
+
+    /// Earliest scheduled device event, if any.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(e)| e.cycle)
+    }
+
+    /// Whether any interrupt line is pending.
+    pub fn has_pending(&self) -> bool {
+        self.pending != 0
+    }
+
+    /// Takes the highest-priority pending line accepted by `eligible`
+    /// (lowest line number first), clearing its pending bit.
+    pub fn take_pending(&mut self, eligible: impl Fn(u8) -> bool) -> Option<u8> {
+        for line in 0..irq::NUM_IRQS as u8 {
+            if self.pending & (1 << line) != 0 && eligible(line) {
+                self.pending &= !(1 << line);
+                return Some(line);
+            }
+        }
+        None
+    }
+
+    /// Drops a pending line without dispatching it (used for lines without
+    /// a handler vector, mirroring a masked interrupt).
+    pub fn clear_pending(&mut self, line: u8) {
+        self.pending &= !(1 << line);
+    }
+
+    /// Processes all events due at or before `now`. Returns `true` if any
+    /// event fired (device state may have changed).
+    pub fn process_due(&mut self, now: u64) -> bool {
+        let mut fired = false;
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.cycle > now {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked event exists");
+            fired = true;
+            match ev.kind {
+                EventKind::TimerFire { which, generation } => {
+                    let period = {
+                        let t = &self.timers[which as usize];
+                        if !t.running || t.generation != generation {
+                            continue; // stale: timer stopped/reprogrammed
+                        }
+                        t.period_ticks
+                    };
+                    let line = if which == 0 { irq::TIMER0 } else { irq::TIMER1 };
+                    self.raise(line);
+                    let next = ev.cycle + u64::from(period).max(1) * port::TIMER_TICK_CYCLES;
+                    self.schedule(next, EventKind::TimerFire { which, generation });
+                }
+                EventKind::AdcReady { sample } => {
+                    self.adc.pending = false;
+                    self.adc.data = sample;
+                    self.raise(irq::ADC);
+                }
+                EventKind::RadioTxDone => {
+                    self.radio.tx_busy = false;
+                    self.raise(irq::TXDONE);
+                }
+                EventKind::RadioDeliver { packet } => {
+                    self.radio.rx_queue.push_back(packet);
+                    self.raise(irq::RX);
+                }
+            }
+        }
+        fired
+    }
+
+    /// Re-raises the RX line if received packets remain queued; the node
+    /// calls this when an RX handler exits so one interrupt is delivered per
+    /// queued packet.
+    pub fn refresh_rx_pending(&mut self) {
+        if !self.radio.rx_queue.is_empty() {
+            self.raise(irq::RX);
+        }
+    }
+
+    /// Schedules delivery of `packet` to this node at `at_cycle` (used by
+    /// the network simulator and by tests injecting traffic).
+    pub fn inject_rx(&mut self, at_cycle: u64, packet: Packet) {
+        self.schedule(at_cycle, EventKind::RadioDeliver { packet });
+    }
+
+    /// Removes and returns all packets transmitted so far.
+    pub fn drain_outbox(&mut self) -> Vec<OutgoingPacket> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Words written to the UART debug port so far.
+    pub fn uart(&self) -> &[u16] {
+        &self.uart
+    }
+
+    /// Whether the radio currently reports TX busy.
+    pub fn radio_tx_busy(&self) -> bool {
+        self.radio.tx_busy
+    }
+
+    /// Number of packets waiting in the RX queue.
+    pub fn rx_queue_len(&self) -> usize {
+        self.radio.rx_queue.len()
+    }
+
+    fn timer_ctrl(&mut self, which: usize, value: u16, now: u64) {
+        let t = &mut self.timers[which];
+        t.generation = t.generation.wrapping_add(1);
+        if value != 0 {
+            t.running = true;
+            let period = u64::from(t.period_ticks).max(1) * port::TIMER_TICK_CYCLES;
+            let generation = t.generation;
+            self.schedule(
+                now + period,
+                EventKind::TimerFire {
+                    which: which as u8,
+                    generation,
+                },
+            );
+        } else {
+            t.running = false;
+        }
+    }
+
+    fn start_adc(&mut self, now: u64) {
+        if self.adc.pending {
+            return; // conversion already in flight
+        }
+        self.adc.pending = true;
+        let jitter = if self.config.adc.jitter_cycles > 0 {
+            self.rng.gen_range(0..self.config.adc.jitter_cycles)
+        } else {
+            0
+        };
+        let noise = if self.config.adc.sensor_noise > 0 {
+            self.rng.gen_range(0..self.config.adc.sensor_noise)
+        } else {
+            0
+        };
+        let sample = self.config.adc.sensor_base.wrapping_add(noise);
+        self.schedule(
+            now + self.config.adc.latency_cycles + jitter,
+            EventKind::AdcReady { sample },
+        );
+    }
+
+    fn radio_send(&mut self, dest: u16, now: u64) {
+        if self.radio.tx_busy {
+            // Chip busy: reject the send and drop the staged payload. The
+            // application sees STATUS_SEND_FAILED until its next attempt.
+            self.radio.send_failed = true;
+            self.radio.tx_buf.clear();
+            return;
+        }
+        self.radio.send_failed = false;
+        self.radio.tx_busy = true;
+        let payload = std::mem::take(&mut self.radio.tx_buf);
+        let handshake = if dest == port::BROADCAST {
+            0
+        } else {
+            self.config.radio.handshake_cycles
+        };
+        let duration = self.config.radio.overhead_cycles
+            + handshake
+            + payload.len() as u64 * self.config.radio.per_word_cycles;
+        self.schedule(now + duration, EventKind::RadioTxDone);
+        self.outbox.push(OutgoingPacket {
+            packet: Packet {
+                src: self.config.node_id,
+                dest,
+                payload,
+            },
+            sent_at: now,
+            duration,
+        });
+    }
+
+    fn rx_pop(&mut self) -> u16 {
+        let Some(front) = self.radio.rx_queue.front() else {
+            return 0;
+        };
+        let word = front.payload.get(self.radio.rx_cursor).copied().unwrap_or(0);
+        self.radio.rx_cursor += 1;
+        if self.radio.rx_cursor >= front.payload.len() {
+            self.radio.rx_queue.pop_front();
+            self.radio.rx_cursor = 0;
+        }
+        word
+    }
+
+    fn rx_drop(&mut self) {
+        self.radio.rx_queue.pop_front();
+        self.radio.rx_cursor = 0;
+    }
+}
+
+impl Bus for Devices {
+    fn port_in(&mut self, p: u8, pc: u16, _cycle: u64) -> Result<u16, VmError> {
+        Ok(match p {
+            port::ADC_DATA => self.adc.data,
+            port::RADIO_STATUS => {
+                let mut s = 0;
+                if self.radio.tx_busy {
+                    s |= port::STATUS_TX_BUSY;
+                }
+                if self.radio.send_failed {
+                    s |= port::STATUS_SEND_FAILED;
+                }
+                s
+            }
+            port::RADIO_RX_LEN => self
+                .radio
+                .rx_queue
+                .front()
+                .map(|pkt| (pkt.payload.len() - self.radio.rx_cursor) as u16)
+                .unwrap_or(0),
+            port::RADIO_RX_POP => self.rx_pop(),
+            port::RADIO_RX_SRC => self.radio.rx_queue.front().map(|pkt| pkt.src).unwrap_or(0),
+            port::RAND => self.rng.gen(),
+            port::NODE_ID => self.config.node_id,
+            _ => return Err(VmError::BadPort { pc, port: p }),
+        })
+    }
+
+    fn port_out(&mut self, p: u8, value: u16, pc: u16, cycle: u64) -> Result<(), VmError> {
+        match p {
+            port::TIMER0_PERIOD => self.timers[0].period_ticks = value,
+            port::TIMER1_PERIOD => self.timers[1].period_ticks = value,
+            port::TIMER0_CTRL => self.timer_ctrl(0, value, cycle),
+            port::TIMER1_CTRL => self.timer_ctrl(1, value, cycle),
+            port::ADC_CTRL => {
+                if value != 0 {
+                    self.start_adc(cycle);
+                }
+            }
+            port::RADIO_TX_PUSH => {
+                if self.radio.tx_buf.len() < MAX_PAYLOAD_WORDS {
+                    self.radio.tx_buf.push(value);
+                }
+            }
+            port::RADIO_SEND => self.radio_send(value, cycle),
+            port::RADIO_RX_DROP => self.rx_drop(),
+            port::UART_OUT => self.uart.push(value),
+            _ => return Err(VmError::BadPort { pc, port: p }),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices() -> Devices {
+        Devices::new(NodeConfig::default())
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut d = devices();
+        d.port_out(port::TIMER0_PERIOD, 2, 0, 0).unwrap(); // 512 cycles
+        d.port_out(port::TIMER0_CTRL, 1, 0, 0).unwrap();
+        assert_eq!(d.next_event_cycle(), Some(512));
+        assert!(d.process_due(512));
+        assert!(d.has_pending());
+        assert_eq!(d.take_pending(|_| true), Some(irq::TIMER0));
+        // Re-armed.
+        assert_eq!(d.next_event_cycle(), Some(1024));
+    }
+
+    #[test]
+    fn stopped_timer_does_not_fire() {
+        let mut d = devices();
+        d.port_out(port::TIMER0_PERIOD, 1, 0, 0).unwrap();
+        d.port_out(port::TIMER0_CTRL, 1, 0, 0).unwrap();
+        d.port_out(port::TIMER0_CTRL, 0, 0, 10).unwrap();
+        d.process_due(10_000);
+        assert!(!d.has_pending());
+    }
+
+    #[test]
+    fn reprogrammed_timer_invalidates_stale_event() {
+        let mut d = devices();
+        d.port_out(port::TIMER0_PERIOD, 1, 0, 0).unwrap(); // 256
+        d.port_out(port::TIMER0_CTRL, 1, 0, 0).unwrap();
+        d.port_out(port::TIMER0_PERIOD, 4, 0, 100).unwrap(); // 1024
+        d.port_out(port::TIMER0_CTRL, 1, 0, 100).unwrap(); // restart
+        d.process_due(256); // stale event fires as no-op
+        assert!(!d.has_pending());
+        d.process_due(100 + 1024);
+        assert!(d.has_pending());
+    }
+
+    #[test]
+    fn adc_conversion_latency_and_sample() {
+        let mut d = Devices::new(NodeConfig {
+            adc: AdcConfig {
+                latency_cycles: 100,
+                jitter_cycles: 0,
+                sensor_base: 500,
+                sensor_noise: 0,
+            },
+            ..NodeConfig::default()
+        });
+        d.port_out(port::ADC_CTRL, 1, 0, 50).unwrap();
+        d.process_due(149);
+        assert!(!d.has_pending());
+        d.process_due(150);
+        assert_eq!(d.take_pending(|_| true), Some(irq::ADC));
+        assert_eq!(d.port_in(port::ADC_DATA, 0, 150).unwrap(), 500);
+    }
+
+    #[test]
+    fn adc_start_while_pending_is_ignored() {
+        let mut d = devices();
+        d.port_out(port::ADC_CTRL, 1, 0, 0).unwrap();
+        d.port_out(port::ADC_CTRL, 1, 0, 1).unwrap();
+        let first = d.next_event_cycle().unwrap();
+        d.process_due(first);
+        assert_eq!(d.next_event_cycle(), None, "only one conversion scheduled");
+    }
+
+    #[test]
+    fn radio_send_sets_busy_then_txdone() {
+        let mut d = devices();
+        d.port_out(port::RADIO_TX_PUSH, 11, 0, 0).unwrap();
+        d.port_out(port::RADIO_TX_PUSH, 22, 0, 0).unwrap();
+        d.port_out(port::RADIO_SEND, 5, 0, 100).unwrap();
+        assert!(d.radio_tx_busy());
+        let status = d.port_in(port::RADIO_STATUS, 0, 101).unwrap();
+        assert_eq!(status & port::STATUS_TX_BUSY, port::STATUS_TX_BUSY);
+        let out = d.drain_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.dest, 5);
+        assert_eq!(out[0].packet.payload, vec![11, 22]);
+        let done = 100 + out[0].duration;
+        d.process_due(done);
+        assert!(!d.radio_tx_busy());
+        assert_eq!(d.take_pending(|_| true), Some(irq::TXDONE));
+    }
+
+    #[test]
+    fn radio_send_while_busy_fails_and_drops_payload() {
+        let mut d = devices();
+        d.port_out(port::RADIO_TX_PUSH, 1, 0, 0).unwrap();
+        d.port_out(port::RADIO_SEND, 2, 0, 0).unwrap();
+        d.port_out(port::RADIO_TX_PUSH, 9, 0, 10).unwrap();
+        d.port_out(port::RADIO_SEND, 2, 0, 10).unwrap();
+        let status = d.port_in(port::RADIO_STATUS, 0, 11).unwrap();
+        assert_ne!(status & port::STATUS_SEND_FAILED, 0);
+        assert_eq!(d.drain_outbox().len(), 1, "second packet was dropped");
+    }
+
+    #[test]
+    fn broadcast_skips_handshake() {
+        let cfg = NodeConfig::default();
+        let mut d = Devices::new(cfg);
+        d.port_out(port::RADIO_TX_PUSH, 1, 0, 0).unwrap();
+        d.port_out(port::RADIO_SEND, port::BROADCAST, 0, 0).unwrap();
+        let out = d.drain_outbox();
+        assert_eq!(
+            out[0].duration,
+            cfg.radio.overhead_cycles + cfg.radio.per_word_cycles
+        );
+    }
+
+    #[test]
+    fn rx_delivery_raises_irq_and_pops_in_order() {
+        let mut d = devices();
+        d.inject_rx(
+            100,
+            Packet {
+                src: 7,
+                dest: 0,
+                payload: vec![3, 4],
+            },
+        );
+        d.process_due(100);
+        assert_eq!(d.take_pending(|_| true), Some(irq::RX));
+        assert_eq!(d.port_in(port::RADIO_RX_SRC, 0, 100).unwrap(), 7);
+        assert_eq!(d.port_in(port::RADIO_RX_LEN, 0, 100).unwrap(), 2);
+        assert_eq!(d.port_in(port::RADIO_RX_POP, 0, 100).unwrap(), 3);
+        assert_eq!(d.port_in(port::RADIO_RX_LEN, 0, 100).unwrap(), 1);
+        assert_eq!(d.port_in(port::RADIO_RX_POP, 0, 100).unwrap(), 4);
+        assert_eq!(d.rx_queue_len(), 0, "packet auto-dropped after last word");
+        assert_eq!(d.port_in(port::RADIO_RX_POP, 0, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn rx_refresh_re_raises_for_queued_packets() {
+        let mut d = devices();
+        for i in 0..2 {
+            d.inject_rx(
+                10,
+                Packet {
+                    src: i,
+                    dest: 0,
+                    payload: vec![i],
+                },
+            );
+        }
+        d.process_due(10);
+        assert_eq!(d.take_pending(|_| true), Some(irq::RX));
+        d.port_out(port::RADIO_RX_DROP, 0, 0, 10).unwrap();
+        assert!(!d.has_pending());
+        d.refresh_rx_pending();
+        assert_eq!(d.take_pending(|_| true), Some(irq::RX));
+    }
+
+    #[test]
+    fn rand_stream_is_deterministic_per_seed() {
+        let mut a = Devices::new(NodeConfig {
+            seed: 1,
+            ..NodeConfig::default()
+        });
+        let mut b = Devices::new(NodeConfig {
+            seed: 1,
+            ..NodeConfig::default()
+        });
+        for _ in 0..8 {
+            assert_eq!(
+                a.port_in(port::RAND, 0, 0).unwrap(),
+                b.port_in(port::RAND, 0, 0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn uart_captures_words() {
+        let mut d = devices();
+        d.port_out(port::UART_OUT, 0xABCD, 0, 0).unwrap();
+        assert_eq!(d.uart(), &[0xABCD]);
+    }
+
+    #[test]
+    fn bad_port_faults() {
+        let mut d = devices();
+        assert!(matches!(
+            d.port_in(0x7F, 3, 0),
+            Err(VmError::BadPort { pc: 3, port: 0x7F })
+        ));
+    }
+
+    #[test]
+    fn take_pending_respects_eligibility_and_priority() {
+        let mut d = devices();
+        d.raise(irq::ADC);
+        d.raise(irq::TIMER0);
+        assert_eq!(d.take_pending(|n| n != irq::TIMER0), Some(irq::ADC));
+        assert_eq!(d.take_pending(|_| true), Some(irq::TIMER0));
+        assert_eq!(d.take_pending(|_| true), None);
+    }
+}

@@ -1,0 +1,391 @@
+//! Binary instruction encoding and the disassembler.
+//!
+//! Sentomist's front-end (paper Figure 3) consumes *binary* application
+//! code; this module defines the 32-bit machine-word encoding of the
+//! TinyVM ISA — `[opcode:8][a:8][b:16]` — plus a disassembler that renders
+//! programs back to readable listings with label annotations (used by the
+//! CLI and by localization reports).
+
+use crate::isa::{Cond, Op, Reg, TaskId};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode {
+        /// The offending opcode.
+        opcode: u8,
+    },
+    /// Operand out of range (register ≥ 16, shift ≥ 16, bad condition).
+    BadOperand {
+        /// The whole word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode:#04x}"),
+            DecodeError::BadOperand { word } => write!(f, "bad operand in word {word:#010x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+mod opcode {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const SLEEP: u8 = 0x02;
+    pub const LDI: u8 = 0x03;
+    pub const MOV: u8 = 0x04;
+    pub const LD: u8 = 0x05;
+    pub const ST: u8 = 0x06;
+    pub const LDA: u8 = 0x07;
+    pub const STA: u8 = 0x08;
+    pub const ADD: u8 = 0x09;
+    pub const SUB: u8 = 0x0A;
+    pub const AND: u8 = 0x0B;
+    pub const OR: u8 = 0x0C;
+    pub const XOR: u8 = 0x0D;
+    pub const MUL: u8 = 0x0E;
+    pub const ADDI: u8 = 0x0F;
+    pub const SUBI: u8 = 0x10;
+    pub const CMP: u8 = 0x11;
+    pub const CMPI: u8 = 0x12;
+    pub const SHL: u8 = 0x13;
+    pub const SHR: u8 = 0x14;
+    pub const JMP: u8 = 0x15;
+    pub const BR: u8 = 0x16;
+    pub const CALL: u8 = 0x17;
+    pub const RET: u8 = 0x18;
+    pub const RETI: u8 = 0x19;
+    pub const PUSH: u8 = 0x1A;
+    pub const POP: u8 = 0x1B;
+    pub const IN: u8 = 0x1C;
+    pub const OUT: u8 = 0x1D;
+    pub const POST: u8 = 0x1E;
+    pub const SEI: u8 = 0x1F;
+    pub const CLI: u8 = 0x20;
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Ltu => 4,
+        Cond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Option<Cond> {
+    Some(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Ltu,
+        5 => Cond::Geu,
+        _ => return None,
+    })
+}
+
+fn word(op: u8, a: u8, b: u16) -> u32 {
+    (u32::from(op) << 24) | (u32::from(a) << 16) | u32::from(b)
+}
+
+/// Encodes one instruction into its 32-bit machine word.
+pub fn encode(op: Op) -> u32 {
+    match op {
+        Op::Nop => word(opcode::NOP, 0, 0),
+        Op::Halt => word(opcode::HALT, 0, 0),
+        Op::Sleep => word(opcode::SLEEP, 0, 0),
+        Op::Ldi(r, v) => word(opcode::LDI, r.0, v),
+        Op::Mov(d, s) => word(opcode::MOV, d.0, u16::from(s.0)),
+        Op::Ld(d, b, off) => word(opcode::LD, d.0, (u16::from(b.0) << 8) | u16::from(off as u8)),
+        Op::St(b, off, v) => word(opcode::ST, b.0, (u16::from(v.0) << 8) | u16::from(off as u8)),
+        Op::Lda(d, addr) => word(opcode::LDA, d.0, addr),
+        Op::Sta(addr, s) => word(opcode::STA, s.0, addr),
+        Op::Add(a, b) => word(opcode::ADD, a.0, u16::from(b.0)),
+        Op::Sub(a, b) => word(opcode::SUB, a.0, u16::from(b.0)),
+        Op::And(a, b) => word(opcode::AND, a.0, u16::from(b.0)),
+        Op::Or(a, b) => word(opcode::OR, a.0, u16::from(b.0)),
+        Op::Xor(a, b) => word(opcode::XOR, a.0, u16::from(b.0)),
+        Op::Mul(a, b) => word(opcode::MUL, a.0, u16::from(b.0)),
+        Op::Addi(r, v) => word(opcode::ADDI, r.0, v),
+        Op::Subi(r, v) => word(opcode::SUBI, r.0, v),
+        Op::Cmp(a, b) => word(opcode::CMP, a.0, u16::from(b.0)),
+        Op::Cmpi(r, v) => word(opcode::CMPI, r.0, v),
+        Op::Shl(r, s) => word(opcode::SHL, r.0, u16::from(s)),
+        Op::Shr(r, s) => word(opcode::SHR, r.0, u16::from(s)),
+        Op::Jmp(t) => word(opcode::JMP, 0, t),
+        Op::Br(c, t) => word(opcode::BR, cond_code(c), t),
+        Op::Call(t) => word(opcode::CALL, 0, t),
+        Op::Ret => word(opcode::RET, 0, 0),
+        Op::Reti => word(opcode::RETI, 0, 0),
+        Op::Push(r) => word(opcode::PUSH, r.0, 0),
+        Op::Pop(r) => word(opcode::POP, r.0, 0),
+        Op::In(r, p) => word(opcode::IN, r.0, u16::from(p)),
+        Op::Out(p, r) => word(opcode::OUT, r.0, u16::from(p)),
+        Op::Post(t) => word(opcode::POST, 0, t.0),
+        Op::Sei => word(opcode::SEI, 0, 0),
+        Op::Cli => word(opcode::CLI, 0, 0),
+    }
+}
+
+/// Decodes a 32-bit machine word back into an instruction.
+///
+/// # Errors
+///
+/// [`DecodeError`] on unknown opcodes or out-of-range operands.
+pub fn decode(w: u32) -> Result<Op, DecodeError> {
+    let op = (w >> 24) as u8;
+    let a = (w >> 16) as u8;
+    let b = w as u16;
+    let reg = |n: u8| Reg::new(n).ok_or(DecodeError::BadOperand { word: w });
+    let reg_b = |v: u16| {
+        u8::try_from(v)
+            .ok()
+            .and_then(Reg::new)
+            .ok_or(DecodeError::BadOperand { word: w })
+    };
+    Ok(match op {
+        opcode::NOP => Op::Nop,
+        opcode::HALT => Op::Halt,
+        opcode::SLEEP => Op::Sleep,
+        opcode::LDI => Op::Ldi(reg(a)?, b),
+        opcode::MOV => Op::Mov(reg(a)?, reg_b(b)?),
+        opcode::LD => Op::Ld(reg(a)?, reg((b >> 8) as u8)?, b as u8 as i8),
+        opcode::ST => Op::St(reg(a)?, b as u8 as i8, reg((b >> 8) as u8)?),
+        opcode::LDA => Op::Lda(reg(a)?, b),
+        opcode::STA => Op::Sta(b, reg(a)?),
+        opcode::ADD => Op::Add(reg(a)?, reg_b(b)?),
+        opcode::SUB => Op::Sub(reg(a)?, reg_b(b)?),
+        opcode::AND => Op::And(reg(a)?, reg_b(b)?),
+        opcode::OR => Op::Or(reg(a)?, reg_b(b)?),
+        opcode::XOR => Op::Xor(reg(a)?, reg_b(b)?),
+        opcode::MUL => Op::Mul(reg(a)?, reg_b(b)?),
+        opcode::ADDI => Op::Addi(reg(a)?, b),
+        opcode::SUBI => Op::Subi(reg(a)?, b),
+        opcode::CMP => Op::Cmp(reg(a)?, reg_b(b)?),
+        opcode::CMPI => Op::Cmpi(reg(a)?, b),
+        opcode::SHL => {
+            let s = u8::try_from(b).map_err(|_| DecodeError::BadOperand { word: w })?;
+            if s >= 16 {
+                return Err(DecodeError::BadOperand { word: w });
+            }
+            Op::Shl(reg(a)?, s)
+        }
+        opcode::SHR => {
+            let s = u8::try_from(b).map_err(|_| DecodeError::BadOperand { word: w })?;
+            if s >= 16 {
+                return Err(DecodeError::BadOperand { word: w });
+            }
+            Op::Shr(reg(a)?, s)
+        }
+        opcode::JMP => Op::Jmp(b),
+        opcode::BR => Op::Br(cond_from(a).ok_or(DecodeError::BadOperand { word: w })?, b),
+        opcode::CALL => Op::Call(b),
+        opcode::RET => Op::Ret,
+        opcode::RETI => Op::Reti,
+        opcode::PUSH => Op::Push(reg(a)?),
+        opcode::POP => Op::Pop(reg(a)?),
+        opcode::IN => Op::In(
+            reg(a)?,
+            u8::try_from(b).map_err(|_| DecodeError::BadOperand { word: w })?,
+        ),
+        opcode::OUT => Op::Out(
+            u8::try_from(b).map_err(|_| DecodeError::BadOperand { word: w })?,
+            reg(a)?,
+        ),
+        opcode::POST => Op::Post(TaskId(b)),
+        opcode::SEI => Op::Sei,
+        opcode::CLI => Op::Cli,
+        other => return Err(DecodeError::BadOpcode { opcode: other }),
+    })
+}
+
+/// Encodes a whole program text into machine words.
+pub fn encode_program(program: &Program) -> Vec<u32> {
+    program.ops.iter().map(|&op| encode(op)).collect()
+}
+
+/// Renders one instruction in assembler syntax.
+pub fn render_op(op: Op) -> String {
+    match op {
+        Op::Nop => "nop".into(),
+        Op::Halt => "halt".into(),
+        Op::Sleep => "sleep".into(),
+        Op::Ldi(r, v) => format!("ldi {r}, {v}"),
+        Op::Mov(d, s) => format!("mov {d}, {s}"),
+        Op::Ld(d, b, o) => format!("ld {d}, [{b}{o:+}]"),
+        Op::St(b, o, v) => format!("st [{b}{o:+}], {v}"),
+        Op::Lda(d, a) => format!("lda {d}, {a}"),
+        Op::Sta(a, s) => format!("sta {a}, {s}"),
+        Op::Add(a, b) => format!("add {a}, {b}"),
+        Op::Sub(a, b) => format!("sub {a}, {b}"),
+        Op::And(a, b) => format!("and {a}, {b}"),
+        Op::Or(a, b) => format!("or {a}, {b}"),
+        Op::Xor(a, b) => format!("xor {a}, {b}"),
+        Op::Mul(a, b) => format!("mul {a}, {b}"),
+        Op::Addi(r, v) => format!("addi {r}, {v}"),
+        Op::Subi(r, v) => format!("subi {r}, {v}"),
+        Op::Cmp(a, b) => format!("cmp {a}, {b}"),
+        Op::Cmpi(r, v) => format!("cmpi {r}, {v}"),
+        Op::Shl(r, s) => format!("shl {r}, {s}"),
+        Op::Shr(r, s) => format!("shr {r}, {s}"),
+        Op::Jmp(t) => format!("jmp {t}"),
+        Op::Br(c, t) => format!("br{c} {t}"),
+        Op::Call(t) => format!("call {t}"),
+        Op::Ret => "ret".into(),
+        Op::Reti => "reti".into(),
+        Op::Push(r) => format!("push {r}"),
+        Op::Pop(r) => format!("pop {r}"),
+        Op::In(r, p) => format!("in {r}, {p:#04x}"),
+        Op::Out(p, r) => format!("out {p:#04x}, {r}"),
+        Op::Post(t) => format!("post {}", t.0),
+        Op::Sei => "sei".into(),
+        Op::Cli => "cli".into(),
+    }
+}
+
+/// Disassembles a program into an annotated listing: addresses, machine
+/// words, label lines, and source-line references.
+pub fn disassemble(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (pc, &op) in program.ops.iter().enumerate() {
+        let pc16 = pc as u16;
+        if let Some(label) = program.label_at(pc16) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:08x}  {:<24} ; line {}",
+            pc,
+            encode(op),
+            render_op(op),
+            program.source_line(pc16).unwrap_or(0),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn all_ops() -> Vec<Op> {
+        vec![
+            Op::Nop,
+            Op::Halt,
+            Op::Sleep,
+            Op::Ldi(Reg(3), 0xABCD),
+            Op::Mov(Reg(1), Reg(2)),
+            Op::Ld(Reg(4), Reg(5), -3),
+            Op::St(Reg(6), 7, Reg(8)),
+            Op::Lda(Reg(9), 0x1234),
+            Op::Sta(0x4321, Reg(10)),
+            Op::Add(Reg(0), Reg(15)),
+            Op::Sub(Reg(1), Reg(2)),
+            Op::And(Reg(3), Reg(4)),
+            Op::Or(Reg(5), Reg(6)),
+            Op::Xor(Reg(7), Reg(8)),
+            Op::Mul(Reg(9), Reg(10)),
+            Op::Addi(Reg(11), 99),
+            Op::Subi(Reg(12), 100),
+            Op::Cmp(Reg(13), Reg(14)),
+            Op::Cmpi(Reg(15), 0xFFFF),
+            Op::Shl(Reg(1), 15),
+            Op::Shr(Reg(2), 0),
+            Op::Jmp(500),
+            Op::Br(Cond::Eq, 1),
+            Op::Br(Cond::Ne, 2),
+            Op::Br(Cond::Lt, 3),
+            Op::Br(Cond::Ge, 4),
+            Op::Br(Cond::Ltu, 5),
+            Op::Br(Cond::Geu, 6),
+            Op::Call(77),
+            Op::Ret,
+            Op::Reti,
+            Op::Push(Reg(3)),
+            Op::Pop(Reg(4)),
+            Op::In(Reg(5), 0x41),
+            Op::Out(0x30, Reg(6)),
+            Op::Post(TaskId(9)),
+            Op::Sei,
+            Op::Cli,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_op() {
+        for op in all_ops() {
+            let w = encode(op);
+            assert_eq!(decode(w), Ok(op), "{op:?} <-> {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn negative_offsets_survive() {
+        for off in [-128i8, -1, 0, 1, 127] {
+            let op = Op::Ld(Reg(1), Reg(2), off);
+            assert_eq!(decode(encode(op)), Ok(op));
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(
+            decode(0xFF00_0000),
+            Err(DecodeError::BadOpcode { opcode: 0xFF })
+        ));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // MOV with source register 200.
+        let w = (u32::from(super::opcode::MOV) << 24) | (1 << 16) | 200;
+        assert!(matches!(decode(w), Err(DecodeError::BadOperand { .. })));
+    }
+
+    #[test]
+    fn bad_shift_rejected() {
+        let w = (u32::from(super::opcode::SHL) << 24) | (1 << 16) | 16;
+        assert!(matches!(decode(w), Err(DecodeError::BadOperand { .. })));
+    }
+
+    #[test]
+    fn bad_condition_rejected() {
+        let w = (u32::from(super::opcode::BR) << 24) | (9 << 16) | 1;
+        assert!(matches!(decode(w), Err(DecodeError::BadOperand { .. })));
+    }
+
+    #[test]
+    fn disassembly_lists_labels_and_lines() {
+        let p = assemble("main:\n ldi r1, 7\n call f\n halt\nf:\n ret\n").unwrap();
+        let listing = disassemble(&p);
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("f:"));
+        assert!(listing.contains("ldi r1, 7"));
+        assert!(listing.contains("; line 2"));
+    }
+
+    #[test]
+    fn whole_program_round_trips() {
+        let p = assemble(
+            ".task t\n.handler ADC h\nmain:\n post t\n ret\nh:\n reti\nt:\n ld r1, [r2-5]\n ret\n",
+        )
+        .unwrap();
+        let words = encode_program(&p);
+        let decoded: Vec<Op> = words.iter().map(|&w| decode(w).unwrap()).collect();
+        assert_eq!(decoded, p.ops);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for program execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal machine fault raised during execution.
+///
+/// All variants carry the program counter (instruction index) at the
+/// faulting instruction so that tooling can map the fault back to the
+/// assembly source via [`crate::program::Program::source_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The PC left the program text.
+    PcOutOfRange {
+        /// Faulting program counter.
+        pc: u16,
+    },
+    /// A load or store addressed memory outside the data segment.
+    MemOutOfRange {
+        /// Faulting program counter.
+        pc: u16,
+        /// The offending effective address.
+        addr: u32,
+    },
+    /// The data stack overflowed into the data segment floor.
+    StackOverflow {
+        /// Faulting program counter.
+        pc: u16,
+    },
+    /// `pop`/`ret` executed with an empty stack region.
+    StackUnderflow {
+        /// Faulting program counter.
+        pc: u16,
+    },
+    /// `reti` executed while no interrupt handler was in service.
+    RetiOutsideHandler {
+        /// Faulting program counter.
+        pc: u16,
+    },
+    /// The OS task queue is full.
+    TaskQueueFull {
+        /// Faulting program counter.
+        pc: u16,
+    },
+    /// `in`/`out` addressed an unknown port.
+    BadPort {
+        /// Faulting program counter.
+        pc: u16,
+        /// The unknown port number.
+        port: u8,
+    },
+    /// A `post` named a task id outside the program's task table.
+    BadTask {
+        /// Faulting program counter.
+        pc: u16,
+        /// The out-of-range task id.
+        task: u16,
+    },
+    /// An interrupt fired for a line with no `.handler` vector.
+    MissingVector {
+        /// The unvectored IRQ line.
+        irq: u8,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            VmError::MemOutOfRange { pc, addr } => {
+                write!(f, "memory access to {addr:#x} out of range at pc {pc}")
+            }
+            VmError::StackOverflow { pc } => write!(f, "stack overflow at pc {pc}"),
+            VmError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
+            VmError::RetiOutsideHandler { pc } => {
+                write!(f, "reti outside an interrupt handler at pc {pc}")
+            }
+            VmError::TaskQueueFull { pc } => write!(f, "task queue full at pc {pc}"),
+            VmError::BadPort { pc, port } => write!(f, "unknown port {port:#x} at pc {pc}"),
+            VmError::BadTask { pc, task } => write!(f, "unknown task id {task} at pc {pc}"),
+            VmError::MissingVector { irq } => {
+                write!(f, "no handler vector for interrupt {irq}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_pc() {
+        let e = VmError::StackOverflow { pc: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(VmError::PcOutOfRange { pc: 0 });
+    }
+}

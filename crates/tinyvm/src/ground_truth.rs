@@ -1,0 +1,175 @@
+//! Ground-truth tracking of event-procedure instances.
+//!
+//! The VM knows exactly which interrupt-handler instance posted every task
+//! (information Sentomist's analyzer must *infer* from the lifecycle
+//! sequence alone), so it can record the true event-handling interval of
+//! each event-procedure instance per Definitions 1–2 of the paper. The
+//! trace crate's inference is validated against these records in tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an event-procedure instance within one node's run.
+pub type InstanceId = usize;
+
+/// The true event-handling interval of one event-procedure instance.
+///
+/// `start_index`/`end_index` are indices into the node's lifecycle event
+/// stream (the same indices a [`crate::trace::TraceSink`] observes);
+/// `end_*` are `None` when the run stopped before the instance finished.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtInterval {
+    /// IRQ line of the instance's interrupt handler.
+    pub irq: u8,
+    /// Index of the `Int` lifecycle event that started the instance.
+    pub start_index: usize,
+    /// Node cycle of the start.
+    pub start_cycle: u64,
+    /// Index of the lifecycle event that ended the instance: the `Reti` of
+    /// a task-less instance, or the `TaskEnd` of its last task.
+    pub end_index: Option<usize>,
+    /// Node cycle of the end.
+    pub end_cycle: Option<u64>,
+    /// Total tasks (transitively) posted by the instance.
+    pub task_count: u32,
+    open_tasks: u32,
+    handler_open: bool,
+}
+
+impl GtInterval {
+    /// Whether the instance ran to completion within the trace.
+    pub fn is_complete(&self) -> bool {
+        self.end_index.is_some()
+    }
+}
+
+/// Tracks instance ownership during execution.
+#[derive(Debug, Clone, Default)]
+pub struct GtTracker {
+    instances: Vec<GtInterval>,
+}
+
+impl GtTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> GtTracker {
+        GtTracker::default()
+    }
+
+    /// Records an interrupt-handler entry; returns the new instance id.
+    pub fn on_int(&mut self, irq: u8, event_index: usize, cycle: u64) -> InstanceId {
+        let id = self.instances.len();
+        self.instances.push(GtInterval {
+            irq,
+            start_index: event_index,
+            start_cycle: cycle,
+            end_index: None,
+            end_cycle: None,
+            task_count: 0,
+            open_tasks: 0,
+            handler_open: true,
+        });
+        id
+    }
+
+    /// Records a task posted by `owner` (the instance of the current
+    /// handler, or of the currently running task; `None` for boot tasks
+    /// posted from `main` or from owner-less tasks).
+    pub fn on_post(&mut self, owner: Option<InstanceId>) {
+        if let Some(id) = owner {
+            let inst = &mut self.instances[id];
+            inst.open_tasks += 1;
+            inst.task_count += 1;
+        }
+    }
+
+    /// Records the `Reti` of the handler of `instance`; closes the instance
+    /// if it posted no (still-open) tasks.
+    pub fn on_reti(&mut self, instance: InstanceId, event_index: usize, cycle: u64) {
+        let inst = &mut self.instances[instance];
+        inst.handler_open = false;
+        if inst.open_tasks == 0 && inst.end_index.is_none() {
+            inst.end_index = Some(event_index);
+            inst.end_cycle = Some(cycle);
+        }
+    }
+
+    /// Records a task of `owner` running to completion; closes the owner if
+    /// this was its last open task and its handler already exited.
+    pub fn on_task_end(&mut self, owner: Option<InstanceId>, event_index: usize, cycle: u64) {
+        if let Some(id) = owner {
+            let inst = &mut self.instances[id];
+            debug_assert!(inst.open_tasks > 0, "task end without open task");
+            inst.open_tasks = inst.open_tasks.saturating_sub(1);
+            if inst.open_tasks == 0 && !inst.handler_open && inst.end_index.is_none() {
+                inst.end_index = Some(event_index);
+                inst.end_cycle = Some(cycle);
+            }
+        }
+    }
+
+    /// All instances observed so far, in start order.
+    pub fn intervals(&self) -> &[GtInterval] {
+        &self.instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_only_instance_closes_at_reti() {
+        let mut gt = GtTracker::new();
+        let id = gt.on_int(2, 0, 100);
+        gt.on_reti(id, 1, 150);
+        let iv = &gt.intervals()[0];
+        assert_eq!(iv.end_index, Some(1));
+        assert_eq!(iv.end_cycle, Some(150));
+        assert_eq!(iv.task_count, 0);
+    }
+
+    #[test]
+    fn instance_with_task_closes_at_task_end() {
+        let mut gt = GtTracker::new();
+        let id = gt.on_int(2, 0, 100);
+        gt.on_post(Some(id)); // event 1
+        gt.on_reti(id, 2, 150);
+        assert!(!gt.intervals()[0].is_complete());
+        gt.on_task_end(Some(id), 4, 300);
+        let iv = &gt.intervals()[0];
+        assert_eq!(iv.end_index, Some(4));
+        assert_eq!(iv.task_count, 1);
+    }
+
+    #[test]
+    fn transitive_task_posting_extends_interval() {
+        let mut gt = GtTracker::new();
+        let id = gt.on_int(0, 0, 0);
+        gt.on_post(Some(id)); // task A
+        gt.on_reti(id, 2, 10);
+        // task A posts task C while running.
+        gt.on_post(Some(id));
+        gt.on_task_end(Some(id), 5, 20); // A ends
+        assert!(!gt.intervals()[0].is_complete());
+        gt.on_task_end(Some(id), 7, 30); // C ends
+        assert_eq!(gt.intervals()[0].end_index, Some(7));
+        assert_eq!(gt.intervals()[0].task_count, 2);
+    }
+
+    #[test]
+    fn boot_tasks_have_no_owner() {
+        let mut gt = GtTracker::new();
+        gt.on_post(None);
+        gt.on_task_end(None, 1, 5);
+        assert!(gt.intervals().is_empty());
+    }
+
+    #[test]
+    fn truncated_instance_stays_open() {
+        let mut gt = GtTracker::new();
+        let id = gt.on_int(1, 0, 0);
+        gt.on_post(Some(id));
+        gt.on_reti(id, 2, 9);
+        assert!(!gt.intervals()[0].is_complete());
+        assert_eq!(gt.intervals()[0].end_cycle, None);
+    }
+}

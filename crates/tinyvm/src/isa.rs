@@ -1,0 +1,413 @@
+//! Instruction-set architecture of the TinyVM sensor-node MCU.
+//!
+//! The machine is a small, AVR-inspired 16-bit load/store architecture:
+//!
+//! * 16 general-purpose 16-bit registers `r0`–`r15`,
+//! * word-addressed data memory (default 4096 words) with a descending
+//!   hardware stack used by `push`/`pop`/`call`/`ret`,
+//! * a program counter that indexes *instructions* (not bytes), so the
+//!   per-instruction execution counts used by Sentomist's
+//!   [instruction counter](https://doi.org/10.1109/ICDCS.2010.75) map 1:1
+//!   onto [`Op`] slots,
+//! * vectored, preemptive interrupts (see [`irq`]) following the TinyOS
+//!   concurrency model: handlers preempt tasks and other handlers, but a
+//!   line is masked while its own handler is in service,
+//! * a `post` instruction that enqueues a deferred task into the
+//!   operating-system FIFO queue (TinyOS `postTask`).
+//!
+//! Every instruction has a fixed cycle cost ([`Op::cycles`]); the default
+//! clock is [`DEFAULT_CLOCK_HZ`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default simulated MCU clock frequency in Hz (1 MHz).
+pub const DEFAULT_CLOCK_HZ: u64 = 1_000_000;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// Sentinel return address: `ret`/`reti` popping this value returns control
+/// to the runtime (end of `main`, end of a task).
+pub const RETURN_SENTINEL: u16 = 0xFFFF;
+
+/// A general-purpose register index (`r0`–`r15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Creates a register index, checking the bound.
+    ///
+    /// Returns `None` if `n >= 16`.
+    pub fn new(n: u8) -> Option<Reg> {
+        if (n as usize) < NUM_REGS {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register number.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Branch conditions, evaluated against the status flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Ltu => "ltu",
+            Cond::Geu => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a deferred task (index into [`crate::program::Program::tasks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u16);
+
+impl TaskId {
+    /// The task table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// A single MCU instruction.
+///
+/// The program counter indexes into a `Vec<Op>`; there is no byte-level
+/// encoding because Sentomist only needs instruction identity and counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// No operation.
+    Nop,
+    /// Stop the node permanently.
+    Halt,
+    /// Enter low-power sleep until the next interrupt.
+    Sleep,
+    /// Load a 16-bit immediate: `rd <- imm`.
+    Ldi(Reg, u16),
+    /// Register move: `rd <- rs`.
+    Mov(Reg, Reg),
+    /// Indexed load: `rd <- mem[rs + off]`.
+    Ld(Reg, Reg, i8),
+    /// Indexed store: `mem[rbase + off] <- rv`.
+    St(Reg, i8, Reg),
+    /// Absolute load: `rd <- mem[addr]`.
+    Lda(Reg, u16),
+    /// Absolute store: `mem[addr] <- rs`.
+    Sta(u16, Reg),
+    /// Wrapping add: `rd <- rd + rs`; sets Z/N/C.
+    Add(Reg, Reg),
+    /// Wrapping subtract: `rd <- rd - rs`; sets Z/N/C.
+    Sub(Reg, Reg),
+    /// Bitwise and.
+    And(Reg, Reg),
+    /// Bitwise or.
+    Or(Reg, Reg),
+    /// Bitwise xor.
+    Xor(Reg, Reg),
+    /// Wrapping multiply (low 16 bits).
+    Mul(Reg, Reg),
+    /// Add immediate.
+    Addi(Reg, u16),
+    /// Subtract immediate.
+    Subi(Reg, u16),
+    /// Compare registers (sets flags, discards result).
+    Cmp(Reg, Reg),
+    /// Compare register with immediate.
+    Cmpi(Reg, u16),
+    /// Logical shift left by a constant amount (0-15).
+    Shl(Reg, u8),
+    /// Logical shift right by a constant amount (0-15).
+    Shr(Reg, u8),
+    /// Unconditional jump to an instruction index.
+    Jmp(u16),
+    /// Conditional branch to an instruction index.
+    Br(Cond, u16),
+    /// Call a subroutine (pushes the return PC on the data stack).
+    Call(u16),
+    /// Return from a subroutine.
+    Ret,
+    /// Return from an interrupt handler.
+    Reti,
+    /// Push a register onto the data stack.
+    Push(Reg),
+    /// Pop the data stack into a register.
+    Pop(Reg),
+    /// Read a device port: `rd <- port`.
+    In(Reg, u8),
+    /// Write a device port: `port <- rs`.
+    Out(u8, Reg),
+    /// Post a task to the OS FIFO queue (TinyOS `postTask`).
+    Post(TaskId),
+    /// Set the global interrupt-enable flag.
+    Sei,
+    /// Clear the global interrupt-enable flag.
+    Cli,
+}
+
+impl Op {
+    /// Base cycle cost of the instruction.
+    ///
+    /// Taken branches cost one extra cycle; the CPU core adds it.
+    pub fn cycles(self) -> u64 {
+        match self {
+            Op::Nop | Op::Halt | Op::Sleep => 1,
+            Op::Ldi(..) | Op::Mov(..) => 1,
+            Op::Ld(..) | Op::St(..) | Op::Lda(..) | Op::Sta(..) => 2,
+            Op::Add(..)
+            | Op::Sub(..)
+            | Op::And(..)
+            | Op::Or(..)
+            | Op::Xor(..)
+            | Op::Addi(..)
+            | Op::Subi(..)
+            | Op::Cmp(..)
+            | Op::Cmpi(..)
+            | Op::Shl(..)
+            | Op::Shr(..) => 1,
+            Op::Mul(..) => 2,
+            Op::Jmp(..) => 2,
+            Op::Br(..) => 1,
+            Op::Call(..) | Op::Ret | Op::Reti => 3,
+            Op::Push(..) | Op::Pop(..) => 2,
+            Op::In(..) | Op::Out(..) => 2,
+            Op::Post(..) => 2,
+            Op::Sei | Op::Cli => 1,
+        }
+    }
+}
+
+/// Hardware interrupt lines.
+///
+/// Each line has a fixed vector-table slot; lower numbers have higher
+/// dispatch priority when several lines are pending simultaneously.
+pub mod irq {
+    /// Number of interrupt lines.
+    pub const NUM_IRQS: usize = 5;
+    /// Periodic timer 0 (application timer, e.g. the sampling timer).
+    pub const TIMER0: u8 = 0;
+    /// Periodic timer 1 (secondary timer, e.g. housekeeping / heartbeat).
+    pub const TIMER1: u8 = 1;
+    /// ADC conversion complete ("data ready").
+    pub const ADC: u8 = 2;
+    /// Radio packet received (the SPI interrupt of the paper).
+    pub const RX: u8 = 3;
+    /// Radio transmission complete.
+    pub const TXDONE: u8 = 4;
+
+    /// Human-readable name of an interrupt line.
+    pub fn name(n: u8) -> &'static str {
+        match n {
+            TIMER0 => "TIMER0",
+            TIMER1 => "TIMER1",
+            ADC => "ADC",
+            RX => "RX",
+            TXDONE => "TXDONE",
+            _ => "UNKNOWN",
+        }
+    }
+
+    /// Parses an interrupt name as used by the assembler's `.handler`
+    /// directive.
+    pub fn from_name(s: &str) -> Option<u8> {
+        match s {
+            "TIMER0" => Some(TIMER0),
+            "TIMER1" => Some(TIMER1),
+            "ADC" => Some(ADC),
+            "RX" => Some(RX),
+            "TXDONE" => Some(TXDONE),
+            _ => None,
+        }
+    }
+}
+
+/// Memory-mapped device port numbers, used by `in`/`out`.
+pub mod port {
+    /// Timer 0 period, in ticks of [`TIMER_TICK_CYCLES`] cycles (write).
+    pub const TIMER0_PERIOD: u8 = 0x00;
+    /// Timer 0 control: 1 = start periodic, 0 = stop (write).
+    pub const TIMER0_CTRL: u8 = 0x01;
+    /// Timer 1 period (write).
+    pub const TIMER1_PERIOD: u8 = 0x02;
+    /// Timer 1 control (write).
+    pub const TIMER1_CTRL: u8 = 0x03;
+    /// ADC control: write 1 to start a conversion.
+    pub const ADC_CTRL: u8 = 0x10;
+    /// ADC result of the last completed conversion (read).
+    pub const ADC_DATA: u8 = 0x11;
+    /// Push one payload word into the radio TX buffer (write).
+    pub const RADIO_TX_PUSH: u8 = 0x20;
+    /// Start transmitting the TX buffer; the written value is the
+    /// destination node id ([`BROADCAST`] for broadcast) (write).
+    pub const RADIO_SEND: u8 = 0x21;
+    /// Radio status (read): see the `STATUS_*` constants.
+    pub const RADIO_STATUS: u8 = 0x22;
+    /// Number of payload words in the frontmost received packet (read).
+    pub const RADIO_RX_LEN: u8 = 0x23;
+    /// Pop the next payload word of the frontmost received packet (read).
+    /// Reading past the end yields 0 and drops the packet.
+    pub const RADIO_RX_POP: u8 = 0x24;
+    /// Source node id of the frontmost received packet (read).
+    pub const RADIO_RX_SRC: u8 = 0x25;
+    /// Drop the frontmost received packet (write).
+    pub const RADIO_RX_DROP: u8 = 0x26;
+    /// Debug/telemetry output word (captured host-side) (write).
+    pub const UART_OUT: u8 = 0x30;
+    /// Pseudo-random 16-bit value from the node's seeded stream (read).
+    pub const RAND: u8 = 0x40;
+    /// This node's id (read).
+    pub const NODE_ID: u8 = 0x41;
+
+    /// Cycles per timer tick: timer periods are expressed in this unit so a
+    /// 16-bit period register can span multi-second intervals.
+    pub const TIMER_TICK_CYCLES: u64 = 256;
+
+    /// Broadcast destination address.
+    pub const BROADCAST: u16 = 0xFFFF;
+
+    /// Radio status bit: a transmission is in progress.
+    pub const STATUS_TX_BUSY: u16 = 0b01;
+    /// Radio status bit: the last `RADIO_SEND` was rejected (chip busy).
+    pub const STATUS_SEND_FAILED: u16 = 0b10;
+
+    /// Parses a symbolic port name as used by the assembler.
+    pub fn from_name(s: &str) -> Option<u8> {
+        Some(match s {
+            "TIMER0_PERIOD" => TIMER0_PERIOD,
+            "TIMER0_CTRL" => TIMER0_CTRL,
+            "TIMER1_PERIOD" => TIMER1_PERIOD,
+            "TIMER1_CTRL" => TIMER1_CTRL,
+            "ADC_CTRL" => ADC_CTRL,
+            "ADC_DATA" => ADC_DATA,
+            "RADIO_TX_PUSH" => RADIO_TX_PUSH,
+            "RADIO_SEND" => RADIO_SEND,
+            "RADIO_STATUS" => RADIO_STATUS,
+            "RADIO_RX_LEN" => RADIO_RX_LEN,
+            "RADIO_RX_POP" => RADIO_RX_POP,
+            "RADIO_RX_SRC" => RADIO_RX_SRC,
+            "RADIO_RX_DROP" => RADIO_RX_DROP,
+            "UART_OUT" => UART_OUT,
+            "RAND" => RAND,
+            "NODE_ID" => NODE_ID,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_new_bounds() {
+        assert_eq!(Reg::new(0), Some(Reg(0)));
+        assert_eq!(Reg::new(15), Some(Reg(15)));
+        assert_eq!(Reg::new(16), None);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn irq_names_round_trip() {
+        for n in 0..irq::NUM_IRQS as u8 {
+            assert_eq!(irq::from_name(irq::name(n)), Some(n));
+        }
+        assert_eq!(irq::from_name("BOGUS"), None);
+    }
+
+    #[test]
+    fn port_names_round_trip() {
+        for name in [
+            "TIMER0_PERIOD",
+            "TIMER0_CTRL",
+            "TIMER1_PERIOD",
+            "TIMER1_CTRL",
+            "ADC_CTRL",
+            "ADC_DATA",
+            "RADIO_TX_PUSH",
+            "RADIO_SEND",
+            "RADIO_STATUS",
+            "RADIO_RX_LEN",
+            "RADIO_RX_POP",
+            "RADIO_RX_SRC",
+            "RADIO_RX_DROP",
+            "UART_OUT",
+            "RAND",
+            "NODE_ID",
+        ] {
+            assert!(port::from_name(name).is_some(), "{name} should parse");
+        }
+        assert_eq!(port::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn cycle_costs_are_positive() {
+        let ops = [
+            Op::Nop,
+            Op::Halt,
+            Op::Sleep,
+            Op::Ldi(Reg(0), 1),
+            Op::Mov(Reg(0), Reg(1)),
+            Op::Ld(Reg(0), Reg(1), 0),
+            Op::St(Reg(0), 0, Reg(1)),
+            Op::Lda(Reg(0), 0),
+            Op::Sta(0, Reg(0)),
+            Op::Add(Reg(0), Reg(1)),
+            Op::Mul(Reg(0), Reg(1)),
+            Op::Jmp(0),
+            Op::Br(Cond::Eq, 0),
+            Op::Call(0),
+            Op::Ret,
+            Op::Reti,
+            Op::Push(Reg(0)),
+            Op::Pop(Reg(0)),
+            Op::In(Reg(0), 0),
+            Op::Out(0, Reg(0)),
+            Op::Post(TaskId(0)),
+            Op::Sei,
+            Op::Cli,
+        ];
+        for op in ops {
+            assert!(op.cycles() >= 1, "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # TinyVM — a sensor-node emulator with TinyOS concurrency semantics
+//!
+//! TinyVM is the execution substrate of the Sentomist reproduction: a
+//! deterministic, cycle-accounted MCU emulator standing in for Avrora in
+//! ["Sentomist: Unveiling Transient Sensor Network Bugs via Symptom
+//! Mining"](https://doi.org/10.1109/ICDCS.2010.75) (ICDCS 2010).
+//!
+//! It provides everything Sentomist's front-end needs from an emulator:
+//!
+//! * a small AVR-inspired ISA ([`isa`]) with per-instruction cycle costs,
+//! * a two-pass assembler ([`asm`]) so applications are real machine
+//!   programs with genuine per-instruction execution counts,
+//! * vectored preemptive interrupts and a TinyOS-like FIFO task scheduler
+//!   ([`node`]) implementing the paper's concurrency Rules 1–3,
+//! * peripherals ([`devices`]): two periodic timers, an ADC with a
+//!   synthetic sensor, a radio modelling occupancy and CSMA handshake
+//!   timing, a UART capture port and a seeded RNG port,
+//! * lifecycle tracing hooks ([`trace`]) emitting the paper's
+//!   `postTask`/`runTask`/`int(n)`/`reti` stream plus instruction-count
+//!   segments,
+//! * ground-truth event-handling intervals ([`ground_truth`]) used to
+//!   validate the trace-inference algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tinyvm::{asm, devices::NodeConfig, node::Node, trace::NullSink};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = asm::assemble(
+//!     "\
+//! .handler TIMER0 on_timer
+//! .data ticks 1
+//! main:
+//!  ldi r1, 4
+//!  out TIMER0_PERIOD, r1
+//!  ldi r1, 1
+//!  out TIMER0_CTRL, r1
+//!  ret
+//! on_timer:
+//!  lda r1, ticks
+//!  addi r1, 1
+//!  sta ticks, r1
+//!  reti
+//! ",
+//! )?;
+//! let mut node = Node::new(Arc::new(program), NodeConfig::default());
+//! node.run(100_000, &mut NullSink)?;
+//! let ticks = node.program().label("ticks").unwrap();
+//! assert!(node.mem()[ticks as usize] > 90);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod encode;
+pub mod devices;
+pub mod error;
+pub mod ground_truth;
+pub mod isa;
+pub mod node;
+pub mod program;
+pub mod trace;
+
+pub use asm::assemble;
+pub use encode::{decode, disassemble, encode, render_op, DecodeError};
+pub use devices::{NodeConfig, OutgoingPacket, Packet, TimingModel};
+pub use error::VmError;
+pub use isa::{Op, Reg, TaskId};
+pub use node::Node;
+pub use program::Program;
+pub use trace::{LifecycleItem, NullSink, TraceSink};

@@ -1,0 +1,104 @@
+//! Lifecycle-trace hooks emitted by the VM.
+//!
+//! Sentomist's front-end observes the running node through a
+//! [`TraceSink`]: the node reports every *system lifecycle* item (the
+//! paper's `postTask` / `runTask` / `int(n)` / `reti`, plus `TaskEnd`,
+//! which the paper's inference never consumes but which lets the analyzer
+//! bound the wall-clock span of an event-handling interval exactly), and
+//! flushes a *segment* — the per-instruction execution counts accumulated
+//! since the previous lifecycle boundary — immediately **before** each
+//! lifecycle item and once more at the end of the run.
+//!
+//! With `k` lifecycle events a complete trace therefore carries `k + 1`
+//! segments, and the instructions executed between events `i` and `j`
+//! are the element-wise sum of segments `i+1 ..= j`.
+
+use crate::isa::TaskId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One item of the system lifecycle sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LifecycleItem {
+    /// Entry of the interrupt handler for IRQ line `n` (paper: `int(n)`).
+    Int(u8),
+    /// Exit of an interrupt handler (paper: `reti`).
+    Reti,
+    /// A task was posted to the OS FIFO queue (paper: `postTask`).
+    PostTask(TaskId),
+    /// A task was dequeued and started (paper: `runTask`).
+    RunTask(TaskId),
+    /// A task ran to completion (not part of the paper's 4-item alphabet;
+    /// used only to bound interval spans and validate inference).
+    TaskEnd(TaskId),
+}
+
+impl LifecycleItem {
+    /// Whether this item belongs to the paper's 4-item alphabet.
+    pub fn is_core_item(self) -> bool {
+        !matches!(self, LifecycleItem::TaskEnd(_))
+    }
+}
+
+impl fmt::Display for LifecycleItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleItem::Int(n) => write!(f, "int({n})"),
+            LifecycleItem::Reti => f.write_str("reti"),
+            LifecycleItem::PostTask(t) => write!(f, "postTask({})", t.0),
+            LifecycleItem::RunTask(t) => write!(f, "runTask({})", t.0),
+            LifecycleItem::TaskEnd(t) => write!(f, "taskEnd({})", t.0),
+        }
+    }
+}
+
+/// Receiver of the lifecycle stream of one node.
+///
+/// The node calls [`TraceSink::segment`] with the instruction counts
+/// accumulated since the previous boundary immediately before every
+/// [`TraceSink::lifecycle`] call, and once more when the run ends, so
+/// implementations see a strict `seg (ev seg)*` alternation... more
+/// precisely `(seg ev)* seg`.
+pub trait TraceSink {
+    /// A lifecycle item occurred at the given node cycle.
+    fn lifecycle(&mut self, cycle: u64, item: LifecycleItem);
+
+    /// Per-instruction execution counts since the previous boundary.
+    ///
+    /// `counts.len()` equals the program length. The slice is reused by the
+    /// caller; implementations must copy what they need.
+    fn segment(&mut self, counts: &[u32]);
+}
+
+/// A sink that discards everything (for runs where only the application's
+/// externally visible behavior matters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn lifecycle(&mut self, _cycle: u64, _item: LifecycleItem) {}
+    fn segment(&mut self, _counts: &[u32]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LifecycleItem::Int(2).to_string(), "int(2)");
+        assert_eq!(LifecycleItem::Reti.to_string(), "reti");
+        assert_eq!(LifecycleItem::PostTask(TaskId(3)).to_string(), "postTask(3)");
+        assert_eq!(LifecycleItem::RunTask(TaskId(3)).to_string(), "runTask(3)");
+        assert_eq!(LifecycleItem::TaskEnd(TaskId(3)).to_string(), "taskEnd(3)");
+    }
+
+    #[test]
+    fn core_alphabet_excludes_task_end() {
+        assert!(LifecycleItem::Int(0).is_core_item());
+        assert!(LifecycleItem::Reti.is_core_item());
+        assert!(LifecycleItem::PostTask(TaskId(0)).is_core_item());
+        assert!(LifecycleItem::RunTask(TaskId(0)).is_core_item());
+        assert!(!LifecycleItem::TaskEnd(TaskId(0)).is_core_item());
+    }
+}

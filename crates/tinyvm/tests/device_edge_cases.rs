@@ -1,0 +1,247 @@
+//! Edge-case integration tests for devices and the CPU through full
+//! programs: payload caps, memory boundaries, timer reprogramming from
+//! handlers, RX backpressure, and atomic (cli/sei) sections.
+
+use std::sync::Arc;
+use tinyvm::devices::{NodeConfig, RadioConfig};
+use tinyvm::node::Node;
+use tinyvm::{assemble, NullSink, Packet};
+
+fn node_with(src: &str, config: NodeConfig) -> Node {
+    Node::new(Arc::new(assemble(src).unwrap()), config)
+}
+
+fn node(src: &str) -> Node {
+    node_with(src, NodeConfig::default())
+}
+
+#[test]
+fn radio_payload_capped_at_fifo_size() {
+    // Push 100 words; only MAX_PAYLOAD_WORDS survive.
+    let src = "\
+main:
+ ldi r1, 100
+lp:
+ out RADIO_TX_PUSH, r1
+ subi r1, 1
+ brne lp
+ ldi r2, 0xFFFF
+ out RADIO_SEND, r2
+ halt
+";
+    let mut n = node(src);
+    n.run(100_000, &mut NullSink).unwrap();
+    let out = n.drain_outbox();
+    assert_eq!(out.len(), 1);
+    assert_eq!(
+        out[0].packet.payload.len(),
+        tinyvm::devices::MAX_PAYLOAD_WORDS
+    );
+}
+
+#[test]
+fn memory_boundary_access_faults_precisely() {
+    // Word 0xFFFF is beyond the default 4096-word memory.
+    let src = "\
+main:
+ ldi r1, 0xFFFF
+ ld r2, [r1]
+ halt
+";
+    let mut n = node(src);
+    let err = n.run(10_000, &mut NullSink).unwrap_err();
+    match err {
+        tinyvm::VmError::MemOutOfRange { pc, addr } => {
+            assert_eq!(pc, 1);
+            assert_eq!(addr, 0xFFFF);
+        }
+        other => panic!("expected MemOutOfRange, got {other}"),
+    }
+}
+
+#[test]
+fn negative_indexed_addressing_wraps_consistently() {
+    // base 2, offset -2 -> address 0.
+    let src = "\
+.word cell 77
+main:
+ ldi r1, 2
+ ld r2, [r1-2]
+ sta cell, r2    ; cell is address 0; stores 77 back onto itself
+ halt
+";
+    let mut n = node(src);
+    n.run(10_000, &mut NullSink).unwrap();
+    assert_eq!(n.mem()[0], 77);
+}
+
+#[test]
+fn timer_reprogrammed_from_its_own_handler() {
+    // Exponential backoff: each firing doubles the period.
+    let src = "\
+.handler TIMER0 h
+.data period 1
+.data fires 1
+main:
+ ldi r1, 2
+ sta period, r1
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ lda r1, fires
+ addi r1, 1
+ sta fires, r1
+ lda r2, period
+ add r2, r2
+ sta period, r2
+ out TIMER0_PERIOD, r2
+ ldi r3, 1
+ out TIMER0_CTRL, r3
+ reti
+";
+    let mut n = node(src);
+    n.run(2_000_000, &mut NullSink).unwrap();
+    let program = n.program().clone();
+    let fires = n.mem()[program.label("fires").unwrap() as usize];
+    // Fire times ~ 2+4+8+... ticks; within 2M cycles (7812 ticks) the
+    // geometric series allows ~11 firings.
+    assert!((9..=13).contains(&fires), "fires = {fires}");
+}
+
+#[test]
+fn cli_defers_interrupts_until_sei() {
+    // Interrupts raised during a cli section are dispatched after sei.
+    let src = "\
+.handler TIMER0 h
+.data order 2
+.data cursor 1
+main:
+ cli
+ ldi r1, 2
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ; burn well past the first firing with interrupts off
+ ldi r2, 2000
+spin:
+ subi r2, 1
+ brne spin
+ ldi r3, 1          ; record: critical section finished first
+ lda r4, cursor
+ ldi r5, order
+ add r5, r4
+ st [r5], r3
+ addi r4, 1
+ sta cursor, r4
+ sei
+ ret
+h:
+ ldi r3, 2          ; record: handler ran
+ lda r4, cursor
+ ldi r5, order
+ add r5, r4
+ st [r5], r3
+ addi r4, 1
+ sta cursor, r4
+ out TIMER0_CTRL, r0
+ reti
+";
+    let mut n = node(src);
+    n.run(100_000, &mut NullSink).unwrap();
+    let program = n.program().clone();
+    let order = program.label("order").unwrap() as usize;
+    assert_eq!(
+        &n.mem()[order..order + 2],
+        &[1, 2],
+        "handler must wait for sei"
+    );
+}
+
+#[test]
+fn rx_interrupts_arrive_one_per_packet_under_burst() {
+    let src = "\
+.handler RX on_rx
+.data seen 1
+main:
+ ret
+on_rx:
+ in r1, RADIO_RX_POP
+ lda r2, seen
+ addi r2, 1
+ sta seen, r2
+ reti
+";
+    let mut n = node(src);
+    for i in 0..5 {
+        n.inject_rx(
+            1_000 + i, // essentially simultaneous
+            Packet {
+                src: 9,
+                dest: 0,
+                payload: vec![i as u16],
+            },
+        );
+    }
+    n.run(100_000, &mut NullSink).unwrap();
+    let program = n.program().clone();
+    let seen = n.mem()[program.label("seen").unwrap() as usize];
+    assert_eq!(seen, 5, "every packet gets its own interrupt");
+}
+
+#[test]
+fn zero_overhead_radio_config_still_works() {
+    let src = "\
+main:
+ ldi r1, 5
+ out RADIO_TX_PUSH, r1
+ ldi r2, 0xFFFF
+ out RADIO_SEND, r2
+ halt
+";
+    let mut n = node_with(
+        src,
+        NodeConfig {
+            radio: RadioConfig {
+                overhead_cycles: 0,
+                per_word_cycles: 1,
+                handshake_cycles: 0,
+            },
+            ..NodeConfig::default()
+        },
+    );
+    n.run(10_000, &mut NullSink).unwrap();
+    let out = n.drain_outbox();
+    assert_eq!(out[0].duration, 1);
+}
+
+#[test]
+fn uart_order_is_program_order_across_contexts() {
+    // UART writes from main, handler and task appear in execution order.
+    let src = "\
+.handler TIMER0 h
+.task t
+main:
+ ldi r1, 1
+ out UART_OUT, r1
+ ldi r1, 4
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ ldi r2, 2
+ out UART_OUT, r2
+ post t
+ out TIMER0_CTRL, r0
+ reti
+t:
+ ldi r3, 3
+ out UART_OUT, r3
+ ret
+";
+    let mut n = node(src);
+    n.run(100_000, &mut NullSink).unwrap();
+    assert_eq!(n.uart(), &[1, 2, 3]);
+}

@@ -1,0 +1,200 @@
+//! Instruction counters (paper Definition 4): featurizing event-handling
+//! intervals as per-instruction execution-count vectors.
+//!
+//! The counter of an interval counts **every** instruction executed during
+//! the interval's wall-clock span — including instructions run by *other*
+//! event-procedure instances that interleaved with it. That spillover is
+//! the mechanism by which buggy interleavings become visible: in the
+//! paper's motivating example, the `readDone` instructions appear twice in
+//! the counter of an interval whose posted send task was delayed past the
+//! next ADC interrupt.
+//!
+//! Counters are computed from the trace's count segments with a prefix-sum
+//! table, making each interval query O(program length).
+
+use crate::extract::EventInterval;
+use crate::recorder::Trace;
+
+/// Prefix-sum table over a trace's count segments.
+///
+/// With segments `s_0 ..= s_k` (where `s_j` holds the counts between
+/// events `j-1` and `j`), the counter of an interval spanning events
+/// `i ..= j` is `C[j] - C[i]` where `C[m] = s_0 + ... + s_m`.
+#[derive(Debug, Clone)]
+pub struct CounterTable {
+    /// `prefix[m]` = cumulative counts through segment `m`.
+    prefix: Vec<Vec<u64>>,
+    program_len: usize,
+}
+
+impl CounterTable {
+    /// Builds the table from a recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace violates the `segments = events + 1` invariant
+    /// (impossible for traces produced by [`crate::Recorder::into_trace`]).
+    pub fn new(trace: &Trace) -> CounterTable {
+        assert_eq!(
+            trace.segments.len(),
+            trace.events.len() + 1,
+            "malformed trace"
+        );
+        let n = trace.program_len;
+        let mut prefix = Vec::with_capacity(trace.segments.len());
+        let mut acc = vec![0u64; n];
+        for seg in &trace.segments {
+            for (a, &c) in acc.iter_mut().zip(seg.iter()) {
+                *a += u64::from(c);
+            }
+            prefix.push(acc.clone());
+        }
+        CounterTable {
+            prefix,
+            program_len: n,
+        }
+    }
+
+    /// Dimensionality of counters (the program's instruction count).
+    pub fn dimension(&self) -> usize {
+        self.program_len
+    }
+
+    /// The instruction counter of `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval's indices lie outside the trace.
+    pub fn counter(&self, interval: &EventInterval) -> Vec<u64> {
+        self.counter_between(interval.start_index, interval.end_index)
+    }
+
+    /// Counts of instructions executed between events `start` and `end`
+    /// (exclusive of instructions before `start`'s event, inclusive of the
+    /// segment ending at `end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or `end` is out of range.
+    pub fn counter_between(&self, start: usize, end: usize) -> Vec<u64> {
+        assert!(start <= end, "interval reversed");
+        let hi = &self.prefix[end];
+        let lo = &self.prefix[start];
+        hi.iter().zip(lo.iter()).map(|(&h, &l)| h - l).collect()
+    }
+
+    /// The counter as `f64` features (what the outlier detectors consume).
+    pub fn features(&self, interval: &EventInterval) -> Vec<f64> {
+        self.counter(interval).into_iter().map(|c| c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceEvent;
+    use tinyvm::{LifecycleItem, TaskId};
+
+    fn mk_trace(segments: Vec<Vec<u32>>) -> Trace {
+        let n_events = segments.len() - 1;
+        let events = (0..n_events)
+            .map(|i| TraceEvent {
+                cycle: i as u64,
+                item: if i % 2 == 0 {
+                    LifecycleItem::Int(0)
+                } else {
+                    LifecycleItem::Reti
+                },
+            })
+            .collect();
+        let program_len = segments[0].len();
+        Trace {
+            events,
+            segments,
+            program_len,
+        }
+    }
+
+    #[test]
+    fn interval_counts_sum_inner_segments() {
+        // Events 0..=3; segments s0..s4.
+        let t = mk_trace(vec![
+            vec![1, 0],
+            vec![0, 2],
+            vec![3, 0],
+            vec![0, 4],
+            vec![5, 5],
+        ]);
+        let tab = CounterTable::new(&t);
+        // Interval spanning events 0..=3 sums segments 1..=3.
+        assert_eq!(tab.counter_between(0, 3), vec![3, 6]);
+        // Single-event interval (start == end) is empty.
+        assert_eq!(tab.counter_between(2, 2), vec![0, 0]);
+        // Adjacent events: just the one segment between them.
+        assert_eq!(tab.counter_between(1, 2), vec![3, 0]);
+    }
+
+    #[test]
+    fn counter_uses_interval_indices() {
+        let t = mk_trace(vec![vec![0], vec![7], vec![0]]);
+        let tab = CounterTable::new(&t);
+        let iv = EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        };
+        assert_eq!(tab.counter(&iv), vec![7]);
+        assert_eq!(tab.features(&iv), vec![7.0]);
+    }
+
+    #[test]
+    fn overlapping_intervals_share_counts() {
+        // Two overlapping intervals both see the shared segment — this is
+        // the "capture the overlap" property the paper relies on.
+        let t = Trace {
+            events: vec![
+                TraceEvent { cycle: 0, item: LifecycleItem::Int(0) },
+                TraceEvent { cycle: 1, item: LifecycleItem::PostTask(TaskId(0)) },
+                TraceEvent { cycle: 2, item: LifecycleItem::Reti },
+                TraceEvent { cycle: 3, item: LifecycleItem::Int(0) },
+                TraceEvent { cycle: 4, item: LifecycleItem::Reti },
+                TraceEvent { cycle: 5, item: LifecycleItem::RunTask(TaskId(0)) },
+                TraceEvent { cycle: 6, item: LifecycleItem::TaskEnd(TaskId(0)) },
+            ],
+            segments: vec![
+                vec![0],
+                vec![1],
+                vec![1],
+                vec![0],
+                vec![9], // the nested handler's body
+                vec![0],
+                vec![4],
+                vec![0],
+            ],
+            program_len: 1,
+        };
+        let tab = CounterTable::new(&t);
+        // Outer instance: events 0..=6.
+        assert_eq!(tab.counter_between(0, 6), vec![15]);
+        // Nested instance: events 3..=4; its 9 instructions are also part
+        // of the outer interval's counter.
+        assert_eq!(tab.counter_between(3, 4), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval reversed")]
+    fn reversed_interval_panics() {
+        let t = mk_trace(vec![vec![0], vec![0], vec![0]]);
+        CounterTable::new(&t).counter_between(1, 0);
+    }
+
+    #[test]
+    fn dimension_matches_program() {
+        let t = mk_trace(vec![vec![0, 0, 0], vec![1, 2, 3]]);
+        assert_eq!(CounterTable::new(&t).dimension(), 3);
+    }
+}

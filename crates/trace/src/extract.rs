@@ -1,0 +1,585 @@
+//! Event-handling-interval extraction — the algorithm of the paper's
+//! Figure 4, built on Criteria 1–3.
+//!
+//! * **Criterion 1**: the task posted via the *i*-th `postTask` is executed
+//!   via the *i*-th `runTask` (the OS queue is FIFO).
+//! * **Criterion 2**: within an int-reti string, all items outside nested
+//!   int-reti substrings are `postTask`s of the string's own handler.
+//! * **Criterion 3**: all depth-0 `postTask`s between two consecutive
+//!   `runTask`s are posted by the task started at the first `runTask`.
+//!
+//! The extraction is a breadth-first search over the tasks each instance
+//! transitively posts; it consumes only the lifecycle sequence — never the
+//! VM's ground-truth ownership — exactly as Sentomist must when observing
+//! a real system. `TaskEnd` items (a tracing extension absent from the
+//! paper's 4-item alphabet) are used solely to close the wall-clock span of
+//! an interval after the paper's algorithm has located its final `runTask`.
+
+use crate::grammar::{self, GrammarError};
+use crate::recorder::Trace;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use tinyvm::LifecycleItem;
+
+/// One extracted event-handling interval (paper Definition 2): the lifetime
+/// of an event-procedure instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventInterval {
+    /// IRQ line of the instance's handler — the *event type*.
+    pub irq: u8,
+    /// Index of the opening `Int` event.
+    pub start_index: usize,
+    /// Index of the closing event: the handler's `reti` for task-less
+    /// instances, else the `TaskEnd` of the instance's last task.
+    pub end_index: usize,
+    /// The paper's `loc` output — the final `runTask` index — when the
+    /// instance posted tasks.
+    pub last_run_index: Option<usize>,
+    /// Cycle of the opening `Int`.
+    pub start_cycle: u64,
+    /// Cycle of the closing event.
+    pub end_cycle: u64,
+    /// Tasks transitively posted by the instance.
+    pub task_count: u32,
+}
+
+/// Result of extracting every instance from a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extraction {
+    /// Complete intervals, in `Int`-occurrence order.
+    pub intervals: Vec<EventInterval>,
+    /// Instances whose lifetime ran past the end of the trace (their
+    /// handler or a posted task never finished within the recording).
+    pub incomplete: usize,
+}
+
+impl Extraction {
+    /// Intervals whose handler serviced `irq`, preserving order — the
+    /// per-event-type sample groups Sentomist mines.
+    pub fn for_irq(&self, irq: u8) -> Vec<EventInterval> {
+        self.intervals
+            .iter()
+            .copied()
+            .filter(|iv| iv.irq == irq)
+            .collect()
+    }
+}
+
+/// An ill-formed lifecycle sequence (impossible under the concurrency
+/// model; indicates a corrupted trace or a non-FIFO scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtractError {
+    /// The int-reti recognizer rejected the sequence.
+    Grammar(GrammarError),
+    /// Criterion 1 violated: ordinal-matched post and run carried
+    /// different task ids.
+    FifoViolation {
+        /// Index of the `postTask` event.
+        post_index: usize,
+        /// Index of the ordinal-matched `runTask` event.
+        run_index: usize,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Grammar(g) => write!(f, "ill-formed lifecycle sequence: {g}"),
+            ExtractError::FifoViolation {
+                post_index,
+                run_index,
+            } => write!(
+                f,
+                "FIFO violation: post at {post_index} does not match run at {run_index}"
+            ),
+        }
+    }
+}
+
+impl Error for ExtractError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExtractError::Grammar(g) => Some(g),
+            ExtractError::FifoViolation { .. } => None,
+        }
+    }
+}
+
+impl From<GrammarError> for ExtractError {
+    fn from(g: GrammarError) -> Self {
+        ExtractError::Grammar(g)
+    }
+}
+
+/// Precomputed Criterion-1 matching: the ordinal pairing of `postTask` and
+/// `runTask` events.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMatching {
+    /// For each `postTask` event index, the matching `runTask` index (or
+    /// `None` if the run lies beyond the end of the trace).
+    run_of_post: std::collections::HashMap<usize, Option<usize>>,
+}
+
+impl TaskMatching {
+    /// Builds the matching from a lifecycle item sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::FifoViolation`] if an ordinal pair disagrees
+    /// on the task id.
+    pub fn build(items: &[LifecycleItem]) -> Result<TaskMatching, ExtractError> {
+        let mut posts = Vec::new();
+        let mut runs = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                LifecycleItem::PostTask(t) => posts.push((i, *t)),
+                LifecycleItem::RunTask(t) => runs.push((i, *t)),
+                _ => {}
+            }
+        }
+        let mut run_of_post = std::collections::HashMap::with_capacity(posts.len());
+        for (ordinal, &(post_index, post_task)) in posts.iter().enumerate() {
+            match runs.get(ordinal) {
+                Some(&(run_index, run_task)) => {
+                    if post_task != run_task {
+                        return Err(ExtractError::FifoViolation {
+                            post_index,
+                            run_index,
+                        });
+                    }
+                    run_of_post.insert(post_index, Some(run_index));
+                }
+                None => {
+                    run_of_post.insert(post_index, None);
+                }
+            }
+        }
+        Ok(TaskMatching { run_of_post })
+    }
+
+    /// The `runTask` index matching the `postTask` at `post_index`.
+    /// `None` means the run falls beyond the trace; absent entries mean
+    /// `post_index` is not a `postTask`.
+    pub fn run_of(&self, post_index: usize) -> Option<Option<usize>> {
+        self.run_of_post.get(&post_index).copied()
+    }
+}
+
+/// Collects depth-0 `postTask` indices between `run_index` and the next
+/// `runTask` (Criterion 3). Returns the posts and whether the scan reached
+/// a terminating boundary (`runTask` or, for the very last task, any index;
+/// the task-end index is returned separately when present).
+fn posts_of_run(items: &[LifecycleItem], run_index: usize) -> Vec<usize> {
+    let mut depth = 0usize;
+    let mut posts = Vec::new();
+    for (i, item) in items.iter().enumerate().skip(run_index + 1) {
+        match item {
+            LifecycleItem::Int(_) => depth += 1,
+            LifecycleItem::Reti => depth = depth.saturating_sub(1),
+            LifecycleItem::PostTask(_) if depth == 0 => posts.push(i),
+            LifecycleItem::RunTask(_) => break,
+            _ => {}
+        }
+    }
+    posts
+}
+
+/// Finds the `TaskEnd` of the task started at `run_index`: the first
+/// depth-0 `TaskEnd` before the next `runTask`. `None` if the trace was
+/// truncated before the task finished.
+fn task_end_of_run(items: &[LifecycleItem], run_index: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, item) in items.iter().enumerate().skip(run_index + 1) {
+        match item {
+            LifecycleItem::Int(_) => depth += 1,
+            LifecycleItem::Reti => depth = depth.saturating_sub(1),
+            LifecycleItem::TaskEnd(_) if depth == 0 => return Some(i),
+            LifecycleItem::RunTask(_) => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Outcome of tracing one instance.
+enum InstanceOutcome {
+    Complete {
+        end_index: usize,
+        last_run_index: Option<usize>,
+        task_count: u32,
+    },
+    /// The instance's lifetime extends past the recorded trace.
+    Truncated,
+}
+
+/// Figure-4 BFS for the instance whose `Int` sits at `start`.
+fn trace_instance(
+    items: &[LifecycleItem],
+    matching: &TaskMatching,
+    start: usize,
+) -> Result<InstanceOutcome, ExtractError> {
+    // S <- the int-reti string; loc <- index of its last reti.
+    let reti_index = match grammar::matching_reti(items, start) {
+        Ok(i) => i,
+        Err(GrammarError::Unterminated { .. }) => return Ok(InstanceOutcome::Truncated),
+        Err(e) => return Err(e.into()),
+    };
+    // P <- postTask items of S minus nested int-reti substrings.
+    let mut pending = grammar::direct_posts(items, start)?;
+    let mut task_count = 0u32;
+    let mut last_run: Option<usize> = None;
+
+    // Breadth-first over transitively posted tasks.
+    while !pending.is_empty() {
+        let mut next = Vec::new();
+        for post_index in pending {
+            task_count += 1;
+            let run_index = match matching.run_of(post_index) {
+                Some(Some(r)) => r,
+                Some(None) => return Ok(InstanceOutcome::Truncated),
+                None => unreachable!("pending indices are postTask items"),
+            };
+            last_run = Some(run_index);
+            next.extend(posts_of_run(items, run_index));
+        }
+        pending = next;
+    }
+
+    let end_index = match last_run {
+        Some(run_index) => match task_end_of_run(items, run_index) {
+            Some(end) => end,
+            None => return Ok(InstanceOutcome::Truncated),
+        },
+        None => reti_index,
+    };
+    Ok(InstanceOutcome::Complete {
+        end_index,
+        last_run_index: last_run,
+        task_count,
+    })
+}
+
+/// Extracts every event-handling interval from `trace`.
+///
+/// Every `Int` event — including those of handlers that preempted other
+/// handlers — starts an instance; instances still open when the trace ends
+/// are counted in [`Extraction::incomplete`].
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] only for ill-formed sequences that the
+/// concurrency model cannot produce.
+///
+/// # Examples
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use tinyvm::{asm, devices::NodeConfig, node::Node};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let program = Arc::new(asm::assemble("\
+/// # .handler TIMER0 h
+/// # main:
+/// #  ldi r1, 4
+/// #  out TIMER0_PERIOD, r1
+/// #  ldi r1, 1
+/// #  out TIMER0_CTRL, r1
+/// #  ret
+/// # h:
+/// #  reti
+/// # ")?);
+/// let mut node = Node::new(program.clone(), NodeConfig::default());
+/// let mut recorder = sentomist_trace::Recorder::new(program.len());
+/// node.run(100_000, &mut recorder)?;
+/// let trace = recorder.into_trace();
+/// let extraction = sentomist_trace::extract(&trace)?;
+/// assert!(extraction.intervals.len() > 50);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract(trace: &Trace) -> Result<Extraction, ExtractError> {
+    let items: Vec<LifecycleItem> = trace.events.iter().map(|e| e.item).collect();
+    let matching = TaskMatching::build(&items)?;
+    let mut intervals = Vec::new();
+    let mut incomplete = 0usize;
+    for start in trace.int_indices() {
+        let irq = match items[start] {
+            LifecycleItem::Int(n) => n,
+            _ => unreachable!("int_indices yields Int items"),
+        };
+        match trace_instance(&items, &matching, start)? {
+            InstanceOutcome::Complete {
+                end_index,
+                last_run_index,
+                task_count,
+            } => intervals.push(EventInterval {
+                irq,
+                start_index: start,
+                end_index,
+                last_run_index,
+                start_cycle: trace.events[start].cycle,
+                end_cycle: trace.events[end_index].cycle,
+                task_count,
+            }),
+            InstanceOutcome::Truncated => incomplete += 1,
+        }
+    }
+    Ok(Extraction {
+        intervals,
+        incomplete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceEvent;
+    use tinyvm::TaskId;
+
+    fn int(n: u8) -> LifecycleItem {
+        LifecycleItem::Int(n)
+    }
+    fn reti() -> LifecycleItem {
+        LifecycleItem::Reti
+    }
+    fn post(t: u16) -> LifecycleItem {
+        LifecycleItem::PostTask(TaskId(t))
+    }
+    fn run(t: u16) -> LifecycleItem {
+        LifecycleItem::RunTask(TaskId(t))
+    }
+    fn end(t: u16) -> LifecycleItem {
+        LifecycleItem::TaskEnd(TaskId(t))
+    }
+
+    fn trace_of(items: &[LifecycleItem]) -> Trace {
+        Trace {
+            events: items
+                .iter()
+                .enumerate()
+                .map(|(i, &item)| TraceEvent {
+                    cycle: i as u64 * 10,
+                    item,
+                })
+                .collect(),
+            segments: vec![vec![]; items.len() + 1],
+            program_len: 0,
+        }
+    }
+
+    #[test]
+    fn handler_only_instance() {
+        let t = trace_of(&[int(2), reti()]);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.intervals.len(), 1);
+        let iv = x.intervals[0];
+        assert_eq!(iv.irq, 2);
+        assert_eq!((iv.start_index, iv.end_index), (0, 1));
+        assert_eq!(iv.task_count, 0);
+        assert_eq!(iv.last_run_index, None);
+    }
+
+    #[test]
+    fn single_task_instance() {
+        let t = trace_of(&[int(0), post(5), reti(), run(5), end(5)]);
+        let x = extract(&t).unwrap();
+        let iv = x.intervals[0];
+        assert_eq!(iv.end_index, 4);
+        assert_eq!(iv.last_run_index, Some(3));
+        assert_eq!(iv.task_count, 1);
+    }
+
+    #[test]
+    fn figure_1_scenario() {
+        // The paper's Figure 1: handler posts A and B; A posts C; B is
+        // preempted by another handler; C is the last task.
+        // t0..t11 mapped to items:
+        let items = [
+            int(0),   // 0  t0 handler starts
+            post(10), // 1  t1 post A
+            post(11), // 2  t2 post B
+            reti(),   // 3  t3 handler ends
+            run(10),  // 4  t4 A starts
+            post(12), // 5  t5 A posts C
+            end(10),  // 6  t6 A ends
+            run(11),  // 7     B starts
+            int(1),   // 8  t7 another handler preempts B
+            reti(),   // 9  t8 it exits
+            end(11),  // 10 t9 B ends
+            run(12),  // 11 t10 C starts
+            end(12),  // 12 t11 C ends
+        ];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.intervals.len(), 2);
+        let main = x.intervals[0];
+        assert_eq!(main.irq, 0);
+        assert_eq!(main.start_index, 0);
+        assert_eq!(main.last_run_index, Some(11), "loc = C's runTask");
+        assert_eq!(main.end_index, 12, "interval ends at C's completion (t11)");
+        assert_eq!(main.task_count, 3);
+        // The preempting handler is its own (task-less) instance.
+        let nested = x.intervals[1];
+        assert_eq!(nested.irq, 1);
+        assert_eq!((nested.start_index, nested.end_index), (8, 9));
+    }
+
+    #[test]
+    fn motivating_example_outlier_pattern() {
+        // Paper section V: the buggy pattern "ADC int, post, reti, ADC int,
+        // reti, run" — the second int lands inside the first instance's
+        // interval.
+        let items = [
+            int(2),
+            post(0),
+            reti(),
+            int(2),
+            reti(),
+            run(0),
+            end(0),
+        ];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.intervals.len(), 2);
+        let first = x.intervals[0];
+        let second = x.intervals[1];
+        // The second instance lies inside the first one's interval: overlap.
+        assert!(second.start_index > first.start_index);
+        assert!(second.end_index < first.end_index);
+    }
+
+    #[test]
+    fn interleaved_posts_from_two_instances() {
+        // Two handler instances interleave task posting; FIFO matching must
+        // pair them correctly.
+        let items = [
+            int(0),
+            post(1),
+            reti(),
+            int(1),
+            post(2),
+            reti(),
+            run(1),
+            end(1),
+            run(2),
+            end(2),
+        ];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.intervals[0].end_index, 7);
+        assert_eq!(x.intervals[1].end_index, 9);
+    }
+
+    #[test]
+    fn task_posting_task_chain() {
+        // A task posts a task which posts a task.
+        let items = [
+            int(0),
+            post(1),
+            reti(),
+            run(1),
+            post(2),
+            end(1),
+            run(2),
+            post(3),
+            end(2),
+            run(3),
+            end(3),
+        ];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        let iv = x.intervals[0];
+        assert_eq!(iv.task_count, 3);
+        assert_eq!(iv.end_index, 10);
+    }
+
+    #[test]
+    fn posts_inside_nested_handler_belong_to_nested_instance() {
+        // While task 1 runs, a handler fires and posts task 2: task 2
+        // belongs to the *nested* instance, not the outer one.
+        let items = [
+            int(0),
+            post(1),
+            reti(),
+            run(1),
+            int(1),
+            post(2),
+            reti(),
+            end(1),
+            run(2),
+            end(2),
+        ];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        let outer = x.intervals[0];
+        let nested = x.intervals[1];
+        assert_eq!(outer.task_count, 1);
+        assert_eq!(outer.end_index, 7);
+        assert_eq!(nested.task_count, 1);
+        assert_eq!(nested.end_index, 9);
+    }
+
+    #[test]
+    fn truncated_instances_counted_incomplete() {
+        // Post never runs: trace ends.
+        let t = trace_of(&[int(0), post(1), reti()]);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.intervals.len(), 0);
+        assert_eq!(x.incomplete, 1);
+
+        // Handler never exits.
+        let t = trace_of(&[int(0), post(1)]);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.incomplete, 1);
+
+        // Task runs but never ends.
+        let t = trace_of(&[int(0), post(1), reti(), run(1)]);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.incomplete, 1);
+    }
+
+    #[test]
+    fn fifo_violation_detected() {
+        let t = trace_of(&[int(0), post(1), post(2), reti(), run(2), end(2)]);
+        let e = extract(&t).unwrap_err();
+        assert!(matches!(e, ExtractError::FifoViolation { .. }));
+    }
+
+    #[test]
+    fn for_irq_filters_groups() {
+        let items = [int(0), reti(), int(2), reti(), int(0), reti()];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.for_irq(0).len(), 2);
+        assert_eq!(x.for_irq(2).len(), 1);
+        assert_eq!(x.for_irq(4).len(), 0);
+    }
+
+    #[test]
+    fn boot_posts_do_not_create_intervals_but_shift_matching() {
+        // main posts a boot task before any interrupt; ordinal matching
+        // must still pair handler posts correctly.
+        let items = [
+            post(9),
+            run(9),
+            end(9),
+            int(0),
+            post(1),
+            reti(),
+            run(1),
+            end(1),
+        ];
+        let t = trace_of(&items);
+        let x = extract(&t).unwrap();
+        assert_eq!(x.intervals.len(), 1);
+        assert_eq!(x.intervals[0].end_index, 7);
+    }
+
+    #[test]
+    fn empty_trace_extracts_nothing() {
+        let t = trace_of(&[]);
+        let x = extract(&t).unwrap();
+        assert!(x.intervals.is_empty());
+        assert_eq!(x.incomplete, 0);
+    }
+}

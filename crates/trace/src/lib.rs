@@ -1,0 +1,40 @@
+//! # sentomist-trace — lifecycle anatomization for Sentomist
+//!
+//! This crate implements Section V-A/V-B of ["Sentomist: Unveiling
+//! Transient Sensor Network Bugs via Symptom
+//! Mining"](https://doi.org/10.1109/ICDCS.2010.75): turning the raw system
+//! lifecycle sequence of an event-driven WSN node into *event-handling
+//! intervals*, each featurized as an *instruction counter*.
+//!
+//! * [`Recorder`] captures a node's lifecycle stream and instruction-count
+//!   segments (the Avrora-monitor role);
+//! * [`grammar`] recognizes *int-reti strings* with a pushdown automaton
+//!   (paper Definition 3);
+//! * [`extract()`](extract::extract) runs the Figure-4 breadth-first algorithm over Criteria
+//!   1–3 to delimit each event-procedure instance;
+//! * [`CounterTable`] produces Definition-4 instruction counters per
+//!   interval in O(program length) per query;
+//! * [`OnlineExtractor`] tracks instances *incrementally* for
+//!   memory-bounded live monitoring, emitting intervals as they complete
+//!   (equivalent to the batch algorithm; cross-validated in tests).
+//!
+//! The extraction consumes only the lifecycle sequence — the VM's
+//! ground-truth instance bookkeeping is used exclusively by tests that
+//! validate the inference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod extract;
+pub mod grammar;
+pub mod online;
+pub mod profile;
+pub mod recorder;
+
+pub use counter::CounterTable;
+pub use extract::{extract, EventInterval, ExtractError, Extraction, TaskMatching};
+pub use grammar::{matching_reti, GrammarError, PushdownRecognizer};
+pub use online::{extract_online, OnlineExtractor};
+pub use profile::{Profile, RoutineProfile};
+pub use recorder::{Recorder, Trace, TraceEvent};

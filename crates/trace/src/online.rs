@@ -1,0 +1,321 @@
+//! Online (streaming) interval extraction.
+//!
+//! The batch extractor ([`crate::extract()`](crate::extract::extract)) needs the whole lifecycle
+//! sequence in memory. For long-running monitoring — the paper notes a
+//! single testing run's log already reaches tens of megabytes — this
+//! module tracks event-procedure instances *incrementally*: feed each
+//! lifecycle item as it occurs and completed [`EventInterval`]s are
+//! emitted as soon as their last task finishes.
+//!
+//! The tracker maintains, per open instance, the number of its
+//! still-outstanding tasks; ownership of queued tasks is inferred online
+//! from the same Criteria the batch algorithm uses:
+//!
+//! * posts at handler depth ≥ 1 belong to the innermost open handler
+//!   (Criterion 2 — nested int-reti substrings are attributed inward);
+//! * posts at depth 0 belong to the owner of the currently running task
+//!   (Criterion 3);
+//! * the FIFO queue pairs each `runTask` with the oldest outstanding
+//!   `postTask` (Criterion 1).
+//!
+//! Equivalence with the batch extractor is checked by unit tests here and
+//! by the cross-validation suites in `tests/`.
+
+use crate::extract::EventInterval;
+use std::collections::VecDeque;
+use tinyvm::LifecycleItem;
+
+/// Per-instance bookkeeping.
+#[derive(Debug, Clone)]
+struct OpenInstance {
+    irq: u8,
+    start_index: usize,
+    start_cycle: u64,
+    handler_open: bool,
+    outstanding_tasks: u32,
+    task_count: u32,
+    last_run_index: Option<usize>,
+}
+
+/// Streaming interval tracker.
+///
+/// # Examples
+///
+/// ```
+/// use sentomist_trace::online::OnlineExtractor;
+/// use tinyvm::{LifecycleItem as L, TaskId};
+///
+/// let mut ex = OnlineExtractor::new();
+/// let items = [
+///     L::Int(2),
+///     L::PostTask(TaskId(0)),
+///     L::Reti,
+///     L::RunTask(TaskId(0)),
+///     L::TaskEnd(TaskId(0)),
+/// ];
+/// let mut done = Vec::new();
+/// for (i, item) in items.into_iter().enumerate() {
+///     done.extend(ex.feed(i, i as u64, item));
+/// }
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].end_index, 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineExtractor {
+    /// All instances ever opened; indices are stable instance ids.
+    instances: Vec<OpenInstance>,
+    /// Stack of instance ids of currently open handlers.
+    handler_stack: Vec<usize>,
+    /// FIFO of owners of posted-but-not-yet-run tasks (`None` = posted by
+    /// main or by an ownerless task).
+    task_owner_queue: VecDeque<Option<usize>>,
+    /// Owner of the currently running task.
+    running_task_owner: Option<Option<usize>>,
+    /// Count of instances still open.
+    open: usize,
+}
+
+impl OnlineExtractor {
+    /// Creates an empty tracker.
+    pub fn new() -> OnlineExtractor {
+        OnlineExtractor::default()
+    }
+
+    /// Number of instances currently open (bounded by handler nesting plus
+    /// instances awaiting task completion — not by trace length).
+    pub fn open_instances(&self) -> usize {
+        self.open
+    }
+
+    /// Feeds one lifecycle item; returns any intervals completed by it.
+    ///
+    /// `index`/`cycle` are the item's position and timestamp in the
+    /// stream. At most one interval completes per item, but the return
+    /// type stays a `Vec` for a uniform API.
+    pub fn feed(&mut self, index: usize, cycle: u64, item: LifecycleItem) -> Vec<EventInterval> {
+        match item {
+            LifecycleItem::Int(irq) => {
+                let id = self.instances.len();
+                self.instances.push(OpenInstance {
+                    irq,
+                    start_index: index,
+                    start_cycle: cycle,
+                    handler_open: true,
+                    outstanding_tasks: 0,
+                    task_count: 0,
+                    last_run_index: None,
+                });
+                self.handler_stack.push(id);
+                self.open += 1;
+                Vec::new()
+            }
+            LifecycleItem::PostTask(_) => {
+                let owner = match self.handler_stack.last() {
+                    Some(&h) => Some(h),
+                    None => self.running_task_owner.flatten(),
+                };
+                if let Some(id) = owner {
+                    self.instances[id].outstanding_tasks += 1;
+                    self.instances[id].task_count += 1;
+                }
+                self.task_owner_queue.push_back(owner);
+                Vec::new()
+            }
+            LifecycleItem::Reti => {
+                let Some(id) = self.handler_stack.pop() else {
+                    return Vec::new(); // ill-formed stream; ignore
+                };
+                let inst = &mut self.instances[id];
+                inst.handler_open = false;
+                if inst.outstanding_tasks == 0 {
+                    self.open -= 1;
+                    return vec![Self::close(inst, index, cycle)];
+                }
+                Vec::new()
+            }
+            LifecycleItem::RunTask(_) => {
+                let owner = self.task_owner_queue.pop_front().unwrap_or(None);
+                if let Some(id) = owner {
+                    self.instances[id].last_run_index = Some(index);
+                }
+                self.running_task_owner = Some(owner);
+                Vec::new()
+            }
+            LifecycleItem::TaskEnd(_) => {
+                let owner = self.running_task_owner.take().flatten();
+                if let Some(id) = owner {
+                    let inst = &mut self.instances[id];
+                    inst.outstanding_tasks = inst.outstanding_tasks.saturating_sub(1);
+                    if inst.outstanding_tasks == 0 && !inst.handler_open {
+                        self.open -= 1;
+                        return vec![Self::close(inst, index, cycle)];
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn close(inst: &OpenInstance, index: usize, cycle: u64) -> EventInterval {
+        EventInterval {
+            irq: inst.irq,
+            start_index: inst.start_index,
+            end_index: index,
+            last_run_index: inst.last_run_index,
+            start_cycle: inst.start_cycle,
+            end_cycle: cycle,
+            task_count: inst.task_count,
+        }
+    }
+}
+
+/// Runs the online extractor over a whole trace (convenience used by
+/// equivalence tests and benchmarks). Completed intervals are returned in
+/// *completion* order, which differs from the batch extractor's
+/// start-index order.
+pub fn extract_online(trace: &crate::Trace) -> Vec<EventInterval> {
+    let mut ex = OnlineExtractor::new();
+    let mut out = Vec::new();
+    for (i, ev) in trace.events.iter().enumerate() {
+        out.extend(ex.feed(i, ev.cycle, ev.item));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Trace, TraceEvent};
+    use tinyvm::TaskId;
+
+    fn trace_of(items: &[LifecycleItem]) -> Trace {
+        Trace {
+            events: items
+                .iter()
+                .enumerate()
+                .map(|(i, &item)| TraceEvent {
+                    cycle: i as u64 * 10,
+                    item,
+                })
+                .collect(),
+            segments: vec![vec![]; items.len() + 1],
+            program_len: 0,
+        }
+    }
+
+    fn int(n: u8) -> LifecycleItem {
+        LifecycleItem::Int(n)
+    }
+    fn reti() -> LifecycleItem {
+        LifecycleItem::Reti
+    }
+    fn post(t: u16) -> LifecycleItem {
+        LifecycleItem::PostTask(TaskId(t))
+    }
+    fn run(t: u16) -> LifecycleItem {
+        LifecycleItem::RunTask(TaskId(t))
+    }
+    fn end(t: u16) -> LifecycleItem {
+        LifecycleItem::TaskEnd(TaskId(t))
+    }
+
+    fn assert_equivalent(items: &[LifecycleItem]) {
+        let trace = trace_of(items);
+        let batch = crate::extract(&trace).unwrap();
+        let mut online = extract_online(&trace);
+        online.sort_by_key(|iv| iv.start_index);
+        assert_eq!(online, batch.intervals);
+    }
+
+    #[test]
+    fn matches_batch_on_figure_1() {
+        assert_equivalent(&[
+            int(0),
+            post(10),
+            post(11),
+            reti(),
+            run(10),
+            post(12),
+            end(10),
+            run(11),
+            int(1),
+            reti(),
+            end(11),
+            run(12),
+            end(12),
+        ]);
+    }
+
+    #[test]
+    fn matches_batch_on_overlapping_instances() {
+        assert_equivalent(&[
+            int(2),
+            post(0),
+            reti(),
+            int(2),
+            reti(),
+            run(0),
+            end(0),
+        ]);
+    }
+
+    #[test]
+    fn matches_batch_on_nested_posts() {
+        assert_equivalent(&[
+            int(0),
+            post(1),
+            reti(),
+            run(1),
+            int(1),
+            post(2),
+            reti(),
+            end(1),
+            run(2),
+            end(2),
+        ]);
+    }
+
+    #[test]
+    fn emits_on_completion_not_at_end() {
+        let mut ex = OnlineExtractor::new();
+        assert!(ex.feed(0, 0, int(0)).is_empty());
+        let done = ex.feed(1, 10, reti());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].start_index, 0);
+        assert_eq!(done[0].end_index, 1);
+        assert_eq!(ex.open_instances(), 0);
+    }
+
+    #[test]
+    fn open_instance_count_is_bounded_by_activity() {
+        // 3 nested handlers -> 3 open; closing unwinds.
+        let mut ex = OnlineExtractor::new();
+        ex.feed(0, 0, int(0));
+        ex.feed(1, 1, int(1));
+        ex.feed(2, 2, int(2));
+        assert_eq!(ex.open_instances(), 3);
+        ex.feed(3, 3, reti());
+        ex.feed(4, 4, reti());
+        ex.feed(5, 5, reti());
+        assert_eq!(ex.open_instances(), 0);
+    }
+
+    #[test]
+    fn truncated_instances_stay_open() {
+        let mut ex = OnlineExtractor::new();
+        ex.feed(0, 0, int(0));
+        ex.feed(1, 1, post(1));
+        let done = ex.feed(2, 2, reti());
+        assert!(done.is_empty());
+        assert_eq!(ex.open_instances(), 1);
+    }
+
+    #[test]
+    fn boot_tasks_are_ownerless() {
+        let mut ex = OnlineExtractor::new();
+        assert!(ex.feed(0, 0, post(5)).is_empty());
+        assert!(ex.feed(1, 1, run(5)).is_empty());
+        assert!(ex.feed(2, 2, end(5)).is_empty());
+        assert_eq!(ex.open_instances(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Trace recording: capturing the lifecycle stream and count segments.
+
+use serde::{Deserialize, Serialize};
+use tinyvm::{LifecycleItem, TraceSink};
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Node-local cycle at which the item occurred.
+    pub cycle: u64,
+    /// The lifecycle item.
+    pub item: LifecycleItem,
+}
+
+/// A complete recorded trace of one node's run: the system lifecycle
+/// sequence plus the instruction-count segments between its events.
+///
+/// Invariant: `segments.len() == events.len() + 1`; segment `k` holds the
+/// per-instruction execution counts between events `k-1` and `k` (segment 0
+/// precedes the first event; the last segment follows the final event).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The lifecycle sequence, in occurrence order.
+    pub events: Vec<TraceEvent>,
+    /// Count segments; see the type-level invariant.
+    pub segments: Vec<Vec<u32>>,
+    /// Program length (dimension of every segment).
+    pub program_len: usize,
+}
+
+impl Trace {
+    /// Indices of all `Int(_)` events — each starts an event-procedure
+    /// instance.
+    pub fn int_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.item, LifecycleItem::Int(_)))
+            .map(|(i, _)| i)
+    }
+
+    /// Total instructions retired in the trace.
+    pub fn total_instructions(&self) -> u64 {
+        self.segments
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&c| u64::from(c))
+            .sum()
+    }
+
+    /// The item at `index`, if in range.
+    pub fn item(&self, index: usize) -> Option<LifecycleItem> {
+        self.events.get(index).map(|e| e.item)
+    }
+}
+
+/// A [`TraceSink`] that records the full trace in memory.
+///
+/// # Examples
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use tinyvm::{asm, devices::NodeConfig, node::Node};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Arc::new(asm::assemble("main:\n ret\n")?);
+/// let mut node = Node::new(program, NodeConfig::default());
+/// let mut recorder = sentomist_trace::Recorder::new(node.program().len());
+/// node.run(1_000, &mut recorder)?;
+/// let trace = recorder.into_trace();
+/// assert_eq!(trace.segments.len(), trace.events.len() + 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    events: Vec<TraceEvent>,
+    segments: Vec<Vec<u32>>,
+    program_len: usize,
+}
+
+impl Recorder {
+    /// Creates a recorder for a program of `program_len` instructions.
+    pub fn new(program_len: usize) -> Recorder {
+        Recorder {
+            events: Vec::new(),
+            segments: Vec::new(),
+            program_len,
+        }
+    }
+
+    /// Finalizes the recording into a [`Trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink protocol was violated (a final segment flush is
+    /// missing) — [`tinyvm::node::Node::run`] always upholds it; callers
+    /// driving [`tinyvm::node::Node::advance`] manually must call
+    /// [`tinyvm::node::Node::finish`] once.
+    pub fn into_trace(self) -> Trace {
+        assert_eq!(
+            self.segments.len(),
+            self.events.len() + 1,
+            "trace protocol violation: run not finished with a final segment"
+        );
+        Trace {
+            events: self.events,
+            segments: self.segments,
+            program_len: self.program_len,
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl TraceSink for Recorder {
+    fn lifecycle(&mut self, cycle: u64, item: LifecycleItem) {
+        self.events.push(TraceEvent { cycle, item });
+    }
+
+    fn segment(&mut self, counts: &[u32]) {
+        debug_assert_eq!(counts.len(), self.program_len);
+        self.segments.push(counts.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tinyvm::devices::NodeConfig;
+    use tinyvm::node::Node;
+
+    const APP: &str = "\
+.handler TIMER0 h
+.task t
+main:
+ ldi r1, 4
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ post t
+ reti
+t:
+ ret
+";
+
+    fn record(limit: u64) -> Trace {
+        let program = Arc::new(tinyvm::assemble(APP).unwrap());
+        let mut node = Node::new(program.clone(), NodeConfig::default());
+        let mut rec = Recorder::new(program.len());
+        node.run(limit, &mut rec).unwrap();
+        rec.into_trace()
+    }
+
+    #[test]
+    fn invariant_holds() {
+        let t = record(100_000);
+        assert_eq!(t.segments.len(), t.events.len() + 1);
+        assert!(t.events.len() > 10);
+    }
+
+    #[test]
+    fn int_indices_point_at_ints() {
+        let t = record(50_000);
+        for i in t.int_indices() {
+            assert!(matches!(t.events[i].item, LifecycleItem::Int(_)));
+        }
+        assert!(t.int_indices().count() > 5);
+    }
+
+    #[test]
+    fn cycles_are_monotonic() {
+        let t = record(50_000);
+        for w in t.events.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+    }
+
+    #[test]
+    fn total_instructions_positive() {
+        let t = record(10_000);
+        assert!(t.total_instructions() > 0);
+    }
+}

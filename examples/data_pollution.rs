@@ -1,0 +1,82 @@
+//! Case study I end-to-end: hunt the Figure-2 data-pollution race in the
+//! Oscilloscope-style data-collection application, exactly as the paper's
+//! Section VI-B evaluation (five testing runs, D = 20..100 ms, 10 s each),
+//! then show what a developer would see when inspecting the top-ranked
+//! interval — including the bug-localization extension mapping the
+//! symptom back to assembly lines.
+//!
+//! Run with: `cargo run --release --example data_pollution`
+
+use sentomist::apps::{oscilloscope, run_case1, Case1Config};
+use sentomist::core::localize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Case1Config::default();
+    println!(
+        "Testing runs: D = {:?} ms, {} s each, one-class SVM\n",
+        config.periods_ms, config.run_seconds
+    );
+    let result = run_case1(&config)?;
+
+    println!(
+        "Collected {} ADC event-handling intervals (paper: 1099).",
+        result.sample_count
+    );
+    println!("Ranking (Figure 5(a) format):");
+    print!("{}", result.report.table(8, 2));
+
+    println!(
+        "\nGround truth: {} intervals contain the data race, at ranks {:?}.",
+        result.buggy.len(),
+        result.buggy_ranks
+    );
+    println!(
+        "A tester inspecting the ranking top-down hits a real symptom \
+         immediately (paper: top three all confirmed the bug)."
+    );
+
+    // --- Bug localization (the paper's future-work extension) -----------
+    // Re-run the first testing run and ask which instructions make the
+    // top outlier deviate: the doubled readDone body shows up on top.
+    let params = oscilloscope::OscilloscopeParams::with_period_ms(config.periods_ms[0]);
+    let program = oscilloscope::buggy(&params)?;
+    let mut node = sentomist::tinyvm::node::Node::new(
+        program.clone(),
+        sentomist::tinyvm::devices::NodeConfig {
+            seed: config.seed,
+            ..Default::default()
+        },
+    );
+    let mut rec = sentomist::trace::Recorder::new(program.len());
+    node.run(10_000_000, &mut rec)?;
+    let trace = rec.into_trace();
+    let samples = sentomist::core::harvest(&trace, sentomist::tinyvm::isa::irq::ADC, |s, _| {
+        sentomist::core::SampleIndex::Seq(s)
+    })?;
+    let report = sentomist::core::Pipeline::default_ocsvm(0.05).rank(samples.clone())?;
+    let top = report.ranking[0].index;
+    let flagged = samples
+        .iter()
+        .position(|s| s.index == top)
+        .expect("top sample exists");
+    println!("\nLocalizing the top outlier of run 1 ({top}):");
+    for hit in localize(&samples, flagged, &program, 0.9).into_iter().take(10) {
+        println!(
+            "  pc {:>3}  z = {:>6.1}  observed {:>5.0} vs expected {:>6.1}  \
+             ({} @ line {})",
+            hit.pc,
+            hit.z_score,
+            hit.observed,
+            hit.expected,
+            hit.routine.as_deref().unwrap_or("?"),
+            hit.source_line.map(|l| l.to_string()).unwrap_or_default(),
+        );
+    }
+    println!(
+        "\nTwo signals implicate the race: the housekeeping loop that \
+         delayed the queued send task (the race window), and the readDone \
+         body executing twice within one interval — the doubled execution \
+         the paper describes."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Detector ablation (paper Section VI-E): the outlier detector is a
+//! plug-in — compare the one-class SVM against PCA, kNN and Mahalanobis
+//! on all three case studies, reporting where each detector ranks the
+//! ground-truth bug symptoms.
+//!
+//! Run with: `cargo run --release --example detector_comparison`
+
+use sentomist::apps::{
+    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config, CaseResult,
+    DetectorKind,
+};
+
+fn row(case: &str, kind: DetectorKind, result: &CaseResult) {
+    println!(
+        "{:<8} {:<12} {:>7} {:>7}   {:?}",
+        case,
+        kind.name(),
+        result.sample_count,
+        result.buggy.len(),
+        result.buggy_ranks,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:<12} {:>7} {:>7}   symptom ranks (lower = better)",
+        "case", "detector", "samples", "buggy"
+    );
+    for kind in DetectorKind::all(0.05) {
+        let result = run_case1(&Case1Config {
+            detector: kind,
+            ..Case1Config::default()
+        })?;
+        row("case-1", kind, &result);
+    }
+    for kind in DetectorKind::all(0.05) {
+        let result = run_case2(&Case2Config {
+            detector: kind,
+            ..Case2Config::default()
+        })?;
+        row("case-2", kind, &result);
+    }
+    for kind in DetectorKind::all(0.1) {
+        let result = run_case3(&Case3Config {
+            detector: kind,
+            ..Case3Config::default()
+        })?;
+        row("case-3", kind, &result);
+    }
+    println!(
+        "\nReading: OC-SVM (the paper's choice) and the distance-based \
+         detectors surface the symptoms; PCA can be *masked* when the \
+         outliers themselves dominate the principal components."
+    );
+    Ok(())
+}

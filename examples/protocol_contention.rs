@@ -1,0 +1,57 @@
+//! Case study III end-to-end: the unhandled send-failure hang when a
+//! CTP-style collection protocol and a heartbeat protocol race for one
+//! radio chip on a 9-node tree (paper Section VI-D).
+//!
+//! Run with: `cargo run --release --example protocol_contention`
+
+use sentomist::apps::{ctp, run_case3, Case3Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Case3Config::default();
+    println!(
+        "9-node collection tree, sources {:?}, heartbeat every 500 ms, {} s\n",
+        ctp::SOURCES, config.run_seconds
+    );
+    let result = run_case3(&config)?;
+
+    println!(
+        "Pooled {} report-timer intervals from the {} source nodes \
+         (paper: 95).",
+        result.sample_count,
+        ctp::SOURCES.len()
+    );
+    println!("Ranking (Figure 5(c) format):");
+    print!("{}", result.report.table(7, 2));
+
+    match result.buggy.first() {
+        Some(ix) => {
+            println!(
+                "\nGround truth: the unhandled FAIL occurred in interval {ix}, \
+                 ranked {} (paper: rank 4).",
+                result.buggy_ranks[0]
+            );
+            println!(
+                "After that instant the node's collection protocol is hung: \
+                 its busy mark is never cleared, every later report takes the \
+                 silent short path, and no packet leaves the node — exactly \
+                 the CTP behavior discussed on the tinyos-devel list."
+            );
+        }
+        None => println!(
+            "\nNo contention hang occurred under this seed; rerun with \
+             another seed to observe one."
+        ),
+    }
+
+    // The one-line fix: clear the busy mark when send() fails.
+    let fixed = run_case3(&Case3Config {
+        use_fixed: true,
+        ..config
+    })?;
+    println!(
+        "\nFixed variant under the same contention: transient failures {} \
+         (each retried on the next tick; the protocol keeps collecting).",
+        fixed.buggy.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! The `sentomist` command-line tool: assemble, emulate, trace, mine and
+//! localize — the full Figure-3 workflow from a shell.
+//!
+//! ```text
+//! sentomist assemble <app.s>                      check + disassemble
+//! sentomist run <app.s> [opts]                    emulate, save a trace
+//! sentomist mine <trace.json> --irq N [opts]      rank intervals
+//! sentomist localize <trace.json> <app.s> [opts]  implicate instructions
+//! sentomist case <1|2|3>                          run a paper case study
+//! ```
+
+use sentomist::core::{harvest, localize, Pipeline, SampleIndex};
+use sentomist::mlcore::{
+    KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
+    PcaDetector,
+};
+use sentomist::tinyvm::{self, devices::NodeConfig, node::Node};
+use sentomist::trace::{Recorder, Trace};
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "sentomist — transient WSN bug mining (ICDCS 2010 reproduction)
+
+USAGE:
+  sentomist assemble <app.s>
+      Assemble and print the annotated disassembly.
+
+  sentomist run <app.s> [--cycles N] [--seed S] [--trace FILE]
+      Emulate a single node (default 10,000,000 cycles) and write the
+      lifecycle trace as JSON (default <app>.trace.json).
+
+  sentomist mine <trace.json> [--irq N] [--detector ocsvm|pca|knn|mahalanobis|kde|kfd]
+                 [--nu X] [--top K] [--csv FILE]
+      Anatomize the trace into event-handling intervals of interrupt N
+      (default 0), rank them, and print the suspicion table; --csv also
+      writes the full ranking for external plotting.
+
+  sentomist localize <trace.json> <app.s> [--irq N] [--rank R] [--min-z Z]
+      Explain the R-th most suspicious interval (default 1): which
+      instructions deviate from the population.
+
+  sentomist profile <trace.json> <app.s>
+      Attribute executed instructions and cycles to routines (the
+      Avrora-monitor profiling view).
+
+  sentomist case <1|2|3>
+      Run one of the paper's case studies end to end.
+"
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn detector_from(flags: &HashMap<String, String>) -> Result<Box<dyn OutlierDetector>, String> {
+    let nu = flag_f64(flags, "nu", 0.05)?;
+    match flags.get("detector").map(String::as_str).unwrap_or("ocsvm") {
+        "ocsvm" => Ok(Box::new(OneClassSvm::with_nu(nu))),
+        "pca" => Ok(Box::new(PcaDetector::default())),
+        "knn" => Ok(Box::new(KnnDetector::default())),
+        "mahalanobis" => Ok(Box::new(MahalanobisDetector::default())),
+        "kde" => Ok(Box::new(KdeDetector::default())),
+        "kfd" => Ok(Box::new(KfdDetector::default())),
+        other => Err(format!("unknown detector `{other}`")),
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, Box<dyn Error>> {
+    let data = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&data)?)
+}
+
+fn cmd_assemble(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, _) = parse_flags(args);
+    let path = pos.first().ok_or("assemble: missing <app.s>")?;
+    let src = std::fs::read_to_string(path)?;
+    let program = tinyvm::assemble(&src)?;
+    println!(
+        "; {} — {} instructions, {} tasks, {} data words",
+        path,
+        program.len(),
+        program.tasks.len(),
+        program.data_size
+    );
+    print!("{}", tinyvm::disassemble(&program));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos.first().ok_or("run: missing <app.s>")?;
+    let cycles = flag_u64(&flags, "cycles", 10_000_000)?;
+    let seed = flag_u64(&flags, "seed", 42)?;
+    let out = flags
+        .get("trace")
+        .cloned()
+        .unwrap_or_else(|| format!("{path}.trace.json"));
+    let src = std::fs::read_to_string(path)?;
+    let program = std::sync::Arc::new(tinyvm::assemble(&src)?);
+    let mut node = Node::new(
+        program.clone(),
+        NodeConfig {
+            seed,
+            ..NodeConfig::default()
+        },
+    );
+    let mut recorder = Recorder::new(program.len());
+    node.run(cycles, &mut recorder)?;
+    let trace = recorder.into_trace();
+    println!(
+        "ran {} cycles: {} instructions, {} lifecycle events, {} UART words",
+        node.cycle(),
+        node.instructions_retired(),
+        trace.events.len(),
+        node.uart().len()
+    );
+    std::fs::write(&out, serde_json::to_string(&trace)?)?;
+    println!("trace written to {out}");
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos.first().ok_or("mine: missing <trace.json>")?;
+    let irq = flag_u64(&flags, "irq", 0)? as u8;
+    let top = flag_u64(&flags, "top", 10)? as usize;
+    let trace = load_trace(path)?;
+    let samples = harvest(&trace, irq, |seq, _| SampleIndex::Seq(seq))?;
+    if samples.is_empty() {
+        return Err(format!("no event-handling intervals for irq {irq}").into());
+    }
+    println!(
+        "{} intervals of {} ({}), ranking with {}:",
+        samples.len(),
+        irq,
+        tinyvm::isa::irq::name(irq),
+        flags.get("detector").map(String::as_str).unwrap_or("ocsvm"),
+    );
+    let pipeline = Pipeline::new(detector_from(&flags)?);
+    let report = pipeline.rank(samples)?;
+    print!("{}", report.table(top, 2));
+    if let Some(csv_path) = flags.get("csv") {
+        std::fs::write(csv_path, report.to_csv())?;
+        println!("full ranking written to {csv_path}");
+    }
+    Ok(())
+}
+
+fn cmd_localize(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    let trace_path = pos.first().ok_or("localize: missing <trace.json>")?;
+    let app_path = pos.get(1).ok_or("localize: missing <app.s>")?;
+    let irq = flag_u64(&flags, "irq", 0)? as u8;
+    let rank = flag_u64(&flags, "rank", 1)?.max(1) as usize;
+    let min_z = flag_f64(&flags, "min-z", 1.0)?;
+    let trace = load_trace(trace_path)?;
+    let src = std::fs::read_to_string(app_path)?;
+    let program = tinyvm::assemble(&src)?;
+    if program.len() != trace.program_len {
+        return Err(format!(
+            "program has {} instructions but the trace was recorded for {}",
+            program.len(),
+            trace.program_len
+        )
+        .into());
+    }
+    let samples = harvest(&trace, irq, |seq, _| SampleIndex::Seq(seq))?;
+    let report = Pipeline::new(detector_from(&flags)?).rank(samples.clone())?;
+    let target = report
+        .ranking
+        .get(rank - 1)
+        .ok_or("rank beyond the number of intervals")?;
+    let flagged = samples
+        .iter()
+        .position(|s| s.index == target.index)
+        .expect("ranked sample exists");
+    println!(
+        "interval {} (rank {rank}, score {:.4}): deviating instructions:",
+        target.index, target.score
+    );
+    for hit in localize(&samples, flagged, &program, min_z).into_iter().take(12) {
+        println!(
+            "  pc {:>4}  z {:>7.2}  observed {:>7.0}  expected {:>9.1}  {} (line {})",
+            hit.pc,
+            hit.z_score,
+            hit.observed,
+            hit.expected,
+            hit.routine.as_deref().unwrap_or("?"),
+            hit.source_line.unwrap_or(0),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, _) = parse_flags(args);
+    let trace_path = pos.first().ok_or("profile: missing <trace.json>")?;
+    let app_path = pos.get(1).ok_or("profile: missing <app.s>")?;
+    let trace = load_trace(trace_path)?;
+    let src = std::fs::read_to_string(app_path)?;
+    let program = tinyvm::assemble(&src)?;
+    if program.len() != trace.program_len {
+        return Err("program/trace instruction counts disagree".into());
+    }
+    let profile = sentomist::trace::Profile::of_trace(&trace, &program);
+    print!("{}", profile.table());
+    Ok(())
+}
+
+fn cmd_case(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use sentomist::apps::{
+        run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config,
+    };
+    let which = args.first().map(String::as_str).ok_or("case: missing <1|2|3>")?;
+    let result = match which {
+        "1" => run_case1(&Case1Config::default())?,
+        "2" => run_case2(&Case2Config::default())?,
+        "3" => run_case3(&Case3Config::default())?,
+        other => return Err(format!("unknown case `{other}`").into()),
+    };
+    print!("{}", result.report.table(8, 2));
+    println!(
+        "\n{} samples; true symptoms at ranks {:?}",
+        result.sample_count, result.buggy_ranks
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "assemble" => cmd_assemble(rest),
+        "run" => cmd_run(rest),
+        "mine" => cmd_mine(rest),
+        "localize" => cmd_localize(rest),
+        "profile" => cmd_profile(rest),
+        "case" => cmd_case(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage()).into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

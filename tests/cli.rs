@@ -1,0 +1,184 @@
+//! End-to-end tests of the `sentomist` CLI binary: the assemble → run →
+//! mine → localize workflow through real process invocations.
+
+use std::process::Command;
+
+const APP: &str = "\
+.handler TIMER0 on_timer
+.handler ADC on_adc
+.task send
+.data buf 3
+.data idx 1
+main:
+ ldi r1, 78
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+on_timer:
+ ldi r1, 1
+ out ADC_CTRL, r1
+ reti
+on_adc:
+ in r1, ADC_DATA
+ lda r2, idx
+ ldi r3, buf
+ add r3, r2
+ st [r3], r1
+ addi r2, 1
+ sta idx, r2
+ cmpi r2, 3
+ brne done
+ ldi r2, 0
+ sta idx, r2
+ post send
+done:
+ reti
+send:
+ lda r1, buf
+ out RADIO_TX_PUSH, r1
+ ldi r2, 0xFFFF
+ out RADIO_SEND, r2
+ ret
+";
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sentomist"))
+}
+
+fn workdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentomist-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn assemble_run_mine_localize_workflow() {
+    let dir = workdir();
+    let app = dir.join("app.s");
+    let trace = dir.join("app.trace.json");
+    std::fs::write(&app, APP).unwrap();
+
+    // assemble
+    let out = cli().arg("assemble").arg(&app).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains("on_adc:"));
+    assert!(listing.contains("26 instructions"));
+
+    // run
+    let out = cli()
+        .args(["run"])
+        .arg(&app)
+        .args(["--cycles", "2000000", "--seed", "7", "--trace"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    // mine (with CSV export)
+    let csv = dir.join("ranking.csv");
+    let out = cli()
+        .args(["mine"])
+        .arg(&trace)
+        .args(["--irq", "2", "--top", "3", "--csv"])
+        .arg(&csv)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("intervals of 2 (ADC)"));
+    assert!(table.contains("Instance Index"));
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("rank,index,score"));
+    assert!(csv_text.lines().count() > 50);
+
+    // profile
+    let out = cli()
+        .args(["profile"])
+        .arg(&trace)
+        .arg(&app)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let prof = String::from_utf8_lossy(&out.stdout);
+    assert!(prof.contains("routine"));
+    assert!(prof.contains("on_adc"));
+    assert!(prof.contains("total"));
+
+    // localize
+    let out = cli()
+        .args(["localize"])
+        .arg(&trace)
+        .arg(&app)
+        .args(["--irq", "2", "--rank", "1", "--min-z", "0.5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let loc = String::from_utf8_lossy(&out.stdout);
+    assert!(loc.contains("deviating instructions"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // No args: usage on stderr, nonzero exit.
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing file.
+    let out = cli().args(["assemble", "/nonexistent/x.s"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Bad detector name.
+    let dir = workdir();
+    let app = dir.join("mini.s");
+    let trace = dir.join("mini.trace.json");
+    std::fs::write(&app, APP).unwrap();
+    let ok = cli()
+        .args(["run"])
+        .arg(&app)
+        .args(["--cycles", "500000", "--trace"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+    let out = cli()
+        .args(["mine"])
+        .arg(&trace)
+        .args(["--irq", "2", "--detector", "psychic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown detector"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn case_subcommand_reproduces_figure_5b() {
+    let out = cli().args(["case", "2"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Instance Index"));
+    assert!(text.contains("true symptoms at ranks [1, 2, 3]"));
+}
+
+#[test]
+fn assembly_error_reports_line() {
+    let dir = workdir();
+    let app = dir.join("broken.s");
+    std::fs::write(&app, "main:\n frob r1\n").unwrap();
+    let out = cli().arg("assemble").arg(&app).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

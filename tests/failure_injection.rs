@@ -1,0 +1,205 @@
+//! Failure injection across the stack: corrupted traces, faulting nodes
+//! inside a network, queue exhaustion, and truncation — every layer must
+//! fail loudly and precisely, never silently misanalyze.
+
+use sentomist::netsim::{LinkConfig, NetSim, SimError, Topology};
+use sentomist::tinyvm::{self, devices::NodeConfig, node::Node, LifecycleItem, TaskId, VmError};
+use sentomist::trace::{extract, ExtractError, Recorder, Trace, TraceEvent};
+use std::sync::Arc;
+
+fn ev(cycle: u64, item: LifecycleItem) -> TraceEvent {
+    TraceEvent { cycle, item }
+}
+
+#[test]
+fn fifo_violating_trace_is_rejected_not_misattributed() {
+    // A corrupted trace where the ordinal-matched post and run disagree on
+    // task ids (impossible under a FIFO scheduler).
+    let trace = Trace {
+        events: vec![
+            ev(0, LifecycleItem::Int(0)),
+            ev(1, LifecycleItem::PostTask(TaskId(1))),
+            ev(2, LifecycleItem::PostTask(TaskId(2))),
+            ev(3, LifecycleItem::Reti),
+            ev(4, LifecycleItem::RunTask(TaskId(2))), // swapped!
+            ev(5, LifecycleItem::TaskEnd(TaskId(2))),
+            ev(6, LifecycleItem::RunTask(TaskId(1))),
+            ev(7, LifecycleItem::TaskEnd(TaskId(1))),
+        ],
+        segments: vec![vec![]; 9],
+        program_len: 0,
+    };
+    assert!(matches!(
+        extract(&trace),
+        Err(ExtractError::FifoViolation { .. })
+    ));
+}
+
+#[test]
+fn task_running_inside_handler_is_rejected() {
+    // A runTask between int and reti violates the concurrency model.
+    let trace = Trace {
+        events: vec![
+            ev(0, LifecycleItem::PostTask(TaskId(0))),
+            ev(1, LifecycleItem::Int(0)),
+            ev(2, LifecycleItem::RunTask(TaskId(0))),
+            ev(3, LifecycleItem::Reti),
+        ],
+        segments: vec![vec![]; 5],
+        program_len: 0,
+    };
+    assert!(matches!(extract(&trace), Err(ExtractError::Grammar(_))));
+}
+
+#[test]
+fn mid_simulation_node_fault_reports_the_right_node() {
+    // Node 1 faults (bad port) after ~1 simulated second; node 0 is fine.
+    let healthy = Arc::new(
+        tinyvm::assemble(
+            "\
+.handler TIMER0 h
+main:
+ ldi r1, 40
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ reti
+",
+        )
+        .unwrap(),
+    );
+    let faulty = Arc::new(
+        tinyvm::assemble(
+            "\
+.handler TIMER0 h
+.data n 1
+main:
+ ldi r1, 400
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ lda r1, n
+ addi r1, 1
+ sta n, r1
+ cmpi r1, 10
+ brne ok
+ in r2, 0x7E          ; boom on the 10th fire
+ok:
+ reti
+",
+        )
+        .unwrap(),
+    );
+    let mut topo = Topology::new(2);
+    topo.connect(0, 1, LinkConfig::default());
+    let mut sim = NetSim::new(topo, 1);
+    sim.add_node(healthy, NodeConfig::default());
+    sim.add_node(
+        faulty,
+        NodeConfig {
+            node_id: 1,
+            ..NodeConfig::default()
+        },
+    );
+    let mut sinks = vec![tinyvm::NullSink, tinyvm::NullSink];
+    match sim.run(20_000_000, &mut sinks) {
+        Err(SimError::NodeFault {
+            node: 1,
+            error: VmError::BadPort { port: 0x7E, .. },
+        }) => {}
+        other => panic!("expected node-1 BadPort fault, got {other:?}"),
+    }
+    // The faulting node stopped early; the healthy node kept running up to
+    // the moment the simulation aborted.
+    assert!(sim.node(1).halted());
+    assert!(!sim.node(0).halted());
+}
+
+#[test]
+fn fault_trace_remains_analyzable_up_to_the_fault() {
+    // Even when a program faults, the trace recorded so far is well
+    // formed and extraction works on it.
+    let program = Arc::new(
+        tinyvm::assemble(
+            "\
+.handler TIMER0 h
+.data n 1
+main:
+ ldi r1, 20
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ lda r1, n
+ addi r1, 1
+ sta n, r1
+ cmpi r1, 5
+ brne ok
+ in r2, 0x7E
+ok:
+ reti
+",
+        )
+        .unwrap(),
+    );
+    let mut node = Node::new(program.clone(), NodeConfig::default());
+    let mut rec = Recorder::new(program.len());
+    let err = node.run(10_000_000, &mut rec).unwrap_err();
+    assert!(matches!(err, VmError::BadPort { .. }));
+    let trace = rec.into_trace(); // run() flushed the final segment
+    let x = extract(&trace).unwrap();
+    assert_eq!(x.intervals.len(), 4, "four clean firings before the fault");
+    assert_eq!(x.incomplete, 1, "the faulting handler never returned");
+}
+
+#[test]
+fn queue_exhaustion_is_a_fault_not_a_silent_drop() {
+    let program = Arc::new(
+        tinyvm::assemble(
+            "\
+.handler TIMER0 h
+.task t
+main:
+ ldi r1, 1
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+h:
+ post t
+ post t
+ post t
+ reti
+t:
+ ldi r2, 4000
+spin:
+ subi r2, 1
+ brne spin
+ ret
+",
+        )
+        .unwrap(),
+    );
+    // Posts outpace execution threefold: the queue must eventually fill
+    // and the VM must say so (TinyOS 1.x semantics: every post enqueues).
+    let mut node = Node::new(
+        program,
+        NodeConfig {
+            task_queue_capacity: 8,
+            ..NodeConfig::default()
+        },
+    );
+    let err = node.run(10_000_000, &mut tinyvm::NullSink).unwrap_err();
+    assert!(matches!(err, VmError::TaskQueueFull { .. }));
+}
+
+#[test]
+fn malformed_trace_json_is_rejected_by_deserialization() {
+    let garbage = r#"{"events": [{"cycle": 1}], "segments": [], "program_len": 3}"#;
+    assert!(serde_json::from_str::<Trace>(garbage).is_err());
+}
