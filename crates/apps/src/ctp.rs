@@ -55,7 +55,7 @@ pub struct CtpParams {
 impl Default for CtpParams {
     fn default() -> Self {
         CtpParams {
-            hb_period_ticks: 1953, // 500 ms
+            hb_period_ticks: 1953,   // 500 ms
             report_base_ticks: 2300, // ~589 ms + per-node jitter
             hb_pad_words: 22,
         }
@@ -403,7 +403,11 @@ mod tests {
         );
         // Origins logged at even offsets must be source ids.
         for pair in root_log.chunks(2) {
-            assert!(SOURCES.contains(&pair[0]), "origin {} not a source", pair[0]);
+            assert!(
+                SOURCES.contains(&pair[0]),
+                "origin {} not a source",
+                pair[0]
+            );
         }
     }
 

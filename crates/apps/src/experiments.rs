@@ -11,6 +11,9 @@ use crate::{ctp, forwarder, oscilloscope};
 use mlcore::{
     EnsembleDetector, KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, PcaDetector,
 };
+use sentomist_core::campaign::{
+    run_campaign, CampaignOptions, CampaignResult, RunOutcome, Verdict,
+};
 use sentomist_core::{harvest, Pipeline, Report, Sample, SampleIndex};
 use sentomist_trace::{Recorder, Trace};
 use std::error::Error;
@@ -67,9 +70,7 @@ impl DetectorKind {
             DetectorKind::OcSvm { nu } => Pipeline::default_ocsvm(nu),
             DetectorKind::Pca => Pipeline::new(Box::new(PcaDetector::default())),
             DetectorKind::Knn => Pipeline::new(Box::new(KnnDetector::default())),
-            DetectorKind::Mahalanobis => {
-                Pipeline::new(Box::new(MahalanobisDetector::default()))
-            }
+            DetectorKind::Mahalanobis => Pipeline::new(Box::new(MahalanobisDetector::default())),
             DetectorKind::Kde => Pipeline::new(Box::new(KdeDetector::default())),
             DetectorKind::Kfd => Pipeline::new(Box::new(KfdDetector::default())),
             DetectorKind::Ensemble { nu } => {
@@ -103,20 +104,44 @@ pub struct CaseResult {
     pub buggy: Vec<SampleIndex>,
     /// 1-based ranks of the buggy samples, ascending.
     pub buggy_ranks: Vec<usize>,
+    /// FNV-1a digest chained over every recorded trace of the case (node
+    /// order) — the campaign replay-verification token.
+    pub trace_digest: u64,
 }
 
 impl CaseResult {
-    fn new(report: Report, sample_count: usize, buggy: Vec<SampleIndex>) -> CaseResult {
-        let mut buggy_ranks: Vec<usize> = buggy
-            .iter()
-            .filter_map(|&ix| report.rank_of(ix))
-            .collect();
+    fn new(
+        report: Report,
+        sample_count: usize,
+        buggy: Vec<SampleIndex>,
+        trace_digest: u64,
+    ) -> CaseResult {
+        let mut buggy_ranks: Vec<usize> =
+            buggy.iter().filter_map(|&ix| report.rank_of(ix)).collect();
         buggy_ranks.sort_unstable();
         CaseResult {
             report,
             sample_count,
             buggy,
             buggy_ranks,
+            trace_digest,
+        }
+    }
+
+    /// Condenses this case outcome into a campaign [`RunOutcome`].
+    pub fn to_outcome(&self, seed: u64) -> RunOutcome {
+        RunOutcome {
+            seed,
+            samples: self.sample_count,
+            symptoms: self.buggy.len(),
+            buggy_ranks: self.buggy_ranks.clone(),
+            verdict: if self.buggy.is_empty() {
+                Verdict::Clean
+            } else {
+                Verdict::Triggered
+            },
+            trace_digest: format!("{:016x}", self.trace_digest),
+            wall_time_ms: 0,
         }
     }
 
@@ -138,6 +163,16 @@ impl CaseResult {
 fn contains_nested_int(trace: &Trace, sample: &Sample, line: u8) -> bool {
     (sample.interval.start_index + 1..sample.interval.end_index)
         .any(|i| trace.events[i].item == LifecycleItem::Int(line))
+}
+
+/// Chains per-trace digests (in a fixed order) into one case-level
+/// digest, FNV-1a style.
+fn chain_digest(digests: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in digests {
+        h = (h ^ d).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 // ---------------------------------------------------------------------
@@ -185,6 +220,7 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
     let mut all_samples: Vec<Sample> = Vec::new();
     let mut buggy: Vec<SampleIndex> = Vec::new();
     let mut polluted_packets = 0usize;
+    let mut digests: Vec<u64> = Vec::new();
     for (r, &period) in config.periods_ms.iter().enumerate() {
         let params = params_for(period);
         let program = if config.use_fixed {
@@ -206,6 +242,7 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
             .filter(|p| p.polluted())
             .count();
         let trace = recorder.into_trace();
+        digests.push(trace.digest());
         let run_no = r as u32 + 1;
         let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::RunSeq {
             run: run_no,
@@ -220,7 +257,7 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
     }
     let sample_count = all_samples.len();
     let report = config.detector.pipeline().rank(all_samples)?;
-    let result = CaseResult::new(report, sample_count, buggy);
+    let result = CaseResult::new(report, sample_count, buggy, chain_digest(digests));
     // Cross-check the two independent oracles: every polluted packet stems
     // from a nested-interrupt interval. (The trace oracle can flag one
     // extra interval at the horizon whose packet never got sent.)
@@ -306,7 +343,9 @@ pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
         Recorder::new(sim.node(2).program().len()),
     ];
     sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
-    let relay_trace = recorders.swap_remove(1).into_trace();
+    let mut traces: Vec<Trace> = recorders.into_iter().map(Recorder::into_trace).collect();
+    let trace_digest = chain_digest(traces.iter().map(Trace::digest));
+    let relay_trace = traces.swap_remove(1);
     let samples = harvest(&relay_trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
     let buggy: Vec<SampleIndex> = match drop_pc {
         Some(pc) => samples
@@ -318,7 +357,7 @@ pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
     };
     let sample_count = samples.len();
     let report = config.detector.pipeline().rank(samples)?;
-    Ok(CaseResult::new(report, sample_count, buggy))
+    Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
 }
 
 // ---------------------------------------------------------------------
@@ -387,6 +426,7 @@ pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
         .enumerate()
         .map(|(id, r)| (id as u16, r.into_trace()))
         .collect();
+    let trace_digest = chain_digest(traces.iter().map(|(_, t)| t.digest()));
     traces.retain(|(id, _)| ctp::SOURCES.contains(id));
     for (node_id, trace) in &traces {
         let node = *node_id;
@@ -403,7 +443,7 @@ pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
     }
     let sample_count = all_samples.len();
     let report = config.detector.pipeline().rank(all_samples)?;
-    Ok(CaseResult::new(report, sample_count, buggy))
+    Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
 }
 
 #[cfg(test)]
@@ -441,7 +481,7 @@ mod tests {
                 })
                 .collect(),
         };
-        let result = CaseResult::new(report, 5, vec![SampleIndex::Seq(2), SampleIndex::Seq(1)]);
+        let result = CaseResult::new(report, 5, vec![SampleIndex::Seq(2), SampleIndex::Seq(1)], 0);
         assert_eq!(result.buggy_ranks, vec![1, 2]);
         assert!(result.all_buggy_in_top(2));
         assert!(!result.all_buggy_in_top(1));
@@ -592,39 +632,25 @@ pub fn effort_summary(result: &CaseResult) -> EffortSummary {
 // unless we generate a variety of random interleaving scenarios")
 // ---------------------------------------------------------------------
 
-/// Outcome of one testing run within a campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CampaignRun {
-    /// Seed of the run.
-    pub seed: u64,
-    /// Intervals mined from the run.
-    pub intervals: usize,
-    /// True symptom intervals in the run.
-    pub symptoms: usize,
-    /// Rank of the best-ranked true symptom when mining this run alone
-    /// (`None` if the bug never triggered).
-    pub first_symptom_rank: Option<usize>,
-}
-
-/// Runs `runs` independent case-I testing runs (sampling period
-/// `period_ms`, 10 s each) and mines each in isolation — measuring both
-/// the per-run trigger probability of the race and the per-run mining
-/// success.
+/// Builds a reusable per-seed campaign job for the case-I trigger
+/// experiment: one `run_seconds`-second run of the buggy Oscilloscope at
+/// sampling period `period_ms`, mined in isolation with an OC-SVM(ν).
+///
+/// The program is assembled once, up front; the returned closure only
+/// shares that immutable program, so `run_campaign` can drive it from any
+/// number of worker threads.
 ///
 /// # Errors
 ///
-/// Propagates VM faults, extraction and pipeline errors.
-pub fn run_trigger_campaign(
+/// Fails if the Oscilloscope program does not assemble.
+pub fn trigger_job(
     period_ms: u32,
-    runs: u64,
-    base_seed: u64,
+    run_seconds: u64,
     nu: f64,
-) -> Result<Vec<CampaignRun>, Box<dyn Error>> {
+) -> Result<impl Fn(u64) -> Result<RunOutcome, String> + Send + Sync, Box<dyn Error>> {
     let params = oscilloscope::OscilloscopeParams::with_period_ms(period_ms);
     let program = oscilloscope::buggy(&params)?;
-    let mut out = Vec::new();
-    for i in 0..runs {
-        let seed = base_seed + i;
+    Ok(move |seed: u64| {
         let mut node = Node::new(
             program.clone(),
             NodeConfig {
@@ -633,29 +659,101 @@ pub fn run_trigger_campaign(
             },
         );
         let mut recorder = Recorder::new(program.len());
-        node.run(10 * CYCLES_PER_SECOND, &mut recorder)?;
+        node.run(run_seconds * CYCLES_PER_SECOND, &mut recorder)
+            .map_err(|e| e.to_string())?;
         let trace = recorder.into_trace();
-        let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))?;
+        let trace_digest = trace.digest();
+        let samples =
+            harvest(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq)).map_err(|e| e.to_string())?;
         let buggy: Vec<SampleIndex> = samples
             .iter()
             .filter(|s| contains_nested_int(&trace, s, irq::ADC))
             .map(|s| s.index)
             .collect();
-        let intervals = samples.len();
-        let first_symptom_rank = if buggy.is_empty() {
-            None
+        let sample_count = samples.len();
+        let mut buggy_ranks: Vec<usize> = if buggy.is_empty() {
+            Vec::new()
         } else {
-            let report = Pipeline::default_ocsvm(nu).rank(samples)?;
-            buggy.iter().filter_map(|&b| report.rank_of(b)).min()
+            let report = Pipeline::default_ocsvm(nu)
+                .rank(samples)
+                .map_err(|e| e.to_string())?;
+            buggy.iter().filter_map(|&b| report.rank_of(b)).collect()
         };
-        out.push(CampaignRun {
+        buggy_ranks.sort_unstable();
+        Ok(RunOutcome {
             seed,
-            intervals,
+            samples: sample_count,
             symptoms: buggy.len(),
-            first_symptom_rank,
-        });
+            buggy_ranks,
+            verdict: if buggy.is_empty() {
+                Verdict::Clean
+            } else {
+                Verdict::Triggered
+            },
+            trace_digest: format!("{trace_digest:016x}"),
+            wall_time_ms: 0,
+        })
+    })
+}
+
+/// Runs `runs` independent case-I testing runs (sampling period
+/// `period_ms`, 10 s each, seeds `base_seed..base_seed + runs`) and mines
+/// each in isolation — measuring both the per-run trigger probability of
+/// the race and the per-run mining success. Work is spread over
+/// `options.threads` workers; the result is deterministic regardless of
+/// the thread count.
+///
+/// # Errors
+///
+/// Fails if the Oscilloscope program does not assemble; per-seed VM,
+/// extraction and pipeline failures land in the result's `errors` list.
+pub fn run_trigger_campaign(
+    period_ms: u32,
+    runs: u64,
+    base_seed: u64,
+    nu: f64,
+    options: CampaignOptions,
+) -> Result<CampaignResult, Box<dyn Error>> {
+    let job = trigger_job(period_ms, 10, nu)?;
+    let seeds: Vec<u64> = (0..runs).map(|i| base_seed + i).collect();
+    Ok(run_campaign(&seeds, options, job))
+}
+
+/// Wraps case study I as a per-seed campaign job: each seed reruns the
+/// whole case (every sampling period) with the configuration's seed
+/// replaced.
+pub fn case1_job(config: Case1Config) -> impl Fn(u64) -> Result<RunOutcome, String> + Send + Sync {
+    move |seed| {
+        let mut c = config.clone();
+        c.seed = seed;
+        run_case1(&c)
+            .map(|r| r.to_outcome(seed))
+            .map_err(|e| e.to_string())
     }
-    Ok(out)
+}
+
+/// Wraps case study II (CTP in-network aggregation) as a per-seed
+/// campaign job.
+pub fn case2_job(config: Case2Config) -> impl Fn(u64) -> Result<RunOutcome, String> + Send + Sync {
+    move |seed| {
+        let mut c = config.clone();
+        c.seed = seed;
+        run_case2(&c)
+            .map(|r| r.to_outcome(seed))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Wraps case study III (packet forwarder overflow) as a per-seed
+/// campaign job.
+pub fn case3_job(config: Case3Config) -> impl Fn(u64) -> Result<RunOutcome, String> + Send + Sync {
+    move |seed| {
+        let mut c = config.clone();
+        c.seed = seed;
+        run_case3(&c)
+            .map(|r| r.to_outcome(seed))
+            .map_err(|e| e.to_string())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -737,15 +835,13 @@ pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<
 
     let mut all_samples = Vec::new();
     let mut buggy = Vec::new();
-    for (id, rec) in recorders.into_iter().enumerate().skip(1) {
+    let traces: Vec<Trace> = recorders.into_iter().map(Recorder::into_trace).collect();
+    let trace_digest = chain_digest(traces.iter().map(Trace::digest));
+    for (id, trace) in traces.iter().enumerate().skip(1) {
         let node = id as u16;
-        let trace = rec.into_trace();
-        let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::NodeSeq {
-            node,
-            seq,
-        })?;
+        let samples = harvest(trace, irq::ADC, |seq, _| SampleIndex::NodeSeq { node, seq })?;
         for s in &samples {
-            if contains_nested_int(&trace, s, irq::ADC) {
+            if contains_nested_int(trace, s, irq::ADC) {
                 buggy.push(s.index);
             }
         }
@@ -753,5 +849,5 @@ pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<
     }
     let sample_count = all_samples.len();
     let report = config.detector.pipeline().rank(all_samples)?;
-    Ok(CaseResult::new(report, sample_count, buggy))
+    Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
 }

@@ -26,6 +26,6 @@ pub mod forwarder;
 pub mod oscilloscope;
 
 pub use experiments::{
-    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config, CaseResult,
-    DetectorKind,
+    case1_job, case2_job, case3_job, run_case1, run_case2, run_case3, run_trigger_campaign,
+    trigger_job, Case1Config, Case2Config, Case3Config, CaseResult, DetectorKind,
 };

@@ -251,11 +251,7 @@ pub fn parse_uart(uart: &[u16]) -> Vec<LoggedPacket> {
             let sent = [uart[i + 1], uart[i + 2], uart[i + 3]];
             let k = packets.len();
             if readings.len() >= 3 * (k + 1) {
-                let expected = [
-                    readings[3 * k],
-                    readings[3 * k + 1],
-                    readings[3 * k + 2],
-                ];
+                let expected = [readings[3 * k], readings[3 * k + 1], readings[3 * k + 2]];
                 packets.push(LoggedPacket { sent, expected });
             }
             i += 4;
@@ -380,8 +376,21 @@ mod tests {
     #[test]
     fn parse_uart_reconstructs_triples() {
         let uart = [
-            101, 102, 103, PACKET_MARKER, 101, 102, 103, // clean packet
-            104, 105, 106, 107, PACKET_MARKER, 107, 105, 106, // polluted
+            101,
+            102,
+            103,
+            PACKET_MARKER,
+            101,
+            102,
+            103, // clean packet
+            104,
+            105,
+            106,
+            107,
+            PACKET_MARKER,
+            107,
+            105,
+            106, // polluted
         ];
         let packets = parse_uart(&uart);
         assert_eq!(packets.len(), 2);

@@ -174,8 +174,18 @@ fn pca_masks_the_case2_drops() {
 fn rankings_are_reproducible() {
     let a = run_case2(&Case2Config::default()).unwrap();
     let b = run_case2(&Case2Config::default()).unwrap();
-    let ia: Vec<String> = a.report.ranking.iter().map(|r| r.index.to_string()).collect();
-    let ib: Vec<String> = b.report.ranking.iter().map(|r| r.index.to_string()).collect();
+    let ia: Vec<String> = a
+        .report
+        .ranking
+        .iter()
+        .map(|r| r.index.to_string())
+        .collect();
+    let ib: Vec<String> = b
+        .report
+        .ranking
+        .iter()
+        .map(|r| r.index.to_string())
+        .collect();
     assert_eq!(ia, ib);
 }
 
@@ -185,10 +195,8 @@ fn tossim_style_timing_cannot_manifest_the_race() {
     use tinyvm::TimingModel;
     let mut accurate_polluted = 0;
     for seed in 0..3u64 {
-        let accurate =
-            run_fidelity(TimingModel::CycleAccurate, 20, 10, seed).unwrap();
-        let sequential =
-            run_fidelity(TimingModel::ZeroCostEvents, 20, 10, seed).unwrap();
+        let accurate = run_fidelity(TimingModel::CycleAccurate, 20, 10, seed).unwrap();
+        let sequential = run_fidelity(TimingModel::ZeroCostEvents, 20, 10, seed).unwrap();
         accurate_polluted += accurate.polluted_packets;
         assert_eq!(sequential.polluted_packets, 0, "seed {seed}");
         assert_eq!(sequential.symptom_intervals, 0, "seed {seed}");
@@ -196,7 +204,10 @@ fn tossim_style_timing_cannot_manifest_the_race() {
         assert!(accurate.any_preemption, "seed {seed}");
         assert!(accurate.intervals > 400 && sequential.intervals > 400);
     }
-    assert!(accurate_polluted > 0, "race never manifested even under cycle-accurate timing");
+    assert!(
+        accurate_polluted > 0,
+        "race never manifested even under cycle-accurate timing"
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 //! behind the paper's "greatly speeds up debugging" claim.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sentomist_apps::{
-    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config,
-};
+use sentomist_apps::{run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config};
 
 fn bench_cases(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");

@@ -72,11 +72,9 @@ fn run_grid(side: u16, loss: f64, sim_cycles: u64) -> u64 {
 fn bench_grid_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim_grid");
     for side in [2u16, 4, 6] {
-        group.bench_with_input(
-            BenchmarkId::new("nodes", side * side),
-            &side,
-            |b, &side| b.iter(|| run_grid(side, 0.0, 500_000)),
-        );
+        group.bench_with_input(BenchmarkId::new("nodes", side * side), &side, |b, &side| {
+            b.iter(|| run_grid(side, 0.0, 500_000))
+        });
     }
     group.finish();
 }

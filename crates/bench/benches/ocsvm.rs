@@ -3,9 +3,7 @@
 //! sample set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mlcore::{
-    KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler,
-};
+use mlcore::{KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 

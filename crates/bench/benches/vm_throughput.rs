@@ -76,9 +76,7 @@ fn bench_assembler(c: &mut Criterion) {
     };
     drop(src);
     c.bench_function("assemble_ctp_app", |b| {
-        b.iter(|| {
-            sentomist_apps::ctp::buggy(&sentomist_apps::ctp::CtpParams::default()).unwrap()
-        })
+        b.iter(|| sentomist_apps::ctp::buggy(&sentomist_apps::ctp::CtpParams::default()).unwrap())
     });
 }
 

@@ -5,11 +5,21 @@
 //! D ∈ {20, 40, 60, 80, 100} ms; 1099 intervals; the top-3 ranked
 //! instances all contained the data-pollution race.
 //!
+//! After the canonical single-seed figure, a seed-sweep campaign reruns
+//! the whole case under independent seeds and reports the detection rate.
+//!
 //! Run with: `cargo run --release -p sentomist-bench --bin case_study_1`
+//! Optional arguments: `[threads] [seeds]` (defaults 1 and 8).
 
+use sentomist_apps::experiments::case1_job;
 use sentomist_apps::{run_case1, Case1Config};
+use sentomist_core::campaign::{run_campaign, CampaignOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let n_seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
     let result = run_case1(&Case1Config::default())?;
     print!(
         "{}",
@@ -18,6 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             1099,
             "top-3 inspected, all three confirmed the bug",
             &result,
+        )
+    );
+
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| 100 + i).collect();
+    let campaign = run_campaign(
+        &seeds,
+        CampaignOptions {
+            threads,
+            progress: true,
+        },
+        case1_job(Case1Config::default()),
+    );
+    println!();
+    print!(
+        "{}",
+        sentomist_bench::render_campaign(
+            "Case study I seed sweep",
+            &campaign,
+            "sentomist campaign --case 1 --replay --seed <seed>",
         )
     );
     Ok(())

@@ -5,11 +5,21 @@
 //! dropped a packet due to the busy flag; Sentomist ranked those as the
 //! top three.
 //!
+//! After the canonical single-seed figure, a seed-sweep campaign reruns
+//! the whole case under independent seeds and reports the detection rate.
+//!
 //! Run with: `cargo run --release -p sentomist-bench --bin case_study_2`
+//! Optional arguments: `[threads] [seeds]` (defaults 1 and 8).
 
+use sentomist_apps::experiments::case2_job;
 use sentomist_apps::{run_case2, Case2Config};
+use sentomist_core::campaign::{run_campaign, CampaignOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let n_seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
     let result = run_case2(&Case2Config::default())?;
     print!(
         "{}",
@@ -18,6 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             195,
             "the 3 drop symptoms ranked 1, 2, 3",
             &result,
+        )
+    );
+
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| 100 + i).collect();
+    let campaign = run_campaign(
+        &seeds,
+        CampaignOptions {
+            threads,
+            progress: true,
+        },
+        case2_job(Case2Config::default()),
+    );
+    println!();
+    print!(
+        "{}",
+        sentomist_bench::render_campaign(
+            "Case study II seed sweep",
+            &campaign,
+            "sentomist campaign --case 2 --replay --seed <seed>",
         )
     );
     Ok(())

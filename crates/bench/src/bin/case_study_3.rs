@@ -6,11 +6,21 @@
 //! unhandled-FAIL instance ([8, 20]) ranked 4th (two higher-ranked
 //! instances were false alarms).
 //!
+//! After the canonical single-seed figure, a seed-sweep campaign reruns
+//! the whole case under independent seeds and reports the detection rate.
+//!
 //! Run with: `cargo run --release -p sentomist-bench --bin case_study_3`
+//! Optional arguments: `[threads] [seeds]` (defaults 1 and 8).
 
+use sentomist_apps::experiments::case3_job;
 use sentomist_apps::{run_case3, Case3Config};
+use sentomist_core::campaign::{run_campaign, CampaignOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let n_seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
     let result = run_case3(&Case3Config::default())?;
     print!(
         "{}",
@@ -19,6 +29,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             95,
             "the hang instance [8, 20] ranked 4th",
             &result,
+        )
+    );
+
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| 100 + i).collect();
+    let campaign = run_campaign(
+        &seeds,
+        CampaignOptions {
+            threads,
+            progress: true,
+        },
+        case3_job(Case3Config::default()),
+    );
+    println!();
+    print!(
+        "{}",
+        sentomist_bench::render_campaign(
+            "Case study III seed sweep",
+            &campaign,
+            "sentomist campaign --case 3 --replay --seed <seed>",
         )
     );
     Ok(())

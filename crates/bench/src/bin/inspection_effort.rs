@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release -p sentomist-bench --bin inspection_effort`
 
 use sentomist_apps::experiments::effort_summary;
-use sentomist_apps::{
-    run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config,
-};
+use sentomist_apps::{run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Inspection effort: Sentomist ranking vs brute force ===\n");

@@ -76,7 +76,10 @@ fn ranks_for(prepared: &Prepared, nu: f64, kernel: Option<Kernel>) -> Vec<usize>
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prepared = prepare()?;
     let l = prepared.samples.len();
-    println!("=== Hyperparameter sweep on case study II ({l} samples, {} true drops) ===\n", prepared.buggy.len());
+    println!(
+        "=== Hyperparameter sweep on case study II ({l} samples, {} true drops) ===\n",
+        prepared.buggy.len()
+    );
 
     println!("--- nu sweep (RBF gamma = 1/d) ---");
     println!("{:>6} {:>8}   symptom ranks", "nu", "nu*l");

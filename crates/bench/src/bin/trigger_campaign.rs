@@ -6,33 +6,58 @@
 //! an unnoticed symptom.
 //!
 //! Run with: `cargo run --release -p sentomist-bench --bin trigger_campaign`
+//! An optional first argument sets the worker-thread count (default 1);
+//! the numbers in the table are identical for every thread count — only
+//! the wall-clock column changes.
 
 use sentomist_apps::experiments::run_trigger_campaign;
+use sentomist_core::campaign::CampaignOptions;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()
+        .map_err(|_| "usage: trigger_campaign [threads]")?
+        .unwrap_or(1);
     let runs = 16;
-    println!("=== Trigger campaign: {runs} independent 10 s runs per period ===\n");
     println!(
-        "{:>7} {:>11} {:>10} {:>14} {:>22}",
-        "D (ms)", "runs hit", "symptoms", "P(trigger)", "mining: hits in top-3"
+        "=== Trigger campaign: {runs} independent 10 s runs per period \
+         ({threads} worker thread{}) ===\n",
+        if threads == 1 { "" } else { "s" }
+    );
+    println!(
+        "{:>7} {:>11} {:>10} {:>14} {:>22} {:>10}",
+        "D (ms)", "runs hit", "symptoms", "P(trigger)", "mining: hits in top-3", "wall (s)"
     );
     for period in [20u32, 40, 60, 80, 100] {
-        let campaign = run_trigger_campaign(period, runs, 1000, 0.05)?;
-        let hit: Vec<_> = campaign.iter().filter(|r| r.symptoms > 0).collect();
-        let symptoms: usize = campaign.iter().map(|r| r.symptoms).sum();
-        let top3 = hit
-            .iter()
-            .filter(|r| r.first_symptom_rank.is_some_and(|rk| rk <= 3))
-            .count();
-        println!(
-            "{:>7} {:>8}/{:<2} {:>10} {:>14.2} {:>18}/{:<3}",
+        let started = Instant::now();
+        let result = run_trigger_campaign(
             period,
-            hit.len(),
             runs,
-            symptoms,
-            hit.len() as f64 / runs as f64,
-            top3,
-            hit.len(),
+            1000,
+            0.05,
+            CampaignOptions {
+                threads,
+                progress: false,
+            },
+        )?;
+        let elapsed = started.elapsed().as_secs_f64();
+        for e in &result.errors {
+            eprintln!("seed {} failed: {}", e.seed, e.message);
+        }
+        let s = result.summary();
+        println!(
+            "{:>7} {:>8}/{:<2} {:>10} {:>14.2} {:>18}/{:<3} {:>10.2}",
+            period,
+            s.triggered,
+            runs,
+            s.total_symptoms,
+            s.trigger_rate,
+            s.hits_top3,
+            s.triggered,
+            elapsed,
         );
     }
     println!(

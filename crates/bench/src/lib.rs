@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 use sentomist_apps::CaseResult;
+use sentomist_core::campaign::{CampaignResult, Verdict};
 
 /// Renders one case-study outcome: the Figure-5-style table, the
 /// ground-truth symptom ranks, and the paper-vs-measured summary line.
@@ -48,6 +49,61 @@ pub fn render_case(
         "NOT REPRODUCED: symptoms buried in the ranking"
     };
     let _ = writeln!(out, "verdict:        {verdict}");
+    out
+}
+
+/// Renders a seed-sweep campaign: one row per run plus the
+/// detection-rate summary. `replay_hint` is printed verbatim as the
+/// reproduce-by-seed instruction for flagged rows.
+pub fn render_campaign(title: &str, result: &CampaignResult, replay_hint: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let s = result.summary();
+    let _ = writeln!(out, "=== {title} ===");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
+        "seed", "samples", "symptoms", "verdict", "best rank", "trace digest"
+    );
+    for o in &result.outcomes {
+        let best = o
+            .buggy_ranks
+            .first()
+            .map_or_else(|| "-".to_string(), ToString::to_string);
+        let verdict = match o.verdict {
+            Verdict::Triggered => "triggered",
+            Verdict::Clean => "clean",
+        };
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
+            o.seed, o.samples, o.symptoms, verdict, best, o.trace_digest
+        );
+    }
+    for e in &result.errors {
+        let _ = writeln!(out, "{:>6} FAILED: {}", e.seed, e.message);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "trigger rate:   {}/{} runs ({:.0}%)",
+        s.triggered,
+        s.runs,
+        100.0 * s.trigger_rate
+    );
+    let _ = writeln!(
+        out,
+        "detection:      best symptom in top-1 for {}, top-3 for {}, top-10 for {} \
+         of the {} triggered runs",
+        s.hits_top1, s.hits_top3, s.hits_top10, s.triggered
+    );
+    let _ = writeln!(
+        out,
+        "intervals:      {} total ({}..{} per run, mean {:.1})",
+        s.total_samples, s.min_samples, s.max_samples, s.mean_samples
+    );
+    let _ = writeln!(out, "replay a row:   {replay_hint}");
     out
 }
 

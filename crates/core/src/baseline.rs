@@ -168,11 +168,7 @@ mod tests {
         let json = serde_json::to_string(&model).unwrap();
         let back: BaselineModel = serde_json::from_str(&json).unwrap();
         assert_eq!(back.dimension, model.dimension);
-        for x in [
-            [100.0, 7.0, 2.0],
-            [102.0, 7.0, 0.0],
-            [140.0, 9.0, 5.0],
-        ] {
+        for x in [[100.0, 7.0, 2.0], [102.0, 7.0, 0.0], [140.0, 9.0, 5.0]] {
             assert!((back.score(&x) - model.score(&x)).abs() < 1e-9);
         }
     }

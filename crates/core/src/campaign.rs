@@ -1,0 +1,414 @@
+//! Parallel seed-sweep campaign orchestration.
+//!
+//! The paper's §IV premise — transient bugs need *many* randomized
+//! testing scenarios before they trigger — makes single-run evaluation
+//! misleading: what matters is a *campaign*, a sweep of independent
+//! runs over a seed range, with the mining pipeline applied to each run
+//! in isolation. This module provides the generic orchestrator:
+//!
+//! * a job is any `Fn(u64) -> Result<RunOutcome, String> + Send + Sync`
+//!   closure mapping a seed to a structured outcome (the application
+//!   crates build these; see `sentomist-apps`);
+//! * [`run_campaign`] fans the seeds over a worker pool of OS threads
+//!   and collects the outcomes **sorted by seed**, so the aggregated
+//!   result is identical whether 1 or 16 threads ran it;
+//! * [`summarize`] reduces the outcomes to permutation-invariant
+//!   campaign statistics (trigger rate, rank quality, sample volumes);
+//! * any flagged run is replayable by invoking the same job with the
+//!   same seed ([`replay`]) — the [`RunOutcome::trace_digest`] proves
+//!   the replay reproduced the original execution bit for bit.
+//!
+//! Wall-clock timing is observability, not result: the per-run
+//! [`RunOutcome::wall_time_ms`] is `#[serde(skip)]`ed so serialized
+//! campaign documents stay byte-identical across machines and thread
+//! counts.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Did the run trigger the bug (produce any true symptom interval)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// No symptom interval in this run.
+    Clean,
+    /// At least one symptom interval — the bug fired.
+    Triggered,
+}
+
+/// Structured result of one campaign run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Seed of the run (the replay key).
+    pub seed: u64,
+    /// Event-handling intervals mined from the run.
+    pub samples: usize,
+    /// Ground-truth symptom intervals among them.
+    pub symptoms: usize,
+    /// 1-based ranks of the symptom intervals in the run's own
+    /// suspicion ranking, ascending; empty for clean runs.
+    pub buggy_ranks: Vec<usize>,
+    /// Whether the bug triggered.
+    pub verdict: Verdict,
+    /// FNV-1a digest of the recorded trace(s), as 16 hex digits —
+    /// the replay-verification token.
+    pub trace_digest: String,
+    /// Wall-clock time of the run in milliseconds. Observability only:
+    /// excluded from serialization and from [`RunOutcome::matches`].
+    #[serde(skip)]
+    pub wall_time_ms: u64,
+}
+
+impl RunOutcome {
+    /// Replay equivalence: every result field agrees (timing ignored).
+    pub fn matches(&self, other: &RunOutcome) -> bool {
+        self.seed == other.seed
+            && self.samples == other.samples
+            && self.symptoms == other.symptoms
+            && self.buggy_ranks == other.buggy_ranks
+            && self.verdict == other.verdict
+            && self.trace_digest == other.trace_digest
+    }
+}
+
+/// A run that failed outright (VM fault, pipeline error).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunError {
+    /// Seed of the failed run.
+    pub seed: u64,
+    /// The error rendered as text.
+    pub message: String,
+}
+
+/// Aggregated result of a campaign: outcomes and errors, both sorted by
+/// seed, so the whole structure is deterministic regardless of worker
+/// scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Per-run outcomes, ascending by seed.
+    pub outcomes: Vec<RunOutcome>,
+    /// Failed runs, ascending by seed.
+    pub errors: Vec<RunError>,
+}
+
+impl CampaignResult {
+    /// Permutation-invariant summary statistics of the outcomes.
+    pub fn summary(&self) -> CampaignSummary {
+        summarize(&self.outcomes)
+    }
+
+    /// Outcomes whose verdict is [`Verdict::Triggered`].
+    pub fn triggered(&self) -> impl Iterator<Item = &RunOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict == Verdict::Triggered)
+    }
+
+    /// The outcome for `seed`, if that run completed.
+    pub fn outcome_for(&self, seed: u64) -> Option<&RunOutcome> {
+        self.outcomes
+            .binary_search_by_key(&seed, |o| o.seed)
+            .ok()
+            .map(|i| &self.outcomes[i])
+    }
+
+    /// Total wall-clock milliseconds spent inside jobs (across all
+    /// workers; with N threads the elapsed time is roughly this / N).
+    pub fn cpu_time_ms(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.wall_time_ms).sum()
+    }
+}
+
+/// Campaign-level statistics. Every field is a sum, count, extremum or
+/// exact ratio over the outcome *set*, so the summary is invariant under
+/// any permutation of the outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Completed runs.
+    pub runs: usize,
+    /// Runs whose verdict is [`Verdict::Triggered`].
+    pub triggered: usize,
+    /// `triggered / runs` (0 for an empty campaign).
+    pub trigger_rate: f64,
+    /// Sum of mined intervals across runs.
+    pub total_samples: usize,
+    /// Sum of symptom intervals across runs.
+    pub total_symptoms: usize,
+    /// Fewest intervals mined in one run (0 for an empty campaign).
+    pub min_samples: usize,
+    /// Most intervals mined in one run.
+    pub max_samples: usize,
+    /// Mean intervals per run.
+    pub mean_samples: f64,
+    /// Triggered runs whose best symptom ranked 1st.
+    pub hits_top1: usize,
+    /// Triggered runs whose best symptom ranked in the top 3.
+    pub hits_top3: usize,
+    /// Triggered runs whose best symptom ranked in the top 10.
+    pub hits_top10: usize,
+}
+
+/// Reduces outcomes to [`CampaignSummary`]; order-independent.
+pub fn summarize(outcomes: &[RunOutcome]) -> CampaignSummary {
+    let runs = outcomes.len();
+    let triggered = outcomes
+        .iter()
+        .filter(|o| o.verdict == Verdict::Triggered)
+        .count();
+    let total_samples: usize = outcomes.iter().map(|o| o.samples).sum();
+    let total_symptoms: usize = outcomes.iter().map(|o| o.symptoms).sum();
+    let hits_within = |k: usize| {
+        outcomes
+            .iter()
+            .filter(|o| o.buggy_ranks.first().is_some_and(|&r| r <= k))
+            .count()
+    };
+    CampaignSummary {
+        runs,
+        triggered,
+        trigger_rate: if runs == 0 {
+            0.0
+        } else {
+            triggered as f64 / runs as f64
+        },
+        total_samples,
+        total_symptoms,
+        min_samples: outcomes.iter().map(|o| o.samples).min().unwrap_or(0),
+        max_samples: outcomes.iter().map(|o| o.samples).max().unwrap_or(0),
+        mean_samples: if runs == 0 {
+            0.0
+        } else {
+            total_samples as f64 / runs as f64
+        },
+        hits_top1: hits_within(1),
+        hits_top3: hits_within(3),
+        hits_top10: hits_within(10),
+    }
+}
+
+/// How a campaign should be driven.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Worker threads (clamped to `1..=seeds`).
+    pub threads: usize,
+    /// Emit one progress line per finished run on stderr.
+    pub progress: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            threads: 1,
+            progress: false,
+        }
+    }
+}
+
+/// Fans `seeds` over `options.threads` workers, each running `job`, and
+/// aggregates the outcomes sorted by seed.
+///
+/// Determinism contract: provided `job` is a pure function of the seed
+/// (every job in this workspace is — the emulator is fully deterministic
+/// per seed), the returned [`CampaignResult`] — and hence its serialized
+/// form — is identical for every thread count. Worker scheduling only
+/// changes *when* each outcome is produced, never what it contains or
+/// where it lands.
+pub fn run_campaign<F>(seeds: &[u64], options: CampaignOptions, job: F) -> CampaignResult
+where
+    F: Fn(u64) -> Result<RunOutcome, String> + Send + Sync,
+{
+    let threads = options.threads.clamp(1, seeds.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(u64, Result<RunOutcome, String>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let start = Instant::now();
+                let result = job(seed).map(|mut outcome| {
+                    outcome.wall_time_ms = start.elapsed().as_millis() as u64;
+                    outcome
+                });
+                if options.progress {
+                    match &result {
+                        Ok(o) => eprintln!(
+                            "campaign: seed {seed} done — {} samples, {} symptoms, \
+                             verdict {:?} ({} ms)",
+                            o.samples, o.symptoms, o.verdict, o.wall_time_ms
+                        ),
+                        Err(e) => eprintln!("campaign: seed {seed} FAILED — {e}"),
+                    }
+                }
+                if tx.send((seed, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut outcomes = Vec::new();
+    let mut errors = Vec::new();
+    for (seed, result) in rx {
+        match result {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(message) => errors.push(RunError { seed, message }),
+        }
+    }
+    outcomes.sort_by_key(|o| o.seed);
+    errors.sort_by_key(|e| e.seed);
+    CampaignResult { outcomes, errors }
+}
+
+/// Re-runs a single seed through `job` — the reproduce-by-seed entry
+/// point. Campaign jobs are pure functions of the seed, so the outcome
+/// must [`RunOutcome::matches`] the original campaign entry, trace
+/// digest included.
+///
+/// # Errors
+///
+/// Propagates the job's error string.
+pub fn replay<F>(seed: u64, job: F) -> Result<RunOutcome, String>
+where
+    F: Fn(u64) -> Result<RunOutcome, String>,
+{
+    let start = Instant::now();
+    let mut outcome = job(seed)?;
+    outcome.wall_time_ms = start.elapsed().as_millis() as u64;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_job(seed: u64) -> Result<RunOutcome, String> {
+        if seed == 13 {
+            return Err("unlucky".into());
+        }
+        let symptoms = seed.is_multiple_of(3) as usize;
+        Ok(RunOutcome {
+            seed,
+            samples: 10 + (seed % 5) as usize,
+            symptoms,
+            buggy_ranks: if symptoms > 0 {
+                vec![(seed % 7) as usize + 1]
+            } else {
+                vec![]
+            },
+            verdict: if symptoms > 0 {
+                Verdict::Triggered
+            } else {
+                Verdict::Clean
+            },
+            trace_digest: format!("{:016x}", seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            wall_time_ms: 0,
+        })
+    }
+
+    #[test]
+    fn outcomes_sorted_by_seed_for_any_thread_count() {
+        let seeds: Vec<u64> = (0..24).rev().collect(); // deliberately unsorted
+        let one = run_campaign(
+            &seeds,
+            CampaignOptions {
+                threads: 1,
+                progress: false,
+            },
+            fake_job,
+        );
+        let four = run_campaign(
+            &seeds,
+            CampaignOptions {
+                threads: 4,
+                progress: false,
+            },
+            fake_job,
+        );
+        // Timing differs run to run; compare result content.
+        assert_eq!(one.errors, four.errors);
+        assert_eq!(one.outcomes.len(), four.outcomes.len());
+        for (a, b) in one.outcomes.iter().zip(&four.outcomes) {
+            assert!(a.matches(b), "seed {} diverged", a.seed);
+        }
+        let seeds_out: Vec<u64> = one.outcomes.iter().map(|o| o.seed).collect();
+        let mut sorted = seeds_out.clone();
+        sorted.sort_unstable();
+        assert_eq!(seeds_out, sorted);
+        assert_eq!(one.errors.len(), 1);
+        assert_eq!(one.errors[0].seed, 13);
+    }
+
+    #[test]
+    fn summary_on_hand_computed_outcomes() {
+        let outcomes = vec![
+            RunOutcome {
+                seed: 1,
+                samples: 100,
+                symptoms: 0,
+                buggy_ranks: vec![],
+                verdict: Verdict::Clean,
+                trace_digest: "0".repeat(16),
+                wall_time_ms: 5,
+            },
+            RunOutcome {
+                seed: 2,
+                samples: 300,
+                symptoms: 2,
+                buggy_ranks: vec![1, 4],
+                verdict: Verdict::Triggered,
+                trace_digest: "1".repeat(16),
+                wall_time_ms: 7,
+            },
+            RunOutcome {
+                seed: 3,
+                samples: 200,
+                symptoms: 1,
+                buggy_ranks: vec![5],
+                verdict: Verdict::Triggered,
+                trace_digest: "2".repeat(16),
+                wall_time_ms: 9,
+            },
+        ];
+        let s = summarize(&outcomes);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.triggered, 2);
+        assert!((s.trigger_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.total_samples, 600);
+        assert_eq!(s.total_symptoms, 3);
+        assert_eq!((s.min_samples, s.max_samples), (100, 300));
+        assert!((s.mean_samples - 200.0).abs() < 1e-12);
+        assert_eq!((s.hits_top1, s.hits_top3, s.hits_top10), (1, 1, 2));
+    }
+
+    #[test]
+    fn empty_campaign_summary_is_all_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.trigger_rate, 0.0);
+        assert_eq!(s.mean_samples, 0.0);
+        assert_eq!(s.min_samples, 0);
+    }
+
+    #[test]
+    fn replay_matches_campaign_entry() {
+        let seeds: Vec<u64> = (0..10).collect();
+        let result = run_campaign(&seeds, CampaignOptions::default(), fake_job);
+        let flagged = result.triggered().next().expect("some run triggers");
+        let replayed = replay(flagged.seed, fake_job).unwrap();
+        assert!(replayed.matches(flagged));
+    }
+
+    #[test]
+    fn wall_time_stays_out_of_json() {
+        let outcome = fake_job(2).unwrap();
+        let v = serde::Serialize::to_value(&outcome);
+        let map = v.as_map().expect("outcome serializes as a map");
+        assert!(map.iter().all(|(k, _)| k != "wall_time_ms"));
+        assert!(map.iter().any(|(k, _)| k == "trace_digest"));
+    }
+}

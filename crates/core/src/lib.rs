@@ -13,6 +13,8 @@
 //!   type;
 //! * [`Pipeline`] — scale → detect → normalize → rank;
 //! * [`Report`] — Figure-5-style ranking tables and rank queries;
+//! * [`campaign`] — parallel seed-sweep orchestration with
+//!   reproducible-by-seed replay of any flagged run;
 //! * [`localize()`](localize::localize) — the paper's future-work extension: map an outlier's
 //!   deviating instruction counts back to assembly lines and routines.
 //!
@@ -53,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod campaign;
 pub mod localize;
 pub mod monitor;
 pub mod pipeline;
@@ -60,6 +63,10 @@ pub mod report;
 pub mod sample;
 
 pub use baseline::BaselineModel;
+pub use campaign::{
+    replay, run_campaign, summarize, CampaignOptions, CampaignResult, CampaignSummary, RunError,
+    RunOutcome, Verdict,
+};
 pub use localize::{localize, ImplicatedInstruction};
 pub use monitor::WindowedMiner;
 pub use pipeline::{Pipeline, PipelineError};

@@ -138,8 +138,7 @@ mod tests {
     #[test]
     fn implicates_the_deviant_instruction() {
         let program = tinyvm::assemble("main:\n nop\n nop\n nop\n ret\n").unwrap();
-        let mut samples: Vec<Sample> =
-            (0..20).map(|_| sample(vec![1.0, 1.0, 5.0, 1.0])).collect();
+        let mut samples: Vec<Sample> = (0..20).map(|_| sample(vec![1.0, 1.0, 5.0, 1.0])).collect();
         // The flagged sample executed instruction 1 twice (the paper's
         // double-execution symptom).
         samples.push(sample(vec![1.0, 2.0, 5.0, 1.0]));

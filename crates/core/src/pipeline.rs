@@ -2,7 +2,7 @@
 
 use crate::report::{RankedSample, Report};
 use crate::sample::Sample;
-use mlcore::{normalize_scores, rank_ascending, MlError, OutlierDetector, OneClassSvm, Scaler};
+use mlcore::{normalize_scores, rank_ascending, MlError, OneClassSvm, OutlierDetector, Scaler};
 use std::error::Error;
 use std::fmt;
 

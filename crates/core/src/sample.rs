@@ -113,9 +113,15 @@ mod tests {
 
     #[test]
     fn index_display_matches_figure_5() {
-        assert_eq!(SampleIndex::RunSeq { run: 1, seq: 76 }.to_string(), "[1, 76]");
+        assert_eq!(
+            SampleIndex::RunSeq { run: 1, seq: 76 }.to_string(),
+            "[1, 76]"
+        );
         assert_eq!(SampleIndex::Seq(20).to_string(), "20");
-        assert_eq!(SampleIndex::NodeSeq { node: 8, seq: 2 }.to_string(), "[8, 2]");
+        assert_eq!(
+            SampleIndex::NodeSeq { node: 8, seq: 2 }.to_string(),
+            "[8, 2]"
+        );
     }
 
     #[test]

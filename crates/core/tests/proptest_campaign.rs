@@ -1,0 +1,116 @@
+//! Property tests for the campaign summary reduction.
+//!
+//! `summarize` feeds the campaign documents that the determinism tests
+//! compare byte for byte, so it must be a *pure set reduction*: invariant
+//! under any permutation of the outcomes, and exactly the hand-computable
+//! sums/counts/extrema on any input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sentomist_core::campaign::{summarize, RunOutcome, Verdict};
+
+/// One arbitrary outcome. Symptom counts and ranks are coupled the way
+/// real jobs produce them: a clean run has zero symptoms and no ranks; a
+/// triggered run has 1..=4 symptoms with sorted 1-based ranks.
+fn outcome_strategy() -> BoxedStrategy<RunOutcome> {
+    (0u64..10_000, 1usize..400, 0usize..5, vec(1usize..50, 0..4))
+        .prop_map(|(seed, samples, symptoms, extra_ranks)| {
+            let triggered = symptoms > 0;
+            let mut buggy_ranks: Vec<usize> = if triggered {
+                let mut r = vec![1 + seed as usize % 10];
+                r.extend(extra_ranks);
+                r
+            } else {
+                Vec::new()
+            };
+            buggy_ranks.sort_unstable();
+            RunOutcome {
+                seed,
+                samples,
+                symptoms,
+                buggy_ranks,
+                verdict: if triggered {
+                    Verdict::Triggered
+                } else {
+                    Verdict::Clean
+                },
+                trace_digest: format!("{:016x}", seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                wall_time_ms: 0,
+            }
+        })
+        .boxed()
+}
+
+/// Deterministic in-place Fisher-Yates driven by a splitmix64 stream, so
+/// the permutation is itself a pure function of the generated `key`.
+fn permute<T>(items: &mut [T], mut key: u64) {
+    let mut next = move || {
+        key = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = key;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #[test]
+    fn summary_is_invariant_under_permutation(
+        outcomes in vec(outcome_strategy(), 0..40),
+        key in 0u64..u64::MAX,
+    ) {
+        let baseline = summarize(&outcomes);
+        let mut shuffled = outcomes.clone();
+        permute(&mut shuffled, key);
+        prop_assert_eq!(summarize(&shuffled), baseline);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation(
+        outcomes in vec(outcome_strategy(), 0..40),
+    ) {
+        let s = summarize(&outcomes);
+        let runs = outcomes.len();
+        let triggered = outcomes.iter()
+            .filter(|o| o.verdict == Verdict::Triggered)
+            .count();
+        prop_assert_eq!(s.runs, runs);
+        prop_assert_eq!(s.triggered, triggered);
+        prop_assert_eq!(
+            s.total_samples,
+            outcomes.iter().map(|o| o.samples).sum::<usize>()
+        );
+        prop_assert_eq!(
+            s.total_symptoms,
+            outcomes.iter().map(|o| o.symptoms).sum::<usize>()
+        );
+        prop_assert_eq!(
+            s.min_samples,
+            outcomes.iter().map(|o| o.samples).min().unwrap_or(0)
+        );
+        prop_assert_eq!(
+            s.max_samples,
+            outcomes.iter().map(|o| o.samples).max().unwrap_or(0)
+        );
+        if runs == 0 {
+            prop_assert_eq!(s.trigger_rate, 0.0);
+            prop_assert_eq!(s.mean_samples, 0.0);
+        } else {
+            prop_assert_eq!(s.trigger_rate, triggered as f64 / runs as f64);
+            prop_assert_eq!(s.mean_samples, s.total_samples as f64 / runs as f64);
+        }
+        // Rank buckets are nested and bounded by the triggered count:
+        // every triggered outcome has a best rank, so top-10 ⊆ triggered.
+        prop_assert!(s.hits_top1 <= s.hits_top3);
+        prop_assert!(s.hits_top3 <= s.hits_top10);
+        prop_assert!(s.hits_top10 <= s.triggered);
+        let top3 = outcomes.iter()
+            .filter(|o| o.buggy_ranks.first().is_some_and(|&r| r <= 3))
+            .count();
+        prop_assert_eq!(s.hits_top3, top3);
+    }
+}

@@ -45,7 +45,12 @@ impl Error for MlError {}
 /// side — exactly the ranking quantity of the paper's Figure 5); other
 /// detectors return negated distances or reconstruction errors so that the
 /// ordering convention matches.
-pub trait OutlierDetector {
+///
+/// Detectors are `Send + Sync` so pipelines built around them can be
+/// driven from campaign worker threads (see `sentomist-core`'s campaign
+/// orchestrator); all detectors here are plain value types, so the bound
+/// costs implementations nothing.
+pub trait OutlierDetector: Send + Sync {
     /// A short, stable identifier ("ocsvm", "pca", ...).
     fn name(&self) -> &'static str;
 

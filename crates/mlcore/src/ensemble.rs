@@ -81,9 +81,7 @@ fn tie_aware_percentiles(scores: &[f64]) -> Vec<(usize, f64)> {
     let mut group_start = 0usize;
     while group_start < l {
         let mut group_end = group_start;
-        while group_end + 1 < l
-            && scores[order[group_end + 1]] - scores[order[group_end]] <= tol
-        {
+        while group_end + 1 < l && scores[order[group_end + 1]] - scores[order[group_end]] <= tol {
             group_end += 1;
         }
         let mean_rank = (group_start + group_end) as f64 / 2.0;

@@ -75,10 +75,7 @@ pub fn roc_auc<T>(ranked: &[T], relevant: impl FnMut(&T) -> bool) -> f64 {
 
 /// Number of items a human must inspect, following the ranking top-down,
 /// until the first true symptom is seen. `None` if there is none.
-pub fn inspections_until_first<T>(
-    ranked: &[T],
-    relevant: impl FnMut(&T) -> bool,
-) -> Option<usize> {
+pub fn inspections_until_first<T>(ranked: &[T], relevant: impl FnMut(&T) -> bool) -> Option<usize> {
     ranked.iter().position(relevant).map(|p| p + 1)
 }
 

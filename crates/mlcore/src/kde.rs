@@ -11,13 +11,11 @@ use crate::kernel::Kernel;
 use serde::{Deserialize, Serialize};
 
 /// Kernel-density detector configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct KdeConfig {
     /// Window kernel; `None` selects RBF with `gamma = 1/num_features`.
     pub kernel: Option<Kernel>,
 }
-
 
 /// The Parzen-window detector.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]

@@ -103,10 +103,8 @@ impl OutlierDetector for KfdDetector {
         }
 
         let k = self.config.components.min(n);
-        let (vals, vecs) =
-            linalg::top_eigen_psd(&centered, k, self.config.iterations).map_err(|e| {
-                MlError::Numeric(e.to_string())
-            })?;
+        let (vals, vecs) = linalg::top_eigen_psd(&centered, k, self.config.iterations)
+            .map_err(|e| MlError::Numeric(e.to_string()))?;
         if vals.is_empty() {
             // Degenerate data: all samples identical in feature space.
             return Ok(vec![0.0; n]);

@@ -59,8 +59,7 @@ impl OutlierDetector for KnnDetector {
                     .map(|(_, o)| dist_sq(s, o))
                     .collect();
                 dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                let mean: f64 =
-                    dists.iter().take(k).map(|d| d.sqrt()).sum::<f64>() / k as f64;
+                let mean: f64 = dists.iter().take(k).map(|d| d.sqrt()).sum::<f64>() / k as f64;
                 -mean
             })
             .collect();

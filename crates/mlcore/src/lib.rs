@@ -37,12 +37,12 @@ pub mod scale;
 pub use detector::{normalize_scores, rank_ascending, MlError, OutlierDetector};
 pub use ensemble::EnsembleDetector;
 pub use evaluation::{
-    average_precision, expected_random_inspections, inspections_until_all,
-    inspections_until_first, pr_curve, precision_at_k, recall_at_k, roc_auc, roc_curve,
+    average_precision, expected_random_inspections, inspections_until_all, inspections_until_first,
+    pr_curve, precision_at_k, recall_at_k, roc_auc, roc_curve,
 };
 pub use kde::KdeDetector;
-pub use kfd::KfdDetector;
 pub use kernel::Kernel;
+pub use kfd::KfdDetector;
 pub use knn::KnnDetector;
 pub use mahalanobis::MahalanobisDetector;
 pub use ocsvm::{OcSvmConfig, OcSvmModel, OneClassSvm};

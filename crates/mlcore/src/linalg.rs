@@ -333,11 +333,7 @@ mod tests {
 
     #[test]
     fn covariance_of_correlated_data() {
-        let rows = vec![
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ];
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
         let m = mean(&rows);
         let c = covariance(&rows, &m);
         // var(x) = 2/3, cov(x, 2x) = 4/3, var(2x) = 8/3.
@@ -434,7 +430,12 @@ mod tests {
         let (jv, jvec) = jacobi_eigen(&a).unwrap();
         let (pv, pvec) = top_eigen_psd(&a, 3, 500).unwrap();
         for k in 0..3 {
-            assert!(approx(pv[k], jv[k], 1e-6), "lambda_{k}: {} vs {}", pv[k], jv[k]);
+            assert!(
+                approx(pv[k], jv[k], 1e-6),
+                "lambda_{k}: {} vs {}",
+                pv[k],
+                jv[k]
+            );
             // Eigenvectors match up to sign.
             let d = dot(&pvec[k], &jvec[k]).abs();
             assert!(approx(d, 1.0, 1e-5), "v_{k} alignment {d}");
@@ -462,11 +463,7 @@ mod tests {
     #[test]
     fn bad_shapes_rejected() {
         assert_eq!(jacobi_eigen(&[]), Err(LinalgError::BadShape));
-        assert_eq!(
-            jacobi_eigen(&[vec![1.0, 2.0]]),
-            Err(LinalgError::BadShape)
-        );
+        assert_eq!(jacobi_eigen(&[vec![1.0, 2.0]]), Err(LinalgError::BadShape));
         assert_eq!(cholesky(&[]), Err(LinalgError::BadShape));
     }
 }
-

@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn bad_shrinkage_rejected() {
         let pts = vec![vec![0.0], vec![1.0]];
-        assert!(MahalanobisDetector::with_shrinkage(0.0).score(&pts).is_err());
-        assert!(MahalanobisDetector::with_shrinkage(2.0).score(&pts).is_err());
+        assert!(MahalanobisDetector::with_shrinkage(0.0)
+            .score(&pts)
+            .is_err());
+        assert!(MahalanobisDetector::with_shrinkage(2.0)
+            .score(&pts)
+            .is_err());
     }
 }

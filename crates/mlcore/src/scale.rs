@@ -32,11 +32,7 @@ impl Scaler {
                 maxs[i] = maxs[i].max(s[i]);
             }
         }
-        let ranges = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&lo, &hi)| hi - lo)
-            .collect();
+        let ranges = mins.iter().zip(&maxs).map(|(&lo, &hi)| hi - lo).collect();
         Scaler { mins, ranges }
     }
 

@@ -3,8 +3,8 @@
 //! invariants, over randomized sample sets.
 
 use mlcore::{
-    normalize_scores, rank_ascending, KdeDetector, KfdDetector, KnnDetector,
-    MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler,
+    normalize_scores, rank_ascending, KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector,
+    OneClassSvm, OutlierDetector, PcaDetector, Scaler,
 };
 use proptest::prelude::*;
 
@@ -12,10 +12,7 @@ use proptest::prelude::*;
 /// bounded range (instruction counters are nonnegative and bounded).
 fn sample_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (4usize..40, 1usize..6).prop_flat_map(|(n, d)| {
-        prop::collection::vec(
-            prop::collection::vec(0.0f64..1000.0, d..=d),
-            n..=n,
-        )
+        prop::collection::vec(prop::collection::vec(0.0f64..1000.0, d..=d), n..=n)
     })
 }
 

@@ -8,14 +8,14 @@
 //! which the lookahead guarantees is never in a receiver's past.
 
 use crate::topology::Topology;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use tinyvm::devices::NodeConfig;
 use tinyvm::node::Node;
 use tinyvm::{Packet, Program, TraceSink, VmError};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
 
 /// Slack subtracted from the lookahead to absorb a node finishing its last
 /// instruction slightly past its advance limit.

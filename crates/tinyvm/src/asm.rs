@@ -179,8 +179,7 @@ fn split_line(raw: &str) -> (&str, Option<&str>, &str) {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !s.starts_with(|c: char| c.is_ascii_digit())
 }
 
@@ -254,8 +253,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     }
                 }
                 "data" => {
-                    let name = parts.next().ok_or_else(|| err(line, ".data needs a name"))?;
-                    let size_s = parts.next().ok_or_else(|| err(line, ".data needs a size"))?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".data needs a name"))?;
+                    let size_s = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".data needs a size"))?;
                     let size = parse_int(size_s)
                         .filter(|&s| s > 0)
                         .ok_or_else(|| err(line, format!("bad size `{size_s}`")))?;
@@ -267,7 +270,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         .ok_or_else(|| err(line, "data segment overflow"))?;
                 }
                 "word" => {
-                    let name = parts.next().ok_or_else(|| err(line, ".word needs a name"))?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".word needs a name"))?;
                     let values: Vec<u16> = parts
                         .map(|v| parse_int(v).ok_or_else(|| err(line, format!("bad value `{v}`"))))
                         .collect::<Result<_, _>>()?;
@@ -285,7 +290,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     }
                 }
                 "task" => {
-                    let name = parts.next().ok_or_else(|| err(line, ".task needs a label"))?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err(line, ".task needs a label"))?;
                     if syms.tasks.iter().any(|t| t == name) {
                         return Err(err(line, format!("duplicate task `{name}`")));
                     }
@@ -627,7 +634,10 @@ t_send:
         let p = assemble(src).unwrap();
         assert_eq!(p.tasks.len(), 1);
         assert_eq!(p.tasks[0].name, "t_send");
-        assert_eq!(p.vectors[irq::ADC as usize], Some(p.label("on_adc").unwrap()));
+        assert_eq!(
+            p.vectors[irq::ADC as usize],
+            Some(p.label("on_adc").unwrap())
+        );
         assert_eq!(p.ops[1], Op::Post(TaskId(0)));
     }
 

@@ -272,7 +272,12 @@ impl Cpu {
     ///
     /// Panics if called while the CPU is not [`Cpu::runnable`]; the node's
     /// main loop upholds this.
-    pub fn step(&mut self, program: &Program, bus: &mut dyn Bus, cycle: u64) -> Result<StepResult, VmError> {
+    pub fn step(
+        &mut self,
+        program: &Program,
+        bus: &mut dyn Bus,
+        cycle: u64,
+    ) -> Result<StepResult, VmError> {
         assert!(self.runnable(), "step() on a non-runnable CPU");
         let pc = self.pc;
         let op = *program
@@ -468,9 +473,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_flags() {
-        let cpu = run_to_return(
-            "main:\n ldi r1, 7\n ldi r2, 5\n add r1, r2\n ret\n",
-        );
+        let cpu = run_to_return("main:\n ldi r1, 7\n ldi r2, 5\n add r1, r2\n ret\n");
         assert_eq!(cpu.regs[1], 12);
         assert!(!cpu.flags.z);
     }
@@ -486,9 +489,7 @@ mod tests {
     #[test]
     fn signed_vs_unsigned_compare() {
         // -1 (0xFFFF) vs 1: signed lt true, unsigned lt false.
-        let cpu = run_to_return(
-            "main:\n ldi r1, 0xFFFF\n ldi r2, 1\n cmp r1, r2\n ret\n",
-        );
+        let cpu = run_to_return("main:\n ldi r1, 0xFFFF\n ldi r2, 1\n cmp r1, r2\n ret\n");
         assert!(cpu.flags.lts);
         assert!(!cpu.flags.ltu);
     }
@@ -504,18 +505,14 @@ mod tests {
 
     #[test]
     fn call_and_ret_nest() {
-        let cpu = run_to_return(
-            "main:\n call f\n ldi r2, 2\n ret\nf:\n ldi r1, 1\n ret\n",
-        );
+        let cpu = run_to_return("main:\n call f\n ldi r2, 2\n ret\nf:\n ldi r1, 1\n ret\n");
         assert_eq!(cpu.regs[1], 1);
         assert_eq!(cpu.regs[2], 2);
     }
 
     #[test]
     fn push_pop_round_trip() {
-        let cpu = run_to_return(
-            "main:\n ldi r1, 42\n push r1\n ldi r1, 0\n pop r2\n ret\n",
-        );
+        let cpu = run_to_return("main:\n ldi r1, 42\n push r1\n ldi r1, 0\n pop r2\n ret\n");
         assert_eq!(cpu.regs[2], 42);
     }
 
@@ -606,10 +603,8 @@ mod tests {
 
     #[test]
     fn sleep_sets_flag_and_interrupt_wakes() {
-        let p = assemble(
-            ".handler TIMER0 h\nmain:\n sleep\n ldi r1, 5\n ret\nh:\n reti\n",
-        )
-        .unwrap();
+        let p =
+            assemble(".handler TIMER0 h\nmain:\n sleep\n ldi r1, 5\n ret\nh:\n reti\n").unwrap();
         let mut cpu = Cpu::new(&p, 64);
         let mut bus = NoBus;
         let r = cpu.step(&p, &mut bus, 0).unwrap();
@@ -617,7 +612,7 @@ mod tests {
         assert!(!cpu.runnable());
         cpu.enter_interrupt(0, p.label("h").unwrap());
         cpu.step(&p, &mut bus, 0).unwrap(); // reti
-        // Wake-up is permanent: execution resumes after the `sleep`.
+                                            // Wake-up is permanent: execution resumes after the `sleep`.
         assert!(!cpu.sleeping);
         let r = cpu.step(&p, &mut bus, 0).unwrap();
         assert!(r.event.is_none());

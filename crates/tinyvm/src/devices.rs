@@ -417,7 +417,11 @@ impl Devices {
         let Some(front) = self.radio.rx_queue.front() else {
             return 0;
         };
-        let word = front.payload.get(self.radio.rx_cursor).copied().unwrap_or(0);
+        let word = front
+            .payload
+            .get(self.radio.rx_cursor)
+            .copied()
+            .unwrap_or(0);
         self.radio.rx_cursor += 1;
         if self.radio.rx_cursor >= front.payload.len() {
             self.radio.rx_queue.pop_front();

@@ -108,8 +108,16 @@ pub fn encode(op: Op) -> u32 {
         Op::Sleep => word(opcode::SLEEP, 0, 0),
         Op::Ldi(r, v) => word(opcode::LDI, r.0, v),
         Op::Mov(d, s) => word(opcode::MOV, d.0, u16::from(s.0)),
-        Op::Ld(d, b, off) => word(opcode::LD, d.0, (u16::from(b.0) << 8) | u16::from(off as u8)),
-        Op::St(b, off, v) => word(opcode::ST, b.0, (u16::from(v.0) << 8) | u16::from(off as u8)),
+        Op::Ld(d, b, off) => word(
+            opcode::LD,
+            d.0,
+            (u16::from(b.0) << 8) | u16::from(off as u8),
+        ),
+        Op::St(b, off, v) => word(
+            opcode::ST,
+            b.0,
+            (u16::from(v.0) << 8) | u16::from(off as u8),
+        ),
         Op::Lda(d, addr) => word(opcode::LDA, d.0, addr),
         Op::Sta(addr, s) => word(opcode::STA, s.0, addr),
         Op::Add(a, b) => word(opcode::ADD, a.0, u16::from(b.0)),

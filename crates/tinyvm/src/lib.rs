@@ -58,8 +58,8 @@
 
 pub mod asm;
 pub mod cpu;
-pub mod encode;
 pub mod devices;
+pub mod encode;
 pub mod error;
 pub mod ground_truth;
 pub mod isa;
@@ -68,8 +68,8 @@ pub mod program;
 pub mod trace;
 
 pub use asm::assemble;
-pub use encode::{decode, disassemble, encode, render_op, DecodeError};
 pub use devices::{NodeConfig, OutgoingPacket, Packet, TimingModel};
+pub use encode::{decode, disassemble, encode, render_op, DecodeError};
 pub use error::VmError;
 pub use isa::{Op, Reg, TaskId};
 pub use node::Node;

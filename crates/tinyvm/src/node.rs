@@ -438,9 +438,7 @@ blink:
     #[test]
     fn unvectored_interrupts_are_dropped() {
         // Starts timer0 but has no handler: node must not fault or spin.
-        let mut n = node(
-            "main:\n ldi r1, 1\n out TIMER0_PERIOD, r1\n out TIMER0_CTRL, r1\n ret\n",
-        );
+        let mut n = node("main:\n ldi r1, 1\n out TIMER0_PERIOD, r1\n out TIMER0_CTRL, r1\n ret\n");
         let mut sink = VecSink::default();
         n.run(10_000, &mut sink).unwrap();
         assert!(sink.events.is_empty());

@@ -88,7 +88,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(LifecycleItem::Int(2).to_string(), "int(2)");
         assert_eq!(LifecycleItem::Reti.to_string(), "reti");
-        assert_eq!(LifecycleItem::PostTask(TaskId(3)).to_string(), "postTask(3)");
+        assert_eq!(
+            LifecycleItem::PostTask(TaskId(3)).to_string(),
+            "postTask(3)"
+        );
         assert_eq!(LifecycleItem::RunTask(TaskId(3)).to_string(), "runTask(3)");
         assert_eq!(LifecycleItem::TaskEnd(TaskId(3)).to_string(), "taskEnd(3)");
     }

@@ -85,7 +85,10 @@ impl CounterTable {
 
     /// The counter as `f64` features (what the outlier detectors consume).
     pub fn features(&self, interval: &EventInterval) -> Vec<f64> {
-        self.counter(interval).into_iter().map(|c| c as f64).collect()
+        self.counter(interval)
+            .into_iter()
+            .map(|c| c as f64)
+            .collect()
     }
 }
 
@@ -157,13 +160,34 @@ mod tests {
         // the "capture the overlap" property the paper relies on.
         let t = Trace {
             events: vec![
-                TraceEvent { cycle: 0, item: LifecycleItem::Int(0) },
-                TraceEvent { cycle: 1, item: LifecycleItem::PostTask(TaskId(0)) },
-                TraceEvent { cycle: 2, item: LifecycleItem::Reti },
-                TraceEvent { cycle: 3, item: LifecycleItem::Int(0) },
-                TraceEvent { cycle: 4, item: LifecycleItem::Reti },
-                TraceEvent { cycle: 5, item: LifecycleItem::RunTask(TaskId(0)) },
-                TraceEvent { cycle: 6, item: LifecycleItem::TaskEnd(TaskId(0)) },
+                TraceEvent {
+                    cycle: 0,
+                    item: LifecycleItem::Int(0),
+                },
+                TraceEvent {
+                    cycle: 1,
+                    item: LifecycleItem::PostTask(TaskId(0)),
+                },
+                TraceEvent {
+                    cycle: 2,
+                    item: LifecycleItem::Reti,
+                },
+                TraceEvent {
+                    cycle: 3,
+                    item: LifecycleItem::Int(0),
+                },
+                TraceEvent {
+                    cycle: 4,
+                    item: LifecycleItem::Reti,
+                },
+                TraceEvent {
+                    cycle: 5,
+                    item: LifecycleItem::RunTask(TaskId(0)),
+                },
+                TraceEvent {
+                    cycle: 6,
+                    item: LifecycleItem::TaskEnd(TaskId(0)),
+                },
             ],
             segments: vec![
                 vec![0],

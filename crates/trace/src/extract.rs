@@ -429,15 +429,7 @@ mod tests {
         // Paper section V: the buggy pattern "ADC int, post, reti, ADC int,
         // reti, run" — the second int lands inside the first instance's
         // interval.
-        let items = [
-            int(2),
-            post(0),
-            reti(),
-            int(2),
-            reti(),
-            run(0),
-            end(0),
-        ];
+        let items = [int(2), post(0), reti(), int(2), reti(), run(0), end(0)];
         let t = trace_of(&items);
         let x = extract(&t).unwrap();
         assert_eq!(x.intervals.len(), 2);

@@ -248,15 +248,7 @@ mod tests {
 
     #[test]
     fn matches_batch_on_overlapping_instances() {
-        assert_equivalent(&[
-            int(2),
-            post(0),
-            reti(),
-            int(2),
-            reti(),
-            run(0),
-            end(0),
-        ]);
+        assert_equivalent(&[int(2), post(0), reti(), int(2), reti(), run(0), end(0)]);
     }
 
     #[test]

@@ -52,6 +52,42 @@ impl Trace {
     pub fn item(&self, index: usize) -> Option<LifecycleItem> {
         self.events.get(index).map(|e| e.item)
     }
+
+    /// A 64-bit FNV-1a digest of the full trace content (lifecycle
+    /// sequence, count segments and program length).
+    ///
+    /// Two traces have equal digests iff they are byte-for-byte the same
+    /// recording (modulo hash collisions), which makes the digest a cheap
+    /// replay-verification token: a campaign stores it per run, and a
+    /// replayed run must reproduce it exactly.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        #[inline]
+        fn mix(h: u64, word: u64) -> u64 {
+            (h ^ word).wrapping_mul(PRIME)
+        }
+        let mut h = mix(OFFSET, self.program_len as u64);
+        for e in &self.events {
+            h = mix(h, e.cycle);
+            // Tag + payload uniquely encode the item.
+            let coded = match e.item {
+                LifecycleItem::Int(n) => 0x1_0000 | u64::from(n),
+                LifecycleItem::Reti => 0x2_0000,
+                LifecycleItem::PostTask(t) => 0x3_0000 | u64::from(t.0),
+                LifecycleItem::RunTask(t) => 0x4_0000 | u64::from(t.0),
+                LifecycleItem::TaskEnd(t) => 0x5_0000 | u64::from(t.0),
+            };
+            h = mix(h, coded);
+        }
+        for seg in &self.segments {
+            h = mix(h, seg.len() as u64);
+            for &c in seg {
+                h = mix(h, u64::from(c));
+            }
+        }
+        h
+    }
 }
 
 /// A [`TraceSink`] that records the full trace in memory.

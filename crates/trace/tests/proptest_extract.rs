@@ -85,7 +85,9 @@ fn simulate(mut ints: Vec<IntSpec>) -> (Vec<TraceEvent>, GtTracker) {
     loop {
         // Dispatch any arrived interrupt whose line is not in service.
         let in_service = |stack: &[Frame], line: u8| {
-            stack.iter().any(|f| matches!(f, Frame::Handler { line: l, .. } if *l == line))
+            stack
+                .iter()
+                .any(|f| matches!(f, Frame::Handler { line: l, .. } if *l == line))
         };
         if next_int < ints.len()
             && ints[next_int].time <= now
@@ -176,10 +178,8 @@ fn leaf_task() -> impl Strategy<Value = TaskSpec> {
 }
 
 fn task_spec() -> impl Strategy<Value = TaskSpec> {
-    (1u64..80, prop::collection::vec(leaf_task(), 0..2)).prop_map(|(duration, posts)| TaskSpec {
-        duration,
-        posts,
-    })
+    (1u64..80, prop::collection::vec(leaf_task(), 0..2))
+        .prop_map(|(duration, posts)| TaskSpec { duration, posts })
 }
 
 fn int_spec() -> impl Strategy<Value = IntSpec> {

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .position(|s| s.index == top)
         .expect("top sample exists");
     println!("\nLocalizing the top outlier of run 1 ({top}):");
-    for hit in localize(&samples, flagged, &program, 0.9).into_iter().take(10) {
+    for hit in localize(&samples, flagged, &program, 0.9)
+        .into_iter()
+        .take(10)
+    {
         println!(
             "  pc {:>3}  z = {:>6.1}  observed {:>5.0} vs expected {:>6.1}  \
              ({} @ line {})",

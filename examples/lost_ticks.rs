@@ -71,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Sentomist's view: rank the tick intervals.
-    let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |s, _| {
-        SampleIndex::Seq(s)
-    })?;
+    let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |s, _| SampleIndex::Seq(s))?;
     let report = Pipeline::default_ocsvm(0.05).rank(samples.clone())?;
     println!("\n{} tick intervals; most suspicious:", samples.len());
     print!("{}", report.table(6, 2));

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     adc.sort_by_key(|iv| iv.end_cycle - iv.start_cycle);
     let median = adc[adc.len() / 2].end_cycle - adc[adc.len() / 2].start_cycle;
-    println!("\nADC intervals: {} (median lifetime {} cycles)", adc.len(), median);
+    println!(
+        "\nADC intervals: {} (median lifetime {} cycles)",
+        adc.len(),
+        median
+    );
     println!("longest-lived instances (live screening, no SVM yet):");
     for iv in adc.iter().rev().take(5) {
         let span = iv.end_cycle - iv.start_cycle;

@@ -10,7 +10,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = Case3Config::default();
     println!(
         "9-node collection tree, sources {:?}, heartbeat every 500 ms, {} s\n",
-        ctp::SOURCES, config.run_seconds
+        ctp::SOURCES,
+        config.run_seconds
     );
     let result = run_case3(&config)?;
 

@@ -1,0 +1,309 @@
+//! Offline shim for `criterion`: the same authoring surface
+//! (`criterion_group!`, `criterion_main!`, groups, throughput,
+//! `BenchmarkId`) backed by a simple wall-clock harness.
+//!
+//! Each benchmark runs a short warmup, then `sample_size` timed batches,
+//! and prints min/median/mean per iteration. Honors criterion's standard
+//! `--bench` / `--test` CLI arguments so `cargo bench` and `cargo test
+//! --benches` both work; unknown args (e.g. filters) are accepted and
+//! unsupported modes are no-ops.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque black box — best-effort inlining barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting one duration per sample batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The harness entry point. `--test` mode (cargo test --benches) runs each
+/// benchmark exactly once to check it executes.
+pub struct Criterion {
+    settings: Settings,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            settings: Settings::default(),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: self.settings,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let settings = self.settings;
+        let id = id.into();
+        run_one(&id.id, settings, None, self.test_mode, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.settings,
+            self.throughput,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    id: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: F,
+) {
+    if test_mode {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibrate: how many iterations fit one sample's time slice.
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let probe = samples.pop().unwrap_or(Duration::from_nanos(1));
+    let slice = settings.measurement_time / settings.sample_size as u32;
+    let iters = (slice.as_nanos() / probe.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    samples.clear();
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: iters,
+        };
+        f(&mut b);
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    print!(
+        "{id:<48} min {:>12?}  median {:>12?}  mean {:>12?}",
+        min, median, mean
+    );
+    if let Some(t) = throughput {
+        let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => print!("  [{:.3e} elem/s]", per_sec(n)),
+            Throughput::Bytes(n) => print!("  [{:.3e} B/s]", per_sec(n)),
+        }
+    }
+    println!();
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 4,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 4);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("events", 128).id, "events/128");
+        assert_eq!(BenchmarkId::from_parameter(0.05).id, "0.05");
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline shim for the `rand` 0.8 API surface this workspace uses.
+//!
+//! The sampling algorithms are the ones rand 0.8 actually ships —
+//! PCG32-based [`SeedableRng::seed_from_u64`], widening-multiply
+//! rejection for integer ranges, 53-bit multiply for `f64` — so any RNG
+//! stream a test was tuned against is reproduced bit for bit.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed exactly like rand_core 0.6: a
+    /// PCG32 sequence, 4 little-endian bytes per chunk.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // Advance the state first, in case the input has low Hamming
+            // weight (rand_core does the same).
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard (full-range / unit-interval) distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+macro_rules! standard_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+standard_from_u64!(u64, i64, usize, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8 Standard for f64: 53 significant bits in [0, 1).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+/// Types sampleable uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+// Widening multiply helpers mirroring rand 0.8's `WideningMultiply`.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                    // Small types: reject a modulo-sized tail of the space.
+                    let unsigned_max: $u_large = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = Standard.sample(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$u_large>::BITS) as $u_large;
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                if range == 0 {
+                    // The full type range: every value is acceptable.
+                    return Standard.sample(rng);
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = Standard.sample(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$u_large>::BITS) as $u_large;
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, u64);
+uniform_int_impl!(u16, u16, u32, u64);
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(usize, usize, usize, u128);
+uniform_int_impl!(i8, u8, u32, u64);
+uniform_int_impl!(i16, u16, u32, u64);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(i64, u64, u64, u128);
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        // rand 0.8 UniformFloat::sample_single: value1_2 * scale + offset.
+        let scale = high - low;
+        let offset = low - scale;
+        let fraction = rng.next_u64() >> 12;
+        let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+        value1_2 * scale + offset
+    }
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        Self::sample_single(low, high, rng)
+    }
+}
+
+/// Range expressions acceptable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from the given range.
+    fn gen_range<T, U>(&mut self, range: U) -> T
+    where
+        T: SampleUniform,
+        U: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: compare 64 random bits against p * 2^64.
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sub-module mirror so `rand::distributions::*` paths keep working.
+pub mod distributions {
+    pub use super::{Distribution, Standard};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let a = rng.gen_range(0u64..17);
+            assert!(a < 17);
+            let b = rng.gen_range(5u16..6);
+            assert_eq!(b, 5);
+            let c = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&c));
+            let d = rng.gen_range(0u8..=255);
+            let _ = d;
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline shim for `rand_chacha` 0.3: a real ChaCha8 generator producing
+//! the same output stream as upstream `ChaCha8Rng`.
+//!
+//! Upstream wraps a four-block ChaCha core in `rand_core`'s `BlockRng`
+//! (a 64-word buffer refilled four blocks at a time, with `next_u64`
+//! straddling refills in a specific way). Both behaviors are reproduced
+//! here so seeded streams match bit for bit.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block with `rounds` rounds (8 for ChaCha8).
+fn chacha_block(key: &[u32; 8], counter: u64, stream: u64, rounds: usize, out: &mut [u32]) {
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+/// The ChaCha rng with 8 rounds — rand's recommended fast generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// Block counter of the next refill (in blocks, advances by 4).
+    counter: u64,
+    stream: u64,
+    buf: [u32; BUF_WORDS],
+    /// Read cursor into `buf`; `BUF_WORDS` means "empty, refill next".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        for block in 0..4 {
+            let start = block * 16;
+            chacha_block(
+                &self.key,
+                self.counter + block as u64,
+                self.stream,
+                8,
+                &mut self.buf[start..start + 16],
+            );
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core's BlockRng::next_u64 buffer-straddling rules.
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439-style ChaCha test vector check, adapted to 8 rounds via
+    /// internal consistency: a fresh rng from the zero seed must produce
+    /// the ChaCha8 keystream of the all-zero key, block 0.
+    #[test]
+    fn zero_key_first_block_is_chacha8_keystream() {
+        let mut out = [0u32; 16];
+        chacha_block(&[0; 8], 0, 0, 8, &mut out);
+        // ChaCha8 keystream for the zero key/counter/nonce starts with
+        // bytes 3e 00 ef 2f (ECRYPT reference vectors), i.e. the word
+        // 0x2fef003e little-endian.
+        assert_eq!(out[0], 0x2fef003e);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..200).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn u32_u64_mix_straddles_refills_consistently() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // Push the cursor to an odd position near the buffer end.
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        let straddled = rng.next_u64(); // low word = last of old buffer
+        let mut clone_path = ChaCha8Rng::seed_from_u64(7);
+        let mut last = 0;
+        for _ in 0..64 {
+            last = clone_path.next_u32();
+        }
+        let first_new = clone_path.next_u32();
+        assert_eq!(straddled, (u64::from(first_new) << 32) | u64::from(last));
+    }
+}

@@ -1,0 +1,571 @@
+//! Offline shim for `serde` 1: object-safe `Serialize` / `Deserialize`
+//! through an owned [`Value`] data model.
+//!
+//! Unlike real serde there is no serializer/deserializer abstraction —
+//! everything funnels through `Value`, which is all `serde_json` (the
+//! only format used in this workspace) needs. The derive macros in
+//! `serde_derive` generate `to_value` / `from_value` implementations
+//! with serde's externally-tagged enum representation, so the JSON
+//! produced is byte-identical to what upstream serde_json would write
+//! for the same types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// The self-describing data model all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// A key-ordered map (declaration order preserved, like serde's
+    /// struct serialization).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// First value for `key` in a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError(msg.to_string())
+    }
+    /// "expected X, found something else while reading Y".
+    pub fn expected(what: &str, context: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {context}"))
+    }
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError(format!("missing field `{field}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Map lookup helper used by derived code.
+pub fn __map_get<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($ty))),
+                };
+                <$ty>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "{} out of range for {}", n, stringify!($ty))))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError::custom("integer overflow"))?,
+                    Value::I64(n) => n,
+                    Value::F64(f) if f.fract() == 0.0
+                        && (i64::MIN as f64..=i64::MAX as f64).contains(&f) => f as i64,
+                    _ => return Err(DeError::expected("integer", stringify!($ty))),
+                };
+                <$ty>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "{} out of range for {}", n, stringify!($ty))))
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN), // serde_json writes non-finite floats as null
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of {N}, got {len}")))
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let expected = [$($i,)+].len();
+                if s.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got {}", s.len())));
+                }
+                Ok(($($t::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Maps serialize as JSON objects when the keys serialize to strings
+/// (or integers, which serde_json renders as string keys), and as
+/// sequences of `[key, value]` pairs otherwise — mirroring serde_json's
+/// behavior for string/integer keys while staying total for compound
+/// keys like `(u16, u16)`.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)> + Clone,
+{
+    let stringy = entries
+        .clone()
+        .all(|(k, _)| matches!(k.to_value(), Value::Str(_) | Value::U64(_) | Value::I64(_)));
+    if stringy {
+        Value::Map(
+            entries
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        Value::U64(n) => n.to_string(),
+                        Value::I64(n) => n.to_string(),
+                        _ => unreachable!(),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    } else {
+        Value::Seq(
+            entries
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+fn key_from_str<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    // Try string first, then integer renderings (serde_json string-keys
+    // integer map keys).
+    K::from_value(&Value::Str(s.to_string())).or_else(|e| {
+        if let Ok(u) = s.parse::<u64>() {
+            K::from_value(&Value::U64(u))
+        } else if let Ok(i) = s.parse::<i64>() {
+            K::from_value(&Value::I64(i))
+        } else {
+            Err(e)
+        }
+    })
+}
+
+fn map_entries_from_value<K: Deserialize, V: Deserialize>(
+    v: &Value,
+) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Map(m) => m
+            .iter()
+            .map(|(k, val)| Ok((key_from_str::<K>(k)?, V::from_value(val)?)))
+            .collect(),
+        Value::Seq(pairs) => pairs
+            .iter()
+            .map(|pair| {
+                let s = pair
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| DeError::expected("[key, value] pair", "map"))?;
+                Ok((K::from_value(&s[0])?, V::from_value(&s[1])?))
+            })
+            .collect(),
+        _ => Err(DeError::expected("map", "map")),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort serialized entries for deterministic output.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        let stringy = entries
+            .iter()
+            .all(|(k, _)| matches!(k, Value::Str(_) | Value::U64(_) | Value::I64(_)));
+        if stringy {
+            Value::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let key = match k {
+                            Value::Str(s) => s,
+                            Value::U64(n) => n.to_string(),
+                            Value::I64(n) => n.to_string(),
+                            _ => unreachable!(),
+                        };
+                        (key, v)
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Seq(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Value::Seq(vec![k, v]))
+                    .collect(),
+            )
+        }
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_entries_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn compound_key_map_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert((1u16, 2u16), 7u32);
+        m.insert((3, 4), 9);
+        let v = m.to_value();
+        assert!(matches!(v, Value::Seq(_)));
+        let back: BTreeMap<(u16, u16), u32> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn string_key_map_is_object() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 1u8);
+        m.insert("a".to_string(), 2);
+        let v = m.to_value();
+        assert!(v.as_map().is_some());
+        let back: BTreeMap<String, u8> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn fixed_arrays_round_trip() {
+        let a: [Option<u16>; 3] = [Some(1), None, Some(3)];
+        let back: [Option<u16>; 3] = Deserialize::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,529 @@
+//! Derive macros for the in-tree serde shim.
+//!
+//! Parses the derive input token stream directly (no syn/quote) and
+//! generates `to_value` / `from_value` implementations following serde's
+//! externally-tagged representation:
+//!
+//! * named struct      → map of fields (declaration order)
+//! * newtype struct    → the inner value
+//! * tuple struct      → sequence
+//! * unit enum variant → `"Variant"`
+//! * newtype variant   → `{"Variant": value}`
+//! * tuple variant     → `{"Variant": [..]}`
+//! * struct variant    → `{"Variant": {..}}`
+//!
+//! Supported field attributes: `#[serde(default)]` (missing field =>
+//! `Default::default()`) and `#[serde(skip)]` (never serialized,
+//! defaulted on deserialization). Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit {
+        name: String,
+    },
+    Named {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Splits a token list on commas that sit at angle-bracket depth 0.
+/// Commas inside `(..)`, `[..]`, `{..}` are invisible (they are inside
+/// `Group`s); commas inside generics like `BTreeMap<String, u16>` are
+/// skipped by tracking `<`/`>` puncts.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consumes leading `#[...]` attributes, returning whether a
+/// `#[serde(...)]` among them contains `default` / `skip`.
+fn strip_attrs(tokens: &[TokenTree]) -> (usize, bool, bool) {
+    let mut i = 0;
+    let (mut default, mut skip) = (false, false);
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(opt) = t {
+                                    match opt.to_string().as_str() {
+                                        "default" => default = true,
+                                        "skip" => skip = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, default, skip)
+}
+
+/// Parses one named field: `[attrs] [pub[(..)]] name : type`.
+fn parse_field(tokens: &[TokenTree]) -> Option<Field> {
+    let (mut i, default, skip) = strip_attrs(tokens);
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(Field {
+            name: id.to_string(),
+            default,
+            skip,
+        }),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    split_top_commas(&tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .filter_map(|seg| parse_field(seg))
+        .collect()
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Option<Variant> {
+    let (i, _, _) = strip_attrs(tokens);
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    let kind = match tokens.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let arity = split_top_commas(&inner)
+                .iter()
+                .filter(|seg| !seg.is_empty())
+                .count();
+            if arity == 0 {
+                VariantKind::Unit
+            } else {
+                VariantKind::Tuple(arity)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantKind::Struct(parse_named_fields(g.stream()))
+        }
+        _ => VariantKind::Unit,
+    };
+    Some(Variant { name, kind })
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => return Err("no struct/enum keyword in derive input".into()),
+        }
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+    if matches!(tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match tokens.get(i + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Shape::Named {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                })
+            } else {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_commas(&inner)
+                    .iter()
+                    .filter(|seg| !seg.is_empty())
+                    .filter_map(|seg| parse_variant(seg))
+                    .collect();
+                Ok(Shape::Enum { name, variants })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let arity = split_top_commas(&inner)
+                .iter()
+                .filter(|seg| !seg.is_empty())
+                .count();
+            Ok(Shape::Tuple { name, arity })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit { name }),
+        _ => Err(format!("unsupported shape for `{name}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Shape::Named { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "m.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})));",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                            ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Map(m)
+                    }}
+                }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{ {body} }}
+                }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), \
+                                         ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(vec![{}]))]),",
+                                binds.join(", "),
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_named_field_reads(fields: &[Field], map_expr: &str, ty: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.skip {
+                format!("{fname}: ::std::default::Default::default(),")
+            } else if f.default {
+                format!(
+                    "{fname}: match ::serde::__map_get({map_expr}, \"{fname}\") {{
+                        ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,
+                        ::std::option::Option::None => ::std::default::Default::default(),
+                    }},"
+                )
+            } else {
+                format!(
+                    "{fname}: match ::serde::__map_get({map_expr}, \"{fname}\") {{
+                        ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,
+                        ::std::option::Option::None => return ::std::result::Result::Err(\
+                            ::serde::DeError::missing_field(\"{fname}\", \"{ty}\")),
+                    }},"
+                )
+            }
+        })
+        .collect()
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value) \
+                    -> ::std::result::Result<Self, ::serde::DeError> {{
+                    match v {{
+                        ::serde::Value::Null => ::std::result::Result::Ok({name}),
+                        _ => ::std::result::Result::Err(\
+                            ::serde::DeError::expected(\"null\", \"{name}\")),
+                    }}
+                }}
+            }}"
+        ),
+        Shape::Named { name, fields } => {
+            let reads = gen_named_field_reads(fields, "m", name);
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) \
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let m = v.as_map().ok_or_else(|| \
+                            ::serde::DeError::expected(\"map\", \"{name}\"))?;
+                        ::std::result::Result::Ok({name} {{ {reads} }})
+                    }}
+                }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let reads: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                    .collect();
+                format!(
+                    "let s = v.as_seq().ok_or_else(|| \
+                         ::serde::DeError::expected(\"sequence\", \"{name}\"))?;
+                     if s.len() != {arity} {{
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong tuple arity for {name}\"));
+                     }}
+                     ::std::result::Result::Ok({name}({reads}))",
+                    reads = reads.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) \
+                        -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}
+                }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let reads: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{
+                                    let s = __inner.as_seq().ok_or_else(|| \
+                                        ::serde::DeError::expected(\
+                                            \"sequence\", \"{name}::{vn}\"))?;
+                                    if s.len() != {n} {{
+                                        return ::std::result::Result::Err(\
+                                            ::serde::DeError::custom(\
+                                                \"wrong arity for {name}::{vn}\"));
+                                    }}
+                                    ::std::result::Result::Ok({name}::{vn}({reads}))
+                                }}",
+                                reads = reads.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let reads =
+                                gen_named_field_reads(fields, "mm", &format!("{name}::{vn}"));
+                            Some(format!(
+                                "\"{vn}\" => {{
+                                    let mm = __inner.as_map().ok_or_else(|| \
+                                        ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?;
+                                    ::std::result::Result::Ok({name}::{vn} {{ {reads} }})
+                                }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) \
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Str(__s) => match __s.as_str() {{
+                                {unit_arms}
+                                __other => ::std::result::Result::Err(\
+                                    ::serde::DeError::custom(format!(\
+                                        \"unknown variant `{{__other}}` of {name}\"))),
+                            }},
+                            ::serde::Value::Map(__m) if __m.len() == 1 => {{
+                                let (__k, __inner) = &__m[0];
+                                match __k.as_str() {{
+                                    {tagged_arms}
+                                    __other => ::std::result::Result::Err(\
+                                        ::serde::DeError::custom(format!(\
+                                            \"unknown variant `{{__other}}` of {name}\"))),
+                                }}
+                            }}
+                            _ => ::std::result::Result::Err(\
+                                ::serde::DeError::expected(\"variant\", \"{name}\")),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn run(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde shim derive generated invalid code"),
+        Err(msg) => format!("compile_error!(\"{msg}\");").parse().unwrap(),
+    }
+}
+
+/// Derives `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, gen_deserialize)
+}

@@ -9,6 +9,7 @@
 //! sentomist case <1|2|3>                          run a paper case study
 //! ```
 
+use sentomist::core::campaign::{RunOutcome, Verdict};
 use sentomist::core::{harvest, localize, Pipeline, SampleIndex};
 use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
@@ -16,6 +17,7 @@ use sentomist::mlcore::{
 };
 use sentomist::tinyvm::{self, devices::NodeConfig, node::Node};
 use sentomist::trace::{Recorder, Trace};
+use serde::{Serialize, Value};
 use std::collections::HashMap;
 use std::error::Error;
 use std::process::ExitCode;
@@ -47,6 +49,19 @@ USAGE:
 
   sentomist case <1|2|3>
       Run one of the paper's case studies end to end.
+
+  sentomist campaign [--case 1|2|3] [--seeds N] [--base-seed S] [--threads T]
+                     [--period MS] [--seconds SEC] [--nu X] [--json] [--progress]
+      Run a parallel seed-sweep campaign: N independent runs under seeds
+      S..S+N, mined in isolation, aggregated by seed. Without --case the
+      campaign is the case-I trigger experiment (one run per seed at
+      sampling period --period, default 20 ms, --seconds long); with
+      --case each seed reruns the full case study. The aggregated output
+      (and --json document) is byte-identical for every --threads value.
+
+  sentomist campaign --replay --seed S [same selection flags]
+      Re-run one seed of a campaign and print its outcome — the trace
+      digest must match the original campaign row bit for bit.
 "
 }
 
@@ -56,9 +71,19 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
+            // A flag followed by another flag (or nothing) is boolean:
+            // it maps to the empty string and consumes no value.
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 2;
+                    v.clone()
+                }
+                _ => {
+                    i += 1;
+                    String::new()
+                }
+            };
             flags.insert(name.to_string(), value);
-            i += 2;
         } else {
             positional.push(args[i].clone());
             i += 1;
@@ -69,14 +94,18 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
 
 fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
     match flags.get(name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants a number, got `{v}`")),
         None => Ok(default),
     }
 }
 
 fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
     match flags.get(name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants a number, got `{v}`")),
         None => Ok(default),
     }
 }
@@ -207,7 +236,10 @@ fn cmd_localize(args: &[String]) -> Result<(), Box<dyn Error>> {
         "interval {} (rank {rank}, score {:.4}): deviating instructions:",
         target.index, target.score
     );
-    for hit in localize(&samples, flagged, &program, min_z).into_iter().take(12) {
+    for hit in localize(&samples, flagged, &program, min_z)
+        .into_iter()
+        .take(12)
+    {
         println!(
             "  pc {:>4}  z {:>7.2}  observed {:>7.0}  expected {:>9.1}  {} (line {})",
             hit.pc,
@@ -237,10 +269,11 @@ fn cmd_profile(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_case(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use sentomist::apps::{
-        run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config,
-    };
-    let which = args.first().map(String::as_str).ok_or("case: missing <1|2|3>")?;
+    use sentomist::apps::{run_case1, run_case2, run_case3, Case1Config, Case2Config, Case3Config};
+    let which = args
+        .first()
+        .map(String::as_str)
+        .ok_or("case: missing <1|2|3>")?;
     let result = match which {
         "1" => run_case1(&Case1Config::default())?,
         "2" => run_case2(&Case2Config::default())?,
@@ -252,6 +285,176 @@ fn cmd_case(args: &[String]) -> Result<(), Box<dyn Error>> {
         "\n{} samples; true symptoms at ranks {:?}",
         result.sample_count, result.buggy_ranks
     );
+    Ok(())
+}
+
+type CampaignJob = Box<dyn Fn(u64) -> Result<RunOutcome, String> + Send + Sync>;
+type CampaignConfig = Vec<(String, Value)>;
+
+/// Builds the per-seed job and the JSON `config` block for the selected
+/// campaign mode. The block deliberately excludes `--threads`: thread
+/// count must not influence the serialized campaign document.
+fn campaign_job(
+    flags: &HashMap<String, String>,
+) -> Result<(CampaignJob, CampaignConfig), Box<dyn Error>> {
+    use sentomist::apps::experiments::{case1_job, case2_job, case3_job, trigger_job};
+    use sentomist::apps::{Case1Config, Case2Config, Case3Config};
+    let entry = |k: &str, v: Value| (k.to_string(), v);
+    match flags.get("case").map(String::as_str) {
+        None => {
+            let period = flag_u64(flags, "period", 20)? as u32;
+            let seconds = flag_u64(flags, "seconds", 10)?;
+            let nu = flag_f64(flags, "nu", 0.05)?;
+            let job = trigger_job(period, seconds, nu)?;
+            Ok((
+                Box::new(job),
+                vec![
+                    entry("mode", Value::Str("trigger".into())),
+                    entry("period_ms", Serialize::to_value(&period)),
+                    entry("run_seconds", Serialize::to_value(&seconds)),
+                    entry("nu", Serialize::to_value(&nu)),
+                ],
+            ))
+        }
+        Some("1") => Ok((
+            Box::new(case1_job(Case1Config::default())),
+            vec![entry("mode", Value::Str("case1".into()))],
+        )),
+        Some("2") => Ok((
+            Box::new(case2_job(Case2Config::default())),
+            vec![entry("mode", Value::Str("case2".into()))],
+        )),
+        Some("3") => Ok((
+            Box::new(case3_job(Case3Config::default())),
+            vec![entry("mode", Value::Str("case3".into()))],
+        )),
+        Some(other) => Err(format!("unknown case `{other}`").into()),
+    }
+}
+
+fn print_outcome(o: &RunOutcome) {
+    let verdict = match o.verdict {
+        Verdict::Triggered => "triggered",
+        Verdict::Clean => "clean",
+    };
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
+        o.seed,
+        o.samples,
+        o.symptoms,
+        verdict,
+        o.buggy_ranks
+            .first()
+            .map_or_else(|| "-".to_string(), ToString::to_string),
+        o.trace_digest,
+    );
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use sentomist::core::campaign::{replay, run_campaign, CampaignOptions};
+    let (_, flags) = parse_flags(args);
+    let json = flags.contains_key("json");
+    let (job, mut config) = campaign_job(&flags)?;
+
+    if flags.contains_key("replay") {
+        let seed = flags
+            .get("seed")
+            .ok_or("campaign --replay needs --seed S")?
+            .parse::<u64>()
+            .map_err(|_| "--seed wants a number")?;
+        let outcome = replay(seed, job).map_err(|e| format!("seed {seed}: {e}"))?;
+        if json {
+            let doc = Value::Map(vec![
+                (
+                    "config".to_string(),
+                    Value::Map(std::mem::take(&mut config)),
+                ),
+                ("outcome".to_string(), Serialize::to_value(&outcome)),
+            ]);
+            println!("{}", serde_json::to_string_pretty(&doc)?);
+        } else {
+            println!(
+                "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
+                "seed", "samples", "symptoms", "verdict", "best rank", "trace digest"
+            );
+            print_outcome(&outcome);
+            println!(
+                "\nreplayed in {} ms; the trace digest above must equal the \
+                 campaign row's digest for the same seed",
+                outcome.wall_time_ms
+            );
+        }
+        return Ok(());
+    }
+
+    let n_seeds = flag_u64(&flags, "seeds", 16)?;
+    let base_seed = flag_u64(&flags, "base-seed", 1000)?;
+    let threads = flag_u64(&flags, "threads", 1)?.max(1) as usize;
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| base_seed + i).collect();
+    config.push(("seeds".to_string(), Serialize::to_value(&n_seeds)));
+    config.push(("base_seed".to_string(), Serialize::to_value(&base_seed)));
+
+    let options = CampaignOptions {
+        threads,
+        progress: flags.contains_key("progress"),
+    };
+    let started = std::time::Instant::now();
+    let result = run_campaign(&seeds, options, job);
+    let elapsed = started.elapsed();
+
+    if json {
+        let doc = Value::Map(vec![
+            (
+                "config".to_string(),
+                Value::Map(std::mem::take(&mut config)),
+            ),
+            (
+                "outcomes".to_string(),
+                Serialize::to_value(&result.outcomes),
+            ),
+            (
+                "summary".to_string(),
+                Serialize::to_value(&result.summary()),
+            ),
+            ("errors".to_string(), Serialize::to_value(&result.errors)),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc)?);
+        return Ok(());
+    }
+
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
+        "seed", "samples", "symptoms", "verdict", "best rank", "trace digest"
+    );
+    for o in &result.outcomes {
+        print_outcome(o);
+    }
+    for e in &result.errors {
+        println!("{:>6} FAILED: {}", e.seed, e.message);
+    }
+    let s = result.summary();
+    println!(
+        "\ntrigger rate:  {}/{} runs ({:.0}%)",
+        s.triggered,
+        s.runs,
+        100.0 * s.trigger_rate
+    );
+    println!(
+        "detection:     best symptom in top-1 for {}, top-3 for {}, top-10 for {} \
+         of the {} triggered runs",
+        s.hits_top1, s.hits_top3, s.hits_top10, s.triggered
+    );
+    println!(
+        "intervals:     {} total ({}..{} per run, mean {:.1})",
+        s.total_samples, s.min_samples, s.max_samples, s.mean_samples
+    );
+    println!(
+        "time:          {:.2} s wall on {} thread(s), {:.2} s total job time",
+        elapsed.as_secs_f64(),
+        threads,
+        result.cpu_time_ms() as f64 / 1000.0
+    );
+    println!("replay a row:  sentomist campaign --replay --seed <seed> [same flags]");
     Ok(())
 }
 
@@ -269,6 +472,7 @@ fn main() -> ExitCode {
         "localize" => cmd_localize(rest),
         "profile" => cmd_profile(rest),
         "case" => cmd_case(rest),
+        "campaign" => cmd_campaign(rest),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -38,9 +38,9 @@ pub use mlcore;
 pub use netsim;
 pub use tinyvm;
 
+/// Case studies and experiment drivers (re-export of `sentomist-apps`).
+pub use sentomist_apps as apps;
 /// The symptom-mining pipeline (re-export of `sentomist-core`).
 pub use sentomist_core as core;
 /// Trace anatomization (re-export of `sentomist-trace`).
 pub use sentomist_trace as trace;
-/// Case studies and experiment drivers (re-export of `sentomist-apps`).
-pub use sentomist_apps as apps;

@@ -61,7 +61,11 @@ fn assemble_run_mine_localize_workflow() {
 
     // assemble
     let out = cli().arg("assemble").arg(&app).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let listing = String::from_utf8_lossy(&out.stdout);
     assert!(listing.contains("on_adc:"));
     assert!(listing.contains("26 instructions"));
@@ -74,7 +78,11 @@ fn assemble_run_mine_localize_workflow() {
         .arg(&trace)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     // mine (with CSV export)
@@ -86,7 +94,11 @@ fn assemble_run_mine_localize_workflow() {
         .arg(&csv)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8_lossy(&out.stdout);
     assert!(table.contains("intervals of 2 (ADC)"));
     assert!(table.contains("Instance Index"));
@@ -101,7 +113,11 @@ fn assemble_run_mine_localize_workflow() {
         .arg(&app)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let prof = String::from_utf8_lossy(&out.stdout);
     assert!(prof.contains("routine"));
     assert!(prof.contains("on_adc"));
@@ -115,7 +131,11 @@ fn assemble_run_mine_localize_workflow() {
         .args(["--irq", "2", "--rank", "1", "--min-z", "0.5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let loc = String::from_utf8_lossy(&out.stdout);
     assert!(loc.contains("deviating instructions"));
 
@@ -135,7 +155,10 @@ fn bad_invocations_fail_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Missing file.
-    let out = cli().args(["assemble", "/nonexistent/x.s"]).output().unwrap();
+    let out = cli()
+        .args(["assemble", "/nonexistent/x.s"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     // Bad detector name.
@@ -165,7 +188,11 @@ fn bad_invocations_fail_cleanly() {
 #[test]
 fn case_subcommand_reproduces_figure_5b() {
     let out = cli().args(["case", "2"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Instance Index"));
     assert!(text.contains("true symptoms at ranks [1, 2, 3]"));

@@ -17,7 +17,10 @@ fn localization_implicates_the_drop_branch() {
         forwarder::sink_program().unwrap(),
         forwarder::node_config(forwarder::nodes::SINK, 0),
     );
-    sim.add_node(relay.clone(), forwarder::node_config(forwarder::nodes::RELAY, 1));
+    sim.add_node(
+        relay.clone(),
+        forwarder::node_config(forwarder::nodes::RELAY, 1),
+    );
     sim.add_node(
         forwarder::source_program(&forwarder::ForwarderParams::default()).unwrap(),
         forwarder::node_config(forwarder::nodes::SOURCE, 2),

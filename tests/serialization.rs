@@ -61,10 +61,7 @@ fn trace_round_trips_and_analyzes_identically() {
 #[test]
 fn report_round_trips_with_exact_scores() {
     let (_, trace) = record();
-    let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |s, _| {
-        SampleIndex::Seq(s)
-    })
-    .unwrap();
+    let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |s, _| SampleIndex::Seq(s)).unwrap();
     let report = Pipeline::default_ocsvm(0.2).rank(samples).unwrap();
     let json = serde_json::to_string(&report).unwrap();
     let back: sentomist::core::Report = serde_json::from_str(&json).unwrap();
