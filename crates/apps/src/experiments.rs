@@ -14,8 +14,8 @@ use mlcore::{
 use sentomist_core::campaign::{
     run_campaign, CampaignOptions, CampaignResult, RunOutcome, Verdict,
 };
-use sentomist_core::{harvest, Pipeline, Report, Sample, SampleIndex};
-use sentomist_trace::{Recorder, Trace};
+use sentomist_core::{harvest_set, Pipeline, Report, SampleIndex, SampleSet};
+use sentomist_trace::{EventInterval, Recorder, Trace};
 use std::error::Error;
 use tinyvm::devices::NodeConfig;
 use tinyvm::isa::irq;
@@ -156,12 +156,12 @@ impl CaseResult {
     }
 }
 
-/// True when `interval` of `sample` contains a *nested* interrupt of the
-/// same line — the paper's outlier pattern for case study I ("ADC
-/// interrupt, posting a task, interrupt exit, ADC interrupt, interrupt
-/// exit, running the task").
-fn contains_nested_int(trace: &Trace, sample: &Sample, line: u8) -> bool {
-    (sample.interval.start_index + 1..sample.interval.end_index)
+/// True when `interval` contains a *nested* interrupt of the same line —
+/// the paper's outlier pattern for case study I ("ADC interrupt, posting
+/// a task, interrupt exit, ADC interrupt, interrupt exit, running the
+/// task").
+fn contains_nested_int(trace: &Trace, interval: &EventInterval, line: u8) -> bool {
+    (interval.start_index + 1..interval.end_index)
         .any(|i| trace.events[i].item == LifecycleItem::Int(line))
 }
 
@@ -217,7 +217,7 @@ impl Default for Case1Config {
 /// Propagates VM faults, trace extraction and pipeline errors.
 pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
     let params_for = |ms: u32| oscilloscope::OscilloscopeParams::with_period_ms(ms);
-    let mut all_samples: Vec<Sample> = Vec::new();
+    let mut all_samples = SampleSet::empty();
     let mut buggy: Vec<SampleIndex> = Vec::new();
     let mut polluted_packets = 0usize;
     let mut digests: Vec<u64> = Vec::new();
@@ -244,19 +244,19 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
         let trace = recorder.into_trace();
         digests.push(trace.digest());
         let run_no = r as u32 + 1;
-        let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::RunSeq {
+        let set = harvest_set(&trace, irq::ADC, |seq, _| SampleIndex::RunSeq {
             run: run_no,
             seq,
         })?;
-        for s in &samples {
-            if contains_nested_int(&trace, s, irq::ADC) {
-                buggy.push(s.index);
+        for m in &set.meta {
+            if contains_nested_int(&trace, &m.interval, irq::ADC) {
+                buggy.push(m.index);
             }
         }
-        all_samples.extend(samples);
+        all_samples.append(&set);
     }
     let sample_count = all_samples.len();
-    let report = config.detector.pipeline().rank(all_samples)?;
+    let report = config.detector.pipeline().rank_set(all_samples)?;
     let result = CaseResult::new(report, sample_count, buggy, chain_digest(digests));
     // Cross-check the two independent oracles: every polluted packet stems
     // from a nested-interrupt interval. (The trace oracle can flag one
@@ -346,17 +346,19 @@ pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
     let mut traces: Vec<Trace> = recorders.into_iter().map(Recorder::into_trace).collect();
     let trace_digest = chain_digest(traces.iter().map(Trace::digest));
     let relay_trace = traces.swap_remove(1);
-    let samples = harvest(&relay_trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
+    let set = harvest_set(&relay_trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
     let buggy: Vec<SampleIndex> = match drop_pc {
-        Some(pc) => samples
+        Some(pc) => set
+            .meta
             .iter()
-            .filter(|s| s.features[pc as usize] > 0.0)
-            .map(|s| s.index)
+            .zip(set.features.rows_iter())
+            .filter(|(_, row)| row[pc as usize] > 0.0)
+            .map(|(m, _)| m.index)
             .collect(),
         None => Vec::new(), // fixed relay has no drop branch to hit
     };
-    let sample_count = samples.len();
-    let report = config.detector.pipeline().rank(samples)?;
+    let sample_count = set.len();
+    let report = config.detector.pipeline().rank_set(set)?;
     Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
 }
 
@@ -418,7 +420,7 @@ pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
         .collect();
     sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
 
-    let mut all_samples = Vec::new();
+    let mut all_samples = SampleSet::empty();
     let mut buggy = Vec::new();
     // Walk recorders in reverse id order so indices stay valid.
     let mut traces: Vec<(u16, Trace)> = recorders
@@ -430,19 +432,19 @@ pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
     traces.retain(|(id, _)| ctp::SOURCES.contains(id));
     for (node_id, trace) in &traces {
         let node = *node_id;
-        let samples = harvest(trace, irq::TIMER0, |seq, _| SampleIndex::NodeSeq {
+        let set = harvest_set(trace, irq::TIMER0, |seq, _| SampleIndex::NodeSeq {
             node,
             seq,
         })?;
-        for s in &samples {
-            if s.features[fail_pc] > 0.0 {
-                buggy.push(s.index);
+        for (m, row) in set.meta.iter().zip(set.features.rows_iter()) {
+            if row[fail_pc] > 0.0 {
+                buggy.push(m.index);
             }
         }
-        all_samples.extend(samples);
+        all_samples.append(&set);
     }
     let sample_count = all_samples.len();
-    let report = config.detector.pipeline().rank(all_samples)?;
+    let report = config.detector.pipeline().rank_set(all_samples)?;
     Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
 }
 
@@ -540,10 +542,11 @@ pub fn run_fidelity(
         .filter(|p| p.polluted())
         .count();
     let trace = recorder.into_trace();
-    let samples = harvest(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))?;
-    let symptom_intervals = samples
+    let set = harvest_set(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))?;
+    let symptom_intervals = set
+        .meta
         .iter()
-        .filter(|s| contains_nested_int(&trace, s, irq::ADC))
+        .filter(|m| contains_nested_int(&trace, &m.interval, irq::ADC))
         .count();
     let mut depth = 0usize;
     let mut any_preemption = false;
@@ -562,7 +565,7 @@ pub fn run_fidelity(
     Ok(FidelityOutcome {
         polluted_packets: polluted,
         symptom_intervals,
-        intervals: samples.len(),
+        intervals: set.len(),
         any_preemption,
     })
 }
@@ -663,19 +666,20 @@ pub fn trigger_job(
             .map_err(|e| e.to_string())?;
         let trace = recorder.into_trace();
         let trace_digest = trace.digest();
-        let samples =
-            harvest(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq)).map_err(|e| e.to_string())?;
-        let buggy: Vec<SampleIndex> = samples
+        let set = harvest_set(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))
+            .map_err(|e| e.to_string())?;
+        let buggy: Vec<SampleIndex> = set
+            .meta
             .iter()
-            .filter(|s| contains_nested_int(&trace, s, irq::ADC))
-            .map(|s| s.index)
+            .filter(|m| contains_nested_int(&trace, &m.interval, irq::ADC))
+            .map(|m| m.index)
             .collect();
-        let sample_count = samples.len();
+        let sample_count = set.len();
         let mut buggy_ranks: Vec<usize> = if buggy.is_empty() {
             Vec::new()
         } else {
             let report = Pipeline::default_ocsvm(nu)
-                .rank(samples)
+                .rank_set(set)
                 .map_err(|e| e.to_string())?;
             buggy.iter().filter_map(|&b| report.rank_of(b)).collect()
         };
@@ -833,21 +837,21 @@ pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<
         .collect();
     sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
 
-    let mut all_samples = Vec::new();
+    let mut all_samples = SampleSet::empty();
     let mut buggy = Vec::new();
     let traces: Vec<Trace> = recorders.into_iter().map(Recorder::into_trace).collect();
     let trace_digest = chain_digest(traces.iter().map(Trace::digest));
     for (id, trace) in traces.iter().enumerate().skip(1) {
         let node = id as u16;
-        let samples = harvest(trace, irq::ADC, |seq, _| SampleIndex::NodeSeq { node, seq })?;
-        for s in &samples {
-            if contains_nested_int(trace, s, irq::ADC) {
-                buggy.push(s.index);
+        let set = harvest_set(trace, irq::ADC, |seq, _| SampleIndex::NodeSeq { node, seq })?;
+        for m in &set.meta {
+            if contains_nested_int(trace, &m.interval, irq::ADC) {
+                buggy.push(m.index);
             }
         }
-        all_samples.extend(samples);
+        all_samples.append(&set);
     }
     let sample_count = all_samples.len();
-    let report = config.detector.pipeline().rank(all_samples)?;
+    let report = config.detector.pipeline().rank_set(all_samples)?;
     Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
 }

@@ -1,0 +1,107 @@
+//! Equivalence suite for the dense `FeatureMatrix` refactor: the matrix
+//! pipeline must reproduce the ragged seed implementation's `Report`
+//! rankings *byte for byte* — same sample order, same `f64` score bit
+//! patterns — on all three case studies and on a 16-seed trigger
+//! campaign's serialized JSON document.
+//!
+//! The golden digests below were captured from the pre-refactor
+//! (`Vec<Vec<f64>>`-based) implementation at the seed commit; any change
+//! to the numeric path that alters even one ULP of one score, or one
+//! tie-break in the ranking, changes the digest. To re-capture after an
+//! *intentional* numeric change, run with
+//! `EQUIV_CAPTURE=1 cargo test -p sentomist-apps --test equivalence_matrix -- --nocapture`
+//! and paste the printed values.
+
+use sentomist_apps::{
+    run_case1, run_case2, run_case3, trigger_job, Case1Config, Case2Config, Case3Config, CaseResult,
+};
+use sentomist_core::campaign::{run_campaign, CampaignOptions};
+use sentomist_core::Report;
+
+/// FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Digest of a full ranking: every entry's index label and the exact bit
+/// pattern of its normalized score, in rank order.
+fn report_digest(report: &Report) -> String {
+    let mut h = Fnv::new();
+    h.update(report.detector.as_bytes());
+    for r in &report.ranking {
+        h.update(r.index.to_string().as_bytes());
+        h.update(&r.score.to_bits().to_le_bytes());
+    }
+    h.hex()
+}
+
+fn case_digest(result: &CaseResult) -> String {
+    let mut h = Fnv::new();
+    h.update(report_digest(&result.report).as_bytes());
+    h.update(&(result.sample_count as u64).to_le_bytes());
+    for r in &result.buggy_ranks {
+        h.update(&(*r as u64).to_le_bytes());
+    }
+    h.update(&result.trace_digest.to_le_bytes());
+    h.hex()
+}
+
+const GOLDEN_CASE1: &str = "b5e1c4b0205f2c4a";
+const GOLDEN_CASE2: &str = "7948b906723fed9b";
+const GOLDEN_CASE3: &str = "e1540603f9e1ec23";
+const GOLDEN_CAMPAIGN: &str = "7b1a07b56e2d3d59";
+
+fn check(name: &str, golden: &str, actual: &str) {
+    if std::env::var("EQUIV_CAPTURE").is_ok() {
+        println!("const GOLDEN_{}: &str = \"{actual}\";", name.to_uppercase());
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{name}: ranking diverged from the ragged seed implementation"
+    );
+}
+
+#[test]
+fn case1_ranking_matches_seed_implementation() {
+    let result = run_case1(&Case1Config::default()).unwrap();
+    check("case1", GOLDEN_CASE1, &case_digest(&result));
+}
+
+#[test]
+fn case2_ranking_matches_seed_implementation() {
+    let result = run_case2(&Case2Config::default()).unwrap();
+    check("case2", GOLDEN_CASE2, &case_digest(&result));
+}
+
+#[test]
+fn case3_ranking_matches_seed_implementation() {
+    let result = run_case3(&Case3Config::default()).unwrap();
+    check("case3", GOLDEN_CASE3, &case_digest(&result));
+}
+
+#[test]
+fn trigger_campaign_json_matches_seed_implementation() {
+    // 16 seeds, 2-second runs (the CI determinism sweep's shape): the
+    // serialized outcome document must be byte-identical to the seed
+    // implementation's.
+    let job = trigger_job(20, 2, 0.05).unwrap();
+    let seeds: Vec<u64> = (0..16).map(|i| 1000 + i).collect();
+    let result = run_campaign(&seeds, CampaignOptions::default(), job);
+    let json = serde_json::to_string(&result.outcomes).unwrap();
+    let mut h = Fnv::new();
+    h.update(json.as_bytes());
+    check("campaign", GOLDEN_CAMPAIGN, &h.hex());
+}

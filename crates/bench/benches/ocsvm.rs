@@ -3,30 +3,77 @@
 //! sample set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mlcore::{KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler};
+use mlcore::{
+    FeatureMatrix, Kernel, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
+    PcaDetector, Scaler,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use sentomist_core::{sample::SampleMeta, Pipeline, SampleIndex, SampleSet};
+use sentomist_trace::EventInterval;
 
 /// Synthetic instruction-counter-like samples: a dense normal cluster with
 /// correlated dimensions plus a sprinkle of outliers.
-fn samples(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+fn samples(n: usize, d: usize, seed: u64) -> FeatureMatrix {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let outlier = i % 97 == 96;
-            (0..d)
-                .map(|j| {
-                    let base = ((j * 13) % 7) as f64 * 10.0;
-                    let noise: f64 = rng.gen_range(-1.0..1.0);
-                    if outlier && j % 5 == 0 {
-                        base * 2.0 + 40.0 + noise
-                    } else {
-                        base + noise
-                    }
-                })
-                .collect()
-        })
-        .collect()
+    let mut m = FeatureMatrix::with_capacity(n, d);
+    for i in 0..n {
+        let outlier = i % 97 == 96;
+        let row = m.add_row();
+        for (j, slot) in row.iter_mut().enumerate() {
+            let base = ((j * 13) % 7) as f64 * 10.0;
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            *slot = if outlier && j % 5 == 0 {
+                base * 2.0 + 40.0 + noise
+            } else {
+                base + noise
+            };
+        }
+    }
+    m
+}
+
+/// RBF Gram-matrix construction — the O(n²d) kernel of every SMO solve.
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram_construction");
+    for n in [400usize, 1000] {
+        let data = Scaler::fit_transform(&samples(n, 64, 7));
+        let kernel = Kernel::Rbf { gamma: 1.0 / 64.0 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| kernel.gram(d).rows())
+        });
+    }
+    group.finish();
+}
+
+/// The featurize→scale→detect→rank vertical on pre-built samples.
+fn bench_rank_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_path");
+    for n in [400usize, 1000] {
+        let meta: Vec<SampleMeta> = (0..n)
+            .map(|i| SampleMeta {
+                index: SampleIndex::Seq(i as u32 + 1),
+                interval: EventInterval {
+                    irq: 1,
+                    start_index: i * 4,
+                    end_index: i * 4 + 3,
+                    last_run_index: None,
+                    start_cycle: i as u64 * 100,
+                    end_cycle: i as u64 * 100 + 80,
+                    task_count: 1,
+                },
+            })
+            .collect();
+        let built = SampleSet {
+            meta,
+            features: samples(n, 64, 9),
+        };
+        let pipeline = Pipeline::default_ocsvm(0.05);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &built, |b, s| {
+            b.iter(|| pipeline.rank_set(s.clone()).unwrap().ranking.len())
+        });
+    }
+    group.finish();
 }
 
 fn bench_ocsvm_scaling(c: &mut Criterion) {
@@ -72,6 +119,6 @@ fn bench_detector_comparison(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_ocsvm_scaling, bench_ocsvm_nu, bench_detector_comparison
+    targets = bench_gram, bench_rank_path, bench_ocsvm_scaling, bench_ocsvm_nu, bench_detector_comparison
 }
 criterion_main!(benches);

@@ -6,13 +6,13 @@
 
 use mlcore::{Kernel, OcSvmConfig, OneClassSvm};
 use sentomist_apps::{forwarder, Case2Config};
-use sentomist_core::{harvest, Pipeline, SampleIndex};
+use sentomist_core::{harvest_set, Pipeline, SampleIndex, SampleSet};
 use sentomist_trace::Recorder;
 use tinyvm::isa::irq;
 
 /// One prepared case-II sample set with its ground truth.
 struct Prepared {
-    samples: Vec<sentomist_core::Sample>,
+    samples: SampleSet,
     buggy: Vec<SampleIndex>,
 }
 
@@ -44,11 +44,13 @@ fn prepare() -> Result<Prepared, Box<dyn std::error::Error>> {
     ];
     sim.run(config.run_seconds * 1_000_000, &mut recorders)?;
     let trace = recorders.swap_remove(1).into_trace();
-    let samples = harvest(&trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
+    let samples = harvest_set(&trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
     let buggy = samples
+        .meta
         .iter()
-        .filter(|s| s.features[drop_pc] > 0.0)
-        .map(|s| s.index)
+        .zip(samples.features.rows_iter())
+        .filter(|(_, row)| row[drop_pc] > 0.0)
+        .map(|(m, _)| m.index)
         .collect();
     Ok(Prepared { samples, buggy })
 }
@@ -62,7 +64,7 @@ fn ranks_for(prepared: &Prepared, nu: f64, kernel: Option<Kernel>) -> Vec<usize>
         },
     };
     let report = Pipeline::new(Box::new(detector))
-        .rank(prepared.samples.clone())
+        .rank_set(prepared.samples.clone())
         .expect("pipeline runs");
     let mut ranks: Vec<usize> = prepared
         .buggy
@@ -90,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- gamma sweep (nu = 0.05) ---");
     println!("{:>12}   symptom ranks", "gamma");
-    let d = prepared.samples[0].features.len() as f64;
+    let d = prepared.samples.features.cols() as f64;
     for scale in [0.01f64, 0.1, 1.0, 10.0, 100.0] {
         let gamma = scale / d;
         let ranks = ranks_for(&prepared, 0.05, Some(Kernel::Rbf { gamma }));

@@ -9,7 +9,7 @@
 //! runs.
 
 use crate::pipeline::PipelineError;
-use crate::sample::Sample;
+use crate::sample::{Sample, SampleSet};
 use mlcore::{MlError, OcSvmModel, OneClassSvm, Scaler};
 use serde::{Deserialize, Serialize};
 
@@ -61,12 +61,10 @@ impl BaselineModel {
             return Err(PipelineError::NoSamples);
         }
         let dimension = reference[0].features.len();
-        if reference.iter().any(|s| s.features.len() != dimension) {
-            return Err(PipelineError::DimensionMismatch);
-        }
-        let raw: Vec<Vec<f64>> = reference.iter().map(|s| s.features.clone()).collect();
-        let scaler = Scaler::fit(&raw);
-        let scaled: Vec<Vec<f64>> = raw.iter().map(|r| scaler.transform(r)).collect();
+        let set = SampleSet::from_samples(reference).ok_or(PipelineError::DimensionMismatch)?;
+        let scaler = Scaler::fit(&set.features);
+        let mut scaled = set.features;
+        scaler.transform_in_place(&mut scaled);
         let model = OneClassSvm::with_nu(nu)
             .fit(&scaled)
             .map_err(PipelineError::Detector)?;

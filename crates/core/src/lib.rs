@@ -9,8 +9,9 @@
 //! rank the intervals by how suspicious they are — the priority order for
 //! manual inspection.
 //!
-//! * [`sample::harvest`] — trace → labeled, featurized samples per event
-//!   type;
+//! * [`sample::harvest_set`] — trace → a [`SampleSet`]: labels plus a
+//!   dense row-major feature matrix, one row per interval of the event
+//!   type, written straight from the trace's counter table;
 //! * [`Pipeline`] — scale → detect → normalize → rank;
 //! * [`Report`] — Figure-5-style ranking tables and rank queries;
 //! * [`campaign`] — parallel seed-sweep orchestration with
@@ -21,7 +22,7 @@
 //! ```
 //! # use std::sync::Arc;
 //! # use tinyvm::{asm, devices::NodeConfig, node::Node};
-//! use sentomist_core::{harvest, Pipeline, SampleIndex};
+//! use sentomist_core::{harvest_set, Pipeline, SampleIndex};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! # let program = Arc::new(asm::assemble("\
@@ -42,10 +43,10 @@
 //! let trace = recorder.into_trace();
 //!
 //! // Anatomize + featurize the TIMER0 event procedure, then rank.
-//! let samples = harvest(&trace, tinyvm::isa::irq::TIMER0, |seq, _| {
+//! let samples = harvest_set(&trace, tinyvm::isa::irq::TIMER0, |seq, _| {
 //!     SampleIndex::Seq(seq)
 //! })?;
-//! let report = Pipeline::default_ocsvm(0.05).rank(samples)?;
+//! let report = Pipeline::default_ocsvm(0.05).rank_set(samples)?;
 //! println!("{}", report.table(5, 2));
 //! # Ok(())
 //! # }
@@ -67,8 +68,8 @@ pub use campaign::{
     replay, run_campaign, summarize, CampaignOptions, CampaignResult, CampaignSummary, RunError,
     RunOutcome, Verdict,
 };
-pub use localize::{localize, ImplicatedInstruction};
+pub use localize::{localize, localize_set, ImplicatedInstruction};
 pub use monitor::WindowedMiner;
 pub use pipeline::{Pipeline, PipelineError};
 pub use report::{RankedSample, Report};
-pub use sample::{harvest, Sample, SampleIndex};
+pub use sample::{harvest, harvest_set, Sample, SampleIndex, SampleMeta, SampleSet};

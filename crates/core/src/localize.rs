@@ -7,7 +7,7 @@
 //! back to assembly source lines and routines, tell the developer *where*
 //! the abnormal behavior happened.
 
-use crate::sample::Sample;
+use crate::sample::{Sample, SampleSet};
 use serde::{Deserialize, Serialize};
 use tinyvm::Program;
 
@@ -69,15 +69,33 @@ pub fn localize(
     program: &Program,
     min_z: f64,
 ) -> Vec<ImplicatedInstruction> {
-    let d = samples[flagged].features.len();
-    let n = samples.len() as f64;
+    let set = SampleSet::from_samples(samples).expect("ragged samples");
+    localize_set(&set, flagged, program, min_z)
+}
+
+/// [`localize`] over a [`SampleSet`]: the same deviation ranking, reading
+/// instruction columns straight out of the set's dense feature matrix.
+///
+/// # Panics
+///
+/// Panics if `flagged` is out of range.
+pub fn localize_set(
+    set: &SampleSet,
+    flagged: usize,
+    program: &Program,
+    min_z: f64,
+) -> Vec<ImplicatedInstruction> {
+    let d = set.features.cols();
+    let n = set.len() as f64;
+    let samples = &set.features;
+    assert!(flagged < set.len(), "flagged sample out of range");
     let mut result = Vec::new();
     for pc in 0..d {
-        let mean: f64 = samples.iter().map(|s| s.features[pc]).sum::<f64>() / n;
+        let mean: f64 = samples.rows_iter().map(|s| s[pc]).sum::<f64>() / n;
         let var: f64 = samples
-            .iter()
+            .rows_iter()
             .map(|s| {
-                let dv = s.features[pc] - mean;
+                let dv = s[pc] - mean;
                 dv * dv
             })
             .sum::<f64>()
@@ -86,7 +104,7 @@ pub fn localize(
         // instructions that suddenly execute get a finite but large score
         // (a one-count deviation on a constant dimension scores z = 4).
         let std = var.sqrt().max(0.25);
-        let observed = samples[flagged].features[pc];
+        let observed = samples.get(flagged, pc);
         let z = (observed - mean).abs() / std;
         if z >= min_z {
             let pc16 = pc as u16;

@@ -1,7 +1,12 @@
 //! The symptom-mining pipeline: scale → detect → normalize → rank.
+//!
+//! The rank path operates on a [`SampleSet`] — a dense row-major feature
+//! matrix plus per-sample metadata. Scaling transforms the matrix in
+//! place and the detector reads contiguous row slices, so no feature row
+//! is cloned anywhere between harvesting and the final report.
 
 use crate::report::{RankedSample, Report};
-use crate::sample::Sample;
+use crate::sample::{Sample, SampleSet};
 use mlcore::{normalize_scores, rank_ascending, MlError, OneClassSvm, OutlierDetector, Scaler};
 use std::error::Error;
 use std::fmt;
@@ -106,9 +111,46 @@ impl Pipeline {
         self.detector.name()
     }
 
-    /// Scores and ranks the samples, most suspicious first. Scores are
+    /// Scores and ranks a sample set, most suspicious first. Scores are
     /// normalized so the largest positive score is 1 (the paper's Figure-5
     /// convention).
+    ///
+    /// Takes the set by value: the scaled path min-max-transforms the
+    /// feature matrix **in place** and the unscaled path hands the matrix
+    /// to the detector as-is — no feature row is copied either way.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoSamples`] on an empty set;
+    /// [`PipelineError::Detector`] if the detector fails.
+    pub fn rank_set(&self, mut samples: SampleSet) -> Result<Report, PipelineError> {
+        if samples.is_empty() {
+            return Err(PipelineError::NoSamples);
+        }
+        if self.scale {
+            let scaler = Scaler::fit(&samples.features);
+            scaler.transform_in_place(&mut samples.features);
+        }
+        let mut scores = self.detector.score(&samples.features)?;
+        normalize_scores(&mut scores);
+        let order = rank_ascending(&scores);
+        let ranking = order
+            .into_iter()
+            .map(|i| RankedSample {
+                index: samples.meta[i].index,
+                score: scores[i],
+                interval: samples.meta[i].interval,
+            })
+            .collect();
+        Ok(Report {
+            detector: self.detector.name().to_string(),
+            ranking,
+        })
+    }
+
+    /// Scores and ranks individually-owned samples — a shim over
+    /// [`Pipeline::rank_set`] that packs the rows into one dense matrix
+    /// first (a single flat allocation, no per-row clone).
     ///
     /// # Errors
     ///
@@ -118,31 +160,8 @@ impl Pipeline {
         if samples.is_empty() {
             return Err(PipelineError::NoSamples);
         }
-        let d = samples[0].features.len();
-        if samples.iter().any(|s| s.features.len() != d) {
-            return Err(PipelineError::DimensionMismatch);
-        }
-        let features: Vec<Vec<f64>> = if self.scale {
-            let raw: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
-            Scaler::fit_transform(&raw)
-        } else {
-            samples.iter().map(|s| s.features.clone()).collect()
-        };
-        let mut scores = self.detector.score(&features)?;
-        normalize_scores(&mut scores);
-        let order = rank_ascending(&scores);
-        let ranking = order
-            .into_iter()
-            .map(|i| RankedSample {
-                index: samples[i].index,
-                score: scores[i],
-                interval: samples[i].interval,
-            })
-            .collect();
-        Ok(Report {
-            detector: self.detector.name().to_string(),
-            ranking,
-        })
+        let set = SampleSet::from_samples(&samples).ok_or(PipelineError::DimensionMismatch)?;
+        self.rank_set(set)
     }
 }
 
@@ -263,6 +282,15 @@ mod tests {
             .rank(samples)
             .unwrap();
         assert_eq!(with.ranking[0].index, without.ranking[0].index);
+    }
+
+    #[test]
+    fn rank_and_rank_set_agree_exactly() {
+        let samples = cluster_plus_outlier();
+        let set = SampleSet::from_samples(&samples).unwrap();
+        let via_rank = Pipeline::default_ocsvm(0.1).rank(samples).unwrap();
+        let via_set = Pipeline::default_ocsvm(0.1).rank_set(set).unwrap();
+        assert_eq!(via_rank, via_set);
     }
 
     #[test]

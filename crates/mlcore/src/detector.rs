@@ -1,6 +1,7 @@
 //! The plug-in outlier-detector interface (paper Section VI-E: "Sentomist
 //! can actually plug in these outlier detection algorithms conveniently").
 
+use crate::matrix::FeatureMatrix;
 use std::error::Error;
 use std::fmt;
 
@@ -39,12 +40,26 @@ impl Error for MlError {}
 
 /// An unsupervised outlier detector over a fixed sample set.
 ///
-/// Implementations fit on the given samples and return one score per
-/// sample, **lower = more suspicious**. For the one-class SVM the score is
-/// the signed distance to the decision boundary (negative on the outlier
-/// side — exactly the ranking quantity of the paper's Figure 5); other
-/// detectors return negated distances or reconstruction errors so that the
-/// ordering convention matches.
+/// Samples arrive as a dense row-major [`FeatureMatrix`] — one row per
+/// sample. Implementations fit on the given samples and return one score
+/// per row, **lower = more suspicious**. For the one-class SVM the score
+/// is the signed distance to the decision boundary (negative on the
+/// outlier side — exactly the ranking quantity of the paper's Figure 5);
+/// other detectors return negated distances or reconstruction errors so
+/// that the ordering convention matches.
+///
+/// ```
+/// use mlcore::{FeatureMatrix, OneClassSvm, OutlierDetector};
+///
+/// let samples = FeatureMatrix::from_rows(&[
+///     vec![1.0, 0.0],
+///     vec![1.1, 0.0],
+///     vec![0.9, 0.1],
+///     vec![9.0, 9.0], // the outlier
+/// ]).unwrap();
+/// let scores = OneClassSvm::with_nu(0.5).score(&samples).unwrap();
+/// assert_eq!(scores.len(), samples.rows());
+/// ```
 ///
 /// Detectors are `Send + Sync` so pipelines built around them can be
 /// driven from campaign worker threads (see `sentomist-core`'s campaign
@@ -54,28 +69,24 @@ pub trait OutlierDetector: Send + Sync {
     /// A short, stable identifier ("ocsvm", "pca", ...).
     fn name(&self) -> &'static str;
 
-    /// Scores every sample; `scores[i]` corresponds to `samples[i]`.
+    /// Scores every sample; `scores[i]` corresponds to row `i`.
     ///
     /// # Errors
     ///
-    /// Returns [`MlError`] on empty/ragged input or solver failure.
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError>;
+    /// Returns [`MlError`] on empty input or solver failure.
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError>;
 }
 
-/// Validates a sample set: non-empty and rectangular. Returns the
-/// dimensionality.
-pub fn validate_samples(samples: &[Vec<f64>], need: usize) -> Result<usize, MlError> {
-    if samples.len() < need {
+/// Validates a sample matrix: at least `need` rows. Returns the
+/// dimensionality (rectangularity is guaranteed by construction).
+pub fn validate_samples(samples: &FeatureMatrix, need: usize) -> Result<usize, MlError> {
+    if samples.rows() < need {
         return Err(MlError::TooFewSamples {
-            got: samples.len(),
+            got: samples.rows(),
             need,
         });
     }
-    let d = samples[0].len();
-    if samples.iter().any(|s| s.len() != d) {
-        return Err(MlError::RaggedSamples);
-    }
-    Ok(d)
+    Ok(samples.cols())
 }
 
 /// Normalizes scores the way the paper's Figure 5 does: divide everything
@@ -128,14 +139,15 @@ mod tests {
     }
 
     #[test]
-    fn validate_catches_ragged() {
-        let e = validate_samples(&[vec![1.0], vec![1.0, 2.0]], 1).unwrap_err();
-        assert_eq!(e, MlError::RaggedSamples);
+    fn validate_catches_too_few() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0]]).unwrap();
+        let e = validate_samples(&m, 2).unwrap_err();
+        assert!(matches!(e, MlError::TooFewSamples { got: 1, need: 2 }));
     }
 
     #[test]
-    fn validate_catches_too_few() {
-        let e = validate_samples(&[vec![1.0]], 2).unwrap_err();
-        assert!(matches!(e, MlError::TooFewSamples { got: 1, need: 2 }));
+    fn validate_returns_dimension() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(validate_samples(&m, 1).unwrap(), 3);
     }
 }

@@ -9,6 +9,7 @@
 //! at least some members see them.
 
 use crate::detector::{rank_ascending, MlError, OutlierDetector};
+use crate::matrix::FeatureMatrix;
 use crate::{KnnDetector, MahalanobisDetector, OneClassSvm};
 
 /// An ensemble scoring each sample by its mean rank percentile across
@@ -17,11 +18,12 @@ use crate::{KnnDetector, MahalanobisDetector, OneClassSvm};
 /// # Examples
 ///
 /// ```
-/// use mlcore::{EnsembleDetector, OutlierDetector, rank_ascending};
+/// use mlcore::{EnsembleDetector, FeatureMatrix, OutlierDetector, rank_ascending};
 ///
-/// let mut samples: Vec<Vec<f64>> =
+/// let mut rows: Vec<Vec<f64>> =
 ///     (0..30).map(|i| vec![(i % 5) as f64 * 0.1, 0.0]).collect();
-/// samples.push(vec![7.0, -7.0]);
+/// rows.push(vec![7.0, -7.0]);
+/// let samples = FeatureMatrix::from_rows(&rows)?;
 /// let scores = EnsembleDetector::committee(0.1).score(&samples)?;
 /// assert_eq!(rank_ascending(&scores)[0], 30);
 /// # Ok::<(), mlcore::MlError>(())
@@ -110,8 +112,8 @@ impl OutlierDetector for EnsembleDetector {
         "ensemble"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
-        let l = samples.len();
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
+        let l = samples.rows();
         let mut mean_percentile = vec![0.0f64; l];
         for member in &self.members {
             let scores = member.score(samples)?;
@@ -134,6 +136,7 @@ mod tests {
             .map(|i| vec![(i % 5) as f64 * 0.1, (i % 3) as f64 * 0.1])
             .collect();
         pts.push(vec![8.0, -8.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = EnsembleDetector::committee(0.1).score(&pts).unwrap();
         assert_eq!(rank_ascending(&scores)[0], 30);
     }
@@ -147,14 +150,15 @@ mod tests {
             fn name(&self) -> &'static str {
                 "fixed"
             }
-            fn score(&self, _s: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+            fn score(&self, _s: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
                 Ok(self.0.clone())
             }
         }
         let a = Fixed(vec![-1.0, 0.0, 1.0, 2.0]);
         let b = Fixed(vec![2.0, 0.0, 1.0, -1.0]);
         let ensemble = EnsembleDetector::new(vec![Box::new(a), Box::new(b)]);
-        let scores = ensemble.score(&vec![vec![0.0]; 4]).unwrap();
+        let pts = FeatureMatrix::from_rows(&vec![vec![0.0]; 4]).unwrap();
+        let scores = ensemble.score(&pts).unwrap();
         // Samples 0 and 3 tie mid-pack; 1 is unanimously second.
         assert!((scores[0] - scores[3]).abs() < 1e-12);
         assert!(scores[1] < scores[0]);
@@ -162,7 +166,8 @@ mod tests {
 
     #[test]
     fn percentiles_bounded() {
-        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let pts = FeatureMatrix::from_rows(&rows).unwrap();
         let scores = EnsembleDetector::committee(0.3).score(&pts).unwrap();
         for s in scores {
             assert!((0.0..=1.0).contains(&s));

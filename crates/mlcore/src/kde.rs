@@ -8,6 +8,7 @@
 
 use crate::detector::{validate_samples, MlError, OutlierDetector};
 use crate::kernel::Kernel;
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Kernel-density detector configuration.
@@ -40,15 +41,16 @@ impl OutlierDetector for KdeDetector {
         "kde"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         let d = validate_samples(samples, 2)?;
         let kernel = self.config.kernel.unwrap_or(Kernel::rbf_default(d));
-        let l = samples.len();
+        let l = samples.rows();
         let gram = kernel.gram(samples);
         let scores = (0..l)
             .map(|i| {
                 // Leave-one-out density: exclude the self-kernel term.
-                let sum: f64 = (0..l).filter(|&j| j != i).map(|j| gram[i][j]).sum();
+                let gi = gram.row(i);
+                let sum: f64 = (0..l).filter(|&j| j != i).map(|j| gi[j]).sum();
                 let density = (sum / (l - 1) as f64).max(f64::MIN_POSITIVE);
                 density.ln()
             })
@@ -68,13 +70,14 @@ mod tests {
             .map(|i| vec![(i % 4) as f64 * 0.05, (i % 5) as f64 * 0.05])
             .collect();
         pts.push(vec![30.0, -30.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = KdeDetector::default().score(&pts).unwrap();
         assert_eq!(rank_ascending(&scores)[0], 20);
     }
 
     #[test]
     fn uniform_cluster_scores_equal() {
-        let pts = vec![vec![1.0, 2.0]; 10];
+        let pts = FeatureMatrix::from_rows(&vec![vec![1.0, 2.0]; 10]).unwrap();
         let scores = KdeDetector::default().score(&pts).unwrap();
         for w in scores.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-12);
@@ -88,13 +91,14 @@ mod tests {
         let mut pts = vec![vec![0.0]; 10];
         pts.push(vec![2.0]);
         pts.push(vec![2.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = KdeDetector::default().score(&pts).unwrap();
         assert!(scores[0] > scores[10]);
     }
 
     #[test]
     fn custom_kernel_respected() {
-        let pts = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]).unwrap();
         let tight = KdeDetector::with_kernel(Kernel::Rbf { gamma: 10.0 })
             .score(&pts)
             .unwrap();
@@ -109,6 +113,7 @@ mod tests {
 
     #[test]
     fn too_few_samples_rejected() {
-        assert!(KdeDetector::default().score(&[vec![1.0]]).is_err());
+        let one = FeatureMatrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(KdeDetector::default().score(&one).is_err());
     }
 }

@@ -5,6 +5,7 @@
 //! default (as in LIBSVM, which Sentomist plugs in).
 
 use crate::linalg::{dist_sq, dot};
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// A kernel function `k(x, y)`.
@@ -53,15 +54,20 @@ impl Kernel {
         }
     }
 
-    /// Full Gram matrix of a sample set (row-major, symmetric).
-    pub fn gram(self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let l = samples.len();
-        let mut q = vec![vec![0.0; l]; l];
+    /// Full Gram matrix of a sample set (dense row-major, symmetric).
+    ///
+    /// Rows are contiguous slices of the input matrix, so each kernel
+    /// evaluation streams two cache-resident rows rather than chasing
+    /// nested-`Vec` pointers.
+    pub fn gram(self, samples: &FeatureMatrix) -> FeatureMatrix {
+        let l = samples.rows();
+        let mut q = FeatureMatrix::zeros(l, l);
         for i in 0..l {
+            let xi = samples.row(i);
             for j in i..l {
-                let v = self.eval(&samples[i], &samples[j]);
-                q[i][j] = v;
-                q[j][i] = v;
+                let v = self.eval(xi, samples.row(j));
+                q.set(i, j, v);
+                q.set(j, i, v);
             }
         }
         q
@@ -99,14 +105,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(clippy::needless_range_loop)]
     fn gram_is_symmetric_with_unit_diagonal_for_rbf() {
-        let pts = vec![vec![0.0], vec![1.0], vec![3.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]).unwrap();
         let q = Kernel::rbf_default(1).gram(&pts);
         for i in 0..3 {
-            assert_eq!(q[i][i], 1.0);
+            assert_eq!(q.get(i, i), 1.0);
             for j in 0..3 {
-                assert_eq!(q[i][j], q[j][i]);
+                assert_eq!(q.get(i, j), q.get(j, i));
             }
         }
     }

@@ -27,6 +27,7 @@
 use crate::detector::{validate_samples, MlError, OutlierDetector};
 use crate::kernel::Kernel;
 use crate::linalg;
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// One-class KFD configuration.
@@ -77,7 +78,7 @@ impl OutlierDetector for KfdDetector {
         "kfd"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         let d = validate_samples(samples, 2)?;
         if self.config.components == 0 {
             return Err(MlError::BadParameter("components must be positive".into()));
@@ -86,19 +87,21 @@ impl OutlierDetector for KfdDetector {
             return Err(MlError::BadParameter("ridge must be positive".into()));
         }
         let kernel = self.config.kernel.unwrap_or(Kernel::rbf_default(d));
-        let n = samples.len();
+        let n = samples.rows();
         let gram = kernel.gram(samples);
 
         // Center the Gram matrix: K̃ = K - 1K - K1 + 1K1.
         let row_mean: Vec<f64> = gram
-            .iter()
+            .rows_iter()
             .map(|row| row.iter().sum::<f64>() / n as f64)
             .collect();
         let total_mean: f64 = row_mean.iter().sum::<f64>() / n as f64;
-        let mut centered = vec![vec![0.0; n]; n];
+        let mut centered = FeatureMatrix::zeros(n, n);
         for i in 0..n {
+            let gi = gram.row(i);
+            let ci = centered.row_mut(i);
             for j in 0..n {
-                centered[i][j] = gram[i][j] - row_mean[i] - row_mean[j] + total_mean;
+                ci[j] = gi[j] - row_mean[i] - row_mean[j] + total_mean;
             }
         }
 
@@ -117,7 +120,7 @@ impl OutlierDetector for KfdDetector {
         let scores = (0..n)
             .map(|i| {
                 let mut dist_sq = 0.0;
-                for (lambda, u) in vals.iter().zip(&vecs) {
+                for (lambda, u) in vals.iter().zip(vecs.rows_iter()) {
                     let variance = lambda / n as f64;
                     // Projection of centered φ(x_i) on component k equals
                     // u_{k,i} · sqrt(λ_k); whitened with (variance + ridge).
@@ -136,12 +139,12 @@ mod tests {
     use super::*;
     use crate::detector::rank_ascending;
 
-    fn cluster_with_outlier() -> Vec<Vec<f64>> {
+    fn cluster_with_outlier() -> FeatureMatrix {
         let mut pts: Vec<Vec<f64>> = (0..30)
             .map(|i| vec![(i % 5) as f64 * 0.1, (i % 3) as f64 * 0.1])
             .collect();
         pts.push(vec![4.0, -4.0]);
-        pts
+        FeatureMatrix::from_rows(&pts).unwrap()
     }
 
     #[test]
@@ -153,7 +156,7 @@ mod tests {
 
     #[test]
     fn identical_points_degenerate_ok() {
-        let pts = vec![vec![2.0, 2.0]; 8];
+        let pts = FeatureMatrix::from_rows(&vec![vec![2.0, 2.0]; 8]).unwrap();
         let scores = KfdDetector::default().score(&pts).unwrap();
         assert_eq!(scores, vec![0.0; 8]);
     }
@@ -170,6 +173,7 @@ mod tests {
             pts.push(vec![1.0 + (i % 4) as f64 * 0.02, 1.0]);
         }
         pts.push(vec![5.0, -5.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = KfdDetector::default().score(&pts).unwrap();
         let order = rank_ascending(&scores);
         assert_eq!(order[0], 32);
@@ -177,7 +181,7 @@ mod tests {
 
     #[test]
     fn bad_parameters_rejected() {
-        let pts = vec![vec![0.0], vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         assert!(KfdDetector::with_components(0).score(&pts).is_err());
         let bad_ridge = KfdDetector {
             config: KfdConfig {

@@ -6,6 +6,7 @@
 
 use crate::detector::{validate_samples, MlError, OutlierDetector};
 use crate::linalg::dist_sq;
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// kNN detector configuration.
@@ -42,18 +43,18 @@ impl OutlierDetector for KnnDetector {
         "knn"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         validate_samples(samples, 2)?;
         if self.config.k == 0 {
             return Err(MlError::BadParameter("k must be positive".into()));
         }
-        let k = self.config.k.min(samples.len() - 1);
+        let k = self.config.k.min(samples.rows() - 1);
         let scores = samples
-            .iter()
+            .rows_iter()
             .enumerate()
             .map(|(i, s)| {
                 let mut dists: Vec<f64> = samples
-                    .iter()
+                    .rows_iter()
                     .enumerate()
                     .filter(|(j, _)| *j != i)
                     .map(|(_, o)| dist_sq(s, o))
@@ -78,13 +79,14 @@ mod tests {
             .map(|i| vec![(i % 3) as f64 * 0.1, (i % 4) as f64 * 0.1])
             .collect();
         pts.push(vec![9.0, 9.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = KnnDetector::default().score(&pts).unwrap();
         assert_eq!(rank_ascending(&scores)[0], 10);
     }
 
     #[test]
     fn k_clamped_to_sample_count() {
-        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
         let scores = KnnDetector::with_k(100).score(&pts).unwrap();
         assert_eq!(scores.len(), 3);
         // Middle point is closest to both others.
@@ -94,7 +96,7 @@ mod tests {
 
     #[test]
     fn zero_k_rejected() {
-        let pts = vec![vec![0.0], vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         assert!(matches!(
             KnnDetector::with_k(0).score(&pts),
             Err(MlError::BadParameter(_))
@@ -103,7 +105,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_score_zero() {
-        let pts = vec![vec![3.0, 3.0]; 6];
+        let pts = FeatureMatrix::from_rows(&vec![vec![3.0, 3.0]; 6]).unwrap();
         let scores = KnnDetector::with_k(2).score(&pts).unwrap();
         assert_eq!(scores, vec![0.0; 6]);
     }

@@ -30,6 +30,7 @@ pub mod kfd;
 pub mod knn;
 pub mod linalg;
 pub mod mahalanobis;
+pub mod matrix;
 pub mod ocsvm;
 pub mod pca;
 pub mod scale;
@@ -45,6 +46,7 @@ pub use kernel::Kernel;
 pub use kfd::KfdDetector;
 pub use knn::KnnDetector;
 pub use mahalanobis::MahalanobisDetector;
+pub use matrix::FeatureMatrix;
 pub use ocsvm::{OcSvmConfig, OcSvmModel, OneClassSvm};
 pub use pca::{PcaConfig, PcaDetector};
 pub use scale::Scaler;

@@ -1,21 +1,24 @@
 //! Small dense linear-algebra helpers: vector ops, covariance, a Jacobi
 //! eigensolver for symmetric matrices, and Cholesky factorization.
 //!
-//! Everything operates on `Vec<f64>`/row-major `Vec<Vec<f64>>`; dimensions
-//! in this project are small (instruction counters of a few hundred
-//! entries), so clarity beats blocking and SIMD.
+//! Everything operates on `&[f64]` vectors and dense row-major
+//! [`FeatureMatrix`] storage; dimensions in this project are small
+//! (instruction counters of a few hundred entries), so clarity beats
+//! blocking and SIMD — but the flat layout keeps every inner loop on
+//! contiguous memory.
 //!
 //! Index-based loops are deliberate here: matrix kernels read much more
 //! naturally with explicit `(i, j, k)` indices than with iterator chains.
 #![allow(clippy::needless_range_loop)]
 
+use crate::matrix::FeatureMatrix;
 use std::error::Error;
 use std::fmt;
 
 /// Numeric failure in a linear-algebra routine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinalgError {
-    /// Input matrix was empty or ragged.
+    /// Input matrix was empty or not square.
     BadShape,
     /// Cholesky factorization hit a non-positive pivot (matrix not
     /// positive definite).
@@ -27,7 +30,7 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::BadShape => f.write_str("empty or ragged matrix"),
+            LinalgError::BadShape => f.write_str("empty or non-square matrix"),
             LinalgError::NotPositiveDefinite => f.write_str("matrix is not positive definite"),
             LinalgError::NoConvergence => f.write_str("eigensolver did not converge"),
         }
@@ -56,22 +59,21 @@ pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Mean of a set of row vectors.
+/// Mean of the matrix's rows.
 ///
 /// # Panics
 ///
-/// Panics if `rows` is empty or ragged.
-pub fn mean(rows: &[Vec<f64>]) -> Vec<f64> {
+/// Panics if the matrix has no rows.
+pub fn mean(rows: &FeatureMatrix) -> Vec<f64> {
     assert!(!rows.is_empty());
-    let d = rows[0].len();
+    let d = rows.cols();
     let mut m = vec![0.0; d];
-    for r in rows {
-        assert_eq!(r.len(), d, "ragged rows");
+    for r in rows.rows_iter() {
         for (mi, &v) in m.iter_mut().zip(r) {
             *mi += v;
         }
     }
-    let n = rows.len() as f64;
+    let n = rows.rows() as f64;
     for mi in &mut m {
         *mi /= n;
     }
@@ -84,97 +86,112 @@ pub fn mean(rows: &[Vec<f64>]) -> Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics if `rows` is empty or ragged.
-pub fn covariance(rows: &[Vec<f64>], mean: &[f64]) -> Vec<Vec<f64>> {
+/// Panics if `mean.len() != rows.cols()`.
+pub fn covariance(rows: &FeatureMatrix, mean: &[f64]) -> FeatureMatrix {
     let d = mean.len();
-    let n = rows.len() as f64;
-    let mut cov = vec![vec![0.0; d]; d];
-    for r in rows {
+    assert_eq!(d, rows.cols());
+    let n = rows.rows() as f64;
+    let mut cov = FeatureMatrix::zeros(d, d);
+    for r in rows.rows_iter() {
         for i in 0..d {
             let di = r[i] - mean[i];
+            let ci = cov.row_mut(i);
             for j in i..d {
-                cov[i][j] += di * (r[j] - mean[j]);
+                ci[j] += di * (r[j] - mean[j]);
             }
         }
     }
     for i in 0..d {
         for j in i..d {
-            cov[i][j] /= n;
-            cov[j][i] = cov[i][j];
+            let v = cov.get(i, j) / n;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
         }
     }
     cov
 }
 
+fn require_square(matrix: &FeatureMatrix) -> Result<usize, LinalgError> {
+    let n = matrix.rows();
+    if n == 0 || matrix.cols() != n {
+        return Err(LinalgError::BadShape);
+    }
+    Ok(n)
+}
+
 /// Jacobi eigendecomposition of a symmetric matrix.
 ///
 /// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
-/// `eigenvectors[k]` is the unit eigenvector of `eigenvalues[k]`.
+/// row `k` of the eigenvector matrix is the unit eigenvector of
+/// `eigenvalues[k]`.
 ///
 /// # Errors
 ///
-/// [`LinalgError::BadShape`] for empty/ragged input;
+/// [`LinalgError::BadShape`] for empty/non-square input;
 /// [`LinalgError::NoConvergence`] if 100 sweeps do not reduce the
 /// off-diagonal mass below tolerance.
-pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>), LinalgError> {
-    let n = matrix.len();
-    if n == 0 || matrix.iter().any(|r| r.len() != n) {
-        return Err(LinalgError::BadShape);
-    }
-    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+pub fn jacobi_eigen(matrix: &FeatureMatrix) -> Result<(Vec<f64>, FeatureMatrix), LinalgError> {
+    let n = require_square(matrix)?;
+    let mut a = matrix.clone();
     // v starts as identity; columns accumulate the rotations.
-    let mut v = vec![vec![0.0; n]; n];
-    for (i, row) in v.iter_mut().enumerate() {
-        row[i] = 1.0;
+    let mut v = FeatureMatrix::zeros(n, n);
+    for i in 0..n {
+        v.set(i, i, 1.0);
     }
 
-    let off = |a: &[Vec<f64>]| -> f64 {
+    let off = |a: &FeatureMatrix| -> f64 {
         let mut s = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
-                s += a[i][j] * a[i][j];
+                let x = a.get(i, j);
+                s += x * x;
             }
         }
         s
     };
-    let scale: f64 = (0..n).map(|i| a[i][i].abs()).sum::<f64>().max(1e-300);
+    let scale: f64 = (0..n).map(|i| a.get(i, i).abs()).sum::<f64>().max(1e-300);
     let tol = 1e-20 * scale * scale;
 
     for _sweep in 0..100 {
         if off(&a) <= tol {
             let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
-                .map(|k| (a[k][k], (0..n).map(|r| v[r][k]).collect()))
+                .map(|k| (a.get(k, k), (0..n).map(|r| v.get(r, k)).collect()))
                 .collect();
             pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
-            let (vals, vecs) = pairs.into_iter().unzip();
+            let mut vals = Vec::with_capacity(n);
+            let mut vecs = FeatureMatrix::with_capacity(n, n);
+            for (val, vec) in pairs {
+                vals.push(val);
+                vecs.push_row(&vec);
+            }
             return Ok((vals, vecs));
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                if a[p][q].abs() < 1e-300 {
+                if a.get(p, q).abs() < 1e-300 {
                     continue;
                 }
-                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let theta = (a.get(q, q) - a.get(p, p)) / (2.0 * a.get(p, q));
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
                 for k in 0..n {
-                    let akp = a[k][p];
-                    let akq = a[k][q];
-                    a[k][p] = c * akp - s * akq;
-                    a[k][q] = s * akp + c * akq;
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
                 }
                 for k in 0..n {
-                    let apk = a[p][k];
-                    let aqk = a[q][k];
-                    a[p][k] = c * apk - s * aqk;
-                    a[q][k] = s * apk + c * aqk;
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
                 }
-                for row in v.iter_mut() {
-                    let vkp = row[p];
-                    let vkq = row[q];
-                    row[p] = c * vkp - s * vkq;
-                    row[q] = s * vkp + c * vkq;
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
                 }
             }
         }
@@ -187,27 +204,24 @@ pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>), Li
 ///
 /// # Errors
 ///
-/// [`LinalgError::BadShape`] for empty/ragged input;
+/// [`LinalgError::BadShape`] for empty/non-square input;
 /// [`LinalgError::NotPositiveDefinite`] on a non-positive pivot.
-pub fn cholesky(matrix: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
-    let n = matrix.len();
-    if n == 0 || matrix.iter().any(|r| r.len() != n) {
-        return Err(LinalgError::BadShape);
-    }
-    let mut l = vec![vec![0.0; n]; n];
+pub fn cholesky(matrix: &FeatureMatrix) -> Result<FeatureMatrix, LinalgError> {
+    let n = require_square(matrix)?;
+    let mut l = FeatureMatrix::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
-            let mut sum = matrix[i][j];
+            let mut sum = matrix.get(i, j);
             for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+                sum -= l.get(i, k) * l.get(j, k);
             }
             if i == j {
                 if sum <= 0.0 {
                     return Err(LinalgError::NotPositiveDefinite);
                 }
-                l[i][j] = sum.sqrt();
+                l.set(i, j, sum.sqrt());
             } else {
-                l[i][j] = sum / l[j][j];
+                l.set(i, j, sum / l.get(j, j));
             }
         }
     }
@@ -219,26 +233,27 @@ pub fn cholesky(matrix: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
 /// # Panics
 ///
 /// Panics if shapes disagree.
-pub fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
-    let n = l.len();
+pub fn cholesky_solve(l: &FeatureMatrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
     assert_eq!(b.len(), n);
     // Forward: L y = b.
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
+        let li = l.row(i);
         for k in 0..i {
-            sum -= l[i][k] * y[k];
+            sum -= li[k] * y[k];
         }
-        y[i] = sum / l[i][i];
+        y[i] = sum / li[i];
     }
     // Backward: Lᵀ x = y.
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
         for k in (i + 1)..n {
-            sum -= l[k][i] * x[k];
+            sum -= l.get(k, i) * x[k];
         }
-        x[i] = sum / l[i][i];
+        x[i] = sum / l.get(i, i);
     }
     x
 }
@@ -248,26 +263,24 @@ pub fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
 /// full Jacobi sweep (O(n³) per sweep) is too slow (e.g. Gram matrices of
 /// a thousand samples).
 ///
-/// Returns `(eigenvalues, eigenvectors)` in descending eigenvalue order;
-/// iteration stops early for eigenvalues that vanish (rank-deficient
-/// input), so fewer than `k` pairs may be returned.
+/// Returns `(eigenvalues, eigenvectors)` in descending eigenvalue order
+/// with eigenvectors as matrix rows; iteration stops early for
+/// eigenvalues that vanish (rank-deficient input), so fewer than `k`
+/// pairs may be returned.
 ///
 /// # Errors
 ///
-/// [`LinalgError::BadShape`] for empty or ragged input.
+/// [`LinalgError::BadShape`] for empty or non-square input.
 pub fn top_eigen_psd(
-    matrix: &[Vec<f64>],
+    matrix: &FeatureMatrix,
     k: usize,
     iterations: usize,
-) -> Result<(Vec<f64>, Vec<Vec<f64>>), LinalgError> {
-    let n = matrix.len();
-    if n == 0 || matrix.iter().any(|r| r.len() != n) {
-        return Err(LinalgError::BadShape);
-    }
-    let mut deflated: Vec<Vec<f64>> = matrix.to_vec();
+) -> Result<(Vec<f64>, FeatureMatrix), LinalgError> {
+    let n = require_square(matrix)?;
+    let mut deflated = matrix.clone();
     let mut vals = Vec::new();
-    let mut vecs: Vec<Vec<f64>> = Vec::new();
-    let trace: f64 = (0..n).map(|i| matrix[i][i]).sum();
+    let mut vecs = FeatureMatrix::new(n);
+    let trace: f64 = (0..n).map(|i| matrix.get(i, i)).sum();
     let negligible = (trace / n as f64).abs() * 1e-10 + 1e-300;
     for round in 0..k.min(n) {
         // Deterministic, non-degenerate start vector.
@@ -283,7 +296,7 @@ pub fn top_eigen_psd(
             // w = A v.
             let mut w = vec![0.0; n];
             for (i, wi) in w.iter_mut().enumerate() {
-                *wi = dot(&deflated[i], &v);
+                *wi = dot(deflated.row(i), &v);
             }
             lambda = dot(&w, &v);
             let norm = dot(&w, &w).sqrt();
@@ -301,12 +314,13 @@ pub fn top_eigen_psd(
         }
         // Deflate: A <- A - lambda v vᵀ.
         for i in 0..n {
+            let di = deflated.row_mut(i);
             for j in 0..n {
-                deflated[i][j] -= lambda * v[i] * v[j];
+                di[j] -= lambda * v[i] * v[j];
             }
         }
         vals.push(lambda);
-        vecs.push(v);
+        vecs.push_row(&v);
     }
     Ok((vals, vecs))
 }
@@ -319,6 +333,10 @@ mod tests {
         (a - b).abs() < eps
     }
 
+    fn m(rows: &[Vec<f64>]) -> FeatureMatrix {
+        FeatureMatrix::from_rows(rows).unwrap()
+    }
+
     #[test]
     fn dot_and_dist() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
@@ -327,25 +345,25 @@ mod tests {
 
     #[test]
     fn mean_of_rows() {
-        let m = mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
-        assert_eq!(m, vec![2.0, 3.0]);
+        let v = mean(&m(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        assert_eq!(v, vec![2.0, 3.0]);
     }
 
     #[test]
     fn covariance_of_correlated_data() {
-        let rows = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
-        let m = mean(&rows);
-        let c = covariance(&rows, &m);
+        let rows = m(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let mu = mean(&rows);
+        let c = covariance(&rows, &mu);
         // var(x) = 2/3, cov(x, 2x) = 4/3, var(2x) = 8/3.
-        assert!(approx(c[0][0], 2.0 / 3.0, 1e-12));
-        assert!(approx(c[0][1], 4.0 / 3.0, 1e-12));
-        assert!(approx(c[1][1], 8.0 / 3.0, 1e-12));
-        assert_eq!(c[0][1], c[1][0]);
+        assert!(approx(c.get(0, 0), 2.0 / 3.0, 1e-12));
+        assert!(approx(c.get(0, 1), 4.0 / 3.0, 1e-12));
+        assert!(approx(c.get(1, 1), 8.0 / 3.0, 1e-12));
+        assert_eq!(c.get(0, 1), c.get(1, 0));
     }
 
     #[test]
     fn jacobi_on_diagonal_matrix() {
-        let (vals, _) = jacobi_eigen(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let (vals, _) = jacobi_eigen(&m(&[vec![3.0, 0.0], vec![0.0, 1.0]])).unwrap();
         assert!(approx(vals[0], 3.0, 1e-12));
         assert!(approx(vals[1], 1.0, 1e-12));
     }
@@ -353,80 +371,82 @@ mod tests {
     #[test]
     fn jacobi_known_eigensystem() {
         // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1), (1,-1).
-        let (vals, vecs) = jacobi_eigen(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let (vals, vecs) = jacobi_eigen(&m(&[vec![2.0, 1.0], vec![1.0, 2.0]])).unwrap();
         assert!(approx(vals[0], 3.0, 1e-10));
         assert!(approx(vals[1], 1.0, 1e-10));
-        let v0 = &vecs[0];
+        let v0 = vecs.row(0);
         assert!(approx(v0[0].abs(), v0[1].abs(), 1e-10));
         // Orthonormality.
-        assert!(approx(dot(&vecs[0], &vecs[0]), 1.0, 1e-10));
-        assert!(approx(dot(&vecs[0], &vecs[1]), 0.0, 1e-10));
+        assert!(approx(dot(vecs.row(0), vecs.row(0)), 1.0, 1e-10));
+        assert!(approx(dot(vecs.row(0), vecs.row(1)), 0.0, 1e-10));
     }
 
     #[test]
     fn jacobi_reconstructs_matrix() {
-        let a = vec![
+        let a = m(&[
             vec![4.0, 1.0, 0.5],
             vec![1.0, 3.0, 0.2],
             vec![0.5, 0.2, 2.0],
-        ];
+        ]);
         let (vals, vecs) = jacobi_eigen(&a).unwrap();
         // A = Σ λ_k v_k v_kᵀ.
         for i in 0..3 {
             for j in 0..3 {
-                let recon: f64 = (0..3).map(|k| vals[k] * vecs[k][i] * vecs[k][j]).sum();
-                assert!(approx(recon, a[i][j], 1e-9), "({i},{j})");
+                let recon: f64 = (0..3)
+                    .map(|k| vals[k] * vecs.get(k, i) * vecs.get(k, j))
+                    .sum();
+                assert!(approx(recon, a.get(i, j), 1e-9), "({i},{j})");
             }
         }
     }
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let a = vec![
+        let a = m(&[
             vec![1.0, 0.0, 0.0],
             vec![0.0, 5.0, 0.0],
             vec![0.0, 0.0, 3.0],
-        ];
+        ]);
         let (vals, _) = jacobi_eigen(&a).unwrap();
         assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
     }
 
     #[test]
     fn cholesky_round_trip() {
-        let a = vec![
+        let a = m(&[
             vec![4.0, 2.0, 0.6],
             vec![2.0, 5.0, 1.0],
             vec![0.6, 1.0, 3.0],
-        ];
+        ]);
         let l = cholesky(&a).unwrap();
         for i in 0..3 {
             for j in 0..3 {
-                let recon: f64 = (0..3).map(|k| l[i][k] * l[j][k]).sum();
-                assert!(approx(recon, a[i][j], 1e-12));
+                let recon: f64 = (0..3).map(|k| l.get(i, k) * l.get(j, k)).sum();
+                assert!(approx(recon, a.get(i, j), 1e-12));
             }
         }
         // Solve A x = b and verify.
         let b = vec![1.0, 2.0, 3.0];
         let x = cholesky_solve(&l, &b);
         for i in 0..3 {
-            let ax: f64 = (0..3).map(|k| a[i][k] * x[k]).sum();
+            let ax: f64 = (0..3).map(|k| a.get(i, k) * x[k]).sum();
             assert!(approx(ax, b[i], 1e-10));
         }
     }
 
     #[test]
     fn cholesky_rejects_indefinite() {
-        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        let a = m(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
         assert_eq!(cholesky(&a), Err(LinalgError::NotPositiveDefinite));
     }
 
     #[test]
     fn top_eigen_matches_jacobi_on_small_matrix() {
-        let a = vec![
+        let a = m(&[
             vec![4.0, 1.0, 0.5],
             vec![1.0, 3.0, 0.2],
             vec![0.5, 0.2, 2.0],
-        ];
+        ]);
         let (jv, jvec) = jacobi_eigen(&a).unwrap();
         let (pv, pvec) = top_eigen_psd(&a, 3, 500).unwrap();
         for k in 0..3 {
@@ -437,7 +457,7 @@ mod tests {
                 jv[k]
             );
             // Eigenvectors match up to sign.
-            let d = dot(&pvec[k], &jvec[k]).abs();
+            let d = dot(pvec.row(k), jvec.row(k)).abs();
             assert!(approx(d, 1.0, 1e-5), "v_{k} alignment {d}");
         }
     }
@@ -446,24 +466,25 @@ mod tests {
     fn top_eigen_stops_at_rank() {
         // Rank-1 matrix: v vᵀ with v = (1,2,2), eigenvalue ||v||² = 9.
         let v = [1.0, 2.0, 2.0];
-        let a: Vec<Vec<f64>> = (0..3)
+        let rows: Vec<Vec<f64>> = (0..3)
             .map(|i| (0..3).map(|j| v[i] * v[j]).collect())
             .collect();
-        let (vals, vecs) = top_eigen_psd(&a, 3, 300).unwrap();
+        let (vals, vecs) = top_eigen_psd(&m(&rows), 3, 300).unwrap();
         assert_eq!(vals.len(), 1, "rank-1 input yields one pair: {vals:?}");
         assert!(approx(vals[0], 9.0, 1e-8));
-        assert_eq!(vecs.len(), 1);
+        assert_eq!(vecs.rows(), 1);
     }
 
     #[test]
     fn top_eigen_bad_shape() {
-        assert_eq!(top_eigen_psd(&[], 1, 10), Err(LinalgError::BadShape));
+        let rect = m(&[vec![1.0, 2.0]]);
+        assert_eq!(top_eigen_psd(&rect, 1, 10), Err(LinalgError::BadShape));
     }
 
     #[test]
     fn bad_shapes_rejected() {
-        assert_eq!(jacobi_eigen(&[]), Err(LinalgError::BadShape));
-        assert_eq!(jacobi_eigen(&[vec![1.0, 2.0]]), Err(LinalgError::BadShape));
-        assert_eq!(cholesky(&[]), Err(LinalgError::BadShape));
+        let rect = m(&[vec![1.0, 2.0]]);
+        assert_eq!(jacobi_eigen(&rect), Err(LinalgError::BadShape));
+        assert_eq!(cholesky(&rect), Err(LinalgError::BadShape));
     }
 }

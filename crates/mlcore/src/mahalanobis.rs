@@ -7,6 +7,7 @@
 
 use crate::detector::{validate_samples, MlError, OutlierDetector};
 use crate::linalg::{self};
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Mahalanobis detector configuration.
@@ -43,7 +44,7 @@ impl OutlierDetector for MahalanobisDetector {
         "mahalanobis"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         let d = validate_samples(samples, 2)?;
         let lambda = self.config.shrinkage;
         if !(0.0..=1.0).contains(&lambda) || lambda <= 0.0 {
@@ -53,11 +54,12 @@ impl OutlierDetector for MahalanobisDetector {
         }
         let mean = linalg::mean(samples);
         let mut cov = linalg::covariance(samples, &mean);
-        let trace: f64 = (0..d).map(|i| cov[i][i]).sum();
+        let trace: f64 = (0..d).map(|i| cov.get(i, i)).sum();
         // For fully degenerate data (trace 0) fall back to the identity so
         // every sample scores 0.
         let ridge = lambda * (trace / d as f64).max(1e-12);
-        for (i, row) in cov.iter_mut().enumerate() {
+        for i in 0..d {
+            let row = cov.row_mut(i);
             for (j, v) in row.iter_mut().enumerate() {
                 *v *= 1.0 - lambda;
                 if i == j {
@@ -67,7 +69,7 @@ impl OutlierDetector for MahalanobisDetector {
         }
         let l = linalg::cholesky(&cov)?;
         let scores = samples
-            .iter()
+            .rows_iter()
             .map(|s| {
                 let centered: Vec<f64> = s.iter().zip(&mean).map(|(a, m)| a - m).collect();
                 let solved = linalg::cholesky_solve(&l, &centered);
@@ -89,6 +91,7 @@ mod tests {
             .map(|i| vec![(i % 4) as f64 * 0.1, (i % 5) as f64 * 0.1])
             .collect();
         pts.push(vec![50.0, -50.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = MahalanobisDetector::default().score(&pts).unwrap();
         assert_eq!(rank_ascending(&scores)[0], 20);
     }
@@ -102,10 +105,11 @@ mod tests {
         let across = vec![5.66, -5.66]; // same Euclidean norm as (8,8)
         pts.push(along);
         pts.push(across);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = MahalanobisDetector::with_shrinkage(0.05)
             .score(&pts)
             .unwrap();
-        let n = pts.len();
+        let n = pts.rows();
         assert!(
             scores[n - 1] < scores[n - 2],
             "across-ridge point must be more anomalous"
@@ -114,7 +118,7 @@ mod tests {
 
     #[test]
     fn degenerate_constant_data_ok() {
-        let pts = vec![vec![4.0, 4.0]; 8];
+        let pts = FeatureMatrix::from_rows(&vec![vec![4.0, 4.0]; 8]).unwrap();
         let scores = MahalanobisDetector::default().score(&pts).unwrap();
         for s in scores {
             assert!(s.abs() < 1e-9);
@@ -123,7 +127,7 @@ mod tests {
 
     #[test]
     fn bad_shrinkage_rejected() {
-        let pts = vec![vec![0.0], vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         assert!(MahalanobisDetector::with_shrinkage(0.0)
             .score(&pts)
             .is_err());

@@ -25,10 +25,13 @@
 //!
 //! Sequential minimal optimization with maximal-violating-pair working-set
 //! selection and a dense precomputed Gram matrix (sample counts in this
-//! project are ≤ a few thousand).
+//! project are ≤ a few thousand). Samples and the Gram matrix are both
+//! dense row-major [`FeatureMatrix`] storage, so every inner loop runs
+//! over contiguous row slices.
 
 use crate::detector::{validate_samples, MlError, OutlierDetector};
 use crate::kernel::Kernel;
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// One-class SVM configuration.
@@ -60,12 +63,13 @@ impl Default for OcSvmConfig {
 /// # Examples
 ///
 /// ```
-/// use mlcore::{OneClassSvm, OutlierDetector, rank_ascending};
+/// use mlcore::{FeatureMatrix, OneClassSvm, OutlierDetector, rank_ascending};
 ///
 /// // A tight cluster and one far point: the far point scores lowest.
-/// let mut samples: Vec<Vec<f64>> =
+/// let mut rows: Vec<Vec<f64>> =
 ///     (0..40).map(|i| vec![(i % 5) as f64 * 0.1, 0.0]).collect();
-/// samples.push(vec![9.0, 9.0]);
+/// rows.push(vec![9.0, 9.0]);
+/// let samples = FeatureMatrix::from_rows(&rows)?;
 /// let scores = OneClassSvm::with_nu(0.1).score(&samples)?;
 /// assert_eq!(rank_ascending(&scores)[0], 40);
 /// # Ok::<(), mlcore::MlError>(())
@@ -94,11 +98,10 @@ impl OneClassSvm {
     /// # Errors
     ///
     /// [`MlError::BadParameter`] for ν outside `(0, 1]` or `ν·l < 1`;
-    /// [`MlError::TooFewSamples`] / [`MlError::RaggedSamples`] for bad
-    /// input.
-    pub fn fit(&self, samples: &[Vec<f64>]) -> Result<OcSvmModel, MlError> {
+    /// [`MlError::TooFewSamples`] for bad input.
+    pub fn fit(&self, samples: &FeatureMatrix) -> Result<OcSvmModel, MlError> {
         let d = validate_samples(samples, 2)?;
-        let l = samples.len();
+        let l = samples.rows();
         let nu = self.config.nu;
         if !(0.0..=1.0).contains(&nu) || nu <= 0.0 {
             return Err(MlError::BadParameter(format!("nu = {nu} outside (0, 1]")));
@@ -125,14 +128,15 @@ impl OneClassSvm {
 
         // Gradient G = Qα.
         let mut grad = vec![0.0f64; l];
-        for i in 0..l {
+        for (i, g_out) in grad.iter_mut().enumerate() {
+            let qi = q.row(i);
             let mut g = 0.0;
             for j in 0..l {
                 if alpha[j] > 0.0 {
-                    g += q[i][j] * alpha[j];
+                    g += qi[j] * alpha[j];
                 }
             }
-            grad[i] = g;
+            *g_out = g;
         }
 
         let eps = self.config.tolerance;
@@ -165,8 +169,12 @@ impl OneClassSvm {
                 converged = true;
                 break;
             }
-            // Analytic step along (e_i - e_j).
-            let quad = (q[i][i] + q[j][j] - 2.0 * q[i][j]).max(tau);
+            // Analytic step along (e_i - e_j). Q is symmetric, so the
+            // column reads Q[k][i], Q[k][j] of the gradient update are the
+            // contiguous row slices Q[i], Q[j].
+            let qi = q.row(i);
+            let qj = q.row(j);
+            let quad = (qi[i] + qj[j] - 2.0 * qi[j]).max(tau);
             let mut delta = (grad[j] - grad[i]) / quad;
             delta = delta.min(1.0 - alpha[i]).min(alpha[j]);
             if delta <= 0.0 {
@@ -177,7 +185,7 @@ impl OneClassSvm {
             alpha[i] += delta;
             alpha[j] -= delta;
             for k in 0..l {
-                grad[k] += delta * (q[k][i] - q[k][j]);
+                grad[k] += delta * (qi[k] - qj[k]);
             }
         }
 
@@ -205,13 +213,17 @@ impl OneClassSvm {
         };
 
         let decision = grad.iter().map(|&g| g - rho).collect();
+        let mut support = FeatureMatrix::new(samples.cols());
+        let mut alphas = Vec::new();
+        for (i, &a) in alpha.iter().enumerate() {
+            if a > 0.0 {
+                support.push_row(samples.row(i));
+                alphas.push(a);
+            }
+        }
         Ok(OcSvmModel {
-            support: samples
-                .iter()
-                .zip(&alpha)
-                .filter(|(_, &a)| a > 0.0)
-                .map(|(s, &a)| (s.clone(), a))
-                .collect(),
+            support,
+            alphas,
             rho,
             kernel,
             decision,
@@ -226,7 +238,7 @@ impl OutlierDetector for OneClassSvm {
         "ocsvm"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         Ok(self.fit(samples)?.decision)
     }
 }
@@ -234,8 +246,10 @@ impl OutlierDetector for OneClassSvm {
 /// A fitted one-class SVM.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OcSvmModel {
-    /// Support vectors with their dual coefficients `α_i > 0`.
-    pub support: Vec<(Vec<f64>, f64)>,
+    /// Support vectors, one per row, in training order.
+    pub support: FeatureMatrix,
+    /// Dual coefficients `α_i > 0`, aligned with the support rows.
+    pub alphas: Vec<f64>,
     /// Decision offset ρ.
     pub rho: f64,
     /// The kernel used.
@@ -254,7 +268,8 @@ impl OcSvmModel {
     pub fn decide(&self, x: &[f64]) -> f64 {
         let sum: f64 = self
             .support
-            .iter()
+            .rows_iter()
+            .zip(&self.alphas)
             .map(|(sv, a)| a * self.kernel.eval(sv, x))
             .sum();
         sum - self.rho
@@ -262,7 +277,7 @@ impl OcSvmModel {
 
     /// Number of support vectors.
     pub fn num_support(&self) -> usize {
-        self.support.len()
+        self.support.rows()
     }
 }
 
@@ -272,7 +287,7 @@ mod tests {
     use crate::detector::rank_ascending;
 
     /// A tight cluster plus one far outlier.
-    fn cluster_with_outlier() -> Vec<Vec<f64>> {
+    fn cluster_with_outlier() -> FeatureMatrix {
         let mut pts: Vec<Vec<f64>> = (0..40)
             .map(|i| {
                 let t = i as f64 * 0.157;
@@ -280,7 +295,7 @@ mod tests {
             })
             .collect();
         pts.push(vec![5.0, 5.0]);
-        pts
+        FeatureMatrix::from_rows(&pts).unwrap()
     }
 
     #[test]
@@ -297,15 +312,16 @@ mod tests {
         let pts = cluster_with_outlier();
         let svm = OneClassSvm::with_nu(0.2);
         let model = svm.fit(&pts).unwrap();
-        let sum: f64 = model.support.iter().map(|(_, a)| a).sum();
-        let expected = 0.2 * pts.len() as f64;
+        let sum: f64 = model.alphas.iter().sum();
+        let expected = 0.2 * pts.rows() as f64;
         assert!(
             (sum - expected).abs() < 1e-9,
             "Σα = ν·l violated: {sum} vs {expected}"
         );
-        for (_, a) in &model.support {
+        for a in &model.alphas {
             assert!((0.0..=1.0 + 1e-12).contains(a), "box constraint: {a}");
         }
+        assert_eq!(model.support.rows(), model.alphas.len());
         assert!(model.converged);
     }
 
@@ -321,7 +337,7 @@ mod tests {
             let scores = detector.score(&pts).unwrap();
             let margin = detector.config.tolerance * 10.0;
             let outliers = scores.iter().filter(|&&s| s < -margin).count();
-            let bound = (nu * pts.len() as f64).ceil() as usize;
+            let bound = (nu * pts.rows() as f64).ceil() as usize;
             assert!(
                 outliers <= bound,
                 "nu={nu}: {outliers} outliers > bound {bound}"
@@ -333,7 +349,7 @@ mod tests {
     fn decide_matches_training_decision() {
         let pts = cluster_with_outlier();
         let model = OneClassSvm::with_nu(0.1).fit(&pts).unwrap();
-        for (i, p) in pts.iter().enumerate() {
+        for (i, p) in pts.rows_iter().enumerate() {
             assert!(
                 (model.decide(p) - model.decision[i]).abs() < 1e-8,
                 "sample {i}"
@@ -356,6 +372,7 @@ mod tests {
         }
         // One true outlier far from both.
         pts.push(vec![10.0, -10.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         // ν must give the dual enough mass (ν·l ≫ 1) for ρ to exceed the
         // outlier's self-kernel term; with RBF and a vanishing
         // cross-kernel, tiny ν·l leaves isolated points on the boundary
@@ -371,7 +388,7 @@ mod tests {
 
     #[test]
     fn bad_nu_rejected() {
-        let pts = vec![vec![0.0], vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         assert!(matches!(
             OneClassSvm::with_nu(0.0).score(&pts),
             Err(MlError::BadParameter(_))
@@ -389,7 +406,7 @@ mod tests {
 
     #[test]
     fn identical_points_all_score_equal() {
-        let pts = vec![vec![2.0, 3.0]; 20];
+        let pts = FeatureMatrix::from_rows(&vec![vec![2.0, 3.0]; 20]).unwrap();
         let scores = OneClassSvm::with_nu(0.2).score(&pts).unwrap();
         for w in scores.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9);
@@ -405,13 +422,14 @@ mod tests {
         };
         cfg.tolerance = 1e-6;
         let detector = OneClassSvm { config: cfg };
-        let pts = vec![
+        let pts = FeatureMatrix::from_rows(&[
             vec![1.0, 0.0],
             vec![1.1, 0.1],
             vec![0.9, 0.0],
             vec![1.0, 0.1],
             vec![1.05, 0.02],
-        ];
+        ])
+        .unwrap();
         let scores = detector.score(&pts).unwrap();
         assert_eq!(scores.len(), 5);
     }

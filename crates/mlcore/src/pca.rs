@@ -8,6 +8,7 @@
 
 use crate::detector::{validate_samples, MlError, OutlierDetector};
 use crate::linalg::{self, LinalgError};
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// PCA detector configuration.
@@ -60,7 +61,7 @@ impl OutlierDetector for PcaDetector {
         "pca"
     }
 
-    fn score(&self, samples: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+    fn score(&self, samples: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         validate_samples(samples, 2)?;
         let frac = self.config.variance_fraction;
         if !(0.0..=1.0).contains(&frac) || frac <= 0.0 {
@@ -74,7 +75,7 @@ impl OutlierDetector for PcaDetector {
         let total: f64 = vals.iter().filter(|&&v| v > 0.0).sum();
         if total <= 0.0 {
             // Degenerate data (all points identical): zero error everywhere.
-            return Ok(vec![0.0; samples.len()]);
+            return Ok(vec![0.0; samples.rows()]);
         }
         let mut kept = 0usize;
         let mut acc = 0.0;
@@ -96,18 +97,15 @@ impl OutlierDetector for PcaDetector {
         if total > 0.0 && vals.len() > 1 {
             kept = kept.min(vals.len() - 1);
         }
-        let basis = &vecs[..kept];
-
         let scores = samples
-            .iter()
+            .rows_iter()
             .map(|s| {
                 let centered: Vec<f64> = s.iter().zip(&mean).map(|(a, m)| a - m).collect();
                 // Residual² = ||centered||² − Σ projections².
                 let norm_sq: f64 = centered.iter().map(|v| v * v).sum();
-                let proj_sq: f64 = basis
-                    .iter()
+                let proj_sq: f64 = (0..kept)
                     .map(|b| {
-                        let p = linalg::dot(b, &centered);
+                        let p = linalg::dot(vecs.row(b), &centered);
                         p * p
                     })
                     .sum();
@@ -130,13 +128,15 @@ mod tests {
             .map(|i| vec![i as f64, i as f64 + (i % 3) as f64 * 0.01])
             .collect();
         pts.push(vec![20.0, -20.0]);
+        let pts = FeatureMatrix::from_rows(&pts).unwrap();
         let scores = PcaDetector::with_variance(0.8).score(&pts).unwrap();
         assert_eq!(rank_ascending(&scores)[0], 40);
     }
 
     #[test]
     fn on_subspace_points_score_near_zero() {
-        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let pts = FeatureMatrix::from_rows(&rows).unwrap();
         let scores = PcaDetector::with_variance(0.99).score(&pts).unwrap();
         for s in scores {
             assert!(s.abs() < 1e-5, "residual should vanish on the line: {s}");
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn identical_points_degenerate_ok() {
-        let pts = vec![vec![1.0, 1.0]; 5];
+        let pts = FeatureMatrix::from_rows(&vec![vec![1.0, 1.0]; 5]).unwrap();
         let scores = PcaDetector::default().score(&pts).unwrap();
         assert_eq!(scores, vec![0.0; 5]);
     }
@@ -159,19 +159,20 @@ mod tests {
             },
         };
         // Full-rank 2-D data with a cap of 1 component: residuals nonzero.
-        let pts = vec![
+        let pts = FeatureMatrix::from_rows(&[
             vec![0.0, 0.0],
             vec![1.0, 0.5],
             vec![2.0, -0.5],
             vec![3.0, 0.2],
-        ];
+        ])
+        .unwrap();
         let scores = detector.score(&pts).unwrap();
         assert!(scores.iter().any(|&s| s < -1e-6));
     }
 
     #[test]
     fn bad_fraction_rejected() {
-        let pts = vec![vec![0.0], vec![1.0]];
+        let pts = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         assert!(PcaDetector::with_variance(0.0).score(&pts).is_err());
         assert!(PcaDetector::with_variance(1.5).score(&pts).is_err());
     }

@@ -5,9 +5,10 @@
 //! Scaling every dimension to `[0, 1]` keeps the RBF kernel from being
 //! dominated by high-count instructions. Constant dimensions map to 0.
 
+use crate::matrix::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
-/// Per-dimension min-max scaler fitted on a sample set.
+/// Per-dimension min-max scaler fitted on a sample matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scaler {
     mins: Vec<f64>,
@@ -15,18 +16,17 @@ pub struct Scaler {
 }
 
 impl Scaler {
-    /// Fits the scaler on `samples`.
+    /// Fits the scaler on the rows of `samples`.
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or ragged.
-    pub fn fit(samples: &[Vec<f64>]) -> Scaler {
+    /// Panics if `samples` has no rows.
+    pub fn fit(samples: &FeatureMatrix) -> Scaler {
         assert!(!samples.is_empty(), "cannot fit a scaler on no samples");
-        let d = samples[0].len();
+        let d = samples.cols();
         let mut mins = vec![f64::INFINITY; d];
         let mut maxs = vec![f64::NEG_INFINITY; d];
-        for s in samples {
-            assert_eq!(s.len(), d, "ragged samples");
+        for s in samples.rows_iter() {
             for i in 0..d {
                 mins[i] = mins[i].min(s[i]);
                 maxs[i] = maxs[i].max(s[i]);
@@ -47,20 +47,32 @@ impl Scaler {
         sample
             .iter()
             .enumerate()
-            .map(|(i, &v)| {
-                if self.ranges[i] > 0.0 {
-                    (v - self.mins[i]) / self.ranges[i]
-                } else {
-                    0.0
-                }
-            })
+            .map(|(i, &v)| self.scale_one(i, v))
             .collect()
     }
 
-    /// Fits on `samples` and transforms them all.
-    pub fn fit_transform(samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    /// Scales every row of `samples` in place — the rank path's scaled
+    /// branch, with no per-row allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix width differs from the fitted dimension.
+    pub fn transform_in_place(&self, samples: &mut FeatureMatrix) {
+        assert_eq!(samples.cols(), self.mins.len());
+        for r in 0..samples.rows() {
+            let row = samples.row_mut(r);
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = self.scale_one(i, *v);
+            }
+        }
+    }
+
+    /// Fits on `samples` and returns the scaled matrix.
+    pub fn fit_transform(samples: &FeatureMatrix) -> FeatureMatrix {
         let scaler = Scaler::fit(samples);
-        samples.iter().map(|s| scaler.transform(s)).collect()
+        let mut out = samples.clone();
+        scaler.transform_in_place(&mut out);
+        out
     }
 
     /// Indices of dimensions that vary across the fitted samples.
@@ -72,49 +84,73 @@ impl Scaler {
             .map(|(i, _)| i)
             .collect()
     }
+
+    #[inline]
+    fn scale_one(&self, i: usize, v: f64) -> f64 {
+        if self.ranges[i] > 0.0 {
+            (v - self.mins[i]) / self.ranges[i]
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn m(rows: &[Vec<f64>]) -> FeatureMatrix {
+        FeatureMatrix::from_rows(rows).unwrap()
+    }
+
     #[test]
     fn scales_to_unit_interval() {
-        let samples = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 15.0]];
+        let samples = m(&[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 15.0]]);
         let scaled = Scaler::fit_transform(&samples);
-        for s in &scaled {
+        for s in scaled.rows_iter() {
             for &v in s {
                 assert!((0.0..=1.0).contains(&v));
             }
         }
-        assert_eq!(scaled[0], vec![0.0, 0.0]);
-        assert_eq!(scaled[1], vec![0.5, 1.0]);
+        assert_eq!(scaled.row(0), &[0.0, 0.0]);
+        assert_eq!(scaled.row(1), &[0.5, 1.0]);
     }
 
     #[test]
     fn constant_dimension_maps_to_zero() {
-        let samples = vec![vec![7.0, 1.0], vec![7.0, 2.0]];
+        let samples = m(&[vec![7.0, 1.0], vec![7.0, 2.0]]);
         let scaled = Scaler::fit_transform(&samples);
-        assert_eq!(scaled[0][0], 0.0);
-        assert_eq!(scaled[1][0], 0.0);
+        assert_eq!(scaled.get(0, 0), 0.0);
+        assert_eq!(scaled.get(1, 0), 0.0);
     }
 
     #[test]
     fn transform_extrapolates_outside_fit_range() {
-        let scaler = Scaler::fit(&[vec![0.0], vec![10.0]]);
+        let scaler = Scaler::fit(&m(&[vec![0.0], vec![10.0]]));
         assert_eq!(scaler.transform(&[20.0]), vec![2.0]);
         assert_eq!(scaler.transform(&[-10.0]), vec![-1.0]);
     }
 
     #[test]
+    fn in_place_matches_per_row_transform() {
+        let samples = m(&[vec![1.0, -3.0], vec![4.0, 9.0], vec![2.5, 0.0]]);
+        let scaler = Scaler::fit(&samples);
+        let mut in_place = samples.clone();
+        scaler.transform_in_place(&mut in_place);
+        for (i, row) in samples.rows_iter().enumerate() {
+            assert_eq!(in_place.row(i), scaler.transform(row).as_slice());
+        }
+    }
+
+    #[test]
     fn active_dimensions_excludes_constants() {
-        let scaler = Scaler::fit(&[vec![1.0, 2.0, 3.0], vec![1.0, 5.0, 3.0]]);
+        let scaler = Scaler::fit(&m(&[vec![1.0, 2.0, 3.0], vec![1.0, 5.0, 3.0]]));
         assert_eq!(scaler.active_dimensions(), vec![1]);
     }
 
     #[test]
     #[should_panic(expected = "no samples")]
     fn empty_fit_panics() {
-        Scaler::fit(&[]);
+        Scaler::fit(&FeatureMatrix::new(3));
     }
 }

@@ -3,17 +3,21 @@
 //! invariants, over randomized sample sets.
 
 use mlcore::{
-    normalize_scores, rank_ascending, KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector,
-    OneClassSvm, OutlierDetector, PcaDetector, Scaler,
+    normalize_scores, rank_ascending, FeatureMatrix, KdeDetector, KfdDetector, KnnDetector,
+    MahalanobisDetector, OneClassSvm, OutlierDetector, PcaDetector, Scaler,
 };
 use proptest::prelude::*;
 
 /// Random rectangular sample sets: n points in d dimensions, values in a
 /// bounded range (instruction counters are nonnegative and bounded).
-fn sample_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn raw_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (4usize..40, 1usize..6).prop_flat_map(|(n, d)| {
         prop::collection::vec(prop::collection::vec(0.0f64..1000.0, d..=d), n..=n)
     })
+}
+
+fn sample_set() -> impl Strategy<Value = FeatureMatrix> {
+    raw_rows().prop_map(|rows| FeatureMatrix::from_rows(&rows).unwrap())
 }
 
 proptest! {
@@ -22,28 +26,28 @@ proptest! {
     #[test]
     fn ocsvm_dual_constraints_hold(samples in sample_set(), nu in 0.2f64..0.9) {
         let svm = OneClassSvm::with_nu(nu);
-        prop_assume!(nu * samples.len() as f64 >= 1.0);
+        prop_assume!(nu * samples.rows() as f64 >= 1.0);
         let model = svm.fit(&samples).unwrap();
-        let sum: f64 = model.support.iter().map(|(_, a)| a).sum();
-        prop_assert!((sum - nu * samples.len() as f64).abs() < 1e-6,
-            "sum alpha = {} vs nu*l = {}", sum, nu * samples.len() as f64);
-        for (_, a) in &model.support {
+        let sum: f64 = model.alphas.iter().sum();
+        prop_assert!((sum - nu * samples.rows() as f64).abs() < 1e-6,
+            "sum alpha = {} vs nu*l = {}", sum, nu * samples.rows() as f64);
+        for a in &model.alphas {
             prop_assert!(*a > 0.0 && *a <= 1.0 + 1e-9);
         }
         // Support-vector lower bound: at least ceil(nu*l) - small slack
         // points carry positive alpha (Schölkopf Prop. 4).
-        prop_assert!(model.num_support() as f64 + 1e-9 >= nu * samples.len() as f64);
+        prop_assert!(model.num_support() as f64 + 1e-9 >= nu * samples.rows() as f64);
     }
 
     #[test]
     fn ocsvm_nu_bounds_margin_violations(samples in sample_set()) {
         let nu = 0.3;
         let svm = OneClassSvm::with_nu(nu);
-        prop_assume!(nu * samples.len() as f64 >= 1.0);
+        prop_assume!(nu * samples.rows() as f64 >= 1.0);
         let scores = svm.score(&samples).unwrap();
         let margin = svm.config.tolerance * 10.0;
         let violators = scores.iter().filter(|&&s| s < -margin).count();
-        prop_assert!(violators as f64 <= nu * samples.len() as f64 + 1.0);
+        prop_assert!(violators as f64 <= nu * samples.rows() as f64 + 1.0);
     }
 
     #[test]
@@ -58,7 +62,7 @@ proptest! {
         ];
         for det in detectors {
             let scores = det.score(&samples).unwrap();
-            prop_assert_eq!(scores.len(), samples.len(), "{}", det.name());
+            prop_assert_eq!(scores.len(), samples.rows(), "{}", det.name());
             for s in &scores {
                 prop_assert!(s.is_finite(), "{} produced {}", det.name(), s);
             }
@@ -68,7 +72,7 @@ proptest! {
     #[test]
     fn scaler_maps_fit_data_into_unit_box(samples in sample_set()) {
         let scaled = Scaler::fit_transform(&samples);
-        for row in &scaled {
+        for row in scaled.rows_iter() {
             for &v in row {
                 prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
             }
@@ -79,10 +83,10 @@ proptest! {
     fn scaling_is_translation_invariant_for_ranking(samples in sample_set(), shift in -500.0f64..500.0) {
         // Shifting every feature by a constant must not change the kNN
         // ranking after scaling.
-        let shifted: Vec<Vec<f64>> = samples
-            .iter()
-            .map(|r| r.iter().map(|v| v + shift).collect())
-            .collect();
+        let mut shifted = samples.clone();
+        for v in shifted.as_mut_slice() {
+            *v += shift;
+        }
         let a = KnnDetector::default()
             .score(&Scaler::fit_transform(&samples))
             .unwrap();
@@ -104,6 +108,20 @@ proptest! {
         prop_assert_eq!(before, after, "normalization must preserve order");
         let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(max <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn from_rows_row_views_round_trip(rows in raw_rows()) {
+        // The migration shim must preserve every value and shape: packing
+        // arbitrary rectangular input and reading it back through row
+        // views reproduces the original rows bit-for-bit.
+        let m = FeatureMatrix::from_rows(&rows).unwrap();
+        prop_assert_eq!(m.rows(), rows.len());
+        prop_assert_eq!(m.cols(), rows[0].len());
+        for (view, original) in m.rows_iter().zip(&rows) {
+            prop_assert_eq!(view, original.as_slice());
+        }
+        prop_assert_eq!(m.to_rows(), rows);
     }
 
     #[test]

@@ -20,10 +20,17 @@ use crate::recorder::Trace;
 /// With segments `s_0 ..= s_k` (where `s_j` holds the counts between
 /// events `j-1` and `j`), the counter of an interval spanning events
 /// `i ..= j` is `C[j] - C[i]` where `C[m] = s_0 + ... + s_m`.
+///
+/// The prefix sums live in one flat allocation strided by the program
+/// length (`prefix[m * program_len + i]` = cumulative count of
+/// instruction `i` through segment `m`): building the table costs a
+/// single `O(segments × program_len)` pass with no per-segment clone,
+/// and interval queries write straight into caller-provided row storage
+/// (e.g. a feature-matrix row) with zero intermediate allocation.
 #[derive(Debug, Clone)]
 pub struct CounterTable {
-    /// `prefix[m]` = cumulative counts through segment `m`.
-    prefix: Vec<Vec<u64>>,
+    /// Flat strided prefix sums, `segments × program_len` row-major.
+    prefix: Vec<u64>,
     program_len: usize,
 }
 
@@ -41,13 +48,16 @@ impl CounterTable {
             "malformed trace"
         );
         let n = trace.program_len;
-        let mut prefix = Vec::with_capacity(trace.segments.len());
-        let mut acc = vec![0u64; n];
-        for seg in &trace.segments {
-            for (a, &c) in acc.iter_mut().zip(seg.iter()) {
+        let mut prefix = vec![0u64; trace.segments.len() * n];
+        for (m, seg) in trace.segments.iter().enumerate() {
+            let (done, rest) = prefix.split_at_mut(m * n);
+            let row = &mut rest[..n];
+            if m > 0 {
+                row.copy_from_slice(&done[(m - 1) * n..]);
+            }
+            for (a, &c) in row.iter_mut().zip(seg.iter()) {
                 *a += u64::from(c);
             }
-            prefix.push(acc.clone());
         }
         CounterTable {
             prefix,
@@ -58,6 +68,11 @@ impl CounterTable {
     /// Dimensionality of counters (the program's instruction count).
     pub fn dimension(&self) -> usize {
         self.program_len
+    }
+
+    #[inline]
+    fn prefix_row(&self, m: usize) -> &[u64] {
+        &self.prefix[m * self.program_len..(m + 1) * self.program_len]
     }
 
     /// The instruction counter of `interval`.
@@ -77,18 +92,52 @@ impl CounterTable {
     ///
     /// Panics if `end < start` or `end` is out of range.
     pub fn counter_between(&self, start: usize, end: usize) -> Vec<u64> {
+        let mut out = vec![0u64; self.program_len];
+        self.counter_into(start, end, &mut out);
+        out
+    }
+
+    /// Writes the counter of events `start ..= end` into `out` — the
+    /// allocation-free O(program_len) interval query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`, `end` is out of range, or
+    /// `out.len() != dimension()`.
+    pub fn counter_into(&self, start: usize, end: usize, out: &mut [u64]) {
         assert!(start <= end, "interval reversed");
-        let hi = &self.prefix[end];
-        let lo = &self.prefix[start];
-        hi.iter().zip(lo.iter()).map(|(&h, &l)| h - l).collect()
+        assert_eq!(out.len(), self.program_len, "output row width mismatch");
+        let hi = self.prefix_row(end);
+        let lo = self.prefix_row(start);
+        for ((o, &h), &l) in out.iter_mut().zip(hi).zip(lo) {
+            *o = h - l;
+        }
     }
 
     /// The counter as `f64` features (what the outlier detectors consume).
     pub fn features(&self, interval: &EventInterval) -> Vec<f64> {
-        self.counter(interval)
-            .into_iter()
-            .map(|c| c as f64)
-            .collect()
+        let mut out = vec![0.0f64; self.program_len];
+        self.features_into(interval, &mut out);
+        out
+    }
+
+    /// Writes the interval's features straight into a caller-provided row
+    /// slice (e.g. a dense feature-matrix row), with no intermediate
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval's indices lie outside the trace or
+    /// `row.len() != dimension()`.
+    pub fn features_into(&self, interval: &EventInterval, row: &mut [f64]) {
+        let (start, end) = (interval.start_index, interval.end_index);
+        assert!(start <= end, "interval reversed");
+        assert_eq!(row.len(), self.program_len, "output row width mismatch");
+        let hi = self.prefix_row(end);
+        let lo = self.prefix_row(start);
+        for ((o, &h), &l) in row.iter_mut().zip(hi).zip(lo) {
+            *o = (h - l) as f64;
+        }
     }
 }
 
@@ -220,5 +269,48 @@ mod tests {
     fn dimension_matches_program() {
         let t = mk_trace(vec![vec![0, 0, 0], vec![1, 2, 3]]);
         assert_eq!(CounterTable::new(&t).dimension(), 3);
+    }
+
+    #[test]
+    fn counter_into_matches_allocating_query() {
+        let t = mk_trace(vec![
+            vec![1, 0],
+            vec![0, 2],
+            vec![3, 0],
+            vec![0, 4],
+            vec![5, 5],
+        ]);
+        let tab = CounterTable::new(&t);
+        let mut row = vec![0u64; 2];
+        tab.counter_into(0, 3, &mut row);
+        assert_eq!(row, tab.counter_between(0, 3));
+        assert_eq!(row, vec![3, 6]);
+    }
+
+    #[test]
+    fn features_into_writes_caller_row() {
+        let t = mk_trace(vec![vec![0], vec![7], vec![0]]);
+        let tab = CounterTable::new(&t);
+        let iv = EventInterval {
+            irq: 0,
+            start_index: 0,
+            end_index: 1,
+            last_run_index: None,
+            start_cycle: 0,
+            end_cycle: 1,
+            task_count: 0,
+        };
+        let mut row = [0.0f64; 1];
+        tab.features_into(&iv, &mut row);
+        assert_eq!(row, [7.0]);
+        assert_eq!(tab.features(&iv), vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_row_panics() {
+        let t = mk_trace(vec![vec![0, 0], vec![1, 1]]);
+        let mut row = vec![0u64; 3];
+        CounterTable::new(&t).counter_into(0, 1, &mut row);
     }
 }

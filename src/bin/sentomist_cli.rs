@@ -10,7 +10,7 @@
 //! ```
 
 use sentomist::core::campaign::{RunOutcome, Verdict};
-use sentomist::core::{harvest, localize, Pipeline, SampleIndex};
+use sentomist::core::{harvest_set, localize_set, Pipeline, SampleIndex};
 use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
     PcaDetector,
@@ -183,7 +183,7 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
     let irq = flag_u64(&flags, "irq", 0)? as u8;
     let top = flag_u64(&flags, "top", 10)? as usize;
     let trace = load_trace(path)?;
-    let samples = harvest(&trace, irq, |seq, _| SampleIndex::Seq(seq))?;
+    let samples = harvest_set(&trace, irq, |seq, _| SampleIndex::Seq(seq))?;
     if samples.is_empty() {
         return Err(format!("no event-handling intervals for irq {irq}").into());
     }
@@ -195,7 +195,7 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         flags.get("detector").map(String::as_str).unwrap_or("ocsvm"),
     );
     let pipeline = Pipeline::new(detector_from(&flags)?);
-    let report = pipeline.rank(samples)?;
+    let report = pipeline.rank_set(samples)?;
     print!("{}", report.table(top, 2));
     if let Some(csv_path) = flags.get("csv") {
         std::fs::write(csv_path, report.to_csv())?;
@@ -222,21 +222,22 @@ fn cmd_localize(args: &[String]) -> Result<(), Box<dyn Error>> {
         )
         .into());
     }
-    let samples = harvest(&trace, irq, |seq, _| SampleIndex::Seq(seq))?;
-    let report = Pipeline::new(detector_from(&flags)?).rank(samples.clone())?;
+    let samples = harvest_set(&trace, irq, |seq, _| SampleIndex::Seq(seq))?;
+    let report = Pipeline::new(detector_from(&flags)?).rank_set(samples.clone())?;
     let target = report
         .ranking
         .get(rank - 1)
         .ok_or("rank beyond the number of intervals")?;
     let flagged = samples
+        .meta
         .iter()
-        .position(|s| s.index == target.index)
+        .position(|m| m.index == target.index)
         .expect("ranked sample exists");
     println!(
         "interval {} (rank {rank}, score {:.4}): deviating instructions:",
         target.index, target.score
     );
-    for hit in localize(&samples, flagged, &program, min_z)
+    for hit in localize_set(&samples, flagged, &program, min_z)
         .into_iter()
         .take(12)
     {
