@@ -206,23 +206,14 @@ impl Default for Case1Config {
     }
 }
 
-/// Runs case study I and ranks the ADC event-handling intervals.
-///
-/// Ground truth: an interval is a bug symptom iff another ADC interrupt
-/// fired inside it (the data race's only trigger pattern); the UART data
-/// oracle (actual packet pollution) is checked for agreement.
-///
-/// # Errors
-///
-/// Propagates VM faults, trace extraction and pipeline errors.
-pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
-    let params_for = |ms: u32| oscilloscope::OscilloscopeParams::with_period_ms(ms);
-    let mut all_samples = SampleSet::empty();
-    let mut buggy: Vec<SampleIndex> = Vec::new();
+/// Emulates case study I's testing runs: one trace per sampling period,
+/// plus the total count of polluted UART packets (the independent data
+/// oracle).
+fn case1_emulate(config: &Case1Config) -> Result<(Vec<Trace>, usize), Box<dyn Error>> {
+    let mut traces = Vec::with_capacity(config.periods_ms.len());
     let mut polluted_packets = 0usize;
-    let mut digests: Vec<u64> = Vec::new();
     for (r, &period) in config.periods_ms.iter().enumerate() {
-        let params = params_for(period);
+        let params = oscilloscope::OscilloscopeParams::with_period_ms(period);
         let program = if config.use_fixed {
             oscilloscope::fixed(&params)?
         } else {
@@ -241,15 +232,32 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
             .iter()
             .filter(|p| p.polluted())
             .count();
-        let trace = recorder.into_trace();
+        traces.push(recorder.into_trace());
+    }
+    Ok((traces, polluted_packets))
+}
+
+/// Mines case study I from its recorded traces (one per sampling period,
+/// in `periods_ms` order). This is the single mining code path shared by
+/// the live [`run_case1`] and store-replayed re-mining, which is what
+/// makes re-ranking a stored corpus bit-identical to the live run.
+///
+/// # Errors
+///
+/// Propagates trace extraction and pipeline errors.
+pub fn mine_case1(config: &Case1Config, traces: &[Trace]) -> Result<CaseResult, Box<dyn Error>> {
+    let mut all_samples = SampleSet::empty();
+    let mut buggy: Vec<SampleIndex> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    for (r, trace) in traces.iter().enumerate() {
         digests.push(trace.digest());
         let run_no = r as u32 + 1;
-        let set = harvest_set(&trace, irq::ADC, |seq, _| SampleIndex::RunSeq {
+        let set = harvest_set(trace, irq::ADC, |seq, _| SampleIndex::RunSeq {
             run: run_no,
             seq,
         })?;
         for m in &set.meta {
-            if contains_nested_int(&trace, &m.interval, irq::ADC) {
+            if contains_nested_int(trace, &m.interval, irq::ADC) {
                 buggy.push(m.index);
             }
         }
@@ -257,7 +265,36 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
     }
     let sample_count = all_samples.len();
     let report = config.detector.pipeline().rank_set(all_samples)?;
-    let result = CaseResult::new(report, sample_count, buggy, chain_digest(digests));
+    Ok(CaseResult::new(
+        report,
+        sample_count,
+        buggy,
+        chain_digest(digests),
+    ))
+}
+
+/// Runs case study I and ranks the ADC event-handling intervals.
+///
+/// Ground truth: an interval is a bug symptom iff another ADC interrupt
+/// fired inside it (the data race's only trigger pattern); the UART data
+/// oracle (actual packet pollution) is checked for agreement.
+///
+/// # Errors
+///
+/// Propagates VM faults, trace extraction and pipeline errors.
+pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
+    run_case1_traced(config).map(|(result, _)| result)
+}
+
+/// Like [`run_case1`], but also hands back the recorded traces (one per
+/// sampling period) so callers can persist them to a trace store.
+///
+/// # Errors
+///
+/// Propagates VM faults, trace extraction and pipeline errors.
+pub fn run_case1_traced(config: &Case1Config) -> Result<(CaseResult, Vec<Trace>), Box<dyn Error>> {
+    let (traces, polluted_packets) = case1_emulate(config)?;
+    let result = mine_case1(config, &traces)?;
     // Cross-check the two independent oracles: every polluted packet stems
     // from a nested-interrupt interval. (The trace oracle can flag one
     // extra interval at the horizon whose packet never got sent.)
@@ -267,7 +304,7 @@ pub fn run_case1(config: &Case1Config) -> Result<CaseResult, Box<dyn Error>> {
         result.buggy.len(),
         polluted_packets
     );
-    Ok(result)
+    Ok((result, traces))
 }
 
 // ---------------------------------------------------------------------
@@ -305,21 +342,14 @@ impl Default for Case2Config {
     }
 }
 
-/// Runs case study II and ranks the relay's packet-arrival intervals.
-///
-/// Ground truth: an interval is a bug symptom iff the relay executed its
-/// active-drop branch during it (located by the `fwd_drop` label).
-///
-/// # Errors
-///
-/// Propagates simulation, extraction and pipeline errors.
-pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
+/// Emulates case study II: a 3-node chain (sink, relay, source), returning
+/// the traces in node-id order.
+fn case2_emulate(config: &Case2Config) -> Result<Vec<Trace>, Box<dyn Error>> {
     let relay = if config.use_fixed {
         forwarder::relay_program_fixed()?
     } else {
         forwarder::relay_program_buggy()?
     };
-    let drop_pc = relay.label("fwd_drop");
     let link = netsim::LinkConfig {
         loss_prob: config.link_loss,
         ..netsim::LinkConfig::default()
@@ -343,10 +373,31 @@ pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
         Recorder::new(sim.node(2).program().len()),
     ];
     sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
-    let mut traces: Vec<Trace> = recorders.into_iter().map(Recorder::into_trace).collect();
+    Ok(recorders.into_iter().map(Recorder::into_trace).collect())
+}
+
+/// Mines case study II from its recorded traces (sink, relay, source in
+/// node-id order); shared by [`run_case2`] and store-replayed re-mining.
+///
+/// # Errors
+///
+/// Fails on a wrong trace count; propagates assembly, extraction and
+/// pipeline errors.
+pub fn mine_case2(config: &Case2Config, traces: &[Trace]) -> Result<CaseResult, Box<dyn Error>> {
+    if traces.len() != 3 {
+        return Err(format!("case II expects 3 node traces, got {}", traces.len()).into());
+    }
+    // Re-assemble the relay only to locate the ground-truth drop label;
+    // assembly is deterministic, so the label matches the recorded run.
+    let relay = if config.use_fixed {
+        forwarder::relay_program_fixed()?
+    } else {
+        forwarder::relay_program_buggy()?
+    };
+    let drop_pc = relay.label("fwd_drop");
     let trace_digest = chain_digest(traces.iter().map(Trace::digest));
-    let relay_trace = traces.swap_remove(1);
-    let set = harvest_set(&relay_trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
+    let relay_trace = &traces[1];
+    let set = harvest_set(relay_trace, irq::RX, |seq, _| SampleIndex::Seq(seq))?;
     let buggy: Vec<SampleIndex> = match drop_pc {
         Some(pc) => set
             .meta
@@ -360,6 +411,30 @@ pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
     let sample_count = set.len();
     let report = config.detector.pipeline().rank_set(set)?;
     Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
+}
+
+/// Runs case study II and ranks the relay's packet-arrival intervals.
+///
+/// Ground truth: an interval is a bug symptom iff the relay executed its
+/// active-drop branch during it (located by the `fwd_drop` label).
+///
+/// # Errors
+///
+/// Propagates simulation, extraction and pipeline errors.
+pub fn run_case2(config: &Case2Config) -> Result<CaseResult, Box<dyn Error>> {
+    run_case2_traced(config).map(|(result, _)| result)
+}
+
+/// Like [`run_case2`], but also hands back the three recorded node traces
+/// for persistence.
+///
+/// # Errors
+///
+/// Propagates simulation, extraction and pipeline errors.
+pub fn run_case2_traced(config: &Case2Config) -> Result<(CaseResult, Vec<Trace>), Box<dyn Error>> {
+    let traces = case2_emulate(config)?;
+    let result = mine_case2(config, &traces)?;
+    Ok((result, traces))
 }
 
 // ---------------------------------------------------------------------
@@ -403,14 +478,17 @@ impl Default for Case3Config {
 ///
 /// Propagates simulation, extraction and pipeline errors.
 pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
+    run_case3_traced(config).map(|(result, _)| result)
+}
+
+/// Emulates case study III: all CTP nodes on the paper's topology,
+/// returning one trace per node in id order.
+fn case3_emulate(config: &Case3Config) -> Result<Vec<Trace>, Box<dyn Error>> {
     let program = if config.use_fixed {
         ctp::fixed(&config.params)?
     } else {
         ctp::buggy(&config.params)?
     };
-    let fail_pc = program
-        .label("ctp_fail")
-        .ok_or("ctp program lacks the ctp_fail label")? as usize;
     let mut sim = netsim::NetSim::new(ctp::topology(), config.seed);
     for id in 0..ctp::NODE_COUNT {
         sim.add_node(program.clone(), ctp::node_config(id, config.seed));
@@ -419,19 +497,43 @@ pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
         .map(|_| Recorder::new(program.len()))
         .collect();
     sim.run(config.run_seconds * CYCLES_PER_SECOND, &mut recorders)?;
+    Ok(recorders.into_iter().map(Recorder::into_trace).collect())
+}
 
+/// Mines case study III from its recorded traces (one per node, in node-id
+/// order); shared by [`run_case3`] and store-replayed re-mining.
+///
+/// # Errors
+///
+/// Fails on a wrong trace count; propagates assembly, extraction and
+/// pipeline errors.
+pub fn mine_case3(config: &Case3Config, traces: &[Trace]) -> Result<CaseResult, Box<dyn Error>> {
+    if traces.len() != ctp::NODE_COUNT as usize {
+        return Err(format!(
+            "case III expects {} node traces, got {}",
+            ctp::NODE_COUNT,
+            traces.len()
+        )
+        .into());
+    }
+    // Re-assemble only to locate the ground-truth failure label;
+    // assembly is deterministic, so the label matches the recorded run.
+    let program = if config.use_fixed {
+        ctp::fixed(&config.params)?
+    } else {
+        ctp::buggy(&config.params)?
+    };
+    let fail_pc = program
+        .label("ctp_fail")
+        .ok_or("ctp program lacks the ctp_fail label")? as usize;
+    let trace_digest = chain_digest(traces.iter().map(Trace::digest));
     let mut all_samples = SampleSet::empty();
     let mut buggy = Vec::new();
-    // Walk recorders in reverse id order so indices stay valid.
-    let mut traces: Vec<(u16, Trace)> = recorders
-        .into_iter()
-        .enumerate()
-        .map(|(id, r)| (id as u16, r.into_trace()))
-        .collect();
-    let trace_digest = chain_digest(traces.iter().map(|(_, t)| t.digest()));
-    traces.retain(|(id, _)| ctp::SOURCES.contains(id));
-    for (node_id, trace) in &traces {
-        let node = *node_id;
+    for (id, trace) in traces.iter().enumerate() {
+        let node = id as u16;
+        if !ctp::SOURCES.contains(&node) {
+            continue;
+        }
         let set = harvest_set(trace, irq::TIMER0, |seq, _| SampleIndex::NodeSeq {
             node,
             seq,
@@ -446,6 +548,18 @@ pub fn run_case3(config: &Case3Config) -> Result<CaseResult, Box<dyn Error>> {
     let sample_count = all_samples.len();
     let report = config.detector.pipeline().rank_set(all_samples)?;
     Ok(CaseResult::new(report, sample_count, buggy, trace_digest))
+}
+
+/// Like [`run_case3`], but also hands back every node's recorded trace
+/// for persistence.
+///
+/// # Errors
+///
+/// Propagates simulation, extraction and pipeline errors.
+pub fn run_case3_traced(config: &Case3Config) -> Result<(CaseResult, Vec<Trace>), Box<dyn Error>> {
+    let traces = case3_emulate(config)?;
+    let result = mine_case3(config, &traces)?;
+    Ok((result, traces))
 }
 
 #[cfg(test)]
@@ -651,6 +765,23 @@ pub fn trigger_job(
     run_seconds: u64,
     nu: f64,
 ) -> Result<impl Fn(u64) -> Result<RunOutcome, String> + Send + Sync, Box<dyn Error>> {
+    let job = trigger_job_traced(period_ms, run_seconds, nu)?;
+    Ok(move |seed: u64| job(seed).map(|(outcome, _)| outcome))
+}
+
+/// Like [`trigger_job`], but the returned closure also hands back the
+/// recorded trace so a campaign can persist it to a trace store.
+///
+/// # Errors
+///
+/// Fails if the Oscilloscope program does not assemble.
+#[allow(clippy::type_complexity)]
+pub fn trigger_job_traced(
+    period_ms: u32,
+    run_seconds: u64,
+    nu: f64,
+) -> Result<impl Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync, Box<dyn Error>>
+{
     let params = oscilloscope::OscilloscopeParams::with_period_ms(period_ms);
     let program = oscilloscope::buggy(&params)?;
     Ok(move |seed: u64| {
@@ -665,38 +796,52 @@ pub fn trigger_job(
         node.run(run_seconds * CYCLES_PER_SECOND, &mut recorder)
             .map_err(|e| e.to_string())?;
         let trace = recorder.into_trace();
-        let trace_digest = trace.digest();
-        let set = harvest_set(&trace, irq::ADC, |seq, _| SampleIndex::Seq(seq))
+        let outcome = mine_trigger_trace(seed, &trace, nu)?;
+        Ok((outcome, vec![trace]))
+    })
+}
+
+/// Mines one recorded trigger-run trace into its campaign outcome — the
+/// single code path behind both the live [`trigger_job`] and re-mining a
+/// stored corpus, which is what makes store-based re-ranking bit-identical
+/// to the live campaign.
+///
+/// # Errors
+///
+/// Extraction and pipeline failures are reported as strings, matching the
+/// campaign job contract.
+pub fn mine_trigger_trace(seed: u64, trace: &Trace, nu: f64) -> Result<RunOutcome, String> {
+    let trace_digest = trace.digest();
+    let set =
+        harvest_set(trace, irq::ADC, |seq, _| SampleIndex::Seq(seq)).map_err(|e| e.to_string())?;
+    let buggy: Vec<SampleIndex> = set
+        .meta
+        .iter()
+        .filter(|m| contains_nested_int(trace, &m.interval, irq::ADC))
+        .map(|m| m.index)
+        .collect();
+    let sample_count = set.len();
+    let mut buggy_ranks: Vec<usize> = if buggy.is_empty() {
+        Vec::new()
+    } else {
+        let report = Pipeline::default_ocsvm(nu)
+            .rank_set(set)
             .map_err(|e| e.to_string())?;
-        let buggy: Vec<SampleIndex> = set
-            .meta
-            .iter()
-            .filter(|m| contains_nested_int(&trace, &m.interval, irq::ADC))
-            .map(|m| m.index)
-            .collect();
-        let sample_count = set.len();
-        let mut buggy_ranks: Vec<usize> = if buggy.is_empty() {
-            Vec::new()
+        buggy.iter().filter_map(|&b| report.rank_of(b)).collect()
+    };
+    buggy_ranks.sort_unstable();
+    Ok(RunOutcome {
+        seed,
+        samples: sample_count,
+        symptoms: buggy.len(),
+        buggy_ranks,
+        verdict: if buggy.is_empty() {
+            Verdict::Clean
         } else {
-            let report = Pipeline::default_ocsvm(nu)
-                .rank_set(set)
-                .map_err(|e| e.to_string())?;
-            buggy.iter().filter_map(|&b| report.rank_of(b)).collect()
-        };
-        buggy_ranks.sort_unstable();
-        Ok(RunOutcome {
-            seed,
-            samples: sample_count,
-            symptoms: buggy.len(),
-            buggy_ranks,
-            verdict: if buggy.is_empty() {
-                Verdict::Clean
-            } else {
-                Verdict::Triggered
-            },
-            trace_digest: format!("{trace_digest:016x}"),
-            wall_time_ms: 0,
-        })
+            Verdict::Triggered
+        },
+        trace_digest: format!("{trace_digest:016x}"),
+        wall_time_ms: 0,
     })
 }
 
@@ -756,6 +901,46 @@ pub fn case3_job(config: Case3Config) -> impl Fn(u64) -> Result<RunOutcome, Stri
         c.seed = seed;
         run_case3(&c)
             .map(|r| r.to_outcome(seed))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Trace-returning variant of [`case1_job`], for campaigns that persist
+/// their runs to a trace store.
+pub fn case1_job_traced(
+    config: Case1Config,
+) -> impl Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync {
+    move |seed| {
+        let mut c = config.clone();
+        c.seed = seed;
+        run_case1_traced(&c)
+            .map(|(r, traces)| (r.to_outcome(seed), traces))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Trace-returning variant of [`case2_job`].
+pub fn case2_job_traced(
+    config: Case2Config,
+) -> impl Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync {
+    move |seed| {
+        let mut c = config.clone();
+        c.seed = seed;
+        run_case2_traced(&c)
+            .map(|(r, traces)| (r.to_outcome(seed), traces))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Trace-returning variant of [`case3_job`].
+pub fn case3_job_traced(
+    config: Case3Config,
+) -> impl Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync {
+    move |seed| {
+        let mut c = config.clone();
+        c.seed = seed;
+        run_case3_traced(&c)
+            .map(|(r, traces)| (r.to_outcome(seed), traces))
             .map_err(|e| e.to_string())
     }
 }

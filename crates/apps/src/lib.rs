@@ -26,6 +26,8 @@ pub mod forwarder;
 pub mod oscilloscope;
 
 pub use experiments::{
-    case1_job, case2_job, case3_job, run_case1, run_case2, run_case3, run_trigger_campaign,
-    trigger_job, Case1Config, Case2Config, Case3Config, CaseResult, DetectorKind,
+    case1_job, case1_job_traced, case2_job, case2_job_traced, case3_job, case3_job_traced,
+    mine_case1, mine_case2, mine_case3, mine_trigger_trace, run_case1, run_case1_traced, run_case2,
+    run_case2_traced, run_case3, run_case3_traced, run_trigger_campaign, trigger_job,
+    trigger_job_traced, Case1Config, Case2Config, Case3Config, CaseResult, DetectorKind,
 };

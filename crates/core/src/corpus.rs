@@ -1,0 +1,133 @@
+//! Re-mining a persisted trace corpus without re-emulating.
+//!
+//! A campaign run with `--store` leaves behind a [`TraceStore`]: one
+//! directory per seed holding the run's encoded lifecycle traces plus a
+//! manifest. [`mine_store`] sweeps that corpus the same way
+//! [`run_campaign`](crate::campaign::run_campaign) sweeps seeds — fanned
+//! over a worker pool, aggregated sorted by seed — except each "run" is
+//! a decode instead of an emulation. Detectors can thus be re-tuned and
+//! rankings re-produced at a fraction of the original cost, and (because
+//! the mining stage is the same code path the live campaign used) the
+//! re-mined document is bit-identical to the live one.
+
+use crate::campaign::{run_campaign, CampaignOptions, CampaignResult, RunOutcome};
+use sentomist_trace::Trace;
+use sentomist_tracestore::{RunManifest, StoreError, TraceStore};
+
+/// Mines every run stored in `store` with `miner`, a function from the
+/// run's seed and decoded traces (node order, digest-verified) to a
+/// campaign outcome.
+///
+/// Store-level failures of a single run — unreadable manifest, corrupt or
+/// tampered trace file — land in the result's `errors` list under that
+/// run's seed, mirroring how a live campaign reports per-seed job
+/// failures; they never panic and never abort the sweep.
+///
+/// # Errors
+///
+/// Only listing the corpus can fail the call itself ([`StoreError::Io`]);
+/// everything per-run is reported in the [`CampaignResult`].
+pub fn mine_store<F>(
+    store: &TraceStore,
+    options: CampaignOptions,
+    miner: F,
+) -> Result<CampaignResult, StoreError>
+where
+    F: Fn(u64, &[Trace]) -> Result<RunOutcome, String> + Send + Sync,
+{
+    let manifests: Vec<RunManifest> = store.manifests()?;
+    let seeds: Vec<u64> = manifests.iter().map(|m| m.seed).collect();
+    let by_seed = |seed: u64| -> &RunManifest {
+        // seeds[i] comes from manifests[i]; the job only receives those.
+        &manifests[seeds.iter().position(|&s| s == seed).expect("known seed")]
+    };
+    Ok(run_campaign(&seeds, options, |seed| {
+        let manifest = by_seed(seed);
+        let traces = store.load_traces(manifest).map_err(|e| e.to_string())?;
+        miner(seed, &traces)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Verdict;
+    use sentomist_trace::TraceEvent;
+    use std::path::PathBuf;
+    use tinyvm::LifecycleItem;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sentomist-corpus-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trace_with(cycle: u64) -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent {
+                    cycle,
+                    item: LifecycleItem::Int(0),
+                },
+                TraceEvent {
+                    cycle: cycle + 2,
+                    item: LifecycleItem::Reti,
+                },
+            ],
+            segments: vec![vec![1], vec![3], vec![0]],
+            program_len: 1,
+        }
+    }
+
+    fn outcome_from(seed: u64, traces: &[Trace]) -> Result<RunOutcome, String> {
+        Ok(RunOutcome {
+            seed,
+            samples: traces.iter().map(|t| t.events.len()).sum(),
+            symptoms: 0,
+            buggy_ranks: vec![],
+            verdict: Verdict::Clean,
+            trace_digest: format!("{:016x}", traces[0].digest()),
+            wall_time_ms: 0,
+        })
+    }
+
+    #[test]
+    fn mines_all_stored_runs_sorted_by_seed() {
+        let root = tmpdir("sweep");
+        let store = TraceStore::create(&root).unwrap();
+        for seed in [9u64, 2, 5] {
+            store
+                .save_run(seed, "test", 0, &[trace_with(seed * 10)])
+                .unwrap();
+        }
+        let result = mine_store(&store, CampaignOptions::default(), outcome_from).unwrap();
+        assert!(result.errors.is_empty());
+        let seeds: Vec<u64> = result.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, vec![2, 5, 9]);
+        assert_eq!(result.outcomes[0].samples, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_run_becomes_a_run_error_not_a_panic() {
+        let root = tmpdir("corrupt");
+        let store = TraceStore::create(&root).unwrap();
+        store.save_run(1, "test", 0, &[trace_with(4)]).unwrap();
+        let manifest = store.save_run(2, "test", 0, &[trace_with(8)]).unwrap();
+        // Truncate run 2's trace file mid-stream.
+        let path = store
+            .run_dir(&manifest.run_id)
+            .join(&manifest.nodes[0].file);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let result = mine_store(&store, CampaignOptions::default(), outcome_from).unwrap();
+        assert_eq!(result.outcomes.len(), 1);
+        assert_eq!(result.outcomes[0].seed, 1);
+        assert_eq!(result.errors.len(), 1);
+        assert_eq!(result.errors[0].seed, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`Report`] — Figure-5-style ranking tables and rank queries;
 //! * [`campaign`] — parallel seed-sweep orchestration with
 //!   reproducible-by-seed replay of any flagged run;
+//! * [`corpus::mine_store`] — the same sweep over a persisted trace
+//!   corpus (`sentomist-tracestore`), re-mining without re-emulating;
 //! * [`localize()`](localize::localize) — the paper's future-work extension: map an outlier's
 //!   deviating instruction counts back to assembly lines and routines.
 //!
@@ -57,6 +59,7 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod corpus;
 pub mod localize;
 pub mod monitor;
 pub mod pipeline;
@@ -68,6 +71,7 @@ pub use campaign::{
     replay, run_campaign, summarize, CampaignOptions, CampaignResult, CampaignSummary, RunError,
     RunOutcome, Verdict,
 };
+pub use corpus::mine_store;
 pub use localize::{localize, localize_set, ImplicatedInstruction};
 pub use monitor::WindowedMiner;
 pub use pipeline::{Pipeline, PipelineError};

@@ -74,4 +74,4 @@ pub use error::VmError;
 pub use isa::{Op, Reg, TaskId};
 pub use node::Node;
 pub use program::Program;
-pub use trace::{LifecycleItem, NullSink, TraceSink};
+pub use trace::{LifecycleItem, NullSink, Tee, TraceSink};

@@ -80,6 +80,24 @@ impl TraceSink for NullSink {
     fn segment(&mut self, _counts: &[u32]) {}
 }
 
+/// Fans one lifecycle stream out to two sinks — e.g. an in-memory
+/// recorder for mining *and* a streaming on-disk writer for persistence,
+/// from a single emulation run.
+#[derive(Debug)]
+pub struct Tee<'a, A: TraceSink, B: TraceSink>(pub &'a mut A, pub &'a mut B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
+    fn lifecycle(&mut self, cycle: u64, item: LifecycleItem) {
+        self.0.lifecycle(cycle, item);
+        self.1.lifecycle(cycle, item);
+    }
+
+    fn segment(&mut self, counts: &[u32]) {
+        self.0.segment(counts);
+        self.1.segment(counts);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +112,29 @@ mod tests {
         );
         assert_eq!(LifecycleItem::RunTask(TaskId(3)).to_string(), "runTask(3)");
         assert_eq!(LifecycleItem::TaskEnd(TaskId(3)).to_string(), "taskEnd(3)");
+    }
+
+    #[test]
+    fn tee_duplicates_the_stream() {
+        #[derive(Default)]
+        struct Count(usize, usize);
+        impl TraceSink for Count {
+            fn lifecycle(&mut self, _c: u64, _i: LifecycleItem) {
+                self.0 += 1;
+            }
+            fn segment(&mut self, _c: &[u32]) {
+                self.1 += 1;
+            }
+        }
+        let (mut a, mut b) = (Count::default(), Count::default());
+        {
+            let mut tee = Tee(&mut a, &mut b);
+            tee.segment(&[1]);
+            tee.lifecycle(3, LifecycleItem::Reti);
+            tee.segment(&[2]);
+        }
+        assert_eq!((a.0, a.1), (1, 2));
+        assert_eq!((b.0, b.1), (1, 2));
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use extract::{extract, EventInterval, ExtractError, Extraction, TaskMatching
 pub use grammar::{matching_reti, GrammarError, PushdownRecognizer};
 pub use online::{extract_online, OnlineExtractor};
 pub use profile::{Profile, RoutineProfile};
-pub use recorder::{Recorder, Trace, TraceEvent};
+pub use recorder::{ProtocolViolation, Recorder, Trace, TraceEvent};

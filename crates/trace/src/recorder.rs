@@ -90,6 +90,28 @@ impl Trace {
     }
 }
 
+/// The sink protocol was violated: a finished trace must carry exactly one
+/// more segment than it has events (see [`Trace`]'s invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// Lifecycle events recorded.
+    pub events: usize,
+    /// Count segments recorded.
+    pub segments: usize,
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace protocol violation: {} events with {} segments (want events + 1)",
+            self.events, self.segments
+        )
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
 /// A [`TraceSink`] that records the full trace in memory.
 ///
 /// # Examples
@@ -131,18 +153,32 @@ impl Recorder {
     /// Panics if the sink protocol was violated (a final segment flush is
     /// missing) — [`tinyvm::node::Node::run`] always upholds it; callers
     /// driving [`tinyvm::node::Node::advance`] manually must call
-    /// [`tinyvm::node::Node::finish`] once.
+    /// [`tinyvm::node::Node::finish`] once. Use
+    /// [`Recorder::try_into_trace`] where the stream comes from an
+    /// untrusted driver.
     pub fn into_trace(self) -> Trace {
-        assert_eq!(
-            self.segments.len(),
-            self.events.len() + 1,
-            "trace protocol violation: run not finished with a final segment"
-        );
-        Trace {
+        self.try_into_trace()
+            .expect("trace protocol violation: run not finished with a final segment")
+    }
+
+    /// Finalizes the recording, reporting a protocol violation as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolViolation`] when `segments != events + 1`.
+    pub fn try_into_trace(self) -> Result<Trace, ProtocolViolation> {
+        if self.segments.len() != self.events.len() + 1 {
+            return Err(ProtocolViolation {
+                events: self.events.len(),
+                segments: self.segments.len(),
+            });
+        }
+        Ok(Trace {
             events: self.events,
             segments: self.segments,
             program_len: self.program_len,
-        }
+        })
     }
 
     /// Events recorded so far.
@@ -221,5 +257,22 @@ t:
     fn total_instructions_positive() {
         let t = record(10_000);
         assert!(t.total_instructions() > 0);
+    }
+
+    #[test]
+    fn unfinished_recording_is_a_typed_error() {
+        let mut rec = Recorder::new(1);
+        rec.segment(&[1]);
+        rec.lifecycle(5, LifecycleItem::Reti);
+        // No final segment flush: the protocol is violated.
+        let err = rec.try_into_trace().unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolViolation {
+                events: 1,
+                segments: 1
+            }
+        );
+        assert!(err.to_string().contains("protocol violation"));
     }
 }

@@ -1,0 +1,139 @@
+//! Typed errors for every way a trace file or corpus directory can be
+//! bad. Corrupt or truncated input must surface as an [`StoreError`] —
+//! never a panic — so a store full of partially written runs stays
+//! navigable.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Any failure while writing, reading or validating stored traces.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure, annotated with the path involved.
+    Io {
+        /// What the operation was trying to do.
+        context: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// The file does not start with the `STRC` magic — not a trace file.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The file ended in the middle of a header, chunk or record.
+    Truncated {
+        /// Where in the file structure the data ran out.
+        context: &'static str,
+    },
+    /// A chunk's payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// 0-based index of the offending chunk.
+        chunk: u64,
+    },
+    /// The byte stream is structurally invalid (bad tag, varint overflow,
+    /// out-of-range index, trailing garbage, …).
+    Corrupt(String),
+    /// The end chunk's item counts or stream digest disagree with the
+    /// records actually read.
+    DigestMismatch {
+        /// What the end chunk promised.
+        expected: String,
+        /// What the reader reconstructed.
+        actual: String,
+    },
+    /// A decoded trace violates the recorder protocol
+    /// (`segments != events + 1`).
+    Protocol {
+        /// Lifecycle events decoded.
+        events: usize,
+        /// Count segments decoded.
+        segments: usize,
+    },
+    /// A run manifest is missing, unparsable or inconsistent.
+    Manifest {
+        /// Manifest path.
+        path: PathBuf,
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the path and operation that hit it.
+    pub fn io(context: impl Into<String>, source: io::Error) -> StoreError {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::BadMagic => {
+                f.write_str("not a trace file (missing STRC magic); was it written by `sentomist`?")
+            }
+            StoreError::UnsupportedVersion(v) => write!(
+                f,
+                "trace format version {v} is newer than this binary understands \
+                 (max {})",
+                crate::format::FORMAT_VERSION
+            ),
+            StoreError::Truncated { context } => {
+                write!(f, "trace file is truncated ({context})")
+            }
+            StoreError::ChecksumMismatch { chunk } => {
+                write!(f, "chunk {chunk} failed its checksum — the file is corrupt")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt trace file: {msg}"),
+            StoreError::DigestMismatch { expected, actual } => write!(
+                f,
+                "stream digest mismatch: end chunk promises {expected}, decoded {actual}"
+            ),
+            StoreError::Protocol { events, segments } => write!(
+                f,
+                "decoded trace violates the sink protocol: {events} events but \
+                 {segments} segments (want events + 1)"
+            ),
+            StoreError::Manifest { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let e = StoreError::io("writing /tmp/x", io::Error::other("boom"));
+        assert!(e.to_string().contains("/tmp/x"));
+        assert!(StoreError::BadMagic.to_string().contains("STRC"));
+        assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(StoreError::Truncated { context: "header" }
+            .to_string()
+            .contains("header"));
+        assert!(StoreError::ChecksumMismatch { chunk: 3 }
+            .to_string()
+            .contains('3'));
+        let p = StoreError::Protocol {
+            events: 4,
+            segments: 4,
+        };
+        assert!(p.to_string().contains("events + 1"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The `.stc` binary trace format, version 1.
+//!
+//! Layout:
+//!
+//! ```text
+//! header   := "STRC" u16:version u16:flags u32:program_len
+//! chunk    := u8:kind u32:payload_len payload u32:fnv32(payload)
+//! kind     := 1 (records) | 0xFF (end)
+//! records  := record*
+//! record   := event | segment
+//! event    := u8:tag(1..=5) varint:zigzag(cycle - prev_cycle) [varint:payload]
+//! segment  := u8:6 varint:nonzero_count (varint:index_delta varint:count)*
+//! end      := varint:event_count varint:segment_count u64le:stream_digest
+//! ```
+//!
+//! All multi-byte fixed-width integers are little-endian. Cycle stamps
+//! are delta-encoded against the previous event (zigzag, so a hand-built
+//! non-monotonic trace still round-trips). Count segments are sparse:
+//! only non-zero instruction counters are stored, addressed by the gap
+//! from the previous non-zero index (`index_delta = index - prev_index`,
+//! with `prev_index` starting at -1, so every delta is ≥ 1). The payload
+//! of `Int` is the IRQ line; of `PostTask`/`RunTask`/`TaskEnd` the task
+//! id; `Reti` carries none.
+//!
+//! Versioning policy: any change to this byte layout must bump
+//! [`FORMAT_VERSION`] and add a migration note to `DESIGN.md`; readers
+//! reject newer versions with a typed error instead of guessing.
+
+use crate::error::StoreError;
+use sentomist_trace::TraceEvent;
+use tinyvm::{LifecycleItem, TaskId};
+
+/// File magic: the first four bytes of every `.stc` file.
+pub const MAGIC: [u8; 4] = *b"STRC";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Chunk kind: a run of encoded records.
+pub const CHUNK_RECORDS: u8 = 1;
+
+/// Chunk kind: the end chunk (item counts + stream digest).
+pub const CHUNK_END: u8 = 0xFF;
+
+/// Writers start a fresh chunk once the current payload exceeds this.
+pub(crate) const CHUNK_TARGET: usize = 64 * 1024;
+
+/// Readers reject declared payload lengths beyond this bound (a corrupt
+/// length field must not trigger a huge allocation).
+pub(crate) const MAX_CHUNK: usize = 64 * 1024 * 1024;
+
+/// Largest program length either side of the format will accept. Real
+/// tinyvm programs are a few hundred instructions; a header whose
+/// `program_len` claims more than a million is bit rot, and honouring it
+/// would make every densified segment a multi-megabyte allocation.
+pub const MAX_PROGRAM_LEN: usize = 1 << 20;
+
+pub(crate) const TAG_INT: u8 = 1;
+pub(crate) const TAG_RETI: u8 = 2;
+pub(crate) const TAG_POST: u8 = 3;
+pub(crate) const TAG_RUN: u8 = 4;
+pub(crate) const TAG_TASK_END: u8 = 5;
+pub(crate) const TAG_SEGMENT: u8 = 6;
+
+/// Bytes one event costs in the naive fixed-width encoding the format is
+/// benchmarked against: u64 cycle + u8 tag + u16 payload.
+pub const NAIVE_EVENT_BYTES: u64 = 11;
+
+/// Bytes one segment entry costs in the naive fixed-width encoding (u32).
+pub const NAIVE_COUNT_BYTES: u64 = 4;
+
+// ---------------------------------------------------------------------
+// Hashes
+// ---------------------------------------------------------------------
+
+/// FNV-1a over a byte slice, 32-bit — the per-chunk checksum.
+pub fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// One FNV-1a (64-bit) mixing step — the stream digest is a fold of
+/// these over the record stream.
+#[inline]
+pub(crate) fn mix64(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Initial stream-digest state for a program of the given length.
+pub(crate) fn digest_seed(program_len: u32) -> u64 {
+    mix64(0xcbf2_9ce4_8422_2325, u64::from(program_len))
+}
+
+/// Folds one event into the stream digest.
+pub(crate) fn digest_event(h: u64, cycle: u64, item: LifecycleItem) -> u64 {
+    let (tag, payload) = item_code(item);
+    mix64(mix64(mix64(h, 1), cycle), (u64::from(tag) << 32) | payload)
+}
+
+/// Folds one segment into the stream digest (length + every count).
+pub(crate) fn digest_segment(h: u64, counts: &[u32]) -> u64 {
+    let mut h = mix64(mix64(h, 2), counts.len() as u64);
+    for &c in counts {
+        h = mix64(h, u64::from(c));
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------
+
+/// Appends an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `bytes` at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] when the varint runs past the buffer or past
+/// 64 bits.
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(StoreError::Corrupt("varint runs past the chunk".into()));
+        };
+        *pos += 1;
+        let low = u64::from(byte & 0x7F);
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(StoreError::Corrupt("varint wider than 64 bits".into()));
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed delta to an unsigned varint payload.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------
+
+fn item_code(item: LifecycleItem) -> (u8, u64) {
+    match item {
+        LifecycleItem::Int(n) => (TAG_INT, u64::from(n)),
+        LifecycleItem::Reti => (TAG_RETI, 0),
+        LifecycleItem::PostTask(t) => (TAG_POST, u64::from(t.0)),
+        LifecycleItem::RunTask(t) => (TAG_RUN, u64::from(t.0)),
+        LifecycleItem::TaskEnd(t) => (TAG_TASK_END, u64::from(t.0)),
+    }
+}
+
+/// Encodes one lifecycle event against the previous event's cycle.
+pub fn put_event(buf: &mut Vec<u8>, prev_cycle: u64, cycle: u64, item: LifecycleItem) {
+    let (tag, payload) = item_code(item);
+    buf.push(tag);
+    put_varint(buf, zigzag(cycle.wrapping_sub(prev_cycle) as i64));
+    if tag != TAG_RETI {
+        put_varint(buf, payload);
+    }
+}
+
+/// Encodes one count segment sparsely (non-zero entries only).
+pub fn put_segment(buf: &mut Vec<u8>, counts: &[u32]) {
+    buf.push(TAG_SEGMENT);
+    let nonzero = counts.iter().filter(|&&c| c != 0).count() as u64;
+    put_varint(buf, nonzero);
+    let mut prev: i64 = -1;
+    for (i, &c) in counts.iter().enumerate() {
+        if c != 0 {
+            put_varint(buf, (i as i64 - prev) as u64);
+            put_varint(buf, u64::from(c));
+            prev = i as i64;
+        }
+    }
+}
+
+/// One decoded record: either a lifecycle event or a count segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A lifecycle event with its absolute cycle stamp.
+    Event(TraceEvent),
+    /// A count segment, densified back to `program_len` entries.
+    Segment(Vec<u32>),
+}
+
+/// Decodes the record starting at `*pos` (whose tag byte is already
+/// consumed and passed as `tag`).
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on unknown tags, varint problems, payloads out
+/// of range, or segment indices beyond `program_len`.
+pub fn get_record(
+    tag: u8,
+    bytes: &[u8],
+    pos: &mut usize,
+    prev_cycle: u64,
+    program_len: usize,
+) -> Result<Record, StoreError> {
+    match tag {
+        TAG_INT | TAG_RETI | TAG_POST | TAG_RUN | TAG_TASK_END => {
+            let delta = unzigzag(get_varint(bytes, pos)?);
+            let cycle = prev_cycle.wrapping_add(delta as u64);
+            let item = match tag {
+                TAG_RETI => LifecycleItem::Reti,
+                TAG_INT => {
+                    let n = get_varint(bytes, pos)?;
+                    let n = u8::try_from(n)
+                        .map_err(|_| StoreError::Corrupt(format!("irq line {n} out of range")))?;
+                    LifecycleItem::Int(n)
+                }
+                _ => {
+                    let t = get_varint(bytes, pos)?;
+                    let t = u16::try_from(t)
+                        .map_err(|_| StoreError::Corrupt(format!("task id {t} out of range")))?;
+                    match tag {
+                        TAG_POST => LifecycleItem::PostTask(TaskId(t)),
+                        TAG_RUN => LifecycleItem::RunTask(TaskId(t)),
+                        _ => LifecycleItem::TaskEnd(TaskId(t)),
+                    }
+                }
+            };
+            Ok(Record::Event(TraceEvent { cycle, item }))
+        }
+        TAG_SEGMENT => {
+            let nonzero = get_varint(bytes, pos)?;
+            if nonzero > program_len as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "segment claims {nonzero} non-zero counters in a {program_len}-instruction \
+                     program"
+                )));
+            }
+            let mut counts = vec![0u32; program_len];
+            let mut index: i64 = -1;
+            for _ in 0..nonzero {
+                let delta = get_varint(bytes, pos)?;
+                if delta == 0 {
+                    return Err(StoreError::Corrupt("zero index delta in segment".into()));
+                }
+                index =
+                    index
+                        .checked_add(i64::try_from(delta).map_err(|_| {
+                            StoreError::Corrupt("segment index delta overflows".into())
+                        })?)
+                        .ok_or_else(|| StoreError::Corrupt("segment index overflows".into()))?;
+                let slot = counts.get_mut(index as usize).ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "segment counter index {index} beyond program length {program_len}"
+                    ))
+                })?;
+                let c = get_varint(bytes, pos)?;
+                *slot = u32::try_from(c)
+                    .map_err(|_| StoreError::Corrupt(format!("counter value {c} exceeds u32")))?;
+            }
+            Ok(Record::Segment(counts))
+        }
+        other => Err(StoreError::Corrupt(format!("unknown record tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert!(get_varint(&buf[..buf.len() - 1], &mut pos).is_err());
+        let wide = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(get_varint(&wide, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_with_deltas() {
+        let items = [
+            LifecycleItem::Int(3),
+            LifecycleItem::PostTask(TaskId(7)),
+            LifecycleItem::Reti,
+            LifecycleItem::RunTask(TaskId(7)),
+            LifecycleItem::TaskEnd(TaskId(7)),
+        ];
+        let cycles = [10u64, 10, 900, 5_000_000_000, 5_000_000_001];
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for (&c, &item) in cycles.iter().zip(&items) {
+            put_event(&mut buf, prev, c, item);
+            prev = c;
+        }
+        let mut pos = 0;
+        let mut prev = 0u64;
+        for (&c, &item) in cycles.iter().zip(&items) {
+            let tag = buf[pos];
+            pos += 1;
+            let rec = get_record(tag, &buf, &mut pos, prev, 0).unwrap();
+            assert_eq!(rec, Record::Event(TraceEvent { cycle: c, item }));
+            prev = c;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sparse_segment_round_trips() {
+        let counts = vec![0, 0, 5, 0, 0, 0, 1, u32::MAX, 0];
+        let mut buf = Vec::new();
+        put_segment(&mut buf, &counts);
+        // 2 bytes header+count, then far fewer than 4 bytes per entry.
+        assert!(buf.len() < counts.len() * 4);
+        let mut pos = 1; // skip tag
+        let rec = get_record(TAG_SEGMENT, &buf, &mut pos, 0, counts.len()).unwrap();
+        assert_eq!(rec, Record::Segment(counts));
+    }
+
+    #[test]
+    fn segment_rejects_out_of_range_index() {
+        let mut buf = Vec::new();
+        put_segment(&mut buf, &[0, 0, 9]);
+        let mut pos = 1;
+        // Densify into a *shorter* program: the stored index 2 is invalid.
+        assert!(matches!(
+            get_record(TAG_SEGMENT, &buf, &mut pos, 0, 2),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let buf = [0u8; 4];
+        let mut pos = 0;
+        assert!(matches!(
+            get_record(42, &buf, &mut pos, 0, 0),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

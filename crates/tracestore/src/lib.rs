@@ -1,0 +1,65 @@
+//! # sentomist-tracestore — a persistent corpus of lifecycle traces
+//!
+//! The paper notes a single testing run's lifecycle log already reaches
+//! tens of megabytes; a campaign multiplies that by hundreds of seeds.
+//! This crate makes those traces durable, addressable artifacts instead
+//! of process-lifetime vectors, so detectors can be re-tuned and
+//! campaigns re-ranked **without paying the emulation cost again**:
+//!
+//! * [`format`] — the versioned `.stc` byte layout: delta + varint
+//!   encoded cycle stamps and item payloads, sparse count segments,
+//!   per-chunk checksums, a sealed end chunk with a stream digest;
+//! * [`TraceWriter`] — a streaming [`tinyvm::TraceSink`] that encodes
+//!   items as the VM emits them, with O(chunk) memory;
+//! * [`TraceReader`] — a chunk-at-a-time reader that can replay straight
+//!   into the online interval extractor
+//!   ([`TraceReader::replay_online`]) or densify a whole [`Trace`]
+//!   ([`read_trace`]); corrupt or truncated input yields a typed
+//!   [`StoreError`], never a panic;
+//! * [`TraceStore`] — the corpus directory: one JSON manifest per run
+//!   (seed, mode, program digest, per-node trace digests) plus an
+//!   optional campaign manifest, enabling `sentomist trace mine` to
+//!   reproduce a live campaign document bit for bit.
+//!
+//! ```
+//! use sentomist_tracestore::{read_trace, write_trace};
+//! use sentomist_trace::{Trace, TraceEvent};
+//! use tinyvm::LifecycleItem;
+//!
+//! # fn main() -> Result<(), sentomist_tracestore::StoreError> {
+//! let trace = Trace {
+//!     events: vec![
+//!         TraceEvent { cycle: 4, item: LifecycleItem::Int(0) },
+//!         TraceEvent { cycle: 9, item: LifecycleItem::Reti },
+//!     ],
+//!     segments: vec![vec![3, 0], vec![0, 5], vec![1, 0]],
+//!     program_len: 2,
+//! };
+//! let mut bytes = Vec::new();
+//! write_trace(&mut bytes, &trace)?;
+//! assert_eq!(read_trace(&bytes[..])?, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod reader;
+pub mod store;
+pub mod writer;
+
+pub use error::StoreError;
+pub use format::{Record, FORMAT_VERSION};
+pub use reader::{read_trace, read_trace_file, TraceReader};
+pub use store::{
+    run_id_for_seed, CampaignManifest, NodeTraceMeta, RunManifest, StoredRunError, TraceStore,
+    MANIFEST_VERSION,
+};
+pub use writer::{write_trace, write_trace_file, StoreStats, TraceWriter};
+
+// Re-exported so doctests and downstream callers can name the trace type
+// without a separate dependency line.
+pub use sentomist_trace::Trace;

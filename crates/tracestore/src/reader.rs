@@ -1,0 +1,451 @@
+//! Chunked trace reader: streams records out of an `.stc` file without
+//! materializing the whole trace, verifying checksums chunk by chunk and
+//! the stream digest at the end.
+
+use crate::error::StoreError;
+use crate::format::{
+    self, get_record, Record, CHUNK_END, CHUNK_RECORDS, FORMAT_VERSION, MAGIC, MAX_CHUNK,
+    MAX_PROGRAM_LEN,
+};
+use sentomist_trace::{EventInterval, OnlineExtractor, Trace, TraceEvent};
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// Streaming reader over one `.stc` trace file.
+///
+/// Iterate with [`TraceReader::next_record`] (or the [`Iterator`] impl)
+/// to visit records in arrival order with O(chunk) memory; or call
+/// [`read_trace`] to densify a whole file back into a [`Trace`]. Every
+/// structural problem — truncation, bit rot, version skew — surfaces as a
+/// typed [`StoreError`], never a panic.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    chunk: Vec<u8>,
+    pos: usize,
+    chunk_index: u64,
+    program_len: u32,
+    prev_cycle: u64,
+    events: u64,
+    segments: u64,
+    digest: u64,
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened, plus any header
+    /// validation error.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)
+            .map_err(|e| StoreError::io(format!("opening trace file {}", path.display()), e))?;
+        TraceReader::new(BufReader::new(file))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps `input`, reading and validating the format header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`],
+    /// [`StoreError::Truncated`] or [`StoreError::Io`].
+    pub fn new(mut input: R) -> Result<Self, StoreError> {
+        let mut header = [0u8; 12];
+        read_exact(&mut input, &mut header, "file header")?;
+        if header[..4] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        // v1 defines no flags; any set bit is from a future writer (or rot).
+        let flags = u16::from_le_bytes([header[6], header[7]]);
+        if flags != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "unknown header flags {flags:#06x}"
+            )));
+        }
+        let program_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if program_len as usize > MAX_PROGRAM_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "implausible program length {program_len}"
+            )));
+        }
+        Ok(TraceReader {
+            input,
+            chunk: Vec::new(),
+            pos: 0,
+            chunk_index: 0,
+            program_len,
+            prev_cycle: 0,
+            events: 0,
+            segments: 0,
+            digest: format::digest_seed(program_len),
+            done: false,
+        })
+    }
+
+    /// The program length declared in the header (the width of every
+    /// segment).
+    pub fn program_len(&self) -> usize {
+        self.program_len as usize
+    }
+
+    /// Lifecycle events yielded so far.
+    pub fn events_read(&self) -> u64 {
+        self.events
+    }
+
+    /// Count segments yielded so far.
+    pub fn segments_read(&self) -> u64 {
+        self.segments
+    }
+
+    /// Loads the next chunk; returns `false` once the end chunk has been
+    /// consumed and verified.
+    fn next_chunk(&mut self) -> Result<bool, StoreError> {
+        loop {
+            let mut kind = [0u8; 1];
+            match self.input.read(&mut kind) {
+                Ok(0) => {
+                    return Err(StoreError::Truncated {
+                        context: "missing end chunk",
+                    })
+                }
+                Ok(_) => {}
+                Err(e) => return Err(StoreError::io("reading chunk kind", e)),
+            }
+            let mut len_bytes = [0u8; 4];
+            read_exact(&mut self.input, &mut len_bytes, "chunk length")?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if len > MAX_CHUNK {
+                return Err(StoreError::Corrupt(format!(
+                    "chunk {} declares an implausible {len}-byte payload",
+                    self.chunk_index
+                )));
+            }
+            let mut payload = vec![0u8; len];
+            read_exact(&mut self.input, &mut payload, "chunk payload")?;
+            let mut sum = [0u8; 4];
+            read_exact(&mut self.input, &mut sum, "chunk checksum")?;
+            if format::fnv32(&payload) != u32::from_le_bytes(sum) {
+                return Err(StoreError::ChecksumMismatch {
+                    chunk: self.chunk_index,
+                });
+            }
+            self.chunk_index += 1;
+            match kind[0] {
+                CHUNK_RECORDS => {
+                    if payload.is_empty() {
+                        continue; // legal but pointless; skip
+                    }
+                    self.chunk = payload;
+                    self.pos = 0;
+                    return Ok(true);
+                }
+                CHUNK_END => {
+                    self.verify_end(&payload)?;
+                    // Anything after the end chunk is foreign matter.
+                    let mut probe = [0u8; 1];
+                    match self.input.read(&mut probe) {
+                        Ok(0) => {}
+                        Ok(_) => {
+                            return Err(StoreError::Corrupt(
+                                "trailing data after the end chunk".into(),
+                            ))
+                        }
+                        Err(e) => return Err(StoreError::io("probing for trailing data", e)),
+                    }
+                    self.done = true;
+                    return Ok(false);
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!("unknown chunk kind {other}")));
+                }
+            }
+        }
+    }
+
+    fn verify_end(&self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut pos = 0;
+        let events = format::get_varint(payload, &mut pos)?;
+        let segments = format::get_varint(payload, &mut pos)?;
+        let digest_bytes: [u8; 8] = payload
+            .get(pos..pos + 8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(StoreError::Truncated {
+                context: "end-chunk digest",
+            })?;
+        if pos + 8 != payload.len() {
+            return Err(StoreError::Corrupt("oversized end chunk".into()));
+        }
+        let digest = u64::from_le_bytes(digest_bytes);
+        if events != self.events || segments != self.segments {
+            return Err(StoreError::DigestMismatch {
+                expected: format!("{events} events + {segments} segments"),
+                actual: format!("{} events + {} segments", self.events, self.segments),
+            });
+        }
+        if digest != self.digest {
+            return Err(StoreError::DigestMismatch {
+                expected: format!("{digest:016x}"),
+                actual: format!("{:016x}", self.digest),
+            });
+        }
+        Ok(())
+    }
+
+    /// Yields the next record, or `None` after the verified end chunk.
+    ///
+    /// # Errors
+    ///
+    /// Every structural defect of the file, as a typed [`StoreError`].
+    pub fn next_record(&mut self) -> Result<Option<Record>, StoreError> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.pos >= self.chunk.len() && !self.next_chunk()? {
+            return Ok(None);
+        }
+        let tag = self.chunk[self.pos];
+        self.pos += 1;
+        let record = get_record(
+            tag,
+            &self.chunk,
+            &mut self.pos,
+            self.prev_cycle,
+            self.program_len as usize,
+        )?;
+        match &record {
+            Record::Event(ev) => {
+                self.digest = format::digest_event(self.digest, ev.cycle, ev.item);
+                self.prev_cycle = ev.cycle;
+                self.events += 1;
+            }
+            Record::Segment(counts) => {
+                self.digest = format::digest_segment(self.digest, counts);
+                self.segments += 1;
+            }
+        }
+        Ok(Some(record))
+    }
+
+    /// Replays the file's lifecycle events into an [`OnlineExtractor`],
+    /// collecting completed [`EventInterval`]s — interval mining straight
+    /// off disk with O(chunk + open instances) memory, no full [`Trace`]
+    /// materialization.
+    ///
+    /// # Errors
+    ///
+    /// Any structural error of the underlying file.
+    pub fn replay_online(mut self) -> Result<Vec<EventInterval>, StoreError> {
+        let mut extractor = OnlineExtractor::new();
+        let mut intervals = Vec::new();
+        let mut index = 0usize;
+        while let Some(record) = self.next_record()? {
+            if let Record::Event(ev) = record {
+                intervals.extend(extractor.feed(index, ev.cycle, ev.item));
+                index += 1;
+            }
+        }
+        Ok(intervals)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Record, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+fn read_exact<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), StoreError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => return Err(StoreError::Truncated { context }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(StoreError::io(format!("reading {context}"), e)),
+        }
+    }
+    Ok(())
+}
+
+/// Densifies a whole encoded trace back into a [`Trace`].
+///
+/// # Errors
+///
+/// Any structural error, plus [`StoreError::Protocol`] when the decoded
+/// stream does not satisfy `segments == events + 1`.
+pub fn read_trace<R: Read>(input: R) -> Result<Trace, StoreError> {
+    let mut reader = TraceReader::new(input)?;
+    let program_len = reader.program_len();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut segments: Vec<Vec<u32>> = Vec::new();
+    while let Some(record) = reader.next_record()? {
+        match record {
+            Record::Event(ev) => events.push(ev),
+            Record::Segment(seg) => segments.push(seg),
+        }
+    }
+    if segments.len() != events.len() + 1 {
+        return Err(StoreError::Protocol {
+            events: events.len(),
+            segments: segments.len(),
+        });
+    }
+    Ok(Trace {
+        events,
+        segments,
+        program_len,
+    })
+}
+
+/// [`read_trace`] from a file path.
+///
+/// # Errors
+///
+/// As [`read_trace`], plus open failures.
+pub fn read_trace_file(path: &Path) -> Result<Trace, StoreError> {
+    let file = File::open(path)
+        .map_err(|e| StoreError::io(format!("opening trace file {}", path.display()), e))?;
+    read_trace(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_trace;
+    use tinyvm::{LifecycleItem, TaskId};
+
+    fn sample_trace() -> Trace {
+        let items = [
+            LifecycleItem::Int(2),
+            LifecycleItem::PostTask(TaskId(0)),
+            LifecycleItem::Reti,
+            LifecycleItem::RunTask(TaskId(0)),
+            LifecycleItem::TaskEnd(TaskId(0)),
+        ];
+        Trace {
+            events: items
+                .iter()
+                .enumerate()
+                .map(|(i, &item)| TraceEvent {
+                    cycle: 100 + 7 * i as u64,
+                    item,
+                })
+                .collect(),
+            segments: (0..6).map(|i| vec![i as u32, 0, 2 * i as u32, 0]).collect(),
+            program_len: 4,
+        }
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_trace(&mut out, trace).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trips_a_trace() {
+        let trace = sample_trace();
+        let decoded = read_trace(&encode(&trace)[..]).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.digest(), trace.digest());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace {
+            events: vec![],
+            segments: vec![vec![0, 0]],
+            program_len: 2,
+        };
+        assert_eq!(read_trace(&encode(&trace)[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn streaming_interval_replay_matches_batch() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        let reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut streamed = reader.replay_online().unwrap();
+        streamed.sort_by_key(|iv| iv.start_index);
+        let batch = sentomist_trace::extract(&trace).unwrap().intervals;
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error() {
+        let bytes = encode(&sample_trace());
+        for cut in 0..bytes.len() {
+            let result = read_trace(&bytes[..cut]);
+            assert!(
+                result.is_err(),
+                "prefix of {cut}/{} bytes decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = encode(&sample_trace());
+        bytes[0] = b'X';
+        assert!(matches!(read_trace(&bytes[..]), Err(StoreError::BadMagic)));
+        let mut bytes = encode(&sample_trace());
+        bytes[4] = 0xEE;
+        assert!(matches!(
+            read_trace(&bytes[..]),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&sample_trace());
+        bytes.push(0);
+        assert!(matches!(
+            read_trace(&bytes[..]),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let bytes = encode(&sample_trace());
+        // Flip one bit inside the first records chunk's payload.
+        let mut corrupted = bytes.clone();
+        corrupted[12 + 5 + 2] ^= 0x10;
+        assert!(matches!(
+            read_trace(&corrupted[..]),
+            Err(StoreError::ChecksumMismatch { chunk: 0 })
+        ));
+    }
+
+    #[test]
+    fn protocol_violation_is_typed() {
+        // events == segments (hand-built): encodes fine, read_trace rejects.
+        let trace = Trace {
+            events: sample_trace().events,
+            segments: vec![vec![0, 0, 0, 0]; 5],
+            program_len: 4,
+        };
+        assert!(matches!(
+            read_trace(&encode(&trace)[..]),
+            Err(StoreError::Protocol { .. })
+        ));
+    }
+}

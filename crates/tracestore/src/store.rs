@@ -1,0 +1,461 @@
+//! The corpus directory: a versioned on-disk collection of runs, each a
+//! JSON manifest plus one `.stc` trace file per node.
+//!
+//! ```text
+//! <store>/
+//!   campaign.json              (optional: how the corpus was produced)
+//!   runs/
+//!     seed-00000000000000001000/
+//!       manifest.json
+//!       node-000.stc
+//!       node-001.stc
+//! ```
+//!
+//! Run directories are named `seed-<20-digit decimal>`, so lexicographic
+//! order equals numeric seed order and `ls` output is stable.
+
+use crate::error::StoreError;
+use crate::reader::{read_trace_file, TraceReader};
+use crate::writer::{write_trace_file, StoreStats};
+use sentomist_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Version of the manifest schema (independent of the `.stc` byte
+/// format's [`crate::format::FORMAT_VERSION`]).
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Per-node entry of a [`RunManifest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTraceMeta {
+    /// Node id within the run (or run index for multi-run cases).
+    pub node: u16,
+    /// Trace file name, relative to the run directory.
+    pub file: String,
+    /// Lifecycle events in the trace.
+    pub events: u64,
+    /// Count segments in the trace.
+    pub segments: u64,
+    /// Encoded file size in bytes.
+    pub encoded_bytes: u64,
+    /// [`Trace::digest`] of the decoded trace, as 16 hex digits — the
+    /// same token campaign outcomes carry.
+    pub trace_digest: String,
+}
+
+/// One run's manifest: everything needed to re-mine it without
+/// re-emulating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version.
+    pub format_version: u32,
+    /// Run directory name.
+    pub run_id: String,
+    /// The seed the run was produced under (the replay key).
+    pub seed: u64,
+    /// Producer mode (`trigger`, `case1`, `case2`, `case3`, `record`).
+    pub mode: String,
+    /// FNV-1a digest of the program(s) the run executed, 16 hex digits.
+    pub program_digest: String,
+    /// Per-node traces, in node order.
+    pub nodes: Vec<NodeTraceMeta>,
+}
+
+/// A stored per-run failure (mirrors `campaign::RunError` without the
+/// dependency).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredRunError {
+    /// Seed of the failed run.
+    pub seed: u64,
+    /// The error rendered as text.
+    pub message: String,
+}
+
+/// Campaign-level manifest: the job parameters a `trace mine` needs to
+/// reproduce the live campaign document byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Manifest schema version.
+    pub format_version: u32,
+    /// Campaign mode (`trigger` or `case1`..`case3`).
+    pub mode: String,
+    /// Mode parameters as `key=value` strings (e.g. `period=20`),
+    /// exactly the flag values the campaign resolved.
+    pub params: Vec<String>,
+    /// Number of seeds swept.
+    pub seeds: u64,
+    /// First seed.
+    pub base_seed: u64,
+    /// Runs that failed during the live campaign (they have no run
+    /// directory).
+    pub errors: Vec<StoredRunError>,
+}
+
+impl CampaignManifest {
+    /// Looks up a `key=value` parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        let prefix = format!("{key}=");
+        self.params.iter().find_map(|p| p.strip_prefix(&prefix))
+    }
+}
+
+/// The run-id directory name for a seed.
+pub fn run_id_for_seed(seed: u64) -> String {
+    format!("seed-{seed:020}")
+}
+
+/// A corpus directory of stored runs.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    root: PathBuf,
+}
+
+impl TraceStore {
+    /// Creates the store directory (and `runs/`) if needed and opens it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created — e.g. an
+    /// unwritable `--store` location; the message names the path.
+    pub fn create(root: impl Into<PathBuf>) -> Result<TraceStore, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("runs")).map_err(|e| {
+            StoreError::io(format!("creating trace store at {}", root.display()), e)
+        })?;
+        Ok(TraceStore { root })
+    }
+
+    /// Opens an existing store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when `root` is not an existing directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<TraceStore, StoreError> {
+        let root = root.into();
+        if !root.join("runs").is_dir() {
+            return Err(StoreError::io(
+                format!(
+                    "opening trace store at {} (no runs/ directory — not a store?)",
+                    root.display()
+                ),
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no such store"),
+            ));
+        }
+        Ok(TraceStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory of a run.
+    pub fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join("runs").join(run_id)
+    }
+
+    /// Persists one run: every trace as a `.stc` file plus the manifest.
+    /// Existing data for the same run id is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O or encoding failure, with path context.
+    pub fn save_run(
+        &self,
+        seed: u64,
+        mode: &str,
+        program_digest: u64,
+        traces: &[Trace],
+    ) -> Result<RunManifest, StoreError> {
+        let run_id = run_id_for_seed(seed);
+        let dir = self.run_dir(&run_id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("creating run directory {}", dir.display()), e))?;
+        let mut nodes = Vec::with_capacity(traces.len());
+        for (i, trace) in traces.iter().enumerate() {
+            let file = format!("node-{i:03}.stc");
+            let stats: StoreStats = write_trace_file(&dir.join(&file), trace)?;
+            nodes.push(NodeTraceMeta {
+                node: i as u16,
+                file,
+                events: stats.events,
+                segments: stats.segments,
+                encoded_bytes: stats.encoded_bytes,
+                trace_digest: format!("{:016x}", trace.digest()),
+            });
+        }
+        let manifest = RunManifest {
+            format_version: MANIFEST_VERSION,
+            run_id,
+            seed,
+            mode: mode.to_string(),
+            program_digest: format!("{program_digest:016x}"),
+            nodes,
+        };
+        self.write_manifest(&manifest)?;
+        Ok(manifest)
+    }
+
+    /// Writes (or rewrites) a run's `manifest.json`. The run directory
+    /// must already exist — used by streaming producers that wrote their
+    /// `.stc` files directly.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::Manifest`].
+    pub fn write_manifest(&self, manifest: &RunManifest) -> Result<(), StoreError> {
+        let path = self.run_dir(&manifest.run_id).join("manifest.json");
+        let json = serde_json::to_string_pretty(manifest).map_err(|e| StoreError::Manifest {
+            path: path.clone(),
+            message: format!("serializing manifest: {e}"),
+        })?;
+        std::fs::write(&path, json)
+            .map_err(|e| StoreError::io(format!("writing manifest {}", path.display()), e))
+    }
+
+    /// All run ids, sorted ascending (== ascending seed order).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when `runs/` cannot be listed.
+    pub fn run_ids(&self) -> Result<Vec<String>, StoreError> {
+        let dir = self.root.join("runs");
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| StoreError::io(format!("listing store runs in {}", dir.display()), e))?;
+        let mut ids = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| StoreError::io(format!("listing {}", dir.display()), e))?;
+            if entry.path().is_dir() {
+                ids.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Loads one run's manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Manifest`] when missing or unparsable.
+    pub fn manifest(&self, run_id: &str) -> Result<RunManifest, StoreError> {
+        let path = self.run_dir(run_id).join("manifest.json");
+        let data = std::fs::read_to_string(&path).map_err(|e| StoreError::Manifest {
+            path: path.clone(),
+            message: format!("reading manifest: {e}"),
+        })?;
+        let manifest: RunManifest =
+            serde_json::from_str(&data).map_err(|e| StoreError::Manifest {
+                path: path.clone(),
+                message: format!("parsing manifest: {e}"),
+            })?;
+        if manifest.format_version > MANIFEST_VERSION {
+            return Err(StoreError::Manifest {
+                path,
+                message: format!(
+                    "manifest version {} is newer than this binary understands",
+                    manifest.format_version
+                ),
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// All manifests, ascending by run id.
+    ///
+    /// # Errors
+    ///
+    /// First listing or manifest error.
+    pub fn manifests(&self) -> Result<Vec<RunManifest>, StoreError> {
+        self.run_ids()?.iter().map(|id| self.manifest(id)).collect()
+    }
+
+    /// Decodes every trace of a run, verifying each against its manifest
+    /// digest.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors, plus [`StoreError::DigestMismatch`] when a decoded
+    /// trace does not hash to the digest its manifest recorded.
+    pub fn load_traces(&self, manifest: &RunManifest) -> Result<Vec<Trace>, StoreError> {
+        let dir = self.run_dir(&manifest.run_id);
+        let mut traces = Vec::with_capacity(manifest.nodes.len());
+        for node in &manifest.nodes {
+            let trace = read_trace_file(&dir.join(&node.file))?;
+            let digest = format!("{:016x}", trace.digest());
+            if digest != node.trace_digest {
+                return Err(StoreError::DigestMismatch {
+                    expected: node.trace_digest.clone(),
+                    actual: digest,
+                });
+            }
+            traces.push(trace);
+        }
+        Ok(traces)
+    }
+
+    /// Opens a streaming reader on one node's trace file.
+    ///
+    /// # Errors
+    ///
+    /// Open/header errors.
+    pub fn open_node(
+        &self,
+        manifest: &RunManifest,
+        node: usize,
+    ) -> Result<TraceReader<BufReader<File>>, StoreError> {
+        let meta = manifest
+            .nodes
+            .get(node)
+            .ok_or_else(|| StoreError::Manifest {
+                path: self.run_dir(&manifest.run_id).join("manifest.json"),
+                message: format!("run has no node {node}"),
+            })?;
+        TraceReader::open(&self.run_dir(&manifest.run_id).join(&meta.file))
+    }
+
+    /// Persists the campaign manifest (`campaign.json`).
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialization failures.
+    pub fn save_campaign(&self, manifest: &CampaignManifest) -> Result<(), StoreError> {
+        let path = self.root.join("campaign.json");
+        let json = serde_json::to_string_pretty(manifest).map_err(|e| StoreError::Manifest {
+            path: path.clone(),
+            message: format!("serializing campaign manifest: {e}"),
+        })?;
+        std::fs::write(&path, json)
+            .map_err(|e| StoreError::io(format!("writing {}", path.display()), e))
+    }
+
+    /// Loads the campaign manifest, or `None` for stores of standalone
+    /// recordings.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures (a present-but-broken `campaign.json` is an error,
+    /// not `None`).
+    pub fn campaign(&self) -> Result<Option<CampaignManifest>, StoreError> {
+        let path = self.root.join("campaign.json");
+        let data = match std::fs::read_to_string(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(format!("reading {}", path.display()), e)),
+        };
+        serde_json::from_str(&data)
+            .map(Some)
+            .map_err(|e| StoreError::Manifest {
+                path,
+                message: format!("parsing campaign manifest: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentomist_trace::TraceEvent;
+    use tinyvm::LifecycleItem;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sentomist-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trace_with(cycles: u64) -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent {
+                    cycle: cycles,
+                    item: LifecycleItem::Int(1),
+                },
+                TraceEvent {
+                    cycle: cycles + 3,
+                    item: LifecycleItem::Reti,
+                },
+            ],
+            segments: vec![vec![1, 0], vec![0, 4], vec![2, 2]],
+            program_len: 2,
+        }
+    }
+
+    #[test]
+    fn save_list_load_round_trip() {
+        let root = tmpdir("roundtrip");
+        let store = TraceStore::create(&root).unwrap();
+        let t1 = trace_with(10);
+        let t2 = trace_with(99);
+        store
+            .save_run(7, "trigger", 0xabc, &[t1.clone(), t2.clone()])
+            .unwrap();
+        store
+            .save_run(3, "trigger", 0xabc, std::slice::from_ref(&t1))
+            .unwrap();
+        let ids = store.run_ids().unwrap();
+        assert_eq!(ids.len(), 2);
+        assert!(ids[0].ends_with("3") && ids[1].ends_with("7"));
+        let manifests = store.manifests().unwrap();
+        assert_eq!(manifests[0].seed, 3);
+        assert_eq!(manifests[1].seed, 7);
+        assert_eq!(manifests[1].nodes.len(), 2);
+        let traces = store.load_traces(&manifests[1]).unwrap();
+        assert_eq!(traces, vec![t1, t2]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_rejects_a_non_store() {
+        let root = tmpdir("nonstore");
+        std::fs::create_dir_all(&root).unwrap();
+        let err = TraceStore::open(&root).unwrap_err();
+        assert!(err.to_string().contains("not a store"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tampered_trace_fails_digest_verification() {
+        let root = tmpdir("tamper");
+        let store = TraceStore::create(&root).unwrap();
+        let manifest = store.save_run(1, "trigger", 0, &[trace_with(5)]).unwrap();
+        // Re-encode a different trace under the same file name.
+        let path = store
+            .run_dir(&manifest.run_id)
+            .join(&manifest.nodes[0].file);
+        crate::writer::write_trace_file(&path, &trace_with(6)).unwrap();
+        assert!(matches!(
+            store.load_traces(&manifest),
+            Err(StoreError::DigestMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn campaign_manifest_round_trips() {
+        let root = tmpdir("campaign");
+        let store = TraceStore::create(&root).unwrap();
+        assert!(store.campaign().unwrap().is_none());
+        let m = CampaignManifest {
+            format_version: MANIFEST_VERSION,
+            mode: "trigger".into(),
+            params: vec!["period=20".into(), "seconds=2".into(), "nu=0.05".into()],
+            seeds: 16,
+            base_seed: 1000,
+            errors: vec![StoredRunError {
+                seed: 1003,
+                message: "vm fault".into(),
+            }],
+        };
+        store.save_campaign(&m).unwrap();
+        let loaded = store.campaign().unwrap().unwrap();
+        assert_eq!(loaded, m);
+        assert_eq!(loaded.param("period"), Some("20"));
+        assert_eq!(loaded.param("missing"), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

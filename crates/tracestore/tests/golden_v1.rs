@@ -1,0 +1,137 @@
+//! Pins format v1 down to the byte.
+//!
+//! `fixtures/golden_v1.stc` is a committed artifact: the canonical trace
+//! below, encoded once and frozen. The tests assert that today's writer
+//! still produces exactly those bytes, that the reader decodes them back
+//! to the canonical trace, and that the decoded [`Trace::digest`] matches
+//! the pinned value. If any of these fail, the byte layout changed — that
+//! is a format break and requires a `FORMAT_VERSION` bump plus a new
+//! `golden_v2.stc`, never a silent edit of this file.
+//!
+//! Regenerate (only alongside a version bump) with:
+//!
+//! ```text
+//! GOLDEN_CAPTURE=1 cargo test -p sentomist-tracestore --test golden_v1
+//! ```
+
+use sentomist_trace::{Trace, TraceEvent};
+use sentomist_tracestore::{read_trace, write_trace};
+use std::path::PathBuf;
+use tinyvm::{LifecycleItem, TaskId};
+
+/// FNV-1a/64 of the whole fixture file.
+const GOLDEN_FILE_FNV64: u64 = 0x0515_51ea_683e_2bfd;
+
+/// `Trace::digest()` of the decoded fixture.
+const GOLDEN_TRACE_DIGEST: u64 = 0x4fb7_7a7c_ac88_f161;
+
+/// Exact size of the fixture file in bytes.
+const GOLDEN_FILE_LEN: usize = 100;
+
+/// The canonical golden trace: every event tag, a zero delta, a large
+/// delta, sparse segments with leading/trailing zeros and a `u32::MAX`
+/// counter — one of everything the v1 codec encodes specially.
+fn golden_trace() -> Trace {
+    let items = [
+        LifecycleItem::Int(2),
+        LifecycleItem::PostTask(TaskId(3)),
+        LifecycleItem::Reti,
+        LifecycleItem::RunTask(TaskId(3)),
+        LifecycleItem::Int(0),
+        LifecycleItem::Reti,
+        LifecycleItem::TaskEnd(TaskId(3)),
+    ];
+    let cycles = [
+        100u64,
+        100,
+        250,
+        260,
+        5_000_000_000,
+        5_000_000_090,
+        5_000_000_091,
+    ];
+    let events = cycles
+        .iter()
+        .zip(&items)
+        .map(|(&cycle, &item)| TraceEvent { cycle, item })
+        .collect();
+    let mut segments: Vec<Vec<u32>> = Vec::new();
+    for i in 0..8u32 {
+        let mut seg = vec![0u32; 16];
+        seg[(i as usize * 3) % 16] = i + 1;
+        seg[15] = if i == 4 { u32::MAX } else { 0 };
+        segments.push(seg);
+    }
+    segments[0] = vec![0; 16]; // an all-zero segment encodes as just a count
+    Trace {
+        events,
+        segments,
+        program_len: 16,
+    }
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_v1.stc")
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn golden_fixture_is_byte_stable() {
+    let trace = golden_trace();
+    let mut encoded = Vec::new();
+    write_trace(&mut encoded, &trace).unwrap();
+
+    if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &encoded).unwrap();
+        panic!(
+            "captured {} bytes; pin GOLDEN_FILE_LEN={}, GOLDEN_FILE_FNV64={:#018x}, \
+             GOLDEN_TRACE_DIGEST={:#018x} and re-run without GOLDEN_CAPTURE",
+            encoded.len(),
+            encoded.len(),
+            fnv64(&encoded),
+            trace.digest(),
+        );
+    }
+
+    let fixture = std::fs::read(fixture_path()).expect("committed fixture golden_v1.stc");
+    assert_eq!(fixture.len(), GOLDEN_FILE_LEN, "fixture size drifted");
+    assert_eq!(fnv64(&fixture), GOLDEN_FILE_FNV64, "fixture bytes drifted");
+    assert_eq!(
+        encoded, fixture,
+        "the writer no longer reproduces format v1 byte-for-byte; \
+         this is a format break — bump FORMAT_VERSION"
+    );
+}
+
+#[test]
+fn golden_fixture_decodes_to_the_pinned_trace() {
+    let fixture = std::fs::read(fixture_path()).expect("committed fixture golden_v1.stc");
+    let decoded = read_trace(&fixture[..]).unwrap();
+    assert_eq!(decoded, golden_trace());
+    assert_eq!(
+        decoded.digest(),
+        GOLDEN_TRACE_DIGEST,
+        "decoded digest drifted"
+    );
+}
+
+#[test]
+fn golden_header_bytes_are_the_documented_layout() {
+    let fixture = std::fs::read(fixture_path()).expect("committed fixture golden_v1.stc");
+    assert_eq!(&fixture[..4], b"STRC");
+    assert_eq!(u16::from_le_bytes([fixture[4], fixture[5]]), 1); // version
+    assert_eq!(u16::from_le_bytes([fixture[6], fixture[7]]), 0); // flags
+    let plen = u32::from_le_bytes([fixture[8], fixture[9], fixture[10], fixture[11]]);
+    assert_eq!(plen, 16);
+}

@@ -9,17 +9,21 @@
 //! sentomist case <1|2|3>                          run a paper case study
 //! ```
 
-use sentomist::core::campaign::{RunOutcome, Verdict};
+use sentomist::core::campaign::{CampaignResult, RunError, RunOutcome, Verdict};
 use sentomist::core::{harvest_set, localize_set, Pipeline, SampleIndex};
 use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
     PcaDetector,
 };
-use sentomist::tinyvm::{self, devices::NodeConfig, node::Node};
+use sentomist::tinyvm::{self, devices::NodeConfig, node::Node, Program};
 use sentomist::trace::{Recorder, Trace};
+use sentomist::tracestore::{
+    CampaignManifest, StoredRunError, TraceReader, TraceStore, TraceWriter, MANIFEST_VERSION,
+};
 use serde::{Serialize, Value};
 use std::collections::HashMap;
 use std::error::Error;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
@@ -52,16 +56,36 @@ USAGE:
 
   sentomist campaign [--case 1|2|3] [--seeds N] [--base-seed S] [--threads T]
                      [--period MS] [--seconds SEC] [--nu X] [--json] [--progress]
+                     [--store DIR]
       Run a parallel seed-sweep campaign: N independent runs under seeds
       S..S+N, mined in isolation, aggregated by seed. Without --case the
       campaign is the case-I trigger experiment (one run per seed at
       sampling period --period, default 20 ms, --seconds long); with
       --case each seed reruns the full case study. The aggregated output
       (and --json document) is byte-identical for every --threads value.
+      With --store every run's lifecycle traces are persisted to a trace
+      corpus under DIR, re-minable later with `trace mine`.
 
   sentomist campaign --replay --seed S [same selection flags]
       Re-run one seed of a campaign and print its outcome — the trace
       digest must match the original campaign row bit for bit.
+
+  sentomist trace record <app.s> [--cycles N] [--seed S] [--out FILE.stc]
+      Emulate a single node, streaming its lifecycle trace to a compact
+      binary .stc file as it runs (default <app>.stc).
+
+  sentomist trace ls <store-dir>
+      List the runs of a trace corpus.
+
+  sentomist trace info <file.stc | store-dir>
+      Inspect one trace file (streamed: counts, size, event-handling
+      intervals per interrupt) or a whole corpus.
+
+  sentomist trace mine <store-dir> [--threads T] [--json] [--progress]
+      Re-mine a stored campaign corpus without re-emulating: decode each
+      run's traces (digest-verified), rank them with the campaign's own
+      parameters, and print the same aggregated document `campaign`
+      printed live — byte-identical, at a fraction of the cost.
 "
 }
 
@@ -124,8 +148,8 @@ fn detector_from(flags: &HashMap<String, String>) -> Result<Box<dyn OutlierDetec
 }
 
 fn load_trace(path: &str) -> Result<Trace, Box<dyn Error>> {
-    let data = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&data)?)
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}").into())
 }
 
 fn cmd_assemble(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -232,7 +256,7 @@ fn cmd_localize(args: &[String]) -> Result<(), Box<dyn Error>> {
         .meta
         .iter()
         .position(|m| m.index == target.index)
-        .expect("ranked sample exists");
+        .ok_or("ranked sample missing from the harvested set")?;
     println!(
         "interval {} (rank {rank}, score {:.4}): deviating instructions:",
         target.index, target.score
@@ -290,47 +314,246 @@ fn cmd_case(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 type CampaignJob = Box<dyn Fn(u64) -> Result<RunOutcome, String> + Send + Sync>;
+type TracedJob = Box<dyn Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync>;
+type StoreMiner = Box<dyn Fn(u64, &[Trace]) -> Result<RunOutcome, String> + Send + Sync>;
 type CampaignConfig = Vec<(String, Value)>;
 
-/// Builds the per-seed job and the JSON `config` block for the selected
-/// campaign mode. The block deliberately excludes `--threads`: thread
-/// count must not influence the serialized campaign document.
-fn campaign_job(
-    flags: &HashMap<String, String>,
-) -> Result<(CampaignJob, CampaignConfig), Box<dyn Error>> {
-    use sentomist::apps::experiments::{case1_job, case2_job, case3_job, trigger_job};
-    use sentomist::apps::{Case1Config, Case2Config, Case3Config};
-    let entry = |k: &str, v: Value| (k.to_string(), v);
+/// A campaign mode with its flags fully resolved — the single source of
+/// truth shared by the live `campaign` command and `trace mine`, so a
+/// stored corpus re-mines into the exact document the live run printed.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Trigger { period: u32, seconds: u64, nu: f64 },
+    Case1,
+    Case2,
+    Case3,
+}
+
+/// Resolves the campaign mode from command-line flags (or from flags
+/// reconstructed out of a stored campaign manifest).
+fn campaign_mode(flags: &HashMap<String, String>) -> Result<Mode, Box<dyn Error>> {
     match flags.get("case").map(String::as_str) {
-        None => {
-            let period = flag_u64(flags, "period", 20)? as u32;
-            let seconds = flag_u64(flags, "seconds", 10)?;
-            let nu = flag_f64(flags, "nu", 0.05)?;
-            let job = trigger_job(period, seconds, nu)?;
-            Ok((
-                Box::new(job),
-                vec![
-                    entry("mode", Value::Str("trigger".into())),
-                    entry("period_ms", Serialize::to_value(&period)),
-                    entry("run_seconds", Serialize::to_value(&seconds)),
-                    entry("nu", Serialize::to_value(&nu)),
-                ],
-            ))
-        }
-        Some("1") => Ok((
-            Box::new(case1_job(Case1Config::default())),
-            vec![entry("mode", Value::Str("case1".into()))],
-        )),
-        Some("2") => Ok((
-            Box::new(case2_job(Case2Config::default())),
-            vec![entry("mode", Value::Str("case2".into()))],
-        )),
-        Some("3") => Ok((
-            Box::new(case3_job(Case3Config::default())),
-            vec![entry("mode", Value::Str("case3".into()))],
-        )),
+        None => Ok(Mode::Trigger {
+            period: flag_u64(flags, "period", 20)? as u32,
+            seconds: flag_u64(flags, "seconds", 10)?,
+            nu: flag_f64(flags, "nu", 0.05)?,
+        }),
+        Some("1") => Ok(Mode::Case1),
+        Some("2") => Ok(Mode::Case2),
+        Some("3") => Ok(Mode::Case3),
         Some(other) => Err(format!("unknown case `{other}`").into()),
     }
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Trigger { .. } => "trigger",
+            Mode::Case1 => "case1",
+            Mode::Case2 => "case2",
+            Mode::Case3 => "case3",
+        }
+    }
+
+    /// The mode's resolved parameters as `flag=value` strings, written to
+    /// the campaign manifest. `flags_from_campaign` feeds them back
+    /// through [`campaign_mode`], so the values use the flags' own names
+    /// and Rust's round-trip float formatting.
+    fn params(self) -> Vec<String> {
+        match self {
+            Mode::Trigger {
+                period,
+                seconds,
+                nu,
+            } => vec![
+                format!("period={period}"),
+                format!("seconds={seconds}"),
+                format!("nu={nu}"),
+            ],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The JSON `config` block entries for this mode. Deliberately
+    /// excludes `--threads` and `--store`: neither may influence the
+    /// serialized campaign document.
+    fn config_entries(self) -> CampaignConfig {
+        let entry = |k: &str, v: Value| (k.to_string(), v);
+        match self {
+            Mode::Trigger {
+                period,
+                seconds,
+                nu,
+            } => vec![
+                entry("mode", Value::Str("trigger".into())),
+                entry("period_ms", Serialize::to_value(&period)),
+                entry("run_seconds", Serialize::to_value(&seconds)),
+                entry("nu", Serialize::to_value(&nu)),
+            ],
+            _ => vec![entry("mode", Value::Str(self.name().into()))],
+        }
+    }
+
+    /// The per-seed emulate-and-mine job that also hands back the run's
+    /// recorded traces.
+    fn traced_job(self) -> Result<TracedJob, Box<dyn Error>> {
+        use sentomist::apps::experiments::{
+            case1_job_traced, case2_job_traced, case3_job_traced, trigger_job_traced,
+        };
+        use sentomist::apps::{Case1Config, Case2Config, Case3Config};
+        Ok(match self {
+            Mode::Trigger {
+                period,
+                seconds,
+                nu,
+            } => Box::new(trigger_job_traced(period, seconds, nu)?),
+            Mode::Case1 => Box::new(case1_job_traced(Case1Config::default())),
+            Mode::Case2 => Box::new(case2_job_traced(Case2Config::default())),
+            Mode::Case3 => Box::new(case3_job_traced(Case3Config::default())),
+        })
+    }
+
+    /// The per-seed plain job (traces dropped after mining).
+    fn job(self) -> Result<CampaignJob, Box<dyn Error>> {
+        let traced = self.traced_job()?;
+        Ok(Box::new(move |seed| {
+            traced(seed).map(|(outcome, _)| outcome)
+        }))
+    }
+
+    /// The mining stage alone, applied to a stored run's decoded traces —
+    /// the same code path `traced_job` runs after emulating.
+    fn miner(self) -> StoreMiner {
+        use sentomist::apps::experiments::{
+            mine_case1, mine_case2, mine_case3, mine_trigger_trace,
+        };
+        use sentomist::apps::{Case1Config, Case2Config, Case3Config};
+        match self {
+            Mode::Trigger { nu, .. } => Box::new(move |seed, traces: &[Trace]| {
+                let trace = match traces {
+                    [t] => t,
+                    _ => {
+                        return Err(format!(
+                            "trigger run stores one trace, found {}",
+                            traces.len()
+                        ))
+                    }
+                };
+                mine_trigger_trace(seed, trace, nu)
+            }),
+            Mode::Case1 => Box::new(|seed, traces| {
+                mine_case1(&Case1Config::default(), traces)
+                    .map(|r| r.to_outcome(seed))
+                    .map_err(|e| e.to_string())
+            }),
+            Mode::Case2 => Box::new(|seed, traces| {
+                mine_case2(&Case2Config::default(), traces)
+                    .map(|r| r.to_outcome(seed))
+                    .map_err(|e| e.to_string())
+            }),
+            Mode::Case3 => Box::new(|seed, traces| {
+                mine_case3(&Case3Config::default(), traces)
+                    .map(|r| r.to_outcome(seed))
+                    .map_err(|e| e.to_string())
+            }),
+        }
+    }
+
+    /// FNV-1a digest over the disassembly of the program(s) this mode
+    /// executes, recorded in every run manifest as the program identity.
+    fn program_digest(self) -> Result<u64, Box<dyn Error>> {
+        use sentomist::apps::{
+            ctp, forwarder, oscilloscope, Case1Config, Case2Config, Case3Config,
+        };
+        fn one(p: &Program) -> u64 {
+            fnv64(tinyvm::disassemble(p).as_bytes())
+        }
+        fn chain(digests: impl IntoIterator<Item = u64>) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for d in digests {
+                h = (h ^ d).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+        Ok(match self {
+            Mode::Trigger { period, .. } => one(&*oscilloscope::buggy(
+                &oscilloscope::OscilloscopeParams::with_period_ms(period),
+            )?),
+            Mode::Case1 => {
+                let config = Case1Config::default();
+                let mut digests = Vec::new();
+                for &ms in &config.periods_ms {
+                    digests.push(one(&*oscilloscope::buggy(
+                        &oscilloscope::OscilloscopeParams::with_period_ms(ms),
+                    )?));
+                }
+                chain(digests)
+            }
+            Mode::Case2 => {
+                let config = Case2Config::default();
+                chain([
+                    one(&*forwarder::sink_program()?),
+                    one(&*forwarder::relay_program_buggy()?),
+                    one(&*forwarder::source_program(&config.params)?),
+                ])
+            }
+            Mode::Case3 => one(&*ctp::buggy(&Case3Config::default().params)?),
+        })
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Rebuilds the flag map a stored campaign was launched with, so
+/// [`campaign_mode`] resolves to the identical mode.
+fn flags_from_campaign(
+    manifest: &CampaignManifest,
+) -> Result<HashMap<String, String>, Box<dyn Error>> {
+    let mut flags = HashMap::new();
+    match manifest.mode.as_str() {
+        "trigger" => {}
+        "case1" => {
+            flags.insert("case".to_string(), "1".to_string());
+        }
+        "case2" => {
+            flags.insert("case".to_string(), "2".to_string());
+        }
+        "case3" => {
+            flags.insert("case".to_string(), "3".to_string());
+        }
+        other => return Err(format!("unknown stored campaign mode `{other}`").into()),
+    }
+    for p in &manifest.params {
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| format!("malformed campaign param `{p}`"))?;
+        flags.insert(k.to_string(), v.to_string());
+    }
+    Ok(flags)
+}
+
+/// Assembles the serialized campaign document; shared verbatim by the
+/// live `campaign --json` and `trace mine --json`, which must produce
+/// byte-identical output for the same runs.
+fn campaign_doc(config: CampaignConfig, result: &CampaignResult) -> Value {
+    Value::Map(vec![
+        ("config".to_string(), Value::Map(config)),
+        (
+            "outcomes".to_string(),
+            Serialize::to_value(&result.outcomes),
+        ),
+        (
+            "summary".to_string(),
+            Serialize::to_value(&result.summary()),
+        ),
+        ("errors".to_string(), Serialize::to_value(&result.errors)),
+    ])
 }
 
 fn print_outcome(o: &RunOutcome) {
@@ -351,11 +574,41 @@ fn print_outcome(o: &RunOutcome) {
     );
 }
 
+fn print_campaign_table(result: &CampaignResult) {
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
+        "seed", "samples", "symptoms", "verdict", "best rank", "trace digest"
+    );
+    for o in &result.outcomes {
+        print_outcome(o);
+    }
+    for e in &result.errors {
+        println!("{:>6} FAILED: {}", e.seed, e.message);
+    }
+    let s = result.summary();
+    println!(
+        "\ntrigger rate:  {}/{} runs ({:.0}%)",
+        s.triggered,
+        s.runs,
+        100.0 * s.trigger_rate
+    );
+    println!(
+        "detection:     best symptom in top-1 for {}, top-3 for {}, top-10 for {} \
+         of the {} triggered runs",
+        s.hits_top1, s.hits_top3, s.hits_top10, s.triggered
+    );
+    println!(
+        "intervals:     {} total ({}..{} per run, mean {:.1})",
+        s.total_samples, s.min_samples, s.max_samples, s.mean_samples
+    );
+}
+
 fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
     use sentomist::core::campaign::{replay, run_campaign, CampaignOptions};
     let (_, flags) = parse_flags(args);
     let json = flags.contains_key("json");
-    let (job, mut config) = campaign_job(&flags)?;
+    let mode = campaign_mode(&flags)?;
+    let mut config = mode.config_entries();
 
     if flags.contains_key("replay") {
         let seed = flags
@@ -363,7 +616,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
             .ok_or("campaign --replay needs --seed S")?
             .parse::<u64>()
             .map_err(|_| "--seed wants a number")?;
-        let outcome = replay(seed, job).map_err(|e| format!("seed {seed}: {e}"))?;
+        let outcome = replay(seed, mode.job()?).map_err(|e| format!("seed {seed}: {e}"))?;
         if json {
             let doc = Value::Map(vec![
                 (
@@ -399,56 +652,60 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
         threads,
         progress: flags.contains_key("progress"),
     };
+    let store_dir = flags.get("store").filter(|s| !s.is_empty());
     let started = std::time::Instant::now();
-    let result = run_campaign(&seeds, options, job);
+    let result = match store_dir {
+        None => run_campaign(&seeds, options, mode.job()?),
+        Some(dir) => {
+            // Persist every run's traces while the campaign executes: the
+            // traced job tees each run into the corpus, and the campaign
+            // manifest records the exact parameters `trace mine` needs to
+            // reproduce this command's document byte for byte.
+            let store = TraceStore::create(dir)?;
+            let program_digest = mode.program_digest()?;
+            let traced = mode.traced_job()?;
+            let mode_name = mode.name();
+            let result = run_campaign(&seeds, options, |seed| {
+                let (outcome, traces) = traced(seed)?;
+                store
+                    .save_run(seed, mode_name, program_digest, &traces)
+                    .map_err(|e| e.to_string())?;
+                Ok(outcome)
+            });
+            store.save_campaign(&CampaignManifest {
+                format_version: MANIFEST_VERSION,
+                mode: mode_name.to_string(),
+                params: mode.params(),
+                seeds: n_seeds,
+                base_seed,
+                errors: result
+                    .errors
+                    .iter()
+                    .map(|e| StoredRunError {
+                        seed: e.seed,
+                        message: e.message.clone(),
+                    })
+                    .collect(),
+            })?;
+            eprintln!(
+                "campaign: stored {} run(s) under {dir} (re-mine with \
+                 `sentomist trace mine {dir}`)",
+                result.outcomes.len()
+            );
+            result
+        }
+    };
     let elapsed = started.elapsed();
 
     if json {
-        let doc = Value::Map(vec![
-            (
-                "config".to_string(),
-                Value::Map(std::mem::take(&mut config)),
-            ),
-            (
-                "outcomes".to_string(),
-                Serialize::to_value(&result.outcomes),
-            ),
-            (
-                "summary".to_string(),
-                Serialize::to_value(&result.summary()),
-            ),
-            ("errors".to_string(), Serialize::to_value(&result.errors)),
-        ]);
-        println!("{}", serde_json::to_string_pretty(&doc)?);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&campaign_doc(std::mem::take(&mut config), &result))?
+        );
         return Ok(());
     }
 
-    println!(
-        "{:>6} {:>8} {:>9} {:>10} {:>10} {:>17}",
-        "seed", "samples", "symptoms", "verdict", "best rank", "trace digest"
-    );
-    for o in &result.outcomes {
-        print_outcome(o);
-    }
-    for e in &result.errors {
-        println!("{:>6} FAILED: {}", e.seed, e.message);
-    }
-    let s = result.summary();
-    println!(
-        "\ntrigger rate:  {}/{} runs ({:.0}%)",
-        s.triggered,
-        s.runs,
-        100.0 * s.trigger_rate
-    );
-    println!(
-        "detection:     best symptom in top-1 for {}, top-3 for {}, top-10 for {} \
-         of the {} triggered runs",
-        s.hits_top1, s.hits_top3, s.hits_top10, s.triggered
-    );
-    println!(
-        "intervals:     {} total ({}..{} per run, mean {:.1})",
-        s.total_samples, s.min_samples, s.max_samples, s.mean_samples
-    );
+    print_campaign_table(&result);
     println!(
         "time:          {:.2} s wall on {} thread(s), {:.2} s total job time",
         elapsed.as_secs_f64(),
@@ -456,6 +713,248 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
         result.cpu_time_ms() as f64 / 1000.0
     );
     println!("replay a row:  sentomist campaign --replay --seed <seed> [same flags]");
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("trace: missing subcommand (record|ls|info|mine)")?;
+    let rest = &args[1..];
+    match sub {
+        "record" => cmd_trace_record(rest),
+        "ls" => cmd_trace_ls(rest),
+        "info" => cmd_trace_info(rest),
+        "mine" => cmd_trace_mine(rest),
+        other => Err(format!("unknown trace subcommand `{other}` (record|ls|info|mine)").into()),
+    }
+}
+
+fn cmd_trace_record(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    let path = pos.first().ok_or("trace record: missing <app.s>")?;
+    let cycles = flag_u64(&flags, "cycles", 10_000_000)?;
+    let seed = flag_u64(&flags, "seed", 42)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("{path}.stc"));
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let program = std::sync::Arc::new(tinyvm::assemble(&src)?);
+    let mut node = Node::new(
+        program.clone(),
+        NodeConfig {
+            seed,
+            ..NodeConfig::default()
+        },
+    );
+    // Tee the lifecycle stream: the writer encodes chunks to disk as the
+    // VM emits items, the recorder keeps the trace for the digest line.
+    let mut recorder = Recorder::new(program.len());
+    let mut writer = TraceWriter::create(Path::new(&out), program.len())?;
+    node.run(cycles, &mut tinyvm::Tee(&mut recorder, &mut writer))?;
+    let stats = writer.finish()?;
+    let trace = recorder.try_into_trace()?;
+    println!(
+        "recorded {} lifecycle events + {} segments over {} cycles",
+        stats.events,
+        stats.segments,
+        node.cycle()
+    );
+    println!(
+        "{out}: {} bytes ({:.1}% of the {}-byte fixed-width encoding), \
+         trace digest {:016x}",
+        stats.encoded_bytes,
+        100.0 * stats.ratio(),
+        stats.naive_bytes,
+        trace.digest()
+    );
+    Ok(())
+}
+
+fn cmd_trace_ls(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, _) = parse_flags(args);
+    let root = pos.first().ok_or("trace ls: missing <store-dir>")?;
+    let store = TraceStore::open(root)?;
+    if let Some(c) = store.campaign()? {
+        println!(
+            "campaign: mode {}, {} seed(s) from {}{}{}",
+            c.mode,
+            c.seeds,
+            c.base_seed,
+            if c.params.is_empty() {
+                String::new()
+            } else {
+                format!(", {}", c.params.join(", "))
+            },
+            if c.errors.is_empty() {
+                String::new()
+            } else {
+                format!(", {} failed run(s)", c.errors.len())
+            },
+        );
+    }
+    println!(
+        "{:<26} {:>8} {:>7} {:>5} {:>10} {:>12}",
+        "run", "seed", "mode", "nodes", "events", "bytes"
+    );
+    for m in store.manifests()? {
+        let events: u64 = m.nodes.iter().map(|n| n.events).sum();
+        let bytes: u64 = m.nodes.iter().map(|n| n.encoded_bytes).sum();
+        println!(
+            "{:<26} {:>8} {:>7} {:>5} {:>10} {:>12}",
+            m.run_id,
+            m.seed,
+            m.mode,
+            m.nodes.len(),
+            events,
+            bytes
+        );
+    }
+    Ok(())
+}
+
+/// Streams one `.stc` file twice: once to count records, once through the
+/// online extractor for interval statistics — never materializing the
+/// dense trace.
+fn stc_file_info(path: &Path) -> Result<(), Box<dyn Error>> {
+    use sentomist::tracestore::Record;
+    let mut reader = TraceReader::open(path)?;
+    println!(
+        "{}: stc v{}, program length {}",
+        path.display(),
+        sentomist::tracestore::FORMAT_VERSION,
+        reader.program_len()
+    );
+    let mut events = 0u64;
+    let mut segments = 0u64;
+    let mut last_cycle = 0u64;
+    while let Some(record) = reader.next_record()? {
+        match record {
+            Record::Event(e) => {
+                events += 1;
+                last_cycle = e.cycle;
+            }
+            Record::Segment(_) => segments += 1,
+        }
+    }
+    let bytes = std::fs::metadata(path)
+        .map_err(|e| format!("stat {}: {e}", path.display()))?
+        .len();
+    println!("  {events} lifecycle events, {segments} segments, last event at cycle {last_cycle}");
+    println!(
+        "  {bytes} bytes on disk ({:.2} per event+segment pair)",
+        if events + segments == 0 {
+            0.0
+        } else {
+            bytes as f64 / (events + segments) as f64
+        }
+    );
+    let intervals = TraceReader::open(path)?.replay_online()?;
+    let mut per_irq: Vec<(u8, usize)> = Vec::new();
+    for iv in &intervals {
+        match per_irq.iter_mut().find(|(irq, _)| *irq == iv.irq) {
+            Some((_, n)) => *n += 1,
+            None => per_irq.push((iv.irq, 1)),
+        }
+    }
+    per_irq.sort_unstable();
+    println!("  {} event-handling intervals:", intervals.len());
+    for (irq, n) in per_irq {
+        println!("    irq {irq} ({}): {n}", tinyvm::isa::irq::name(irq));
+    }
+    Ok(())
+}
+
+fn cmd_trace_info(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, _) = parse_flags(args);
+    let target = pos
+        .first()
+        .ok_or("trace info: missing <file.stc | store-dir>")?;
+    let path = Path::new(target);
+    if !path.is_dir() {
+        return stc_file_info(path);
+    }
+    let store = TraceStore::open(path)?;
+    if let Some(c) = store.campaign()? {
+        println!(
+            "campaign: mode {}, {} seed(s) from {}, params [{}]",
+            c.mode,
+            c.seeds,
+            c.base_seed,
+            c.params.join(", ")
+        );
+        for e in &c.errors {
+            println!("  seed {} failed live: {}", e.seed, e.message);
+        }
+    }
+    for m in store.manifests()? {
+        println!(
+            "{} (seed {}, mode {}, program {}):",
+            m.run_id, m.seed, m.mode, m.program_digest
+        );
+        for n in &m.nodes {
+            println!(
+                "  {} — node {}, {} events, {} segments, {} bytes, digest {}",
+                n.file, n.node, n.events, n.segments, n.encoded_bytes, n.trace_digest
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use sentomist::core::campaign::CampaignOptions;
+    use sentomist::core::mine_store;
+    let (pos, flags) = parse_flags(args);
+    let root = pos.first().ok_or("trace mine: missing <store-dir>")?;
+    let json = flags.contains_key("json");
+    let store = TraceStore::open(root)?;
+    let campaign = store.campaign()?.ok_or(
+        "store has no campaign.json — only corpora produced by \
+         `sentomist campaign --store` can be re-mined",
+    )?;
+    let mode = campaign_mode(&flags_from_campaign(&campaign)?)?;
+    let mut config = mode.config_entries();
+    config.push(("seeds".to_string(), Serialize::to_value(&campaign.seeds)));
+    config.push((
+        "base_seed".to_string(),
+        Serialize::to_value(&campaign.base_seed),
+    ));
+
+    let threads = flag_u64(&flags, "threads", 1)?.max(1) as usize;
+    let options = CampaignOptions {
+        threads,
+        progress: flags.contains_key("progress"),
+    };
+    let started = std::time::Instant::now();
+    let mut result = mine_store(&store, options, mode.miner())?;
+    // Runs that failed during the live campaign have no run directory;
+    // fold their recorded errors back in so the document matches.
+    result
+        .errors
+        .extend(campaign.errors.iter().map(|e| RunError {
+            seed: e.seed,
+            message: e.message.clone(),
+        }));
+    result.errors.sort_by_key(|e| e.seed);
+    let elapsed = started.elapsed();
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&campaign_doc(config, &result))?
+        );
+        return Ok(());
+    }
+    print_campaign_table(&result);
+    println!(
+        "time:          {:.2} s wall on {} thread(s) — re-mined from {}, no emulation",
+        elapsed.as_secs_f64(),
+        threads,
+        root
+    );
     Ok(())
 }
 
@@ -474,6 +973,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "case" => cmd_case(rest),
         "campaign" => cmd_campaign(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -10,6 +10,7 @@
 //! | [`tinyvm`] | Cycle-accounted sensor-node MCU emulator with TinyOS concurrency semantics (the Avrora role) |
 //! | [`netsim`] | Deterministic multi-node radio simulation |
 //! | [`trace`] | Lifecycle traces, the int-reti grammar, the Figure-4 interval extraction, instruction counters |
+//! | [`tracestore`] | Persistent, versioned on-disk corpus of lifecycle traces (re-mine without re-emulating) |
 //! | [`mlcore`] | One-class ν-SVM (SMO) and alternative plug-in outlier detectors |
 //! | [`core`] | The symptom-mining pipeline: scale → detect → normalize → rank (+ bug localization) |
 //! | [`apps`] | The paper's three case studies with their transient bugs injected, plus oracles |
@@ -44,3 +45,5 @@ pub use sentomist_apps as apps;
 pub use sentomist_core as core;
 /// Trace anatomization (re-export of `sentomist-trace`).
 pub use sentomist_trace as trace;
+/// Persistent trace corpus (re-export of `sentomist-tracestore`).
+pub use sentomist_tracestore as tracestore;

@@ -1,0 +1,290 @@
+//! End-to-end tests of the persistent trace-store workflow through real
+//! `sentomist` process invocations: record a campaign into a corpus with
+//! `campaign --store`, inspect it with `trace ls` / `trace info`, re-mine
+//! it with `trace mine`, and verify the re-mined JSON document is
+//! byte-identical to the live campaign's. Corrupting the corpus must
+//! produce clean nonzero exits, never a panic.
+
+use serde::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::U64(n)) => *n,
+        other => panic!("field {key} is {other:?}, expected an unsigned integer"),
+    }
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sentomist"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sentomist-trace-store-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "command failed:\n{stderr}\n{stdout}");
+    (stdout, stderr)
+}
+
+#[test]
+fn campaign_store_then_remine_is_byte_identical() {
+    let dir = workdir("remine");
+    let store = dir.join("corpus");
+
+    // Live campaign, persisting every run's traces into the store.
+    let (live_json, _) = run_ok(
+        cli()
+            .args([
+                "campaign",
+                "--seeds",
+                "4",
+                "--base-seed",
+                "1000",
+                "--seconds",
+                "2",
+                "--threads",
+                "2",
+                "--json",
+                "--store",
+            ])
+            .arg(&store),
+    );
+
+    // The corpus has the expected shape on disk.
+    assert!(store.join("campaign.json").exists());
+    for seed in 1000u64..1004 {
+        let run = store.join("runs").join(format!("seed-{seed:020}"));
+        assert!(
+            run.join("manifest.json").exists(),
+            "missing {}",
+            run.display()
+        );
+        assert!(run.join("node-000.stc").exists());
+    }
+
+    // `trace ls` sees all four runs.
+    let (ls, _) = run_ok(cli().arg("trace").arg("ls").arg(&store));
+    assert!(ls.contains("trigger"), "ls output: {ls}");
+    for seed in 1000u64..1004 {
+        assert!(ls.contains(&format!("seed-{seed:020}")), "ls output: {ls}");
+    }
+
+    // `trace info` streams one stored file without re-emulating.
+    let (info, _) = run_ok(
+        cli().arg("trace").arg("info").arg(
+            store
+                .join("runs")
+                .join(format!("seed-{:020}", 1000))
+                .join("node-000.stc"),
+        ),
+    );
+    assert!(info.contains("lifecycle events"), "info output: {info}");
+    assert!(info.contains("stc v1"), "info output: {info}");
+
+    // Re-mine the corpus: the JSON document must be byte-identical to the
+    // live campaign's (config, outcomes, summary, errors — everything).
+    let (mined_json, _) =
+        run_ok(
+            cli()
+                .arg("trace")
+                .arg("mine")
+                .arg(&store)
+                .args(["--threads", "2", "--json"]),
+        );
+    assert_eq!(
+        live_json, mined_json,
+        "re-mined campaign JSON differs from the live campaign JSON"
+    );
+
+    // Determinism: a second re-mine with a different thread count is
+    // byte-identical too.
+    let (mined_again, _) =
+        run_ok(
+            cli()
+                .arg("trace")
+                .arg("mine")
+                .arg(&store)
+                .args(["--threads", "1", "--json"]),
+        );
+    assert_eq!(live_json, mined_again);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stored_traces_beat_the_size_ceiling() {
+    let dir = workdir("ratio");
+    let store = dir.join("corpus");
+    run_ok(
+        cli()
+            .args([
+                "campaign",
+                "--seeds",
+                "2",
+                "--base-seed",
+                "42",
+                "--seconds",
+                "2",
+                "--json",
+                "--store",
+            ])
+            .arg(&store),
+    );
+
+    // The acceptance criterion: encoded size ≤ 25% of the naive
+    // fixed-width encoding (11 bytes/event + 4 bytes/counter slot).
+    let mut naive_total = 0u64;
+    let mut encoded_total = 0u64;
+    for seed in [42u64, 43] {
+        let run = store.join("runs").join(format!("seed-{seed:020}"));
+        let manifest: Value =
+            serde_json::from_str(&std::fs::read_to_string(run.join("manifest.json")).unwrap())
+                .unwrap();
+        for node in manifest.get("nodes").unwrap().as_seq().unwrap() {
+            let events = get_u64(node, "events");
+            let segments = get_u64(node, "segments");
+            let encoded = get_u64(node, "encoded_bytes");
+            // The program length isn't in the manifest; read the file header.
+            let file = match node.get("file") {
+                Some(Value::Str(f)) => run.join(f),
+                other => panic!("node file is {other:?}"),
+            };
+            let header = std::fs::read(&file).unwrap();
+            let plen = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as u64;
+            assert!(plen > 0 && plen < 1 << 20);
+            naive_total += events * 11 + segments * plen * 4;
+            encoded_total += encoded;
+        }
+    }
+    assert!(encoded_total > 0);
+    let ratio = encoded_total as f64 / naive_total as f64;
+    assert!(
+        ratio <= 0.25,
+        "stored corpus is {encoded_total} bytes = {:.1}% of the {naive_total}-byte naive \
+         encoding; the ceiling is 25%",
+        ratio * 100.0
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_corpus_fails_cleanly_never_panics() {
+    let dir = workdir("corrupt");
+    let store = dir.join("corpus");
+    run_ok(
+        cli()
+            .args([
+                "campaign",
+                "--seeds",
+                "2",
+                "--base-seed",
+                "7",
+                "--seconds",
+                "2",
+                "--json",
+                "--store",
+            ])
+            .arg(&store),
+    );
+
+    // Bit-rot one stored trace: `trace info` on it must fail cleanly.
+    let victim = store
+        .join("runs")
+        .join(format!("seed-{:020}", 7))
+        .join("node-000.stc");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let out = cli()
+        .arg("trace")
+        .arg("info")
+        .arg(&victim)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "stderr: {err}");
+    assert!(err.contains("error"), "stderr: {err}");
+
+    // `trace mine` surfaces the bad run as a run error (partial result),
+    // still exits cleanly, and the intact run is still mined.
+    let (mined, _) = run_ok(cli().arg("trace").arg("mine").arg(&store).arg("--json"));
+    let doc: Value = serde_json::from_str(&mined).unwrap();
+    let errors = doc.get("errors").unwrap().as_seq().unwrap();
+    assert_eq!(errors.len(), 1, "errors: {errors:?}");
+    assert_eq!(get_u64(&errors[0], "seed"), 7);
+    assert_eq!(doc.get("outcomes").unwrap().as_seq().unwrap().len(), 1);
+
+    // Truncation (a killed writer) is also a clean failure.
+    bytes.truncate(mid);
+    std::fs::write(&victim, &bytes).unwrap();
+    let out = cli()
+        .arg("trace")
+        .arg("info")
+        .arg(&victim)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+
+    // A store with no corpus manifest cannot be re-mined.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = cli().arg("trace").arg("mine").arg(&empty).output().unwrap();
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_record_writes_a_readable_stc_file() {
+    let dir = workdir("record");
+    let app = dir.join("app.s");
+    std::fs::write(
+        &app,
+        "\
+.handler TIMER0 on_timer
+main:
+ ldi r1, 40
+ out TIMER0_PERIOD, r1
+ ldi r1, 1
+ out TIMER0_CTRL, r1
+ ret
+on_timer:
+ reti
+",
+    )
+    .unwrap();
+    let stc = dir.join("app.stc");
+    let (recorded, _) = run_ok(
+        cli()
+            .arg("trace")
+            .arg("record")
+            .arg(&app)
+            .args(["--cycles", "200000", "--out"])
+            .arg(&stc),
+    );
+    assert!(stc.exists());
+    assert!(recorded.contains("events"), "record output: {recorded}");
+
+    let (info, _) = run_ok(cli().arg("trace").arg("info").arg(&stc));
+    assert!(info.contains("TIMER0"), "info output: {info}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
