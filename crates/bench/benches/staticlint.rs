@@ -1,0 +1,56 @@
+//! Static analyzer cost on the largest bundled app (CTP): CFG
+//! construction alone versus the full rule pipeline, plus the smaller
+//! apps for scaling context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use staticlint::{lint, Cfg, ContextMap};
+
+fn programs() -> Vec<(&'static str, std::sync::Arc<tinyvm::Program>)> {
+    vec![
+        (
+            "oscilloscope",
+            sentomist_apps::oscilloscope::buggy(&Default::default()).unwrap(),
+        ),
+        (
+            "forwarder",
+            sentomist_apps::forwarder::relay_program_buggy().unwrap(),
+        ),
+        (
+            "ctp",
+            sentomist_apps::ctp::buggy(&Default::default()).unwrap(),
+        ),
+    ]
+}
+
+fn bench_cfg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staticlint_cfg");
+    for (name, program) in programs() {
+        group.throughput(Throughput::Elements(program.len() as u64));
+        group.bench_with_input(BenchmarkId::new("build", name), &program, |b, p| {
+            b.iter(|| {
+                let cfg = Cfg::build(p);
+                let ctx = ContextMap::build(p, &cfg);
+                (cfg.blocks.len(), ctx.contexts.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_lint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staticlint_lint");
+    for (name, program) in programs() {
+        group.throughput(Throughput::Elements(program.len() as u64));
+        group.bench_with_input(BenchmarkId::new("full", name), &program, |b, p| {
+            b.iter(|| lint(p).warnings.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_cfg_build, bench_full_lint
+}
+criterion_main!(benches);

@@ -72,7 +72,9 @@ pub use campaign::{
     RunOutcome, Verdict,
 };
 pub use corpus::mine_store;
-pub use localize::{localize, localize_set, ImplicatedInstruction};
+pub use localize::{
+    corroborate, localize, localize_set, CorroboratedInstruction, ImplicatedInstruction,
+};
 pub use monitor::WindowedMiner;
 pub use pipeline::{Pipeline, PipelineError};
 pub use report::{RankedSample, Report};

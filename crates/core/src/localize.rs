@@ -9,6 +9,7 @@
 
 use crate::sample::{Sample, SampleSet};
 use serde::{Deserialize, Serialize};
+use staticlint::{LintReport, WarningKind};
 use tinyvm::Program;
 
 /// One instruction implicated in an outlier's deviation.
@@ -127,6 +128,74 @@ pub fn localize_set(
     result
 }
 
+/// A dynamically implicated instruction joined against the static
+/// analyzer's findings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorroboratedInstruction {
+    /// The dynamic hit.
+    pub hit: ImplicatedInstruction,
+    /// Kinds of the static warnings this hit corroborates (empty when the
+    /// site is dynamically suspicious but statically clean).
+    pub warning_kinds: Vec<WarningKind>,
+    /// Anchor PCs of the matched warnings.
+    pub warning_pcs: Vec<u16>,
+}
+
+impl CorroboratedInstruction {
+    /// Whether at least one static warning backs this hit.
+    pub fn corroborated(&self) -> bool {
+        !self.warning_kinds.is_empty()
+    }
+}
+
+/// Fuses dynamic localization with static analysis: joins each
+/// implicated instruction against a [`LintReport`] and re-ranks so that
+/// sites that are *both* dynamically deviant and statically flagged come
+/// first (then by z-score, then by PC).
+///
+/// A hit matches a warning when its PC is the warning's anchor, appears
+/// among the warning's related instructions, or falls in the same
+/// routine as the anchor — handler bugs often implicate the instructions
+/// *around* the racy access rather than the access itself.
+pub fn corroborate(
+    hits: &[ImplicatedInstruction],
+    lint: &LintReport,
+) -> Vec<CorroboratedInstruction> {
+    let mut out: Vec<CorroboratedInstruction> = hits
+        .iter()
+        .map(|hit| {
+            let mut warning_kinds = Vec::new();
+            let mut warning_pcs = Vec::new();
+            for w in &lint.warnings {
+                let same_routine = w.routine.is_some() && w.routine == hit.routine;
+                if w.pc == hit.pc || w.related_pcs.contains(&hit.pc) || same_routine {
+                    warning_kinds.push(w.kind);
+                    warning_pcs.push(w.pc);
+                }
+            }
+            warning_kinds.dedup();
+            warning_pcs.dedup();
+            CorroboratedInstruction {
+                hit: hit.clone(),
+                warning_kinds,
+                warning_pcs,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.corroborated()
+            .cmp(&a.corroborated())
+            .then(
+                b.hit
+                    .z_score
+                    .partial_cmp(&a.hit.z_score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.hit.pc.cmp(&b.hit.pc))
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +244,29 @@ mod tests {
         let samples: Vec<Sample> = (0..10).map(|_| sample(vec![3.0, 1.0])).collect();
         let hits = localize(&samples, 0, &program, 0.5);
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn corroboration_promotes_statically_flagged_sites() {
+        // `dead:` is unreachable, so the linter anchors a warning at pc 2;
+        // a dynamic hit there must outrank a higher-z but statically clean
+        // hit at pc 1.
+        let program = tinyvm::assemble("main:\n nop\n halt\ndead:\n nop\n halt\n").unwrap();
+        let lint = staticlint::lint(&program);
+        assert_eq!(lint.warnings.len(), 1);
+        let hit = |pc: u16, z: f64| ImplicatedInstruction {
+            pc,
+            z_score: z,
+            observed: 1.0,
+            expected: 0.0,
+            source_line: program.source_line(pc),
+            routine: program.enclosing_label(pc).map(str::to_owned),
+        };
+        let fused = corroborate(&[hit(1, 9.0), hit(2, 3.0)], &lint);
+        assert_eq!(fused[0].hit.pc, 2);
+        assert!(fused[0].corroborated());
+        assert_eq!(fused[0].warning_kinds, vec![WarningKind::UnreachableCode]);
+        assert!(!fused[1].corroborated());
     }
 
     #[test]

@@ -103,17 +103,19 @@ pub fn harvest(
     mut label: impl FnMut(u32, &EventInterval) -> SampleIndex,
 ) -> Result<Vec<Sample>, ExtractError> {
     let extraction = extract(trace)?;
-    let table = CounterTable::new(trace);
-    Ok(extraction
+    let table = CounterTable::try_new(trace)?;
+    extraction
         .for_irq(irq)
         .into_iter()
         .enumerate()
-        .map(|(i, interval)| Sample {
-            index: label(i as u32 + 1, &interval),
-            features: table.features(&interval),
-            interval,
+        .map(|(i, interval)| {
+            Ok(Sample {
+                index: label(i as u32 + 1, &interval),
+                features: table.try_features(&interval)?,
+                interval,
+            })
         })
-        .collect())
+        .collect()
 }
 
 /// Metadata of one harvested interval: its table label and the interval
@@ -209,19 +211,21 @@ impl SampleSet {
 ///
 /// # Errors
 ///
-/// Propagates [`ExtractError`] for ill-formed traces.
+/// Propagates [`ExtractError`] for ill-formed traces, including
+/// structurally broken count segments
+/// ([`ExtractError::Malformed`](sentomist_trace::ExtractError::Malformed)).
 pub fn harvest_set(
     trace: &Trace,
     irq: u8,
     mut label: impl FnMut(u32, &EventInterval) -> SampleIndex,
 ) -> Result<SampleSet, ExtractError> {
     let extraction = extract(trace)?;
-    let table = CounterTable::new(trace);
+    let table = CounterTable::try_new(trace)?;
     let intervals = extraction.for_irq(irq);
     let mut features = FeatureMatrix::with_capacity(intervals.len(), table.dimension());
     let mut meta = Vec::with_capacity(intervals.len());
     for (i, interval) in intervals.into_iter().enumerate() {
-        table.features_into(&interval, features.add_row());
+        table.try_features_into(&interval, features.add_row())?;
         meta.push(SampleMeta {
             index: label(i as u32 + 1, &interval),
             interval,

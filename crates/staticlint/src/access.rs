@@ -1,0 +1,512 @@
+//! Data-memory access extraction: per-block abstract interpretation of
+//! register contents, producing resolved read/write sets, guard tests,
+//! and posted-task sites.
+//!
+//! The evaluator is deliberately block-local: every block is evaluated
+//! once with all registers unknown at entry. That is enough to resolve
+//! the idioms `TinyVM` programs actually use — `ldi`/`sta` constant stores,
+//! `lda base; ldi idx; add; st [r]` indexed buffer writes, and the
+//! `lda flag; cmpi k; brcc` guard pattern — without a whole-program value
+//! analysis. Where resolution fails, accesses degrade soundly to
+//! object-imprecise or unknown locations.
+
+use crate::cfg::BasicBlock;
+use tinyvm::isa::NUM_REGS;
+use tinyvm::{Op, Program};
+
+/// A contiguous labeled data-memory object (the extent of one `.data` or
+/// `.word` declaration: from its address to the next data label, the last
+/// one extending to the end of the data segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataObject {
+    /// Declaring label.
+    pub name: String,
+    /// First data-memory word.
+    pub start: u16,
+    /// Number of words.
+    pub size: u16,
+}
+
+impl DataObject {
+    /// Whether `word` lies inside the object.
+    pub fn contains(&self, word: u16) -> bool {
+        word >= self.start && word < self.start + self.size
+    }
+}
+
+/// Derives the labeled data objects of a program, sorted by address.
+pub fn data_objects(program: &Program) -> Vec<DataObject> {
+    let mut addrs: Vec<(u16, &str)> = program
+        .data_labels()
+        .iter()
+        .filter_map(|name| program.label(name).map(|addr| (addr, name.as_str())))
+        .collect();
+    addrs.sort_unstable();
+    let mut objects = Vec::with_capacity(addrs.len());
+    for (i, &(start, name)) in addrs.iter().enumerate() {
+        let end = addrs
+            .get(i + 1)
+            .map_or(program.data_size, |&(next, _)| next);
+        if end > start {
+            objects.push(DataObject {
+                name: name.to_string(),
+                start,
+                size: end - start,
+            });
+        }
+    }
+    objects
+}
+
+/// Abstract register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unknown.
+    Top,
+    /// Exactly this constant.
+    Const(u16),
+    /// `base + unknown`: a value computed from the constant `base` (a
+    /// buffer address, typically) plus an unresolved index. Resolving a
+    /// memory operand through `Near(b)` yields the *object containing
+    /// `b`* with an imprecise offset — a heuristic that matches the
+    /// indexed-store idiom, documented as such.
+    Near(u16),
+}
+
+fn abs_add(a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::{Const, Near, Top};
+    match (a, b) {
+        (Const(x), Const(y)) => Const(x.wrapping_add(y)),
+        (Const(x) | Near(x), Near(y)) | (Near(x), Const(y)) => Near(x.wrapping_add(y)),
+        (Const(x) | Near(x), Top) | (Top, Const(x) | Near(x)) => Near(x),
+        (Top, Top) => Top,
+    }
+}
+
+fn abs_sub(a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::{Const, Near, Top};
+    match (a, b) {
+        (Const(x), Const(y)) => Const(x.wrapping_sub(y)),
+        (Near(x), Const(y)) => Near(x.wrapping_sub(y)),
+        _ => Top,
+    }
+}
+
+/// Where a memory operand landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// Exactly this data-memory word.
+    Word(u16),
+    /// Somewhere inside object `objects[i]`, offset unresolved.
+    Object(usize),
+    /// Could be anywhere.
+    Unknown,
+}
+
+/// One resolved data-memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Instruction index.
+    pub pc: u16,
+    /// Store (`true`) or load.
+    pub write: bool,
+    /// Resolved location.
+    pub loc: Loc,
+    /// For writes: the abstract stored value.
+    pub value: AbsVal,
+    /// For writes: `Some(w)` when the stored value was computed from a
+    /// load of word `w` — i.e. this store completes a read-modify-write
+    /// of `w` when `loc` is `Word(w)`.
+    pub rmw_of: Option<u16>,
+}
+
+/// A block terminator branching on an equality test of one data word
+/// against a constant: `lda r, G; cmpi r, k; breq/brne ...`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guard {
+    /// The branch instruction.
+    pub pc: u16,
+    /// The tested data word.
+    pub word: u16,
+    /// The compared constant.
+    pub k: u16,
+    /// `true` for `breq` (the branch-taken side has `word == k`),
+    /// `false` for `brne` (the fallthrough side has `word == k`).
+    pub eq_on_target: bool,
+    /// Block index of the fallthrough successor, if inside the program.
+    pub fall: Option<usize>,
+    /// Block index of the branch-target successor, if inside the program.
+    pub target: Option<usize>,
+}
+
+impl Guard {
+    /// Successor block on whose side `word == k` holds, and the opposite
+    /// (`word != k`) side.
+    pub fn eq_side(&self) -> Option<usize> {
+        if self.eq_on_target {
+            self.target
+        } else {
+            self.fall
+        }
+    }
+
+    /// See [`Guard::eq_side`].
+    pub fn ne_side(&self) -> Option<usize> {
+        if self.eq_on_target {
+            self.fall
+        } else {
+            self.target
+        }
+    }
+}
+
+/// Everything the rules need to know about one basic block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockFacts {
+    /// Data-memory accesses in instruction order.
+    pub accesses: Vec<Access>,
+    /// The terminating guard test, if the block ends in one.
+    pub guard: Option<Guard>,
+    /// `post` sites: `(pc, task index)`.
+    pub posts: Vec<(u16, usize)>,
+}
+
+/// Per-register evaluator state.
+#[derive(Clone)]
+struct RegState {
+    value: [AbsVal; NUM_REGS],
+    /// `Some(w)`: the register still holds exactly the value loaded from
+    /// word `w` (for guard detection).
+    direct: [Option<u16>; NUM_REGS],
+    /// Words whose loaded values flowed into the register (for RMW
+    /// detection). Kept tiny; blocks touch a handful of words.
+    taint: [Vec<u16>; NUM_REGS],
+}
+
+impl RegState {
+    fn top() -> RegState {
+        RegState {
+            value: [AbsVal::Top; NUM_REGS],
+            direct: [None; NUM_REGS],
+            taint: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    fn clobber(&mut self, r: usize, value: AbsVal) {
+        self.value[r] = value;
+        self.direct[r] = None;
+        self.taint[r].clear();
+    }
+
+    fn merge_taint(&mut self, dst: usize, src: usize) {
+        if dst == src {
+            return;
+        }
+        let (a, b) = if dst < src {
+            let (lo, hi) = self.taint.split_at_mut(src);
+            (&mut lo[dst], &hi[0])
+        } else {
+            let (lo, hi) = self.taint.split_at_mut(dst);
+            (&mut hi[0], &lo[src])
+        };
+        for &w in b {
+            if !a.contains(&w) {
+                a.push(w);
+            }
+        }
+    }
+}
+
+fn resolve(base: AbsVal, off: i8, objects: &[DataObject]) -> Loc {
+    let off = i16::from(off).cast_unsigned(); // two's-complement add
+    match base {
+        AbsVal::Const(c) => Loc::Word(c.wrapping_add(off)),
+        AbsVal::Near(c) => {
+            let probe = c.wrapping_add(off);
+            objects
+                .iter()
+                .position(|o| o.contains(probe))
+                .map_or(Loc::Unknown, Loc::Object)
+        }
+        AbsVal::Top => Loc::Unknown,
+    }
+}
+
+/// Evaluates one basic block with all registers unknown at entry.
+pub fn eval_block(program: &Program, objects: &[DataObject], block: &BasicBlock) -> BlockFacts {
+    let mut st = RegState::top();
+    let mut facts = BlockFacts::default();
+    // Pending flag source: set by `cmpi r, k` while `r` still holds a
+    // direct load of some word; cleared by any other flag-setting op.
+    let mut flag_test: Option<(u16, u16)> = None;
+    for pc in block.pcs() {
+        let op = &program.ops[pc as usize];
+        match *op {
+            Op::Ldi(r, k) => st.clobber(r.index(), AbsVal::Const(k)),
+            Op::Mov(d, s) => {
+                let (d, s) = (d.index(), s.index());
+                st.value[d] = st.value[s];
+                st.direct[d] = st.direct[s];
+                let t = st.taint[s].clone();
+                st.taint[d] = t;
+            }
+            Op::Lda(r, addr) => {
+                facts.accesses.push(Access {
+                    pc,
+                    write: false,
+                    loc: Loc::Word(addr),
+                    value: AbsVal::Top,
+                    rmw_of: None,
+                });
+                let r = r.index();
+                st.clobber(r, AbsVal::Top);
+                st.direct[r] = Some(addr);
+                st.taint[r].push(addr);
+            }
+            Op::Ld(r, base, off) => {
+                let loc = resolve(st.value[base.index()], off, objects);
+                facts.accesses.push(Access {
+                    pc,
+                    write: false,
+                    loc,
+                    value: AbsVal::Top,
+                    rmw_of: None,
+                });
+                let r = r.index();
+                st.clobber(r, AbsVal::Top);
+                if let Loc::Word(w) = loc {
+                    st.direct[r] = Some(w);
+                    st.taint[r].push(w);
+                }
+            }
+            Op::Sta(addr, r) => {
+                let r = r.index();
+                facts.accesses.push(Access {
+                    pc,
+                    write: true,
+                    loc: Loc::Word(addr),
+                    value: st.value[r],
+                    rmw_of: st.taint[r].contains(&addr).then_some(addr),
+                });
+            }
+            Op::St(base, off, r) => {
+                let loc = resolve(st.value[base.index()], off, objects);
+                let r = r.index();
+                let rmw_of = match loc {
+                    Loc::Word(w) => st.taint[r].contains(&w).then_some(w),
+                    _ => None,
+                };
+                facts.accesses.push(Access {
+                    pc,
+                    write: true,
+                    loc,
+                    value: st.value[r],
+                    rmw_of,
+                });
+            }
+            Op::Add(d, s) => {
+                let v = abs_add(st.value[d.index()], st.value[s.index()]);
+                st.merge_taint(d.index(), s.index());
+                st.value[d.index()] = v;
+                st.direct[d.index()] = None;
+                flag_test = None;
+            }
+            Op::Sub(d, s) => {
+                let v = abs_sub(st.value[d.index()], st.value[s.index()]);
+                st.merge_taint(d.index(), s.index());
+                st.value[d.index()] = v;
+                st.direct[d.index()] = None;
+                flag_test = None;
+            }
+            Op::Addi(r, k) => {
+                let r = r.index();
+                st.value[r] = abs_add(st.value[r], AbsVal::Const(k));
+                st.direct[r] = None;
+                flag_test = None;
+            }
+            Op::Subi(r, k) => {
+                let r = r.index();
+                st.value[r] = abs_sub(st.value[r], AbsVal::Const(k));
+                st.direct[r] = None;
+                flag_test = None;
+            }
+            Op::And(d, s) | Op::Or(d, s) | Op::Xor(d, s) | Op::Mul(d, s) => {
+                let v = match (st.value[d.index()], st.value[s.index()]) {
+                    (AbsVal::Const(x), AbsVal::Const(y)) => AbsVal::Const(match *op {
+                        Op::And(_, _) => x & y,
+                        Op::Or(_, _) => x | y,
+                        Op::Xor(_, _) => x ^ y,
+                        _ => x.wrapping_mul(y),
+                    }),
+                    _ => AbsVal::Top,
+                };
+                st.merge_taint(d.index(), s.index());
+                st.value[d.index()] = v;
+                st.direct[d.index()] = None;
+                flag_test = None;
+            }
+            Op::Shl(r, k) | Op::Shr(r, k) => {
+                let r = r.index();
+                st.value[r] = match st.value[r] {
+                    AbsVal::Const(x) => AbsVal::Const(if matches!(op, Op::Shl(_, _)) {
+                        x.wrapping_shl(u32::from(k))
+                    } else {
+                        x.wrapping_shr(u32::from(k))
+                    }),
+                    _ => AbsVal::Top,
+                };
+                st.direct[r] = None;
+                flag_test = None;
+            }
+            Op::Cmp(_, _) => flag_test = None,
+            Op::Cmpi(r, k) => {
+                flag_test = st.direct[r.index()].map(|w| (w, k));
+            }
+            Op::In(r, _) | Op::Pop(r) => st.clobber(r.index(), AbsVal::Top),
+            Op::Post(task) => facts.posts.push((pc, task.index())),
+            Op::Br(cond, _) => {
+                use tinyvm::isa::Cond;
+                if let (Some((word, k)), Cond::Eq | Cond::Ne) = (flag_test, cond) {
+                    // Successor wiring is filled in by the caller, which
+                    // knows block indices; record the raw facts here.
+                    facts.guard = Some(Guard {
+                        pc,
+                        word,
+                        k,
+                        eq_on_target: cond == Cond::Eq,
+                        fall: None,
+                        target: None,
+                    });
+                }
+            }
+            Op::Nop
+            | Op::Halt
+            | Op::Sleep
+            | Op::Jmp(_)
+            | Op::Call(_)
+            | Op::Ret
+            | Op::Reti
+            | Op::Push(_)
+            | Op::Out(_, _)
+            | Op::Sei
+            | Op::Cli => {}
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+
+    fn facts_of(src: &str) -> (Program, Cfg, Vec<BlockFacts>) {
+        let p = tinyvm::assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let objects = data_objects(&p);
+        let facts = cfg
+            .blocks
+            .iter()
+            .map(|b| eval_block(&p, &objects, b))
+            .collect();
+        (p, cfg, facts)
+    }
+
+    #[test]
+    fn data_objects_have_extents() {
+        let p = tinyvm::assemble(".data buf 3\n.data flag 1\n.word seq 7\nmain:\n ret\n").unwrap();
+        let objs = data_objects(&p);
+        assert_eq!(objs.len(), 3);
+        assert_eq!(
+            (objs[0].name.as_str(), objs[0].start, objs[0].size),
+            ("buf", 0, 3)
+        );
+        assert_eq!(
+            (objs[1].name.as_str(), objs[1].start, objs[1].size),
+            ("flag", 3, 1)
+        );
+        assert_eq!(
+            (objs[2].name.as_str(), objs[2].start, objs[2].size),
+            ("seq", 4, 1)
+        );
+    }
+
+    #[test]
+    fn constant_store_and_rmw_are_recognized() {
+        let (_, _, facts) = facts_of(
+            "\
+.data c 1
+main:
+ ldi r1, 5
+ sta c, r1
+ lda r2, c
+ addi r2, 1
+ sta c, r2
+ ret
+",
+        );
+        let f = &facts[0];
+        assert_eq!(f.accesses.len(), 3);
+        assert_eq!(f.accesses[0].value, AbsVal::Const(5));
+        assert_eq!(f.accesses[0].rmw_of, None);
+        assert!(!f.accesses[1].write);
+        assert_eq!(f.accesses[2].rmw_of, Some(0));
+    }
+
+    #[test]
+    fn indexed_store_resolves_to_object() {
+        let (_, _, facts) = facts_of(
+            "\
+.data buf 3
+.data idx 1
+main:
+ lda r2, idx
+ ldi r3, buf
+ add r3, r2
+ st [r3], r1
+ ret
+",
+        );
+        let f = &facts[0];
+        let store = f.accesses.iter().find(|a| a.write).unwrap();
+        assert_eq!(store.loc, Loc::Object(0));
+    }
+
+    #[test]
+    fn guard_pattern_is_detected() {
+        let (p, cfg, facts) = facts_of(
+            "\
+.data flag 1
+main:
+ lda r1, flag
+ cmpi r1, 0
+ brne out
+ nop
+out:
+ ret
+",
+        );
+        let g = facts[cfg.block_of(p.entry)].guard.unwrap();
+        assert_eq!(g.word, 0);
+        assert_eq!(g.k, 0);
+        assert!(!g.eq_on_target);
+    }
+
+    #[test]
+    fn clobbered_register_breaks_guard() {
+        let (p, cfg, facts) = facts_of(
+            "\
+.data flag 1
+main:
+ lda r1, flag
+ addi r1, 1
+ cmpi r1, 0
+ brne out
+ nop
+out:
+ ret
+",
+        );
+        assert!(facts[cfg.block_of(p.entry)].guard.is_none());
+    }
+}

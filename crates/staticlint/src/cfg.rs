@@ -1,0 +1,286 @@
+//! Basic-block decoding and the control-flow graph.
+//!
+//! Blocks partition the whole instruction range `0..program.len()` —
+//! including code unreachable from any context, which the linter reports
+//! separately. Leaders are the program entry points (main, task entries,
+//! interrupt vectors), every control-transfer target, and the instruction
+//! after every control transfer. `Post` is *not* a control transfer: the
+//! posted task runs in its own context later, so no CFG edge connects the
+//! posting site to the task body.
+
+use tinyvm::{Op, Program};
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index of the block.
+    pub start: u16,
+    /// One past the last instruction index of the block.
+    pub end: u16,
+    /// Successor blocks (indices into [`Cfg::blocks`]), deduplicated.
+    pub succs: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Instruction indices of the block.
+    pub fn pcs(&self) -> impl Iterator<Item = u16> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a program: blocks in ascending address
+/// order, partitioning `0..program.len()` exactly.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks sorted by `start`; `blocks[i].end == blocks[i+1].start`.
+    pub blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Decodes `program` into basic blocks and wires successor edges.
+    ///
+    /// Call instructions get both the call target and the return
+    /// continuation as successors (callees are assumed to return), so a
+    /// context's reachable set includes the routines it calls. Branch or
+    /// jump targets outside the program simply contribute no edge.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        let mut mark = |pc: u16| {
+            if (pc as usize) < n {
+                leader[pc as usize] = true;
+            }
+        };
+        mark(program.entry);
+        for task in &program.tasks {
+            mark(task.entry);
+        }
+        for vector in program.vectors.iter().flatten() {
+            mark(*vector);
+        }
+        for (pc, op) in program.ops.iter().enumerate() {
+            match op {
+                Op::Jmp(t) | Op::Br(_, t) | Op::Call(t) => {
+                    if (*t as usize) < n {
+                        leader[*t as usize] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Op::Ret | Op::Reti | Op::Halt if pc + 1 < n => leader[pc + 1] = true,
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = (0..n).filter(|&pc| leader[pc]).collect();
+        let mut block_of = vec![0usize; n];
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        for (i, &start) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(n);
+            for slot in &mut block_of[start..end] {
+                *slot = i;
+            }
+            blocks.push(BasicBlock {
+                start: start as u16,
+                end: end as u16,
+                succs: Vec::new(),
+            });
+        }
+
+        for block in &mut blocks {
+            let last_pc = block.end as usize - 1;
+            let last = &program.ops[last_pc];
+            let mut succs: Vec<usize> = Vec::with_capacity(2);
+            let push = |succs: &mut Vec<usize>, pc: usize| {
+                if pc < n {
+                    let b = block_of[pc];
+                    if !succs.contains(&b) {
+                        succs.push(b);
+                    }
+                }
+            };
+            match last {
+                Op::Jmp(t) => push(&mut succs, *t as usize),
+                Op::Br(_, t) => {
+                    push(&mut succs, last_pc + 1);
+                    push(&mut succs, *t as usize);
+                }
+                Op::Call(t) => {
+                    push(&mut succs, *t as usize);
+                    push(&mut succs, last_pc + 1);
+                }
+                Op::Ret | Op::Reti | Op::Halt => {}
+                _ => push(&mut succs, last_pc + 1),
+            }
+            block.succs = succs;
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: u16) -> usize {
+        self.block_of[pc as usize]
+    }
+
+    /// Whether the block ends in an explicit control transfer that leaves
+    /// the context (no successors): `ret`, `reti`, `halt`, or falling off
+    /// the end of the program.
+    pub fn is_exit(&self, block: usize) -> bool {
+        self.blocks[block].succs.is_empty()
+    }
+
+    /// Per-block reachability from the block containing `entry_pc`,
+    /// following successor edges.
+    pub fn reachable_from(&self, entry_pc: u16) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![self.block_of(entry_pc)];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(self.blocks[b].succs.iter().copied());
+        }
+        seen
+    }
+
+    /// Reachability from `from` restricted to blocks where `within` is
+    /// true; `from` itself is only included if revisitable.
+    pub fn reachable_within(&self, from: usize, within: &[bool]) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if !within[from] {
+            return seen;
+        }
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(self.blocks[b].succs.iter().copied().filter(|&s| within[s]));
+        }
+        seen
+    }
+
+    /// Reachability from `entry_pc`'s block with `excluded` removed from
+    /// the graph — the workhorse of the dominance test (`excluded`
+    /// dominates `b` iff `b` becomes unreachable without it).
+    pub fn reachable_excluding(&self, entry_pc: u16, excluded: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let entry = self.block_of(entry_pc);
+        if entry == excluded {
+            return seen;
+        }
+        let mut stack = vec![entry];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(
+                self.blocks[b]
+                    .succs
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != excluded),
+            );
+        }
+        seen
+    }
+
+    /// Whether `block` lies on a cycle of the subgraph induced by
+    /// `within` (it can reach itself through at least one edge).
+    pub fn in_cycle(&self, block: usize, within: &[bool]) -> bool {
+        if !within[block] {
+            return false;
+        }
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack: Vec<usize> = self.blocks[block]
+            .succs
+            .iter()
+            .copied()
+            .filter(|&s| within[s])
+            .collect();
+        while let Some(b) = stack.pop() {
+            if b == block {
+                return true;
+            }
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(self.blocks[b].succs.iter().copied().filter(|&s| within[s]));
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(src: &str) -> (Program, Cfg) {
+        let p = tinyvm::assemble(src).unwrap();
+        let c = Cfg::build(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (p, c) = cfg_of("main:\n nop\n nop\n halt\n");
+        assert_eq!(c.blocks.len(), 1);
+        assert_eq!(c.blocks[0].start, 0);
+        assert_eq!(c.blocks[0].end, p.len() as u16);
+        assert!(c.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_wires_both_edges() {
+        let (_, c) = cfg_of("main:\n cmpi r1, 0\n breq skip\n nop\nskip:\n halt\n");
+        // Blocks: [0,2) test+branch, [2,3) nop, [3,4) halt.
+        assert_eq!(c.blocks.len(), 3);
+        assert_eq!(c.blocks[0].succs, vec![1, 2]);
+        assert_eq!(c.blocks[1].succs, vec![2]);
+        assert!(c.blocks[2].succs.is_empty());
+    }
+
+    #[test]
+    fn call_has_target_and_continuation_successors() {
+        let (_, c) = cfg_of("main:\n call sub\n halt\nsub:\n ret\n");
+        assert_eq!(c.blocks[0].succs, vec![2, 1]);
+    }
+
+    #[test]
+    fn blocks_partition_instructions() {
+        let (p, c) =
+            cfg_of("main:\n jmp go\nother:\n nop\n ret\ngo:\n cmpi r1, 1\n brne other\n halt\n");
+        let mut covered = vec![0u8; p.len()];
+        for b in &c.blocks {
+            for pc in b.pcs() {
+                covered[pc as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let (_, c) = cfg_of("main:\nspin:\n subi r1, 1\n brne spin\n halt\n");
+        let within = vec![true; c.blocks.len()];
+        let spin = c.block_of(0);
+        assert!(c.in_cycle(spin, &within));
+        assert!(!c.in_cycle(c.block_of(2), &within));
+    }
+}

@@ -1,0 +1,1136 @@
+//! The interleaving rules: shared-state race detection over the CFG,
+//! context reachability, and interrupt-window dataflow.
+//!
+//! The analysis is organized as a funnel of exemptions. For every labeled
+//! data object with a *concurrent conflicting pair* (a writer and another
+//! accessor in contexts that can interleave — which always involves an
+//! interrupt), protection is recognized in order:
+//!
+//! 1. **Atomic windows** — every preemptable conflicting access sits in a
+//!    proven interrupts-disabled (`cli`) window;
+//! 2. **Sync flags** — single-word objects written only with constants
+//!    from ≥ 2 concurrent contexts and tested by a guard somewhere are
+//!    the program's handshake flags, exempt themselves;
+//! 3. **Handshakes** — all conflicting accesses on one side are
+//!    control-dependent on a sync-flag test (the flag serializes them).
+//!
+//! What survives is checked for *torn publication* (a writing path that
+//! publishes only part of what the concurrent reader consumes) and
+//! *cross-context read-modify-write*. On top of the access analysis sit
+//! three protocol rules: guarded tasks that actively drop handler work,
+//! busy flags that leak on failure paths, and posts inside handler
+//! loops; plus plain unreachable-code detection.
+
+use crate::access::{data_objects, AbsVal, Access, BlockFacts, DataObject, Guard, Loc};
+use crate::cfg::Cfg;
+use crate::context::{Context, ContextMap};
+use crate::report::{LintReport, LintStats, Warning, WarningKind};
+use tinyvm::{Op, Program};
+
+/// Interrupt-enable lattice for the atomic-window dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IFlag {
+    En,
+    Dis,
+    Both,
+}
+
+impl IFlag {
+    fn join(self, other: IFlag) -> IFlag {
+        if self == other {
+            self
+        } else {
+            IFlag::Both
+        }
+    }
+}
+
+/// A guard attached to the block it terminates.
+#[derive(Debug, Clone, Copy)]
+struct GuardSite {
+    block: usize,
+    guard: Guard,
+}
+
+struct Analysis<'a> {
+    program: &'a Program,
+    cfg: Cfg,
+    ctx: ContextMap,
+    objects: Vec<DataObject>,
+    facts: Vec<BlockFacts>,
+    /// `istate[c][b]`: interrupt-enable state at block `b`'s entry in
+    /// context `c` (`En` where unreached).
+    istate: Vec<Vec<IFlag>>,
+    sync_flag: Vec<bool>,
+}
+
+/// `(context index, block index, index into that block's accesses)`.
+type AccessRef = (usize, usize, usize);
+
+impl Analysis<'_> {
+    fn access(&self, r: AccessRef) -> &Access {
+        &self.facts[r.1].accesses[r.2]
+    }
+
+    fn context(&self, c: usize) -> &Context {
+        &self.ctx.contexts[c].0
+    }
+
+    fn describe(&self, c: usize) -> String {
+        self.context(c).describe(self.program)
+    }
+
+    fn object_of_word(&self, w: u16) -> Option<usize> {
+        self.objects.iter().position(|o| o.contains(w))
+    }
+
+    fn object_of_loc(&self, loc: Loc) -> Option<usize> {
+        match loc {
+            Loc::Word(w) => self.object_of_word(w),
+            Loc::Object(i) => Some(i),
+            Loc::Unknown => None,
+        }
+    }
+
+    /// All accesses of context `c` that land in object `oi`.
+    fn ctx_accesses_to(&self, c: usize, oi: usize) -> Vec<AccessRef> {
+        let mut out = Vec::new();
+        for (b, reached) in self.ctx.reach[c].iter().enumerate() {
+            if !reached {
+                continue;
+            }
+            for (i, acc) in self.facts[b].accesses.iter().enumerate() {
+                if self.object_of_loc(acc.loc) == Some(oi) {
+                    out.push((c, b, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Guard sites reachable in context `c`.
+    fn guards_in(&self, c: usize) -> Vec<GuardSite> {
+        (0..self.cfg.blocks.len())
+            .filter(|&b| self.ctx.reach[c][b])
+            .filter_map(|b| {
+                self.facts[b]
+                    .guard
+                    .map(|guard| GuardSite { block: b, guard })
+            })
+            .collect()
+    }
+
+    /// Whether guard `g` dominates block `b` in context `c`: every path
+    /// from the context entry to `b` passes through the guard block.
+    fn guard_dominates(&self, c: usize, g: &GuardSite, b: usize) -> bool {
+        if b == g.block {
+            return false;
+        }
+        let entry = self.ctx.contexts[c].1;
+        !self.cfg.reachable_excluding(entry, g.block)[b]
+    }
+
+    /// Guards of context `c` that dominate block `b` with `b` lying
+    /// exclusively on one side; yields `(site, on_eq_side)`.
+    fn guards_over(&self, c: usize, b: usize) -> Vec<(GuardSite, bool)> {
+        let mut out = Vec::new();
+        for g in self.guards_in(c) {
+            if !self.guard_dominates(c, &g, b) {
+                continue;
+            }
+            let (eq_excl, ne_excl) = self.sides_exclusive(c, &g);
+            if eq_excl[b] {
+                out.push((g, true));
+            } else if ne_excl[b] {
+                out.push((g, false));
+            }
+        }
+        out
+    }
+
+    /// Side-exclusive block sets of a guard: reachable from one successor
+    /// and not the other, within context `c`.
+    fn sides_exclusive(&self, c: usize, g: &GuardSite) -> (Vec<bool>, Vec<bool>) {
+        let reach = &self.ctx.reach[c];
+        let empty = vec![false; self.cfg.blocks.len()];
+        let from = |side: Option<usize>| -> Vec<bool> {
+            side.map_or_else(|| empty.clone(), |s| self.cfg.reachable_within(s, reach))
+        };
+        let eq = from(g.guard.eq_side());
+        let ne = from(g.guard.ne_side());
+        let eq_excl = eq.iter().zip(&ne).map(|(&a, &b)| a && !b).collect();
+        let ne_excl = ne.iter().zip(&eq).map(|(&a, &b)| a && !b).collect();
+        (eq_excl, ne_excl)
+    }
+
+    /// Whether an access is control-dependent on a sync-flag test in its
+    /// context — the handshake exemption.
+    fn guarded_by_sync_flag(&self, r: AccessRef) -> bool {
+        let (c, b, _) = r;
+        self.guards_over(c, b).iter().any(|(g, _)| {
+            self.object_of_word(g.guard.word)
+                .is_some_and(|oi| self.sync_flag[oi])
+        })
+    }
+
+    /// Interrupt-enable state just before executing `pc` in context `c`.
+    fn istate_at(&self, c: usize, pc: u16) -> IFlag {
+        let b = self.cfg.block_of(pc);
+        let mut state = self.istate[c][b];
+        for p in self.cfg.blocks[b].start..pc {
+            state = iflag_step(self.program.ops[p as usize], state);
+        }
+        state
+    }
+
+    fn routine_of(&self, pc: u16) -> Option<String> {
+        self.program.enclosing_label(pc).map(str::to_owned)
+    }
+
+    fn warning(&self, kind: WarningKind, pc: u16, message: String) -> Warning {
+        Warning {
+            kind,
+            pc,
+            source_line: self.program.source_line(pc),
+            routine: self.routine_of(pc),
+            object: None,
+            contexts: Vec::new(),
+            related_pcs: Vec::new(),
+            message,
+        }
+    }
+}
+
+fn iflag_step(op: Op, state: IFlag) -> IFlag {
+    match op {
+        Op::Sei => IFlag::En,
+        Op::Cli => IFlag::Dis,
+        _ => state,
+    }
+}
+
+fn iflag_states(program: &Program, cfg: &Cfg, reach: &[bool], entry_pc: u16) -> Vec<IFlag> {
+    let n = cfg.blocks.len();
+    let mut entry: Vec<Option<IFlag>> = vec![None; n];
+    if n == 0 {
+        return Vec::new();
+    }
+    let start = cfg.block_of(entry_pc);
+    entry[start] = Some(IFlag::En);
+    let mut work = vec![start];
+    while let Some(b) = work.pop() {
+        let mut state = entry[b].expect("worklist block has entry state");
+        for pc in cfg.blocks[b].pcs() {
+            state = iflag_step(program.ops[pc as usize], state);
+        }
+        for &s in &cfg.blocks[b].succs {
+            if !reach[s] {
+                continue;
+            }
+            let joined = entry[s].map_or(state, |old| old.join(state));
+            if entry[s] != Some(joined) {
+                entry[s] = Some(joined);
+                work.push(s);
+            }
+        }
+    }
+    entry.into_iter().map(|s| s.unwrap_or(IFlag::En)).collect()
+}
+
+/// Classifies the program's sync flags: single-word objects, tested by a
+/// guard somewhere, written only with constants, from at least two
+/// contexts forming a concurrent pair.
+fn compute_sync_flags(a: &Analysis<'_>) -> Vec<bool> {
+    a.objects
+        .iter()
+        .enumerate()
+        .map(|(oi, obj)| {
+            if obj.size != 1 {
+                return false;
+            }
+            let tested = (0..a.ctx.contexts.len())
+                .any(|c| a.guards_in(c).iter().any(|g| g.guard.word == obj.start));
+            if !tested {
+                return false;
+            }
+            let mut writer_ctxs: Vec<usize> = Vec::new();
+            let mut stores = 0usize;
+            for c in 0..a.ctx.contexts.len() {
+                for r in a.ctx_accesses_to(c, oi) {
+                    let acc = a.access(r);
+                    if !acc.write {
+                        continue;
+                    }
+                    if !matches!(acc.value, AbsVal::Const(_)) {
+                        return false;
+                    }
+                    stores += 1;
+                    if !writer_ctxs.contains(&c) {
+                        writer_ctxs.push(c);
+                    }
+                }
+            }
+            stores > 0
+                && writer_ctxs.iter().any(|&x| {
+                    writer_ctxs
+                        .iter()
+                        .any(|&y| x != y && a.context(x).concurrent_with(a.context(y)))
+                })
+        })
+        .collect()
+}
+
+/// Words of `obj` the accessor context reads (`None` = reads nothing).
+fn reader_word_mask(a: &Analysis<'_>, refs: &[AccessRef], obj: &DataObject) -> Option<u64> {
+    let mut mask = 0u64;
+    let mut any = false;
+    for &r in refs {
+        let acc = a.access(r);
+        if acc.write {
+            continue;
+        }
+        any = true;
+        match acc.loc {
+            Loc::Word(w) if obj.contains(w) && obj.size <= 64 => {
+                mask |= 1 << (w - obj.start);
+            }
+            _ => {
+                mask = full_mask(obj.size);
+            }
+        }
+    }
+    any.then_some(mask)
+}
+
+fn full_mask(size: u16) -> u64 {
+    if size >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << size) - 1
+    }
+}
+
+/// Must/may word-fill dataflow of one writer context over one object:
+/// returns `true` when some exit is reachable where the object may have
+/// been written but the must-written words don't cover `needed`.
+fn publishes_torn(a: &Analysis<'_>, writer: usize, oi: usize, needed: u64) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    struct Fill {
+        may: bool,
+        must: u64,
+    }
+    if a.objects[oi].size > 64 {
+        return false;
+    }
+    let obj = &a.objects[oi];
+    let reach = &a.ctx.reach[writer];
+    let n = a.cfg.blocks.len();
+    let transfer = |b: usize, mut f: Fill| -> Fill {
+        for acc in &a.facts[b].accesses {
+            if !acc.write {
+                continue;
+            }
+            match acc.loc {
+                Loc::Word(w) if obj.contains(w) => {
+                    f.may = true;
+                    f.must |= 1 << (w - obj.start);
+                }
+                Loc::Object(i) if i == oi => f.may = true,
+                _ => {}
+            }
+        }
+        f
+    };
+    // Path-sensitive state sets per block: a plain must-AND join would
+    // let a non-writing path that rejoins a complete writing path fake a
+    // torn exit. States along any path only grow, so the sets stay tiny;
+    // a cap bails out conservatively (no warning) on pathological CFGs.
+    let mut states: Vec<Vec<Fill>> = vec![Vec::new(); n];
+    let start = a.cfg.block_of(a.ctx.contexts[writer].1);
+    let mut work: Vec<(usize, Fill)> = vec![(
+        start,
+        Fill {
+            may: false,
+            must: 0,
+        },
+    )];
+    while let Some((b, s)) = work.pop() {
+        if states[b].contains(&s) {
+            continue;
+        }
+        if states[b].len() > 256 {
+            return false;
+        }
+        states[b].push(s);
+        let out = transfer(b, s);
+        if a.cfg.is_exit(b) && out.may && (out.must & needed) != needed {
+            return true;
+        }
+        for &succ in &a.cfg.blocks[b].succs {
+            if reach[succ] {
+                work.push((succ, out));
+            }
+        }
+    }
+    false
+}
+
+/// Torn shared writes and cross-context read-modify-writes, behind the
+/// atomic-window / sync-flag / handshake exemption funnel.
+fn shared_object_rules(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
+    let nctx = a.ctx.contexts.len();
+    for (oi, obj) in a.objects.iter().enumerate() {
+        if a.sync_flag[oi] {
+            continue;
+        }
+        let per_ctx: Vec<Vec<AccessRef>> = (0..nctx).map(|c| a.ctx_accesses_to(c, oi)).collect();
+        let mut emitted = false;
+        for writer in 0..nctx {
+            if emitted {
+                break;
+            }
+            if !per_ctx[writer].iter().any(|&r| a.access(r).write) {
+                continue;
+            }
+            for reader in 0..nctx {
+                if reader == writer
+                    || per_ctx[reader].is_empty()
+                    || !a.context(writer).concurrent_with(a.context(reader))
+                {
+                    continue;
+                }
+                // Exemption 1: every access of a preemptable victim side
+                // sits in an interrupts-disabled window.
+                let protected = [(writer, reader), (reader, writer)]
+                    .into_iter()
+                    .all(|(p, v)| {
+                        !a.context(p).preempts(a.context(v))
+                            || per_ctx[v]
+                                .iter()
+                                .all(|&r| a.istate_at(v, a.access(r).pc) == IFlag::Dis)
+                    });
+                if protected {
+                    continue;
+                }
+                // Exemption 3 (handshake; 2 is the sync-flag skip above):
+                // one side entirely serialized behind a sync-flag test.
+                let writes_guarded = per_ctx[writer]
+                    .iter()
+                    .filter(|&&r| a.access(r).write)
+                    .all(|&r| a.guarded_by_sync_flag(r));
+                let reads_guarded = per_ctx[reader].iter().all(|&r| a.guarded_by_sync_flag(r));
+                if writes_guarded || reads_guarded {
+                    continue;
+                }
+                let Some(needed) = reader_word_mask(a, &per_ctx[reader], obj) else {
+                    continue;
+                };
+                if !publishes_torn(a, writer, oi, needed) {
+                    continue;
+                }
+                let write_pcs: Vec<u16> = per_ctx[writer]
+                    .iter()
+                    .filter(|&&r| a.access(r).write)
+                    .map(|&r| a.access(r).pc)
+                    .collect();
+                let anchor = *write_pcs.iter().min().expect("writer has writes");
+                let mut related: Vec<u16> = write_pcs;
+                related.extend(
+                    per_ctx[reader]
+                        .iter()
+                        .filter(|&&r| !a.access(r).write)
+                        .map(|&r| a.access(r).pc),
+                );
+                related.sort_unstable();
+                related.dedup();
+                let mut w = a.warning(
+                    WarningKind::UnprotectedSharedWrite,
+                    anchor,
+                    format!(
+                        "`{}` is written by {} and read by {} with no atomic window or \
+                         handshake, and a writing path publishes it only partially",
+                        obj.name,
+                        a.describe(writer),
+                        a.describe(reader)
+                    ),
+                );
+                w.object = Some(obj.name.clone());
+                w.contexts = vec![a.describe(writer), a.describe(reader)];
+                w.related_pcs = related;
+                warnings.push(w);
+                emitted = true;
+                break;
+            }
+        }
+        // Read-modify-write sites on this object, preemptable by a
+        // concurrent writer.
+        for c in 0..nctx {
+            for &r in &per_ctx[c] {
+                let acc = a.access(r);
+                let (Some(w), Loc::Word(lw), true) = (acc.rmw_of, acc.loc, acc.write) else {
+                    continue;
+                };
+                if w != lw {
+                    continue;
+                }
+                // State at the load that began the RMW (conservative:
+                // the last same-word load before the store).
+                let load_pc = self_rmw_load_pc(&a.facts[r.1], acc.pc, w).unwrap_or(acc.pc);
+                if a.istate_at(c, load_pc) == IFlag::Dis {
+                    continue;
+                }
+                let preemptor = (0..nctx).find(|&d| {
+                    d != c
+                        && a.context(d).preempts(a.context(c))
+                        && per_ctx[d].iter().any(|&rr| a.access(rr).write)
+                });
+                let Some(d) = preemptor else { continue };
+                let mut warn = a.warning(
+                    WarningKind::RmwAcrossContexts,
+                    acc.pc,
+                    format!(
+                        "read-modify-write of `{}` in {} can be preempted by {}, \
+                         which also writes it",
+                        obj.name,
+                        a.describe(c),
+                        a.describe(d)
+                    ),
+                );
+                warn.object = Some(obj.name.clone());
+                warn.contexts = vec![a.describe(c), a.describe(d)];
+                warn.related_pcs = vec![load_pc, acc.pc];
+                warn.related_pcs.dedup();
+                warnings.push(warn);
+            }
+        }
+    }
+}
+
+fn self_rmw_load_pc(facts: &BlockFacts, store_pc: u16, word: u16) -> Option<u16> {
+    facts
+        .accesses
+        .iter()
+        .filter(|acc| !acc.write && acc.pc < store_pc && acc.loc == Loc::Word(word))
+        .map(|acc| acc.pc)
+        .next_back()
+}
+
+/// Guarded tasks that discard handler-produced work on the reject path
+/// without recording anything another context can see.
+fn active_drop_rule(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
+    let nctx = a.ctx.contexts.len();
+    for task in 0..nctx {
+        let Context::Task(ti) = *a.context(task) else {
+            continue;
+        };
+        for handler in 0..nctx {
+            if !a.context(handler).is_irq() {
+                continue;
+            }
+            let posts_task = (0..a.cfg.blocks.len())
+                .any(|b| a.ctx.reach[handler][b] && a.facts[b].posts.iter().any(|&(_, t)| t == ti));
+            if !posts_task {
+                continue;
+            }
+            // Objects the handler produces for the task.
+            let produced: Vec<usize> = (0..a.objects.len())
+                .filter(|&oi| {
+                    !a.sync_flag[oi]
+                        && a.ctx_accesses_to(handler, oi)
+                            .iter()
+                            .any(|&r| a.access(r).write)
+                        && a.ctx_accesses_to(task, oi)
+                            .iter()
+                            .any(|&r| !a.access(r).write)
+                })
+                .collect();
+            if produced.is_empty() {
+                continue;
+            }
+            for g in a.guards_in(task) {
+                let Some(goi) = a.object_of_word(g.guard.word) else {
+                    continue;
+                };
+                if !a.sync_flag[goi] {
+                    continue;
+                }
+                let (eq_excl, ne_excl) = a.sides_exclusive(task, &g);
+                for (keep, drop) in [(&eq_excl, &ne_excl), (&ne_excl, &eq_excl)] {
+                    if check_drop_side(a, task, &produced, keep, drop) {
+                        let drop_pcs: Vec<u16> = (0..a.cfg.blocks.len())
+                            .filter(|&b| drop[b])
+                            .flat_map(|b| a.cfg.blocks[b].pcs())
+                            .collect();
+                        let anchor = *drop_pcs.iter().min().expect("drop side non-empty");
+                        let payload = &a.objects[produced[0]].name;
+                        let mut w = a.warning(
+                            WarningKind::ActiveDrop,
+                            anchor,
+                            format!(
+                                "{} rejects when `{}` is busy and discards `{}` produced \
+                                 by {}: the drop path records nothing any other context \
+                                 can observe (active drop)",
+                                a.describe(task),
+                                a.objects[goi].name,
+                                payload,
+                                a.describe(handler)
+                            ),
+                        );
+                        w.object = Some(payload.clone());
+                        w.contexts = vec![a.describe(task), a.describe(handler)];
+                        w.related_pcs = drop_pcs;
+                        warnings.push(w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The drop-side test of the active-drop rule: the keep side consumes
+/// some produced object, the drop side consumes none and is inert (no
+/// posts, no writes any concurrent context reads or writes).
+fn check_drop_side(
+    a: &Analysis<'_>,
+    task: usize,
+    produced: &[usize],
+    keep: &[bool],
+    drop: &[bool],
+) -> bool {
+    if !drop.iter().any(|&d| d) {
+        return false;
+    }
+    let reads_produced = |side: &[bool]| -> bool {
+        (0..a.cfg.blocks.len()).filter(|&b| side[b]).any(|b| {
+            a.facts[b].accesses.iter().any(|acc| {
+                !acc.write
+                    && a.object_of_loc(acc.loc)
+                        .is_some_and(|oi| produced.contains(&oi))
+            })
+        })
+    };
+    if !reads_produced(keep) || reads_produced(drop) {
+        return false;
+    }
+    for b in (0..a.cfg.blocks.len()).filter(|&b| drop[b]) {
+        if !a.facts[b].posts.is_empty() {
+            return false;
+        }
+        for acc in &a.facts[b].accesses {
+            if !acc.write {
+                continue;
+            }
+            let Some(oi) = a.object_of_loc(acc.loc) else {
+                return false; // unknown write: not provably inert
+            };
+            let visible = (0..a.ctx.contexts.len()).any(|d| {
+                d != task
+                    && a.context(d).concurrent_with(a.context(task))
+                    && !a.ctx_accesses_to(d, oi).is_empty()
+            });
+            if visible {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Busy flags that leak: acquired behind their own guard, released in
+/// another context only under an ownership token, with an exit path in
+/// the acquiring context that neither releases nor takes the token.
+fn busy_flag_leak_rule(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
+    let nctx = a.ctx.contexts.len();
+    for (oi, obj) in a.objects.iter().enumerate() {
+        if !a.sync_flag[oi] {
+            continue;
+        }
+        let word = obj.start;
+        for c in 0..nctx {
+            for g in a.guards_in(c) {
+                if g.guard.word != word {
+                    continue;
+                }
+                let free = g.guard.k;
+                let (eq_excl, ne_excl) = a.sides_exclusive(c, &g);
+                // Acquire: a constant non-free store on the proceed
+                // (flag == free) side, the reject side not touching the
+                // flag.
+                let side_writes = |side: &[bool]| -> Vec<AccessRef> {
+                    a.ctx_accesses_to(c, oi)
+                        .into_iter()
+                        .filter(|&r| side[r.1] && a.access(r).write)
+                        .collect()
+                };
+                let acquires: Vec<AccessRef> = side_writes(&eq_excl)
+                    .into_iter()
+                    .filter(|&r| {
+                        a.guard_dominates(c, &g, r.1)
+                            && matches!(a.access(r).value, AbsVal::Const(k) if k != free)
+                    })
+                    .collect();
+                if acquires.is_empty() || !side_writes(&ne_excl).is_empty() {
+                    continue;
+                }
+                // External releases must all be token-guarded.
+                let Some(tokens) = release_tokens(a, c, oi, free) else {
+                    continue;
+                };
+                if tokens.is_empty() {
+                    continue;
+                }
+                for &acq in &acquires {
+                    leak_paths(a, c, oi, free, &tokens, acq, &g, warnings);
+                }
+            }
+        }
+    }
+}
+
+/// Classifies every release of flag `oi` (store of `free`) outside
+/// context `c`. Returns the ownership tokens `(word, value)` when all
+/// releases are token-guarded (`W == k`, `k != 0`, `W` not the flag);
+/// `None` when any release is unconditional, guarded by a default-state
+/// (`k == 0`) test, or otherwise unanalyzable — those flags don't leak
+/// by this protocol.
+fn release_tokens(a: &Analysis<'_>, c: usize, oi: usize, free: u16) -> Option<Vec<(u16, u16)>> {
+    let mut tokens: Vec<(u16, u16)> = Vec::new();
+    for d in 0..a.ctx.contexts.len() {
+        if d == c {
+            continue;
+        }
+        for r in a.ctx_accesses_to(d, oi) {
+            let acc = a.access(r);
+            if !acc.write || !matches!(acc.value, AbsVal::Const(k) if k == free) {
+                continue;
+            }
+            let mut token = None;
+            for (h, on_eq) in a.guards_over(d, r.1) {
+                if on_eq && h.guard.word != a.objects[oi].start && h.guard.k != 0 {
+                    token = Some((h.guard.word, h.guard.k));
+                    break;
+                }
+            }
+            match token {
+                Some(t) => {
+                    if !tokens.contains(&t) {
+                        tokens.push(t);
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+    Some(tokens)
+}
+
+/// Forward dataflow from one acquire site: propagate
+/// `(released, token taken)` and warn at every exit reachable with
+/// neither.
+#[allow(clippy::too_many_arguments)]
+fn leak_paths(
+    a: &Analysis<'_>,
+    c: usize,
+    oi: usize,
+    free: u16,
+    tokens: &[(u16, u16)],
+    acq: AccessRef,
+    guard: &GuardSite,
+    warnings: &mut Vec<Warning>,
+) {
+    let obj = &a.objects[oi];
+    let reach = &a.ctx.reach[c];
+    let n = a.cfg.blocks.len();
+    let step = |acc: &Access, (mut rel, mut tok): (bool, bool)| -> (bool, bool) {
+        if acc.write {
+            if acc.loc == Loc::Word(obj.start) && matches!(acc.value, AbsVal::Const(k) if k == free)
+            {
+                rel = true;
+            }
+            if let (Loc::Word(w), AbsVal::Const(v)) = (acc.loc, acc.value) {
+                if tokens.contains(&(w, v)) {
+                    tok = true;
+                }
+            }
+        }
+        (rel, tok)
+    };
+    // State sets per block entry (≤ 4 distinct states).
+    let mut entry: Vec<Vec<(bool, bool)>> = vec![Vec::new(); n];
+    let transfer = |b: usize, s: (bool, bool)| -> (bool, bool) {
+        a.facts[b].accesses.iter().fold(s, |s, acc| step(acc, s))
+    };
+    // Seed: the rest of the acquire block after the acquire store.
+    let acq_block = acq.1;
+    let seed = a.facts[acq_block]
+        .accesses
+        .iter()
+        .filter(|acc| acc.pc > a.access(acq).pc)
+        .fold((false, false), |s, acc| step(acc, s));
+    let mut exits: Vec<(usize, (bool, bool))> = Vec::new();
+    if a.cfg.is_exit(acq_block) && seed == (false, false) {
+        exits.push((acq_block, seed));
+    }
+    let mut work: Vec<(usize, (bool, bool))> = a.cfg.blocks[acq_block]
+        .succs
+        .iter()
+        .filter(|&&s| reach[s])
+        .map(|&s| (s, seed))
+        .collect();
+    while let Some((b, s)) = work.pop() {
+        if entry[b].contains(&s) {
+            continue;
+        }
+        entry[b].push(s);
+        let out = transfer(b, s);
+        if a.cfg.is_exit(b) && out == (false, false) {
+            exits.push((b, out));
+        }
+        for &succ in &a.cfg.blocks[b].succs {
+            if reach[succ] {
+                work.push((succ, out));
+            }
+        }
+    }
+    exits.sort_unstable_by_key(|&(b, _)| b);
+    exits.dedup_by_key(|&mut (b, _)| b);
+    for (b, _) in exits {
+        let pc = a.cfg.blocks[b].end - 1;
+        let token_names: Vec<String> = tokens
+            .iter()
+            .map(|&(w, _)| {
+                a.object_of_word(w).map_or_else(
+                    || format!("word {w}"),
+                    |t| format!("`{}`", a.objects[t].name),
+                )
+            })
+            .collect();
+        let mut w = a.warning(
+            WarningKind::BusyFlagLeak,
+            pc,
+            format!(
+                "{} acquires `{}` but this exit neither releases it nor records \
+                 ownership in {}: the flag leaks and the protocol wedges",
+                a.describe(c),
+                obj.name,
+                token_names.join("/")
+            ),
+        );
+        w.object = Some(obj.name.clone());
+        w.contexts = vec![a.describe(c)];
+        let mut related: Vec<u16> = a.cfg.blocks[b].pcs().collect();
+        related.push(a.access(acq).pc);
+        related.push(guard.guard.pc);
+        related.sort_unstable();
+        related.dedup();
+        w.related_pcs = related;
+        warnings.push(w);
+    }
+}
+
+/// Posts inside loops of interrupt handlers.
+fn post_in_loop_rule(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
+    let mut seen: Vec<u16> = Vec::new();
+    for c in 0..a.ctx.contexts.len() {
+        if !a.context(c).is_irq() {
+            continue;
+        }
+        for b in 0..a.cfg.blocks.len() {
+            if !a.ctx.reach[c][b]
+                || a.facts[b].posts.is_empty()
+                || !a.cfg.in_cycle(b, &a.ctx.reach[c])
+            {
+                continue;
+            }
+            for &(pc, ti) in &a.facts[b].posts {
+                if seen.contains(&pc) {
+                    continue;
+                }
+                seen.push(pc);
+                let task = a
+                    .program
+                    .tasks
+                    .get(ti)
+                    .map_or_else(|| format!("task {ti}"), |t| t.name.clone());
+                let mut w = a.warning(
+                    WarningKind::PostInLoop,
+                    pc,
+                    format!(
+                        "{} posts `{task}` inside a loop: one activation can flood \
+                         the task queue",
+                        a.describe(c)
+                    ),
+                );
+                w.contexts = vec![a.describe(c)];
+                warnings.push(w);
+            }
+        }
+    }
+}
+
+/// Contiguous instruction ranges unreachable from every context.
+fn unreachable_rule(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
+    let mut run: Option<(u16, u16)> = None;
+    let flush = |run: &mut Option<(u16, u16)>, warnings: &mut Vec<Warning>| {
+        if let Some((start, end)) = run.take() {
+            let mut w = a.warning(
+                WarningKind::UnreachableCode,
+                start,
+                format!(
+                    "{} instruction(s) unreachable from main, every task, and every \
+                     interrupt vector",
+                    end - start
+                ),
+            );
+            w.related_pcs = (start..end).collect();
+            warnings.push(w);
+        }
+    };
+    for (b, block) in a.cfg.blocks.iter().enumerate() {
+        if a.ctx.reachable_anywhere(b) {
+            flush(&mut run, warnings);
+        } else {
+            run = match run {
+                Some((start, _)) => Some((start, block.end)),
+                None => Some((block.start, block.end)),
+            };
+        }
+    }
+    flush(&mut run, warnings);
+}
+
+/// Runs the full static analysis over one assembled program.
+pub fn lint(program: &Program) -> LintReport {
+    let cfg = Cfg::build(program);
+    let ctx = ContextMap::build(program, &cfg);
+    let objects = data_objects(program);
+    let n = program.len();
+    let mut facts: Vec<BlockFacts> = cfg
+        .blocks
+        .iter()
+        .map(|b| crate::access::eval_block(program, &objects, b))
+        .collect();
+    for (i, b) in cfg.blocks.iter().enumerate() {
+        if let Some(g) = &mut facts[i].guard {
+            if let Op::Br(_, t) = program.ops[b.end as usize - 1] {
+                g.fall = ((b.end as usize) < n).then(|| cfg.block_of(b.end));
+                g.target = ((t as usize) < n).then(|| cfg.block_of(t));
+            }
+        }
+    }
+    let istate = ctx
+        .contexts
+        .iter()
+        .enumerate()
+        .map(|(c, &(_, entry))| iflag_states(program, &cfg, &ctx.reach[c], entry))
+        .collect();
+    let mut analysis = Analysis {
+        program,
+        cfg,
+        ctx,
+        objects,
+        facts,
+        istate,
+        sync_flag: Vec::new(),
+    };
+    analysis.sync_flag = compute_sync_flags(&analysis);
+
+    let mut warnings = Vec::new();
+    shared_object_rules(&analysis, &mut warnings);
+    active_drop_rule(&analysis, &mut warnings);
+    busy_flag_leak_rule(&analysis, &mut warnings);
+    post_in_loop_rule(&analysis, &mut warnings);
+    unreachable_rule(&analysis, &mut warnings);
+    warnings.sort_by(|x, y| x.pc.cmp(&y.pc).then(x.kind.cmp(&y.kind)));
+    warnings.dedup();
+
+    LintReport {
+        stats: LintStats {
+            instructions: n,
+            blocks: analysis.cfg.blocks.len(),
+            contexts: analysis.ctx.contexts.len(),
+            data_objects: analysis.objects.len(),
+        },
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(src: &str) -> LintReport {
+        lint(&tinyvm::assemble(src).expect("test program assembles"))
+    }
+
+    fn kinds(report: &LintReport) -> Vec<WarningKind> {
+        report.warnings.iter().map(|w| w.kind).collect()
+    }
+
+    #[test]
+    fn unprotected_rmw_is_flagged() {
+        let report = lint_src(
+            "\
+.data count 1
+.task t
+.handler TIMER0 h
+main:
+ post t
+ halt
+t:
+ lda r1, count
+ addi r1, 1
+ sta count, r1
+ ret
+h:
+ ldi r2, 5
+ sta count, r2
+ reti
+",
+        );
+        assert_eq!(kinds(&report), vec![WarningKind::RmwAcrossContexts]);
+        let w = &report.warnings[0];
+        assert_eq!(w.object.as_deref(), Some("count"));
+        assert_eq!(w.routine.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn cli_window_protects_rmw() {
+        let report = lint_src(
+            "\
+.data count 1
+.task t
+.handler TIMER0 h
+main:
+ post t
+ halt
+t:
+ cli
+ lda r1, count
+ addi r1, 1
+ sta count, r1
+ sei
+ ret
+h:
+ ldi r2, 5
+ sta count, r2
+ reti
+",
+        );
+        assert!(report.warnings.is_empty(), "got: {:?}", kinds(&report));
+    }
+
+    /// The handler publishes word 0 always but word 1 only on one path:
+    /// a reader consuming both words can observe the torn state.
+    const TORN_BODY: &str = "\
+main:
+ halt
+reader:
+ ldi r3, buf
+ ld r1, [r3]
+ ld r2, [r3+1]
+ ret
+rx:
+ ldi r4, 7
+ sta buf, r4
+ cmpi r4, 9
+ breq done
+ ldi r5, buf
+ st [r5+1], r4
+done:
+ reti
+";
+
+    #[test]
+    fn torn_publication_is_flagged() {
+        let report = lint_src(&format!(
+            ".data buf 2\n.task reader\n.handler RX rx\n{TORN_BODY}"
+        ));
+        assert_eq!(kinds(&report), vec![WarningKind::UnprotectedSharedWrite]);
+        let w = &report.warnings[0];
+        assert_eq!(w.object.as_deref(), Some("buf"));
+        assert_eq!(w.routine.as_deref(), Some("rx"));
+        assert!(w.contexts.iter().any(|c| c.contains("RX")));
+    }
+
+    #[test]
+    fn sync_flag_handshake_exempts_guarded_writes() {
+        // Same torn shape, but every handler write is control-dependent
+        // on a sync-flag test and the reader clears the flag: handshake.
+        let report = lint_src(
+            "\
+.data buf 2
+.data ready 1
+.task reader
+.handler RX rx
+main:
+ halt
+reader:
+ lda r1, ready
+ cmpi r1, 1
+ brne out
+ ldi r3, buf
+ ld r1, [r3]
+ ld r2, [r3+1]
+ ldi r6, 0
+ sta ready, r6
+out:
+ ret
+rx:
+ lda r6, ready
+ cmpi r6, 0
+ brne done
+ ldi r4, 7
+ sta buf, r4
+ cmpi r4, 9
+ breq done
+ ldi r5, buf
+ st [r5+1], r4
+ ldi r6, 1
+ sta ready, r6
+done:
+ reti
+",
+        );
+        assert!(report.warnings.is_empty(), "got: {:?}", report.warnings);
+    }
+
+    #[test]
+    fn post_inside_handler_loop_is_flagged() {
+        let report = lint_src(
+            "\
+.task t
+.handler TIMER0 h
+main:
+ halt
+t:
+ ret
+h:
+loop:
+ post t
+ subi r1, 1
+ brne loop
+ reti
+",
+        );
+        assert_eq!(kinds(&report), vec![WarningKind::PostInLoop]);
+    }
+
+    #[test]
+    fn dead_code_is_reported_once_per_run() {
+        let report = lint_src(
+            "\
+main:
+ halt
+dead:
+ nop
+ nop
+ halt
+",
+        );
+        assert_eq!(kinds(&report), vec![WarningKind::UnreachableCode]);
+        let w = &report.warnings[0];
+        assert_eq!(w.pc, 1);
+        assert_eq!(w.related_pcs, vec![1, 2, 3]);
+    }
+}

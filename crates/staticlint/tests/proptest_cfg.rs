@@ -1,0 +1,197 @@
+//! Property tests for basic-block decoding: on arbitrary generated
+//! programs, the CFG's blocks must partition the instruction range
+//! exactly, every control-transfer boundary must start a block, and
+//! nothing a real emulated run executes may fall outside the statically
+//! reachable region.
+
+use proptest::prelude::*;
+use staticlint::{Cfg, ContextMap};
+use std::sync::Arc;
+use tinyvm::devices::NodeConfig;
+use tinyvm::node::Node;
+use tinyvm::{Op, Program};
+
+/// One generated instruction; control transfers carry a raw target index
+/// reduced modulo the program length at render time, so every target is
+/// a valid labeled instruction.
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    Nop,
+    Ldi(u16),
+    Cmpi(u16),
+    Jmp(u16),
+    Brne(u16),
+    Breq(u16),
+    Call(u16),
+    Halt,
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        Just(GenOp::Nop),
+        any::<u16>().prop_map(GenOp::Ldi),
+        any::<u16>().prop_map(GenOp::Cmpi),
+        any::<u16>().prop_map(GenOp::Jmp),
+        any::<u16>().prop_map(GenOp::Brne),
+        any::<u16>().prop_map(GenOp::Breq),
+        any::<u16>().prop_map(GenOp::Call),
+        Just(GenOp::Halt),
+    ]
+}
+
+fn maybe_u16() -> impl Strategy<Value = Option<u16>> {
+    prop_oneof![Just(None), any::<u16>().prop_map(Some)]
+}
+
+/// Renders the generated ops as assembly with a label before every
+/// instruction (so any index is a legal target), a trailing `halt`, and
+/// optionally a task and a handler entry somewhere in the body.
+fn render(ops: &[GenOp], task_at: Option<u16>, handler_at: Option<u16>) -> String {
+    let total = ops.len() as u16 + 1;
+    let mut src = String::new();
+    if let Some(t) = task_at {
+        src.push_str(&format!(".task L{}\n", t % total));
+    }
+    if let Some(h) = handler_at {
+        src.push_str(&format!(".handler TIMER0 L{}\n", h % total));
+    }
+    src.push_str("main:\n");
+    for (i, op) in ops.iter().enumerate() {
+        src.push_str(&format!("L{i}:\n"));
+        let line = match *op {
+            GenOp::Nop => " nop".to_string(),
+            GenOp::Ldi(v) => format!(" ldi r1, {v}"),
+            GenOp::Cmpi(v) => format!(" cmpi r1, {v}"),
+            GenOp::Jmp(t) => format!(" jmp L{}", t % total),
+            GenOp::Brne(t) => format!(" brne L{}", t % total),
+            GenOp::Breq(t) => format!(" breq L{}", t % total),
+            GenOp::Call(t) => format!(" call L{}", t % total),
+            GenOp::Halt => " halt".to_string(),
+        };
+        src.push_str(&line);
+        src.push('\n');
+    }
+    src.push_str(&format!("L{}:\n halt\n", ops.len()));
+    src
+}
+
+fn is_terminator(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Jmp(_) | Op::Br(_, _) | Op::Call(_) | Op::Ret | Op::Reti | Op::Halt
+    )
+}
+
+fn transfer_target(op: &Op) -> Option<u16> {
+    match op {
+        Op::Jmp(t) | Op::Br(_, t) | Op::Call(t) => Some(*t),
+        _ => None,
+    }
+}
+
+fn check_partition(program: &Program, cfg: &Cfg) -> Result<(), TestCaseError> {
+    let n = program.len();
+    prop_assert!(!cfg.blocks.is_empty());
+    prop_assert_eq!(cfg.blocks[0].start, 0);
+    prop_assert_eq!(cfg.blocks.last().unwrap().end as usize, n);
+    // Contiguous, non-empty, exactly covering 0..n.
+    let mut covered = vec![0u8; n];
+    for (i, b) in cfg.blocks.iter().enumerate() {
+        prop_assert!(b.start < b.end, "empty block {i}");
+        if i + 1 < cfg.blocks.len() {
+            prop_assert_eq!(b.end, cfg.blocks[i + 1].start, "gap after block {}", i);
+        }
+        for pc in b.pcs() {
+            covered[pc as usize] += 1;
+            prop_assert_eq!(cfg.block_of(pc), i, "block_of disagrees at pc {}", pc);
+        }
+        for &s in &b.succs {
+            prop_assert!(s < cfg.blocks.len(), "dangling successor of block {i}");
+        }
+        let mut dedup = b.succs.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), b.succs.len(), "duplicate successors");
+        // Only the last instruction of a block may transfer control.
+        for pc in b.start..b.end - 1 {
+            prop_assert!(
+                !is_terminator(&program.ops[pc as usize]),
+                "terminator at pc {pc} is not block-final"
+            );
+        }
+    }
+    prop_assert!(covered.iter().all(|&c| c == 1), "partition violated");
+    // Every in-range transfer target and every post-terminator
+    // continuation is a block start.
+    let start_set: Vec<bool> = {
+        let mut s = vec![false; n];
+        for b in &cfg.blocks {
+            s[b.start as usize] = true;
+        }
+        s
+    };
+    for (pc, op) in program.ops.iter().enumerate() {
+        if let Some(t) = transfer_target(op) {
+            if (t as usize) < n {
+                prop_assert!(start_set[t as usize], "target {t} of pc {pc} not a leader");
+            }
+        }
+        if is_terminator(op) && pc + 1 < n {
+            prop_assert!(start_set[pc + 1], "fall-through of pc {pc} not a leader");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn blocks_partition_generated_programs(
+        ops in prop::collection::vec(gen_op(), 1..60),
+        task_at in maybe_u16(),
+        handler_at in maybe_u16(),
+    ) {
+        let src = render(&ops, task_at, handler_at);
+        let program = tinyvm::assemble(&src).expect("generated source assembles");
+        let cfg = Cfg::build(&program);
+        check_partition(&program, &cfg)?;
+        // Entry points are leaders too.
+        prop_assert_eq!(cfg.blocks[cfg.block_of(program.entry)].start, program.entry);
+        for task in &program.tasks {
+            prop_assert_eq!(cfg.blocks[cfg.block_of(task.entry)].start, task.entry);
+        }
+        for v in program.vectors.iter().flatten() {
+            prop_assert_eq!(cfg.blocks[cfg.block_of(*v)].start, *v);
+        }
+    }
+
+    #[test]
+    fn executed_instructions_stay_inside_reachable_blocks(
+        ops in prop::collection::vec(gen_op(), 1..40),
+    ) {
+        let src = render(&ops, None, None);
+        let program = Arc::new(tinyvm::assemble(&src).expect("generated source assembles"));
+        let cfg = Cfg::build(&program);
+        let ctx = ContextMap::build(&program, &cfg);
+
+        let mut node = Node::new(program.clone(), NodeConfig::default());
+        let mut rec = sentomist_trace::Recorder::new(program.len());
+        // Runaway call chains may overflow the stack — the executions
+        // recorded up to the fault still count.
+        let _ = node.run(30_000, &mut rec);
+        let trace = rec.into_trace();
+
+        let mut counts = vec![0u64; program.len()];
+        for seg in &trace.segments {
+            for (c, &v) in counts.iter_mut().zip(seg.iter()) {
+                *c += u64::from(v);
+            }
+        }
+        for (pc, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                prop_assert!(
+                    ctx.reachable_anywhere(cfg.block_of(pc as u16)),
+                    "pc {} executed but statically unreachable", pc
+                );
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@
 
 use crate::isa::{irq, port, Cond, Op, Reg, TaskId};
 use crate::program::{Program, TaskDef};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -62,6 +63,47 @@ fn err(line: u32, message: impl Into<String>) -> AsmError {
     AsmError {
         line,
         message: message.into(),
+    }
+}
+
+/// The assembler's resolved symbol table, exported alongside the program
+/// by [`assemble_with_symbols`].
+///
+/// Every map carries fully resolved 16-bit values: `code` labels are
+/// instruction indices, `data` labels are data-memory addresses, and
+/// `consts` are the `.const` values. Consumers that only have a
+/// [`Program`] (whose label map merges code and data) can reconstruct the
+/// code/data split — but not the constants, which are folded into
+/// immediates during assembly — with [`SymbolTable::from_program`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    /// `.const` name → value.
+    pub consts: BTreeMap<String, u16>,
+    /// Data label → data-memory address (`.data` / `.word`).
+    pub data: BTreeMap<String, u16>,
+    /// Code label → instruction index.
+    pub code: BTreeMap<String, u16>,
+    /// Total data-memory words reserved by the program.
+    pub data_size: u16,
+}
+
+impl SymbolTable {
+    /// Reconstructs the code/data symbol split from an assembled
+    /// [`Program`]. The `consts` map is empty: constants do not survive
+    /// assembly.
+    pub fn from_program(program: &Program) -> SymbolTable {
+        let mut table = SymbolTable {
+            data_size: program.data_size,
+            ..SymbolTable::default()
+        };
+        for (name, &addr) in &program.labels {
+            if program.data_labels().contains(name) {
+                table.data.insert(name.clone(), addr);
+            } else {
+                table.code.insert(name.clone(), addr);
+            }
+        }
+        table
     }
 }
 
@@ -210,6 +252,19 @@ fn operands(rest: &str) -> Vec<&str> {
 /// # }
 /// ```
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_with_symbols(source).map(|(program, _)| program)
+}
+
+/// [`assemble`], additionally returning the resolved [`SymbolTable`].
+///
+/// Static-analysis tooling wants the code/data/const split the assembler
+/// knew (the program's merged label map loses the constants); this is the
+/// same two-pass assembly with the first pass's symbols exported.
+///
+/// # Errors
+///
+/// Identical to [`assemble`].
+pub fn assemble_with_symbols(source: &str) -> Result<(Program, SymbolTable), AsmError> {
     // -------- pass 1: symbols, data layout, instruction addresses --------
     let mut syms = Symbols {
         consts: BTreeMap::new(),
@@ -563,7 +618,13 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         data_label_set: BTreeSet::new(),
     };
     program.set_data_labels(data_label_names);
-    Ok(program)
+    let symbols = SymbolTable {
+        consts: syms.consts,
+        data: syms.data,
+        code: syms.code,
+        data_size: data_cursor,
+    };
+    Ok((program, symbols))
 }
 
 #[cfg(test)]

@@ -67,7 +67,7 @@ pub mod node;
 pub mod program;
 pub mod trace;
 
-pub use asm::assemble;
+pub use asm::{assemble, assemble_with_symbols, SymbolTable};
 pub use devices::{NodeConfig, OutgoingPacket, Packet, TimingModel};
 pub use encode::{decode, disassemble, encode, render_op, DecodeError};
 pub use error::VmError;

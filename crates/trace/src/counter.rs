@@ -14,6 +14,88 @@
 
 use crate::extract::EventInterval;
 use crate::recorder::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structural defect in a trace or counter query, reported instead of
+/// a panic by the `try_*` constructors and queries.
+///
+/// Traces produced by [`crate::Recorder::into_trace`] always satisfy the
+/// invariants, but traces deserialized from disk (the trace store) or
+/// assembled by hand may not; the fallible APIs let callers surface
+/// those as errors rather than aborting mid-mine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterError {
+    /// The trace does not have exactly `events + 1` count segments.
+    SegmentCount {
+        /// Number of lifecycle events in the trace.
+        events: usize,
+        /// Number of count segments found.
+        segments: usize,
+    },
+    /// A count segment's width differs from the program length.
+    SegmentWidth {
+        /// Index of the offending segment.
+        index: usize,
+        /// Expected width (`trace.program_len`).
+        expected: usize,
+        /// Actual width.
+        got: usize,
+    },
+    /// An interval query with `start > end`.
+    IntervalReversed {
+        /// Start event index.
+        start: usize,
+        /// End event index.
+        end: usize,
+    },
+    /// An event index beyond the trace's events.
+    EventOutOfRange {
+        /// The offending event index.
+        index: usize,
+        /// Number of prefix rows (segments) available.
+        rows: usize,
+    },
+    /// A caller-provided output row of the wrong width.
+    WidthMismatch {
+        /// Expected width (the counter dimension).
+        expected: usize,
+        /// Actual width.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterError::SegmentCount { events, segments } => write!(
+                f,
+                "malformed trace: {segments} count segment(s) for {events} event(s) \
+                 (want events + 1)"
+            ),
+            CounterError::SegmentWidth {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "malformed trace: segment {index} has width {got}, want {expected}"
+            ),
+            CounterError::IntervalReversed { start, end } => {
+                write!(f, "interval reversed: start {start} > end {end}")
+            }
+            CounterError::EventOutOfRange { index, rows } => {
+                write!(f, "event index {index} out of range ({rows} prefix rows)")
+            }
+            CounterError::WidthMismatch { expected, got } => write!(
+                f,
+                "output row width mismatch: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CounterError {}
 
 /// Prefix-sum table over a trace's count segments.
 ///
@@ -32,6 +114,7 @@ pub struct CounterTable {
     /// Flat strided prefix sums, `segments × program_len` row-major.
     prefix: Vec<u64>,
     program_len: usize,
+    rows: usize,
 }
 
 impl CounterTable {
@@ -40,14 +123,33 @@ impl CounterTable {
     /// # Panics
     ///
     /// Panics if the trace violates the `segments = events + 1` invariant
-    /// (impossible for traces produced by [`crate::Recorder::into_trace`]).
+    /// or a segment width differs from the program length (impossible for
+    /// traces produced by [`crate::Recorder::into_trace`]). Use
+    /// [`CounterTable::try_new`] to get a typed error instead.
     pub fn new(trace: &Trace) -> CounterTable {
-        assert_eq!(
-            trace.segments.len(),
-            trace.events.len() + 1,
-            "malformed trace"
-        );
+        CounterTable::try_new(trace).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CounterTable::new`]: validates the trace's structural
+    /// invariants (`segments = events + 1`, every segment as wide as the
+    /// program) before building.
+    pub fn try_new(trace: &Trace) -> Result<CounterTable, CounterError> {
+        if trace.segments.len() != trace.events.len() + 1 {
+            return Err(CounterError::SegmentCount {
+                events: trace.events.len(),
+                segments: trace.segments.len(),
+            });
+        }
         let n = trace.program_len;
+        for (index, seg) in trace.segments.iter().enumerate() {
+            if seg.len() != n {
+                return Err(CounterError::SegmentWidth {
+                    index,
+                    expected: n,
+                    got: seg.len(),
+                });
+            }
+        }
         let mut prefix = vec![0u64; trace.segments.len() * n];
         for (m, seg) in trace.segments.iter().enumerate() {
             let (done, rest) = prefix.split_at_mut(m * n);
@@ -59,10 +161,11 @@ impl CounterTable {
                 *a += u64::from(c);
             }
         }
-        CounterTable {
+        Ok(CounterTable {
             prefix,
             program_len: n,
-        }
+            rows: trace.segments.len(),
+        })
     }
 
     /// Dimensionality of counters (the program's instruction count).
@@ -75,13 +178,39 @@ impl CounterTable {
         &self.prefix[m * self.program_len..(m + 1) * self.program_len]
     }
 
+    /// Validates an interval query against the table.
+    fn check_query(&self, start: usize, end: usize, width: usize) -> Result<(), CounterError> {
+        if start > end {
+            return Err(CounterError::IntervalReversed { start, end });
+        }
+        if end >= self.rows {
+            return Err(CounterError::EventOutOfRange {
+                index: end,
+                rows: self.rows,
+            });
+        }
+        if width != self.program_len {
+            return Err(CounterError::WidthMismatch {
+                expected: self.program_len,
+                got: width,
+            });
+        }
+        Ok(())
+    }
+
     /// The instruction counter of `interval`.
     ///
     /// # Panics
     ///
-    /// Panics if the interval's indices lie outside the trace.
+    /// Panics if the interval's indices lie outside the trace; see
+    /// [`CounterTable::try_counter`].
     pub fn counter(&self, interval: &EventInterval) -> Vec<u64> {
         self.counter_between(interval.start_index, interval.end_index)
+    }
+
+    /// Fallible [`CounterTable::counter`].
+    pub fn try_counter(&self, interval: &EventInterval) -> Result<Vec<u64>, CounterError> {
+        self.try_counter_between(interval.start_index, interval.end_index)
     }
 
     /// Counts of instructions executed between events `start` and `end`
@@ -90,11 +219,18 @@ impl CounterTable {
     ///
     /// # Panics
     ///
-    /// Panics if `end < start` or `end` is out of range.
+    /// Panics if `end < start` or `end` is out of range; see
+    /// [`CounterTable::try_counter_between`].
     pub fn counter_between(&self, start: usize, end: usize) -> Vec<u64> {
+        self.try_counter_between(start, end)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CounterTable::counter_between`].
+    pub fn try_counter_between(&self, start: usize, end: usize) -> Result<Vec<u64>, CounterError> {
         let mut out = vec![0u64; self.program_len];
-        self.counter_into(start, end, &mut out);
-        out
+        self.try_counter_into(start, end, &mut out)?;
+        Ok(out)
     }
 
     /// Writes the counter of events `start ..= end` into `out` — the
@@ -103,22 +239,44 @@ impl CounterTable {
     /// # Panics
     ///
     /// Panics if `end < start`, `end` is out of range, or
-    /// `out.len() != dimension()`.
+    /// `out.len() != dimension()`; see [`CounterTable::try_counter_into`].
     pub fn counter_into(&self, start: usize, end: usize, out: &mut [u64]) {
-        assert!(start <= end, "interval reversed");
-        assert_eq!(out.len(), self.program_len, "output row width mismatch");
+        self.try_counter_into(start, end, out)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`CounterTable::counter_into`].
+    pub fn try_counter_into(
+        &self,
+        start: usize,
+        end: usize,
+        out: &mut [u64],
+    ) -> Result<(), CounterError> {
+        self.check_query(start, end, out.len())?;
         let hi = self.prefix_row(end);
         let lo = self.prefix_row(start);
         for ((o, &h), &l) in out.iter_mut().zip(hi).zip(lo) {
             *o = h - l;
         }
+        Ok(())
     }
 
     /// The counter as `f64` features (what the outlier detectors consume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval's indices lie outside the trace; see
+    /// [`CounterTable::try_features`].
     pub fn features(&self, interval: &EventInterval) -> Vec<f64> {
+        self.try_features(interval)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CounterTable::features`].
+    pub fn try_features(&self, interval: &EventInterval) -> Result<Vec<f64>, CounterError> {
         let mut out = vec![0.0f64; self.program_len];
-        self.features_into(interval, &mut out);
-        out
+        self.try_features_into(interval, &mut out)?;
+        Ok(out)
     }
 
     /// Writes the interval's features straight into a caller-provided row
@@ -128,16 +286,26 @@ impl CounterTable {
     /// # Panics
     ///
     /// Panics if the interval's indices lie outside the trace or
-    /// `row.len() != dimension()`.
+    /// `row.len() != dimension()`; see [`CounterTable::try_features_into`].
     pub fn features_into(&self, interval: &EventInterval, row: &mut [f64]) {
+        self.try_features_into(interval, row)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`CounterTable::features_into`].
+    pub fn try_features_into(
+        &self,
+        interval: &EventInterval,
+        row: &mut [f64],
+    ) -> Result<(), CounterError> {
         let (start, end) = (interval.start_index, interval.end_index);
-        assert!(start <= end, "interval reversed");
-        assert_eq!(row.len(), self.program_len, "output row width mismatch");
+        self.check_query(start, end, row.len())?;
         let hi = self.prefix_row(end);
         let lo = self.prefix_row(start);
         for ((o, &h), &l) in row.iter_mut().zip(hi).zip(lo) {
             *o = (h - l) as f64;
         }
+        Ok(())
     }
 }
 
@@ -312,5 +480,87 @@ mod tests {
         let t = mk_trace(vec![vec![0, 0], vec![1, 1]]);
         let mut row = vec![0u64; 3];
         CounterTable::new(&t).counter_into(0, 1, &mut row);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_traces() {
+        // Segment count off by one.
+        let mut t = mk_trace(vec![vec![0], vec![1], vec![2]]);
+        t.segments.pop();
+        assert_eq!(
+            CounterTable::try_new(&t).unwrap_err(),
+            CounterError::SegmentCount {
+                events: 2,
+                segments: 2
+            }
+        );
+        // Ragged segment (previously silently truncated by the zip).
+        let mut t = mk_trace(vec![vec![0, 0], vec![1, 1]]);
+        t.segments[1] = vec![1];
+        assert_eq!(
+            CounterTable::try_new(&t).unwrap_err(),
+            CounterError::SegmentWidth {
+                index: 1,
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_queries_return_typed_errors() {
+        let t = mk_trace(vec![vec![0], vec![7], vec![0]]);
+        let tab = CounterTable::try_new(&t).unwrap();
+        assert_eq!(
+            tab.try_counter_between(2, 1),
+            Err(CounterError::IntervalReversed { start: 2, end: 1 })
+        );
+        assert_eq!(
+            tab.try_counter_between(0, 9),
+            Err(CounterError::EventOutOfRange { index: 9, rows: 3 })
+        );
+        let mut row = vec![0u64; 2];
+        assert_eq!(
+            tab.try_counter_into(0, 1, &mut row),
+            Err(CounterError::WidthMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(tab.try_counter_between(0, 1), Ok(vec![7]));
+        assert_eq!(
+            tab.try_features(&EventInterval {
+                irq: 0,
+                start_index: 0,
+                end_index: 1,
+                last_run_index: None,
+                start_cycle: 0,
+                end_cycle: 1,
+                task_count: 0,
+            }),
+            Ok(vec![7.0])
+        );
+        // Errors render with the historical panic-message prefixes.
+        assert!(CounterError::IntervalReversed { start: 2, end: 1 }
+            .to_string()
+            .contains("interval reversed"));
+        assert!(CounterError::SegmentCount {
+            events: 2,
+            segments: 2
+        }
+        .to_string()
+        .contains("malformed trace"));
+    }
+
+    impl CounterTable {
+        fn eq_for_tests(&self, other: &CounterTable) -> bool {
+            self.prefix == other.prefix && self.program_len == other.program_len
+        }
+    }
+
+    #[test]
+    fn new_and_try_new_agree() {
+        let t = mk_trace(vec![vec![1, 0], vec![0, 2], vec![3, 0]]);
+        assert!(CounterTable::new(&t).eq_for_tests(&CounterTable::try_new(&t).unwrap()));
     }
 }

@@ -80,6 +80,9 @@ pub enum ExtractError {
         /// Index of the ordinal-matched `runTask` event.
         run_index: usize,
     },
+    /// The trace's count segments are structurally broken (wrong segment
+    /// count or ragged widths), detected while featurizing intervals.
+    Malformed(crate::counter::CounterError),
 }
 
 impl fmt::Display for ExtractError {
@@ -93,6 +96,7 @@ impl fmt::Display for ExtractError {
                 f,
                 "FIFO violation: post at {post_index} does not match run at {run_index}"
             ),
+            ExtractError::Malformed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -102,7 +106,14 @@ impl Error for ExtractError {
         match self {
             ExtractError::Grammar(g) => Some(g),
             ExtractError::FifoViolation { .. } => None,
+            ExtractError::Malformed(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::counter::CounterError> for ExtractError {
+    fn from(e: crate::counter::CounterError) -> Self {
+        ExtractError::Malformed(e)
     }
 }
 

@@ -32,7 +32,7 @@ pub mod online;
 pub mod profile;
 pub mod recorder;
 
-pub use counter::CounterTable;
+pub use counter::{CounterError, CounterTable};
 pub use extract::{extract, EventInterval, ExtractError, Extraction, TaskMatching};
 pub use grammar::{matching_reti, GrammarError, PushdownRecognizer};
 pub use online::{extract_online, OnlineExtractor};

@@ -7,7 +7,7 @@
 //! cycle totals follow directly from the Definition-4 counters; no extra
 //! instrumentation is needed.
 
-use crate::counter::CounterTable;
+use crate::counter::{CounterError, CounterTable};
 use crate::extract::EventInterval;
 use crate::recorder::Trace;
 use serde::{Deserialize, Serialize};
@@ -62,9 +62,25 @@ impl Profile {
     ///
     /// # Panics
     ///
-    /// Panics if `counts.len()` differs from the program length.
+    /// Panics if `counts.len()` differs from the program length; see
+    /// [`Profile::try_from_counts`].
     pub fn from_counts(counts: &[u64], program: &Program) -> Profile {
         assert_eq!(counts.len(), program.len(), "count dimension mismatch");
+        Profile::build(counts, program)
+    }
+
+    /// Fallible [`Profile::from_counts`].
+    pub fn try_from_counts(counts: &[u64], program: &Program) -> Result<Profile, CounterError> {
+        if counts.len() != program.len() {
+            return Err(CounterError::WidthMismatch {
+                expected: program.len(),
+                got: counts.len(),
+            });
+        }
+        Ok(Profile::build(counts, program))
+    }
+
+    fn build(counts: &[u64], program: &Program) -> Profile {
         use std::collections::BTreeMap;
         let mut rows: BTreeMap<&str, RoutineProfile> = BTreeMap::new();
         let mut total_executions = 0u64;
@@ -98,24 +114,58 @@ impl Profile {
     }
 
     /// Profiles an entire recorded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's dimensions disagree with the program; see
+    /// [`Profile::try_of_trace`].
     pub fn of_trace(trace: &Trace, program: &Program) -> Profile {
+        Profile::try_of_trace(trace, program).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Profile::of_trace`]: rejects ragged segments and a
+    /// program/trace length disagreement instead of panicking or silently
+    /// truncating.
+    pub fn try_of_trace(trace: &Trace, program: &Program) -> Result<Profile, CounterError> {
         let mut counts = vec![0u64; trace.program_len];
-        for seg in &trace.segments {
+        for (index, seg) in trace.segments.iter().enumerate() {
+            if seg.len() != trace.program_len {
+                return Err(CounterError::SegmentWidth {
+                    index,
+                    expected: trace.program_len,
+                    got: seg.len(),
+                });
+            }
             for (c, &v) in counts.iter_mut().zip(seg.iter()) {
                 *c += u64::from(v);
             }
         }
-        Profile::from_counts(&counts, program)
+        Profile::try_from_counts(&counts, program)
     }
 
     /// Profiles a single event-handling interval (what executed during its
     /// wall-clock span, including interleaved instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval lies outside the table or the table's
+    /// dimension disagrees with the program; see
+    /// [`Profile::try_of_interval`].
     pub fn of_interval(
         table: &CounterTable,
         interval: &EventInterval,
         program: &Program,
     ) -> Profile {
-        Profile::from_counts(&table.counter(interval), program)
+        Profile::try_of_interval(table, interval, program).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Profile::of_interval`].
+    pub fn try_of_interval(
+        table: &CounterTable,
+        interval: &EventInterval,
+        program: &Program,
+    ) -> Result<Profile, CounterError> {
+        Profile::try_from_counts(&table.try_counter(interval)?, program)
     }
 
     /// Renders a ranked table.
@@ -218,6 +268,22 @@ spin:
         assert!(t.contains("spin"));
         assert!(t.contains("total"));
         assert!(t.contains('%'));
+    }
+
+    #[test]
+    fn try_apis_reject_mismatched_dimensions() {
+        let program = tinyvm::assemble("main:\n nop\n ret\n").unwrap();
+        assert_eq!(
+            Profile::try_from_counts(&[1, 2, 3], &program).unwrap_err(),
+            CounterError::WidthMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        let (_, mut trace, _) = run();
+        trace.segments[0] = vec![1];
+        let got = Profile::try_of_trace(&trace, &program).unwrap_err();
+        assert!(matches!(got, CounterError::SegmentWidth { index: 0, .. }));
     }
 
     #[test]

@@ -4,13 +4,14 @@
 //! ```text
 //! sentomist assemble <app.s>                      check + disassemble
 //! sentomist run <app.s> [opts]                    emulate, save a trace
+//! sentomist lint <app.s | --app NAME> [--json]    static interleaving analysis
 //! sentomist mine <trace.json> --irq N [opts]      rank intervals
 //! sentomist localize <trace.json> <app.s> [opts]  implicate instructions
 //! sentomist case <1|2|3>                          run a paper case study
 //! ```
 
 use sentomist::core::campaign::{CampaignResult, RunError, RunOutcome, Verdict};
-use sentomist::core::{harvest_set, localize_set, Pipeline, SampleIndex};
+use sentomist::core::{corroborate, harvest_set, localize_set, Pipeline, SampleIndex};
 use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
     PcaDetector,
@@ -37,11 +38,22 @@ USAGE:
       Emulate a single node (default 10,000,000 cycles) and write the
       lifecycle trace as JSON (default <app>.trace.json).
 
+  sentomist lint <app.s> [--json]
+  sentomist lint --app <oscilloscope|forwarder|ctp> [--fixed] [--json]
+      Statically analyze a program (or a bundled case-study app) for
+      transient interleaving bugs: CFG + context reachability + shared
+      data-object race rules. --json prints the full report for fixture
+      pinning; the exit code is 0 regardless of findings.
+
   sentomist mine <trace.json> [--irq N] [--detector ocsvm|pca|knn|mahalanobis|kde|kfd]
                  [--nu X] [--top K] [--csv FILE]
+                 [--corroborate <app.s>] [--min-z Z]
       Anatomize the trace into event-handling intervals of interrupt N
       (default 0), rank them, and print the suspicion table; --csv also
-      writes the full ranking for external plotting.
+      writes the full ranking for external plotting. With --corroborate,
+      localize the top-ranked interval against <app.s> and join each
+      implicated instruction with the static analyzer's warnings —
+      statically corroborated sites rank first.
 
   sentomist localize <trace.json> <app.s> [--irq N] [--rank R] [--min-z Z]
       Explain the R-th most suspicious interval (default 1): which
@@ -218,12 +230,119 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         tinyvm::isa::irq::name(irq),
         flags.get("detector").map(String::as_str).unwrap_or("ocsvm"),
     );
+    let corroborate_app = flags.get("corroborate").filter(|s| !s.is_empty());
     let pipeline = Pipeline::new(detector_from(&flags)?);
-    let report = pipeline.rank_set(samples)?;
+    let report = pipeline.rank_set(samples.clone())?;
     print!("{}", report.table(top, 2));
     if let Some(csv_path) = flags.get("csv") {
         std::fs::write(csv_path, report.to_csv())?;
         println!("full ranking written to {csv_path}");
+    }
+    let Some(app_path) = corroborate_app else {
+        return Ok(());
+    };
+    // Fuse: localize the top-ranked interval and join the implicated
+    // instructions against the static analyzer's warnings.
+    let min_z = flag_f64(&flags, "min-z", 1.0)?;
+    let src = std::fs::read_to_string(app_path).map_err(|e| format!("reading {app_path}: {e}"))?;
+    let program = tinyvm::assemble(&src)?;
+    if program.len() != trace.program_len {
+        return Err(format!(
+            "program has {} instructions but the trace was recorded for {}",
+            program.len(),
+            trace.program_len
+        )
+        .into());
+    }
+    let target = report
+        .ranking
+        .first()
+        .ok_or("empty ranking, nothing to corroborate")?;
+    let flagged = samples
+        .meta
+        .iter()
+        .position(|m| m.index == target.index)
+        .ok_or("ranked sample missing from the harvested set")?;
+    let hits = localize_set(&samples, flagged, &program, min_z);
+    let lint = sentomist::staticlint::lint(&program);
+    let fused = corroborate(&hits, &lint);
+    println!(
+        "\ncorroborating interval {} (score {:.4}) against {} static warning(s):",
+        target.index,
+        target.score,
+        lint.warnings.len()
+    );
+    for c in fused.iter().take(12) {
+        let tag = if c.corroborated() {
+            c.warning_kinds
+                .iter()
+                .map(|k| k.slug())
+                .collect::<Vec<_>>()
+                .join(",")
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "  pc {:>4}  z {:>7.2}  {} (line {})  [{}]",
+            c.hit.pc,
+            c.hit.z_score,
+            c.hit.routine.as_deref().unwrap_or("?"),
+            c.hit.source_line.unwrap_or(0),
+            tag
+        );
+    }
+    Ok(())
+}
+
+/// One of the paper's three bundled case-study programs, by name.
+fn bundled_program(name: &str, fixed: bool) -> Result<std::sync::Arc<Program>, Box<dyn Error>> {
+    use sentomist::apps::{ctp, forwarder, oscilloscope};
+    Ok(match name {
+        "oscilloscope" => {
+            if fixed {
+                oscilloscope::fixed(&Default::default())?
+            } else {
+                oscilloscope::buggy(&Default::default())?
+            }
+        }
+        "forwarder" => {
+            if fixed {
+                forwarder::relay_program_fixed()?
+            } else {
+                forwarder::relay_program_buggy()?
+            }
+        }
+        "ctp" => {
+            if fixed {
+                ctp::fixed(&Default::default())?
+            } else {
+                ctp::buggy(&Default::default())?
+            }
+        }
+        other => {
+            return Err(
+                format!("unknown bundled app `{other}` (oscilloscope|forwarder|ctp)").into(),
+            )
+        }
+    })
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    let json = flags.contains_key("json");
+    let program = match flags.get("app") {
+        Some(name) => bundled_program(name, flags.contains_key("fixed"))?,
+        None => {
+            let path = pos.first().ok_or("lint: missing <app.s> (or --app NAME)")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            std::sync::Arc::new(tinyvm::assemble(&src)?)
+        }
+    };
+    let report = sentomist::staticlint::lint(&program);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        print!("{}", report.table());
     }
     Ok(())
 }
@@ -968,6 +1087,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "assemble" => cmd_assemble(rest),
         "run" => cmd_run(rest),
+        "lint" => cmd_lint(rest),
         "mine" => cmd_mine(rest),
         "localize" => cmd_localize(rest),
         "profile" => cmd_profile(rest),

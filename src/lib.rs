@@ -12,6 +12,7 @@
 //! | [`trace`] | Lifecycle traces, the int-reti grammar, the Figure-4 interval extraction, instruction counters |
 //! | [`tracestore`] | Persistent, versioned on-disk corpus of lifecycle traces (re-mine without re-emulating) |
 //! | [`mlcore`] | One-class ν-SVM (SMO) and alternative plug-in outlier detectors |
+//! | [`staticlint`] | Static interleaving analyzer: CFG, context reachability, race rules |
 //! | [`core`] | The symptom-mining pipeline: scale → detect → normalize → rank (+ bug localization) |
 //! | [`apps`] | The paper's three case studies with their transient bugs injected, plus oracles |
 //!
@@ -37,6 +38,7 @@
 
 pub use mlcore;
 pub use netsim;
+pub use staticlint;
 pub use tinyvm;
 
 /// Case studies and experiment drivers (re-export of `sentomist-apps`).
