@@ -334,7 +334,10 @@ pub fn fixed(params: &CtpParams) -> Result<Arc<Program>, AsmError> {
 pub fn topology() -> netsim::Topology {
     let mut topo = netsim::Topology::new(NODE_COUNT);
     for n in 1..NODE_COUNT {
-        topo.connect(n, parent_of(n), netsim::LinkConfig::default());
+        // The tree shape is compile-time constant: parent ids are always in
+        // range, never self-referential, and the default link is legal.
+        topo.connect(n, parent_of(n), netsim::LinkConfig::default())
+            .expect("static tree topology is valid");
     }
     topo
 }
@@ -357,7 +360,8 @@ mod tests {
     fn run_tree(program: Arc<Program>, seed: u64, cycles: u64) -> NetSim {
         let mut sim = NetSim::new(topology(), seed);
         for id in 0..NODE_COUNT {
-            sim.add_node(program.clone(), node_config(id, seed));
+            sim.add_node(program.clone(), node_config(id, seed))
+                .unwrap();
         }
         let mut sinks = vec![NullSink; NODE_COUNT as usize];
         sim.run(cycles, &mut sinks).unwrap();

@@ -14,6 +14,7 @@ use mlcore::{
 use sentomist_core::campaign::{
     run_campaign, CampaignOptions, CampaignResult, RunOutcome, Verdict,
 };
+use sentomist_core::supervise::{RunContext, RunFailure};
 use sentomist_core::{harvest_set, Pipeline, Report, SampleIndex, SampleSet};
 use sentomist_trace::{EventInterval, Recorder, Trace};
 use std::error::Error;
@@ -354,19 +355,19 @@ fn case2_emulate(config: &Case2Config) -> Result<Vec<Trace>, Box<dyn Error>> {
         loss_prob: config.link_loss,
         ..netsim::LinkConfig::default()
     };
-    let mut sim = netsim::NetSim::new(netsim::Topology::chain(3, link), config.seed);
+    let mut sim = netsim::NetSim::new(netsim::Topology::chain(3, link)?, config.seed);
     sim.add_node(
         forwarder::sink_program()?,
         forwarder::node_config(forwarder::nodes::SINK, config.seed),
-    );
+    )?;
     sim.add_node(
         relay.clone(),
         forwarder::node_config(forwarder::nodes::RELAY, config.seed + 1),
-    );
+    )?;
     sim.add_node(
         forwarder::source_program(&config.params)?,
         forwarder::node_config(forwarder::nodes::SOURCE, config.seed + 2),
-    );
+    )?;
     let mut recorders = vec![
         Recorder::new(sim.node(0).program().len()),
         Recorder::new(relay.len()),
@@ -491,7 +492,7 @@ fn case3_emulate(config: &Case3Config) -> Result<Vec<Trace>, Box<dyn Error>> {
     };
     let mut sim = netsim::NetSim::new(ctp::topology(), config.seed);
     for id in 0..ctp::NODE_COUNT {
-        sim.add_node(program.clone(), ctp::node_config(id, config.seed));
+        sim.add_node(program.clone(), ctp::node_config(id, config.seed))?;
     }
     let mut recorders: Vec<Recorder> = (0..ctp::NODE_COUNT)
         .map(|_| Recorder::new(program.len()))
@@ -801,6 +802,75 @@ pub fn trigger_job_traced(
     })
 }
 
+/// Cycles emulated between supervisor checks in
+/// [`trigger_job_traced_ctx`]. Small enough that a watchdog cancellation
+/// or cycle-budget exhaustion is honored promptly, large enough that the
+/// checks cost nothing against real emulation work.
+const SUPERVISE_SLICE_CYCLES: u64 = 1_000_000;
+
+/// Like [`trigger_job_traced`], but cooperative with the supervised
+/// runner: the emulation advances in [`SUPERVISE_SLICE_CYCLES`] slices and
+/// checks the [`RunContext`] between slices, so a watchdog cancellation
+/// stops a runaway run mid-flight and an optional cycle budget caps how
+/// long the run may emulate. Slicing does not change the machine state —
+/// the recorded trace is bit-identical to a single `Node::run` call.
+///
+/// Machine faults and mining failures are deterministic for a given seed,
+/// so they surface as [`RunFailure::Fatal`] (retrying cannot help);
+/// budget/cancellation stops are [`RunFailure::TimedOut`].
+///
+/// # Errors
+///
+/// Fails if the Oscilloscope program does not assemble.
+#[allow(clippy::type_complexity)]
+pub fn trigger_job_traced_ctx(
+    period_ms: u32,
+    run_seconds: u64,
+    nu: f64,
+) -> Result<
+    impl Fn(&RunContext) -> Result<(RunOutcome, Vec<Trace>), RunFailure> + Send + Sync,
+    Box<dyn Error>,
+> {
+    let params = oscilloscope::OscilloscopeParams::with_period_ms(period_ms);
+    let program = oscilloscope::buggy(&params)?;
+    Ok(move |ctx: &RunContext| {
+        let seed = ctx.seed();
+        let limit = run_seconds * CYCLES_PER_SECOND;
+        let cap = ctx.cycle_budget().unwrap_or(u64::MAX).min(limit);
+        let mut node = Node::new(
+            program.clone(),
+            NodeConfig {
+                seed,
+                ..NodeConfig::default()
+            },
+        );
+        let mut recorder = Recorder::new(program.len());
+        loop {
+            if ctx.cancelled() {
+                return Err(RunFailure::TimedOut(format!(
+                    "cancelled by the watchdog at cycle {}",
+                    node.cycle()
+                )));
+            }
+            let next = node.cycle().saturating_add(SUPERVISE_SLICE_CYCLES).min(cap);
+            node.advance(next, &mut recorder)
+                .map_err(|e| RunFailure::Fatal(e.to_string()))?;
+            if node.cycle() >= cap || node.halted() {
+                break;
+            }
+        }
+        if cap < limit && !node.halted() {
+            return Err(RunFailure::TimedOut(format!(
+                "cycle budget {cap} exhausted before the {limit}-cycle run finished"
+            )));
+        }
+        node.finish(&mut recorder);
+        let trace = recorder.into_trace();
+        let outcome = mine_trigger_trace(seed, &trace, nu).map_err(RunFailure::Fatal)?;
+        Ok((outcome, vec![trace]))
+    })
+}
+
 /// Mines one recorded trigger-run trace into its campaign outcome — the
 /// single code path behind both the live [`trigger_job`] and re-mining a
 /// stored corpus, which is what makes store-based re-ranking bit-identical
@@ -991,7 +1061,7 @@ pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<
     let sensor_program = oscilloscope::buggy(&params)?;
     let sink_program = crate::forwarder::sink_program()?;
     let node_count = config.sensors + 1;
-    let topo = netsim::Topology::star(node_count, netsim::LinkConfig::default());
+    let topo = netsim::Topology::star(node_count, netsim::LinkConfig::default())?;
     let mut sim = netsim::NetSim::new(topo, config.seed);
     sim.add_node(
         sink_program.clone(),
@@ -1000,7 +1070,7 @@ pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<
             seed: config.seed,
             ..NodeConfig::default()
         },
-    );
+    )?;
     for id in 1..node_count {
         sim.add_node(
             sensor_program.clone(),
@@ -1009,7 +1079,7 @@ pub fn run_case1_multinode(config: &Case1MultiConfig) -> Result<CaseResult, Box<
                 seed: config.seed.wrapping_add(id as u64 * 101),
                 ..NodeConfig::default()
             },
-        );
+        )?;
     }
     let mut recorders: Vec<Recorder> = (0..node_count)
         .map(|id| {

@@ -284,17 +284,20 @@ mod tests {
     use tinyvm::NullSink;
 
     fn chain() -> Topology {
-        Topology::chain(3, LinkConfig::default())
+        Topology::chain(3, LinkConfig::default()).unwrap()
     }
 
     fn run_chain(relay: Arc<Program>, seed: u64, cycles: u64) -> NetSim {
         let mut sim = NetSim::new(chain(), seed);
-        sim.add_node(sink_program().unwrap(), node_config(nodes::SINK, seed));
-        sim.add_node(relay, node_config(nodes::RELAY, seed + 1));
+        sim.add_node(sink_program().unwrap(), node_config(nodes::SINK, seed))
+            .unwrap();
+        sim.add_node(relay, node_config(nodes::RELAY, seed + 1))
+            .unwrap();
         sim.add_node(
             source_program(&ForwarderParams::default()).unwrap(),
             node_config(nodes::SOURCE, seed + 2),
-        );
+        )
+        .unwrap();
         let mut sinks = vec![NullSink, NullSink, NullSink];
         sim.run(cycles, &mut sinks).unwrap();
         sim

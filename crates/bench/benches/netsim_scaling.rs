@@ -49,7 +49,7 @@ fn run_grid(side: u16, loss: f64, sim_cycles: u64) -> u64 {
         latency_cycles: 128,
         loss_prob: loss,
     };
-    let topo = Topology::grid(side, side, link);
+    let topo = Topology::grid(side, side, link).unwrap();
     let mut sim = NetSim::new(topo, 11);
     let count = side * side;
     for id in 0..count {
@@ -60,7 +60,8 @@ fn run_grid(side: u16, loss: f64, sim_cycles: u64) -> u64 {
                 seed: 100 + id as u64,
                 ..NodeConfig::default()
             },
-        );
+        )
+        .unwrap();
     }
     let mut sinks = vec![NullSink; count as usize];
     sim.run(sim_cycles, &mut sinks).unwrap();

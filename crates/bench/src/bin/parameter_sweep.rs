@@ -24,19 +24,19 @@ fn prepare() -> Result<Prepared, Box<dyn std::error::Error>> {
         loss_prob: config.link_loss,
         ..netsim::LinkConfig::default()
     };
-    let mut sim = netsim::NetSim::new(netsim::Topology::chain(3, link), config.seed);
+    let mut sim = netsim::NetSim::new(netsim::Topology::chain(3, link)?, config.seed);
     sim.add_node(
         forwarder::sink_program()?,
         forwarder::node_config(forwarder::nodes::SINK, config.seed),
-    );
+    )?;
     sim.add_node(
         relay.clone(),
         forwarder::node_config(forwarder::nodes::RELAY, config.seed + 1),
-    );
+    )?;
     sim.add_node(
         forwarder::source_program(&config.params)?,
         forwarder::node_config(forwarder::nodes::SOURCE, config.seed + 2),
-    );
+    )?;
     let mut recorders = vec![
         Recorder::new(sim.node(0).program().len()),
         Recorder::new(relay.len()),

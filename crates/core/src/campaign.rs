@@ -72,13 +72,66 @@ impl RunOutcome {
     }
 }
 
-/// A run that failed outright (VM fault, pipeline error).
+/// How a failed run failed. Plain job errors, caught panics and watchdog
+/// kills are distinct: only the first two can be retried, and operators
+/// triage them differently (a timeout usually means the scenario hung,
+/// not that it crashed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The job returned an error.
+    #[default]
+    Error,
+    /// The job panicked; the supervisor caught it.
+    Panic,
+    /// The watchdog killed the run (wall-clock or cycle budget exceeded).
+    TimedOut,
+}
+
+impl FailureKind {
+    /// Stable lowercase slug, used by stored manifests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+            FailureKind::TimedOut => "timeout",
+        }
+    }
+
+    /// Inverse of [`FailureKind::as_str`]; unknown (including empty, from
+    /// manifests predating failure typing) parses as [`FailureKind::Error`].
+    pub fn parse(s: &str) -> FailureKind {
+        match s {
+            "panic" => FailureKind::Panic,
+            "timeout" => FailureKind::TimedOut,
+            _ => FailureKind::Error,
+        }
+    }
+}
+
+/// A run that failed outright (VM fault, pipeline error, caught panic,
+/// watchdog kill).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunError {
     /// Seed of the failed run.
     pub seed: u64,
     /// The error rendered as text.
     pub message: String,
+    /// What class of failure this was.
+    pub kind: FailureKind,
+    /// Attempts spent on the seed before giving up (1 = no retries).
+    pub attempts: u32,
+}
+
+impl RunError {
+    /// A plain single-attempt job error.
+    pub fn new(seed: u64, message: impl Into<String>) -> RunError {
+        RunError {
+            seed,
+            message: message.into(),
+            kind: FailureKind::Error,
+            attempts: 1,
+        }
+    }
 }
 
 /// Aggregated result of a campaign: outcomes and errors, both sorted by
@@ -93,9 +146,10 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Permutation-invariant summary statistics of the outcomes.
+    /// Permutation-invariant summary statistics of the outcomes *and*
+    /// failures.
     pub fn summary(&self) -> CampaignSummary {
-        summarize(&self.outcomes)
+        summarize_result(&self.outcomes, &self.errors)
     }
 
     /// Outcomes whose verdict is [`Verdict::Triggered`].
@@ -147,10 +201,31 @@ pub struct CampaignSummary {
     pub hits_top3: usize,
     /// Triggered runs whose best symptom ranked in the top 10.
     pub hits_top10: usize,
+    /// Runs that failed (job error, panic or watchdog kill) after
+    /// exhausting their retry budget.
+    pub failed: usize,
+    /// Failed runs whose last attempt panicked.
+    pub panicked: usize,
+    /// Failed runs killed by the watchdog.
+    pub timed_out: usize,
+    /// Attempts spent on runs that ultimately failed (retries included).
+    pub failed_attempts: u64,
+    /// `failed / (runs + failed)` (0 for an empty campaign).
+    pub failure_rate: f64,
 }
 
-/// Reduces outcomes to [`CampaignSummary`]; order-independent.
+/// Reduces outcomes to [`CampaignSummary`]; order-independent. Failure
+/// statistics are all zero — use [`summarize_result`] (or
+/// [`CampaignResult::summary`]) when the campaign had errors to count.
 pub fn summarize(outcomes: &[RunOutcome]) -> CampaignSummary {
+    summarize_result(outcomes, &[])
+}
+
+/// Reduces outcomes *and* failures to [`CampaignSummary`];
+/// order-independent in both lists. The failure fields are computed from
+/// the error list alone, so a re-mined corpus (which carries its live
+/// campaign's errors in the store manifest) reproduces them exactly.
+pub fn summarize_result(outcomes: &[RunOutcome], errors: &[RunError]) -> CampaignSummary {
     let runs = outcomes.len();
     let triggered = outcomes
         .iter()
@@ -184,6 +259,21 @@ pub fn summarize(outcomes: &[RunOutcome]) -> CampaignSummary {
         hits_top1: hits_within(1),
         hits_top3: hits_within(3),
         hits_top10: hits_within(10),
+        failed: errors.len(),
+        panicked: errors
+            .iter()
+            .filter(|e| e.kind == FailureKind::Panic)
+            .count(),
+        timed_out: errors
+            .iter()
+            .filter(|e| e.kind == FailureKind::TimedOut)
+            .count(),
+        failed_attempts: errors.iter().map(|e| u64::from(e.attempts)).sum(),
+        failure_rate: if runs + errors.len() == 0 {
+            0.0
+        } else {
+            errors.len() as f64 / (runs + errors.len()) as f64
+        },
     }
 }
 
@@ -256,7 +346,7 @@ where
     for (seed, result) in rx {
         match result {
             Ok(outcome) => outcomes.push(outcome),
-            Err(message) => errors.push(RunError { seed, message }),
+            Err(message) => errors.push(RunError::new(seed, message)),
         }
     }
     outcomes.sort_by_key(|o| o.seed);
@@ -383,6 +473,34 @@ mod tests {
         assert_eq!((s.min_samples, s.max_samples), (100, 300));
         assert!((s.mean_samples - 200.0).abs() < 1e-12);
         assert_eq!((s.hits_top1, s.hits_top3, s.hits_top10), (1, 1, 2));
+    }
+
+    #[test]
+    fn failure_statistics_come_from_the_error_list() {
+        let seeds: Vec<u64> = (10..16).collect(); // includes the failing 13
+        let result = run_campaign(&seeds, CampaignOptions::default(), fake_job);
+        let s = result.summary();
+        assert_eq!(s.runs, 5);
+        assert_eq!(s.failed, 1);
+        assert_eq!((s.panicked, s.timed_out), (0, 0));
+        assert_eq!(s.failed_attempts, 1);
+        assert!((s.failure_rate - 1.0 / 6.0).abs() < 1e-12);
+        // summarize() over outcomes alone reports clean-path zeros.
+        assert_eq!(summarize(&result.outcomes).failed, 0);
+        assert_eq!(summarize(&result.outcomes).failure_rate, 0.0);
+    }
+
+    #[test]
+    fn failure_kind_slugs_round_trip() {
+        for kind in [
+            FailureKind::Error,
+            FailureKind::Panic,
+            FailureKind::TimedOut,
+        ] {
+            assert_eq!(FailureKind::parse(kind.as_str()), kind);
+        }
+        assert_eq!(FailureKind::parse(""), FailureKind::Error);
+        assert_eq!(FailureKind::parse("gremlins"), FailureKind::Error);
     }
 
     #[test]

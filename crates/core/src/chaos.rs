@@ -1,0 +1,266 @@
+//! Deterministic chaos harness: seeded fault injection for supervised
+//! campaigns.
+//!
+//! Robustness claims are only testable if the faults are reproducible.
+//! This module derives every injected fault from a single chaos seed via
+//! [SplitMix64](crate::supervise::splitmix64): which run panics, which
+//! hangs, which fails transiently (and for how many attempts) is a pure
+//! function of `(chaos seed, run seed)` — same chaos seed, same faults,
+//! same final report, regardless of thread count or wall clock. On-disk
+//! corruption is injected the same way: [`corrupt_file`] picks its
+//! offset from the chaos seed and the file length.
+//!
+//! The harness wraps any supervised job ([`ChaosConfig::wrap`]); the
+//! fault fires *instead of* the real job, so the chaos suite exercises
+//! exactly the supervisor's failure paths:
+//!
+//! * [`Fault::Panic`] → caught by the supervisor's `catch_unwind`,
+//!   surfacing as [`FailureKind::Panic`](crate::campaign::FailureKind);
+//! * [`Fault::Hang`] → spins until the watchdog cancels the attempt
+//!   (requires [`SupervisorOptions::timeout`](crate::supervise::SupervisorOptions)
+//!   — an unwatchdogged hang hangs, which is the point);
+//! * [`Fault::Transient`] → fails the first `attempts` attempts with
+//!   [`RunFailure::Transient`], then lets the real job run — green iff
+//!   the retry budget covers it.
+
+use crate::campaign::RunOutcome;
+use crate::supervise::{splitmix64, RunContext, RunFailure};
+use std::path::Path;
+use std::time::Duration;
+
+/// The fault injected for one run seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the real job runs.
+    None,
+    /// The attempt panics.
+    Panic,
+    /// The attempt spins until the watchdog cancels it.
+    Hang,
+    /// The first `attempts` attempts fail retryably, then the real job
+    /// runs.
+    Transient {
+        /// Attempts that fail before the fault clears.
+        attempts: u32,
+    },
+}
+
+/// Seeded fault-injection plan. Rates are fractions in `[0, 1]` drawn
+/// against a per-run hash, checked in panic → hang → transient order.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// The chaos seed every fault derives from.
+    pub seed: u64,
+    /// Fraction of runs that panic.
+    pub panic_rate: f64,
+    /// Fraction of runs that hang until the watchdog fires.
+    pub hang_rate: f64,
+    /// Fraction of runs that fail transiently (1–2 attempts).
+    pub transient_rate: f64,
+}
+
+impl ChaosConfig {
+    /// A plan injecting every fault class at `rate` each.
+    pub fn uniform(seed: u64, rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_rate: rate,
+            hang_rate: rate,
+            transient_rate: rate,
+        }
+    }
+
+    /// The fault this plan injects for `run_seed` — a pure function, so
+    /// the whole campaign's fault pattern replays bit-identically.
+    pub fn fault_for(&self, run_seed: u64) -> Fault {
+        let h = splitmix64(self.seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // 53 uniform bits → a draw in [0, 1).
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw < self.panic_rate {
+            Fault::Panic
+        } else if draw < self.panic_rate + self.hang_rate {
+            Fault::Hang
+        } else if draw < self.panic_rate + self.hang_rate + self.transient_rate {
+            Fault::Transient {
+                attempts: 1 + (splitmix64(h) % 2) as u32,
+            }
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Wraps a supervised job so this plan's faults fire before it.
+    pub fn wrap<F>(self, job: F) -> impl Fn(&RunContext) -> Result<RunOutcome, RunFailure>
+    where
+        F: Fn(&RunContext) -> Result<RunOutcome, RunFailure>,
+    {
+        move |ctx| match self.fault_for(ctx.seed()) {
+            Fault::Panic => panic!("chaos: injected panic at seed {}", ctx.seed()),
+            Fault::Hang => {
+                while !ctx.cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(RunFailure::TimedOut(format!(
+                    "chaos: injected hang at seed {} cancelled by watchdog",
+                    ctx.seed()
+                )))
+            }
+            Fault::Transient { attempts } if ctx.attempt() <= attempts => {
+                Err(RunFailure::Transient(format!(
+                    "chaos: injected transient fault at seed {} (attempt {}/{})",
+                    ctx.seed(),
+                    ctx.attempt(),
+                    attempts
+                )))
+            }
+            _ => job(ctx),
+        }
+    }
+}
+
+/// Deterministically corrupts the file at `path`: XORs one byte at an
+/// offset derived from `chaos_seed` and the file length with `0xA5`.
+/// Returns the corrupted offset. Same seed + same file → same damage,
+/// so quarantine tests are exactly reproducible.
+///
+/// # Errors
+///
+/// I/O failures reading or rewriting the file; corrupting an empty file
+/// is an error (there is nothing to damage).
+pub fn corrupt_file(path: &Path, chaos_seed: u64) -> std::io::Result<u64> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "cannot corrupt an empty file",
+        ));
+    }
+    let offset = splitmix64(chaos_seed ^ bytes.len() as u64) % bytes.len() as u64;
+    bytes[offset as usize] ^= 0xA5;
+    std::fs::write(path, bytes)?;
+    Ok(offset)
+}
+
+/// Deterministically truncates the file at `path` to a strict prefix
+/// whose length derives from `chaos_seed` (always at least 1 byte
+/// shorter, never empty unless the file had a single byte). Returns the
+/// new length — the torn-write / killed-process counterpart of
+/// [`corrupt_file`].
+///
+/// # Errors
+///
+/// I/O failures; truncating an empty file is an error.
+pub fn truncate_file(path: &Path, chaos_seed: u64) -> std::io::Result<u64> {
+    let bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "cannot truncate an empty file",
+        ));
+    }
+    let keep = (splitmix64(chaos_seed ^ bytes.len() as u64) % bytes.len() as u64) as usize;
+    std::fs::write(path, &bytes[..keep.max(1).min(bytes.len() - 1)])?;
+    Ok(keep.max(1).min(bytes.len() - 1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Verdict;
+
+    fn plan() -> ChaosConfig {
+        ChaosConfig::uniform(0xC0FFEE, 0.15)
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let a: Vec<Fault> = (0..200).map(|s| plan().fault_for(s)).collect();
+        let b: Vec<Fault> = (0..200).map(|s| plan().fault_for(s)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_rates_inject_every_fault_class() {
+        let faults: Vec<Fault> = (0..400).map(|s| plan().fault_for(s)).collect();
+        assert!(faults.contains(&Fault::Panic));
+        assert!(faults.contains(&Fault::Hang));
+        assert!(faults.iter().any(|f| matches!(f, Fault::Transient { .. })));
+        let clean = faults.iter().filter(|&&f| f == Fault::None).count();
+        assert!(clean > 100, "only {clean}/400 clean runs at 3×15% rates");
+    }
+
+    #[test]
+    fn zero_rates_never_inject() {
+        let cfg = ChaosConfig::uniform(1, 0.0);
+        assert!((0..500).all(|s| cfg.fault_for(s) == Fault::None));
+    }
+
+    #[test]
+    fn wrapped_job_passes_through_on_clean_seeds() {
+        let cfg = ChaosConfig::uniform(7, 0.0);
+        let job = cfg.wrap(|ctx: &RunContext| {
+            Ok(RunOutcome {
+                seed: ctx.seed(),
+                samples: 1,
+                symptoms: 0,
+                buggy_ranks: vec![],
+                verdict: Verdict::Clean,
+                trace_digest: "0".repeat(16),
+                wall_time_ms: 0,
+            })
+        });
+        let out = job(&RunContext::new(9, 1, None)).unwrap();
+        assert_eq!(out.seed, 9);
+    }
+
+    #[test]
+    fn transient_fault_clears_after_its_attempt_budget() {
+        // Find a seed the plan marks transient, then drive attempts.
+        let cfg = plan();
+        let (seed, attempts) = (0..)
+            .find_map(|s| match cfg.fault_for(s) {
+                Fault::Transient { attempts } => Some((s, attempts)),
+                _ => None,
+            })
+            .unwrap();
+        let job = cfg.wrap(|ctx: &RunContext| {
+            Ok(RunOutcome {
+                seed: ctx.seed(),
+                samples: 0,
+                symptoms: 0,
+                buggy_ranks: vec![],
+                verdict: Verdict::Clean,
+                trace_digest: "0".repeat(16),
+                wall_time_ms: 0,
+            })
+        });
+        for attempt in 1..=attempts {
+            assert!(matches!(
+                job(&RunContext::new(seed, attempt, None)),
+                Err(RunFailure::Transient(_))
+            ));
+        }
+        assert!(job(&RunContext::new(seed, attempts + 1, None)).is_ok());
+    }
+
+    #[test]
+    fn file_corruption_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("sentomist-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        let original: Vec<u8> = (0..=255u8).collect();
+        std::fs::write(&path, &original).unwrap();
+        let off1 = corrupt_file(&path, 99).unwrap();
+        let damaged = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &original).unwrap();
+        let off2 = corrupt_file(&path, 99).unwrap();
+        assert_eq!(off1, off2);
+        assert_eq!(damaged, std::fs::read(&path).unwrap());
+        assert_ne!(damaged, original);
+        std::fs::write(&path, &original).unwrap();
+        let kept = truncate_file(&path, 4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len() as u64, kept);
+        assert!(kept < original.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,10 +9,53 @@
 //! rankings re-produced at a fraction of the original cost, and (because
 //! the mining stage is the same code path the live campaign used) the
 //! re-mined document is bit-identical to the live one.
+//!
+//! For corpora that took damage — a torn write, bit rot, a killed
+//! recording — [`mine_store_with`] adds *quarantine-and-continue*: runs
+//! whose manifest or traces fail corruption-class validation
+//! ([`StoreError::is_corruption`]) are moved to the store's
+//! `quarantine/` directory with a typed reason, the remaining runs are
+//! mined normally, and the [`MineReport`] enumerates exactly what was
+//! skipped and why. One bad run no longer costs the corpus.
 
 use crate::campaign::{run_campaign, CampaignOptions, CampaignResult, RunOutcome};
 use sentomist_trace::Trace;
-use sentomist_tracestore::{RunManifest, StoreError, TraceStore};
+use sentomist_tracestore::{seed_for_run_id, RunManifest, StoreError, TraceStore};
+use std::sync::Mutex;
+
+/// How a corpus should be mined.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MineOptions {
+    /// Worker-pool options for the sweep itself.
+    pub campaign: CampaignOptions,
+    /// Quarantine-and-continue: move corruption-class failures to
+    /// `quarantine/` instead of reporting them as run errors. Off, a
+    /// corrupt run stays in place and lands in the error list (the
+    /// historical behavior).
+    pub quarantine: bool,
+}
+
+/// One run set aside by quarantine-and-continue mining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRun {
+    /// The run directory name (now under `quarantine/`).
+    pub run_id: String,
+    /// The run's seed (parsed from the run id when the manifest itself
+    /// was unreadable).
+    pub seed: u64,
+    /// The corruption that condemned it, rendered as text.
+    pub reason: String,
+}
+
+/// What quarantine-aware mining produced: the campaign result over the
+/// healthy runs, plus everything that was set aside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineReport {
+    /// Mining result over the runs that passed validation.
+    pub result: CampaignResult,
+    /// Runs moved to `quarantine/`, ascending by run id.
+    pub quarantined: Vec<QuarantinedRun>,
+}
 
 /// Mines every run stored in `store` with `miner`, a function from the
 /// run's seed and decoded traces (node order, digest-verified) to a
@@ -35,17 +78,109 @@ pub fn mine_store<F>(
 where
     F: Fn(u64, &[Trace]) -> Result<RunOutcome, String> + Send + Sync,
 {
-    let manifests: Vec<RunManifest> = store.manifests()?;
+    mine_store_with(
+        store,
+        MineOptions {
+            campaign: options,
+            quarantine: false,
+        },
+        miner,
+    )
+    .map(|report| report.result)
+}
+
+/// [`mine_store`] with explicit [`MineOptions`] — in particular
+/// quarantine-and-continue for damaged corpora.
+///
+/// With `quarantine` on, a run is set aside (moved to `quarantine/`,
+/// reason recorded on disk and in the report) when its manifest is
+/// missing/unparsable or its traces fail decode/digest validation with a
+/// corruption-class error; environmental failures (I/O permission
+/// errors, version skew) and miner failures still land in `errors`.
+///
+/// # Errors
+///
+/// Only listing the corpus or moving a condemned run can fail the call
+/// itself; per-run problems are reported, never thrown.
+pub fn mine_store_with<F>(
+    store: &TraceStore,
+    options: MineOptions,
+    miner: F,
+) -> Result<MineReport, StoreError>
+where
+    F: Fn(u64, &[Trace]) -> Result<RunOutcome, String> + Send + Sync,
+{
+    let mut quarantined: Vec<QuarantinedRun> = Vec::new();
+    let mut manifests: Vec<RunManifest> = Vec::new();
+    let mut manifest_errors: Vec<(u64, String)> = Vec::new();
+    for run_id in store.run_ids()? {
+        match store.manifest(&run_id) {
+            Ok(manifest) => manifests.push(manifest),
+            Err(e) if options.quarantine && e.is_corruption() => {
+                let reason = e.to_string();
+                store.quarantine_run(&run_id, &reason)?;
+                quarantined.push(QuarantinedRun {
+                    seed: seed_for_run_id(&run_id).unwrap_or(0),
+                    run_id,
+                    reason,
+                });
+            }
+            Err(e) => {
+                // Historical behavior: a bad manifest fails the listing.
+                if !options.quarantine {
+                    return Err(e);
+                }
+                manifest_errors.push((seed_for_run_id(&run_id).unwrap_or(0), e.to_string()));
+            }
+        }
+    }
     let seeds: Vec<u64> = manifests.iter().map(|m| m.seed).collect();
     let by_seed = |seed: u64| -> &RunManifest {
         // seeds[i] comes from manifests[i]; the job only receives those.
         &manifests[seeds.iter().position(|&s| s == seed).expect("known seed")]
     };
-    Ok(run_campaign(&seeds, options, |seed| {
+    // Corruption found while loading traces, keyed by seed; quarantining
+    // is deferred to after the sweep so workers never race on renames.
+    let condemned: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+    let mut result = run_campaign(&seeds, options.campaign, |seed| {
         let manifest = by_seed(seed);
-        let traces = store.load_traces(manifest).map_err(|e| e.to_string())?;
+        let traces = match store.load_traces(manifest) {
+            Ok(traces) => traces,
+            Err(e) => {
+                if options.quarantine && e.is_corruption() {
+                    condemned
+                        .lock()
+                        .expect("condemned list lock")
+                        .push((seed, e.to_string()));
+                }
+                return Err(e.to_string());
+            }
+        };
         miner(seed, &traces)
-    }))
+    });
+    for (seed, message) in manifest_errors {
+        result
+            .errors
+            .push(crate::campaign::RunError::new(seed, message));
+    }
+    result.errors.sort_by_key(|e| e.seed);
+    let condemned = condemned.into_inner().expect("condemned list lock");
+    for (seed, reason) in condemned {
+        let manifest = by_seed(seed);
+        store.quarantine_run(&manifest.run_id, &reason)?;
+        // A quarantined run is skipped, not failed: drop its error entry.
+        result.errors.retain(|e| e.seed != seed);
+        quarantined.push(QuarantinedRun {
+            run_id: manifest.run_id.clone(),
+            seed,
+            reason,
+        });
+    }
+    quarantined.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+    Ok(MineReport {
+        result,
+        quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -128,6 +263,61 @@ mod tests {
         assert_eq!(result.outcomes[0].seed, 1);
         assert_eq!(result.errors.len(), 1);
         assert_eq!(result.errors[0].seed, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantine_moves_corrupt_runs_and_mines_the_rest() {
+        let root = tmpdir("quarantine");
+        let store = TraceStore::create(&root).unwrap();
+        for seed in [1u64, 2, 3, 4] {
+            store
+                .save_run(seed, "test", 0, &[trace_with(seed * 7)])
+                .unwrap();
+        }
+        // Damage run 2's trace and run 3's manifest.
+        let m2 = store.manifest("seed-00000000000000000002").unwrap();
+        let path = store.run_dir(&m2.run_id).join(&m2.nodes[0].file);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        std::fs::write(
+            store
+                .run_dir("seed-00000000000000000003")
+                .join("manifest.json"),
+            "{ not json",
+        )
+        .unwrap();
+
+        let report = mine_store_with(
+            &store,
+            MineOptions {
+                campaign: CampaignOptions::default(),
+                quarantine: true,
+            },
+            outcome_from,
+        )
+        .unwrap();
+        let seeds: Vec<u64> = report.result.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds, vec![1, 4]);
+        assert!(
+            report.result.errors.is_empty(),
+            "{:?}",
+            report.result.errors
+        );
+        assert_eq!(report.quarantined.len(), 2);
+        assert_eq!(report.quarantined[0].seed, 2);
+        assert_eq!(report.quarantined[1].seed, 3);
+        assert!(!report.quarantined[0].reason.is_empty());
+        // The runs physically moved, with reasons recorded on disk.
+        assert!(!store.run_dir("seed-00000000000000000002").exists());
+        let notes = store.quarantined().unwrap();
+        assert_eq!(notes.len(), 2);
+        assert!(notes[0].run_id.ends_with("2"));
+        assert!(notes[1].reason.contains("manifest"));
+        // And the remaining corpus still mines cleanly a second time.
+        let again = mine_store(&store, CampaignOptions::default(), outcome_from).unwrap();
+        assert_eq!(again.outcomes.len(), 2);
+        assert!(again.errors.is_empty());
         let _ = std::fs::remove_dir_all(&root);
     }
 }

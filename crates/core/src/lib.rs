@@ -16,6 +16,9 @@
 //! * [`Report`] — Figure-5-style ranking tables and rank queries;
 //! * [`campaign`] — parallel seed-sweep orchestration with
 //!   reproducible-by-seed replay of any flagged run;
+//! * [`supervise`] — the fault-tolerant variant: panic isolation,
+//!   watchdogs, deterministic retry and checkpointable completion
+//!   reporting, provable under the seeded [`chaos`] harness;
 //! * [`corpus::mine_store`] — the same sweep over a persisted trace
 //!   corpus (`sentomist-tracestore`), re-mining without re-emulating;
 //! * [`localize()`](localize::localize) — the paper's future-work extension: map an outlier's
@@ -59,19 +62,22 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod chaos;
 pub mod corpus;
 pub mod localize;
 pub mod monitor;
 pub mod pipeline;
 pub mod report;
 pub mod sample;
+pub mod supervise;
 
 pub use baseline::BaselineModel;
 pub use campaign::{
-    replay, run_campaign, summarize, CampaignOptions, CampaignResult, CampaignSummary, RunError,
-    RunOutcome, Verdict,
+    replay, run_campaign, summarize, summarize_result, CampaignOptions, CampaignResult,
+    CampaignSummary, FailureKind, RunError, RunOutcome, Verdict,
 };
-pub use corpus::mine_store;
+pub use chaos::{corrupt_file, truncate_file, ChaosConfig, Fault};
+pub use corpus::{mine_store, mine_store_with, MineOptions, MineReport, QuarantinedRun};
 pub use localize::{
     corroborate, localize, localize_set, CorroboratedInstruction, ImplicatedInstruction,
 };
@@ -79,3 +85,7 @@ pub use monitor::WindowedMiner;
 pub use pipeline::{Pipeline, PipelineError};
 pub use report::{RankedSample, Report};
 pub use sample::{harvest, harvest_set, Sample, SampleIndex, SampleMeta, SampleSet};
+pub use supervise::{
+    adapt_seed_job, backoff_delay_ms, run_supervised, RunContext, RunFailure, SeedReport,
+    SupervisorOptions,
+};

@@ -20,4 +20,4 @@ pub mod sim;
 pub mod topology;
 
 pub use sim::{Delivery, NetSim, SimError};
-pub use topology::{LinkConfig, Topology, MIN_LINK_LATENCY};
+pub use topology::{LinkConfig, Topology, TopologyError, MIN_LINK_LATENCY};

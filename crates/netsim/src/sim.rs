@@ -7,7 +7,7 @@
 //! into the receivers' device queues at `send + airtime + link latency`,
 //! which the lookahead guarantees is never in a receiver's past.
 
-use crate::topology::Topology;
+use crate::topology::{Topology, TopologyError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::error::Error;
@@ -38,6 +38,35 @@ pub enum SimError {
         /// Sinks supplied.
         sinks: usize,
     },
+    /// A node was added with an id that does not equal its index.
+    NodeOrder {
+        /// The id the next node must carry.
+        expected: u16,
+        /// The id it actually carried.
+        got: u16,
+    },
+    /// A node was added beyond the topology's declared node count.
+    NodeOutOfTopology {
+        /// The offending node id.
+        node: u16,
+        /// Nodes the topology declares.
+        count: u16,
+    },
+    /// A node id was looked up that was never added.
+    UnknownNode {
+        /// The requested id.
+        node: u16,
+        /// Nodes added so far.
+        count: usize,
+    },
+    /// The underlying topology was invalid.
+    Topology(TopologyError),
+}
+
+impl From<TopologyError> for SimError {
+    fn from(e: TopologyError) -> SimError {
+        SimError::Topology(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -47,11 +76,30 @@ impl fmt::Display for SimError {
             SimError::SinkCountMismatch { nodes, sinks } => {
                 write!(f, "{nodes} nodes but {sinks} trace sinks")
             }
+            SimError::NodeOrder { expected, got } => write!(
+                f,
+                "node ids must be assigned in index order (expected {expected}, got {got})"
+            ),
+            SimError::NodeOutOfTopology { node, count } => write!(
+                f,
+                "node {node} exceeds the topology's declared {count} nodes"
+            ),
+            SimError::UnknownNode { node, count } => {
+                write!(f, "no node {node} (only {count} added)")
+            }
+            SimError::Topology(e) => write!(f, "invalid topology: {e}"),
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Record of one attempted packet delivery (for oracles and tests).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,10 +126,10 @@ pub struct Delivery {
 /// # use tinyvm::devices::NodeConfig;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let program = Arc::new(tinyvm::assemble("main:\n ret\n")?);
-/// let topo = Topology::chain(2, LinkConfig::default());
+/// let topo = Topology::chain(2, LinkConfig::default())?;
 /// let mut sim = NetSim::new(topo, 42);
-/// sim.add_node(program.clone(), NodeConfig::default());
-/// sim.add_node(program, NodeConfig { node_id: 1, ..NodeConfig::default() });
+/// sim.add_node(program.clone(), NodeConfig::default())?;
+/// sim.add_node(program, NodeConfig { node_id: 1, ..NodeConfig::default() })?;
 /// let mut sinks = vec![tinyvm::NullSink, tinyvm::NullSink];
 /// sim.run(10_000, &mut sinks)?;
 /// # Ok(())
@@ -116,40 +164,75 @@ impl NetSim {
     /// Adds a node running `program`. The node's id must equal its index
     /// (set `config.node_id` accordingly).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.node_id` differs from the node's index or exceeds
-    /// the topology's node count.
-    pub fn add_node(&mut self, program: Arc<Program>, config: NodeConfig) -> &mut Self {
-        assert_eq!(
-            config.node_id as usize,
-            self.nodes.len(),
-            "node ids must be assigned in index order"
-        );
-        assert!(
-            config.node_id < self.topology.node_count(),
-            "more nodes than the topology declares"
-        );
+    /// [`SimError::NodeOrder`] if `config.node_id` differs from the
+    /// node's index, [`SimError::NodeOutOfTopology`] if it exceeds the
+    /// topology's node count.
+    pub fn add_node(
+        &mut self,
+        program: Arc<Program>,
+        config: NodeConfig,
+    ) -> Result<&mut Self, SimError> {
+        if config.node_id as usize != self.nodes.len() {
+            return Err(SimError::NodeOrder {
+                expected: self.nodes.len() as u16,
+                got: config.node_id,
+            });
+        }
+        if config.node_id >= self.topology.node_count() {
+            return Err(SimError::NodeOutOfTopology {
+                node: config.node_id,
+                count: self.topology.node_count(),
+            });
+        }
         self.nodes.push(Node::new(program, config));
-        self
+        Ok(self)
     }
 
     /// The node with id `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range; use [`NetSim::try_node`] for a
+    /// fallible lookup.
     pub fn node(&self, id: u16) -> &Node {
         &self.nodes[id as usize]
+    }
+
+    /// The node with id `id`, or [`SimError::UnknownNode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownNode`] if no node with that id was added.
+    pub fn try_node(&self, id: u16) -> Result<&Node, SimError> {
+        self.nodes.get(id as usize).ok_or(SimError::UnknownNode {
+            node: id,
+            count: self.nodes.len(),
+        })
     }
 
     /// Mutable access to the node with id `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range; use [`NetSim::try_node_mut`] for a
+    /// fallible lookup.
     pub fn node_mut(&mut self, id: u16) -> &mut Node {
         &mut self.nodes[id as usize]
+    }
+
+    /// Mutable access to the node with id `id`, or
+    /// [`SimError::UnknownNode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownNode`] if no node with that id was added.
+    pub fn try_node_mut(&mut self, id: u16) -> Result<&mut Node, SimError> {
+        let count = self.nodes.len();
+        self.nodes
+            .get_mut(id as usize)
+            .ok_or(SimError::UnknownNode { node: id, count })
     }
 
     /// Number of nodes added so far.
@@ -315,16 +398,19 @@ on_rx:
                 latency_cycles: 128,
                 loss_prob: loss,
             },
-        );
+        )
+        .unwrap();
         let mut sim = NetSim::new(topo, 7);
-        sim.add_node(sender_program(), NodeConfig::default());
+        sim.add_node(sender_program(), NodeConfig::default())
+            .unwrap();
         sim.add_node(
             receiver_program(),
             NodeConfig {
                 node_id: 1,
                 ..NodeConfig::default()
             },
-        );
+        )
+        .unwrap();
         sim
     }
 
@@ -360,23 +446,26 @@ on_rx:
     fn unicast_to_non_neighbor_is_lost() {
         // Node 0 sends to id 1, but only a 0-2 link exists.
         let mut topo = Topology::new(3);
-        topo.connect(0, 2, LinkConfig::default());
+        topo.connect(0, 2, LinkConfig::default()).unwrap();
         let mut sim = NetSim::new(topo, 1);
-        sim.add_node(sender_program(), NodeConfig::default());
+        sim.add_node(sender_program(), NodeConfig::default())
+            .unwrap();
         sim.add_node(
             receiver_program(),
             NodeConfig {
                 node_id: 1,
                 ..NodeConfig::default()
             },
-        );
+        )
+        .unwrap();
         sim.add_node(
             receiver_program(),
             NodeConfig {
                 node_id: 2,
                 ..NodeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let mut sinks = vec![NullSink, NullSink, NullSink];
         sim.run(100_000, &mut sinks).unwrap();
         assert!(sim.deliveries().is_empty());
@@ -407,9 +496,9 @@ fire:
             )
             .unwrap(),
         );
-        let topo = Topology::star(3, LinkConfig::default());
+        let topo = Topology::star(3, LinkConfig::default()).unwrap();
         let mut sim = NetSim::new(topo, 3);
-        sim.add_node(bcast, NodeConfig::default());
+        sim.add_node(bcast, NodeConfig::default()).unwrap();
         for id in 1..3 {
             sim.add_node(
                 receiver_program(),
@@ -417,7 +506,8 @@ fire:
                     node_id: id,
                     ..NodeConfig::default()
                 },
-            );
+            )
+            .unwrap();
         }
         let mut sinks = vec![NullSink, NullSink, NullSink];
         sim.run(200_000, &mut sinks).unwrap();
@@ -440,12 +530,55 @@ fire:
         let bad = Arc::new(tinyvm::assemble("main:\n in r1, 0x7F\n ret\n").unwrap());
         let topo = Topology::new(1);
         let mut sim = NetSim::new(topo, 0);
-        sim.add_node(bad, NodeConfig::default());
+        sim.add_node(bad, NodeConfig::default()).unwrap();
         let mut sinks = vec![NullSink];
         match sim.run(1_000, &mut sinks) {
             Err(SimError::NodeFault { node: 0, .. }) => {}
             other => panic!("expected node fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bad_node_registration_is_a_typed_error() {
+        let mut sim = NetSim::new(Topology::new(1), 0);
+        assert_eq!(
+            sim.add_node(
+                sender_program(),
+                NodeConfig {
+                    node_id: 3,
+                    ..NodeConfig::default()
+                }
+            )
+            .unwrap_err(),
+            SimError::NodeOrder {
+                expected: 0,
+                got: 3
+            }
+        );
+        sim.add_node(sender_program(), NodeConfig::default())
+            .unwrap();
+        assert_eq!(
+            sim.add_node(
+                sender_program(),
+                NodeConfig {
+                    node_id: 1,
+                    ..NodeConfig::default()
+                }
+            )
+            .unwrap_err(),
+            SimError::NodeOutOfTopology { node: 1, count: 1 }
+        );
+        assert!(sim.try_node(0).is_ok());
+        assert_eq!(
+            sim.try_node(9).unwrap_err(),
+            SimError::UnknownNode { node: 9, count: 1 }
+        );
+        assert_eq!(
+            sim.try_node_mut(9).unwrap_err(),
+            SimError::UnknownNode { node: 9, count: 1 }
+        );
+        let topo_err: SimError = crate::topology::TopologyError::SelfLink { node: 2 }.into();
+        assert!(topo_err.to_string().contains("self-link"));
     }
 
     #[test]

@@ -3,6 +3,65 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a topology could not be built or extended. Construction takes
+/// user-supplied parameters (CLI sweeps, scenario configs), so every
+/// invalid shape surfaces as a typed error rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A link endpoint does not exist.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u16,
+        /// Nodes in the topology.
+        count: u16,
+    },
+    /// A node cannot be linked to itself.
+    SelfLink {
+        /// The node both ends named.
+        node: u16,
+    },
+    /// The link latency is below [`MIN_LINK_LATENCY`] (the
+    /// conservative-synchronization lookahead bound).
+    LatencyBelowMinimum {
+        /// The rejected latency.
+        latency_cycles: u64,
+    },
+    /// The loss probability is outside `[0, 1]`.
+    LossOutOfRange,
+    /// More nodes than node ids (`u16`) — oversized grid or point set.
+    TooManyNodes {
+        /// Requested node count.
+        nodes: usize,
+    },
+    /// A grid needs both sides nonzero.
+    EmptyGrid,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, count } => {
+                write!(f, "node {node} out of range (topology has {count} nodes)")
+            }
+            TopologyError::SelfLink { node } => {
+                write!(f, "self-link on node {node} is not allowed")
+            }
+            TopologyError::LatencyBelowMinimum { latency_cycles } => write!(
+                f,
+                "link latency {latency_cycles} below minimum {MIN_LINK_LATENCY}"
+            ),
+            TopologyError::LossOutOfRange => f.write_str("loss probability outside [0, 1]"),
+            TopologyError::TooManyNodes { nodes } => {
+                write!(f, "{nodes} nodes exceed the u16 node-id space")
+            }
+            TopologyError::EmptyGrid => f.write_str("degenerate grid (a side is 0)"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Properties of one directed radio link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,11 +94,14 @@ impl Default for LinkConfig {
 /// ```
 /// use netsim::topology::{LinkConfig, Topology};
 ///
+/// # fn main() -> Result<(), netsim::TopologyError> {
 /// let mut topo = Topology::new(3);
-/// topo.connect(0, 1, LinkConfig::default());
-/// topo.connect(1, 2, LinkConfig::default());
+/// topo.connect(0, 1, LinkConfig::default())?;
+/// topo.connect(1, 2, LinkConfig::default())?;
 /// assert!(topo.link(0, 1).is_some());
 /// assert!(topo.link(0, 2).is_none());
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
@@ -63,37 +125,53 @@ impl Topology {
 
     /// Adds a bidirectional link between `a` and `b`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either endpoint is out of range, `a == b`, or the latency
-    /// is below [`MIN_LINK_LATENCY`].
-    pub fn connect(&mut self, a: u16, b: u16, config: LinkConfig) -> &mut Self {
-        self.connect_directed(a, b, config);
-        self.connect_directed(b, a, config);
-        self
+    /// [`TopologyError`] if either endpoint is out of range, `a == b`,
+    /// the latency is below [`MIN_LINK_LATENCY`], or the loss
+    /// probability leaves `[0, 1]`.
+    pub fn connect(
+        &mut self,
+        a: u16,
+        b: u16,
+        config: LinkConfig,
+    ) -> Result<&mut Self, TopologyError> {
+        self.connect_directed(a, b, config)?;
+        self.connect_directed(b, a, config)
     }
 
     /// Adds a directed link from `from` to `to`.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// Same conditions as [`Topology::connect`].
-    pub fn connect_directed(&mut self, from: u16, to: u16, config: LinkConfig) -> &mut Self {
-        assert!(from < self.node_count, "node {from} out of range");
-        assert!(to < self.node_count, "node {to} out of range");
-        assert_ne!(from, to, "self-links are not allowed");
-        assert!(
-            config.latency_cycles >= MIN_LINK_LATENCY,
-            "link latency {} below minimum {}",
-            config.latency_cycles,
-            MIN_LINK_LATENCY
-        );
-        assert!(
-            (0.0..=1.0).contains(&config.loss_prob),
-            "loss probability out of range"
-        );
+    pub fn connect_directed(
+        &mut self,
+        from: u16,
+        to: u16,
+        config: LinkConfig,
+    ) -> Result<&mut Self, TopologyError> {
+        for node in [from, to] {
+            if node >= self.node_count {
+                return Err(TopologyError::NodeOutOfRange {
+                    node,
+                    count: self.node_count,
+                });
+            }
+        }
+        if from == to {
+            return Err(TopologyError::SelfLink { node: from });
+        }
+        if config.latency_cycles < MIN_LINK_LATENCY {
+            return Err(TopologyError::LatencyBelowMinimum {
+                latency_cycles: config.latency_cycles,
+            });
+        }
+        if !(0.0..=1.0).contains(&config.loss_prob) {
+            return Err(TopologyError::LossOutOfRange);
+        }
         self.links.insert((from, to), config);
-        self
+        Ok(self)
     }
 
     /// The link from `from` to `to`, if present.
@@ -115,77 +193,104 @@ impl Topology {
     }
 
     /// Builds a linear chain `0 - 1 - ... - (n-1)` with uniform links.
-    pub fn chain(node_count: u16, config: LinkConfig) -> Topology {
+    ///
+    /// # Errors
+    ///
+    /// Any invalid `config` ([`TopologyError`]).
+    pub fn chain(node_count: u16, config: LinkConfig) -> Result<Topology, TopologyError> {
         let mut t = Topology::new(node_count);
         for i in 1..node_count {
-            t.connect(i - 1, i, config);
+            t.connect(i - 1, i, config)?;
         }
-        t
+        Ok(t)
     }
 
     /// Builds a fully connected mesh with uniform links.
-    pub fn mesh(node_count: u16, config: LinkConfig) -> Topology {
+    ///
+    /// # Errors
+    ///
+    /// Any invalid `config` ([`TopologyError`]).
+    pub fn mesh(node_count: u16, config: LinkConfig) -> Result<Topology, TopologyError> {
         let mut t = Topology::new(node_count);
         for a in 0..node_count {
             for b in (a + 1)..node_count {
-                t.connect(a, b, config);
+                t.connect(a, b, config)?;
             }
         }
-        t
+        Ok(t)
     }
 
     /// Builds a star with `0` as the hub.
-    pub fn star(node_count: u16, config: LinkConfig) -> Topology {
+    ///
+    /// # Errors
+    ///
+    /// Any invalid `config` ([`TopologyError`]).
+    pub fn star(node_count: u16, config: LinkConfig) -> Result<Topology, TopologyError> {
         let mut t = Topology::new(node_count);
         for i in 1..node_count {
-            t.connect(0, i, config);
+            t.connect(0, i, config)?;
         }
-        t
+        Ok(t)
     }
 
     /// Builds a `width x height` grid with 4-neighbor links (node id =
     /// `y * width + x`), the classic WSN testbed layout.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width * height` overflows `u16` or either side is 0.
-    pub fn grid(width: u16, height: u16, config: LinkConfig) -> Topology {
-        assert!(width > 0 && height > 0, "degenerate grid");
-        let count = width.checked_mul(height).expect("grid too large");
+    /// [`TopologyError::EmptyGrid`] when a side is 0,
+    /// [`TopologyError::TooManyNodes`] when `width * height` overflows
+    /// the `u16` id space, plus any invalid `config`.
+    pub fn grid(width: u16, height: u16, config: LinkConfig) -> Result<Topology, TopologyError> {
+        if width == 0 || height == 0 {
+            return Err(TopologyError::EmptyGrid);
+        }
+        let count = width
+            .checked_mul(height)
+            .ok_or(TopologyError::TooManyNodes {
+                nodes: width as usize * height as usize,
+            })?;
         let mut t = Topology::new(count);
         for y in 0..height {
             for x in 0..width {
                 let id = y * width + x;
                 if x + 1 < width {
-                    t.connect(id, id + 1, config);
+                    t.connect(id, id + 1, config)?;
                 }
                 if y + 1 < height {
-                    t.connect(id, id + width, config);
+                    t.connect(id, id + width, config)?;
                 }
             }
         }
-        t
+        Ok(t)
     }
 
     /// Builds a unit-disk topology from node positions: nodes within
     /// `range` of each other are connected.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more than `u16::MAX` positions are given.
-    pub fn unit_disk(positions: &[(f64, f64)], range: f64, config: LinkConfig) -> Topology {
-        let count = u16::try_from(positions.len()).expect("too many nodes");
+    /// [`TopologyError::TooManyNodes`] when more than `u16::MAX`
+    /// positions are given, plus any invalid `config`.
+    pub fn unit_disk(
+        positions: &[(f64, f64)],
+        range: f64,
+        config: LinkConfig,
+    ) -> Result<Topology, TopologyError> {
+        let count = u16::try_from(positions.len()).map_err(|_| TopologyError::TooManyNodes {
+            nodes: positions.len(),
+        })?;
         let mut t = Topology::new(count);
         for a in 0..positions.len() {
             for b in (a + 1)..positions.len() {
                 let dx = positions[a].0 - positions[b].0;
                 let dy = positions[a].1 - positions[b].1;
                 if (dx * dx + dy * dy).sqrt() <= range {
-                    t.connect(a as u16, b as u16, config);
+                    t.connect(a as u16, b as u16, config)?;
                 }
             }
         }
-        t
+        Ok(t)
     }
 
     /// Whether every node can reach every other over the links.
@@ -220,7 +325,7 @@ mod tests {
     #[test]
     fn connect_is_bidirectional() {
         let mut t = Topology::new(2);
-        t.connect(0, 1, LinkConfig::default());
+        t.connect(0, 1, LinkConfig::default()).unwrap();
         assert!(t.link(0, 1).is_some());
         assert!(t.link(1, 0).is_some());
     }
@@ -228,49 +333,93 @@ mod tests {
     #[test]
     fn neighbors_in_id_order() {
         let mut t = Topology::new(4);
-        t.connect(1, 3, LinkConfig::default());
-        t.connect(1, 0, LinkConfig::default());
-        t.connect(1, 2, LinkConfig::default());
+        t.connect(1, 3, LinkConfig::default()).unwrap();
+        t.connect(1, 0, LinkConfig::default()).unwrap();
+        t.connect(1, 2, LinkConfig::default()).unwrap();
         let ns: Vec<u16> = t.neighbors(1).map(|(n, _)| n).collect();
         assert_eq!(ns, vec![0, 2, 3]);
     }
 
     #[test]
-    #[should_panic(expected = "self-links")]
-    fn self_link_rejected() {
-        Topology::new(2).connect(1, 1, LinkConfig::default());
+    fn invalid_links_are_typed_errors() {
+        assert_eq!(
+            Topology::new(2)
+                .connect(1, 1, LinkConfig::default())
+                .unwrap_err(),
+            TopologyError::SelfLink { node: 1 }
+        );
+        assert_eq!(
+            Topology::new(2)
+                .connect(
+                    0,
+                    1,
+                    LinkConfig {
+                        latency_cycles: 1,
+                        loss_prob: 0.0,
+                    },
+                )
+                .unwrap_err(),
+            TopologyError::LatencyBelowMinimum { latency_cycles: 1 }
+        );
+        assert_eq!(
+            Topology::new(2)
+                .connect(0, 5, LinkConfig::default())
+                .unwrap_err(),
+            TopologyError::NodeOutOfRange { node: 5, count: 2 }
+        );
+        assert_eq!(
+            Topology::new(2)
+                .connect(
+                    0,
+                    1,
+                    LinkConfig {
+                        latency_cycles: 128,
+                        loss_prob: 1.5,
+                    },
+                )
+                .unwrap_err(),
+            TopologyError::LossOutOfRange
+        );
+        // A rejected link leaves the topology untouched.
+        let mut t = Topology::new(2);
+        let _ = t.connect(1, 1, LinkConfig::default());
+        assert_eq!(t.link_count(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "below minimum")]
-    fn tiny_latency_rejected() {
-        Topology::new(2).connect(
-            0,
-            1,
-            LinkConfig {
-                latency_cycles: 1,
-                loss_prob: 0.0,
-            },
+    fn degenerate_constructors_are_typed_errors() {
+        assert_eq!(
+            Topology::grid(0, 4, LinkConfig::default()).unwrap_err(),
+            TopologyError::EmptyGrid
         );
+        assert_eq!(
+            Topology::grid(300, 300, LinkConfig::default()).unwrap_err(),
+            TopologyError::TooManyNodes { nodes: 90_000 }
+        );
+        let positions = vec![(0.0, 0.0); usize::from(u16::MAX) + 1];
+        assert!(matches!(
+            Topology::unit_disk(&positions, 0.1, LinkConfig::default()),
+            Err(TopologyError::TooManyNodes { .. })
+        ));
     }
 
     #[test]
     fn chain_mesh_star_shapes() {
-        let c = Topology::chain(4, LinkConfig::default());
+        let c = Topology::chain(4, LinkConfig::default()).unwrap();
         assert!(c.link(0, 1).is_some() && c.link(1, 2).is_some() && c.link(2, 3).is_some());
         assert!(c.link(0, 2).is_none());
 
-        let m = Topology::mesh(3, LinkConfig::default());
+        let m = Topology::mesh(3, LinkConfig::default()).unwrap();
         assert_eq!(m.neighbors(0).count(), 2);
 
-        let s = Topology::star(4, LinkConfig::default());
+        let s = Topology::star(4, LinkConfig::default()).unwrap();
         assert_eq!(s.neighbors(0).count(), 3);
         assert_eq!(s.neighbors(1).count(), 1);
     }
 
     #[test]
     fn grid_shape_and_connectivity() {
-        let g = Topology::grid(3, 2, LinkConfig::default());
+        let g = Topology::grid(3, 2, LinkConfig::default()).unwrap();
         assert_eq!(g.node_count(), 6);
         // Node 1 (0,1) connects to 0, 2 and 4.
         let ns: Vec<u16> = g.neighbors(1).map(|(n, _)| n).collect();
@@ -283,7 +432,7 @@ mod tests {
     #[test]
     fn unit_disk_respects_range() {
         let positions = [(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)];
-        let t = Topology::unit_disk(&positions, 1.5, LinkConfig::default());
+        let t = Topology::unit_disk(&positions, 1.5, LinkConfig::default()).unwrap();
         assert!(t.link(0, 1).is_some());
         assert!(t.link(1, 2).is_none());
         assert!(!t.is_connected());
@@ -292,10 +441,10 @@ mod tests {
     #[test]
     fn connectivity_detects_islands() {
         let mut t = Topology::new(4);
-        t.connect(0, 1, LinkConfig::default());
-        t.connect(2, 3, LinkConfig::default());
+        t.connect(0, 1, LinkConfig::default()).unwrap();
+        t.connect(2, 3, LinkConfig::default()).unwrap();
         assert!(!t.is_connected());
-        t.connect(1, 2, LinkConfig::default());
+        t.connect(1, 2, LinkConfig::default()).unwrap();
         assert!(t.is_connected());
         assert!(Topology::new(0).is_connected());
     }
@@ -310,7 +459,8 @@ mod tests {
                 latency_cycles: 200,
                 loss_prob: 0.0,
             },
-        );
+        )
+        .unwrap();
         t.connect(
             1,
             2,
@@ -318,7 +468,8 @@ mod tests {
                 latency_cycles: 100,
                 loss_prob: 0.0,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(t.min_latency(), Some(100));
         assert_eq!(Topology::new(1).min_latency(), None);
     }

@@ -53,11 +53,11 @@ fn build_sim(
         latency_cycles: latency,
         loss_prob: loss,
     };
-    let mut topo = Topology::chain(nodes, link);
+    let mut topo = Topology::chain(nodes, link).unwrap();
     for &(a, b) in extra_links {
         let (a, b) = (a % nodes, b % nodes);
         if a != b {
-            topo.connect(a, b, link);
+            topo.connect(a, b, link).unwrap();
         }
     }
     let program = beacon(period);
@@ -70,7 +70,8 @@ fn build_sim(
                 seed: seed.wrapping_add(id as u64),
                 ..NodeConfig::default()
             },
-        );
+        )
+        .unwrap();
     }
     sim
 }

@@ -67,6 +67,25 @@ impl StoreError {
             source,
         }
     }
+
+    /// Whether this error means the stored data itself is damaged —
+    /// truncation, bit rot, protocol violations, a missing or unparsable
+    /// manifest — as opposed to an environmental failure (I/O errors,
+    /// permissions) or version skew, which retrying or upgrading could
+    /// fix. Quarantine-and-continue mining moves exactly this class of
+    /// runs aside.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::BadMagic
+                | StoreError::Truncated { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::Corrupt(_)
+                | StoreError::DigestMismatch { .. }
+                | StoreError::Protocol { .. }
+                | StoreError::Manifest { .. }
+        )
+    }
 }
 
 impl fmt::Display for StoreError {

@@ -53,10 +53,10 @@ pub mod writer;
 
 pub use error::StoreError;
 pub use format::{Record, FORMAT_VERSION};
-pub use reader::{read_trace, read_trace_file, TraceReader};
+pub use reader::{read_trace, read_trace_file, salvage_trace_file, Salvage, TraceReader};
 pub use store::{
-    run_id_for_seed, CampaignManifest, NodeTraceMeta, RunManifest, StoredRunError, TraceStore,
-    MANIFEST_VERSION,
+    run_id_for_seed, seed_for_run_id, CampaignManifest, NodeTraceMeta, QuarantineNote, RunManifest,
+    StoredRunError, TraceStore, JOURNAL_FILE, MANIFEST_VERSION,
 };
 pub use writer::{write_trace, write_trace_file, StoreStats, TraceWriter};
 

@@ -258,6 +258,96 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
+/// What [`TraceReader::salvage`] recovered from a damaged trace file:
+/// the longest checksummed, decodable prefix, trimmed back to the
+/// recorder protocol (`segments == events + 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvage {
+    /// The recovered (protocol-valid) trace. When not even the first
+    /// count segment survived, this is the canonical empty trace.
+    pub trace: Trace,
+    /// Chunks that passed their checksum before recovery stopped.
+    pub recovered_chunks: u64,
+    /// Lifecycle events decoded (before the protocol trim).
+    pub recovered_events: u64,
+    /// Count segments decoded (before the protocol trim).
+    pub recovered_segments: u64,
+    /// Trailing events dropped to restore `segments == events + 1`.
+    pub dropped_events: u64,
+    /// Bytes left unread past the defect (0 for pure truncation).
+    pub lost_bytes: u64,
+    /// `true` when the end chunk verified — the file was whole and
+    /// nothing was lost.
+    pub complete: bool,
+    /// The defect that stopped recovery, rendered as text; `None` when
+    /// [`Salvage::complete`].
+    pub error: Option<String>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Recovers what it can from a damaged trace file instead of
+    /// rejecting it: records are decoded until the first structural
+    /// defect (truncation, checksum failure, bit rot), then the decoded
+    /// prefix is trimmed to the recorder protocol — the `(seg ev)* seg`
+    /// stream order means at most one trailing event must be dropped for
+    /// a clean cut, more only under in-chunk corruption. Every recovered
+    /// chunk passed its checksum, so the salvaged prefix is as
+    /// trustworthy as an intact file's content.
+    ///
+    /// On an undamaged file this is just [`read_trace`] with bookkeeping:
+    /// [`Salvage::complete`] is `true` and nothing is dropped.
+    pub fn salvage(mut self) -> Salvage {
+        let program_len = self.program_len();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut segments: Vec<Vec<u32>> = Vec::new();
+        let error = loop {
+            match self.next_record() {
+                Ok(Some(Record::Event(ev))) => events.push(ev),
+                Ok(Some(Record::Segment(seg))) => segments.push(seg),
+                Ok(None) => break None,
+                Err(e) => break Some(e.to_string()),
+            }
+        };
+        let recovered_events = events.len() as u64;
+        let recovered_segments = segments.len() as u64;
+        // Trim to protocol. Segments can only trail events by design;
+        // cap both directions anyway so corrupt interleavings still
+        // yield a valid trace.
+        segments.truncate(events.len() + 1);
+        while !events.is_empty() && segments.len() < events.len() + 1 {
+            events.pop();
+        }
+        let trace = if segments.is_empty() {
+            Trace {
+                events: Vec::new(),
+                segments: vec![vec![0; program_len]],
+                program_len,
+            }
+        } else {
+            Trace {
+                events,
+                segments,
+                program_len,
+            }
+        };
+        let mut rest = Vec::new();
+        let lost_bytes = match std::io::Read::read_to_end(&mut self.input, &mut rest) {
+            Ok(n) => n as u64,
+            Err(_) => 0,
+        };
+        Salvage {
+            dropped_events: recovered_events - trace.events.len() as u64,
+            recovered_chunks: self.chunk_index,
+            recovered_events,
+            recovered_segments,
+            lost_bytes,
+            complete: error.is_none(),
+            error,
+            trace,
+        }
+    }
+}
+
 impl<R: Read> Iterator for TraceReader<R> {
     type Item = Result<Record, StoreError>;
 
@@ -322,6 +412,16 @@ pub fn read_trace_file(path: &Path) -> Result<Trace, StoreError> {
     let file = File::open(path)
         .map_err(|e| StoreError::io(format!("opening trace file {}", path.display()), e))?;
     read_trace(BufReader::new(file))
+}
+
+/// [`TraceReader::salvage`] from a file path.
+///
+/// # Errors
+///
+/// Open and header failures only — once the header validates there is
+/// always *a* salvage result, however empty.
+pub fn salvage_trace_file(path: &Path) -> Result<Salvage, StoreError> {
+    Ok(TraceReader::open(path)?.salvage())
 }
 
 #[cfg(test)]
@@ -433,6 +533,59 @@ mod tests {
             read_trace(&corrupted[..]),
             Err(StoreError::ChecksumMismatch { chunk: 0 })
         ));
+    }
+
+    #[test]
+    fn salvage_of_an_intact_file_is_complete_and_lossless() {
+        let trace = sample_trace();
+        let salvage = TraceReader::new(&encode(&trace)[..]).unwrap().salvage();
+        assert!(salvage.complete);
+        assert_eq!(salvage.error, None);
+        assert_eq!(salvage.trace, trace);
+        assert_eq!(salvage.dropped_events, 0);
+        assert_eq!(salvage.lost_bytes, 0);
+        assert_eq!(salvage.recovered_events, trace.events.len() as u64);
+    }
+
+    #[test]
+    fn salvage_recovers_a_protocol_valid_prefix_from_any_truncation() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        for cut in 12..bytes.len() {
+            let Ok(reader) = TraceReader::new(&bytes[..cut]) else {
+                continue; // header itself unreadable: nothing to salvage
+            };
+            let salvage = reader.salvage();
+            assert!(!salvage.complete, "cut at {cut} still verified");
+            assert!(salvage.error.is_some());
+            let t = &salvage.trace;
+            assert_eq!(
+                t.segments.len(),
+                t.events.len() + 1,
+                "cut at {cut} broke the protocol"
+            );
+            assert_eq!(t.program_len, trace.program_len);
+            // The recovered prefix is a true prefix of the original.
+            assert_eq!(t.events[..], trace.events[..t.events.len()]);
+            assert_eq!(t.segments[..], trace.segments[..t.segments.len()]);
+            assert!(salvage.dropped_events <= 1, "clean cut drops at most one");
+        }
+    }
+
+    #[test]
+    fn salvage_stops_at_a_checksum_failure_and_counts_lost_bytes() {
+        let trace = sample_trace();
+        let mut bytes = encode(&trace);
+        // Flip a bit inside the first records chunk's payload.
+        bytes[12 + 5 + 2] ^= 0x10;
+        let salvage = TraceReader::new(&bytes[..]).unwrap().salvage();
+        assert!(!salvage.complete);
+        assert!(salvage.error.unwrap().contains("checksum"));
+        assert_eq!(salvage.recovered_chunks, 0);
+        // Nothing decodable before the bad chunk: canonical empty trace.
+        assert!(salvage.trace.events.is_empty());
+        assert_eq!(salvage.trace.segments, vec![vec![0; 4]]);
+        assert!(salvage.lost_bytes > 0);
     }
 
     #[test]

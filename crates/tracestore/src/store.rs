@@ -71,6 +71,14 @@ pub struct StoredRunError {
     pub seed: u64,
     /// The error rendered as text.
     pub message: String,
+    /// Failure-kind slug (`error`, `panic`, `timeout`); empty in
+    /// manifests written before failure typing (treated as `error`).
+    #[serde(default)]
+    pub kind: String,
+    /// Attempts spent before giving up; 0 in pre-typing manifests
+    /// (treated as 1).
+    #[serde(default)]
+    pub attempts: u32,
 }
 
 /// Campaign-level manifest: the job parameters a `trace mine` needs to
@@ -104,6 +112,27 @@ impl CampaignManifest {
 /// The run-id directory name for a seed.
 pub fn run_id_for_seed(seed: u64) -> String {
     format!("seed-{seed:020}")
+}
+
+/// Inverse of [`run_id_for_seed`]: the seed encoded in a run-id
+/// directory name, or `None` for foreign names. Lets quarantine report a
+/// seed even when the run's manifest is unreadable.
+pub fn seed_for_run_id(run_id: &str) -> Option<u64> {
+    run_id.strip_prefix("seed-")?.parse().ok()
+}
+
+/// File name of the campaign journal (one JSON object per line, appended
+/// as seeds complete).
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Reason note written into a quarantined run's directory (and returned
+/// by [`TraceStore::quarantined`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineNote {
+    /// The quarantined run's directory name.
+    pub run_id: String,
+    /// Why it was condemned.
+    pub reason: String,
 }
 
 /// A corpus directory of stored runs.
@@ -332,6 +361,154 @@ impl TraceStore {
             .map_err(|e| StoreError::io(format!("writing {}", path.display()), e))
     }
 
+    /// Path of the campaign journal (which may not exist yet).
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join(JOURNAL_FILE)
+    }
+
+    /// Appends one line to the campaign journal, creating it on first
+    /// use. The journal is the campaign's checkpoint: one self-contained
+    /// JSON object per completed seed, so a killed campaign resumes from
+    /// whatever made it to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn append_journal(&self, line: &str) -> Result<(), StoreError> {
+        use std::io::Write;
+        let path = self.journal_path();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(format!("opening journal {}", path.display()), e))?;
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .map_err(|e| StoreError::io(format!("appending to journal {}", path.display()), e))
+    }
+
+    /// The journal's complete lines (empty when no journal exists). A
+    /// trailing line without a newline — the torn write of a killed
+    /// campaign — is dropped, not an error: resume re-runs that seed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on anything other than a missing journal.
+    pub fn journal_lines(&self) -> Result<Vec<String>, StoreError> {
+        let path = self.journal_path();
+        let data = match std::fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::io(format!("reading {}", path.display()), e)),
+        };
+        let text = String::from_utf8_lossy(&data);
+        let sealed = match text.rfind('\n') {
+            Some(last) => &text[..last],
+            None => "", // a single torn line: nothing is sealed
+        };
+        Ok(sealed
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// Removes the journal (a completed campaign's checkpoint is garbage
+    /// once `campaign.json` holds the final result). Missing journal is
+    /// fine.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn clear_journal(&self) -> Result<(), StoreError> {
+        let path = self.journal_path();
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::io(format!("removing {}", path.display()), e)),
+        }
+    }
+
+    /// The quarantine directory (which may not exist yet).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Moves a run out of `runs/` into `quarantine/<run_id>/`, recording
+    /// `reason` in a `quarantine.json` note beside the damaged files.
+    /// Re-quarantining the same run id replaces the previous occupant.
+    /// Returns the run's new location.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the move or the note write fails.
+    pub fn quarantine_run(&self, run_id: &str, reason: &str) -> Result<PathBuf, StoreError> {
+        let src = self.run_dir(run_id);
+        let dir = self.quarantine_dir();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("creating {}", dir.display()), e))?;
+        let dst = dir.join(run_id);
+        if dst.exists() {
+            std::fs::remove_dir_all(&dst)
+                .map_err(|e| StoreError::io(format!("replacing {}", dst.display()), e))?;
+        }
+        std::fs::rename(&src, &dst).map_err(|e| {
+            StoreError::io(
+                format!("quarantining {} to {}", src.display(), dst.display()),
+                e,
+            )
+        })?;
+        let note = QuarantineNote {
+            run_id: run_id.to_string(),
+            reason: reason.to_string(),
+        };
+        let note_path = dst.join("quarantine.json");
+        let json = serde_json::to_string_pretty(&note).map_err(|e| StoreError::Manifest {
+            path: note_path.clone(),
+            message: format!("serializing quarantine note: {e}"),
+        })?;
+        std::fs::write(&note_path, json)
+            .map_err(|e| StoreError::io(format!("writing {}", note_path.display()), e))?;
+        Ok(dst)
+    }
+
+    /// Every quarantined run with its recorded reason, ascending by run
+    /// id. Runs whose note is missing or unreadable are still listed,
+    /// with a placeholder reason — quarantine must stay navigable even
+    /// when the quarantine itself took damage.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the quarantine directory cannot be listed
+    /// (a missing directory is simply empty).
+    pub fn quarantined(&self) -> Result<Vec<QuarantineNote>, StoreError> {
+        let dir = self.quarantine_dir();
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::io(format!("listing {}", dir.display()), e)),
+        };
+        let mut notes = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| StoreError::io(format!("listing {}", dir.display()), e))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let run_id = entry.file_name().to_string_lossy().into_owned();
+            let note = std::fs::read_to_string(entry.path().join("quarantine.json"))
+                .ok()
+                .and_then(|data| serde_json::from_str::<QuarantineNote>(&data).ok())
+                .unwrap_or_else(|| QuarantineNote {
+                    run_id: run_id.clone(),
+                    reason: "(no reason recorded)".to_string(),
+                });
+            notes.push(note);
+        }
+        notes.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+        Ok(notes)
+    }
+
     /// Loads the campaign manifest, or `None` for stores of standalone
     /// recordings.
     ///
@@ -449,6 +626,8 @@ mod tests {
             errors: vec![StoredRunError {
                 seed: 1003,
                 message: "vm fault".into(),
+                kind: "error".into(),
+                attempts: 1,
             }],
         };
         store.save_campaign(&m).unwrap();
@@ -456,6 +635,71 @@ mod tests {
         assert_eq!(loaded, m);
         assert_eq!(loaded.param("period"), Some("20"));
         assert_eq!(loaded.param("missing"), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stored_errors_without_failure_typing_still_parse() {
+        // A manifest written before kind/attempts existed.
+        let old = r#"{"seed": 9, "message": "vm fault"}"#;
+        let e: StoredRunError = serde_json::from_str(old).unwrap();
+        assert_eq!(e.seed, 9);
+        assert_eq!(e.kind, "");
+        assert_eq!(e.attempts, 0);
+    }
+
+    #[test]
+    fn run_id_seed_round_trip() {
+        assert_eq!(seed_for_run_id(&run_id_for_seed(42)), Some(42));
+        assert_eq!(seed_for_run_id("seed-00000000000000001000"), Some(1000));
+        assert_eq!(seed_for_run_id("not-a-run"), None);
+        assert_eq!(seed_for_run_id("seed-xyz"), None);
+    }
+
+    #[test]
+    fn journal_appends_and_drops_the_torn_tail() {
+        let root = tmpdir("journal");
+        let store = TraceStore::create(&root).unwrap();
+        assert_eq!(store.journal_lines().unwrap(), Vec::<String>::new());
+        store.append_journal(r#"{"seed":1}"#).unwrap();
+        store.append_journal(r#"{"seed":2}"#).unwrap();
+        assert_eq!(
+            store.journal_lines().unwrap(),
+            vec![r#"{"seed":1}"#.to_string(), r#"{"seed":2}"#.to_string()]
+        );
+        // Simulate a campaign killed mid-append: a torn trailing line.
+        let mut bytes = std::fs::read(store.journal_path()).unwrap();
+        bytes.extend_from_slice(br#"{"seed":3,"outco"#);
+        std::fs::write(store.journal_path(), &bytes).unwrap();
+        assert_eq!(store.journal_lines().unwrap().len(), 2);
+        store.clear_journal().unwrap();
+        store.clear_journal().unwrap(); // idempotent
+        assert_eq!(store.journal_lines().unwrap(), Vec::<String>::new());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantine_moves_runs_and_lists_reasons() {
+        let root = tmpdir("quarantine");
+        let store = TraceStore::create(&root).unwrap();
+        store.save_run(5, "test", 0, &[trace_with(1)]).unwrap();
+        store.save_run(6, "test", 0, &[trace_with(2)]).unwrap();
+        assert_eq!(store.quarantined().unwrap(), vec![]);
+        let id = run_id_for_seed(5);
+        let dst = store
+            .quarantine_run(&id, "chunk 0 failed its checksum")
+            .unwrap();
+        assert!(dst.starts_with(store.quarantine_dir()));
+        assert!(!store.run_dir(&id).exists());
+        assert_eq!(store.run_ids().unwrap(), vec![run_id_for_seed(6)]);
+        let notes = store.quarantined().unwrap();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].run_id, id);
+        assert!(notes[0].reason.contains("checksum"));
+        // Re-quarantining the same id replaces the occupant.
+        store.save_run(5, "test", 0, &[trace_with(3)]).unwrap();
+        store.quarantine_run(&id, "again").unwrap();
+        assert_eq!(store.quarantined().unwrap().len(), 1);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -10,7 +10,11 @@
 //! sentomist case <1|2|3>                          run a paper case study
 //! ```
 
-use sentomist::core::campaign::{CampaignResult, RunError, RunOutcome, Verdict};
+use sentomist::core::campaign::{CampaignResult, FailureKind, RunError, RunOutcome, Verdict};
+use sentomist::core::chaos::ChaosConfig;
+use sentomist::core::supervise::{
+    run_supervised, RunContext, RunFailure, SeedReport, SupervisorOptions,
+};
 use sentomist::core::{corroborate, harvest_set, localize_set, Pipeline, SampleIndex};
 use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
@@ -68,7 +72,10 @@ USAGE:
 
   sentomist campaign [--case 1|2|3] [--seeds N] [--base-seed S] [--threads T]
                      [--period MS] [--seconds SEC] [--nu X] [--json] [--progress]
-                     [--store DIR]
+                     [--store DIR] [--resume] [--strict]
+                     [--max-retries R] [--backoff-ms MS]
+                     [--timeout-ms MS] [--timeout-cycles N]
+                     [--chaos SEED] [--chaos-rate X] [--stop-after K]
       Run a parallel seed-sweep campaign: N independent runs under seeds
       S..S+N, mined in isolation, aggregated by seed. Without --case the
       campaign is the case-I trigger experiment (one run per seed at
@@ -77,6 +84,25 @@ USAGE:
       (and --json document) is byte-identical for every --threads value.
       With --store every run's lifecycle traces are persisted to a trace
       corpus under DIR, re-minable later with `trace mine`.
+
+      Every run is supervised: a panicking run becomes a typed failure
+      row, not a dead campaign. --max-retries grants transient failures
+      and panics R extra attempts (backoff exponential from --backoff-ms,
+      jittered deterministically by seed). --timeout-ms arms a per-run
+      wall-clock watchdog; --timeout-cycles caps how many VM cycles a
+      budget-aware run may emulate (deterministic, trigger mode only).
+      --strict exits nonzero when any run ultimately failed. None of
+      these flags influence the serialized document of the runs that
+      succeed. --chaos injects deterministic faults (panics, hangs,
+      transient errors) from the given chaos seed at --chaos-rate
+      (default 0.1) per fault class — the test harness for all of the
+      above. --stop-after halts dispatch after K seeds complete,
+      simulating a killed campaign.
+
+      With --store, every finished seed is journaled to DIR/journal.jsonl
+      as it lands; a campaign that died (or was stopped) resumes with
+      --resume [same flags], re-running only the missing seeds. The
+      resumed document is byte-identical to an uninterrupted sweep's.
 
   sentomist campaign --replay --seed S [same selection flags]
       Re-run one seed of a campaign and print its outcome — the trace
@@ -89,15 +115,24 @@ USAGE:
   sentomist trace ls <store-dir>
       List the runs of a trace corpus.
 
-  sentomist trace info <file.stc | store-dir>
+  sentomist trace info <file.stc | store-dir> [--salvage]
       Inspect one trace file (streamed: counts, size, event-handling
-      intervals per interrupt) or a whole corpus.
+      intervals per interrupt) or a whole corpus. --salvage recovers the
+      checksummed prefix of a damaged .stc file instead of rejecting it,
+      reporting recovered and lost chunk/event counts.
 
   sentomist trace mine <store-dir> [--threads T] [--json] [--progress]
+                       [--quarantine]
       Re-mine a stored campaign corpus without re-emulating: decode each
       run's traces (digest-verified), rank them with the campaign's own
       parameters, and print the same aggregated document `campaign`
-      printed live — byte-identical, at a fraction of the cost.
+      printed live — byte-identical, at a fraction of the cost. With
+      --quarantine, corrupt or truncated runs are moved to the store's
+      quarantine/ directory with a typed reason and the rest still mine.
+
+  sentomist trace quarantine ls <store-dir>
+      List the corpus runs set aside by quarantine-and-continue mining,
+      with the recorded reason for each.
 "
 }
 
@@ -134,6 +169,16 @@ fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result
             .parse()
             .map_err(|_| format!("--{name} wants a number, got `{v}`")),
         None => Ok(default),
+    }
+}
+
+fn flag_opt_u64(flags: &HashMap<String, String>, name: &str) -> Result<Option<u64>, String> {
+    match flags.get(name) {
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{name} wants a number, got `{v}`")),
+        None => Ok(None),
     }
 }
 
@@ -434,6 +479,9 @@ fn cmd_case(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 type CampaignJob = Box<dyn Fn(u64) -> Result<RunOutcome, String> + Send + Sync>;
 type TracedJob = Box<dyn Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync>;
+type SupervisedTracedJob =
+    Box<dyn Fn(&RunContext) -> Result<(RunOutcome, Vec<Trace>), RunFailure> + Send + Sync>;
+type SupervisedJob = Box<dyn Fn(&RunContext) -> Result<RunOutcome, RunFailure> + Send + Sync>;
 type StoreMiner = Box<dyn Fn(u64, &[Trace]) -> Result<RunOutcome, String> + Send + Sync>;
 type CampaignConfig = Vec<(String, Value)>;
 
@@ -529,6 +577,26 @@ impl Mode {
             Mode::Case1 => Box::new(case1_job_traced(Case1Config::default())),
             Mode::Case2 => Box::new(case2_job_traced(Case2Config::default())),
             Mode::Case3 => Box::new(case3_job_traced(Case3Config::default())),
+        })
+    }
+
+    /// The supervised per-seed job: takes a [`RunContext`] so the
+    /// watchdog can cancel it and (trigger mode) a cycle budget can cap
+    /// emulation. Trigger mode is fully cooperative via
+    /// `trigger_job_traced_ctx`; the case studies run to completion and
+    /// report their errors as retryable.
+    fn supervised_traced_job(self) -> Result<SupervisedTracedJob, Box<dyn Error>> {
+        use sentomist::apps::experiments::trigger_job_traced_ctx;
+        Ok(match self {
+            Mode::Trigger {
+                period,
+                seconds,
+                nu,
+            } => Box::new(trigger_job_traced_ctx(period, seconds, nu)?),
+            _ => {
+                let traced = self.traced_job()?;
+                Box::new(move |ctx: &RunContext| traced(ctx.seed()).map_err(RunFailure::Transient))
+            }
         })
     }
 
@@ -661,17 +729,31 @@ fn flags_from_campaign(
 /// live `campaign --json` and `trace mine --json`, which must produce
 /// byte-identical output for the same runs.
 fn campaign_doc(config: CampaignConfig, result: &CampaignResult) -> Value {
+    let s = result.summary();
     Value::Map(vec![
         ("config".to_string(), Value::Map(config)),
         (
             "outcomes".to_string(),
             Serialize::to_value(&result.outcomes),
         ),
-        (
-            "summary".to_string(),
-            Serialize::to_value(&result.summary()),
-        ),
+        ("summary".to_string(), Serialize::to_value(&s)),
         ("errors".to_string(), Serialize::to_value(&result.errors)),
+        (
+            "failures".to_string(),
+            Value::Map(vec![
+                ("failed".to_string(), Serialize::to_value(&s.failed)),
+                ("panicked".to_string(), Serialize::to_value(&s.panicked)),
+                ("timed_out".to_string(), Serialize::to_value(&s.timed_out)),
+                (
+                    "failed_attempts".to_string(),
+                    Serialize::to_value(&s.failed_attempts),
+                ),
+                (
+                    "failure_rate".to_string(),
+                    Serialize::to_value(&s.failure_rate),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -702,7 +784,14 @@ fn print_campaign_table(result: &CampaignResult) {
         print_outcome(o);
     }
     for e in &result.errors {
-        println!("{:>6} FAILED: {}", e.seed, e.message);
+        println!(
+            "{:>6} FAILED [{}, {} attempt{}]: {}",
+            e.seed,
+            e.kind.as_str(),
+            e.attempts,
+            if e.attempts == 1 { "" } else { "s" },
+            e.message
+        );
     }
     let s = result.summary();
     println!(
@@ -720,10 +809,22 @@ fn print_campaign_table(result: &CampaignResult) {
         "intervals:     {} total ({}..{} per run, mean {:.1})",
         s.total_samples, s.min_samples, s.max_samples, s.mean_samples
     );
+    if s.failed > 0 {
+        println!(
+            "failures:      {} of {} run(s) failed ({} panic, {} timeout, \
+             {} attempts spent, {:.0}% failure rate)",
+            s.failed,
+            s.runs + s.failed,
+            s.panicked,
+            s.timed_out,
+            s.failed_attempts,
+            100.0 * s.failure_rate
+        );
+    }
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use sentomist::core::campaign::{replay, run_campaign, CampaignOptions};
+    use sentomist::core::campaign::replay;
     let (_, flags) = parse_flags(args);
     let json = flags.contains_key("json");
     let mode = campaign_mode(&flags)?;
@@ -767,33 +868,129 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
     config.push(("seeds".to_string(), Serialize::to_value(&n_seeds)));
     config.push(("base_seed".to_string(), Serialize::to_value(&base_seed)));
 
-    let options = CampaignOptions {
+    // Supervision knobs. Deliberately excluded from the config block:
+    // like --threads, they must never influence the serialized document
+    // of the runs that succeed.
+    let strict = flags.contains_key("strict");
+    let resume = flags.contains_key("resume");
+    let sup = SupervisorOptions {
         threads,
         progress: flags.contains_key("progress"),
+        max_retries: flag_u64(&flags, "max-retries", 0)? as u32,
+        timeout: flag_opt_u64(&flags, "timeout-ms")?.map(std::time::Duration::from_millis),
+        cycle_budget: flag_opt_u64(&flags, "timeout-cycles")?,
+        backoff_base_ms: flag_u64(&flags, "backoff-ms", 25)?,
+        stop_after: flag_opt_u64(&flags, "stop-after")?.map(|k| k as usize),
     };
-    let store_dir = flags.get("store").filter(|s| !s.is_empty());
-    let started = std::time::Instant::now();
-    let result = match store_dir {
-        None => run_campaign(&seeds, options, mode.job()?),
-        Some(dir) => {
-            // Persist every run's traces while the campaign executes: the
-            // traced job tees each run into the corpus, and the campaign
-            // manifest records the exact parameters `trace mine` needs to
-            // reproduce this command's document byte for byte.
-            let store = TraceStore::create(dir)?;
-            let program_digest = mode.program_digest()?;
-            let traced = mode.traced_job()?;
+    let chaos = match flag_opt_u64(&flags, "chaos")? {
+        Some(seed) => Some(ChaosConfig::uniform(
+            seed,
+            flag_f64(&flags, "chaos-rate", 0.1)?,
+        )),
+        None => None,
+    };
+
+    let store = match flags.get("store").filter(|s| !s.is_empty()) {
+        Some(dir) if resume => Some(TraceStore::open(dir)?),
+        Some(dir) => Some(TraceStore::create(dir)?),
+        None if resume => {
+            return Err("campaign --resume needs --store DIR \
+                        (the checkpoint journal lives in the corpus)"
+                .into())
+        }
+        None => None,
+    };
+
+    // Resume: every seed the journal sealed before the campaign died is
+    // adopted as-is; only the remainder is re-run.
+    let mut completed: Vec<SeedReport> = Vec::new();
+    if resume {
+        let store = store.as_ref().expect("resume implies store");
+        let mut by_seed: HashMap<u64, SeedReport> = HashMap::new();
+        for line in store.journal_lines()? {
+            let report: SeedReport = serde_json::from_str(&line).map_err(|e| {
+                format!(
+                    "corrupt journal line in {dir}: {e}",
+                    dir = store.root().display()
+                )
+            })?;
+            by_seed.insert(report.seed, report);
+        }
+        completed = seeds.iter().filter_map(|s| by_seed.remove(s)).collect();
+    }
+    let done: std::collections::HashSet<u64> = completed.iter().map(|r| r.seed).collect();
+    let pending: Vec<u64> = seeds
+        .iter()
+        .copied()
+        .filter(|s| !done.contains(s))
+        .collect();
+    if resume && !completed.is_empty() {
+        eprintln!(
+            "campaign: resuming — {} of {} seed(s) adopted from the journal, {} to run",
+            completed.len(),
+            seeds.len(),
+            pending.len()
+        );
+    }
+
+    // The supervised job: emulate-and-mine, persisting traces when a
+    // store is attached, with chaos faults (if any) fired in front.
+    let traced = mode.supervised_traced_job()?;
+    let inner: SupervisedTracedJob = match &store {
+        None => traced,
+        Some(store) => {
+            let store = store.clone();
             let mode_name = mode.name();
-            let result = run_campaign(&seeds, options, |seed| {
-                let (outcome, traces) = traced(seed)?;
+            let program_digest = mode.program_digest()?;
+            Box::new(move |ctx: &RunContext| {
+                let (outcome, traces) = traced(ctx)?;
                 store
-                    .save_run(seed, mode_name, program_digest, &traces)
-                    .map_err(|e| e.to_string())?;
-                Ok(outcome)
-            });
+                    .save_run(ctx.seed(), mode_name, program_digest, &traces)
+                    .map_err(|e| RunFailure::Transient(format!("storing run: {e}")))?;
+                Ok((outcome, traces))
+            })
+        }
+    };
+    let plain: SupervisedJob =
+        Box::new(move |ctx: &RunContext| inner(ctx).map(|(outcome, _)| outcome));
+    let job: SupervisedJob = match chaos {
+        Some(cfg) => Box::new(cfg.wrap(plain)),
+        None => plain,
+    };
+
+    let journal_store = store.clone();
+    let started = std::time::Instant::now();
+    let mut result = run_supervised(&pending, &sup, std::sync::Arc::new(job), |report| {
+        // Checkpoint each finished seed the moment it lands; a journal
+        // hiccup must not kill the campaign, so it only warns.
+        if let Some(store) = &journal_store {
+            match serde_json::to_string(report) {
+                Ok(line) => {
+                    if let Err(e) = store.append_journal(&line) {
+                        eprintln!("campaign: journal append failed: {e}");
+                    }
+                }
+                Err(e) => eprintln!("campaign: journal encode failed: {e}"),
+            }
+        }
+    });
+    for report in completed {
+        match (report.outcome, report.error) {
+            (Some(outcome), _) => result.outcomes.push(outcome),
+            (None, Some(error)) => result.errors.push(error),
+            (None, None) => {}
+        }
+    }
+    result.outcomes.sort_by_key(|o| o.seed);
+    result.errors.sort_by_key(|e| e.seed);
+    let elapsed = started.elapsed();
+
+    let finished = result.outcomes.len() + result.errors.len() >= seeds.len();
+    if let Some(store) = &store {
+        if finished {
             store.save_campaign(&CampaignManifest {
                 format_version: MANIFEST_VERSION,
-                mode: mode_name.to_string(),
+                mode: mode.name().to_string(),
                 params: mode.params(),
                 seeds: n_seeds,
                 base_seed,
@@ -803,35 +1000,52 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
                     .map(|e| StoredRunError {
                         seed: e.seed,
                         message: e.message.clone(),
+                        kind: e.kind.as_str().to_string(),
+                        attempts: e.attempts,
                     })
                     .collect(),
             })?;
+            store.clear_journal()?;
             eprintln!(
                 "campaign: stored {} run(s) under {dir} (re-mine with \
                  `sentomist trace mine {dir}`)",
-                result.outcomes.len()
+                result.outcomes.len(),
+                dir = store.root().display()
             );
-            result
+        } else {
+            eprintln!(
+                "campaign: stopped with {} of {} seed(s) done — checkpoint retained, \
+                 continue with `sentomist campaign --resume --store {dir} [same flags]`",
+                result.outcomes.len() + result.errors.len(),
+                seeds.len(),
+                dir = store.root().display()
+            );
         }
-    };
-    let elapsed = started.elapsed();
+    }
 
     if json {
         println!(
             "{}",
             serde_json::to_string_pretty(&campaign_doc(std::mem::take(&mut config), &result))?
         );
-        return Ok(());
+    } else {
+        print_campaign_table(&result);
+        println!(
+            "time:          {:.2} s wall on {} thread(s), {:.2} s total job time",
+            elapsed.as_secs_f64(),
+            threads,
+            result.cpu_time_ms() as f64 / 1000.0
+        );
+        println!("replay a row:  sentomist campaign --replay --seed <seed> [same flags]");
     }
-
-    print_campaign_table(&result);
-    println!(
-        "time:          {:.2} s wall on {} thread(s), {:.2} s total job time",
-        elapsed.as_secs_f64(),
-        threads,
-        result.cpu_time_ms() as f64 / 1000.0
-    );
-    println!("replay a row:  sentomist campaign --replay --seed <seed> [same flags]");
+    if strict && !result.errors.is_empty() {
+        return Err(format!(
+            "--strict: {} of {} run(s) failed",
+            result.errors.len(),
+            seeds.len()
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -839,14 +1053,50 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
     let sub = args
         .first()
         .map(String::as_str)
-        .ok_or("trace: missing subcommand (record|ls|info|mine)")?;
+        .ok_or("trace: missing subcommand (record|ls|info|mine|quarantine)")?;
     let rest = &args[1..];
     match sub {
         "record" => cmd_trace_record(rest),
         "ls" => cmd_trace_ls(rest),
         "info" => cmd_trace_info(rest),
         "mine" => cmd_trace_mine(rest),
-        other => Err(format!("unknown trace subcommand `{other}` (record|ls|info|mine)").into()),
+        "quarantine" => cmd_trace_quarantine(rest),
+        other => Err(format!(
+            "unknown trace subcommand `{other}` (record|ls|info|mine|quarantine)"
+        )
+        .into()),
+    }
+}
+
+fn cmd_trace_quarantine(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("trace quarantine: missing subcommand (ls)")?;
+    match sub {
+        "ls" => {
+            let (pos, _) = parse_flags(&args[1..]);
+            let root = pos
+                .first()
+                .ok_or("trace quarantine ls: missing <store-dir>")?;
+            let store = TraceStore::open(root)?;
+            let notes = store.quarantined()?;
+            if notes.is_empty() {
+                println!("quarantine is empty");
+                return Ok(());
+            }
+            println!("{:<26} reason", "run");
+            for note in &notes {
+                println!("{:<26} {}", note.run_id, note.reason);
+            }
+            println!(
+                "\n{} quarantined run(s) under {}",
+                notes.len(),
+                store.quarantine_dir().display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown trace quarantine subcommand `{other}` (ls)").into()),
     }
 }
 
@@ -986,12 +1236,57 @@ fn stc_file_info(path: &Path) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Salvage report for one damaged (or whole) `.stc` file: recover the
+/// checksummed prefix and account for what was lost.
+fn stc_file_salvage(path: &Path) -> Result<(), Box<dyn Error>> {
+    let salvage = sentomist::tracestore::salvage_trace_file(path)?;
+    if salvage.complete {
+        println!(
+            "{}: intact — all {} chunk(s) verified, nothing to salvage",
+            path.display(),
+            salvage.recovered_chunks
+        );
+    } else {
+        println!(
+            "{}: damaged — {}",
+            path.display(),
+            salvage.error.as_deref().unwrap_or("unknown defect")
+        );
+    }
+    println!(
+        "  recovered {} chunk(s): {} event(s), {} segment(s) \
+         ({} trailing event(s) dropped to restore the protocol)",
+        salvage.recovered_chunks,
+        salvage.trace.events.len(),
+        salvage.trace.segments.len(),
+        salvage.dropped_events
+    );
+    if salvage.lost_bytes > 0 {
+        println!(
+            "  {} byte(s) unreadable past the defect",
+            salvage.lost_bytes
+        );
+    }
+    println!("  salvaged trace digest {:016x}", salvage.trace.digest());
+    Ok(())
+}
+
 fn cmd_trace_info(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let (pos, _) = parse_flags(args);
+    let (pos, flags) = parse_flags(args);
+    // `trace info --salvage <path>` parses the path as the flag's value;
+    // accept it from either position.
     let target = pos
         .first()
+        .cloned()
+        .or_else(|| flags.get("salvage").filter(|s| !s.is_empty()).cloned())
         .ok_or("trace info: missing <file.stc | store-dir>")?;
-    let path = Path::new(target);
+    let path = Path::new(&target);
+    if flags.contains_key("salvage") {
+        if path.is_dir() {
+            return Err("trace info --salvage works on a single .stc file".into());
+        }
+        return stc_file_salvage(path);
+    }
     if !path.is_dir() {
         return stc_file_info(path);
     }
@@ -1025,10 +1320,18 @@ fn cmd_trace_info(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn cmd_trace_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
     use sentomist::core::campaign::CampaignOptions;
-    use sentomist::core::mine_store;
+    use sentomist::core::{mine_store_with, MineOptions};
     let (pos, flags) = parse_flags(args);
-    let root = pos.first().ok_or("trace mine: missing <store-dir>")?;
+    // `trace mine --quarantine <dir>` parses the dir as the flag's
+    // value; accept it from either position.
+    let root = pos
+        .first()
+        .cloned()
+        .or_else(|| flags.get("quarantine").filter(|s| !s.is_empty()).cloned())
+        .ok_or("trace mine: missing <store-dir>")?;
+    let root = root.as_str();
     let json = flags.contains_key("json");
+    let quarantine = flags.contains_key("quarantine");
     let store = TraceStore::open(root)?;
     let campaign = store.campaign()?.ok_or(
         "store has no campaign.json — only corpora produced by \
@@ -1048,26 +1351,63 @@ fn cmd_trace_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         progress: flags.contains_key("progress"),
     };
     let started = std::time::Instant::now();
-    let mut result = mine_store(&store, options, mode.miner())?;
+    let report = mine_store_with(
+        &store,
+        MineOptions {
+            campaign: options,
+            quarantine,
+        },
+        mode.miner(),
+    )?;
+    let mut result = report.result;
     // Runs that failed during the live campaign have no run directory;
-    // fold their recorded errors back in so the document matches.
+    // fold their recorded errors back in (failure typing included) so
+    // the document matches the live one byte for byte.
     result
         .errors
         .extend(campaign.errors.iter().map(|e| RunError {
             seed: e.seed,
             message: e.message.clone(),
+            kind: FailureKind::parse(&e.kind),
+            attempts: e.attempts.max(1),
         }));
     result.errors.sort_by_key(|e| e.seed);
     let elapsed = started.elapsed();
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&campaign_doc(config, &result))?
-        );
+        let mut doc = campaign_doc(config, &result);
+        if quarantine {
+            // Opt-in section: only a damaged corpus mined with
+            // --quarantine diverges from the live document.
+            if let Value::Map(entries) = &mut doc {
+                entries.push((
+                    "quarantined".to_string(),
+                    Value::Seq(
+                        report
+                            .quarantined
+                            .iter()
+                            .map(|q| {
+                                Value::Map(vec![
+                                    ("run_id".to_string(), Value::Str(q.run_id.clone())),
+                                    ("seed".to_string(), Serialize::to_value(&q.seed)),
+                                    ("reason".to_string(), Value::Str(q.reason.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        println!("{}", serde_json::to_string_pretty(&doc)?);
         return Ok(());
     }
     print_campaign_table(&result);
+    for q in &report.quarantined {
+        println!(
+            "quarantined:   {} (seed {}) — {}",
+            q.run_id, q.seed, q.reason
+        );
+    }
     println!(
         "time:          {:.2} s wall on {} thread(s) — re-mined from {}, no emulation",
         elapsed.as_secs_f64(),

@@ -1,0 +1,335 @@
+//! Chaos-harness acceptance suite: under deterministically injected
+//! panics, hangs, transient errors and on-disk corruption, a supervised
+//! campaign must (1) complete with per-seed typed failure records —
+//! never a process abort, never a hang past the watchdog budget — and
+//! (2) reproduce the exact same report for the same chaos seed. A
+//! campaign killed mid-flight must resume from its journal into a
+//! document byte-identical to an uninterrupted sweep's.
+//!
+//! The chaos seed is pinned (`0xC0FFEE`) so CI replays the identical
+//! fault pattern on every run.
+
+use proptest::prelude::*;
+use sentomist::core::campaign::{FailureKind, RunOutcome, Verdict};
+use sentomist::core::chaos::{corrupt_file, ChaosConfig};
+use sentomist::core::supervise::{
+    run_supervised, RunContext, RunFailure, SeedReport, SupervisorOptions,
+};
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CHAOS_SEED: u64 = 0xC0FFEE;
+
+fn ok_outcome(seed: u64) -> RunOutcome {
+    RunOutcome {
+        seed,
+        samples: 3,
+        symptoms: 0,
+        buggy_ranks: vec![],
+        verdict: Verdict::Clean,
+        trace_digest: format!("{seed:016x}"),
+        wall_time_ms: 0,
+    }
+}
+
+fn chaos_sweep(threads: usize) -> (Vec<SeedReport>, sentomist::core::campaign::CampaignResult) {
+    let seeds: Vec<u64> = (0..60).collect();
+    let cfg = ChaosConfig::uniform(CHAOS_SEED, 0.15);
+    let job = cfg.wrap(|ctx: &RunContext| Ok(ok_outcome(ctx.seed())));
+    let opts = SupervisorOptions {
+        threads,
+        max_retries: 2,
+        backoff_base_ms: 0,
+        timeout: Some(Duration::from_secs(2)),
+        ..SupervisorOptions::default()
+    };
+    let mut reports = Vec::new();
+    let result = run_supervised(&seeds, &opts, Arc::new(job), |r| reports.push(r.clone()));
+    reports.sort_by_key(|r| r.seed);
+    (reports, result)
+}
+
+/// Injected panics, hangs and transient faults across 60 seeds: every
+/// seed finishes with either an outcome or a typed error, hangs are
+/// watchdogged (not retried), panics are typed, transients clear within
+/// the retry budget — and the whole report is identical across thread
+/// counts, because every fault derives from the pinned chaos seed.
+#[test]
+fn chaos_campaign_survives_every_fault_class_deterministically() {
+    let (reports_a, result_a) = chaos_sweep(1);
+    let (_reports_b, result_b) = chaos_sweep(4);
+
+    // Every seed is accounted for, no hang outlived the watchdog.
+    assert_eq!(result_a.outcomes.len() + result_a.errors.len(), 60);
+    assert_eq!(reports_a.len(), 60);
+
+    // The pinned chaos seed injects every fault class at 15% each.
+    let panics = result_a
+        .errors
+        .iter()
+        .filter(|e| e.kind == FailureKind::Panic)
+        .count();
+    let timeouts = result_a
+        .errors
+        .iter()
+        .filter(|e| e.kind == FailureKind::TimedOut)
+        .count();
+    assert!(panics > 0, "no injected panic surfaced");
+    assert!(timeouts > 0, "no injected hang was watchdogged");
+    // Transient faults (1-2 failing attempts) clear inside the 2-retry
+    // budget: they show up as successes that took extra attempts.
+    let retried_ok = reports_a
+        .iter()
+        .filter(|r| r.outcome.is_some() && r.attempts > 1)
+        .count();
+    assert!(retried_ok > 0, "no transient fault cleared on retry");
+    // Panics burn the full retry budget before they are recorded.
+    for e in &result_a.errors {
+        match e.kind {
+            FailureKind::Panic => assert_eq!(e.attempts, 3, "seed {}", e.seed),
+            FailureKind::TimedOut => assert_eq!(e.attempts, 1, "seed {}", e.seed),
+            FailureKind::Error => {}
+        }
+    }
+
+    // Same chaos seed, same final report — regardless of thread count.
+    assert_eq!(result_a.errors, result_b.errors);
+    assert_eq!(result_a.outcomes.len(), result_b.outcomes.len());
+    for (a, b) in result_a.outcomes.iter().zip(&result_b.outcomes) {
+        assert!(
+            a.matches(b),
+            "seed {} diverged across thread counts",
+            a.seed
+        );
+    }
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sentomist"))
+}
+
+fn workdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentomist-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Kill a campaign after 2 of 5 seeds (`--stop-after`, the chaos hook
+/// simulating a mid-flight kill), resume it, and require the resumed
+/// JSON document — summary, every outcome, every `trace_digest` — to be
+/// byte-identical to an uninterrupted sweep's.
+#[test]
+fn resumed_campaign_document_is_byte_identical_to_uninterrupted() {
+    let dir = workdir("resume");
+    let full = dir.join("full");
+    let part = dir.join("part");
+    let sweep = |extra: &[&str], store: &std::path::Path| {
+        let mut cmd = cli();
+        cmd.arg("campaign")
+            .args(["--seeds", "5", "--seconds", "1", "--threads", "2", "--json"])
+            .arg("--store")
+            .arg(store);
+        for flag in extra {
+            cmd.arg(flag);
+        }
+        run_ok(&mut cmd)
+    };
+    let uninterrupted = sweep(&[], &full);
+
+    sweep(&["--stop-after", "2"], &part);
+    // The killed campaign left its checkpoint journal behind.
+    assert!(part.join("journal.jsonl").exists(), "no checkpoint journal");
+    let resumed = sweep(&["--resume"], &part);
+
+    assert_eq!(uninterrupted, resumed, "resumed document diverged");
+    // A finished campaign clears its journal (campaign.json is final).
+    assert!(!part.join("journal.jsonl").exists(), "journal not cleared");
+
+    // And the resumed corpus re-mines into the same document too.
+    let remined = run_ok(cli().arg("trace").arg("mine").arg(&part).arg("--json"));
+    assert_eq!(uninterrupted, remined);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic on-disk corruption → quarantine-and-continue: the
+/// damaged run is moved aside with a typed reason, listed by
+/// `trace quarantine ls`, the remaining corpus still mines, and
+/// `trace info --salvage` recovers the damaged file's sealed prefix.
+#[test]
+fn corrupted_run_is_quarantined_and_salvageable_and_the_rest_mines() {
+    let dir = workdir("quarantine");
+    let store = dir.join("corpus");
+    run_ok(
+        cli()
+            .arg("campaign")
+            .args(["--seeds", "3", "--seconds", "1"])
+            .arg("--store")
+            .arg(&store),
+    );
+    let victim = store
+        .join("runs")
+        .join(format!("seed-{:020}", 1001))
+        .join("node-000.stc");
+    let offset = corrupt_file(&victim, CHAOS_SEED).unwrap();
+    // Same chaos seed, same damage: the corruption is reproducible.
+    assert_eq!(corrupt_file(&victim, CHAOS_SEED).unwrap(), offset);
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    // Salvage reports on the damaged file instead of rejecting it.
+    let salvage = run_ok(cli().arg("trace").arg("info").arg("--salvage").arg(&victim));
+    assert!(salvage.contains("damaged"), "salvage: {salvage}");
+    assert!(salvage.contains("recovered"), "salvage: {salvage}");
+
+    // Quarantine-aware mining sets the run aside and mines the rest.
+    let mined = run_ok(
+        cli()
+            .arg("trace")
+            .arg("mine")
+            .arg(&store)
+            .arg("--quarantine")
+            .arg("--json"),
+    );
+    let doc: serde::Value = serde_json::from_str(&mined).unwrap();
+    let outcomes = doc.get("outcomes").unwrap().as_seq().unwrap();
+    assert_eq!(outcomes.len(), 2, "healthy runs still mine");
+    let quarantined = doc.get("quarantined").unwrap().as_seq().unwrap();
+    assert_eq!(quarantined.len(), 1);
+    let errors = doc.get("errors").unwrap().as_seq().unwrap();
+    assert!(
+        errors.is_empty(),
+        "quarantined runs are skipped, not failed"
+    );
+
+    // The quarantine is navigable from the CLI with recorded reasons.
+    let ls = run_ok(cli().arg("trace").arg("quarantine").arg("ls").arg(&store));
+    assert!(ls.contains(&format!("seed-{:020}", 1001)), "ls: {ls}");
+    assert!(
+        ls.contains("truncated") || ls.contains("checksum"),
+        "ls: {ls}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--strict` turns any failed run into a nonzero exit.
+#[test]
+fn strict_campaign_exits_nonzero_when_runs_fail() {
+    // Chaos rate 1.0: every seed panics; with --strict that must fail.
+    let out = cli()
+        .arg("campaign")
+        .args(["--seeds", "2", "--seconds", "1", "--strict"])
+        .args(["--chaos", "1", "--chaos-rate", "1.0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--strict ignored failures");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--strict"), "stderr: {err}");
+
+    // Without --strict the same campaign exits zero (partial results).
+    let out = cli()
+        .arg("campaign")
+        .args(["--seeds", "2", "--seconds", "1"])
+        .args(["--chaos", "1", "--chaos-rate", "1.0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Injected {
+    Panic,
+    Hang,
+    Transient,
+    Fatal,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary single-fault injection — any fault class, at any seed,
+    /// under any retry budget — never panics the orchestrator: the
+    /// campaign always completes with all 8 seeds accounted for and the
+    /// failure (if the budget didn't cover it) typed correctly.
+    #[test]
+    fn any_single_fault_never_panics_the_orchestrator(
+        kind_raw in 0u8..4,
+        target in 0u64..8,
+        retries in 0u32..3,
+        threads in 1usize..4,
+    ) {
+        let kind = match kind_raw {
+            0 => Injected::Panic,
+            1 => Injected::Hang,
+            2 => Injected::Transient,
+            _ => Injected::Fatal,
+        };
+        let job = move |ctx: &RunContext| {
+            if ctx.seed() != target {
+                return Ok(ok_outcome(ctx.seed()));
+            }
+            match kind {
+                Injected::Panic => panic!("injected panic at {target}"),
+                Injected::Hang => {
+                    while !ctx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(RunFailure::TimedOut("injected hang".into()))
+                }
+                Injected::Transient if ctx.attempt() <= 1 => {
+                    Err(RunFailure::Transient("injected transient".into()))
+                }
+                Injected::Transient => Ok(ok_outcome(ctx.seed())),
+                Injected::Fatal => Err(RunFailure::Fatal("injected fatal".into())),
+            }
+        };
+        let seeds: Vec<u64> = (0..8).collect();
+        let opts = SupervisorOptions {
+            threads,
+            max_retries: retries,
+            backoff_base_ms: 0,
+            timeout: Some(Duration::from_millis(100)),
+            ..SupervisorOptions::default()
+        };
+        let result = run_supervised(&seeds, &opts, Arc::new(job), |_| {});
+        prop_assert_eq!(result.outcomes.len() + result.errors.len(), 8);
+        let failed: Vec<u64> = result.errors.iter().map(|e| e.seed).collect();
+        match kind {
+            Injected::Panic => {
+                prop_assert_eq!(&failed, &vec![target]);
+                prop_assert_eq!(result.errors[0].kind, FailureKind::Panic);
+                prop_assert_eq!(result.errors[0].attempts, retries + 1);
+            }
+            Injected::Hang => {
+                prop_assert_eq!(&failed, &vec![target]);
+                prop_assert_eq!(result.errors[0].kind, FailureKind::TimedOut);
+                prop_assert_eq!(result.errors[0].attempts, 1); // never retried
+            }
+            Injected::Transient => {
+                if retries >= 1 {
+                    prop_assert!(failed.is_empty(), "transient did not clear");
+                } else {
+                    prop_assert_eq!(&failed, &vec![target]);
+                    prop_assert_eq!(result.errors[0].kind, FailureKind::Error);
+                }
+            }
+            Injected::Fatal => {
+                prop_assert_eq!(&failed, &vec![target]);
+                prop_assert_eq!(result.errors[0].kind, FailureKind::Error);
+                prop_assert_eq!(result.errors[0].attempts, 1); // never retried
+            }
+        }
+    }
+}

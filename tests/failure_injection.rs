@@ -95,16 +95,17 @@ ok:
         .unwrap(),
     );
     let mut topo = Topology::new(2);
-    topo.connect(0, 1, LinkConfig::default());
+    topo.connect(0, 1, LinkConfig::default()).unwrap();
     let mut sim = NetSim::new(topo, 1);
-    sim.add_node(healthy, NodeConfig::default());
+    sim.add_node(healthy, NodeConfig::default()).unwrap();
     sim.add_node(
         faulty,
         NodeConfig {
             node_id: 1,
             ..NodeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let mut sinks = vec![tinyvm::NullSink, tinyvm::NullSink];
     match sim.run(20_000_000, &mut sinks) {
         Err(SimError::NodeFault {

@@ -43,16 +43,18 @@ on_rx:
 fn inference_matches_ground_truth_over_the_network() {
     let program = Arc::new(tinyvm::assemble(PING).unwrap());
     let mut topo = Topology::new(2);
-    topo.connect(0, 1, LinkConfig::default());
+    topo.connect(0, 1, LinkConfig::default()).unwrap();
     let mut sim = NetSim::new(topo, 99);
-    sim.add_node(program.clone(), NodeConfig::default());
+    sim.add_node(program.clone(), NodeConfig::default())
+        .unwrap();
     sim.add_node(
         program.clone(),
         NodeConfig {
             node_id: 1,
             ..NodeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let mut recorders = vec![Recorder::new(program.len()), Recorder::new(program.len())];
     sim.run(3_000_000, &mut recorders).unwrap();
 
@@ -113,5 +115,5 @@ fn umbrella_reexports_compose() {
     let result = run_case2(&Case2Config::default()).unwrap();
     assert_eq!(result.buggy_ranks, vec![1, 2, 3]);
     let _k = sentomist::mlcore::Kernel::rbf_default(8);
-    let _t = sentomist::netsim::Topology::chain(2, LinkConfig::default());
+    let _t = sentomist::netsim::Topology::chain(2, LinkConfig::default()).unwrap();
 }

@@ -144,19 +144,22 @@ fn executed_instructions_lie_in_reachable_blocks() {
 fn corroboration_ranks_the_static_bug_site_first() {
     // Case study II, run manually so we keep the relay program and trace.
     let relay = bundled("forwarder", false);
-    let mut sim = NetSim::new(Topology::chain(3, LinkConfig::default()), 0);
+    let mut sim = NetSim::new(Topology::chain(3, LinkConfig::default()).unwrap(), 0);
     sim.add_node(
         forwarder::sink_program().unwrap(),
         forwarder::node_config(forwarder::nodes::SINK, 0),
-    );
+    )
+    .unwrap();
     sim.add_node(
         relay.clone(),
         forwarder::node_config(forwarder::nodes::RELAY, 1),
-    );
+    )
+    .unwrap();
     sim.add_node(
         forwarder::source_program(&forwarder::ForwarderParams::default()).unwrap(),
         forwarder::node_config(forwarder::nodes::SOURCE, 2),
-    );
+    )
+    .unwrap();
     let mut recorders = vec![
         Recorder::new(sim.node(0).program().len()),
         Recorder::new(relay.len()),

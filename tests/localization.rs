@@ -12,19 +12,22 @@ use sentomist::trace::Recorder;
 fn localization_implicates_the_drop_branch() {
     // Run case II manually so we keep the relay program and trace.
     let relay = forwarder::relay_program_buggy().unwrap();
-    let mut sim = NetSim::new(Topology::chain(3, LinkConfig::default()), 0);
+    let mut sim = NetSim::new(Topology::chain(3, LinkConfig::default()).unwrap(), 0);
     sim.add_node(
         forwarder::sink_program().unwrap(),
         forwarder::node_config(forwarder::nodes::SINK, 0),
-    );
+    )
+    .unwrap();
     sim.add_node(
         relay.clone(),
         forwarder::node_config(forwarder::nodes::RELAY, 1),
-    );
+    )
+    .unwrap();
     sim.add_node(
         forwarder::source_program(&forwarder::ForwarderParams::default()).unwrap(),
         forwarder::node_config(forwarder::nodes::SOURCE, 2),
-    );
+    )
+    .unwrap();
     let mut recorders = vec![
         Recorder::new(sim.node(0).program().len()),
         Recorder::new(relay.len()),
