@@ -111,7 +111,7 @@ pub struct CaseResult {
 }
 
 impl CaseResult {
-    fn new(
+    pub(crate) fn new(
         report: Report,
         sample_count: usize,
         buggy: Vec<SampleIndex>,
@@ -161,14 +161,14 @@ impl CaseResult {
 /// the paper's outlier pattern for case study I ("ADC interrupt, posting
 /// a task, interrupt exit, ADC interrupt, interrupt exit, running the
 /// task").
-fn contains_nested_int(trace: &Trace, interval: &EventInterval, line: u8) -> bool {
+pub(crate) fn contains_nested_int(trace: &Trace, interval: &EventInterval, line: u8) -> bool {
     (interval.start_index + 1..interval.end_index)
         .any(|i| trace.events[i].item == LifecycleItem::Int(line))
 }
 
 /// Chains per-trace digests (in a fixed order) into one case-level
 /// digest, FNV-1a style.
-fn chain_digest(digests: impl IntoIterator<Item = u64>) -> u64 {
+pub(crate) fn chain_digest(digests: impl IntoIterator<Item = u64>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for d in digests {
         h = (h ^ d).wrapping_mul(0x0000_0100_0000_01B3);

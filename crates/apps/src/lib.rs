@@ -24,10 +24,15 @@ pub mod ctp;
 pub mod experiments;
 pub mod forwarder;
 pub mod oscilloscope;
+pub mod scenario;
 
 pub use experiments::{
     case1_job, case1_job_traced, case2_job, case2_job_traced, case3_job, case3_job_traced,
     mine_case1, mine_case2, mine_case3, mine_trigger_trace, run_case1, run_case1_traced, run_case2,
     run_case2_traced, run_case3, run_case3_traced, run_trigger_campaign, trigger_job,
     trigger_job_traced, Case1Config, Case2Config, Case3Config, CaseResult, DetectorKind,
+};
+pub use scenario::{
+    emulate_scenario, hunt_iteration, mine_scenario, mined_matches, scenario, scenario_evidence,
+    scenario_program, HuntCase, HuntScenario, MinedScenario, ScenarioParams, Variant,
 };

@@ -21,6 +21,10 @@
 //!   reporting, provable under the seeded [`chaos`] harness;
 //! * [`corpus::mine_store`] — the same sweep over a persisted trace
 //!   corpus (`sentomist-tracestore`), re-mining without re-emulating;
+//! * [`hunt`] — invariant-driven bug-bounty campaigns: seeded scenario
+//!   sweeps checked against an explicit invariant registry, aggregated
+//!   into a `BUG_REPORT.md`-shaped artifact with per-invariant detection
+//!   rates and seed-exact repro lines;
 //! * [`localize()`](localize::localize) — the paper's future-work extension: map an outlier's
 //!   deviating instruction counts back to assembly lines and routines.
 //!
@@ -64,6 +68,7 @@ pub mod baseline;
 pub mod campaign;
 pub mod chaos;
 pub mod corpus;
+pub mod hunt;
 pub mod localize;
 pub mod monitor;
 pub mod pipeline;
@@ -78,6 +83,10 @@ pub use campaign::{
 };
 pub use chaos::{corrupt_file, truncate_file, ChaosConfig, Fault};
 pub use corpus::{mine_store, mine_store_with, MineOptions, MineReport, QuarantinedRun};
+pub use hunt::{
+    check_invariants, run_hunt_target, Evidence, HuntReport, InvariantId, InvariantPolicy,
+    InvariantStats, IterationRecord, TargetOutcome, TargetReport, Violation, INVARIANTS,
+};
 pub use localize::{
     corroborate, localize, localize_set, CorroboratedInstruction, ImplicatedInstruction,
 };
@@ -86,6 +95,6 @@ pub use pipeline::{Pipeline, PipelineError};
 pub use report::{RankedSample, Report};
 pub use sample::{harvest, harvest_set, Sample, SampleIndex, SampleMeta, SampleSet};
 pub use supervise::{
-    adapt_seed_job, backoff_delay_ms, run_supervised, RunContext, RunFailure, SeedReport,
-    SupervisorOptions,
+    adapt_seed_job, backoff_delay_ms, run_supervised, run_supervised_typed, RunContext, RunFailure,
+    SeedReport, SupervisedResult, SupervisorOptions, TypedReport,
 };

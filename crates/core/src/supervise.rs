@@ -39,6 +39,14 @@
 //! for every thread count. With no timeout configured, attempts run
 //! inline on the scoped workers — the clean path costs one
 //! `catch_unwind` frame over the plain orchestrator.
+//!
+//! The pool is generic over the job's success type:
+//! [`run_supervised_typed`] supervises any `Fn(&RunContext) ->
+//! Result<T, RunFailure>` and reports [`TypedReport<T>`]s — the hunt
+//! subsystem ([`crate::hunt`]) runs whole mined-and-checked iteration
+//! records through it. [`run_supervised`] is the `T = RunOutcome`
+//! specialization that additionally stamps wall times and aggregates a
+//! [`CampaignResult`].
 
 use crate::campaign::{CampaignResult, FailureKind, RunError, RunOutcome};
 use serde::{Deserialize, Serialize};
@@ -262,9 +270,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn normalize(
-    caught: std::thread::Result<Result<RunOutcome, RunFailure>>,
-) -> Result<RunOutcome, AttemptFailure> {
+fn normalize<T>(caught: std::thread::Result<Result<T, RunFailure>>) -> Result<T, AttemptFailure> {
     match caught {
         Ok(Ok(outcome)) => Ok(outcome),
         Ok(Err(RunFailure::Transient(message))) => Err(AttemptFailure {
@@ -290,13 +296,14 @@ fn normalize(
     }
 }
 
-fn run_attempt<F>(
+fn run_attempt<T, F>(
     job: &Arc<F>,
     ctx: &RunContext,
     timeout: Option<Duration>,
-) -> Result<RunOutcome, AttemptFailure>
+) -> Result<T, AttemptFailure>
 where
-    F: Fn(&RunContext) -> Result<RunOutcome, RunFailure> + Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(&RunContext) -> Result<T, RunFailure> + Send + Sync + 'static,
 {
     let Some(limit) = timeout else {
         // No watchdog: run inline on the worker. One catch_unwind frame
@@ -340,9 +347,28 @@ where
     }
 }
 
-fn supervise_seed<F>(seed: u64, options: &SupervisorOptions, job: &Arc<F>) -> SeedReport
+/// What the supervisor reports when a seed of a typed job finishes:
+/// either a final value or a final error, the attempts spent, and the
+/// measured wall time (kept out of the value so typed results stay
+/// timing-free and thread-count-deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedReport<T> {
+    /// The seed.
+    pub seed: u64,
+    /// Attempts spent (1 = first try succeeded or failed fatally).
+    pub attempts: u32,
+    /// Wall-clock milliseconds of the successful attempt (0 on failure).
+    pub wall_time_ms: u64,
+    /// The job's value, when the seed succeeded.
+    pub outcome: Option<T>,
+    /// The error, when the seed failed for good.
+    pub error: Option<RunError>,
+}
+
+fn supervise_seed<T, F>(seed: u64, options: &SupervisorOptions, job: &Arc<F>) -> TypedReport<T>
 where
-    F: Fn(&RunContext) -> Result<RunOutcome, RunFailure> + Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(&RunContext) -> Result<T, RunFailure> + Send + Sync + 'static,
 {
     let mut attempt = 0u32;
     loop {
@@ -350,11 +376,11 @@ where
         let ctx = RunContext::new(seed, attempt, options.cycle_budget);
         let started = Instant::now();
         match run_attempt(job, &ctx, options.timeout) {
-            Ok(mut outcome) => {
-                outcome.wall_time_ms = started.elapsed().as_millis() as u64;
-                return SeedReport {
+            Ok(outcome) => {
+                return TypedReport {
                     seed,
                     attempts: attempt,
+                    wall_time_ms: started.elapsed().as_millis() as u64,
                     outcome: Some(outcome),
                     error: None,
                 };
@@ -368,9 +394,10 @@ where
                     )));
                     continue;
                 }
-                return SeedReport {
+                return TypedReport {
                     seed,
                     attempts: attempt,
+                    wall_time_ms: 0,
                     outcome: None,
                     error: Some(RunError {
                         seed,
@@ -384,32 +411,46 @@ where
     }
 }
 
-/// Fans `seeds` over a supervised worker pool: panics are caught, hung
-/// attempts are watchdogged, transient failures retried, and every
-/// finished seed reported to `on_complete` (on the calling thread, in
-/// completion order) before the aggregated, seed-sorted
-/// [`CampaignResult`] is returned.
+/// Seed-sorted aggregation of a typed supervised campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedResult<T> {
+    /// `(seed, value)` for every seed that succeeded, ascending by seed.
+    pub outcomes: Vec<(u64, T)>,
+    /// Final errors, ascending by seed.
+    pub errors: Vec<RunError>,
+}
+
+/// Fans `seeds` over a supervised worker pool running a job with an
+/// arbitrary success type: panics are caught, hung attempts are
+/// watchdogged, transient failures retried, and every finished seed
+/// reported to `on_complete` (on the calling thread, in completion
+/// order) before the aggregated, seed-sorted [`SupervisedResult`] is
+/// returned — so, given pure jobs, the result is identical for every
+/// thread count.
 ///
 /// The job takes a [`RunContext`] rather than a bare seed so the
 /// watchdog can cancel it cooperatively and budget-aware jobs can meter
-/// their own cycles; lift a plain seed job with [`adapt_seed_job`].
-/// `F: 'static` (and the `Arc`) is what lets a timed-out attempt thread
-/// outlive the campaign instead of hanging it.
-pub fn run_supervised<F, C>(
+/// their own cycles. `T: 'static` and `F: 'static` (and the `Arc`) are
+/// what let a timed-out attempt thread outlive the campaign instead of
+/// hanging it. The typed pool itself prints nothing — callers honoring
+/// [`SupervisorOptions::progress`] emit their own lines from
+/// `on_complete` (as [`run_supervised`] does).
+pub fn run_supervised_typed<T, F, C>(
     seeds: &[u64],
     options: &SupervisorOptions,
     job: Arc<F>,
     mut on_complete: C,
-) -> CampaignResult
+) -> SupervisedResult<T>
 where
-    F: Fn(&RunContext) -> Result<RunOutcome, RunFailure> + Send + Sync + 'static,
-    C: FnMut(&SeedReport),
+    T: Send + 'static,
+    F: Fn(&RunContext) -> Result<T, RunFailure> + Send + Sync + 'static,
+    C: FnMut(&TypedReport<T>),
 {
     install_quiet_panic_hook();
     let threads = options.threads.clamp(1, seeds.len().max(1));
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<SeedReport>();
+    let (tx, rx) = mpsc::channel::<TypedReport<T>>();
     let mut outcomes = Vec::new();
     let mut errors = Vec::new();
     std::thread::scope(|scope| {
@@ -428,28 +469,6 @@ where
                 let Some(&seed) = seeds.get(i) else { break };
                 let report = supervise_seed(seed, options, job);
                 completed.fetch_add(1, Ordering::SeqCst);
-                if options.progress {
-                    match (&report.outcome, &report.error) {
-                        (Some(o), _) => eprintln!(
-                            "campaign: seed {seed} done — {} samples, {} symptoms, \
-                             verdict {:?} ({} ms, {} attempt{})",
-                            o.samples,
-                            o.symptoms,
-                            o.verdict,
-                            o.wall_time_ms,
-                            report.attempts,
-                            if report.attempts == 1 { "" } else { "s" }
-                        ),
-                        (None, Some(e)) => eprintln!(
-                            "campaign: seed {seed} FAILED ({}) after {} attempt{} — {}",
-                            e.kind.as_str(),
-                            report.attempts,
-                            if report.attempts == 1 { "" } else { "s" },
-                            e.message
-                        ),
-                        (None, None) => {}
-                    }
-                }
                 if tx.send(report).is_err() {
                     break;
                 }
@@ -461,10 +480,82 @@ where
         for report in rx {
             on_complete(&report);
             match (report.outcome, report.error) {
-                (Some(outcome), _) => outcomes.push(outcome),
+                (Some(outcome), _) => outcomes.push((report.seed, outcome)),
                 (None, Some(error)) => errors.push(error),
                 (None, None) => {}
             }
+        }
+    });
+    outcomes.sort_by_key(|(seed, _)| *seed);
+    errors.sort_by_key(|e: &RunError| e.seed);
+    SupervisedResult { outcomes, errors }
+}
+
+/// Fans `seeds` over a supervised worker pool: panics are caught, hung
+/// attempts are watchdogged, transient failures retried, and every
+/// finished seed reported to `on_complete` (on the calling thread, in
+/// completion order) before the aggregated, seed-sorted
+/// [`CampaignResult`] is returned.
+///
+/// The job takes a [`RunContext`] rather than a bare seed so the
+/// watchdog can cancel it cooperatively and budget-aware jobs can meter
+/// their own cycles; lift a plain seed job with [`adapt_seed_job`].
+/// This is the `T = RunOutcome` specialization of
+/// [`run_supervised_typed`]: it stamps each outcome's
+/// [`RunOutcome::wall_time_ms`] from the attempt's measured wall time
+/// before journaling or aggregating it.
+pub fn run_supervised<F, C>(
+    seeds: &[u64],
+    options: &SupervisorOptions,
+    job: Arc<F>,
+    mut on_complete: C,
+) -> CampaignResult
+where
+    F: Fn(&RunContext) -> Result<RunOutcome, RunFailure> + Send + Sync + 'static,
+    C: FnMut(&SeedReport),
+{
+    let mut outcomes = Vec::new();
+    let mut errors = Vec::new();
+    run_supervised_typed(seeds, options, job, |report: &TypedReport<RunOutcome>| {
+        let stamped = report.outcome.clone().map(|mut o| {
+            o.wall_time_ms = report.wall_time_ms;
+            o
+        });
+        if options.progress {
+            match (&stamped, &report.error) {
+                (Some(o), _) => eprintln!(
+                    "campaign: seed {} done — {} samples, {} symptoms, \
+                     verdict {:?} ({} ms, {} attempt{})",
+                    report.seed,
+                    o.samples,
+                    o.symptoms,
+                    o.verdict,
+                    o.wall_time_ms,
+                    report.attempts,
+                    if report.attempts == 1 { "" } else { "s" }
+                ),
+                (None, Some(e)) => eprintln!(
+                    "campaign: seed {} FAILED ({}) after {} attempt{} — {}",
+                    report.seed,
+                    e.kind.as_str(),
+                    report.attempts,
+                    if report.attempts == 1 { "" } else { "s" },
+                    e.message
+                ),
+                (None, None) => {}
+            }
+        }
+        let seed_report = SeedReport {
+            seed: report.seed,
+            attempts: report.attempts,
+            outcome: stamped.clone(),
+            error: report.error.clone(),
+        };
+        on_complete(&seed_report);
+        match (stamped, report.error.clone()) {
+            (Some(outcome), _) => outcomes.push(outcome),
+            (None, Some(error)) => errors.push(error),
+            (None, None) => {}
         }
     });
     outcomes.sort_by_key(|o: &RunOutcome| o.seed);

@@ -205,6 +205,22 @@ impl Topology {
         Ok(t)
     }
 
+    /// Builds a linear chain `0 - 1 - ... - (len)` with one explicit
+    /// [`LinkConfig`] per hop (`configs[i]` connects node `i` to
+    /// `i + 1`) — the heterogeneous-link variant of [`Topology::chain`]
+    /// used by scenario generators to mutate loss and latency per hop.
+    ///
+    /// # Errors
+    ///
+    /// Any invalid hop config ([`TopologyError`]).
+    pub fn chain_with(configs: &[LinkConfig]) -> Result<Topology, TopologyError> {
+        let mut t = Topology::new(configs.len() as u16 + 1);
+        for (i, &config) in configs.iter().enumerate() {
+            t.connect(i as u16, i as u16 + 1, config)?;
+        }
+        Ok(t)
+    }
+
     /// Builds a fully connected mesh with uniform links.
     ///
     /// # Errors

@@ -65,6 +65,19 @@ impl Default for AdcConfig {
     }
 }
 
+impl AdcConfig {
+    /// The default sensor model with mutated conversion timing — the
+    /// interrupt-schedule knob scenario generators sweep (`jitter_cycles`
+    /// of 0 legally disables jitter).
+    pub fn with_timing(latency_cycles: u64, jitter_cycles: u64) -> AdcConfig {
+        AdcConfig {
+            latency_cycles,
+            jitter_cycles,
+            ..AdcConfig::default()
+        }
+    }
+}
+
 /// Radio timing configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RadioConfig {

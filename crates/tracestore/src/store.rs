@@ -429,6 +429,54 @@ impl TraceStore {
         }
     }
 
+    /// The campaign-artifact directory (which may not exist yet):
+    /// rendered documents that summarize the corpus — `BUG_REPORT.md`,
+    /// `bug_report.json` — live beside the runs they were mined from.
+    pub fn artifacts_dir(&self) -> PathBuf {
+        self.root.join("artifacts")
+    }
+
+    /// Saves a named campaign artifact under `artifacts/`, creating the
+    /// directory on first use and overwriting a previous version.
+    /// Returns the artifact's path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`]; a name containing a path separator is
+    /// rejected (artifacts are flat files, not trees).
+    pub fn save_artifact(&self, name: &str, contents: &str) -> Result<PathBuf, StoreError> {
+        if name.contains('/') || name.contains('\\') || name.is_empty() {
+            return Err(StoreError::io(
+                format!("saving artifact {name:?}"),
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "artifact names must be plain file names",
+                ),
+            ));
+        }
+        let dir = self.artifacts_dir();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("creating {}", dir.display()), e))?;
+        let path = dir.join(name);
+        std::fs::write(&path, contents)
+            .map_err(|e| StoreError::io(format!("writing {}", path.display()), e))?;
+        Ok(path)
+    }
+
+    /// Loads a named artifact, or `None` when it was never saved.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on anything other than a missing file.
+    pub fn load_artifact(&self, name: &str) -> Result<Option<String>, StoreError> {
+        let path = self.artifacts_dir().join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::io(format!("reading {}", path.display()), e)),
+        }
+    }
+
     /// The quarantine directory (which may not exist yet).
     pub fn quarantine_dir(&self) -> PathBuf {
         self.root.join("quarantine")
@@ -675,6 +723,30 @@ mod tests {
         store.clear_journal().unwrap();
         store.clear_journal().unwrap(); // idempotent
         assert_eq!(store.journal_lines().unwrap(), Vec::<String>::new());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn artifacts_save_load_and_reject_paths() {
+        let root = tmpdir("artifacts");
+        let store = TraceStore::create(&root).unwrap();
+        assert_eq!(store.load_artifact("BUG_REPORT.md").unwrap(), None);
+        let path = store
+            .save_artifact("BUG_REPORT.md", "# Bug Report\n")
+            .unwrap();
+        assert!(path.starts_with(store.artifacts_dir()));
+        assert_eq!(
+            store.load_artifact("BUG_REPORT.md").unwrap().as_deref(),
+            Some("# Bug Report\n")
+        );
+        // Overwrite wins.
+        store.save_artifact("BUG_REPORT.md", "v2").unwrap();
+        assert_eq!(
+            store.load_artifact("BUG_REPORT.md").unwrap().as_deref(),
+            Some("v2")
+        );
+        assert!(store.save_artifact("a/b.md", "nope").is_err());
+        assert!(store.save_artifact("", "nope").is_err());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -8,6 +8,7 @@
 //! sentomist mine <trace.json> --irq N [opts]      rank intervals
 //! sentomist localize <trace.json> <app.s> [opts]  implicate instructions
 //! sentomist case <1|2|3>                          run a paper case study
+//! sentomist hunt [opts]                           invariant bug-bounty campaign
 //! ```
 
 use sentomist::core::campaign::{CampaignResult, FailureKind, RunError, RunOutcome, Verdict};
@@ -107,6 +108,39 @@ USAGE:
   sentomist campaign --replay --seed S [same selection flags]
       Re-run one seed of a campaign and print its outcome — the trace
       digest must match the original campaign row bit for bit.
+
+  sentomist hunt [--case 1|2|3|all] [--fixed] [--iterations N]
+                 [--campaign-seed S] [--threads T] [--top-k K]
+                 [--out DIR] [--store DIR] [--json] [--progress]
+                 [--strict] [--max-retries R] [--timeout-ms MS]
+      Invariant-driven bug-bounty campaign: mutate each selected case
+      study's workload timing, interrupt schedule, link conditions and
+      app parameters under seeds S..S+N (every scenario a pure function
+      of its seed), run the scenarios through the supervised pool, mine
+      each run, and check the invariant registry —
+      transient_symptom_free, known_buggy_interval_ranks_top_k,
+      fixed_variant_has_no_negative_outliers,
+      staticlint_dynamic_agreement, mining_determinism. Violations
+      aggregate into BUG_REPORT.md + bug_report.json under --out
+      (default .): per-invariant detection rates, violating seeds and a
+      copy-pasteable repro line per bug. --fixed hunts the repaired
+      variants (a healthy pipeline reports zero violations there).
+      With --store, every run's traces are journaled into a corpus
+      (targets/<case>-<variant>/) and mining_determinism re-mines from
+      the persisted, digest-verified bytes; the report is also saved
+      under the store's artifacts/. Both artifacts are byte-identical
+      for every --threads value.
+
+      Exit codes: 0 when the hunt ran to completion (violations are the
+      report's payload, not an error); with --strict, nonzero when any
+      invariant was violated or any run failed — the CI contract, same
+      as `campaign --strict`'s nonzero-on-failed-run.
+
+  sentomist hunt --replay --seed S --case <1|2|3> [--fixed] [--top-k K] [--json]
+      Re-run one hunt scenario and print its iteration record (with
+      --json, exactly the record bug_report.json carries). The record is
+      a pure function of the seed: replays reproduce the original
+      violation bit for bit on any machine and thread count.
 
   sentomist trace record <app.s> [--cycles N] [--seed S] [--out FILE.stc]
       Emulate a single node, streaming its lifecycle trace to a compact
@@ -1049,6 +1083,250 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_hunt(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use sentomist::apps::{
+        emulate_scenario, hunt_iteration, mine_scenario, mined_matches, scenario,
+        scenario_evidence, scenario_program, HuntCase, Variant,
+    };
+    use sentomist::core::hunt::{
+        check_invariants, HuntReport, InvariantPolicy, IterationRecord, TargetReport,
+    };
+    use sentomist::core::supervise::run_supervised_typed;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let (_, flags) = parse_flags(args);
+    let json = flags.contains_key("json");
+    let variant = if flags.contains_key("fixed") {
+        Variant::Fixed
+    } else {
+        Variant::Buggy
+    };
+    let policy = InvariantPolicy {
+        top_k: flag_u64(&flags, "top-k", 3)? as usize,
+    };
+    let cases: Vec<HuntCase> = match flags.get("case").map(String::as_str).unwrap_or("all") {
+        "all" | "" => HuntCase::ALL.to_vec(),
+        v => vec![v
+            .parse::<u64>()
+            .ok()
+            .and_then(HuntCase::from_number)
+            .ok_or_else(|| format!("--case wants 1, 2, 3 or all, got `{v}`"))?],
+    };
+
+    if flags.contains_key("replay") {
+        let seed = flags
+            .get("seed")
+            .ok_or("hunt --replay needs --seed S")?
+            .parse::<u64>()
+            .map_err(|_| "--seed wants a number")?;
+        let &[case] = cases.as_slice() else {
+            return Err("hunt --replay needs a single --case (1, 2 or 3)".into());
+        };
+        let (record, _traces) = hunt_iteration(case, variant, seed, &policy)
+            .map_err(|e| format!("seed {seed}: {e}"))?;
+        if json {
+            println!("{}", serde_json::to_string_pretty(&record)?);
+        } else {
+            println!(
+                "hunt replay: {} ({}) seed {seed}",
+                case.name(),
+                variant.name()
+            );
+            println!(
+                "  samples {}, symptoms {}, verdict {:?}, trace digest {}",
+                record.outcome.samples,
+                record.outcome.symptoms,
+                record.outcome.verdict,
+                record.outcome.trace_digest
+            );
+            if record.violations.is_empty() {
+                println!(
+                    "  no invariant violations ({} checked)",
+                    record.checked.len()
+                );
+            }
+            for v in &record.violations {
+                println!("  VIOLATION {}: {}", v.invariant.slug(), v.message);
+            }
+            println!(
+                "\nthe record above is a pure function of the seed — rerunning \
+                 this replay (any thread count) must print it bit for bit"
+            );
+        }
+        return Ok(());
+    }
+
+    let iterations = flag_u64(&flags, "iterations", 25)?;
+    let campaign_seed = flag_u64(&flags, "campaign-seed", 0xBEEF)?;
+    let threads = flag_u64(&flags, "threads", 1)?.max(1) as usize;
+    let strict = flags.contains_key("strict");
+    let progress = flags.contains_key("progress");
+    let out_dir = PathBuf::from(match flags.get("out").map(String::as_str) {
+        Some("") | None => ".",
+        Some(dir) => dir,
+    });
+    let sup = SupervisorOptions {
+        threads,
+        max_retries: flag_u64(&flags, "max-retries", 0)? as u32,
+        timeout: flag_opt_u64(&flags, "timeout-ms")?.map(std::time::Duration::from_millis),
+        ..SupervisorOptions::default()
+    };
+    // Scenario seeds are a pure function of (campaign seed, iteration);
+    // every target sweeps the same seeds.
+    let seeds: Vec<u64> = (0..iterations)
+        .map(|i| campaign_seed.wrapping_add(i))
+        .collect();
+    let store_root = match flags.get("store").filter(|s| !s.is_empty()) {
+        Some(dir) => Some(TraceStore::create(dir)?),
+        None => None,
+    };
+
+    let started = std::time::Instant::now();
+    let mut targets = Vec::new();
+    for case in cases {
+        // Each target journals its traces into its own substore of the
+        // corpus; with a store attached, the mining-determinism
+        // invariant re-mines from the persisted (digest-verified) bytes
+        // instead of from memory.
+        let substore = match &store_root {
+            Some(root) => Some(TraceStore::create(
+                root.root()
+                    .join("targets")
+                    .join(format!("{}-{}", case.name(), variant.name())),
+            )?),
+            None => None,
+        };
+        let pol = policy;
+        let job = move |ctx: &RunContext| -> Result<IterationRecord, RunFailure> {
+            let seed = ctx.seed();
+            let Some(store) = &substore else {
+                return hunt_iteration(case, variant, seed, &pol)
+                    .map(|(record, _)| record)
+                    .map_err(RunFailure::Fatal);
+            };
+            let s = scenario(case, variant, seed);
+            let traces = emulate_scenario(&s).map_err(RunFailure::Fatal)?;
+            let mined = mine_scenario(&s, &traces).map_err(RunFailure::Fatal)?;
+            let program = scenario_program(&s).map_err(RunFailure::Fatal)?;
+            let digest = fnv64(tinyvm::disassemble(&program).as_bytes());
+            let mode = format!("hunt-{}-{}", case.name(), variant.name());
+            let manifest = store
+                .save_run(seed, &mode, digest, &traces)
+                .map_err(|e| RunFailure::Transient(format!("storing run: {e}")))?;
+            let loaded = store
+                .load_traces(&manifest)
+                .map_err(|e| RunFailure::Transient(format!("loading stored run: {e}")))?;
+            let remined = mine_scenario(&s, &loaded).map_err(RunFailure::Fatal)?;
+            let remine_matches = mined_matches(&s, &mined, &remined);
+            let evidence = scenario_evidence(&s, &mined, remine_matches);
+            let (checked, violations) = check_invariants(&evidence, &pol);
+            Ok(IterationRecord {
+                seed,
+                outcome: evidence.outcome,
+                checked,
+                violations,
+            })
+        };
+        let label = format!("{}-{}", case.name(), variant.name());
+        let result = run_supervised_typed(&seeds, &sup, Arc::new(job), |report| {
+            if progress {
+                match (&report.outcome, &report.error) {
+                    (Some(r), _) => eprintln!(
+                        "hunt: [{label}] seed {} ok — {} violation(s)",
+                        report.seed,
+                        r.violations.len()
+                    ),
+                    (_, Some(e)) => {
+                        eprintln!("hunt: [{label}] seed {} FAILED: {}", report.seed, e.message)
+                    }
+                    (None, None) => {}
+                }
+            }
+        });
+        let records: Vec<IterationRecord> = result.outcomes.into_iter().map(|(_, r)| r).collect();
+        let repro_template = format!(
+            "hunt --case {}{} --replay --seed {{seed}}",
+            case.number(),
+            if variant.is_fixed() { " --fixed" } else { "" }
+        );
+        targets.push(TargetReport::from_records(
+            case.name(),
+            variant.name(),
+            &repro_template,
+            records,
+            result.errors,
+        ));
+    }
+    let elapsed = started.elapsed();
+
+    let report = HuntReport {
+        campaign_seed,
+        iterations,
+        top_k: policy.top_k,
+        targets,
+    };
+    let markdown = report.to_markdown();
+    let mut doc = serde_json::to_string_pretty(&report)?;
+    doc.push('\n');
+
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let md_path = out_dir.join("BUG_REPORT.md");
+    let json_path = out_dir.join("bug_report.json");
+    std::fs::write(&md_path, &markdown)
+        .map_err(|e| format!("writing {}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, &doc)
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    if let Some(root) = &store_root {
+        root.save_artifact("BUG_REPORT.md", &markdown)?;
+        root.save_artifact("bug_report.json", &doc)?;
+        eprintln!(
+            "hunt: corpus stored under {} (targets/<case>-<variant>/)",
+            root.root().display()
+        );
+    }
+
+    if json {
+        print!("{doc}");
+    } else {
+        println!(
+            "{:<13} {:<6} {:>5} {:>9} {:>10} {:>7}",
+            "target", "variant", "runs", "triggered", "violations", "failed"
+        );
+        for t in &report.targets {
+            println!(
+                "{:<13} {:<6} {:>5} {:>9} {:>10} {:>7}",
+                t.target,
+                t.variant,
+                t.runs,
+                t.triggered,
+                t.records.iter().map(|r| r.violations.len()).sum::<usize>(),
+                t.errors.len()
+            );
+        }
+        println!(
+            "\n{} invariant violation(s), {} failed run(s) in {:.2} s on {} thread(s)",
+            report.violation_count(),
+            report.error_count(),
+            elapsed.as_secs_f64(),
+            threads
+        );
+        println!("report:  {}", md_path.display());
+        println!("         {}", json_path.display());
+        println!("replay:  sentomist hunt --case <n> [--fixed] --replay --seed <seed>");
+    }
+    if strict && (report.violation_count() > 0 || report.error_count() > 0) {
+        return Err(format!(
+            "--strict: {} invariant violation(s), {} failed run(s)",
+            report.violation_count(),
+            report.error_count()
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
     let sub = args
         .first()
@@ -1433,6 +1711,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "case" => cmd_case(rest),
         "campaign" => cmd_campaign(rest),
+        "hunt" => cmd_hunt(rest),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             print!("{}", usage());

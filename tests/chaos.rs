@@ -9,29 +9,19 @@
 //! The chaos seed is pinned (`0xC0FFEE`) so CI replays the identical
 //! fault pattern on every run.
 
+mod support;
+
 use proptest::prelude::*;
-use sentomist::core::campaign::{FailureKind, RunOutcome, Verdict};
+use sentomist::core::campaign::FailureKind;
 use sentomist::core::chaos::{corrupt_file, ChaosConfig};
 use sentomist::core::supervise::{
     run_supervised, RunContext, RunFailure, SeedReport, SupervisorOptions,
 };
-use std::process::Command;
 use std::sync::Arc;
 use std::time::Duration;
+use support::{cli, ok_outcome, run_ok, workdir};
 
 const CHAOS_SEED: u64 = 0xC0FFEE;
-
-fn ok_outcome(seed: u64) -> RunOutcome {
-    RunOutcome {
-        seed,
-        samples: 3,
-        symptoms: 0,
-        buggy_ranks: vec![],
-        verdict: Verdict::Clean,
-        trace_digest: format!("{seed:016x}"),
-        wall_time_ms: 0,
-    }
-}
 
 fn chaos_sweep(threads: usize) -> (Vec<SeedReport>, sentomist::core::campaign::CampaignResult) {
     let seeds: Vec<u64> = (0..60).collect();
@@ -105,28 +95,6 @@ fn chaos_campaign_survives_every_fault_class_deterministically() {
     }
 }
 
-fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_sentomist"))
-}
-
-fn workdir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("sentomist-chaos-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-fn run_ok(cmd: &mut Command) -> String {
-    let out = cmd.output().unwrap();
-    assert!(
-        out.status.success(),
-        "command failed\nstdout: {}\nstderr: {}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
-    String::from_utf8_lossy(&out.stdout).into_owned()
-}
-
 /// Kill a campaign after 2 of 5 seeds (`--stop-after`, the chaos hook
 /// simulating a mid-flight kill), resume it, and require the resumed
 /// JSON document — summary, every outcome, every `trace_digest` — to be
@@ -145,7 +113,7 @@ fn resumed_campaign_document_is_byte_identical_to_uninterrupted() {
         for flag in extra {
             cmd.arg(flag);
         }
-        run_ok(&mut cmd)
+        run_ok(&mut cmd).0
     };
     let uninterrupted = sweep(&[], &full);
 
@@ -159,7 +127,7 @@ fn resumed_campaign_document_is_byte_identical_to_uninterrupted() {
     assert!(!part.join("journal.jsonl").exists(), "journal not cleared");
 
     // And the resumed corpus re-mines into the same document too.
-    let remined = run_ok(cli().arg("trace").arg("mine").arg(&part).arg("--json"));
+    let remined = run_ok(cli().arg("trace").arg("mine").arg(&part).arg("--json")).0;
     assert_eq!(uninterrupted, remined);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -190,7 +158,7 @@ fn corrupted_run_is_quarantined_and_salvageable_and_the_rest_mines() {
     std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
 
     // Salvage reports on the damaged file instead of rejecting it.
-    let salvage = run_ok(cli().arg("trace").arg("info").arg("--salvage").arg(&victim));
+    let salvage = run_ok(cli().arg("trace").arg("info").arg("--salvage").arg(&victim)).0;
     assert!(salvage.contains("damaged"), "salvage: {salvage}");
     assert!(salvage.contains("recovered"), "salvage: {salvage}");
 
@@ -202,7 +170,8 @@ fn corrupted_run_is_quarantined_and_salvageable_and_the_rest_mines() {
             .arg(&store)
             .arg("--quarantine")
             .arg("--json"),
-    );
+    )
+    .0;
     let doc: serde::Value = serde_json::from_str(&mined).unwrap();
     let outcomes = doc.get("outcomes").unwrap().as_seq().unwrap();
     assert_eq!(outcomes.len(), 2, "healthy runs still mine");
@@ -215,7 +184,7 @@ fn corrupted_run_is_quarantined_and_salvageable_and_the_rest_mines() {
     );
 
     // The quarantine is navigable from the CLI with recorded reasons.
-    let ls = run_ok(cli().arg("trace").arg("quarantine").arg("ls").arg(&store));
+    let ls = run_ok(cli().arg("trace").arg("quarantine").arg("ls").arg(&store)).0;
     assert!(ls.contains(&format!("seed-{:020}", 1001)), "ls: {ls}");
     assert!(
         ls.contains("truncated") || ls.contains("checksum"),

@@ -1,7 +1,9 @@
 //! End-to-end tests of the `sentomist` CLI binary: the assemble → run →
 //! mine → localize workflow through real process invocations.
 
-use std::process::Command;
+mod support;
+
+use support::{cli, workdir};
 
 const APP: &str = "\
 .handler TIMER0 on_timer
@@ -42,19 +44,9 @@ send:
  ret
 ";
 
-fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_sentomist"))
-}
-
-fn workdir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("sentomist-cli-test-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
 #[test]
 fn assemble_run_mine_localize_workflow() {
-    let dir = workdir();
+    let dir = workdir("cli-workflow");
     let app = dir.join("app.s");
     let trace = dir.join("app.trace.json");
     std::fs::write(&app, APP).unwrap();
@@ -162,7 +154,7 @@ fn bad_invocations_fail_cleanly() {
     assert!(!out.status.success());
 
     // Bad detector name.
-    let dir = workdir();
+    let dir = workdir("cli-bad-detector");
     let app = dir.join("mini.s");
     let trace = dir.join("mini.trace.json");
     std::fs::write(&app, APP).unwrap();
@@ -200,7 +192,7 @@ fn case_subcommand_reproduces_figure_5b() {
 
 #[test]
 fn assembly_error_reports_line() {
-    let dir = workdir();
+    let dir = workdir("cli-asm-error");
     let app = dir.join("broken.s");
     std::fs::write(&app, "main:\n frob r1\n").unwrap();
     let out = cli().arg("assemble").arg(&app).output().unwrap();

@@ -2,14 +2,13 @@
 //! inside a network, queue exhaustion, and truncation — every layer must
 //! fail loudly and precisely, never silently misanalyze.
 
+mod support;
+
 use sentomist::netsim::{LinkConfig, NetSim, SimError, Topology};
 use sentomist::tinyvm::{self, devices::NodeConfig, node::Node, LifecycleItem, TaskId, VmError};
-use sentomist::trace::{extract, ExtractError, Recorder, Trace, TraceEvent};
+use sentomist::trace::{extract, ExtractError, Recorder, Trace};
 use std::sync::Arc;
-
-fn ev(cycle: u64, item: LifecycleItem) -> TraceEvent {
-    TraceEvent { cycle, item }
-}
+use support::ev;
 
 #[test]
 fn fifo_violating_trace_is_rejected_not_misattributed() {

@@ -1,0 +1,224 @@
+//! Acceptance suite for the `hunt` subsystem: a pinned-seed bug-bounty
+//! campaign over the three case studies must (1) report at least one
+//! invariant violation per injected bug with a working repro line,
+//! (2) report zero violations over the repaired variants, (3) render
+//! `bug_report.json` byte-identically for every thread count, pinned by
+//! a golden fixture, and (4) replay every reported seed bit for bit.
+//! Scenario generation itself is property-tested for totality and
+//! determinism across calls and threads.
+
+mod support;
+
+use proptest::prelude::*;
+use sentomist::apps::{scenario, HuntCase, Variant};
+use serde::Value;
+use support::{cli, get_u64, run_ok, workdir};
+
+/// The fixture's campaign: seed 0xBEEF, 50 iterations, all buggy cases.
+const GOLDEN_ARGS: [&str; 6] = [
+    "hunt",
+    "--campaign-seed",
+    "48879",
+    "--iterations",
+    "50",
+    "--threads",
+];
+
+/// One pinned-seed hunt over the three buggy variants: every target
+/// reports at least one violation (the injected bug's detection), the
+/// rendered `bug_report.json` matches the golden fixture byte for byte,
+/// and re-running at a different thread count changes nothing.
+#[test]
+fn golden_hunt_matches_fixture_and_is_thread_invariant() {
+    let dir = workdir("hunt-golden");
+    let out1 = dir.join("t1");
+    let out4 = dir.join("t4");
+    run_ok(cli().args(GOLDEN_ARGS).args(["1", "--out"]).arg(&out1));
+    run_ok(cli().args(GOLDEN_ARGS).args(["4", "--out"]).arg(&out4));
+
+    let report1 = std::fs::read_to_string(out1.join("bug_report.json")).unwrap();
+    let report4 = std::fs::read_to_string(out4.join("bug_report.json")).unwrap();
+    assert_eq!(
+        report1, report4,
+        "bug_report.json diverged across thread counts"
+    );
+
+    let fixture = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/hunt_bug_report.json"
+    ))
+    .unwrap();
+    assert_eq!(
+        report1, fixture,
+        "bug_report.json drifted from tests/fixtures/hunt_bug_report.json — \
+         if the change is intentional, regenerate the fixture with \
+         `sentomist hunt --campaign-seed 48879 --iterations 50 --out <dir>`"
+    );
+
+    // Every injected bug was detected: each target carries at least one
+    // violation, and transient_symptom_free (the bug detector) fires.
+    let doc: Value = serde_json::from_str(&report1).unwrap();
+    let targets = doc.get("targets").unwrap().as_seq().unwrap();
+    assert_eq!(targets.len(), 3);
+    for target in targets {
+        let name = match target.get("target") {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("target name is {other:?}"),
+        };
+        let invariants = target.get("invariants").unwrap().as_seq().unwrap();
+        let symptom_violations = invariants
+            .iter()
+            .find(|s| matches!(s.get("invariant"), Some(Value::Str(n)) if n == "transient_symptom_free"))
+            .map(|s| get_u64(s, "violations"))
+            .unwrap();
+        assert!(
+            symptom_violations > 0,
+            "{name}: injected bug never detected"
+        );
+    }
+    // And the markdown artifact carries copy-pasteable repro lines.
+    let md = std::fs::read_to_string(out1.join("BUG_REPORT.md")).unwrap();
+    assert!(
+        md.contains("sentomist hunt --case 1 --replay --seed "),
+        "{md}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every seed the golden report blames must replay its violation byte-
+/// identically: two `--replay --json` invocations print the same bytes,
+/// and the replayed record equals the record inside `bug_report.json`.
+#[test]
+fn reported_seeds_replay_their_violations_byte_identically() {
+    let fixture = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/hunt_bug_report.json"
+    ))
+    .unwrap();
+    let doc: Value = serde_json::from_str(&fixture).unwrap();
+    for target in doc.get("targets").unwrap().as_seq().unwrap() {
+        let case = match target.get("target") {
+            Some(Value::Str(s)) if s == "oscilloscope" => "1",
+            Some(Value::Str(s)) if s == "forwarder" => "2",
+            Some(Value::Str(s)) if s == "ctp" => "3",
+            other => panic!("unknown target {other:?}"),
+        };
+        // First violating record of the target (records are seed-sorted).
+        let record = target
+            .get("records")
+            .unwrap()
+            .as_seq()
+            .unwrap()
+            .iter()
+            .find(|r| !r.get("violations").unwrap().as_seq().unwrap().is_empty())
+            .expect("target has no violating record");
+        let seed = get_u64(record, "seed").to_string();
+        let args = [
+            "hunt", "--case", case, "--replay", "--seed", &seed, "--json",
+        ];
+        let (a, _) = run_ok(cli().args(args));
+        let (b, _) = run_ok(cli().args(args));
+        assert_eq!(a, b, "case {case} seed {seed}: replay diverged");
+        let replayed: Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(
+            &replayed, record,
+            "case {case} seed {seed}: replay does not reproduce the report's record"
+        );
+    }
+}
+
+/// The repaired variants are the hunt's null hypothesis: a pinned-seed
+/// fixed-variant hunt reports zero violations, so `--strict` exits 0 —
+/// while the same seeds on the buggy variants exit nonzero.
+#[test]
+fn fixed_variants_report_zero_violations_and_strict_exit_codes_hold() {
+    let dir = workdir("hunt-strict");
+    let (stdout, _) = run_ok(
+        cli()
+            .args(["hunt", "--fixed", "--iterations", "8", "--strict", "--out"])
+            .arg(dir.join("fixed")),
+    );
+    assert!(stdout.contains("0 invariant violation(s)"), "{stdout}");
+    let report = std::fs::read_to_string(dir.join("fixed").join("bug_report.json")).unwrap();
+    let doc: Value = serde_json::from_str(&report).unwrap();
+    for target in doc.get("targets").unwrap().as_seq().unwrap() {
+        for record in target.get("records").unwrap().as_seq().unwrap() {
+            let violations = record.get("violations").unwrap().as_seq().unwrap();
+            assert!(
+                violations.is_empty(),
+                "fixed variant violated an invariant: {violations:?}"
+            );
+        }
+    }
+
+    // The same seeds on a buggy variant find the bug; --strict says no.
+    let out = cli()
+        .args([
+            "hunt",
+            "--case",
+            "2",
+            "--iterations",
+            "5",
+            "--strict",
+            "--out",
+        ])
+        .arg(dir.join("buggy"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--strict ignored violations");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--strict"), "stderr: {err}");
+    // Without --strict the identical hunt exits 0: violations are the
+    // report's payload, not an error.
+    run_ok(
+        cli()
+            .args(["hunt", "--case", "2", "--iterations", "5", "--out"])
+            .arg(dir.join("lenient")),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bad invocations exit nonzero with a usable message.
+#[test]
+fn hunt_rejects_malformed_invocations() {
+    for args in [
+        &["hunt", "--case", "9"][..],
+        &["hunt", "--replay", "--case", "1"][..], // no --seed
+        &["hunt", "--replay", "--seed", "5"][..], // no single --case
+        &["hunt", "--iterations", "many"][..],
+    ] {
+        let out = cli().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scenario generation is total and deterministic: for arbitrary
+    /// (campaign_seed, iteration) — including overflow-wrapping sums —
+    /// the scenario exists (no panic), is identical across calls and
+    /// across threads, and the buggy/fixed variants of one seed share
+    /// the exact same workload.
+    #[test]
+    fn scenario_generation_is_total_and_thread_deterministic(
+        campaign_seed in any::<u64>(),
+        iteration in any::<u64>(),
+        case_raw in 0u8..3,
+    ) {
+        let case = HuntCase::ALL[case_raw as usize];
+        let seed = campaign_seed.wrapping_add(iteration);
+        let here = scenario(case, Variant::Buggy, seed);
+        prop_assert_eq!(here, scenario(case, Variant::Buggy, seed));
+        let there = std::thread::spawn(move || scenario(case, Variant::Buggy, seed))
+            .join()
+            .expect("scenario generation panicked on a worker thread");
+        prop_assert_eq!(here, there);
+        let fixed = scenario(case, Variant::Fixed, seed);
+        prop_assert_eq!(
+            (here.node_seed, here.run_seconds, here.nu, here.params),
+            (fixed.node_seed, fixed.run_seconds, fixed.nu, fixed.params),
+            "variant changed the workload at seed {}", seed
+        );
+    }
+}

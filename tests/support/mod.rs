@@ -1,0 +1,61 @@
+//! Shared helpers for the integration-test suites: spawning the real
+//! `sentomist` binary, per-test scratch directories, and small fixture
+//! constructors. Each test binary pulls in its own subset, hence the
+//! blanket `dead_code` allowance.
+#![allow(dead_code)]
+
+use sentomist::core::campaign::{RunOutcome, Verdict};
+use sentomist::tinyvm::LifecycleItem;
+use sentomist::trace::TraceEvent;
+use serde::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A command running the compiled `sentomist` CLI binary.
+pub fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sentomist"))
+}
+
+/// A fresh per-test scratch directory. The tag must be unique within a
+/// test binary — the directory is wiped before use.
+pub fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentomist-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the command, asserts exit 0, and returns (stdout, stderr).
+pub fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "command failed:\n{stderr}\n{stdout}");
+    (stdout, stderr)
+}
+
+/// A minimal clean campaign outcome for supervisor-level tests.
+pub fn ok_outcome(seed: u64) -> RunOutcome {
+    RunOutcome {
+        seed,
+        samples: 3,
+        symptoms: 0,
+        buggy_ranks: vec![],
+        verdict: Verdict::Clean,
+        trace_digest: format!("{seed:016x}"),
+        wall_time_ms: 0,
+    }
+}
+
+/// Shorthand for one lifecycle trace event.
+pub fn ev(cycle: u64, item: LifecycleItem) -> TraceEvent {
+    TraceEvent { cycle, item }
+}
+
+/// Extracts an unsigned integer field from a parsed JSON value.
+pub fn get_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::U64(n)) => *n,
+        other => panic!("field {key} is {other:?}, expected an unsigned integer"),
+    }
+}

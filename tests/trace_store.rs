@@ -5,38 +5,10 @@
 //! byte-identical to the live campaign's. Corrupting the corpus must
 //! produce clean nonzero exits, never a panic.
 
+mod support;
+
 use serde::Value;
-use std::path::PathBuf;
-use std::process::Command;
-
-fn get_u64(v: &Value, key: &str) -> u64 {
-    match v.get(key) {
-        Some(Value::U64(n)) => *n,
-        other => panic!("field {key} is {other:?}, expected an unsigned integer"),
-    }
-}
-
-fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_sentomist"))
-}
-
-fn workdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "sentomist-trace-store-test-{}-{tag}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-fn run_ok(cmd: &mut Command) -> (String, String) {
-    let out = cmd.output().unwrap();
-    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
-    assert!(out.status.success(), "command failed:\n{stderr}\n{stdout}");
-    (stdout, stderr)
-}
+use support::{cli, get_u64, run_ok, workdir};
 
 #[test]
 fn campaign_store_then_remine_is_byte_identical() {
