@@ -25,6 +25,10 @@
 
 use crate::campaign::RunOutcome;
 use crate::supervise::{splitmix64, RunContext, RunFailure};
+use sentomist_trace::Trace;
+use sentomist_tracestore::{
+    CorpusIndex, IoFault, IoShim, RecoveryReport, StoreError, SyncPolicy, TraceStore, WriteClass,
+};
 use std::path::Path;
 use std::time::Duration;
 
@@ -163,6 +167,220 @@ pub fn truncate_file(path: &Path, chaos_seed: u64) -> std::io::Result<u64> {
     Ok(keep.max(1).min(bytes.len() - 1) as u64)
 }
 
+// ---------------------------------------------------------------------
+// Crash-point harness
+// ---------------------------------------------------------------------
+
+/// A site in the trace store's write protocol where the crash harness
+/// kills the process — via an injected [`IoFault`] at a seed-derived
+/// byte offset of that site's [`WriteClass`], never an actual abort, so
+/// the "crash" is deterministic and the test keeps running to verify
+/// recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Mid manifest commit (WAL/temp/rename/dir-fsync window).
+    ManifestCommit,
+    /// Mid shard ingestion (a `.stc` data write tears).
+    ShardIngest,
+    /// Mid index merge (the `index.json` publication tears).
+    IndexMerge,
+}
+
+impl CrashSite {
+    /// Every site, in matrix order.
+    pub const ALL: [CrashSite; 3] = [
+        CrashSite::ManifestCommit,
+        CrashSite::ShardIngest,
+        CrashSite::IndexMerge,
+    ];
+
+    /// The byte stream this site tears.
+    pub fn write_class(self) -> WriteClass {
+        match self {
+            CrashSite::ManifestCommit => WriteClass::Manifest,
+            CrashSite::ShardIngest => WriteClass::Data,
+            CrashSite::IndexMerge => WriteClass::Index,
+        }
+    }
+
+    /// Stable lower-case name (CLI flag value, report label).
+    pub fn slug(self) -> &'static str {
+        match self {
+            CrashSite::ManifestCommit => "manifest-commit",
+            CrashSite::ShardIngest => "shard-ingest",
+            CrashSite::IndexMerge => "index-merge",
+        }
+    }
+
+    /// Parses a [`CrashSite::slug`].
+    pub fn from_slug(slug: &str) -> Option<CrashSite> {
+        CrashSite::ALL.into_iter().find(|s| s.slug() == slug)
+    }
+}
+
+/// The result of one [`crash_then_recover`] experiment.
+#[derive(Debug, Clone)]
+pub struct CrashOutcome {
+    /// Where the crash was injected.
+    pub site: CrashSite,
+    /// The seed the crash offset derived from.
+    pub crash_seed: u64,
+    /// The byte offset (within the site's write class) that tore.
+    pub offset: u64,
+    /// Total bytes the uninterrupted workload writes in that class
+    /// (the probe measurement the offset was drawn from).
+    pub class_bytes: u64,
+    /// What recovery found and repaired.
+    pub report: RecoveryReport,
+    /// Re-mine digest of the uninterrupted baseline corpus.
+    pub baseline_digest: u64,
+    /// Re-mine digest after crash → recover → re-ingest. The harness's
+    /// invariant is `recovered_digest == baseline_digest`.
+    pub recovered_digest: u64,
+}
+
+impl CrashOutcome {
+    /// `true` when recovery restored the exact baseline corpus.
+    pub fn digests_match(&self) -> bool {
+        self.recovered_digest == self.baseline_digest
+    }
+}
+
+/// Re-mines a store end to end — every run across the merged shard
+/// view, decoded through the zero-copy path and digest-verified — and
+/// folds `(seed, trace digests)` into one corpus digest. This is the
+/// identity [`crash_then_recover`] compares between an uninterrupted
+/// corpus and a recovered one.
+///
+/// # Errors
+///
+/// Any store listing or decode failure.
+pub fn remine_digest(store: &TraceStore) -> Result<u64, StoreError> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |word: u64| {
+        for &b in &word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for run_id in store.run_ids()? {
+        let manifest = store.manifest(&run_id)?;
+        let traces = store.load_traces(&manifest)?;
+        fold(manifest.seed);
+        for trace in &traces {
+            fold(trace.digest());
+        }
+    }
+    Ok(h)
+}
+
+/// A deterministic multi-writer ingestion workload for the crash
+/// matrix: fans `seeds` across `writers` shard writers round-robin
+/// (`writers == 0` ingests into the primary `runs/` tree), synthesizes
+/// each run's trace with `trace_fn`, and finishes with a
+/// [`CorpusIndex::merge`]. Idempotent: re-running it over a recovered
+/// store overwrites runs with identical bytes and republishes the
+/// index.
+pub fn ingest_workload<F>(
+    seeds: Vec<u64>,
+    writers: usize,
+    trace_fn: F,
+) -> impl Fn(&TraceStore) -> Result<(), StoreError>
+where
+    F: Fn(u64) -> Trace,
+{
+    move |store| {
+        let shards: Vec<TraceStore> = (0..writers)
+            .map(|w| store.shard(&format!("writer-{w:02}")))
+            .collect::<Result<_, _>>()?;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let target = if shards.is_empty() {
+                store
+            } else {
+                &shards[i % shards.len()]
+            };
+            target.save_run(seed, "crash-matrix", 0, &[trace_fn(seed)])?;
+        }
+        CorpusIndex::merge(store)?;
+        Ok(())
+    }
+}
+
+/// Runs the full crash-point experiment for one `(site, crash_seed)`
+/// cell of the matrix, under `root` (a scratch directory):
+///
+/// 1. **Baseline** — run `workload` uninterrupted in `root/baseline`,
+///    re-mine it for the reference digest.
+/// 2. **Probe** — run it again in `root/probe` on a counting shim to
+///    learn how many bytes the site's write class receives; the crash
+///    offset is `splitmix64(crash_seed ⊕ site) % class_bytes`, so every
+///    seed kills at a different point of the protocol.
+/// 3. **Crash** — run it in `root/crashed` with an [`IoFault`] armed at
+///    that offset. The write crossing the offset tears mid-file and
+///    every later I/O fails, exactly like a killed process.
+/// 4. **Recover** — reopen `root/crashed` with a fresh shim, run
+///    [`TraceStore::recover`], re-run the workload (quarantined seeds
+///    get re-ingested by idempotence), and re-mine.
+///
+/// The invariant under test: the recovered re-mine digest equals the
+/// uninterrupted baseline digest, for **every** seeded crash point.
+///
+/// # Errors
+///
+/// Infrastructure failures (store creation, baseline/probe runs,
+/// recovery). The injected crash itself is expected and not an error.
+pub fn crash_then_recover<W>(
+    root: &Path,
+    site: CrashSite,
+    crash_seed: u64,
+    workload: W,
+) -> Result<CrashOutcome, StoreError>
+where
+    W: Fn(&TraceStore) -> Result<(), StoreError>,
+{
+    let class = site.write_class();
+
+    // 1. Uninterrupted baseline.
+    let baseline = TraceStore::create_with(root.join("baseline"), IoShim::new(SyncPolicy::Fast))?;
+    workload(&baseline)?;
+    let baseline_digest = remine_digest(&baseline)?;
+
+    // 2. Probe pass: how many bytes does this class receive?
+    let probe_shim = IoShim::new(SyncPolicy::Fast);
+    let probe = TraceStore::create_with(root.join("probe"), probe_shim.clone())?;
+    workload(&probe)?;
+    let class_bytes = probe_shim.bytes_written(class);
+    let offset = if class_bytes == 0 {
+        0
+    } else {
+        splitmix64(crash_seed ^ (site.slug().len() as u64) << 32 ^ 0xC4A5_11F0) % class_bytes
+    };
+
+    // 3. Crash run: the write crossing `offset` tears, then everything
+    // fails. The workload is expected to error out mid-flight.
+    let crash_root = root.join("crashed");
+    let fault = IoFault { class, offset };
+    let crash_shim = IoShim::with_fault(SyncPolicy::Fast, fault);
+    let crashed_store = TraceStore::create_with(&crash_root, crash_shim.clone())?;
+    let _expected_death = workload(&crashed_store);
+
+    // 4. Recover with a fresh process image (new shim, no fault), then
+    // re-ingest and re-mine.
+    let recovered = TraceStore::open_with(&crash_root, IoShim::new(SyncPolicy::Fast))?;
+    let report = recovered.recover()?;
+    workload(&recovered)?;
+    let recovered_digest = remine_digest(&recovered)?;
+
+    Ok(CrashOutcome {
+        site,
+        crash_seed,
+        offset,
+        class_bytes,
+        report,
+        baseline_digest,
+        recovered_digest,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +459,87 @@ mod tests {
             ));
         }
         assert!(job(&RunContext::new(seed, attempts + 1, None)).is_ok());
+    }
+
+    fn crash_trace(seed: u64) -> Trace {
+        use sentomist_trace::TraceEvent;
+        use tinyvm::LifecycleItem;
+        let base = seed % 50 + 1;
+        Trace {
+            events: vec![
+                TraceEvent {
+                    cycle: base,
+                    item: LifecycleItem::Int((seed % 3) as u8),
+                },
+                TraceEvent {
+                    cycle: base + 3,
+                    item: LifecycleItem::Reti,
+                },
+            ],
+            segments: vec![vec![1, 0], vec![0, (seed % 7) as u32 + 1], vec![2, 2]],
+            program_len: 2,
+        }
+    }
+
+    #[test]
+    fn crash_site_slugs_round_trip() {
+        for site in CrashSite::ALL {
+            assert_eq!(CrashSite::from_slug(site.slug()), Some(site));
+        }
+        assert_eq!(CrashSite::from_slug("nope"), None);
+    }
+
+    #[test]
+    fn crash_matrix_recovers_to_the_baseline_digest() {
+        let root =
+            std::env::temp_dir().join(format!("sentomist-crashmatrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        for site in CrashSite::ALL {
+            for k in 0..2u64 {
+                let cell = root.join(format!("{}-{k}", site.slug()));
+                let outcome = crash_then_recover(
+                    &cell,
+                    site,
+                    0xBEEF + k,
+                    ingest_workload((1..=6).collect(), 2, crash_trace),
+                )
+                .unwrap();
+                assert!(outcome.class_bytes > 0, "{site:?} wrote no bytes");
+                assert!(
+                    outcome.offset < outcome.class_bytes,
+                    "{site:?} offset out of range"
+                );
+                assert!(
+                    outcome.digests_match(),
+                    "{site:?} seed {k}: recovered {:016x} != baseline {:016x} ({:?})",
+                    outcome.recovered_digest,
+                    outcome.baseline_digest,
+                    outcome.report,
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_offsets_are_deterministic_per_seed() {
+        let root = std::env::temp_dir().join(format!("sentomist-crashdet-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let run = |dir: &str| {
+            crash_then_recover(
+                &root.join(dir),
+                CrashSite::ManifestCommit,
+                42,
+                ingest_workload(vec![3, 1, 2], 1, crash_trace),
+            )
+            .unwrap()
+        };
+        let a = run("a");
+        let b = run("b");
+        assert_eq!(a.offset, b.offset);
+        assert_eq!(a.class_bytes, b.class_bytes);
+        assert_eq!(a.recovered_digest, b.recovered_digest);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! The merged, generation-stamped corpus index.
+//!
+//! A multi-writer campaign leaves runs in per-shard directories
+//! (`shards/<writer-id>/runs/`). The index is the single document that
+//! unifies them: one entry per run across the whole store, sorted by
+//! run id, with **no physical location recorded** — entries carry only
+//! logical identity (seed, mode, digests), so the index built from N
+//! interleaved shard writers is byte-identical to the one built after a
+//! sequential ingestion, and survives `trace merge` compaction
+//! unchanged. Physical location is resolved at read time by
+//! [`TraceStore::locate_run`] (primary `runs/` wins, then shards in
+//! sorted order).
+//!
+//! Each [`CorpusIndex::merge`] pass bumps the generation counter and
+//! republishes `index.json` atomically (WAL-bracketed temp-then-rename,
+//! like every other manifest).
+
+use crate::error::StoreError;
+use crate::store::{TraceStore, MANIFEST_VERSION};
+use crate::sync::WriteClass;
+use crate::wal::WalRecord;
+use serde::{Deserialize, Serialize};
+
+/// File name of the merged corpus index at the store root.
+pub const INDEX_FILE: &str = "index.json";
+
+/// One run's entry in the merged index — logical identity only, no
+/// shard path, so merged and sequential ingestion index identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Run directory name (`seed-<20 digits>`).
+    pub run_id: String,
+    /// The seed the run was produced under.
+    pub seed: u64,
+    /// Producer mode.
+    pub mode: String,
+    /// Program digest, 16 hex digits.
+    pub program_digest: String,
+    /// Per-node trace digests, in node order.
+    pub trace_digests: Vec<String>,
+}
+
+/// The merged corpus index: every run across `runs/` and all shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusIndex {
+    /// Manifest schema version (shared with run manifests).
+    pub format_version: u32,
+    /// Merge generation: 1 for the first merge, +1 each republication.
+    pub generation: u64,
+    /// One entry per run, ascending by run id.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl CorpusIndex {
+    /// Loads the published index, or `None` when no merge has run yet.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Manifest`] when present but unparsable (fsck
+    /// treats that as a stale index, not fatal corruption).
+    pub fn load(store: &TraceStore) -> Result<Option<CorpusIndex>, StoreError> {
+        let path = store.root().join(INDEX_FILE);
+        let data = match std::fs::read_to_string(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(format!("reading {}", path.display()), e)),
+        };
+        serde_json::from_str(&data)
+            .map(Some)
+            .map_err(|e| StoreError::Manifest {
+                path,
+                message: format!("parsing corpus index: {e}"),
+            })
+    }
+
+    /// Builds the index over the store's merged run view (primary
+    /// `runs/` plus every shard), stamps the next generation, and
+    /// publishes it atomically. Returns the published index.
+    ///
+    /// Runs whose manifest cannot be read are skipped — merging must
+    /// work on a store that still has crash damage; `fsck` is the pass
+    /// that deals with the damage itself.
+    ///
+    /// # Errors
+    ///
+    /// Listing or publication failures.
+    pub fn merge(store: &TraceStore) -> Result<CorpusIndex, StoreError> {
+        let generation = match CorpusIndex::load(store) {
+            Ok(Some(prev)) => prev.generation + 1,
+            // First merge, or an unreadable previous index: restart the
+            // counter rather than fail the merge.
+            _ => 1,
+        };
+        let mut entries = Vec::new();
+        for run_id in store.run_ids()? {
+            let Ok(manifest) = store.manifest(&run_id) else {
+                continue;
+            };
+            entries.push(IndexEntry {
+                run_id: manifest.run_id,
+                seed: manifest.seed,
+                mode: manifest.mode,
+                program_digest: manifest.program_digest,
+                trace_digests: manifest
+                    .nodes
+                    .iter()
+                    .map(|n| n.trace_digest.clone())
+                    .collect(),
+            });
+        }
+        entries.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+        let index = CorpusIndex {
+            format_version: MANIFEST_VERSION,
+            generation,
+            entries,
+        };
+        let json = serde_json::to_string_pretty(&index).map_err(|e| StoreError::Manifest {
+            path: store.root().join(INDEX_FILE),
+            message: format!("serializing corpus index: {e}"),
+        })?;
+        store.publish(INDEX_FILE, json.as_bytes(), WriteClass::Index)?;
+        Ok(index)
+    }
+
+    /// Canonical byte serialization of the index **content** (entries
+    /// only, not the generation stamp) — the thing the interleaving
+    /// proptest compares byte for byte between merged and sequential
+    /// ingestion.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failure (practically unreachable).
+    pub fn content_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        serde_json::to_string_pretty(&self.entries)
+            .map(String::into_bytes)
+            .map_err(|e| StoreError::Manifest {
+                path: INDEX_FILE.into(),
+                message: format!("serializing index entries: {e}"),
+            })
+    }
+
+    /// FNV-1a digest over every entry's `(seed, trace digests)`, in
+    /// index order — the corpus identity the crash harness compares
+    /// between an uninterrupted run and a recover-then-re-ingest run.
+    pub fn corpus_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for entry in &self.entries {
+            fold(&entry.seed.to_le_bytes());
+            fold(entry.program_digest.as_bytes());
+            for digest in &entry.trace_digests {
+                fold(digest.as_bytes());
+            }
+        }
+        h
+    }
+}
+
+impl TraceStore {
+    /// Atomically publishes `bytes` at the store-relative path `rel`:
+    /// WAL `begin` → temp write + fsync → rename → directory fsync →
+    /// WAL `commit`. A crash at any point leaves the target whole (old
+    /// or new) and the damage sweepable by [`TraceStore::fsck`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] (including injected crashes).
+    pub fn publish(&self, rel: &str, bytes: &[u8], class: WriteClass) -> Result<(), StoreError> {
+        let target = self.root().join(rel);
+        let tmp = self.root().join(format!("{rel}{}", crate::wal::TMP_SUFFIX));
+        self.append_wal(&WalRecord::begin(rel))?;
+        self.shim().write_file(&tmp, bytes, class)?;
+        self.shim().rename(&tmp, &target, class)?;
+        if let Some(parent) = target.parent() {
+            self.shim().sync_dir(parent)?;
+        }
+        self.append_wal(&WalRecord::commit(rel))
+    }
+
+    /// Compacts every shard into the primary `runs/` directory and
+    /// republishes the index. Shard runs are moved by rename; a run id
+    /// already present in `runs/` wins (matching read-time resolution)
+    /// and the shard duplicate is dropped. Emptied shard directories
+    /// are removed. Returns the ids of runs that were moved.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any move, plus merge publication failures.
+    pub fn compact_shards(&self) -> Result<Vec<String>, StoreError> {
+        let mut moved = Vec::new();
+        for shard in self.shard_ids()? {
+            let shard_runs = self.shard_dir(&shard).join("runs");
+            let entries = match std::fs::read_dir(&shard_runs) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    return Err(StoreError::io(
+                        format!("listing {}", shard_runs.display()),
+                        e,
+                    ))
+                }
+            };
+            for entry in entries {
+                let entry = entry
+                    .map_err(|e| StoreError::io(format!("listing {}", shard_runs.display()), e))?;
+                if !entry.path().is_dir() {
+                    continue;
+                }
+                let run_id = entry.file_name().to_string_lossy().into_owned();
+                let dst = self.run_dir(&run_id);
+                if dst.exists() {
+                    // Primary wins; the shard copy is redundant.
+                    std::fs::remove_dir_all(entry.path())
+                        .map_err(|e| StoreError::io(format!("dropping duplicate {}", run_id), e))?;
+                    continue;
+                }
+                std::fs::rename(entry.path(), &dst).map_err(|e| {
+                    StoreError::io(
+                        format!("moving {} into {}", entry.path().display(), dst.display()),
+                        e,
+                    )
+                })?;
+                moved.push(run_id);
+            }
+            // Every run the shard published has moved (or was dropped as
+            // a duplicate), so its WAL is settled; remove it, then the
+            // emptied skeleton. A non-empty leftover (foreign files) is
+            // left in place rather than destroyed.
+            self.shard(&shard)?.clear_wal()?;
+            let _ = std::fs::remove_dir(&shard_runs);
+            let _ = std::fs::remove_dir(self.shard_dir(&shard));
+        }
+        let _ = std::fs::remove_dir(self.root().join("shards"));
+        self.shim().sync_dir(&self.root().join("runs"))?;
+        CorpusIndex::merge(self)?;
+        moved.sort_unstable();
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentomist_trace::{Trace, TraceEvent};
+    use std::path::PathBuf;
+    use tinyvm::LifecycleItem;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sentomist-index-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trace_with(cycles: u64) -> Trace {
+        Trace {
+            events: vec![TraceEvent {
+                cycle: cycles,
+                item: LifecycleItem::Int(1),
+            }],
+            segments: vec![vec![1, 0], vec![0, 4]],
+            program_len: 2,
+        }
+    }
+
+    #[test]
+    fn merge_indexes_primary_and_shards_sorted() {
+        let root = tmpdir("merge");
+        let store = TraceStore::create(&root).unwrap();
+        store.save_run(5, "test", 0xa, &[trace_with(1)]).unwrap();
+        let w0 = store.shard("writer-00").unwrap();
+        let w1 = store.shard("writer-01").unwrap();
+        w1.save_run(2, "test", 0xa, &[trace_with(2)]).unwrap();
+        w0.save_run(9, "test", 0xa, &[trace_with(3)]).unwrap();
+        let index = CorpusIndex::merge(&store).unwrap();
+        assert_eq!(index.generation, 1);
+        let seeds: Vec<u64> = index.entries.iter().map(|e| e.seed).collect();
+        assert_eq!(seeds, vec![2, 5, 9]);
+        // Reload round-trips; next merge bumps the generation.
+        assert_eq!(CorpusIndex::load(&store).unwrap().unwrap(), index);
+        assert_eq!(CorpusIndex::merge(&store).unwrap().generation, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn merged_index_is_location_independent() {
+        // Same runs via shards vs sequentially: identical content bytes.
+        let root_a = tmpdir("loc-a");
+        let a = TraceStore::create(&root_a).unwrap();
+        a.shard("w0")
+            .unwrap()
+            .save_run(1, "t", 0, &[trace_with(1)])
+            .unwrap();
+        a.shard("w1")
+            .unwrap()
+            .save_run(2, "t", 0, &[trace_with(2)])
+            .unwrap();
+        let root_b = tmpdir("loc-b");
+        let b = TraceStore::create(&root_b).unwrap();
+        b.save_run(1, "t", 0, &[trace_with(1)]).unwrap();
+        b.save_run(2, "t", 0, &[trace_with(2)]).unwrap();
+        let ia = CorpusIndex::merge(&a).unwrap();
+        let ib = CorpusIndex::merge(&b).unwrap();
+        assert_eq!(ia.content_bytes().unwrap(), ib.content_bytes().unwrap());
+        assert_eq!(ia.corpus_digest(), ib.corpus_digest());
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
+    }
+
+    #[test]
+    fn compaction_moves_shard_runs_and_preserves_the_index_content() {
+        let root = tmpdir("compact");
+        let store = TraceStore::create(&root).unwrap();
+        store.save_run(1, "t", 0, &[trace_with(1)]).unwrap();
+        let shard = store.shard("w0").unwrap();
+        shard.save_run(2, "t", 0, &[trace_with(2)]).unwrap();
+        // Duplicate in both places: primary wins.
+        shard.save_run(1, "t", 0, &[trace_with(1)]).unwrap();
+        let before = CorpusIndex::merge(&store).unwrap();
+        let moved = store.compact_shards().unwrap();
+        assert_eq!(moved, vec![crate::store::run_id_for_seed(2)]);
+        assert!(!root.join("shards").exists());
+        let after = CorpusIndex::load(&store).unwrap().unwrap();
+        assert_eq!(
+            before.content_bytes().unwrap(),
+            after.content_bytes().unwrap()
+        );
+        assert_eq!(after.generation, before.generation + 1);
+        // Everything now loads from primary runs/.
+        assert_eq!(store.manifests().unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

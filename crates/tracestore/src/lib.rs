@@ -47,17 +47,25 @@
 
 pub mod error;
 pub mod format;
+pub mod index;
 pub mod reader;
 pub mod store;
+pub mod sync;
+pub mod view;
+pub mod wal;
 pub mod writer;
 
 pub use error::StoreError;
 pub use format::{Record, FORMAT_VERSION};
+pub use index::{CorpusIndex, IndexEntry, INDEX_FILE};
 pub use reader::{read_trace, read_trace_file, salvage_trace_file, Salvage, TraceReader};
 pub use store::{
     run_id_for_seed, seed_for_run_id, CampaignManifest, NodeTraceMeta, QuarantineNote, RunManifest,
     StoredRunError, TraceStore, JOURNAL_FILE, MANIFEST_VERSION,
 };
+pub use sync::{IoFault, IoShim, SyncPolicy, WriteClass};
+pub use view::{read_trace_image, ChunkRef, TraceImage, TraceView};
+pub use wal::{RecoveryReport, WalRecord, TMP_SUFFIX, WAL_FILE};
 pub use writer::{write_trace, write_trace_file, StoreStats, TraceWriter};
 
 // Re-exported so doctests and downstream callers can name the trace type

@@ -2,30 +2,48 @@
 //! JSON manifest plus one `.stc` trace file per node.
 //!
 //! ```text
-//! <store>/
+//! <store>/                     (layout v2)
 //!   campaign.json              (optional: how the corpus was produced)
+//!   index.json                 (optional: merged, generation-stamped index)
+//!   wal.jsonl                  (write-ahead log of in-flight publications)
 //!   runs/
 //!     seed-00000000000000001000/
 //!       manifest.json
 //!       node-000.stc
 //!       node-001.stc
+//!   shards/                    (optional: per-writer sub-stores)
+//!     writer-00/
+//!       runs/seed-.../...
 //! ```
 //!
 //! Run directories are named `seed-<20-digit decimal>`, so lexicographic
-//! order equals numeric seed order and `ls` output is stable.
+//! order equals numeric seed order and `ls` output is stable. Reads see
+//! the **merged** view: [`TraceStore::run_ids`] unions primary `runs/`
+//! with every shard, and [`TraceStore::locate_run`] resolves a run id to
+//! its physical directory (primary wins, then shards in sorted order).
+//! Manifests and the index are published crash-atomically — WAL `begin`,
+//! temp-file write + fsync, rename, directory fsync, WAL `commit` — so a
+//! killed writer never leaves a torn manifest, only sweepable `.tmp`
+//! files (see [`TraceStore::fsck`]). v1 stores (no shards, no WAL, no
+//! index, manifests written in place) read back unchanged.
 
 use crate::error::StoreError;
-use crate::reader::{read_trace_file, TraceReader};
-use crate::writer::{write_trace_file, StoreStats};
+use crate::reader::TraceReader;
+use crate::sync::{IoShim, SyncPolicy, WriteClass};
+use crate::view::read_trace_image;
+use crate::writer::{write_trace, StoreStats};
 use sentomist_trace::Trace;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
 /// Version of the manifest schema (independent of the `.stc` byte
-/// format's [`crate::format::FORMAT_VERSION`]).
-pub const MANIFEST_VERSION: u32 = 1;
+/// format's [`crate::format::FORMAT_VERSION`]). v2 introduced the
+/// crash-atomic commit protocol, shards and the merged index; v1
+/// manifests are still read.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Per-node entry of a [`RunManifest`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,29 +157,50 @@ pub struct QuarantineNote {
 #[derive(Debug, Clone)]
 pub struct TraceStore {
     root: PathBuf,
+    shim: IoShim,
 }
 
 impl TraceStore {
-    /// Creates the store directory (and `runs/`) if needed and opens it.
+    /// Creates the store directory (and `runs/`) if needed and opens it,
+    /// with the default durable [`IoShim`].
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] when the directory cannot be created — e.g. an
     /// unwritable `--store` location; the message names the path.
     pub fn create(root: impl Into<PathBuf>) -> Result<TraceStore, StoreError> {
+        TraceStore::create_with(root, IoShim::default())
+    }
+
+    /// [`TraceStore::create`] with an explicit [`IoShim`] — how the
+    /// chaos harness injects crash faults and benches drop fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::create`].
+    pub fn create_with(root: impl Into<PathBuf>, shim: IoShim) -> Result<TraceStore, StoreError> {
         let root = root.into();
         std::fs::create_dir_all(root.join("runs")).map_err(|e| {
             StoreError::io(format!("creating trace store at {}", root.display()), e)
         })?;
-        Ok(TraceStore { root })
+        Ok(TraceStore { root, shim })
     }
 
-    /// Opens an existing store.
+    /// Opens an existing store with the default durable [`IoShim`].
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] when `root` is not an existing directory.
     pub fn open(root: impl Into<PathBuf>) -> Result<TraceStore, StoreError> {
+        TraceStore::open_with(root, IoShim::default())
+    }
+
+    /// [`TraceStore::open`] with an explicit [`IoShim`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::open`].
+    pub fn open_with(root: impl Into<PathBuf>, shim: IoShim) -> Result<TraceStore, StoreError> {
         let root = root.into();
         if !root.join("runs").is_dir() {
             return Err(StoreError::io(
@@ -172,7 +211,7 @@ impl TraceStore {
                 std::io::Error::new(std::io::ErrorKind::NotFound, "no such store"),
             ));
         }
-        Ok(TraceStore { root })
+        Ok(TraceStore { root, shim })
     }
 
     /// The store's root directory.
@@ -180,9 +219,94 @@ impl TraceStore {
         &self.root
     }
 
-    /// Directory of a run.
+    /// The store's I/O shim (shared with every shard sub-store).
+    pub fn shim(&self) -> &IoShim {
+        &self.shim
+    }
+
+    /// The shim's durability policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.shim.policy()
+    }
+
+    /// Directory of a run in the **primary** `runs/` tree (where new
+    /// runs of this store handle are written). For reading, prefer
+    /// [`TraceStore::locate_run`], which also finds shard runs.
     pub fn run_dir(&self, run_id: &str) -> PathBuf {
         self.root.join("runs").join(run_id)
+    }
+
+    /// Directory of a shard sub-store.
+    pub fn shard_dir(&self, shard_id: &str) -> PathBuf {
+        self.root.join("shards").join(shard_id)
+    }
+
+    /// Opens (creating if needed) the per-writer shard sub-store
+    /// `shards/<shard_id>/`. The shard is a full [`TraceStore`] rooted
+    /// in its own directory — writers ingest runs into it without ever
+    /// contending on the parent's manifests — and it **shares the
+    /// parent's [`IoShim`]**, so one simulated process death tears all
+    /// writers at the same instant.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`]; ids containing path separators are rejected.
+    pub fn shard(&self, shard_id: &str) -> Result<TraceStore, StoreError> {
+        if shard_id.is_empty() || shard_id.contains('/') || shard_id.contains('\\') {
+            return Err(StoreError::io(
+                format!("opening shard {shard_id:?}"),
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "shard ids must be plain directory names",
+                ),
+            ));
+        }
+        TraceStore::create_with(self.shard_dir(shard_id), self.shim.clone())
+    }
+
+    /// Ids of existing shards, sorted (empty when the store has none).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when `shards/` exists but cannot be listed.
+    pub fn shard_ids(&self) -> Result<Vec<String>, StoreError> {
+        let dir = self.root.join("shards");
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::io(format!("listing {}", dir.display()), e)),
+        };
+        let mut ids = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| StoreError::io(format!("listing {}", dir.display()), e))?;
+            if entry.path().is_dir() {
+                ids.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Resolves a run id to its physical directory across the merged
+    /// view: primary `runs/` wins, then shards in sorted id order.
+    /// `None` when no directory holds the run.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the shard listing fails.
+    pub fn locate_run(&self, run_id: &str) -> Result<Option<PathBuf>, StoreError> {
+        let primary = self.run_dir(run_id);
+        if primary.is_dir() {
+            return Ok(Some(primary));
+        }
+        for shard in self.shard_ids()? {
+            let dir = self.shard_dir(&shard).join("runs").join(run_id);
+            if dir.is_dir() {
+                return Ok(Some(dir));
+            }
+        }
+        Ok(None)
     }
 
     /// Persists one run: every trace as a `.stc` file plus the manifest.
@@ -205,7 +329,12 @@ impl TraceStore {
         let mut nodes = Vec::with_capacity(traces.len());
         for (i, trace) in traces.iter().enumerate() {
             let file = format!("node-{i:03}.stc");
-            let stats: StoreStats = write_trace_file(&dir.join(&file), trace)?;
+            // Encode in memory, then land the bytes through the shim so
+            // trace data participates in crash injection and fsync policy.
+            let mut bytes = Vec::new();
+            let stats: StoreStats = write_trace(&mut bytes, trace)?;
+            self.shim
+                .write_file(&dir.join(&file), &bytes, WriteClass::Data)?;
             nodes.push(NodeTraceMeta {
                 node: i as u16,
                 file,
@@ -227,51 +356,70 @@ impl TraceStore {
         Ok(manifest)
     }
 
-    /// Writes (or rewrites) a run's `manifest.json`. The run directory
-    /// must already exist — used by streaming producers that wrote their
-    /// `.stc` files directly.
+    /// Writes (or rewrites) a run's `manifest.json`, crash-atomically:
+    /// WAL `begin` → temp write + fsync → rename over the target →
+    /// directory fsync → WAL `commit`. The rename is atomic, so a crash
+    /// anywhere in the protocol leaves the manifest whole — either the
+    /// previous version or the new one, never a torn mix. The run
+    /// directory must already exist — used by streaming producers that
+    /// wrote their `.stc` files directly.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] / [`StoreError::Manifest`].
     pub fn write_manifest(&self, manifest: &RunManifest) -> Result<(), StoreError> {
-        let path = self.run_dir(&manifest.run_id).join("manifest.json");
+        let rel = format!("runs/{}/manifest.json", manifest.run_id);
         let json = serde_json::to_string_pretty(manifest).map_err(|e| StoreError::Manifest {
-            path: path.clone(),
+            path: self.root.join(&rel),
             message: format!("serializing manifest: {e}"),
         })?;
-        std::fs::write(&path, json)
-            .map_err(|e| StoreError::io(format!("writing manifest {}", path.display()), e))
+        self.publish(&rel, json.as_bytes(), WriteClass::Manifest)
     }
 
-    /// All run ids, sorted ascending (== ascending seed order).
+    /// All run ids across the merged view — primary `runs/` unioned
+    /// with every shard — sorted ascending (== ascending seed order).
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when `runs/` cannot be listed.
+    /// [`StoreError::Io`] when `runs/` or a shard cannot be listed.
     pub fn run_ids(&self) -> Result<Vec<String>, StoreError> {
-        let dir = self.root.join("runs");
-        let entries = std::fs::read_dir(&dir)
-            .map_err(|e| StoreError::io(format!("listing store runs in {}", dir.display()), e))?;
-        let mut ids = Vec::new();
-        for entry in entries {
-            let entry =
-                entry.map_err(|e| StoreError::io(format!("listing {}", dir.display()), e))?;
-            if entry.path().is_dir() {
-                ids.push(entry.file_name().to_string_lossy().into_owned());
+        let mut ids = BTreeSet::new();
+        let mut dirs = vec![self.root.join("runs")];
+        for shard in self.shard_ids()? {
+            dirs.push(self.shard_dir(&shard).join("runs"));
+        }
+        for dir in dirs {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(entries) => entries,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    return Err(StoreError::io(
+                        format!("listing store runs in {}", dir.display()),
+                        e,
+                    ))
+                }
+            };
+            for entry in entries {
+                let entry =
+                    entry.map_err(|e| StoreError::io(format!("listing {}", dir.display()), e))?;
+                if entry.path().is_dir() {
+                    ids.insert(entry.file_name().to_string_lossy().into_owned());
+                }
             }
         }
-        ids.sort_unstable();
-        Ok(ids)
+        Ok(ids.into_iter().collect())
     }
 
-    /// Loads one run's manifest.
+    /// Loads one run's manifest (resolving shard runs transparently).
     ///
     /// # Errors
     ///
     /// [`StoreError::Manifest`] when missing or unparsable.
     pub fn manifest(&self, run_id: &str) -> Result<RunManifest, StoreError> {
-        let path = self.run_dir(run_id).join("manifest.json");
+        let dir = self
+            .locate_run(run_id)?
+            .unwrap_or_else(|| self.run_dir(run_id));
+        let path = dir.join("manifest.json");
         let data = std::fs::read_to_string(&path).map_err(|e| StoreError::Manifest {
             path: path.clone(),
             message: format!("reading manifest: {e}"),
@@ -303,17 +451,21 @@ impl TraceStore {
     }
 
     /// Decodes every trace of a run, verifying each against its manifest
-    /// digest.
+    /// digest. Served by the zero-copy [`crate::TraceView`] path: one
+    /// whole-file read per node, records decoded from borrowed chunk
+    /// slices with no per-chunk copies.
     ///
     /// # Errors
     ///
     /// Decode errors, plus [`StoreError::DigestMismatch`] when a decoded
     /// trace does not hash to the digest its manifest recorded.
     pub fn load_traces(&self, manifest: &RunManifest) -> Result<Vec<Trace>, StoreError> {
-        let dir = self.run_dir(&manifest.run_id);
+        let dir = self
+            .locate_run(&manifest.run_id)?
+            .unwrap_or_else(|| self.run_dir(&manifest.run_id));
         let mut traces = Vec::with_capacity(manifest.nodes.len());
         for node in &manifest.nodes {
-            let trace = read_trace_file(&dir.join(&node.file))?;
+            let trace = read_trace_image(&dir.join(&node.file))?;
             let digest = format!("{:016x}", trace.digest());
             if digest != node.trace_digest {
                 return Err(StoreError::DigestMismatch {
@@ -343,22 +495,24 @@ impl TraceStore {
                 path: self.run_dir(&manifest.run_id).join("manifest.json"),
                 message: format!("run has no node {node}"),
             })?;
-        TraceReader::open(&self.run_dir(&manifest.run_id).join(&meta.file))
+        let dir = self
+            .locate_run(&manifest.run_id)?
+            .unwrap_or_else(|| self.run_dir(&manifest.run_id));
+        TraceReader::open(&dir.join(&meta.file))
     }
 
-    /// Persists the campaign manifest (`campaign.json`).
+    /// Persists the campaign manifest (`campaign.json`),
+    /// crash-atomically like [`TraceStore::write_manifest`].
     ///
     /// # Errors
     ///
     /// I/O or serialization failures.
     pub fn save_campaign(&self, manifest: &CampaignManifest) -> Result<(), StoreError> {
-        let path = self.root.join("campaign.json");
         let json = serde_json::to_string_pretty(manifest).map_err(|e| StoreError::Manifest {
-            path: path.clone(),
+            path: self.root.join("campaign.json"),
             message: format!("serializing campaign manifest: {e}"),
         })?;
-        std::fs::write(&path, json)
-            .map_err(|e| StoreError::io(format!("writing {}", path.display()), e))
+        self.publish("campaign.json", json.as_bytes(), WriteClass::Manifest)
     }
 
     /// Path of the campaign journal (which may not exist yet).
@@ -375,16 +529,10 @@ impl TraceStore {
     ///
     /// [`StoreError::Io`].
     pub fn append_journal(&self, line: &str) -> Result<(), StoreError> {
-        use std::io::Write;
-        let path = self.journal_path();
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| StoreError::io(format!("opening journal {}", path.display()), e))?;
-        file.write_all(line.as_bytes())
-            .and_then(|()| file.write_all(b"\n"))
-            .map_err(|e| StoreError::io(format!("appending to journal {}", path.display()), e))
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        self.shim
+            .append_file(&self.journal_path(), &bytes, WriteClass::Journal)
     }
 
     /// The journal's complete lines (empty when no journal exists). A
@@ -491,7 +639,9 @@ impl TraceStore {
     ///
     /// [`StoreError::Io`] when the move or the note write fails.
     pub fn quarantine_run(&self, run_id: &str, reason: &str) -> Result<PathBuf, StoreError> {
-        let src = self.run_dir(run_id);
+        let src = self
+            .locate_run(run_id)?
+            .unwrap_or_else(|| self.run_dir(run_id));
         let dir = self.quarantine_dir();
         std::fs::create_dir_all(&dir)
             .map_err(|e| StoreError::io(format!("creating {}", dir.display()), e))?;

@@ -1,0 +1,415 @@
+//! Durability discipline and deterministic crash injection for every
+//! byte the store writes.
+//!
+//! All store-mediated writes flow through one [`IoShim`]:
+//!
+//! * a [`SyncPolicy`] decides whether files (and their containing
+//!   directories, after a rename-publication) are fsynced — `Durable`
+//!   for real corpora, `Fast` for throwaway test stores and benches
+//!   where the codec, not the disk, is under measurement;
+//! * every write is tagged with a [`WriteClass`] and counted, so a
+//!   probe pass can learn exactly how many bytes a workload writes per
+//!   class;
+//! * an optional [`IoFault`] tears the write that crosses a
+//!   seed-derived byte offset of its class — the prefix reaches disk,
+//!   the rest does not — and every subsequent operation fails, exactly
+//!   like a process killed mid-write. `core::chaos` arms these faults
+//!   to drive the crash-point matrix.
+//!
+//! The shim is shared (`Arc` internals) so cloned [`TraceStore`]
+//! handles — including per-shard sub-stores — observe one global byte
+//! stream, the way one dying process would tear all of its writers at
+//! the same instant.
+//!
+//! [`TraceStore`]: crate::TraceStore
+
+use crate::error::StoreError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How hard the store tries to make writes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync every published file and, after a rename-publication, its
+    /// containing directory — a crash cannot resurrect the old manifest
+    /// or lose the new one.
+    #[default]
+    Durable,
+    /// No fsync at all. For scratch stores in tests and benches; a real
+    /// corpus written under `Fast` is only as durable as the page cache.
+    Fast,
+}
+
+/// The kind of bytes a store write carries — the axis the crash-point
+/// matrix tears along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteClass {
+    /// Encoded `.stc` trace data (shard ingestion).
+    Data,
+    /// A run or campaign manifest publication.
+    Manifest,
+    /// The merged corpus index publication.
+    Index,
+    /// Write-ahead log and campaign journal appends.
+    Journal,
+}
+
+impl WriteClass {
+    /// All classes, in counter order.
+    pub const ALL: [WriteClass; 4] = [
+        WriteClass::Data,
+        WriteClass::Manifest,
+        WriteClass::Index,
+        WriteClass::Journal,
+    ];
+
+    fn slot(self) -> usize {
+        match self {
+            WriteClass::Data => 0,
+            WriteClass::Manifest => 1,
+            WriteClass::Index => 2,
+            WriteClass::Journal => 3,
+        }
+    }
+
+    /// Stable lower-case name (used in fsck/chaos reports).
+    pub fn slug(self) -> &'static str {
+        match self {
+            WriteClass::Data => "data",
+            WriteClass::Manifest => "manifest",
+            WriteClass::Index => "index",
+            WriteClass::Journal => "journal",
+        }
+    }
+}
+
+/// A seeded crash point: the write whose bytes of `class` cross
+/// `offset` (counted from shim creation) is torn at that offset, and
+/// the shim plays dead from then on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFault {
+    /// Which byte stream to tear.
+    pub class: WriteClass,
+    /// Global byte offset within that class at which the write tears.
+    pub offset: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShimState {
+    counters: [AtomicU64; 4],
+    dead: AtomicBool,
+}
+
+/// The write path every [`TraceStore`](crate::TraceStore) operation
+/// goes through: class-tagged, counted, fsync-disciplined, and
+/// tearable.
+#[derive(Debug, Clone)]
+pub struct IoShim {
+    policy: SyncPolicy,
+    fault: Option<IoFault>,
+    state: Arc<ShimState>,
+}
+
+impl Default for IoShim {
+    fn default() -> Self {
+        IoShim::new(SyncPolicy::default())
+    }
+}
+
+impl IoShim {
+    /// A shim with no fault armed.
+    pub fn new(policy: SyncPolicy) -> IoShim {
+        IoShim {
+            policy,
+            fault: None,
+            state: Arc::new(ShimState::default()),
+        }
+    }
+
+    /// A shim that tears at `fault` and then plays dead.
+    pub fn with_fault(policy: SyncPolicy, fault: IoFault) -> IoShim {
+        IoShim {
+            policy,
+            fault: Some(fault),
+            state: Arc::new(ShimState::default()),
+        }
+    }
+
+    /// The shim's durability policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Bytes written so far under `class` — the probe pass reads these
+    /// to size a workload before deriving crash offsets from a seed.
+    pub fn bytes_written(&self, class: WriteClass) -> u64 {
+        self.state.counters[class.slot()].load(Ordering::SeqCst)
+    }
+
+    /// Whether an armed fault has fired (the simulated process is dead).
+    pub fn crashed(&self) -> bool {
+        self.state.dead.load(Ordering::SeqCst)
+    }
+
+    fn injected(&self, what: &str) -> StoreError {
+        StoreError::io(
+            format!("injected crash: {what}"),
+            std::io::Error::other("process killed by crash harness"),
+        )
+    }
+
+    /// Checks liveness; a dead shim fails every operation.
+    fn check_alive(&self, what: &str) -> Result<(), StoreError> {
+        if self.crashed() {
+            return Err(self.injected(what));
+        }
+        Ok(())
+    }
+
+    /// Accounts `len` bytes of `class`; returns how many may actually
+    /// reach disk (fewer than `len` exactly when the fault fires inside
+    /// this write).
+    fn admit(&self, class: WriteClass, len: u64) -> u64 {
+        let before = self.state.counters[class.slot()].fetch_add(len, Ordering::SeqCst);
+        match self.fault {
+            Some(fault) if fault.class == class && before + len > fault.offset => {
+                self.state.dead.store(true, Ordering::SeqCst);
+                fault.offset.saturating_sub(before).min(len)
+            }
+            _ => len,
+        }
+    }
+
+    /// Writes `bytes` to `path` (truncating), honouring the fault plan
+    /// and fsyncing per policy. A fault firing mid-write leaves the
+    /// torn prefix on disk — the page-cache image of a killed process.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on real I/O failure or an injected crash.
+    pub fn write_file(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        class: WriteClass,
+    ) -> Result<(), StoreError> {
+        self.check_alive("write")?;
+        let keep = self.admit(class, bytes.len() as u64) as usize;
+        let torn = keep < bytes.len();
+        let io = |e| StoreError::io(format!("writing {}", path.display()), e);
+        let mut file = File::create(path).map_err(io)?;
+        file.write_all(&bytes[..keep]).map_err(io)?;
+        if torn {
+            // The torn prefix is what the OS had accepted when the
+            // process died; flush it so the recovery test sees it.
+            let _ = file.sync_all();
+            return Err(self.injected(&format!("write of {} torn at byte {keep}", path.display())));
+        }
+        self.sync_file(&file, path)
+    }
+
+    /// Appends `bytes` to `path` (creating it on first use), honouring
+    /// the fault plan and fsyncing per policy.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on real I/O failure or an injected crash.
+    pub fn append_file(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        class: WriteClass,
+    ) -> Result<(), StoreError> {
+        self.check_alive("append")?;
+        let keep = self.admit(class, bytes.len() as u64) as usize;
+        let torn = keep < bytes.len();
+        let io = |e| StoreError::io(format!("appending to {}", path.display()), e);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io)?;
+        file.write_all(&bytes[..keep]).map_err(io)?;
+        if torn {
+            let _ = file.sync_all();
+            return Err(self.injected(&format!("append to {} torn at byte {keep}", path.display())));
+        }
+        self.sync_file(&file, path)
+    }
+
+    /// Renames `src` to `dst` — the atomic publication step. Consumes
+    /// one accounting byte of `class`, so a seeded offset can also land
+    /// *before* the rename (crash between temp write and publication).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on failure or an injected crash (in which
+    /// case the rename did not happen).
+    pub fn rename(&self, src: &Path, dst: &Path, class: WriteClass) -> Result<(), StoreError> {
+        self.check_alive("rename")?;
+        if self.admit(class, 1) == 0 {
+            return Err(self.injected(&format!(
+                "killed before renaming {} into place",
+                dst.display()
+            )));
+        }
+        std::fs::rename(src, dst).map_err(|e| {
+            StoreError::io(
+                format!("renaming {} to {}", src.display(), dst.display()),
+                e,
+            )
+        })
+    }
+
+    /// fsyncs an open file per policy.
+    fn sync_file(&self, file: &File, path: &Path) -> Result<(), StoreError> {
+        if self.policy == SyncPolicy::Durable {
+            file.sync_all()
+                .map_err(|e| StoreError::io(format!("fsyncing {}", path.display()), e))?;
+        }
+        Ok(())
+    }
+
+    /// fsyncs a directory per policy, making a rename inside it
+    /// durable — without this a crash after publication can resurrect
+    /// the old manifest from the stale directory entry.
+    ///
+    /// Shim fallback: platforms where a directory cannot be opened as a
+    /// file (e.g. Windows) make this a documented no-op — the rename is
+    /// still atomic, only its durability ordering is weaker there.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the fsync itself fails (an unopenable
+    /// directory is the no-op fallback, not an error).
+    pub fn sync_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        if self.policy != SyncPolicy::Durable {
+            return Ok(());
+        }
+        match File::open(dir) {
+            Ok(file) => file
+                .sync_all()
+                .map_err(|e| StoreError::io(format!("fsyncing directory {}", dir.display()), e)),
+            // No handle on this platform/filesystem: documented no-op.
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sentomist-sync-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn counts_bytes_per_class() {
+        let dir = tmpdir("count");
+        let shim = IoShim::new(SyncPolicy::Fast);
+        shim.write_file(&dir.join("a"), b"12345", WriteClass::Data)
+            .unwrap();
+        shim.append_file(&dir.join("b"), b"xy", WriteClass::Journal)
+            .unwrap();
+        shim.append_file(&dir.join("b"), b"z", WriteClass::Journal)
+            .unwrap();
+        assert_eq!(shim.bytes_written(WriteClass::Data), 5);
+        assert_eq!(shim.bytes_written(WriteClass::Journal), 3);
+        assert_eq!(shim.bytes_written(WriteClass::Manifest), 0);
+        assert!(!shim.crashed());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_tears_the_crossing_write_and_then_plays_dead() {
+        let dir = tmpdir("tear");
+        let fault = IoFault {
+            class: WriteClass::Manifest,
+            offset: 7,
+        };
+        let shim = IoShim::with_fault(SyncPolicy::Fast, fault);
+        // 5 bytes of manifest: under the offset, fine.
+        shim.write_file(&dir.join("m1"), b"aaaaa", WriteClass::Manifest)
+            .unwrap();
+        // Other classes never tear.
+        shim.write_file(&dir.join("d"), b"ddddddddddd", WriteClass::Data)
+            .unwrap();
+        // This write crosses offset 7 at its 2nd byte: torn prefix.
+        let err = shim
+            .write_file(&dir.join("m2"), b"bbbbb", WriteClass::Manifest)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        assert_eq!(std::fs::read(dir.join("m2")).unwrap(), b"bb");
+        assert!(shim.crashed());
+        // Everything after the crash fails, any class, no effect.
+        assert!(shim
+            .write_file(&dir.join("d2"), b"x", WriteClass::Data)
+            .is_err());
+        assert!(!dir.join("d2").exists());
+        assert!(shim
+            .rename(&dir.join("m1"), &dir.join("m3"), WriteClass::Manifest)
+            .is_err());
+        assert!(dir.join("m1").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_at_offset_zero_kills_before_the_first_byte() {
+        let dir = tmpdir("zero");
+        let shim = IoShim::with_fault(
+            SyncPolicy::Fast,
+            IoFault {
+                class: WriteClass::Data,
+                offset: 0,
+            },
+        );
+        assert!(shim
+            .write_file(&dir.join("d"), b"abc", WriteClass::Data)
+            .is_err());
+        assert_eq!(std::fs::read(dir.join("d")).unwrap(), b"");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rename_consumes_one_accounting_byte() {
+        let dir = tmpdir("rename");
+        let shim = IoShim::with_fault(
+            SyncPolicy::Fast,
+            IoFault {
+                class: WriteClass::Index,
+                offset: 3,
+            },
+        );
+        shim.write_file(&dir.join("i.tmp"), b"abc", WriteClass::Index)
+            .unwrap();
+        // The rename is the 4th index byte: crosses offset 3, killed
+        // before the rename happens.
+        assert!(shim
+            .rename(&dir.join("i.tmp"), &dir.join("i"), WriteClass::Index)
+            .is_err());
+        assert!(dir.join("i.tmp").exists());
+        assert!(!dir.join("i").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_policy_fsyncs_real_files_and_directories() {
+        let dir = tmpdir("durable");
+        let shim = IoShim::new(SyncPolicy::Durable);
+        shim.write_file(&dir.join("f"), b"payload", WriteClass::Data)
+            .unwrap();
+        shim.sync_dir(&dir).unwrap();
+        // Unopenable directory: the documented no-op fallback.
+        shim.sync_dir(&dir.join("does-not-exist")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

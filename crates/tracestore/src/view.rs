@@ -1,0 +1,561 @@
+//! Zero-copy trace views: decode an `.stc` file from borrowed byte
+//! slices instead of per-chunk owned buffers.
+//!
+//! [`TraceReader`](crate::TraceReader) streams from any `Read`, which
+//! forces it to copy every chunk payload into an owned `Vec<u8>` before
+//! decoding. The re-mine path doesn't need that generality: the file is
+//! already on disk, so [`TraceImage`] loads it once into a single
+//! buffer and [`TraceView`] decodes **in place** — every chunk payload
+//! is a borrowed `&[u8]` slice ([`ChunkRef`]) into the image, checked
+//! against its checksum but never copied. (`#![forbid(unsafe_code)]`
+//! rules out a real `mmap`; a single whole-file image with borrowed
+//! views is the safe equivalent and keeps the same `&[u8]`-slice API a
+//! future mmap could back.)
+//!
+//! On top of chunk slices, [`TraceView::replay_online`] goes one step
+//! further than the streaming reader: count segments are digest-folded
+//! **sparsely** — straight from their varint encoding, without
+//! densifying each one into a `program_len`-wide allocation — because
+//! interval mining only consumes lifecycle events. The fold replicates
+//! [`digest_segment`](crate::format) exactly (length, then every
+//! counter including zeros), so end-chunk verification still holds.
+
+use crate::error::StoreError;
+use crate::format::{
+    self, get_record, Record, CHUNK_END, CHUNK_RECORDS, FORMAT_VERSION, MAGIC, MAX_CHUNK,
+    MAX_PROGRAM_LEN, TAG_SEGMENT,
+};
+use sentomist_trace::{EventInterval, OnlineExtractor, Trace, TraceEvent};
+use std::path::Path;
+
+/// A whole `.stc` file loaded into one owned buffer — the thing a
+/// [`TraceView`] borrows from.
+#[derive(Debug, Clone)]
+pub struct TraceImage {
+    bytes: Vec<u8>,
+}
+
+impl TraceImage {
+    /// Loads the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be read.
+    pub fn open(path: &Path) -> Result<TraceImage, StoreError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| StoreError::io(format!("reading trace file {}", path.display()), e))?;
+        Ok(TraceImage { bytes })
+    }
+
+    /// Wraps already-loaded bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> TraceImage {
+        TraceImage { bytes }
+    }
+
+    /// The raw file bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// A validated zero-copy view over this image.
+    ///
+    /// # Errors
+    ///
+    /// Header validation errors, as [`TraceReader::new`](crate::TraceReader::new).
+    pub fn view(&self) -> Result<TraceView<'_>, StoreError> {
+        TraceView::new(&self.bytes)
+    }
+}
+
+/// One chunk of an `.stc` file as a borrowed slice: checksum-verified,
+/// never copied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef<'a> {
+    /// Chunk kind ([`CHUNK_RECORDS`] or [`CHUNK_END`]).
+    pub kind: u8,
+    /// The chunk payload, borrowed from the underlying image.
+    pub payload: &'a [u8],
+}
+
+/// A zero-copy decoding view over an in-memory `.stc` file.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    bytes: &'a [u8],
+    program_len: u32,
+}
+
+impl<'a> TraceView<'a> {
+    /// Validates the header and wraps `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`],
+    /// [`StoreError::Truncated`] or [`StoreError::Corrupt`].
+    pub fn new(bytes: &'a [u8]) -> Result<TraceView<'a>, StoreError> {
+        let header = bytes.get(..12).ok_or(StoreError::Truncated {
+            context: "file header",
+        })?;
+        if header[..4] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes([header[6], header[7]]);
+        if flags != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "unknown header flags {flags:#06x}"
+            )));
+        }
+        let program_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if program_len as usize > MAX_PROGRAM_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "implausible program length {program_len}"
+            )));
+        }
+        Ok(TraceView { bytes, program_len })
+    }
+
+    /// The program length declared in the header.
+    pub fn program_len(&self) -> usize {
+        self.program_len as usize
+    }
+
+    /// Iterates the file's chunks as borrowed [`ChunkRef`]s, verifying
+    /// each checksum. The iterator yields the end chunk last; trailing
+    /// bytes after it are an error.
+    pub fn chunks(&self) -> ChunkIter<'a> {
+        ChunkIter {
+            bytes: self.bytes,
+            pos: 12,
+            index: 0,
+            done: false,
+        }
+    }
+
+    /// Densifies the whole view back into a [`Trace`], verifying chunk
+    /// checksums, the end-chunk digest, and the recorder protocol —
+    /// byte-for-byte equivalent to [`read_trace`](crate::read_trace),
+    /// but decoding from borrowed slices with no per-chunk copies.
+    ///
+    /// # Errors
+    ///
+    /// Any structural error of the file.
+    pub fn to_trace(&self) -> Result<Trace, StoreError> {
+        let program_len = self.program_len();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut segments: Vec<Vec<u32>> = Vec::new();
+        let mut digest = format::digest_seed(self.program_len);
+        let mut prev_cycle = 0u64;
+        for chunk in self.chunks() {
+            let chunk = chunk?;
+            match chunk.kind {
+                CHUNK_RECORDS => {
+                    let payload = chunk.payload;
+                    let mut pos = 0;
+                    while pos < payload.len() {
+                        let tag = payload[pos];
+                        pos += 1;
+                        match get_record(tag, payload, &mut pos, prev_cycle, program_len)? {
+                            Record::Event(ev) => {
+                                digest = format::digest_event(digest, ev.cycle, ev.item);
+                                prev_cycle = ev.cycle;
+                                events.push(ev);
+                            }
+                            Record::Segment(counts) => {
+                                digest = format::digest_segment(digest, &counts);
+                                segments.push(counts);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    verify_end(
+                        chunk.payload,
+                        events.len() as u64,
+                        segments.len() as u64,
+                        digest,
+                    )?;
+                }
+            }
+        }
+        if segments.len() != events.len() + 1 {
+            return Err(StoreError::Protocol {
+                events: events.len(),
+                segments: segments.len(),
+            });
+        }
+        Ok(Trace {
+            events,
+            segments,
+            program_len,
+        })
+    }
+
+    /// Replays lifecycle events into an [`OnlineExtractor`] straight
+    /// off the borrowed slices — the zero-copy re-mine path. Count
+    /// segments are digest-folded sparsely from their varint encoding
+    /// (no `program_len`-wide densification per segment), and the
+    /// end-chunk digest is still fully verified.
+    ///
+    /// # Errors
+    ///
+    /// Any structural error of the file.
+    pub fn replay_online(&self) -> Result<Vec<EventInterval>, StoreError> {
+        let program_len = self.program_len();
+        let mut extractor = OnlineExtractor::new();
+        let mut intervals = Vec::new();
+        let mut digest = format::digest_seed(self.program_len);
+        let mut prev_cycle = 0u64;
+        let mut events = 0u64;
+        let mut segments = 0u64;
+        for chunk in self.chunks() {
+            let chunk = chunk?;
+            match chunk.kind {
+                CHUNK_RECORDS => {
+                    let payload = chunk.payload;
+                    let mut pos = 0;
+                    while pos < payload.len() {
+                        let tag = payload[pos];
+                        pos += 1;
+                        if tag == TAG_SEGMENT {
+                            digest = fold_sparse_segment(payload, &mut pos, digest, program_len)?;
+                            segments += 1;
+                        } else {
+                            match get_record(tag, payload, &mut pos, prev_cycle, program_len)? {
+                                Record::Event(ev) => {
+                                    digest = format::digest_event(digest, ev.cycle, ev.item);
+                                    prev_cycle = ev.cycle;
+                                    intervals.extend(extractor.feed(
+                                        events as usize,
+                                        ev.cycle,
+                                        ev.item,
+                                    ));
+                                    events += 1;
+                                }
+                                Record::Segment(_) => unreachable!("tag filtered above"),
+                            }
+                        }
+                    }
+                }
+                _ => verify_end(chunk.payload, events, segments, digest)?,
+            }
+        }
+        Ok(intervals)
+    }
+}
+
+/// Folds one sparsely-encoded segment into the stream digest without
+/// densifying it: replicates [`format::digest_segment`] — a fold of the
+/// segment length followed by every counter, zeros included — by
+/// walking the stored `(index_delta, count)` pairs and folding the
+/// implied zero gaps.
+fn fold_sparse_segment(
+    payload: &[u8],
+    pos: &mut usize,
+    digest: u64,
+    program_len: usize,
+) -> Result<u64, StoreError> {
+    let nonzero = format::get_varint(payload, pos)?;
+    if nonzero > program_len as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "segment claims {nonzero} non-zero counters in a {program_len}-instruction program"
+        )));
+    }
+    let mut h = format::mix64(format::mix64(digest, 2), program_len as u64);
+    let mut index: i64 = -1;
+    for _ in 0..nonzero {
+        let delta = format::get_varint(payload, pos)?;
+        if delta == 0 {
+            return Err(StoreError::Corrupt("zero index delta in segment".into()));
+        }
+        let next = index
+            .checked_add(
+                i64::try_from(delta)
+                    .map_err(|_| StoreError::Corrupt("segment index delta overflows".into()))?,
+            )
+            .ok_or_else(|| StoreError::Corrupt("segment index overflows".into()))?;
+        if next as u64 >= program_len as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "segment counter index {next} beyond program length {program_len}"
+            )));
+        }
+        let count = format::get_varint(payload, pos)?;
+        let count = u32::try_from(count)
+            .map_err(|_| StoreError::Corrupt(format!("counter value {count} exceeds u32")))?;
+        // Zero-valued slots between the previous stored index and this
+        // one still participate in the digest.
+        for _ in (index + 1)..next {
+            h = format::mix64(h, 0);
+        }
+        h = format::mix64(h, u64::from(count));
+        index = next;
+    }
+    for _ in (index + 1)..program_len as i64 {
+        h = format::mix64(h, 0);
+    }
+    Ok(h)
+}
+
+fn verify_end(payload: &[u8], events: u64, segments: u64, digest: u64) -> Result<(), StoreError> {
+    let mut pos = 0;
+    let want_events = format::get_varint(payload, &mut pos)?;
+    let want_segments = format::get_varint(payload, &mut pos)?;
+    let digest_bytes: [u8; 8] = payload
+        .get(pos..pos + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(StoreError::Truncated {
+            context: "end-chunk digest",
+        })?;
+    if pos + 8 != payload.len() {
+        return Err(StoreError::Corrupt("oversized end chunk".into()));
+    }
+    let want_digest = u64::from_le_bytes(digest_bytes);
+    if want_events != events || want_segments != segments {
+        return Err(StoreError::DigestMismatch {
+            expected: format!("{want_events} events + {want_segments} segments"),
+            actual: format!("{events} events + {segments} segments"),
+        });
+    }
+    if want_digest != digest {
+        return Err(StoreError::DigestMismatch {
+            expected: format!("{want_digest:016x}"),
+            actual: format!("{digest:016x}"),
+        });
+    }
+    Ok(())
+}
+
+/// Iterator over a view's chunks. Yields checksum-verified borrowed
+/// [`ChunkRef`]s; stops after the end chunk (rejecting trailing bytes)
+/// or at the first structural defect.
+#[derive(Debug, Clone)]
+pub struct ChunkIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    index: u64,
+    done: bool,
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = Result<ChunkRef<'a>, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.pos >= self.bytes.len() {
+            self.done = true;
+            return Some(Err(StoreError::Truncated {
+                context: "missing end chunk",
+            }));
+        }
+        let kind = self.bytes[self.pos];
+        let frame = &self.bytes[self.pos + 1..];
+        let Some(len_bytes) = frame.get(..4) else {
+            self.done = true;
+            return Some(Err(StoreError::Truncated {
+                context: "chunk length",
+            }));
+        };
+        let len =
+            u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        if len > MAX_CHUNK {
+            self.done = true;
+            return Some(Err(StoreError::Corrupt(format!(
+                "chunk {} declares an implausible {len}-byte payload",
+                self.index
+            ))));
+        }
+        let Some(payload) = frame.get(4..4 + len) else {
+            self.done = true;
+            return Some(Err(StoreError::Truncated {
+                context: "chunk payload",
+            }));
+        };
+        let Some(sum) = frame.get(4 + len..4 + len + 4) else {
+            self.done = true;
+            return Some(Err(StoreError::Truncated {
+                context: "chunk checksum",
+            }));
+        };
+        if format::fnv32(payload) != u32::from_le_bytes([sum[0], sum[1], sum[2], sum[3]]) {
+            self.done = true;
+            return Some(Err(StoreError::ChecksumMismatch { chunk: self.index }));
+        }
+        self.pos += 1 + 4 + len + 4;
+        self.index += 1;
+        match kind {
+            CHUNK_RECORDS => {
+                if payload.is_empty() {
+                    return self.next(); // legal but pointless; skip
+                }
+                Some(Ok(ChunkRef { kind, payload }))
+            }
+            CHUNK_END => {
+                self.done = true;
+                if self.pos != self.bytes.len() {
+                    return Some(Err(StoreError::Corrupt(
+                        "trailing data after the end chunk".into(),
+                    )));
+                }
+                Some(Ok(ChunkRef { kind, payload }))
+            }
+            other => Some(Err(StoreError::Corrupt(format!(
+                "unknown chunk kind {other}"
+            )))),
+        }
+    }
+}
+
+/// [`TraceView::to_trace`] from a file path: one read, zero per-chunk
+/// copies — the re-mine replacement for
+/// [`read_trace_file`](crate::read_trace_file).
+///
+/// # Errors
+///
+/// Read and structural errors, as their streaming counterparts.
+pub fn read_trace_image(path: &Path) -> Result<Trace, StoreError> {
+    TraceImage::open(path)?.view()?.to_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{read_trace, TraceReader};
+    use crate::writer::write_trace;
+    use tinyvm::{LifecycleItem, TaskId};
+
+    fn sample_trace() -> Trace {
+        let items = [
+            LifecycleItem::Int(2),
+            LifecycleItem::PostTask(TaskId(0)),
+            LifecycleItem::Reti,
+            LifecycleItem::RunTask(TaskId(0)),
+            LifecycleItem::TaskEnd(TaskId(0)),
+        ];
+        Trace {
+            events: items
+                .iter()
+                .enumerate()
+                .map(|(i, &item)| TraceEvent {
+                    cycle: 100 + 7 * i as u64,
+                    item,
+                })
+                .collect(),
+            segments: (0..6).map(|i| vec![i as u32, 0, 2 * i as u32, 0]).collect(),
+            program_len: 4,
+        }
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_trace(&mut out, trace).unwrap();
+        out
+    }
+
+    #[test]
+    fn view_decodes_identically_to_the_streaming_reader() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        let image = TraceImage::from_bytes(bytes.clone());
+        let decoded = image.view().unwrap().to_trace().unwrap();
+        assert_eq!(decoded, read_trace(&bytes[..]).unwrap());
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn empty_trace_views_fine() {
+        let trace = Trace {
+            events: vec![],
+            segments: vec![vec![0, 0]],
+            program_len: 2,
+        };
+        let image = TraceImage::from_bytes(encode(&trace));
+        assert_eq!(image.view().unwrap().to_trace().unwrap(), trace);
+        assert_eq!(image.view().unwrap().replay_online().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn chunk_payloads_borrow_from_the_image() {
+        let bytes = encode(&sample_trace());
+        let image = TraceImage::from_bytes(bytes);
+        let view = image.view().unwrap();
+        let range = image.bytes().as_ptr_range();
+        for chunk in view.chunks() {
+            let chunk = chunk.unwrap();
+            // The payload slice points into the image buffer itself.
+            assert!(range.contains(&chunk.payload.as_ptr()) || chunk.payload.is_empty());
+        }
+    }
+
+    #[test]
+    fn replay_online_matches_the_streaming_reader() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        let image = TraceImage::from_bytes(bytes.clone());
+        let mut zero_copy = image.view().unwrap().replay_online().unwrap();
+        zero_copy.sort_by_key(|iv| iv.start_index);
+        let mut streamed = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay_online()
+            .unwrap();
+        streamed.sort_by_key(|iv| iv.start_index);
+        assert_eq!(zero_copy, streamed);
+    }
+
+    #[test]
+    fn sparse_digest_fold_matches_the_dense_fold() {
+        // Dense and sparse folds over assorted segments must agree.
+        for counts in [
+            vec![0u32, 0, 0, 0],
+            vec![1, 0, 0, 9],
+            vec![0, 7, 0, 0],
+            vec![5, 5, 5, 5],
+            vec![u32::MAX, 0, 1, 0],
+        ] {
+            let mut buf = Vec::new();
+            format::put_segment(&mut buf, &counts);
+            let mut pos = 1; // skip tag
+            let sparse = fold_sparse_segment(&buf, &mut pos, 0x1234, counts.len()).unwrap();
+            let dense = format::digest_segment(0x1234, &counts);
+            assert_eq!(sparse, dense, "counts {counts:?}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error() {
+        let bytes = encode(&sample_trace());
+        for cut in 0..bytes.len() {
+            let result = TraceView::new(&bytes[..cut]).and_then(|v| v.to_trace());
+            assert!(result.is_err(), "prefix of {cut} bytes decoded");
+            let result = TraceView::new(&bytes[..cut]).and_then(|v| v.replay_online().map(|_| ()));
+            assert!(result.is_err(), "prefix of {cut} bytes replayed");
+        }
+    }
+
+    #[test]
+    fn corruption_and_trailing_garbage_are_typed() {
+        let bytes = encode(&sample_trace());
+        let mut corrupted = bytes.clone();
+        corrupted[12 + 5 + 2] ^= 0x10;
+        assert!(matches!(
+            TraceImage::from_bytes(corrupted).view().unwrap().to_trace(),
+            Err(StoreError::ChecksumMismatch { chunk: 0 })
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            TraceImage::from_bytes(trailing).view().unwrap().to_trace(),
+            Err(StoreError::Corrupt(_))
+        ));
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            TraceView::new(&bad_magic),
+            Err(StoreError::BadMagic)
+        ));
+    }
+}

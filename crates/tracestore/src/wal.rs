@@ -1,0 +1,463 @@
+//! Write-ahead log of manifest operations, and the recovery pass that
+//! replays it after a crash.
+//!
+//! Every atomic publication (run manifest, campaign manifest, corpus
+//! index) is bracketed by WAL records:
+//!
+//! ```text
+//! {"op":"begin","target":"runs/seed-.../manifest.json","tmp":"....tmp"}
+//!     → write tmp, fsync
+//!     → rename tmp over target (atomic)
+//!     → fsync the containing directory
+//! {"op":"commit","target":"runs/seed-.../manifest.json"}
+//! ```
+//!
+//! Because the rename is atomic, the target is *always* either the old
+//! document or the new one — never a torn mix. The WAL therefore does
+//! not need undo/redo content; it only records intent, so
+//! [`TraceStore::fsck`] knows which publications were in flight when the
+//! process died and can sweep their temp files. The log is append-only
+//! JSON lines; a torn final line (the crash landing inside the WAL
+//! append itself) is dropped on read, exactly like the campaign journal.
+
+use crate::error::StoreError;
+use crate::store::{seed_for_run_id, TraceStore};
+use crate::sync::WriteClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// File name of the write-ahead log at the store root.
+pub const WAL_FILE: &str = "wal.jsonl";
+
+/// Suffix of in-flight publication files (swept by recovery).
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// One write-ahead log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// `begin` or `commit`.
+    pub op: String,
+    /// Store-relative path of the file being published.
+    pub target: String,
+}
+
+impl WalRecord {
+    /// A `begin` record for `target`.
+    pub fn begin(target: &str) -> WalRecord {
+        WalRecord {
+            op: "begin".to_string(),
+            target: target.to_string(),
+        }
+    }
+
+    /// A `commit` record for `target`.
+    pub fn commit(target: &str) -> WalRecord {
+        WalRecord {
+            op: "commit".to_string(),
+            target: target.to_string(),
+        }
+    }
+}
+
+/// What a [`TraceStore::fsck`] pass found (and, with `repair`, fixed).
+///
+/// An all-empty report means the store is clean. Every field is a list
+/// of store-relative paths (or run ids), so reports are stable across
+/// machines and can be asserted in tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Publications that began but never committed (the crash window).
+    pub pending: Vec<String>,
+    /// Orphan `.tmp` files found (removed when repairing).
+    pub torn_tmp: Vec<String>,
+    /// Run directories whose manifest is missing or unparsable
+    /// (quarantined when repairing).
+    pub torn_runs: Vec<String>,
+    /// Runs whose trace files are missing or the wrong size
+    /// (quarantined when repairing).
+    pub damaged_runs: Vec<String>,
+    /// `true` when `index.json` exists but no longer matches the run
+    /// set (rebuilt when repairing).
+    pub stale_index: bool,
+    /// `true` when this pass ran with repair enabled.
+    pub repaired: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when nothing was wrong.
+    pub fn is_clean(&self) -> bool {
+        self.pending.is_empty()
+            && self.torn_tmp.is_empty()
+            && self.torn_runs.is_empty()
+            && self.damaged_runs.is_empty()
+            && !self.stale_index
+    }
+}
+
+impl TraceStore {
+    /// Path of the write-ahead log (which may not exist yet).
+    pub fn wal_path(&self) -> PathBuf {
+        self.root().join(WAL_FILE)
+    }
+
+    /// Appends one record to the write-ahead log.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] (including an injected crash).
+    pub fn append_wal(&self, record: &WalRecord) -> Result<(), StoreError> {
+        let line = serde_json::to_string(record).map_err(|e| StoreError::Manifest {
+            path: self.wal_path(),
+            message: format!("serializing WAL record: {e}"),
+        })?;
+        let mut bytes = line.into_bytes();
+        bytes.push(b'\n');
+        self.shim()
+            .append_file(&self.wal_path(), &bytes, WriteClass::Journal)
+    }
+
+    /// The WAL's complete records, oldest first. A torn trailing line —
+    /// the crash landing inside the WAL append itself — is dropped, and
+    /// so are unparsable lines: the WAL only records intent, so a lost
+    /// record at worst leaves a sweepable `.tmp` file behind.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on anything other than a missing log.
+    pub fn wal_records(&self) -> Result<Vec<WalRecord>, StoreError> {
+        let path = self.wal_path();
+        let data = match std::fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::io(format!("reading {}", path.display()), e)),
+        };
+        let text = String::from_utf8_lossy(&data);
+        let sealed = match text.rfind('\n') {
+            Some(last) => &text[..last],
+            None => "",
+        };
+        Ok(sealed
+            .lines()
+            .filter_map(|line| serde_json::from_str::<WalRecord>(line).ok())
+            .collect())
+    }
+
+    /// Targets with a `begin` but no matching `commit` — the
+    /// publications that were in flight when the process died.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::wal_records`].
+    pub fn wal_pending(&self) -> Result<Vec<String>, StoreError> {
+        let mut open: BTreeMap<String, u64> = BTreeMap::new();
+        for record in self.wal_records()? {
+            match record.op.as_str() {
+                "begin" => *open.entry(record.target).or_insert(0) += 1,
+                "commit" => {
+                    if let Some(n) = open.get_mut(&record.target) {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            open.remove(&record.target);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(open.into_keys().collect())
+    }
+
+    /// Removes the write-ahead log (all publications settled). Missing
+    /// log is fine.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn clear_wal(&self) -> Result<(), StoreError> {
+        let path = self.wal_path();
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::io(format!("removing {}", path.display()), e)),
+        }
+    }
+
+    /// Checks the store for crash damage; with `repair`, fixes what it
+    /// finds. The recovery state machine, in order:
+    ///
+    /// 1. **WAL scan** — publications with a `begin` but no `commit`
+    ///    were in flight at the crash. The rename is atomic, so their
+    ///    targets are whole (old or new); only the `.tmp` staging files
+    ///    can be torn, and those are swept.
+    /// 2. **Tmp sweep** — every `*.tmp` under the store (root, run
+    ///    directories, shards) is an unfinished publication; removed.
+    /// 3. **Run audit** — a run directory without a parsable manifest,
+    ///    or whose trace files are missing or the wrong size, was torn
+    ///    mid-ingest; quarantined (the seed is re-runnable, the corpus
+    ///    must stay mineable).
+    /// 4. **Index check** — an `index.json` whose run set no longer
+    ///    matches the store is stale; rebuilt via
+    ///    [`crate::CorpusIndex::merge`].
+    /// 5. With `repair`, the WAL is cleared — everything it recorded
+    ///    has been settled.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the store cannot be scanned or a repair
+    /// step fails.
+    pub fn fsck(&self, repair: bool) -> Result<RecoveryReport, StoreError> {
+        let mut report = RecoveryReport {
+            pending: self.wal_pending()?,
+            repaired: repair,
+            ..RecoveryReport::default()
+        };
+        // Shard sub-stores keep their own WALs; fold their pending
+        // publications into the report (and settle them on repair).
+        for shard in self.shard_ids()? {
+            let sub = self.shard(&shard)?;
+            for target in sub.wal_pending()? {
+                report.pending.push(format!("shards/{shard}/{target}"));
+            }
+            if repair {
+                sub.clear_wal()?;
+            }
+        }
+
+        // Tmp sweep: store root, every run directory, every shard.
+        let mut dirs = vec![self.root().to_path_buf(), self.root().join("runs")];
+        for shard in self.shard_ids()? {
+            let shard_root = self.shard_dir(&shard);
+            dirs.push(shard_root.join("runs"));
+            dirs.push(shard_root);
+        }
+        for id in self.run_ids()? {
+            if let Some(dir) = self.locate_run(&id)? {
+                dirs.push(dir);
+            }
+        }
+        for dir in dirs {
+            sweep_tmp(self, &dir, repair, &mut report.torn_tmp)?;
+        }
+
+        // Run audit, across the merged view.
+        for id in self.run_ids()? {
+            match self.manifest(&id) {
+                Err(_) => {
+                    report.torn_runs.push(id.clone());
+                    if repair {
+                        self.quarantine_run(&id, "torn manifest (crash during commit)")?;
+                    }
+                }
+                Ok(manifest) => {
+                    let Some(dir) = self.locate_run(&id)? else {
+                        continue;
+                    };
+                    let damaged = manifest.nodes.iter().any(|node| {
+                        std::fs::metadata(dir.join(&node.file))
+                            .map(|m| m.len() != node.encoded_bytes)
+                            .unwrap_or(true)
+                    });
+                    if damaged {
+                        report.damaged_runs.push(id.clone());
+                        if repair {
+                            self.quarantine_run(&id, "trace file missing or torn")?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Index staleness: present but out of sync with the run set.
+        if let Some(index) = crate::index::CorpusIndex::load(self)? {
+            let live: Vec<String> = self.run_ids()?;
+            let indexed: Vec<String> = index.entries.iter().map(|e| e.run_id.clone()).collect();
+            if live != indexed {
+                report.stale_index = true;
+                if repair {
+                    crate::index::CorpusIndex::merge(self)?;
+                }
+            }
+        }
+
+        if repair {
+            self.clear_wal()?;
+        }
+        Ok(report)
+    }
+
+    /// The crash-recovery entry point: [`TraceStore::fsck`] with repair
+    /// enabled. After `recover()` the store is clean — every torn
+    /// publication swept, every torn run quarantined, the index fresh —
+    /// and re-running the quarantined seeds restores the full corpus.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::fsck`].
+    pub fn recover(&self) -> Result<RecoveryReport, StoreError> {
+        self.fsck(true)
+    }
+
+    /// Seeds of runs currently in quarantine (re-runnable work), sorted.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::quarantined`].
+    pub fn quarantined_seeds(&self) -> Result<Vec<u64>, StoreError> {
+        let mut seeds: Vec<u64> = self
+            .quarantined()?
+            .iter()
+            .filter_map(|note| seed_for_run_id(&note.run_id))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        Ok(seeds)
+    }
+}
+
+fn sweep_tmp(
+    store: &TraceStore,
+    dir: &Path,
+    repair: bool,
+    torn: &mut Vec<String>,
+) -> Result<(), StoreError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(StoreError::io(format!("listing {}", dir.display()), e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(format!("listing {}", dir.display()), e))?;
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(TMP_SUFFIX));
+        if path.is_file() && is_tmp {
+            let rel = path
+                .strip_prefix(store.root())
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            torn.push(rel);
+            if repair {
+                std::fs::remove_file(&path)
+                    .map_err(|e| StoreError::io(format!("removing {}", path.display()), e))?;
+            }
+        }
+    }
+    torn.sort_unstable();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::run_id_for_seed;
+    use sentomist_trace::{Trace, TraceEvent};
+    use tinyvm::LifecycleItem;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sentomist-wal-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn trace_with(cycles: u64) -> Trace {
+        Trace {
+            events: vec![TraceEvent {
+                cycle: cycles,
+                item: LifecycleItem::Int(1),
+            }],
+            segments: vec![vec![1, 0], vec![0, 4]],
+            program_len: 2,
+        }
+    }
+
+    #[test]
+    fn wal_records_pending_and_commit_balance() {
+        let root = tmpdir("pending");
+        let store = TraceStore::create(&root).unwrap();
+        store
+            .append_wal(&WalRecord::begin("a/manifest.json"))
+            .unwrap();
+        store
+            .append_wal(&WalRecord::begin("b/manifest.json"))
+            .unwrap();
+        store
+            .append_wal(&WalRecord::commit("a/manifest.json"))
+            .unwrap();
+        assert_eq!(store.wal_pending().unwrap(), vec!["b/manifest.json"]);
+        store
+            .append_wal(&WalRecord::commit("b/manifest.json"))
+            .unwrap();
+        assert_eq!(store.wal_pending().unwrap(), Vec::<String>::new());
+        store.clear_wal().unwrap();
+        store.clear_wal().unwrap(); // idempotent
+        assert_eq!(store.wal_records().unwrap(), vec![]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped() {
+        let root = tmpdir("torn");
+        let store = TraceStore::create(&root).unwrap();
+        store.append_wal(&WalRecord::begin("x")).unwrap();
+        let mut bytes = std::fs::read(store.wal_path()).unwrap();
+        bytes.extend_from_slice(br#"{"op":"comm"#);
+        std::fs::write(store.wal_path(), &bytes).unwrap();
+        assert_eq!(store.wal_records().unwrap().len(), 1);
+        assert_eq!(store.wal_pending().unwrap(), vec!["x"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsck_on_a_clean_store_reports_clean() {
+        let root = tmpdir("clean");
+        let store = TraceStore::create(&root).unwrap();
+        store.save_run(1, "test", 0, &[trace_with(5)]).unwrap();
+        let report = store.fsck(false).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsck_sweeps_orphan_tmp_files() {
+        let root = tmpdir("tmp");
+        let store = TraceStore::create(&root).unwrap();
+        let manifest = store.save_run(1, "test", 0, &[trace_with(5)]).unwrap();
+        let orphan = store.locate_run(&manifest.run_id).unwrap().unwrap();
+        std::fs::write(orphan.join("manifest.json.tmp"), b"{half").unwrap();
+        let report = store.fsck(false).unwrap();
+        assert_eq!(report.torn_tmp.len(), 1);
+        assert!(!report.repaired);
+        // Dry run leaves it in place; repair removes it.
+        let report = store.recover().unwrap();
+        assert_eq!(report.torn_tmp.len(), 1);
+        assert!(report.repaired);
+        assert!(store.fsck(false).unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsck_quarantines_torn_runs_and_reports_their_seeds() {
+        let root = tmpdir("tornrun");
+        let store = TraceStore::create(&root).unwrap();
+        store.save_run(3, "test", 0, &[trace_with(5)]).unwrap();
+        store.save_run(4, "test", 0, &[trace_with(6)]).unwrap();
+        // Tear run 3's manifest and run 4's trace file.
+        let dir3 = store.locate_run(&run_id_for_seed(3)).unwrap().unwrap();
+        std::fs::write(dir3.join("manifest.json"), b"{\"format_ver").unwrap();
+        let dir4 = store.locate_run(&run_id_for_seed(4)).unwrap().unwrap();
+        let stc = std::fs::read(dir4.join("node-000.stc")).unwrap();
+        std::fs::write(dir4.join("node-000.stc"), &stc[..stc.len() / 2]).unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.torn_runs, vec![run_id_for_seed(3)]);
+        assert_eq!(report.damaged_runs, vec![run_id_for_seed(4)]);
+        assert_eq!(store.quarantined_seeds().unwrap(), vec![3, 4]);
+        assert_eq!(store.run_ids().unwrap(), Vec::<String>::new());
+        assert!(store.fsck(false).unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,188 @@
+//! Pins store layout v1 read-back compatibility.
+//!
+//! `fixtures/store_v1/` is a committed corpus exactly as a
+//! `MANIFEST_VERSION = 1` store wrote it: a flat `runs/` tree with
+//! per-run manifests, a campaign manifest, and none of the v2
+//! machinery (no `wal.jsonl`, no `index.json`, no `shards/`). The
+//! tests assert that today's store still opens it, that every trace
+//! decodes (through the zero-copy image path) to the pinned digests,
+//! that `fsck` finds nothing to repair, and that merging an index over
+//! it yields the pinned corpus digest. If any of these fail, v2 broke
+//! v1 read-back — that is a compatibility break, never a fixture edit.
+//!
+//! Regenerate (only alongside a deliberate layout break) with:
+//!
+//! ```text
+//! GOLDEN_CAPTURE=1 cargo test -p sentomist-tracestore --test store_v1_compat
+//! ```
+
+use sentomist_trace::{Trace, TraceEvent};
+use sentomist_tracestore::{CorpusIndex, TraceStore};
+use std::path::PathBuf;
+use tinyvm::LifecycleItem;
+
+/// `(seed, Trace::digest)` for every run in the fixture, ascending.
+const GOLDEN_TRACE_DIGESTS: [(u64, u64); 3] = [
+    (41, 0x443e_99d5_8dae_7568),
+    (42, 0x8dc3_17a2_6b91_ceda),
+    (43, 0x9304_9014_9aa6_a107),
+];
+
+/// [`CorpusIndex::corpus_digest`] of the index merged over the fixture.
+const GOLDEN_CORPUS_DIGEST: u64 = 0x1aa1_d852_9c65_460e;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("store_v1")
+}
+
+/// The canonical fixture traces: one per seed, pure functions of it.
+fn fixture_trace(seed: u64) -> Trace {
+    let n = 1 + (seed % 3) as usize;
+    let mut cycle = 0u64;
+    let events = (0..n)
+        .map(|i| {
+            cycle += 100 + seed * 3 + i as u64;
+            let item = if i % 2 == 0 {
+                LifecycleItem::Int((seed % 8) as u8)
+            } else {
+                LifecycleItem::Reti
+            };
+            TraceEvent { cycle, item }
+        })
+        .collect();
+    let segments = (0..=n)
+        .map(|i| {
+            (0..8)
+                .map(|p| ((seed << p) as u32 ^ i as u32) % 13)
+                .collect()
+        })
+        .collect();
+    Trace {
+        events,
+        segments,
+        program_len: 8,
+    }
+}
+
+/// Capture mode: write the fixture as a v1 store would have — build it
+/// with today's writer, then strip the v2 artifacts and rewrite the
+/// manifest version fields to 1.
+fn capture() {
+    let root = fixture_path();
+    std::fs::remove_dir_all(&root).ok();
+    let store = TraceStore::create(&root).unwrap();
+    for (seed, _) in GOLDEN_TRACE_DIGESTS {
+        store
+            .save_run(seed, "trigger", 0xbead, &[fixture_trace(seed)])
+            .unwrap();
+    }
+    store
+        .save_campaign(&sentomist_tracestore::CampaignManifest {
+            format_version: 1,
+            mode: "trigger".into(),
+            params: vec!["period=20".into(), "seconds=2".into()],
+            seeds: 3,
+            base_seed: 41,
+            errors: vec![],
+        })
+        .unwrap();
+    // A v1 store has no write-ahead log or index.
+    std::fs::remove_file(root.join("wal.jsonl")).ok();
+    std::fs::remove_file(root.join("index.json")).ok();
+    // Run manifests carried format_version 1.
+    for (seed, _) in GOLDEN_TRACE_DIGESTS {
+        let path = root.join(format!("runs/seed-{seed:020}/manifest.json"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        let downgraded = json.replacen("\"format_version\": 2", "\"format_version\": 1", 1);
+        assert_ne!(json, downgraded, "version field not found in {path:?}");
+        std::fs::write(&path, downgraded).unwrap();
+    }
+
+    let reopened = TraceStore::open(&root).unwrap();
+    let digest = CorpusIndex::merge(&reopened).unwrap().corpus_digest();
+    std::fs::remove_file(root.join("index.json")).ok();
+    std::fs::remove_file(root.join("wal.jsonl")).ok();
+    let digests: Vec<String> = GOLDEN_TRACE_DIGESTS
+        .iter()
+        .map(|(s, _)| format!("({s}, {:#018x})", fixture_trace(*s).digest()))
+        .collect();
+    panic!(
+        "captured fixtures/store_v1; pin GOLDEN_TRACE_DIGESTS=[{}], \
+         GOLDEN_CORPUS_DIGEST={digest:#018x} and re-run without GOLDEN_CAPTURE",
+        digests.join(", "),
+    );
+}
+
+#[test]
+fn v1_store_reads_back_to_the_pinned_digests() {
+    if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+        capture();
+    }
+    let store = TraceStore::open(fixture_path()).expect("committed fixture store_v1");
+    let run_ids = store.run_ids().unwrap();
+    assert_eq!(run_ids.len(), GOLDEN_TRACE_DIGESTS.len());
+    for (run_id, (seed, digest)) in run_ids.iter().zip(GOLDEN_TRACE_DIGESTS) {
+        let manifest = store.manifest(run_id).unwrap();
+        assert_eq!(manifest.format_version, 1, "fixture drifted to v2");
+        assert_eq!(manifest.seed, seed);
+        let traces = store.load_traces(&manifest).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].digest(),
+            digest,
+            "run {run_id}: decoded digest drifted"
+        );
+        assert_eq!(traces[0], fixture_trace(seed));
+    }
+}
+
+#[test]
+fn v1_store_is_clean_under_fsck() {
+    if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+        return; // capture runs in the digest test
+    }
+    let store = TraceStore::open(fixture_path()).unwrap();
+    let report = store.fsck(false).unwrap();
+    assert!(
+        report.is_clean(),
+        "a pristine v1 store must not look crash-damaged: {report:?}"
+    );
+}
+
+/// Merging an index over a v1 store must work (that is the upgrade
+/// path) and reproduce the pinned corpus digest. The merge writes into
+/// a scratch copy so the committed fixture stays byte-frozen.
+#[test]
+fn v1_store_merges_to_the_pinned_corpus_digest() {
+    if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+        return; // capture runs in the digest test
+    }
+    let scratch = std::env::temp_dir().join(format!("stc-v1-compat-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    copy_tree(&fixture_path(), &scratch);
+    let store = TraceStore::open(&scratch).unwrap();
+    let index = CorpusIndex::merge(&store).unwrap();
+    assert_eq!(index.generation, 1);
+    assert_eq!(
+        index.corpus_digest(),
+        GOLDEN_CORPUS_DIGEST,
+        "corpus digest over the v1 fixture drifted"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+fn copy_tree(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}

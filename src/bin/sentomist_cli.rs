@@ -24,7 +24,8 @@ use sentomist::mlcore::{
 use sentomist::tinyvm::{self, devices::NodeConfig, node::Node, Program};
 use sentomist::trace::{Recorder, Trace};
 use sentomist::tracestore::{
-    CampaignManifest, StoredRunError, TraceReader, TraceStore, TraceWriter, MANIFEST_VERSION,
+    CampaignManifest, CorpusIndex, StoredRunError, TraceReader, TraceStore, TraceWriter,
+    MANIFEST_VERSION,
 };
 use serde::{Serialize, Value};
 use std::collections::HashMap;
@@ -73,7 +74,7 @@ USAGE:
 
   sentomist campaign [--case 1|2|3] [--seeds N] [--base-seed S] [--threads T]
                      [--period MS] [--seconds SEC] [--nu X] [--json] [--progress]
-                     [--store DIR] [--resume] [--strict]
+                     [--store DIR] [--writers W] [--resume] [--strict]
                      [--max-retries R] [--backoff-ms MS]
                      [--timeout-ms MS] [--timeout-cycles N]
                      [--chaos SEED] [--chaos-rate X] [--stop-after K]
@@ -84,7 +85,11 @@ USAGE:
       --case each seed reruns the full case study. The aggregated output
       (and --json document) is byte-identical for every --threads value.
       With --store every run's lifecycle traces are persisted to a trace
-      corpus under DIR, re-minable later with `trace mine`.
+      corpus under DIR, re-minable later with `trace mine`. --writers W
+      fans the runs across W writer shards (DIR/shards/writer-NN/), each
+      publishing through its own write-ahead log; the merged index and
+      the re-mined document are byte-identical for every W, and
+      `trace merge` folds the shards back into a flat corpus.
 
       Every run is supervised: a panicking run becomes a typed failure
       row, not a dead campaign. --max-retries grants transient failures
@@ -167,6 +172,19 @@ USAGE:
   sentomist trace quarantine ls <store-dir>
       List the corpus runs set aside by quarantine-and-continue mining,
       with the recorded reason for each.
+
+  sentomist trace fsck <store-dir> [--repair]
+      Audit a corpus for crash damage: write-ahead-log entries left
+      pending by a died writer, orphaned .tmp files, runs with a torn
+      manifest or short trace file, and a stale index. Read-only by
+      default; --repair quarantines damaged runs, sweeps temp files,
+      rebuilds the index and settles the logs. Exits nonzero when a
+      dry run finds damage (the CI contract).
+
+  sentomist trace merge <store-dir>
+      Compact a sharded multi-writer corpus: move every shard's runs
+      into the top-level runs/ tree, drop the emptied shard skeletons
+      and rebuild the merged index. The corpus digest is unchanged.
 "
 }
 
@@ -907,6 +925,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
     // of the runs that succeed.
     let strict = flags.contains_key("strict");
     let resume = flags.contains_key("resume");
+    // Like --threads, --writers is a topology knob: it decides which
+    // shard a run lands in, never what the run contains, so the merged
+    // index and the re-mined document are byte-identical for every W.
+    let writers = flag_u64(&flags, "writers", 1)?.max(1);
     let sup = SupervisorOptions {
         threads,
         progress: flags.contains_key("progress"),
@@ -978,8 +1000,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
             let program_digest = mode.program_digest()?;
             Box::new(move |ctx: &RunContext| {
                 let (outcome, traces) = traced(ctx)?;
-                store
-                    .save_run(ctx.seed(), mode_name, program_digest, &traces)
+                // With one writer, runs land in the flat top-level tree;
+                // with several, each seed hashes to a shard sub-store so
+                // no two writers ever publish into the same directory.
+                let sink = if writers > 1 {
+                    store
+                        .shard(&format!("writer-{:02}", ctx.seed() % writers))
+                        .map_err(|e| RunFailure::Transient(format!("opening shard: {e}")))?
+                } else {
+                    store.clone()
+                };
+                sink.save_run(ctx.seed(), mode_name, program_digest, &traces)
                     .map_err(|e| RunFailure::Transient(format!("storing run: {e}")))?;
                 Ok((outcome, traces))
             })
@@ -1040,6 +1071,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
                     .collect(),
             })?;
             store.clear_journal()?;
+            // Stamp a fresh generation of the merged index over whatever
+            // shard topology this sweep used; readers and `trace mine`
+            // see one corpus either way.
+            CorpusIndex::merge(store)?;
             eprintln!(
                 "campaign: stored {} run(s) under {dir} (re-mine with \
                  `sentomist trace mine {dir}`)",
@@ -1331,7 +1366,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
     let sub = args
         .first()
         .map(String::as_str)
-        .ok_or("trace: missing subcommand (record|ls|info|mine|quarantine)")?;
+        .ok_or("trace: missing subcommand (record|ls|info|mine|quarantine|fsck|merge)")?;
     let rest = &args[1..];
     match sub {
         "record" => cmd_trace_record(rest),
@@ -1339,11 +1374,87 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
         "info" => cmd_trace_info(rest),
         "mine" => cmd_trace_mine(rest),
         "quarantine" => cmd_trace_quarantine(rest),
+        "fsck" => cmd_trace_fsck(rest),
+        "merge" => cmd_trace_merge(rest),
         other => Err(format!(
-            "unknown trace subcommand `{other}` (record|ls|info|mine|quarantine)"
+            "unknown trace subcommand `{other}` (record|ls|info|mine|quarantine|fsck|merge)"
         )
         .into()),
     }
+}
+
+fn cmd_trace_fsck(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    // `trace fsck --repair <dir>` parses the dir as the flag's value;
+    // accept it from either position.
+    let root = pos
+        .first()
+        .cloned()
+        .or_else(|| flags.get("repair").filter(|s| !s.is_empty()).cloned())
+        .ok_or("trace fsck: missing <store-dir>")?;
+    let repair = flags.contains_key("repair");
+    let store = TraceStore::open(&root)?;
+    let report = store.fsck(repair)?;
+    if report.is_clean() {
+        println!("{root}: clean — no pending log entries, temp files or damaged runs");
+        return Ok(());
+    }
+    for target in &report.pending {
+        println!("pending:   {target} (write-ahead intent without a commit)");
+    }
+    for tmp in &report.torn_tmp {
+        println!("tmp:       {tmp}");
+    }
+    for run in &report.torn_runs {
+        println!("torn:      {run} (manifest missing or unreadable)");
+    }
+    for run in &report.damaged_runs {
+        println!("damaged:   {run} (trace file missing or short)");
+    }
+    if report.stale_index {
+        println!("index:     stale (run set changed since the last merge)");
+    }
+    if repair {
+        println!(
+            "repaired: {} temp file(s) swept, {} run(s) quarantined, \
+             index {}",
+            report.torn_tmp.len(),
+            report.torn_runs.len() + report.damaged_runs.len(),
+            if report.stale_index {
+                "rebuilt"
+            } else {
+                "already current"
+            }
+        );
+        Ok(())
+    } else {
+        Err("store needs repair — rerun with --repair".into())
+    }
+}
+
+fn cmd_trace_merge(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, _) = parse_flags(args);
+    let root = pos.first().ok_or("trace merge: missing <store-dir>")?;
+    let store = TraceStore::open(root)?;
+    let shards = store.shard_ids()?;
+    if shards.is_empty() {
+        println!("{root}: no shards — corpus is already flat");
+        return Ok(());
+    }
+    // compact_shards republishes the merged index itself; load it back
+    // for the summary line rather than bumping another generation.
+    let moved = store.compact_shards()?;
+    let index = CorpusIndex::load(&store)?
+        .ok_or("compaction finished but left no index — store is damaged")?;
+    println!(
+        "merged {} run(s) from {} shard(s) into {root}/runs \
+         (index generation {}, corpus digest {:016x})",
+        moved.len(),
+        shards.len(),
+        index.generation,
+        index.corpus_digest()
+    );
+    Ok(())
 }
 
 fn cmd_trace_quarantine(args: &[String]) -> Result<(), Box<dyn Error>> {

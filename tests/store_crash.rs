@@ -1,0 +1,221 @@
+//! Crash-consistency acceptance suite: for every crash site the store
+//! publishes through (manifest commit, shard ingestion, index merge)
+//! and several derivation seeds, a workload killed mid-write must
+//! recover — via `TraceStore::recover()` — into a corpus whose re-mined
+//! digest is byte-identical to an uninterrupted run's. The same
+//! contract is exercised through the CLI: a multi-writer `campaign
+//! --store --writers W` produces the identical document and index for
+//! every W, survives `trace fsck`, and compacts with `trace merge`
+//! without changing the corpus digest.
+
+mod support;
+
+use sentomist::core::chaos::{crash_then_recover, ingest_workload, remine_digest, CrashSite};
+use sentomist::tinyvm::LifecycleItem;
+use sentomist::trace::Trace;
+use sentomist::tracestore::TraceStore;
+use support::{cli, ev, run_ok, workdir};
+
+/// A deterministic workload trace: pure function of the seed, protocol
+/// valid, with enough bytes that any write class has a real crash
+/// window.
+fn crash_trace(seed: u64) -> Trace {
+    let n = 2 + (seed % 4) as usize;
+    let mut cycle = 0u64;
+    let events = (0..n)
+        .map(|i| {
+            cycle += 11 + seed.wrapping_mul(7).wrapping_add(i as u64) % 512;
+            let item = if i % 2 == 0 {
+                LifecycleItem::Int((seed % 8) as u8)
+            } else {
+                LifecycleItem::Reti
+            };
+            ev(cycle, item)
+        })
+        .collect();
+    let segments = (0..=n)
+        .map(|i| {
+            (0..6)
+                .map(|p| ((seed >> p) as u32 ^ i as u32) % 31)
+                .collect()
+        })
+        .collect();
+    Trace {
+        events,
+        segments,
+        program_len: 6,
+    }
+}
+
+/// The full matrix: every crash site × three derivation seeds. Each
+/// cell tears a different byte offset inside the site's write class;
+/// all of them must recover to the uninterrupted corpus digest.
+#[test]
+fn every_crash_site_recovers_to_the_baseline_corpus() {
+    let root = workdir("store-crash-matrix");
+    let seeds: Vec<u64> = (1..=8).collect();
+    for site in CrashSite::ALL {
+        for crash_seed in [11u64, 22, 33] {
+            let cell = root.join(format!("{}-{crash_seed}", site.slug()));
+            let workload = ingest_workload(seeds.clone(), 2, crash_trace);
+            let outcome = crash_then_recover(&cell, site, crash_seed, workload)
+                .unwrap_or_else(|e| panic!("{} seed {crash_seed}: {e}", site.slug()));
+            assert!(outcome.class_bytes > 0, "{} wrote nothing", site.slug());
+            assert!(outcome.offset < outcome.class_bytes);
+            assert!(
+                outcome.digests_match(),
+                "{} seed {crash_seed}: recovered {:016x} != baseline {:016x} \
+                 (tore at byte {} of {}, report {:?})",
+                site.slug(),
+                outcome.recovered_digest,
+                outcome.baseline_digest,
+                outcome.offset,
+                outcome.class_bytes,
+                outcome.report,
+            );
+        }
+    }
+}
+
+/// The crash matrix is a pure function of its seeds: running the same
+/// cell twice (fresh directories) reproduces the same torn offset and
+/// the same recovered digest.
+#[test]
+fn crash_cells_are_deterministic() {
+    let root = workdir("store-crash-determinism");
+    let seeds: Vec<u64> = (1..=5).collect();
+    for site in CrashSite::ALL {
+        let a = crash_then_recover(
+            &root.join(format!("{}-a", site.slug())),
+            site,
+            99,
+            ingest_workload(seeds.clone(), 3, crash_trace),
+        )
+        .unwrap();
+        let b = crash_then_recover(
+            &root.join(format!("{}-b", site.slug())),
+            site,
+            99,
+            ingest_workload(seeds.clone(), 3, crash_trace),
+        )
+        .unwrap();
+        assert_eq!(a.offset, b.offset, "{}: offset drifted", site.slug());
+        assert_eq!(a.baseline_digest, b.baseline_digest);
+        assert_eq!(a.recovered_digest, b.recovered_digest);
+    }
+}
+
+/// CLI contract: the campaign document, the re-mined document and the
+/// merged index are byte-identical for every `--writers` value, and
+/// `trace merge` flattens the shards without changing the corpus.
+#[test]
+fn cli_multi_writer_campaign_is_topology_independent() {
+    let root = workdir("store-crash-cli");
+    let store1 = root.join("w1");
+    let store4 = root.join("w4");
+    let campaign = |store: &std::path::Path, writers: &str| {
+        let mut cmd = cli();
+        cmd.args([
+            "campaign",
+            "--seeds",
+            "4",
+            "--base-seed",
+            "300",
+            "--seconds",
+            "2",
+            "--json",
+            "--store",
+        ])
+        .arg(store)
+        .args(["--writers", writers]);
+        run_ok(&mut cmd).0
+    };
+    let doc1 = campaign(&store1, "1");
+    let doc4 = campaign(&store4, "4");
+    assert_eq!(doc1, doc4, "--writers leaked into the document");
+
+    // Same runs, same index content, regardless of where they landed.
+    let s1 = TraceStore::open(&store1).unwrap();
+    let s4 = TraceStore::open(&store4).unwrap();
+    assert_eq!(s1.run_ids().unwrap(), s4.run_ids().unwrap());
+    let digest_before = remine_digest(&s4).unwrap();
+    assert_eq!(remine_digest(&s1).unwrap(), digest_before);
+    assert!(!s4.shard_ids().unwrap().is_empty(), "expected shards");
+
+    // fsck: both corpora are clean as written.
+    run_ok(cli().arg("trace").arg("fsck").arg(&store4));
+
+    // merge: flattens the shards, corpus digest unchanged.
+    run_ok(cli().arg("trace").arg("merge").arg(&store4));
+    let s4 = TraceStore::open(&store4).unwrap();
+    assert!(s4.shard_ids().unwrap().is_empty(), "shards survived merge");
+    assert_eq!(remine_digest(&s4).unwrap(), digest_before);
+
+    // The re-mined documents agree with each other (and the live ones).
+    let mine =
+        |store: &std::path::Path| run_ok(cli().arg("trace").arg("mine").arg(store).arg("--json")).0;
+    assert_eq!(mine(&store1), mine(&store4));
+    assert_eq!(mine(&store1), doc1);
+}
+
+/// CLI contract: `trace fsck` exits nonzero on a damaged store (the CI
+/// tripwire), repairs it with `--repair`, and the quarantined run shows
+/// up in `trace quarantine ls`.
+#[test]
+fn cli_fsck_repairs_a_damaged_store() {
+    let root = workdir("store-crash-fsck");
+    let store_dir = root.join("store");
+    run_ok(
+        cli()
+            .args([
+                "campaign",
+                "--seeds",
+                "3",
+                "--base-seed",
+                "700",
+                "--seconds",
+                "2",
+                "--store",
+            ])
+            .arg(&store_dir),
+    );
+
+    // Tear one run's trace file and drop an orphan temp file — the two
+    // damage classes a died writer leaves behind.
+    let victim = store_dir.join("runs/seed-00000000000000000701/node-000.stc");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(store_dir.join("orphan.tmp"), b"{").unwrap();
+
+    let dry = cli()
+        .arg("trace")
+        .arg("fsck")
+        .arg(&store_dir)
+        .output()
+        .unwrap();
+    assert!(!dry.status.success(), "dry-run fsck must flag damage");
+
+    run_ok(
+        cli()
+            .arg("trace")
+            .arg("fsck")
+            .arg(&store_dir)
+            .arg("--repair"),
+    );
+    run_ok(cli().arg("trace").arg("fsck").arg(&store_dir)); // now clean
+    assert!(!store_dir.join("orphan.tmp").exists());
+
+    let (ls, _) = run_ok(cli().args(["trace", "quarantine", "ls"]).arg(&store_dir));
+    assert!(
+        ls.contains("seed-00000000000000000701"),
+        "quarantine ls missed the torn run:\n{ls}"
+    );
+
+    // The surviving runs still mine.
+    run_ok(
+        cli()
+            .args(["trace", "mine"])
+            .arg(&store_dir)
+            .args(["--json", "--quarantine"]),
+    );
+}
