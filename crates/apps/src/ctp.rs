@@ -331,15 +331,17 @@ pub fn fixed(params: &CtpParams) -> Result<Arc<Program>, AsmError> {
 }
 
 /// Builds the 9-node tree topology.
-pub fn topology() -> netsim::Topology {
+///
+/// # Errors
+///
+/// [`netsim::TopologyError`] only if the compile-time tree constants are
+/// corrupted (an out-of-range or self-referential parent id).
+pub fn topology() -> Result<netsim::Topology, netsim::TopologyError> {
     let mut topo = netsim::Topology::new(NODE_COUNT);
     for n in 1..NODE_COUNT {
-        // The tree shape is compile-time constant: parent ids are always in
-        // range, never self-referential, and the default link is legal.
-        topo.connect(n, parent_of(n), netsim::LinkConfig::default())
-            .expect("static tree topology is valid");
+        topo.connect(n, parent_of(n), netsim::LinkConfig::default())?;
     }
-    topo
+    Ok(topo)
 }
 
 /// Node configuration for each tree member.
@@ -358,7 +360,7 @@ mod tests {
     use tinyvm::NullSink;
 
     fn run_tree(program: Arc<Program>, seed: u64, cycles: u64) -> NetSim {
-        let mut sim = NetSim::new(topology(), seed);
+        let mut sim = NetSim::new(topology().expect("static tree topology"), seed);
         for id in 0..NODE_COUNT {
             sim.add_node(program.clone(), node_config(id, seed))
                 .unwrap();
@@ -391,7 +393,7 @@ mod tests {
         assert_eq!(parent_of(8), 3);
         assert_eq!(parent_of(3), 1);
         assert_eq!(parent_of(1), 0);
-        let t = topology();
+        let t = topology().expect("static tree topology");
         assert!(t.link(8, 3).is_some());
         assert!(t.link(8, 0).is_none());
     }

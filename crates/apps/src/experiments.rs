@@ -490,7 +490,7 @@ fn case3_emulate(config: &Case3Config) -> Result<Vec<Trace>, Box<dyn Error>> {
     } else {
         ctp::buggy(&config.params)?
     };
-    let mut sim = netsim::NetSim::new(ctp::topology(), config.seed);
+    let mut sim = netsim::NetSim::new(ctp::topology()?, config.seed);
     for id in 0..ctp::NODE_COUNT {
         sim.add_node(program.clone(), ctp::node_config(id, config.seed))?;
     }

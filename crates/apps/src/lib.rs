@@ -23,6 +23,7 @@
 pub mod ctp;
 pub mod experiments;
 pub mod forwarder;
+pub mod jobs;
 pub mod oscilloscope;
 pub mod scenario;
 
@@ -31,6 +32,10 @@ pub use experiments::{
     mine_case1, mine_case2, mine_case3, mine_trigger_trace, run_case1, run_case1_traced, run_case2,
     run_case2_traced, run_case3, run_case3_traced, run_trigger_campaign, trigger_job,
     trigger_job_traced, Case1Config, Case2Config, Case3Config, CaseResult, DetectorKind,
+};
+pub use jobs::{
+    bundled_program, campaign_document, fnv64, mine_corpus, CampaignJob, CorpusMineOptions,
+    JobError, MinedCorpus, Mode, StoreMiner, SupervisedTracedJob, TracedJob,
 };
 pub use scenario::{
     emulate_scenario, hunt_iteration, mine_scenario, mined_matches, scenario, scenario_evidence,

@@ -360,7 +360,8 @@ pub fn emulate_scenario(s: &HuntScenario) -> Result<Vec<Trace>, String> {
         }
         ScenarioParams::Ctp { .. } => {
             let program = scenario_program(s)?;
-            let mut sim = NetSim::new(ctp::topology(), s.node_seed);
+            let topo = ctp::topology().map_err(|e| format!("ctp topology: {e}"))?;
+            let mut sim = NetSim::new(topo, s.node_seed);
             for id in 0..ctp::NODE_COUNT {
                 sim.add_node(program.clone(), ctp::node_config(id, s.node_seed))
                     .map_err(|e| format!("ctp node {id}: {e}"))?;

@@ -95,6 +95,6 @@ pub use pipeline::{Pipeline, PipelineError};
 pub use report::{RankedSample, Report};
 pub use sample::{harvest, harvest_set, Sample, SampleIndex, SampleMeta, SampleSet};
 pub use supervise::{
-    adapt_seed_job, backoff_delay_ms, run_supervised, run_supervised_typed, RunContext, RunFailure,
-    SeedReport, SupervisedResult, SupervisorOptions, TypedReport,
+    adapt_seed_job, backoff_delay_ms, run_supervised, run_supervised_typed, supervise_once,
+    RunContext, RunFailure, SeedReport, SupervisedResult, SupervisorOptions, TypedReport,
 };

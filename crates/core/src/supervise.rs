@@ -411,6 +411,23 @@ where
     }
 }
 
+/// Supervises a single seed of a typed job on the calling thread's
+/// schedule: the attempt runs on a watchdogged worker thread with panic
+/// isolation, transient failures retry with deterministic backoff, and
+/// the final [`TypedReport`] carries either the value or the typed
+/// error. This is [`run_supervised_typed`] for a fleet of one — long-
+/// running services use it to give each dequeued job the same fault
+/// envelope a campaign seed gets, so one poisoned request never takes
+/// down the process.
+pub fn supervise_once<T, F>(seed: u64, options: &SupervisorOptions, job: Arc<F>) -> TypedReport<T>
+where
+    T: Send + 'static,
+    F: Fn(&RunContext) -> Result<T, RunFailure> + Send + Sync + 'static,
+{
+    install_quiet_panic_hook();
+    supervise_seed(seed, options, &job)
+}
+
 /// Seed-sorted aggregation of a typed supervised campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SupervisedResult<T> {

@@ -1,0 +1,188 @@
+//! The digest-keyed read-through result cache.
+//!
+//! A mine request against an unchanged store should not re-replay a
+//! single chunk. The cache keys on *what corpus the request names* (the
+//! canonicalized store path plus the quarantine flag, which changes the
+//! document) and validates on *what that corpus currently is*: the
+//! store's [`CorpusFingerprint`] — index generation + content digest.
+//! `trace merge` bumps the generation even when content is unchanged, so
+//! a merge always invalidates; any repair or ingestion that alters the
+//! entries moves the digest and invalidates too. A hit serves the exact
+//! cached document bytes, preserving the byte-identity contract.
+
+use sentomist_tracestore::CorpusFingerprint;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What corpus a cached result answers for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonicalized store root.
+    pub store: PathBuf,
+    /// Whether quarantine-and-continue mining was requested (it adds a
+    /// document section, so it is part of the identity).
+    pub quarantine: bool,
+}
+
+impl CacheKey {
+    /// Builds the key for a store path, canonicalizing so `/x/../x` and
+    /// `x` hit the same entry. Falls back to the path as given when it
+    /// cannot be canonicalized (the store open will fail with the real
+    /// error anyway).
+    pub fn new(store: &Path, quarantine: bool) -> CacheKey {
+        CacheKey {
+            store: std::fs::canonicalize(store).unwrap_or_else(|_| store.to_path_buf()),
+            quarantine,
+        }
+    }
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    fingerprint: CorpusFingerprint,
+    document: Arc<Vec<u8>>,
+}
+
+/// A bounded, fingerprint-validated result cache with FIFO eviction.
+pub struct ResultCache {
+    entries: Mutex<VecDeque<CacheEntry>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` documents (minimum 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the document for `key` **iff** it was cached at exactly
+    /// `current` — the fingerprint the store reports right now. A stale
+    /// entry (key present, fingerprint moved) is dropped on the spot.
+    /// Every call counts as a hit or a miss.
+    pub fn lookup(&self, key: &CacheKey, current: CorpusFingerprint) -> Option<Arc<Vec<u8>>> {
+        let mut entries = match self.entries.lock() {
+            Ok(e) => e,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if let Some(pos) = entries.iter().position(|e| &e.key == key) {
+            if entries[pos].fingerprint == current {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&entries[pos].document));
+            }
+            // The store advanced since this was cached: invalidate.
+            entries.remove(pos);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Caches `document` for `key` as of `fingerprint`, replacing any
+    /// entry for the same key and evicting the oldest entry at capacity.
+    pub fn insert(&self, key: CacheKey, fingerprint: CorpusFingerprint, document: Arc<Vec<u8>>) {
+        let Ok(mut entries) = self.entries.lock() else {
+            return;
+        };
+        if let Some(pos) = entries.iter().position(|e| e.key == key) {
+            entries.remove(pos);
+        }
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(CacheEntry {
+            key,
+            fingerprint,
+            document,
+        });
+    }
+
+    /// Served-from-cache count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cold (or invalidated) lookup count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Documents currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(generation: u64, digest: u64) -> CorpusFingerprint {
+        CorpusFingerprint { generation, digest }
+    }
+
+    fn key(name: &str) -> CacheKey {
+        CacheKey {
+            store: PathBuf::from(name),
+            quarantine: false,
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_fingerprint() {
+        let cache = ResultCache::new(4);
+        let doc = Arc::new(b"{}\n".to_vec());
+        cache.insert(key("a"), fp(1, 42), Arc::clone(&doc));
+        assert_eq!(cache.lookup(&key("a"), fp(1, 42)).as_deref(), Some(&*doc));
+        assert_eq!(cache.hits(), 1);
+        // Generation bump (e.g. `trace merge`) invalidates even with the
+        // same content digest.
+        assert!(cache.lookup(&key("a"), fp(2, 42)).is_none());
+        assert_eq!(cache.misses(), 1);
+        // And the stale entry is gone: same old fingerprint misses now.
+        assert!(cache.lookup(&key("a"), fp(1, 42)).is_none());
+    }
+
+    #[test]
+    fn quarantine_flag_is_part_of_the_key() {
+        let cache = ResultCache::new(4);
+        let plain = CacheKey {
+            store: PathBuf::from("s"),
+            quarantine: false,
+        };
+        let quarantined = CacheKey {
+            store: PathBuf::from("s"),
+            quarantine: true,
+        };
+        cache.insert(plain.clone(), fp(1, 7), Arc::new(b"plain".to_vec()));
+        assert!(cache.lookup(&quarantined, fp(1, 7)).is_none());
+        assert!(cache.lookup(&plain, fp(1, 7)).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("a"), fp(1, 1), Arc::new(vec![b'a']));
+        cache.insert(key("b"), fp(1, 2), Arc::new(vec![b'b']));
+        cache.insert(key("c"), fp(1, 3), Arc::new(vec![b'c']));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key("a"), fp(1, 1)).is_none());
+        assert!(cache.lookup(&key("b"), fp(1, 2)).is_some());
+        assert!(cache.lookup(&key("c"), fp(1, 3)).is_some());
+    }
+}

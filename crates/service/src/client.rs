@@ -1,0 +1,63 @@
+//! A minimal blocking client for the daemon's protocol — what the load
+//! generator, the tests and the CI smoke job speak.
+
+use crate::protocol::{read_frame, write_frame, FrameKind, ProtocolError, Request, Response};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client. One request/response at a time, in order; open
+/// several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] on connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ProtocolError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ProtocolError::Io(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    /// Connects with a connect timeout (needs a resolved address).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] on resolve or connect failure.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Client, ProtocolError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| ProtocolError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| ProtocolError::Io("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)
+            .map_err(|e| ProtocolError::Io(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] on the wire.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        let payload = request.to_bytes()?;
+        write_frame(&mut self.stream, FrameKind::Request, &payload)?;
+        Response::from_frame(read_frame(&mut self.stream)?)
+    }
+}
+
+/// One-shot convenience: connect, send, receive, disconnect.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`].
+pub fn request<A: ToSocketAddrs>(addr: A, request: &Request) -> Result<Response, ProtocolError> {
+    Client::connect(addr)?.request(request)
+}

@@ -1,0 +1,45 @@
+//! # sentomist-service — the long-running symptom-mining service
+//!
+//! Sentomist's record-once / re-mine-forever model stops needing a
+//! fresh process per query here: `sentomistd` keeps a corpus-backed
+//! mining daemon resident and answers emulate / mine / lint / hunt
+//! jobs over a length-prefixed binary protocol on TCP (`std::net`
+//! only — no external dependencies, per the offline-shims policy).
+//!
+//! The architecture, front to back:
+//!
+//! * [`protocol`] — 10-byte-header frames with the payload length
+//!   capped **before** allocation; every malformed input is a typed
+//!   [`ProtocolError`], never a panic. `Ok` responses carry raw result
+//!   bytes, so a mine answer is byte-identical to `sentomist trace
+//!   mine --json` output.
+//! * [`queue`] — the bounded admission queue: when it is full the job
+//!   is shed immediately with an `Overloaded` frame (backpressure),
+//!   never buffered without bound.
+//! * [`server`] — the accept loop and a supervised worker fleet
+//!   reusing `core::supervise` (panic isolation, watchdog timeouts,
+//!   deterministic retry), so one poisoned job never takes the daemon
+//!   down.
+//! * [`cache`] — a read-through result cache keyed on the corpus
+//!   identity and validated against the store's generation-stamped
+//!   [`CorpusFingerprint`](sentomist_tracestore::CorpusFingerprint),
+//!   so repeated mines of an unchanged store skip the replay entirely.
+//! * [`client`] — the blocking client the load generator and tests use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use client::{request, Client};
+pub use protocol::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameKind, ProtocolError, Request,
+    Response, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+pub use queue::{Admission, AdmissionError};
+pub use server::{Server, ServiceConfig, ServiceError, StatsSnapshot};

@@ -1,0 +1,524 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! A frame is a fixed 10-byte header followed by the payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic `b"SNTM"`
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame kind (request / ok / error / overloaded)
+//! 6       4     payload length, u32 little-endian
+//! 10      len   payload bytes
+//! ```
+//!
+//! The length field is validated against [`MAX_PAYLOAD`] **before** any
+//! allocation happens, so a hostile or corrupt header can never make the
+//! daemon reserve gigabytes. Every malformed input — wrong magic, unknown
+//! version or kind, oversized length, short read — decodes to a typed
+//! [`ProtocolError`]; the decoder has no panicking path (the protocol
+//! hardening proptest feeds it arbitrary and truncated byte strings).
+//!
+//! Request payloads are JSON ([`Request`]); an `Ok` response payload is
+//! the handler's **raw result bytes** — deliberately not re-wrapped in
+//! JSON, so a mine response can be byte-identical to what `sentomist
+//! trace mine --json` prints.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SNTM";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 10;
+/// Hard cap on a frame's payload length, enforced before allocation.
+pub const MAX_PAYLOAD: u32 = 8 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: a JSON-encoded [`Request`].
+    Request,
+    /// Server → client: success; payload is the handler's raw result bytes.
+    Ok,
+    /// Server → client: the job failed; payload is the UTF-8 error message.
+    Error,
+    /// Server → client: admission queue full, job shed. Payload empty.
+    Overloaded,
+}
+
+impl FrameKind {
+    /// Wire byte for this kind.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Ok => 2,
+            FrameKind::Error => 3,
+            FrameKind::Overloaded => 4,
+        }
+    }
+
+    /// Parses a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadKind`] for any unassigned byte.
+    pub fn from_byte(b: u8) -> Result<FrameKind, ProtocolError> {
+        match b {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Ok),
+            3 => Ok(FrameKind::Error),
+            4 => Ok(FrameKind::Overloaded),
+            other => Err(ProtocolError::BadKind(other)),
+        }
+    }
+}
+
+/// Every way a frame can fail to parse or transfer. Typed, non-panicking,
+/// and allocation-safe: `Oversized` is raised from the header alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown frame-kind byte.
+    BadKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The length the header declared.
+        declared: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The input ended before the declared frame did.
+    Truncated {
+        /// Bytes the frame still needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// An I/O error while reading or writing a frame.
+    Io(String),
+    /// The payload failed to decode (bad UTF-8 or bad request JSON).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtocolError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtocolError::Oversized { declared, max } => {
+                write!(f, "declared payload {declared} bytes exceeds cap {max}")
+            }
+            ProtocolError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            ProtocolError::Io(e) => write!(f, "frame i/o: {e}"),
+            ProtocolError::Malformed(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A parsed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a frame.
+///
+/// # Errors
+///
+/// [`ProtocolError::Oversized`] when the payload exceeds [`MAX_PAYLOAD`].
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(ProtocolError::Oversized {
+            declared: payload.len().min(u32::MAX as usize) as u32,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind.to_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Validates a 10-byte header, returning the frame kind and the declared
+/// payload length. The length is checked against [`MAX_PAYLOAD`] here —
+/// before any caller allocates for the payload.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadMagic`] / [`BadVersion`](ProtocolError::BadVersion)
+/// / [`BadKind`](ProtocolError::BadKind) /
+/// [`Oversized`](ProtocolError::Oversized).
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u32), ProtocolError> {
+    let magic = [header[0], header[1], header[2], header[3]];
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(ProtocolError::BadVersion(header[4]));
+    }
+    let kind = FrameKind::from_byte(header[5])?;
+    let declared = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if declared > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized {
+            declared,
+            max: MAX_PAYLOAD,
+        });
+    }
+    Ok((kind, declared))
+}
+
+/// Decodes one frame from the front of `bytes`, returning the frame and
+/// the number of bytes consumed. Never panics and never allocates more
+/// than the (capped) declared payload length.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`]; short input is
+/// [`Truncated`](ProtocolError::Truncated).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), ProtocolError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtocolError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&bytes[..HEADER_LEN]);
+    let (kind, declared) = parse_header(&header)?;
+    let total = HEADER_LEN + declared as usize;
+    if bytes.len() < total {
+        return Err(ProtocolError::Truncated {
+            needed: total,
+            got: bytes.len(),
+        });
+    }
+    Ok((
+        Frame {
+            kind,
+            payload: bytes[HEADER_LEN..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Reads exactly one frame from `r`.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`]; a stream that ends mid-frame is
+/// [`Truncated`](ProtocolError::Truncated), other I/O failures are
+/// [`Io`](ProtocolError::Io).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or(r, &mut header, 0)?;
+    let (kind, declared) = parse_header(&header)?;
+    let mut payload = vec![0u8; declared as usize];
+    read_exact_or(r, &mut payload, HEADER_LEN)?;
+    Ok(Frame { kind, payload })
+}
+
+/// `read_exact` with typed errors: a clean EOF mid-frame maps to
+/// [`ProtocolError::Truncated`] (with `already` bytes consumed so far),
+/// anything else to [`ProtocolError::Io`].
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], already: usize) -> Result<(), ProtocolError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Truncated {
+                    needed: already + buf.len(),
+                    got: already + filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtocolError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one frame to `w`.
+///
+/// # Errors
+///
+/// [`ProtocolError::Oversized`] / [`Io`](ProtocolError::Io).
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), ProtocolError> {
+    let bytes = encode_frame(kind, payload)?;
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| ProtocolError::Io(e.to_string()))
+}
+
+/// A job request, JSON-encoded in a [`FrameKind::Request`] payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Round-trip liveness probe; goes through the full admission queue
+    /// and worker pool, so its latency is the service's floor.
+    Ping,
+    /// Occupy a worker for `ms` milliseconds — the deterministic load
+    /// unit the load generator and backpressure tests ramp with.
+    Sleep {
+        /// Milliseconds to hold the worker.
+        ms: u64,
+    },
+    /// Deliberately panic inside the handler — proves the supervised
+    /// worker fleet isolates a poisoned job (test aid).
+    Panic,
+    /// Emulate-and-mine one seed of a campaign mode, as `sentomist
+    /// campaign` would; the response is the run outcome as pretty JSON.
+    Emulate {
+        /// Case selector (`"1"|"2"|"3"`), empty for trigger mode.
+        #[serde(default)]
+        case: String,
+        /// Trigger-mode ADC period (ms).
+        period: u32,
+        /// Trigger-mode emulated seconds.
+        seconds: u64,
+        /// Trigger-mode one-class SVM ν.
+        nu: f64,
+        /// The seed.
+        seed: u64,
+    },
+    /// Re-mine a recorded corpus into its campaign document; the `Ok`
+    /// payload is **exactly** the bytes `sentomist trace mine --json`
+    /// prints for the same store.
+    Mine {
+        /// Path of the trace store on the daemon's filesystem.
+        store: String,
+        /// Quarantine-and-continue over corrupt runs.
+        quarantine: bool,
+    },
+    /// Run the static interleaving linter over a bundled case-study
+    /// program; response is the report as pretty JSON.
+    Lint {
+        /// Bundled app name (`oscilloscope|forwarder|ctp`).
+        app: String,
+        /// Lint the fixed variant instead of the buggy one.
+        fixed: bool,
+    },
+    /// One seeded hunt iteration; response is the iteration record as
+    /// pretty JSON.
+    Hunt {
+        /// Case number (1, 2 or 3).
+        case: u64,
+        /// Hunt the fixed variant.
+        fixed: bool,
+        /// The scenario seed.
+        seed: u64,
+        /// Invariant policy: top-k localization window.
+        top_k: u64,
+    },
+    /// Service counters (answered inline, never queued); response is
+    /// [`StatsSnapshot`] JSON.
+    Stats,
+    /// Graceful shutdown: the daemon acknowledges with an empty `Ok`,
+    /// stops accepting, drains workers, and exits 0.
+    Shutdown,
+}
+
+impl Request {
+    /// JSON payload bytes for this request.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failure (practically unreachable).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ProtocolError> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .map_err(|e| ProtocolError::Malformed(e.to_string()))
+    }
+
+    /// Parses a request from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on bad UTF-8 or bad JSON.
+    pub fn from_bytes(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+        serde_json::from_str(text).map_err(|e| ProtocolError::Malformed(e.to_string()))
+    }
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; the handler's raw result bytes.
+    Ok(Vec<u8>),
+    /// The job failed; the error message.
+    Error(String),
+    /// The admission queue was full and the job was shed.
+    Overloaded,
+}
+
+impl Response {
+    /// The frame kind and payload bytes this response serializes to.
+    pub fn to_frame(&self) -> (FrameKind, &[u8]) {
+        match self {
+            Response::Ok(bytes) => (FrameKind::Ok, bytes.as_slice()),
+            Response::Error(msg) => (FrameKind::Error, msg.as_bytes()),
+            Response::Overloaded => (FrameKind::Overloaded, &[]),
+        }
+    }
+
+    /// Reassembles a response from a received frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] when a request frame arrives where a
+    /// response belongs, or an error payload is not UTF-8.
+    pub fn from_frame(frame: Frame) -> Result<Response, ProtocolError> {
+        match frame.kind {
+            FrameKind::Ok => Ok(Response::Ok(frame.payload)),
+            FrameKind::Error => String::from_utf8(frame.payload)
+                .map(Response::Error)
+                .map_err(|e| ProtocolError::Malformed(e.to_string())),
+            FrameKind::Overloaded => Ok(Response::Overloaded),
+            FrameKind::Request => Err(ProtocolError::Malformed(
+                "request frame in response position".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for (kind, payload) in [
+            (FrameKind::Request, b"hello".to_vec()),
+            (FrameKind::Ok, Vec::new()),
+            (FrameKind::Error, vec![0u8; 1000]),
+            (FrameKind::Overloaded, Vec::new()),
+        ] {
+            let bytes = encode_frame(kind, &payload).unwrap();
+            let (frame, consumed) = decode_frame(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.payload, payload);
+            let mut cursor = std::io::Cursor::new(bytes);
+            let frame = read_frame(&mut cursor).unwrap();
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.payload, payload);
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_the_header_alone() {
+        let mut bytes = encode_frame(FrameKind::Request, b"x").unwrap();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(ProtocolError::Oversized { declared, max }) => {
+                assert_eq!(declared, u32::MAX);
+                assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The streaming reader rejects it too, before allocating.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let bytes = encode_frame(FrameKind::Request, b"abcdef").unwrap();
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                decode_frame(&bytes[..cut]),
+                Err(ProtocolError::Truncated { .. })
+            ));
+        }
+        assert!(matches!(
+            decode_frame(b"XXXXXXXXXXXXXXXX"),
+            Err(ProtocolError::BadMagic(_))
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert!(matches!(
+            decode_frame(&wrong_version),
+            Err(ProtocolError::BadVersion(9))
+        ));
+        let mut wrong_kind = bytes;
+        wrong_kind[5] = 200;
+        assert!(matches!(
+            decode_frame(&wrong_kind),
+            Err(ProtocolError::BadKind(200))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = vec![
+            Request::Ping,
+            Request::Sleep { ms: 25 },
+            Request::Panic,
+            Request::Emulate {
+                case: String::new(),
+                period: 20,
+                seconds: 2,
+                nu: 0.05,
+                seed: 7,
+            },
+            Request::Mine {
+                store: "/tmp/corpus".into(),
+                quarantine: true,
+            },
+            Request::Lint {
+                app: "forwarder".into(),
+                fixed: false,
+            },
+            Request::Hunt {
+                case: 2,
+                fixed: false,
+                seed: 41,
+                top_k: 3,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let bytes = request.to_bytes().unwrap();
+            assert_eq!(Request::from_bytes(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        for response in [
+            Response::Ok(b"payload".to_vec()),
+            Response::Error("boom".into()),
+            Response::Overloaded,
+        ] {
+            let (kind, payload) = response.to_frame();
+            let bytes = encode_frame(kind, payload).unwrap();
+            let (frame, _) = decode_frame(&bytes).unwrap();
+            assert_eq!(Response::from_frame(frame).unwrap(), response);
+        }
+    }
+}

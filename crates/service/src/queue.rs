@@ -1,0 +1,172 @@
+//! The bounded admission queue.
+//!
+//! Admission is the backpressure point of the daemon: a connection
+//! thread *tries* to enqueue each parsed request and, when the queue is
+//! at capacity, the job is **shed immediately** with a typed
+//! [`Overloaded`](crate::protocol::Response::Overloaded) response —
+//! never buffered unboundedly, never silently dropped. Workers block on
+//! [`Admission::pop`] and drain in FIFO order; closing the queue wakes
+//! every blocked worker and lets the fleet exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Admission::try_push`] refused a job. Both variants hand the job
+/// back so the caller can answer the client without cloning.
+#[derive(Debug)]
+pub enum AdmissionError<T> {
+    /// The queue is at capacity — shed the job (backpressure).
+    Full(T),
+    /// The queue is closed — the daemon is shutting down.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO with non-blocking
+/// admission and blocking removal.
+pub struct Admission<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Admission<T> {
+    /// A queue admitting at most `capacity` queued jobs (minimum 1).
+    pub fn new(capacity: usize) -> Admission<T> {
+        Admission {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (racy by nature; for stats only).
+    pub fn len(&self) -> usize {
+        self.state.lock().map(|s| s.items.len()).unwrap_or(0)
+    }
+
+    /// Whether the queue is currently empty (for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues the job or refuses it with a
+    /// typed reason, returning the job itself either way.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Full`] at capacity (the backpressure signal),
+    /// [`AdmissionError::Closed`] during shutdown.
+    pub fn try_push(&self, item: T) -> Result<(), AdmissionError<T>> {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            // A poisoned queue behaves as closed: nothing gets lost
+            // silently, the caller answers the client.
+            Err(_) => return Err(AdmissionError::Closed(item)),
+        };
+        if state.closed {
+            return Err(AdmissionError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(AdmissionError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (FIFO) or the queue is closed
+    /// *and* drained, which returns `None` — the worker's exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().ok()?;
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).ok()?;
+        }
+    }
+
+    /// Closes the queue: admission starts refusing with `Closed`, and
+    /// workers drain the backlog then see `None`.
+    pub fn close(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.closed = true;
+        }
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full_and_hands_the_job_back() {
+        let q = Admission::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(AdmissionError::Full(job)) => assert_eq!(job, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(Admission::new(4));
+        q.try_push(10).unwrap();
+        q.close();
+        match q.try_push(11) {
+            Err(AdmissionError::Closed(job)) => assert_eq!(job, 11),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // The backlog still drains after close…
+        assert_eq!(q.pop(), Some(10));
+        // …and then pop returns None instead of blocking.
+        assert_eq!(q.pop(), None);
+
+        // A worker blocked on an empty queue is woken by close.
+        let q2 = Arc::new(Admission::<u64>::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn fifo_across_many_jobs() {
+        let q = Admission::new(64);
+        for i in 0..64 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..64 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+}

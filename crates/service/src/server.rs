@@ -1,0 +1,506 @@
+//! The daemon: accept loop, connection handling, supervised worker
+//! fleet, and the job handlers.
+//!
+//! Life of a request: a connection thread reads one frame, parses the
+//! [`Request`], and **tries** to admit it to the bounded queue. At
+//! capacity the job is shed right there with an
+//! [`Overloaded`](Response::Overloaded) frame — backpressure, never
+//! unbounded buffering. A worker pops the job and runs its handler
+//! under [`supervise_once`] — the same fault envelope a campaign seed
+//! gets: panic isolation, watchdog timeout, deterministic retry — so a
+//! poisoned job answers with a typed error instead of taking the daemon
+//! down. Mine jobs consult the fingerprint-validated
+//! [`ResultCache`](crate::cache::ResultCache) before touching the store.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{
+    read_frame, write_frame, FrameKind, ProtocolError, Request, Response, MAX_PAYLOAD,
+};
+use crate::queue::{Admission, AdmissionError};
+use sentomist_apps::{bundled_program, mine_corpus, CorpusMineOptions, HuntCase, Mode, Variant};
+use sentomist_core::hunt::InvariantPolicy;
+use sentomist_core::supervise::{supervise_once, RunFailure, SupervisorOptions};
+use sentomist_tracestore::TraceStore;
+use serde::Serialize;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the daemon is shaped. All knobs have serving-friendly defaults.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded admission-queue capacity (jobs beyond it are shed).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in documents.
+    pub cache_capacity: usize,
+    /// Retries for transiently failing jobs (0 = fail fast).
+    pub max_retries: u32,
+    /// Watchdog wall-clock limit per job attempt.
+    pub timeout: Option<Duration>,
+    /// Threads a single mine job sweeps the store with (never affects
+    /// document bytes).
+    pub mine_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            max_retries: 0,
+            timeout: None,
+            mine_threads: 1,
+        }
+    }
+}
+
+/// A service-layer failure (distinct from per-job errors, which travel
+/// back to clients as [`Response::Error`]).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Binding or accepting on the listen socket failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The service counters a `Stats` request snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatsSnapshot {
+    /// Jobs answered `Ok`.
+    pub completed: u64,
+    /// Jobs answered `Error` (handler failed, panicked or timed out).
+    pub failed: u64,
+    /// Jobs shed with `Overloaded` at admission.
+    pub shed: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Mine documents served from the result cache.
+    pub cache_hits: u64,
+    /// Mine lookups that went to the store.
+    pub cache_misses: u64,
+    /// Jobs queued right now.
+    pub queue_depth: u64,
+    /// The admission queue's capacity.
+    pub queue_capacity: u64,
+    /// Worker threads in the fleet.
+    pub workers: u64,
+}
+
+struct Counters {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    connections: AtomicU64,
+    job_serial: AtomicU64,
+}
+
+/// A queued job: the parsed request plus the channel its response goes
+/// back through to the connection thread.
+struct Job {
+    serial: u64,
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    queue: Admission<Job>,
+    cache: ResultCache,
+    counters: Counters,
+    shutdown: AtomicBool,
+    shutdown_signal: (Mutex<bool>, Condvar),
+}
+
+impl Shared {
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            queue_depth: self.queue.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            workers: self.config.workers as u64,
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        let (lock, cvar) = &self.shutdown_signal;
+        if let Ok(mut flagged) = lock.lock() {
+            *flagged = true;
+        }
+        cvar.notify_all();
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; call
+/// [`Server::shutdown_and_join`] (or let a client's `Shutdown` frame
+/// trigger it) and then join via [`Server::wait`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker fleet and the accept loop, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] when the listen address cannot be bound.
+    pub fn start(config: ServiceConfig) -> Result<Server, ServiceError> {
+        let listener = TcpListener::bind(&config.addr).map_err(ServiceError::Io)?;
+        let local_addr = listener.local_addr().map_err(ServiceError::Io)?;
+        let workers_n = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Admission::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            counters: Counters {
+                completed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
+                job_serial: AtomicU64::new(0),
+            },
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            config,
+        });
+
+        let mut workers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Blocks until shutdown is requested (by a client's `Shutdown`
+    /// frame or [`Server::shutdown_and_join`]), then joins the accept
+    /// loop and the drained worker fleet.
+    pub fn wait(mut self) {
+        {
+            let (lock, cvar) = &self.shared.shutdown_signal;
+            if let Ok(mut flagged) = lock.lock() {
+                while !*flagged {
+                    match cvar.wait(flagged) {
+                        Ok(f) => flagged = f,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        self.join();
+    }
+
+    /// Requests shutdown and joins every thread: stops admission, wakes
+    /// the accept loop, drains queued jobs, then returns.
+    pub fn shutdown_and_join(mut self) {
+        self.shared.request_shutdown();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        self.shared.request_shutdown();
+        // The accept loop blocks in accept(); a throwaway self-connect
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One client connection: frames in, responses out, strictly in order.
+/// Runs until clean EOF, a framing error (answered once, then the
+/// stream is no longer trustworthy), or daemon shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(ProtocolError::Truncated { got: 0, .. }) => return, // clean close
+            Err(e) => {
+                let _ = write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes());
+                return;
+            }
+        };
+        if frame.kind != FrameKind::Request {
+            let msg = format!("expected a request frame, got {:?}", frame.kind);
+            let _ = write_frame(&mut stream, FrameKind::Error, msg.as_bytes());
+            return;
+        }
+        let request = match Request::from_bytes(&frame.payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes());
+                continue; // framing is intact; only this payload was bad
+            }
+        };
+        let response = match request {
+            // Control-plane requests answer inline: they must work even
+            // when the queue is saturated.
+            Request::Stats => match serde_json::to_string_pretty(&shared.stats()) {
+                Ok(mut json) => {
+                    json.push('\n');
+                    Response::Ok(json.into_bytes())
+                }
+                Err(e) => Response::Error(format!("serializing stats: {e}")),
+            },
+            Request::Shutdown => {
+                let _ = write_frame(&mut stream, FrameKind::Ok, &[]);
+                shared.request_shutdown();
+                return;
+            }
+            job_request => submit_and_wait(job_request, shared),
+        };
+        let (kind, payload) = response.to_frame();
+        if write_frame(&mut stream, kind, payload).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Admission: try the bounded queue, shed with `Overloaded` when full,
+/// otherwise block this connection thread until a worker answers.
+fn submit_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let serial = shared.counters.job_serial.fetch_add(1, Ordering::Relaxed);
+    let job = Job {
+        serial,
+        request,
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(AdmissionError::Full(_)) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::Overloaded;
+        }
+        Err(AdmissionError::Closed(_)) => {
+            return Response::Error("daemon is shutting down".into());
+        }
+    }
+    match reply_rx.recv() {
+        Ok(response) => response,
+        Err(_) => Response::Error("worker dropped the job".into()),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let response = execute_supervised(job.serial, job.request, shared);
+        match response {
+            Response::Ok(_) => shared.counters.completed.fetch_add(1, Ordering::Relaxed),
+            _ => shared.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs one job under the campaign supervisor: panics are caught, hung
+/// attempts watchdogged, transient failures retried deterministically.
+fn execute_supervised(serial: u64, request: Request, shared: &Arc<Shared>) -> Response {
+    let options = SupervisorOptions {
+        threads: 1,
+        progress: false,
+        max_retries: shared.config.max_retries,
+        timeout: shared.config.timeout,
+        cycle_budget: None,
+        backoff_base_ms: 10,
+        stop_after: None,
+    };
+    let handler_shared = Arc::clone(shared);
+    let report = supervise_once(
+        serial,
+        &options,
+        Arc::new(move |_ctx: &sentomist_core::supervise::RunContext| {
+            handle_request(&request, &handler_shared)
+        }),
+    );
+    match (report.outcome, report.error) {
+        (Some(bytes), _) => Response::Ok(bytes),
+        (None, Some(error)) => Response::Error(format!("[{:?}] {}", error.kind, error.message)),
+        (None, None) => Response::Error("job produced neither result nor error".into()),
+    }
+}
+
+/// The job handlers. Semantic failures are `Fatal` (a retry cannot fix
+/// a bad store path or an unknown app); only genuinely transient
+/// conditions surface as `Transient`.
+fn handle_request(request: &Request, shared: &Arc<Shared>) -> Result<Vec<u8>, RunFailure> {
+    let fatal = |m: String| RunFailure::Fatal(m);
+    match request {
+        Request::Ping => Ok(b"pong\n".to_vec()),
+        Request::Sleep { ms } => {
+            // The deterministic load unit: hold the worker, bounded so a
+            // hostile client cannot park a worker for hours.
+            std::thread::sleep(Duration::from_millis((*ms).min(60_000)));
+            Ok(b"slept\n".to_vec())
+        }
+        Request::Panic => panic!("requested panic (supervision test aid)"),
+        Request::Emulate {
+            case,
+            period,
+            seconds,
+            nu,
+            seed,
+        } => {
+            let case = if case.is_empty() {
+                None
+            } else {
+                Some(case.as_str())
+            };
+            let mode = Mode::resolve(case, *period, *seconds, *nu).map_err(|e| fatal(e.0))?;
+            let job = mode.job().map_err(|e| fatal(e.0))?;
+            let outcome = job(*seed).map_err(RunFailure::Transient)?;
+            render_json(&outcome)
+        }
+        Request::Mine { store, quarantine } => mine_with_cache(store, *quarantine, shared),
+        Request::Lint { app, fixed } => {
+            let program = bundled_program(app, *fixed).map_err(|e| fatal(e.0))?;
+            let report = staticlint::lint(&program);
+            render_json(&report)
+        }
+        Request::Hunt {
+            case,
+            fixed,
+            seed,
+            top_k,
+        } => {
+            let case = HuntCase::from_number(*case)
+                .ok_or_else(|| fatal(format!("hunt case wants 1, 2 or 3, got {case}")))?;
+            let variant = if *fixed {
+                Variant::Fixed
+            } else {
+                Variant::Buggy
+            };
+            let policy = InvariantPolicy {
+                top_k: (*top_k).max(1) as usize,
+            };
+            let (record, _traces) = sentomist_apps::hunt_iteration(case, variant, *seed, &policy)
+                .map_err(RunFailure::Transient)?;
+            render_json(&record)
+        }
+        // Handled inline by the connection thread; reaching a worker is
+        // a logic error worth a typed answer rather than a panic.
+        Request::Stats | Request::Shutdown => {
+            Err(fatal("control-plane request routed to a worker".into()))
+        }
+    }
+}
+
+/// The read-through mine path: fingerprint the store, consult the
+/// cache, fall through to [`mine_corpus`], and cache the document iff
+/// the store's fingerprint did not move while mining.
+fn mine_with_cache(
+    store_path: &str,
+    quarantine: bool,
+    shared: &Arc<Shared>,
+) -> Result<Vec<u8>, RunFailure> {
+    let fatal = |m: String| RunFailure::Fatal(m);
+    let path = Path::new(store_path);
+    let store = TraceStore::open(path).map_err(|e| fatal(e.to_string()))?;
+    let key = CacheKey::new(path, quarantine);
+    let fingerprint = store.fingerprint().map_err(|e| fatal(e.to_string()))?;
+    if let Some(current) = fingerprint {
+        if let Some(document) = shared.cache.lookup(&key, current) {
+            return Ok(document.as_ref().clone());
+        }
+    }
+    let mined = mine_corpus(
+        &store,
+        &CorpusMineOptions {
+            threads: shared.config.mine_threads.max(1),
+            progress: false,
+            quarantine,
+        },
+    )
+    .map_err(|e| fatal(e.0))?;
+    let document = mined.document.into_bytes();
+    if document.len() <= MAX_PAYLOAD as usize {
+        // Cache only when the corpus is provably the one we mined: the
+        // fingerprint must exist and must not have moved underneath us.
+        if let (Some(before), Ok(Some(after))) = (fingerprint, store.fingerprint()) {
+            if before == after {
+                shared.cache.insert(key, after, Arc::new(document.clone()));
+            }
+        }
+    }
+    Ok(document)
+}
+
+/// Pretty JSON plus the trailing newline every CLI `--json` path prints.
+fn render_json<T: Serialize>(value: &T) -> Result<Vec<u8>, RunFailure> {
+    serde_json::to_string_pretty(value)
+        .map(|mut s| {
+            s.push('\n');
+            s.into_bytes()
+        })
+        .map_err(|e| RunFailure::Fatal(format!("serializing response: {e}")))
+}

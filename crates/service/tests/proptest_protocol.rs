@@ -1,0 +1,126 @@
+//! Protocol hardening: arbitrary, truncated and oversized byte strings
+//! fed to the frame decoder return typed errors — never a panic, never
+//! an allocation beyond the declared-length cap.
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+use sentomist_service::protocol::{
+    decode_frame, encode_frame, read_frame, Frame, FrameKind, ProtocolError, Request, HEADER_LEN,
+    MAGIC, MAX_PAYLOAD, VERSION,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Completely arbitrary bytes: the decoder classifies them or
+    /// rejects them, it never panics. (This is the no-panic guarantee —
+    /// the test passing at all means no input crashed the decoder.)
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        match decode_frame(&bytes) {
+            Ok((frame, consumed)) => {
+                // Anything accepted must be a genuinely well-formed frame.
+                assert!(consumed >= HEADER_LEN && consumed <= bytes.len());
+                assert_eq!(frame.payload.len(), consumed - HEADER_LEN);
+                assert_eq!(&bytes[..4], &MAGIC);
+            }
+            Err(
+                ProtocolError::BadMagic(_)
+                | ProtocolError::BadVersion(_)
+                | ProtocolError::BadKind(_)
+                | ProtocolError::Oversized { .. }
+                | ProtocolError::Truncated { .. },
+            ) => {}
+            Err(other) => panic!("unexpected decode error class: {other:?}"),
+        }
+        // The streaming reader agrees: same classification, no panic.
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame(&mut cursor);
+    }
+
+    /// Every truncation of a valid frame is a typed `Truncated` error
+    /// carrying honest needed/got counts.
+    #[test]
+    fn every_truncation_is_typed(
+        payload in prop::collection::vec(0u8..=255, 0..48),
+        kind_raw in 1u8..5,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let kind = FrameKind::from_byte(kind_raw).unwrap();
+        let bytes = encode_frame(kind, &payload).unwrap();
+        let cut = ((bytes.len() as f64 - 1.0) * cut_fraction) as usize;
+        match decode_frame(&bytes[..cut]) {
+            Err(ProtocolError::Truncated { needed, got }) => {
+                assert_eq!(got, cut);
+                assert!(needed > cut);
+                assert!(needed <= bytes.len());
+            }
+            other => panic!("cut at {cut} of {} gave {other:?}", bytes.len()),
+        }
+        let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Truncated { .. })
+        ));
+    }
+
+    /// Any header declaring a payload beyond the cap is rejected from
+    /// the 10 header bytes alone — before any payload allocation — no
+    /// matter what kind byte it carries or how much data follows.
+    #[test]
+    fn oversized_declarations_never_allocate(
+        kind_raw in 1u8..5,
+        excess in 1u32..=1024,
+        trailing in prop::collection::vec(0u8..=255, 0..16),
+    ) {
+        let declared = MAX_PAYLOAD + excess;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(kind_raw);
+        bytes.extend_from_slice(&declared.to_le_bytes());
+        bytes.extend_from_slice(&trailing);
+        match decode_frame(&bytes) {
+            Err(ProtocolError::Oversized { declared: d, max }) => {
+                assert_eq!(d, declared);
+                assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // Streaming: the reader refuses after the header and never
+        // waits for (or reserves space for) the declared gigabytes.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    /// Arbitrary request-frame payloads (usually invalid JSON) parse to
+    /// a typed `Malformed` error or a valid request — never a panic.
+    #[test]
+    fn arbitrary_request_payloads_never_panic(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        match Request::from_bytes(&payload) {
+            Ok(_) | Err(ProtocolError::Malformed(_)) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+
+    /// Well-formed frames always round-trip bit-exactly through
+    /// encode → decode, and decode reports the exact length consumed.
+    #[test]
+    fn well_formed_frames_round_trip(
+        payload in prop::collection::vec(0u8..=255, 0..256),
+        kind_raw in 1u8..5,
+    ) {
+        let kind = FrameKind::from_byte(kind_raw).unwrap();
+        let bytes = encode_frame(kind, &payload).unwrap();
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame, Frame { kind, payload });
+    }
+}

@@ -160,7 +160,43 @@ impl CorpusIndex {
     }
 }
 
+/// A cheap identity snapshot of a store's merged corpus: the index
+/// generation stamp plus the content digest. Read-through caches key
+/// their validation on this pair — `trace merge` bumps the generation
+/// (invalidating even when the content is unchanged), and any repair or
+/// ingestion that alters the entries moves the digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorpusFingerprint {
+    /// The merge generation of the index the snapshot was taken from.
+    pub generation: u64,
+    /// [`CorpusIndex::corpus_digest`] of the same index.
+    pub digest: u64,
+}
+
+impl CorpusIndex {
+    /// The index's [`CorpusFingerprint`].
+    pub fn fingerprint(&self) -> CorpusFingerprint {
+        CorpusFingerprint {
+            generation: self.generation,
+            digest: self.corpus_digest(),
+        }
+    }
+}
+
 impl TraceStore {
+    /// Loads the published corpus index (if any) and returns its
+    /// [`CorpusFingerprint`] — the validation token concurrent readers
+    /// (the mining service's result cache) check before serving a cached
+    /// result. `None` means the store has never been merged and is not
+    /// safely cacheable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] reading or parsing the index.
+    pub fn fingerprint(&self) -> Result<Option<CorpusFingerprint>, StoreError> {
+        Ok(CorpusIndex::load(self)?.map(|index| index.fingerprint()))
+    }
+
     /// Atomically publishes `bytes` at the store-relative path `rel`:
     /// WAL `begin` → temp write + fsync → rename → directory fsync →
     /// WAL `commit`. A crash at any point leaves the target whole (old

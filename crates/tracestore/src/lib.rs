@@ -57,7 +57,7 @@ pub mod writer;
 
 pub use error::StoreError;
 pub use format::{Record, FORMAT_VERSION};
-pub use index::{CorpusIndex, IndexEntry, INDEX_FILE};
+pub use index::{CorpusFingerprint, CorpusIndex, IndexEntry, INDEX_FILE};
 pub use reader::{read_trace, read_trace_file, salvage_trace_file, Salvage, TraceReader};
 pub use store::{
     run_id_for_seed, seed_for_run_id, CampaignManifest, NodeTraceMeta, QuarantineNote, RunManifest,

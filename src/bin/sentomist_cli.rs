@@ -11,7 +11,11 @@
 //! sentomist hunt [opts]                           invariant bug-bounty campaign
 //! ```
 
-use sentomist::core::campaign::{CampaignResult, FailureKind, RunError, RunOutcome, Verdict};
+use sentomist::apps::{
+    bundled_program, campaign_document, fnv64, mine_corpus, CorpusMineOptions, Mode,
+    SupervisedTracedJob,
+};
+use sentomist::core::campaign::{CampaignResult, RunOutcome, Verdict};
 use sentomist::core::chaos::ChaosConfig;
 use sentomist::core::supervise::{
     run_supervised, RunContext, RunFailure, SeedReport, SupervisorOptions,
@@ -21,7 +25,7 @@ use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
     PcaDetector,
 };
-use sentomist::tinyvm::{self, devices::NodeConfig, node::Node, Program};
+use sentomist::tinyvm::{self, devices::NodeConfig, node::Node};
 use sentomist::trace::{Recorder, Trace};
 use sentomist::tracestore::{
     CampaignManifest, CorpusIndex, StoredRunError, TraceReader, TraceStore, TraceWriter,
@@ -392,38 +396,6 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 /// One of the paper's three bundled case-study programs, by name.
-fn bundled_program(name: &str, fixed: bool) -> Result<std::sync::Arc<Program>, Box<dyn Error>> {
-    use sentomist::apps::{ctp, forwarder, oscilloscope};
-    Ok(match name {
-        "oscilloscope" => {
-            if fixed {
-                oscilloscope::fixed(&Default::default())?
-            } else {
-                oscilloscope::buggy(&Default::default())?
-            }
-        }
-        "forwarder" => {
-            if fixed {
-                forwarder::relay_program_fixed()?
-            } else {
-                forwarder::relay_program_buggy()?
-            }
-        }
-        "ctp" => {
-            if fixed {
-                ctp::fixed(&Default::default())?
-            } else {
-                ctp::buggy(&Default::default())?
-            }
-        }
-        other => {
-            return Err(
-                format!("unknown bundled app `{other}` (oscilloscope|forwarder|ctp)").into(),
-            )
-        }
-    })
-}
-
 fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
     let (pos, flags) = parse_flags(args);
     let json = flags.contains_key("json");
@@ -529,284 +501,18 @@ fn cmd_case(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-type CampaignJob = Box<dyn Fn(u64) -> Result<RunOutcome, String> + Send + Sync>;
-type TracedJob = Box<dyn Fn(u64) -> Result<(RunOutcome, Vec<Trace>), String> + Send + Sync>;
-type SupervisedTracedJob =
-    Box<dyn Fn(&RunContext) -> Result<(RunOutcome, Vec<Trace>), RunFailure> + Send + Sync>;
 type SupervisedJob = Box<dyn Fn(&RunContext) -> Result<RunOutcome, RunFailure> + Send + Sync>;
-type StoreMiner = Box<dyn Fn(u64, &[Trace]) -> Result<RunOutcome, String> + Send + Sync>;
-type CampaignConfig = Vec<(String, Value)>;
 
-/// A campaign mode with its flags fully resolved — the single source of
-/// truth shared by the live `campaign` command and `trace mine`, so a
-/// stored corpus re-mines into the exact document the live run printed.
-#[derive(Debug, Clone, Copy)]
-enum Mode {
-    Trigger { period: u32, seconds: u64, nu: f64 },
-    Case1,
-    Case2,
-    Case3,
-}
-
-/// Resolves the campaign mode from command-line flags (or from flags
-/// reconstructed out of a stored campaign manifest).
+/// Resolves the campaign mode from command-line flags. The mode logic
+/// itself lives in `apps::jobs` so the mining daemon resolves the exact
+/// same modes.
 fn campaign_mode(flags: &HashMap<String, String>) -> Result<Mode, Box<dyn Error>> {
-    match flags.get("case").map(String::as_str) {
-        None => Ok(Mode::Trigger {
-            period: flag_u64(flags, "period", 20)? as u32,
-            seconds: flag_u64(flags, "seconds", 10)?,
-            nu: flag_f64(flags, "nu", 0.05)?,
-        }),
-        Some("1") => Ok(Mode::Case1),
-        Some("2") => Ok(Mode::Case2),
-        Some("3") => Ok(Mode::Case3),
-        Some(other) => Err(format!("unknown case `{other}`").into()),
-    }
-}
-
-impl Mode {
-    fn name(self) -> &'static str {
-        match self {
-            Mode::Trigger { .. } => "trigger",
-            Mode::Case1 => "case1",
-            Mode::Case2 => "case2",
-            Mode::Case3 => "case3",
-        }
-    }
-
-    /// The mode's resolved parameters as `flag=value` strings, written to
-    /// the campaign manifest. `flags_from_campaign` feeds them back
-    /// through [`campaign_mode`], so the values use the flags' own names
-    /// and Rust's round-trip float formatting.
-    fn params(self) -> Vec<String> {
-        match self {
-            Mode::Trigger {
-                period,
-                seconds,
-                nu,
-            } => vec![
-                format!("period={period}"),
-                format!("seconds={seconds}"),
-                format!("nu={nu}"),
-            ],
-            _ => Vec::new(),
-        }
-    }
-
-    /// The JSON `config` block entries for this mode. Deliberately
-    /// excludes `--threads` and `--store`: neither may influence the
-    /// serialized campaign document.
-    fn config_entries(self) -> CampaignConfig {
-        let entry = |k: &str, v: Value| (k.to_string(), v);
-        match self {
-            Mode::Trigger {
-                period,
-                seconds,
-                nu,
-            } => vec![
-                entry("mode", Value::Str("trigger".into())),
-                entry("period_ms", Serialize::to_value(&period)),
-                entry("run_seconds", Serialize::to_value(&seconds)),
-                entry("nu", Serialize::to_value(&nu)),
-            ],
-            _ => vec![entry("mode", Value::Str(self.name().into()))],
-        }
-    }
-
-    /// The per-seed emulate-and-mine job that also hands back the run's
-    /// recorded traces.
-    fn traced_job(self) -> Result<TracedJob, Box<dyn Error>> {
-        use sentomist::apps::experiments::{
-            case1_job_traced, case2_job_traced, case3_job_traced, trigger_job_traced,
-        };
-        use sentomist::apps::{Case1Config, Case2Config, Case3Config};
-        Ok(match self {
-            Mode::Trigger {
-                period,
-                seconds,
-                nu,
-            } => Box::new(trigger_job_traced(period, seconds, nu)?),
-            Mode::Case1 => Box::new(case1_job_traced(Case1Config::default())),
-            Mode::Case2 => Box::new(case2_job_traced(Case2Config::default())),
-            Mode::Case3 => Box::new(case3_job_traced(Case3Config::default())),
-        })
-    }
-
-    /// The supervised per-seed job: takes a [`RunContext`] so the
-    /// watchdog can cancel it and (trigger mode) a cycle budget can cap
-    /// emulation. Trigger mode is fully cooperative via
-    /// `trigger_job_traced_ctx`; the case studies run to completion and
-    /// report their errors as retryable.
-    fn supervised_traced_job(self) -> Result<SupervisedTracedJob, Box<dyn Error>> {
-        use sentomist::apps::experiments::trigger_job_traced_ctx;
-        Ok(match self {
-            Mode::Trigger {
-                period,
-                seconds,
-                nu,
-            } => Box::new(trigger_job_traced_ctx(period, seconds, nu)?),
-            _ => {
-                let traced = self.traced_job()?;
-                Box::new(move |ctx: &RunContext| traced(ctx.seed()).map_err(RunFailure::Transient))
-            }
-        })
-    }
-
-    /// The per-seed plain job (traces dropped after mining).
-    fn job(self) -> Result<CampaignJob, Box<dyn Error>> {
-        let traced = self.traced_job()?;
-        Ok(Box::new(move |seed| {
-            traced(seed).map(|(outcome, _)| outcome)
-        }))
-    }
-
-    /// The mining stage alone, applied to a stored run's decoded traces —
-    /// the same code path `traced_job` runs after emulating.
-    fn miner(self) -> StoreMiner {
-        use sentomist::apps::experiments::{
-            mine_case1, mine_case2, mine_case3, mine_trigger_trace,
-        };
-        use sentomist::apps::{Case1Config, Case2Config, Case3Config};
-        match self {
-            Mode::Trigger { nu, .. } => Box::new(move |seed, traces: &[Trace]| {
-                let trace = match traces {
-                    [t] => t,
-                    _ => {
-                        return Err(format!(
-                            "trigger run stores one trace, found {}",
-                            traces.len()
-                        ))
-                    }
-                };
-                mine_trigger_trace(seed, trace, nu)
-            }),
-            Mode::Case1 => Box::new(|seed, traces| {
-                mine_case1(&Case1Config::default(), traces)
-                    .map(|r| r.to_outcome(seed))
-                    .map_err(|e| e.to_string())
-            }),
-            Mode::Case2 => Box::new(|seed, traces| {
-                mine_case2(&Case2Config::default(), traces)
-                    .map(|r| r.to_outcome(seed))
-                    .map_err(|e| e.to_string())
-            }),
-            Mode::Case3 => Box::new(|seed, traces| {
-                mine_case3(&Case3Config::default(), traces)
-                    .map(|r| r.to_outcome(seed))
-                    .map_err(|e| e.to_string())
-            }),
-        }
-    }
-
-    /// FNV-1a digest over the disassembly of the program(s) this mode
-    /// executes, recorded in every run manifest as the program identity.
-    fn program_digest(self) -> Result<u64, Box<dyn Error>> {
-        use sentomist::apps::{
-            ctp, forwarder, oscilloscope, Case1Config, Case2Config, Case3Config,
-        };
-        fn one(p: &Program) -> u64 {
-            fnv64(tinyvm::disassemble(p).as_bytes())
-        }
-        fn chain(digests: impl IntoIterator<Item = u64>) -> u64 {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for d in digests {
-                h = (h ^ d).wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            h
-        }
-        Ok(match self {
-            Mode::Trigger { period, .. } => one(&*oscilloscope::buggy(
-                &oscilloscope::OscilloscopeParams::with_period_ms(period),
-            )?),
-            Mode::Case1 => {
-                let config = Case1Config::default();
-                let mut digests = Vec::new();
-                for &ms in &config.periods_ms {
-                    digests.push(one(&*oscilloscope::buggy(
-                        &oscilloscope::OscilloscopeParams::with_period_ms(ms),
-                    )?));
-                }
-                chain(digests)
-            }
-            Mode::Case2 => {
-                let config = Case2Config::default();
-                chain([
-                    one(&*forwarder::sink_program()?),
-                    one(&*forwarder::relay_program_buggy()?),
-                    one(&*forwarder::source_program(&config.params)?),
-                ])
-            }
-            Mode::Case3 => one(&*ctp::buggy(&Case3Config::default().params)?),
-        })
-    }
-}
-
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// Rebuilds the flag map a stored campaign was launched with, so
-/// [`campaign_mode`] resolves to the identical mode.
-fn flags_from_campaign(
-    manifest: &CampaignManifest,
-) -> Result<HashMap<String, String>, Box<dyn Error>> {
-    let mut flags = HashMap::new();
-    match manifest.mode.as_str() {
-        "trigger" => {}
-        "case1" => {
-            flags.insert("case".to_string(), "1".to_string());
-        }
-        "case2" => {
-            flags.insert("case".to_string(), "2".to_string());
-        }
-        "case3" => {
-            flags.insert("case".to_string(), "3".to_string());
-        }
-        other => return Err(format!("unknown stored campaign mode `{other}`").into()),
-    }
-    for p in &manifest.params {
-        let (k, v) = p
-            .split_once('=')
-            .ok_or_else(|| format!("malformed campaign param `{p}`"))?;
-        flags.insert(k.to_string(), v.to_string());
-    }
-    Ok(flags)
-}
-
-/// Assembles the serialized campaign document; shared verbatim by the
-/// live `campaign --json` and `trace mine --json`, which must produce
-/// byte-identical output for the same runs.
-fn campaign_doc(config: CampaignConfig, result: &CampaignResult) -> Value {
-    let s = result.summary();
-    Value::Map(vec![
-        ("config".to_string(), Value::Map(config)),
-        (
-            "outcomes".to_string(),
-            Serialize::to_value(&result.outcomes),
-        ),
-        ("summary".to_string(), Serialize::to_value(&s)),
-        ("errors".to_string(), Serialize::to_value(&result.errors)),
-        (
-            "failures".to_string(),
-            Value::Map(vec![
-                ("failed".to_string(), Serialize::to_value(&s.failed)),
-                ("panicked".to_string(), Serialize::to_value(&s.panicked)),
-                ("timed_out".to_string(), Serialize::to_value(&s.timed_out)),
-                (
-                    "failed_attempts".to_string(),
-                    Serialize::to_value(&s.failed_attempts),
-                ),
-                (
-                    "failure_rate".to_string(),
-                    Serialize::to_value(&s.failure_rate),
-                ),
-            ]),
-        ),
-    ])
+    Ok(Mode::resolve(
+        flags.get("case").map(String::as_str),
+        flag_u64(flags, "period", 20)? as u32,
+        flag_u64(flags, "seconds", 10)?,
+        flag_f64(flags, "nu", 0.05)?,
+    )?)
 }
 
 fn print_outcome(o: &RunOutcome) {
@@ -1095,7 +801,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), Box<dyn Error>> {
     if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&campaign_doc(std::mem::take(&mut config), &result))?
+            serde_json::to_string_pretty(&campaign_document(std::mem::take(&mut config), &result))?
         );
     } else {
         print_campaign_table(&result);
@@ -1362,11 +1068,18 @@ fn cmd_hunt(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// An unknown or missing subcommand: print the full usage text on
+/// stderr (stdout stays clean for pipelines) and fail with a short,
+/// grep-friendly message — every such branch exits nonzero.
+fn usage_error(message: String) -> Box<dyn Error> {
+    eprint!("{}", usage());
+    message.into()
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let sub = args
-        .first()
-        .map(String::as_str)
-        .ok_or("trace: missing subcommand (record|ls|info|mine|quarantine|fsck|merge)")?;
+    let sub = args.first().map(String::as_str).ok_or_else(|| {
+        usage_error("trace: missing subcommand (record|ls|info|mine|quarantine|fsck|merge)".into())
+    })?;
     let rest = &args[1..];
     match sub {
         "record" => cmd_trace_record(rest),
@@ -1376,10 +1089,9 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
         "quarantine" => cmd_trace_quarantine(rest),
         "fsck" => cmd_trace_fsck(rest),
         "merge" => cmd_trace_merge(rest),
-        other => Err(format!(
+        other => Err(usage_error(format!(
             "unknown trace subcommand `{other}` (record|ls|info|mine|quarantine|fsck|merge)"
-        )
-        .into()),
+        ))),
     }
 }
 
@@ -1461,7 +1173,7 @@ fn cmd_trace_quarantine(args: &[String]) -> Result<(), Box<dyn Error>> {
     let sub = args
         .first()
         .map(String::as_str)
-        .ok_or("trace quarantine: missing subcommand (ls)")?;
+        .ok_or_else(|| usage_error("trace quarantine: missing subcommand (ls)".into()))?;
     match sub {
         "ls" => {
             let (pos, _) = parse_flags(&args[1..]);
@@ -1485,7 +1197,9 @@ fn cmd_trace_quarantine(args: &[String]) -> Result<(), Box<dyn Error>> {
             );
             Ok(())
         }
-        other => Err(format!("unknown trace quarantine subcommand `{other}` (ls)").into()),
+        other => Err(usage_error(format!(
+            "unknown trace quarantine subcommand `{other}` (ls)"
+        ))),
     }
 }
 
@@ -1708,8 +1422,6 @@ fn cmd_trace_info(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_trace_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use sentomist::core::campaign::CampaignOptions;
-    use sentomist::core::{mine_store_with, MineOptions};
     let (pos, flags) = parse_flags(args);
     // `trace mine --quarantine <dir>` parses the dir as the flag's
     // value; accept it from either position.
@@ -1720,78 +1432,29 @@ fn cmd_trace_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         .ok_or("trace mine: missing <store-dir>")?;
     let root = root.as_str();
     let json = flags.contains_key("json");
-    let quarantine = flags.contains_key("quarantine");
     let store = TraceStore::open(root)?;
-    let campaign = store.campaign()?.ok_or(
-        "store has no campaign.json — only corpora produced by \
-         `sentomist campaign --store` can be re-mined",
-    )?;
-    let mode = campaign_mode(&flags_from_campaign(&campaign)?)?;
-    let mut config = mode.config_entries();
-    config.push(("seeds".to_string(), Serialize::to_value(&campaign.seeds)));
-    config.push((
-        "base_seed".to_string(),
-        Serialize::to_value(&campaign.base_seed),
-    ));
-
     let threads = flag_u64(&flags, "threads", 1)?.max(1) as usize;
-    let options = CampaignOptions {
-        threads,
-        progress: flags.contains_key("progress"),
-    };
     let started = std::time::Instant::now();
-    let report = mine_store_with(
+    // The whole re-mine vertical is `apps::jobs::mine_corpus` — the
+    // same call the mining daemon answers Mine requests with, so this
+    // command and a daemon response are byte-identical by construction.
+    let mined = mine_corpus(
         &store,
-        MineOptions {
-            campaign: options,
-            quarantine,
+        &CorpusMineOptions {
+            threads,
+            progress: flags.contains_key("progress"),
+            quarantine: flags.contains_key("quarantine"),
         },
-        mode.miner(),
     )?;
-    let mut result = report.result;
-    // Runs that failed during the live campaign have no run directory;
-    // fold their recorded errors back in (failure typing included) so
-    // the document matches the live one byte for byte.
-    result
-        .errors
-        .extend(campaign.errors.iter().map(|e| RunError {
-            seed: e.seed,
-            message: e.message.clone(),
-            kind: FailureKind::parse(&e.kind),
-            attempts: e.attempts.max(1),
-        }));
-    result.errors.sort_by_key(|e| e.seed);
     let elapsed = started.elapsed();
 
     if json {
-        let mut doc = campaign_doc(config, &result);
-        if quarantine {
-            // Opt-in section: only a damaged corpus mined with
-            // --quarantine diverges from the live document.
-            if let Value::Map(entries) = &mut doc {
-                entries.push((
-                    "quarantined".to_string(),
-                    Value::Seq(
-                        report
-                            .quarantined
-                            .iter()
-                            .map(|q| {
-                                Value::Map(vec![
-                                    ("run_id".to_string(), Value::Str(q.run_id.clone())),
-                                    ("seed".to_string(), Serialize::to_value(&q.seed)),
-                                    ("reason".to_string(), Value::Str(q.reason.clone())),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ));
-            }
-        }
-        println!("{}", serde_json::to_string_pretty(&doc)?);
+        // The document already carries its trailing newline.
+        print!("{}", mined.document);
         return Ok(());
     }
-    print_campaign_table(&result);
-    for q in &report.quarantined {
+    print_campaign_table(&mined.result);
+    for q in &mined.quarantined {
         println!(
             "quarantined:   {} (seed {}) — {}",
             q.run_id, q.seed, q.reason
@@ -1828,7 +1491,7 @@ fn main() -> ExitCode {
             print!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{}", usage()).into()),
+        other => Err(usage_error(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

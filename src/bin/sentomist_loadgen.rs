@@ -1,0 +1,354 @@
+//! `sentomist_loadgen` — seeded, reproducible load generation for
+//! `sentomistd`, in the style of scalability-suite rps ramps.
+//!
+//! Two modes:
+//!
+//! * **Single-shot** (`--once`): send one request and write the raw
+//!   response payload to stdout (or `--out FILE`) — the mode the CI
+//!   smoke job uses to `cmp` a daemon mine against offline `sentomist
+//!   trace mine` output. `--shutdown` is the one-frame clean-stop.
+//! * **Ramp** (default): an open-loop rps ramp
+//!   (`--initial-rps/--increment-rps/--target-rps/--duration-per-step`)
+//!   that schedules requests at fixed spacing regardless of completions
+//!   (so latency includes coordinated-omission-free queueing delay,
+//!   measured from each request's *scheduled* send time), and writes
+//!   `BENCH_service.json`: p50/p99 latency plus ok/error/shed counts
+//!   per step, and the max sustainable rps — the highest step the
+//!   daemon absorbed without shedding or erroring.
+
+use sentomist::core::supervise::splitmix64;
+use sentomist::service::{request, Client, Request, Response};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> &'static str {
+    "sentomist_loadgen — load generator for sentomistd
+
+USAGE:
+    sentomist_loadgen --addr HOST:PORT [--once | ramp options] [job options]
+
+JOB (what each request asks for):
+    --job ping                     liveness round-trip (default)
+    --job sleep --ms MS            hold a worker MS milliseconds
+    --job mine --store PATH [--quarantine]
+    --job lint --app NAME [--fixed]
+    --job hunt --case N [--fixed] [--top-k K]
+    --job emulate [--case N] [--period MS] [--seconds S] [--nu NU]
+    --job stats                    service counters
+    --job panic                    poisoned-job probe (answers Error)
+
+SINGLE-SHOT:
+    --once                         send one request, write raw response
+                                   payload to stdout
+    --out FILE                     write the payload to FILE instead
+    --shutdown                     send a Shutdown frame and exit
+
+RAMP (open-loop, seeded):
+    --initial-rps N                first step's request rate (default 2)
+    --increment-rps N              added per step (default 2)
+    --target-rps N                 last step's rate (default 10)
+    --duration-per-step S          seconds per step (default 2)
+    --seed S                       base seed (default 42)
+    --bench-out FILE               report path (default BENCH_service.json)
+
+EXIT STATUS (single-shot): 0 ok, 1 error response or wire failure,
+3 overloaded (shed). Ramp mode exits 0 and records sheds in the report."
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument `{arg}`"));
+        };
+        let value = match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                i += 1;
+                v.clone()
+            }
+            _ => String::new(),
+        };
+        flags.insert(name.to_string(), value);
+        i += 1;
+    }
+    Ok(flags)
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants a number, got `{v}`")),
+    }
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants a number, got `{v}`")),
+    }
+}
+
+/// Builds the request for one ramp slot (or the single shot). `seed`
+/// varies per slot so seeded jobs exercise distinct, reproducible work.
+fn build_request(flags: &HashMap<String, String>, seed: u64) -> Result<Request, String> {
+    let job = flags.get("job").map(String::as_str).unwrap_or("ping");
+    Ok(match job {
+        "ping" => Request::Ping,
+        "sleep" => Request::Sleep {
+            ms: flag_u64(flags, "ms", 10)?,
+        },
+        "panic" => Request::Panic,
+        "stats" => Request::Stats,
+        "mine" => Request::Mine {
+            store: flags
+                .get("store")
+                .filter(|s| !s.is_empty())
+                .ok_or("--job mine needs --store PATH")?
+                .clone(),
+            quarantine: flags.contains_key("quarantine"),
+        },
+        "lint" => Request::Lint {
+            app: flags
+                .get("app")
+                .filter(|s| !s.is_empty())
+                .ok_or("--job lint needs --app NAME")?
+                .clone(),
+            fixed: flags.contains_key("fixed"),
+        },
+        "hunt" => Request::Hunt {
+            case: flag_u64(flags, "case", 1)?,
+            fixed: flags.contains_key("fixed"),
+            seed,
+            top_k: flag_u64(flags, "top-k", 3)?,
+        },
+        "emulate" => Request::Emulate {
+            case: flags.get("case").cloned().unwrap_or_default(),
+            period: flag_u64(flags, "period", 20)? as u32,
+            seconds: flag_u64(flags, "seconds", 2)?,
+            nu: flag_f64(flags, "nu", 0.05)?,
+            seed,
+        },
+        other => return Err(format!("unknown --job `{other}`")),
+    })
+}
+
+/// One ramp step's aggregated results.
+#[derive(Debug, Clone, Serialize)]
+struct StepReport {
+    rps: u64,
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    shed: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchConfig {
+    job: String,
+    initial_rps: u64,
+    increment_rps: u64,
+    target_rps: u64,
+    duration_per_step_s: u64,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    config: BenchConfig,
+    steps: Vec<StepReport>,
+    /// Highest rps step served with zero sheds and zero errors
+    /// (0 when even the first step shed).
+    max_sustainable_rps: u64,
+}
+
+fn percentile(sorted_ms: &[f64], pct: u64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as u64 * pct / 100) as usize;
+    sorted_ms[idx]
+}
+
+/// One request at its scheduled slot: connect, send, classify. Latency
+/// is measured from the *scheduled* time, so queueing delay the daemon
+/// imposes under overload is charged to the daemon, not hidden.
+fn fire(addr: &str, request: Request, scheduled: Instant) -> (u8, f64) {
+    let outcome = request_once(addr, &request);
+    let latency_ms = scheduled.elapsed().as_secs_f64() * 1e3;
+    (outcome, latency_ms)
+}
+
+/// 0 = ok, 1 = error, 2 = shed.
+fn request_once(addr: &str, req: &Request) -> u8 {
+    match request(addr, req) {
+        Ok(Response::Ok(_)) => 0,
+        Ok(Response::Error(_)) | Err(_) => 1,
+        Ok(Response::Overloaded) => 2,
+    }
+}
+
+fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = BenchConfig {
+        job: flags.get("job").cloned().unwrap_or_else(|| "ping".into()),
+        initial_rps: flag_u64(flags, "initial-rps", 2)?.max(1),
+        increment_rps: flag_u64(flags, "increment-rps", 2)?.max(1),
+        target_rps: flag_u64(flags, "target-rps", 10)?,
+        duration_per_step_s: flag_u64(flags, "duration-per-step", 2)?.max(1),
+        seed: flag_u64(flags, "seed", 42)?,
+    };
+    let mut steps = Vec::new();
+    let mut slot: u64 = 0;
+    let mut rps = config.initial_rps;
+    while rps <= config.target_rps {
+        let total = rps * config.duration_per_step_s;
+        let spacing = Duration::from_nanos(1_000_000_000 / rps);
+        let step_start = Instant::now();
+        let mut handles = Vec::with_capacity(total as usize);
+        for i in 0..total {
+            let scheduled = step_start + spacing * (i as u32);
+            let now = Instant::now();
+            if scheduled > now {
+                std::thread::sleep(scheduled - now);
+            }
+            let request = build_request(flags, splitmix64(config.seed.wrapping_add(slot)))?;
+            slot += 1;
+            let addr = addr.to_string();
+            handles.push(std::thread::spawn(move || fire(&addr, request, scheduled)));
+        }
+        let mut ok = 0u64;
+        let mut errors = 0u64;
+        let mut shed = 0u64;
+        let mut latencies: Vec<f64> = Vec::with_capacity(handles.len());
+        for handle in handles {
+            match handle.join() {
+                Ok((outcome, ms)) => {
+                    match outcome {
+                        0 => ok += 1,
+                        1 => errors += 1,
+                        _ => shed += 1,
+                    }
+                    latencies.push(ms);
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let step = StepReport {
+            rps,
+            requests: total,
+            ok,
+            errors,
+            shed,
+            p50_ms: percentile(&latencies, 50),
+            p99_ms: percentile(&latencies, 99),
+            max_ms: latencies.last().copied().unwrap_or(0.0),
+        };
+        eprintln!(
+            "step rps={} requests={} ok={} errors={} shed={} p50={:.2}ms p99={:.2}ms",
+            step.rps, step.requests, step.ok, step.errors, step.shed, step.p50_ms, step.p99_ms
+        );
+        steps.push(step);
+        rps += config.increment_rps;
+    }
+    let max_sustainable_rps = steps
+        .iter()
+        .filter(|s| s.shed == 0 && s.errors == 0)
+        .map(|s| s.rps)
+        .max()
+        .unwrap_or(0);
+    let report = BenchReport {
+        config,
+        steps,
+        max_sustainable_rps,
+    };
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serializing report: {e}"))?;
+    let out = flags
+        .get("bench-out")
+        .filter(|s| !s.is_empty())
+        .cloned()
+        .unwrap_or_else(|| "BENCH_service.json".into());
+    std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {out} (max sustainable rps: {max_sustainable_rps})");
+    Ok(())
+}
+
+fn run_once(addr: &str, flags: &HashMap<String, String>) -> Result<u8, String> {
+    let request = build_request(flags, flag_u64(flags, "seed", 42)?)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match client.request(&request).map_err(|e| e.to_string())? {
+        Response::Ok(payload) => {
+            match flags.get("out").filter(|s| !s.is_empty()) {
+                Some(path) => {
+                    std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?
+                }
+                None => {
+                    use std::io::Write as _;
+                    std::io::stdout()
+                        .write_all(&payload)
+                        .and_then(|()| std::io::stdout().flush())
+                        .map_err(|e| format!("writing stdout: {e}"))?;
+                }
+            }
+            Ok(0)
+        }
+        Response::Error(message) => {
+            eprintln!("error response: {message}");
+            Ok(1)
+        }
+        Response::Overloaded => {
+            eprintln!("overloaded: job shed by admission control");
+            Ok(3)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<u8, String> {
+    let flags = parse_flags(args)?;
+    if flags.contains_key("help") {
+        println!("{}", usage());
+        return Ok(0);
+    }
+    let addr = flags
+        .get("addr")
+        .filter(|s| !s.is_empty())
+        .ok_or("missing --addr HOST:PORT")?
+        .clone();
+    if flags.contains_key("shutdown") {
+        return match request(addr.as_str(), &Request::Shutdown).map_err(|e| e.to_string())? {
+            Response::Ok(_) => {
+                eprintln!("daemon acknowledged shutdown");
+                Ok(0)
+            }
+            other => Err(format!("unexpected shutdown response: {other:?}")),
+        };
+    }
+    if flags.contains_key("once") {
+        run_once(&addr, &flags)
+    } else {
+        run_ramp(&addr, &flags).map(|()| 0)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -45,6 +45,8 @@ pub use tinyvm;
 pub use sentomist_apps as apps;
 /// The symptom-mining pipeline (re-export of `sentomist-core`).
 pub use sentomist_core as core;
+/// The long-running mining service (re-export of `sentomist-service`).
+pub use sentomist_service as service;
 /// Trace anatomization (re-export of `sentomist-trace`).
 pub use sentomist_trace as trace;
 /// Persistent trace corpus (re-export of `sentomist-tracestore`).

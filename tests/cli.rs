@@ -201,3 +201,40 @@ fn assembly_error_reports_line() {
     assert!(err.contains("line 2"), "stderr: {err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn unknown_subcommands_print_usage_to_stderr_and_exit_nonzero() {
+    // Every unknown- or missing-subcommand branch: nonzero exit, the
+    // full usage text on stderr, and a clean stdout (pipelines must
+    // never see usage prose where JSON belongs).
+    for args in [
+        vec!["bogus"],
+        vec!["trace"],
+        vec!["trace", "bogus"],
+        vec!["trace", "quarantine", "bogus"],
+    ] {
+        let out = cli().args(&args).output().unwrap();
+        assert!(
+            !out.status.success(),
+            "`sentomist {}` should exit nonzero",
+            args.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("USAGE:"),
+            "`sentomist {}` stderr lacks the usage text:\n{stderr}",
+            args.join(" ")
+        );
+        assert!(
+            stderr.contains("error:"),
+            "`sentomist {}` stderr lacks the short error line:\n{stderr}",
+            args.join(" ")
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "`sentomist {}` leaked onto stdout: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
