@@ -404,6 +404,71 @@ pub fn bundled_program(name: &str, fixed: bool) -> Result<std::sync::Arc<Program
     })
 }
 
+/// The default slice seeds of a program: every statically flagged pc
+/// plus its related pcs, sorted and deduplicated — "slice backward from
+/// whatever the linter flagged". Empty for a program that lints clean
+/// (every fixed case-study variant).
+pub fn default_slice_seeds(program: &Program) -> Vec<u16> {
+    let report = staticlint::lint(program);
+    let mut seeds: Vec<u16> = report
+        .warnings
+        .iter()
+        .flat_map(|w| std::iter::once(w.pc).chain(w.related_pcs.iter().copied()))
+        .collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
+/// Builds the slice report for a bundled case-study app: seeds from
+/// `pcs`, or — when empty — the program's [`default_slice_seeds`]. A
+/// program that lints clean and gets no explicit seeds yields the empty
+/// report rather than an error: "nothing flagged, nothing sliced" is the
+/// fixed variants' expected answer, not a failure.
+///
+/// # Errors
+///
+/// Unknown app, assembly failure, or a slice error for explicit seeds.
+pub fn bundled_slice_report(
+    app: &str,
+    fixed: bool,
+    pcs: &[u16],
+) -> Result<staticlint::SliceReport, JobError> {
+    let program = bundled_program(app, fixed)?;
+    let seeds = if pcs.is_empty() {
+        default_slice_seeds(&program)
+    } else {
+        pcs.to_vec()
+    };
+    if seeds.is_empty() {
+        return Ok(staticlint::SliceReport {
+            seeds,
+            instructions: Vec::new(),
+            cross_edges: Vec::new(),
+            stats: staticlint::SliceStats {
+                instructions: program.len(),
+                sliced: 0,
+                cross_edges: 0,
+            },
+        });
+    }
+    staticlint::slice_report(&program, &seeds).map_err(|e| JobError(e.to_string()))
+}
+
+/// The serialized slice document: pretty-printed JSON plus a trailing
+/// newline — **exactly** the bytes `sentomist slice --app NAME --json`
+/// prints and the daemon answers Slice requests with.
+///
+/// # Errors
+///
+/// As [`bundled_slice_report`], plus serialization failures.
+pub fn slice_document(app: &str, fixed: bool, pcs: &[u16]) -> Result<String, JobError> {
+    let report = bundled_slice_report(app, fixed, pcs)?;
+    let mut doc = serde_json::to_string_pretty(&report).map_err(|e| JobError(e.to_string()))?;
+    doc.push('\n');
+    Ok(doc)
+}
+
 /// Assembles the serialized campaign document; shared verbatim by the
 /// live `campaign --json`, `trace mine --json` and the mining daemon's
 /// responses, which must produce byte-identical output for the same runs.
@@ -562,6 +627,35 @@ pub fn mine_corpus(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slice_document_defaults_to_lint_flagged_seeds() {
+        let doc = slice_document("forwarder", false, &[]).unwrap();
+        let report: staticlint::SliceReport = serde_json::from_str(doc.trim()).unwrap();
+        assert!(!report.seeds.is_empty(), "buggy relay lints dirty");
+        assert!(report.stats.sliced >= report.seeds.len());
+        assert!(
+            report.stats.cross_edges > 0,
+            "the busy-flag interleaving edge must be sliced"
+        );
+        // The fixed relay lints clean: empty report, not an error.
+        let doc = slice_document("forwarder", true, &[]).unwrap();
+        let report: staticlint::SliceReport = serde_json::from_str(doc.trim()).unwrap();
+        assert!(report.seeds.is_empty());
+        assert_eq!(report.stats.sliced, 0);
+    }
+
+    #[test]
+    fn slice_document_propagates_bad_inputs_as_typed_errors() {
+        assert!(slice_document("toaster", false, &[])
+            .unwrap_err()
+            .0
+            .contains("unknown bundled app"));
+        assert!(slice_document("ctp", false, &[u16::MAX])
+            .unwrap_err()
+            .0
+            .contains("outside the program"));
+    }
 
     #[test]
     fn mode_round_trips_through_a_campaign_manifest() {

@@ -34,8 +34,9 @@ pub use experiments::{
     trigger_job_traced, Case1Config, Case2Config, Case3Config, CaseResult, DetectorKind,
 };
 pub use jobs::{
-    bundled_program, campaign_document, fnv64, mine_corpus, CampaignJob, CorpusMineOptions,
-    JobError, MinedCorpus, Mode, StoreMiner, SupervisedTracedJob, TracedJob,
+    bundled_program, bundled_slice_report, campaign_document, default_slice_seeds, fnv64,
+    mine_corpus, slice_document, CampaignJob, CorpusMineOptions, JobError, MinedCorpus, Mode,
+    StoreMiner, SupervisedTracedJob, TracedJob,
 };
 pub use scenario::{
     emulate_scenario, hunt_iteration, mine_scenario, mined_matches, scenario, scenario_evidence,

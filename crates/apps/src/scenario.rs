@@ -23,7 +23,10 @@ use crate::{ctp, forwarder, oscilloscope};
 use netsim::{LinkConfig, NetSim, Topology};
 use sentomist_core::hunt::{check_invariants, Evidence, InvariantPolicy, IterationRecord};
 use sentomist_core::supervise::splitmix64;
-use sentomist_core::{corroborate, harvest_set, localize_set, SampleIndex, SampleSet};
+use sentomist_core::{
+    causal_chain, corroborate_with_chain, harvest_set, localize_set, CausalChain, SampleIndex,
+    SampleSet,
+};
 use sentomist_trace::{Recorder, Trace};
 use staticlint::lint;
 use std::sync::Arc;
@@ -134,6 +137,16 @@ impl HuntCase {
             HuntCase::Oscilloscope => "nested ADC interrupt",
             HuntCase::Forwarder => "active packet drop at fwd_drop",
             HuntCase::Ctp => "CTP send failure at ctp_fail",
+        }
+    }
+
+    /// The routine carrying the injected bug — the site a reconstructed
+    /// causal chain must cover on a triggered run.
+    pub fn bug_site_routine(self) -> &'static str {
+        match self {
+            HuntCase::Oscilloscope => "on_read_done",
+            HuntCase::Forwarder => "fwd_drop",
+            HuntCase::Ctp => "ctp_fail",
         }
     }
 }
@@ -394,6 +407,22 @@ pub struct MinedScenario {
     /// runs, the top-ranked negative outlier on clean fixed runs (the
     /// false-positive probe). `None` when there was nothing to localize.
     pub corroborated: Option<bool>,
+    /// The causal chain reconstructed for the localized suspect's
+    /// interval, when one exists (fixed variants lint clean, so their
+    /// chains are pruned away by construction).
+    pub chain: Option<CausalChain>,
+    /// Whether the chain covers the case's injected bug routine.
+    pub chain_contains_bug_site: bool,
+}
+
+/// Whether a chain's evidence touches `routine`: a hop endpoint inside
+/// it, or an executed-slice pc enclosed by it.
+fn chain_covers_routine(chain: &CausalChain, program: &Program, routine: &str) -> bool {
+    chain.touches_routine(routine)
+        || chain
+            .sliced_executed
+            .iter()
+            .any(|&pc| program.enclosing_label(pc) == Some(routine))
 }
 
 /// Harvests, oracles and ranks one scenario's traces — deterministic for
@@ -514,8 +543,8 @@ pub fn mine_scenario(s: &HuntScenario, traces: &[Trace]) -> Result<MinedScenario
             .map(|r| r.index),
         None => None,
     };
-    let corroborated = match flagged_index {
-        None => None,
+    let (corroborated, chain) = match flagged_index {
+        None => (None, None),
         Some(flagged_index) => {
             let flagged_row = set
                 .meta
@@ -523,19 +552,38 @@ pub fn mine_scenario(s: &HuntScenario, traces: &[Trace]) -> Result<MinedScenario
                 .position(|m| m.index == flagged_index)
                 .ok_or("ranked sample missing from its own set")?;
             let hits = localize_set(&set, flagged_row, &program, LOCALIZE_MIN_Z);
-            Some(
-                corroborate(&hits, &lint_report)
-                    .iter()
-                    .any(|c| c.corroborated()),
-            )
+            // Causal reconstruction: slice backward from the deviating
+            // pcs and intersect with the flagged interval's execution,
+            // on the trace of the node that produced the sample.
+            let trace = match (&s.params, flagged_index) {
+                (ScenarioParams::Oscilloscope { .. }, _) => &traces[0],
+                (ScenarioParams::Forwarder { .. }, _) => &traces[1],
+                (ScenarioParams::Ctp { .. }, SampleIndex::NodeSeq { node, .. }) => traces
+                    .get(node as usize)
+                    .ok_or("flagged sample names a node without a trace")?,
+                (ScenarioParams::Ctp { .. }, _) => &traces[0],
+            };
+            let interval = set.meta[flagged_row].interval;
+            let seeds: Vec<u16> = hits.iter().map(|h| h.pc).collect();
+            let chain = causal_chain(&program, trace, &interval, &seeds, &lint_report)
+                .map_err(|e| format!("reconstructing the causal chain: {e}"))?;
+            let corroborated = corroborate_with_chain(&hits, &lint_report, chain.as_ref())
+                .iter()
+                .any(|c| c.corroborated());
+            (Some(corroborated), chain)
         }
     };
+    let chain_contains_bug_site = chain
+        .as_ref()
+        .is_some_and(|c| chain_covers_routine(c, &program, s.case.bug_site_routine()));
     Ok(MinedScenario {
         result,
         negative_scores,
         effective_nu,
         static_warnings: lint_report.warnings.len(),
         corroborated,
+        chain,
+        chain_contains_bug_site,
     })
 }
 
@@ -553,6 +601,8 @@ pub fn scenario_evidence(
         static_warnings: mined.static_warnings,
         corroborated: mined.corroborated,
         remine_matches,
+        chain_emitted: mined.corroborated.map(|_| mined.chain.is_some()),
+        chain_contains_bug_site: mined.chain_contains_bug_site,
         symptom_note: s.case.symptom_note().to_string(),
     }
 }
@@ -565,6 +615,7 @@ pub fn mined_matches(s: &HuntScenario, a: &MinedScenario, b: &MinedScenario) -> 
         && a.effective_nu == b.effective_nu
         && a.static_warnings == b.static_warnings
         && a.corroborated == b.corroborated
+        && a.chain == b.chain
 }
 
 /// The complete per-seed hunt job: generate the scenario, emulate it,

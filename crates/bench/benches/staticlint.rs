@@ -1,9 +1,10 @@
 //! Static analyzer cost on the largest bundled app (CTP): CFG
-//! construction alone versus the full rule pipeline, plus the smaller
-//! apps for scaling context.
+//! construction alone versus the full rule pipeline, plus dependence-
+//! graph construction and backward slicing, with the smaller apps for
+//! scaling context.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use staticlint::{lint, Cfg, ContextMap};
+use staticlint::{lint, Cfg, ContextMap, DependenceGraph};
 
 fn programs() -> Vec<(&'static str, std::sync::Arc<tinyvm::Program>)> {
     vec![
@@ -48,9 +49,30 @@ fn bench_full_lint(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staticlint_slice");
+    for (name, program) in programs() {
+        group.throughput(Throughput::Elements(program.len() as u64));
+        // Graph construction dominates; slicing from the lint-flagged
+        // seeds is the query the CLI and daemon answer.
+        group.bench_with_input(BenchmarkId::new("graph", name), &program, |b, p| {
+            b.iter(|| DependenceGraph::build(p).cross_edges().len())
+        });
+        let graph = DependenceGraph::build(&program);
+        let seeds = sentomist_apps::default_slice_seeds(&program);
+        assert!(!seeds.is_empty(), "{name}: no lint-flagged slice seeds");
+        group.bench_with_input(
+            BenchmarkId::new("backward_slice", name),
+            &(&graph, &seeds),
+            |b, (g, s)| b.iter(|| g.backward_slice(s).unwrap().pcs.len()),
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_cfg_build, bench_full_lint
+    targets = bench_cfg_build, bench_full_lint, bench_slice
 }
 criterion_main!(benches);

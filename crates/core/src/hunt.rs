@@ -53,15 +53,20 @@ pub enum InvariantId {
     /// Re-mining the recorded traces must reproduce the live outcome
     /// (digest, verdict, ranking) bit for bit.
     MiningDeterminism,
+    /// When causal-chain reconstruction ran: a chain emitted for a
+    /// triggered run must cover the injected bug site, and a fixed
+    /// variant must emit no chain at all.
+    CausalChainContainsBugSite,
 }
 
 /// Every invariant, in registry (and report) order.
-pub const INVARIANTS: [InvariantId; 5] = [
+pub const INVARIANTS: [InvariantId; 6] = [
     InvariantId::TransientSymptomFree,
     InvariantId::KnownBuggyIntervalRanksTopK,
     InvariantId::FixedVariantHasNoNegativeOutliers,
     InvariantId::StaticlintDynamicAgreement,
     InvariantId::MiningDeterminism,
+    InvariantId::CausalChainContainsBugSite,
 ];
 
 impl InvariantId {
@@ -75,6 +80,7 @@ impl InvariantId {
             }
             InvariantId::StaticlintDynamicAgreement => "staticlint_dynamic_agreement",
             InvariantId::MiningDeterminism => "mining_determinism",
+            InvariantId::CausalChainContainsBugSite => "causal_chain_contains_bug_site",
         }
     }
 
@@ -95,6 +101,10 @@ impl InvariantId {
             }
             InvariantId::MiningDeterminism => {
                 "re-mining the recorded traces reproduces the live outcome bit for bit"
+            }
+            InvariantId::CausalChainContainsBugSite => {
+                "the reconstructed causal chain covers the injected bug site \
+                 (and fixed variants emit no chain)"
             }
         }
     }
@@ -161,6 +171,13 @@ pub struct Evidence {
     /// Did a second mining pass over the recorded traces reproduce the
     /// live outcome exactly?
     pub remine_matches: bool,
+    /// Whether causal-chain reconstruction emitted a chain for the run's
+    /// localized suspect. `None` when localization did not run (nothing
+    /// to slice from).
+    pub chain_emitted: Option<bool>,
+    /// Whether the emitted chain covers the case's injected bug site
+    /// (vacuously `false` when no chain was emitted).
+    pub chain_contains_bug_site: bool,
     /// Human-readable description of the symptom when triggered (used in
     /// violation messages), e.g. "nested ADC interrupt".
     pub symptom_note: String,
@@ -207,7 +224,7 @@ struct InvariantDef {
 
 /// The invariant registry: which invariants apply to a run's evidence
 /// and how each is checked. Order is the report order.
-fn registry() -> [InvariantDef; 5] {
+fn registry() -> [InvariantDef; 6] {
     [
         InvariantDef {
             id: InvariantId::TransientSymptomFree,
@@ -289,6 +306,28 @@ fn registry() -> [InvariantDef; 5] {
             check: |ev, _| {
                 (!ev.remine_matches)
                     .then(|| "re-mined outcome diverges from the live outcome".to_string())
+            },
+        },
+        InvariantDef {
+            id: InvariantId::CausalChainContainsBugSite,
+            applies: |ev| ev.chain_emitted.is_some(),
+            check: |ev, _| {
+                if ev.fixed_variant {
+                    return (ev.chain_emitted == Some(true)).then(|| {
+                        "causal chain emitted on the fixed variant \
+                         (warning-gated pruning failed)"
+                            .to_string()
+                    });
+                }
+                // A triggered run may legitimately lack a chain — the
+                // concurrent writer of the stale value need not have
+                // executed before the first symptom — but a chain that
+                // *was* emitted for a triggered run must cover the bug.
+                if ev.outcome.verdict != Verdict::Triggered {
+                    return None;
+                }
+                (ev.chain_emitted == Some(true) && !ev.chain_contains_bug_site)
+                    .then(|| "causal chain misses the injected bug site".to_string())
             },
         },
     ]
@@ -605,6 +644,8 @@ mod tests {
             static_warnings: 1,
             corroborated: Some(true),
             remine_matches: true,
+            chain_emitted: Some(true),
+            chain_contains_bug_site: true,
             symptom_note: "nested ADC interrupt".into(),
         }
     }
@@ -641,12 +682,15 @@ mod tests {
             static_warnings: 0,
             corroborated: None,
             remine_matches: true,
+            chain_emitted: None,
+            chain_contains_bug_site: false,
             symptom_note: String::new(),
         };
         let (checked, violations) = check_invariants(&ev, &InvariantPolicy::default());
         assert!(violations.is_empty(), "{violations:?}");
         assert!(checked.contains(&InvariantId::FixedVariantHasNoNegativeOutliers));
         assert!(!checked.contains(&InvariantId::KnownBuggyIntervalRanksTopK));
+        assert!(!checked.contains(&InvariantId::CausalChainContainsBugSite));
     }
 
     #[test]
@@ -670,6 +714,8 @@ mod tests {
             static_warnings: 0,
             corroborated: Some(true),
             remine_matches: true,
+            chain_emitted: None,
+            chain_contains_bug_site: false,
             symptom_note: String::new(),
         };
         let (_, violations) = check_invariants(&ev, &InvariantPolicy::default());
@@ -687,6 +733,65 @@ mod tests {
         };
         let (_, violations) = check_invariants(&ev, &InvariantPolicy::default());
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn causal_chain_invariant_gates_on_emission() {
+        // Healthy triggered run with a bug-site-covering chain: clean.
+        let ev = healthy_buggy_evidence(11);
+        let (checked, violations) = check_invariants(&ev, &InvariantPolicy::default());
+        assert!(checked.contains(&InvariantId::CausalChainContainsBugSite));
+        assert!(!violations
+            .iter()
+            .any(|v| v.invariant == InvariantId::CausalChainContainsBugSite));
+        // Triggered but chainless is *not* a violation: the concurrent
+        // writer may never have executed before the first symptom, so
+        // there is dynamically nothing to anchor a hop with.
+        let ev = Evidence {
+            chain_emitted: Some(false),
+            chain_contains_bug_site: false,
+            ..healthy_buggy_evidence(12)
+        };
+        let (checked, violations) = check_invariants(&ev, &InvariantPolicy::default());
+        assert!(checked.contains(&InvariantId::CausalChainContainsBugSite));
+        assert!(!violations
+            .iter()
+            .any(|v| v.invariant == InvariantId::CausalChainContainsBugSite));
+        // Chain emitted but missing the bug site: violation.
+        let ev = Evidence {
+            chain_contains_bug_site: false,
+            ..healthy_buggy_evidence(13)
+        };
+        let (_, violations) = check_invariants(&ev, &InvariantPolicy::default());
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == InvariantId::CausalChainContainsBugSite));
+        // A fixed variant that emits a chain is a pruning failure.
+        let ev = Evidence {
+            outcome: outcome(14, 0, vec![]),
+            fixed_variant: true,
+            negative_scores: 0,
+            nu: 0.05,
+            static_warnings: 0,
+            corroborated: Some(false),
+            remine_matches: true,
+            chain_emitted: Some(true),
+            chain_contains_bug_site: false,
+            symptom_note: String::new(),
+        };
+        let (_, violations) = check_invariants(&ev, &InvariantPolicy::default());
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == InvariantId::CausalChainContainsBugSite));
+        // And one that emits none is clean on this invariant.
+        let ev = Evidence {
+            chain_emitted: Some(false),
+            ..ev
+        };
+        let (_, violations) = check_invariants(&ev, &InvariantPolicy::default());
+        assert!(!violations
+            .iter()
+            .any(|v| v.invariant == InvariantId::CausalChainContainsBugSite));
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod causal;
 pub mod chaos;
 pub mod corpus;
 pub mod hunt;
@@ -81,6 +82,7 @@ pub use campaign::{
     replay, run_campaign, summarize, summarize_result, CampaignOptions, CampaignResult,
     CampaignSummary, FailureKind, RunError, RunOutcome, Verdict,
 };
+pub use causal::{causal_chain, CausalChain, CausalError, ChainHop, ChainSite};
 pub use chaos::{corrupt_file, truncate_file, ChaosConfig, Fault};
 pub use corpus::{mine_store, mine_store_with, MineOptions, MineReport, QuarantinedRun};
 pub use hunt::{
@@ -88,7 +90,8 @@ pub use hunt::{
     InvariantStats, IterationRecord, TargetOutcome, TargetReport, Violation, INVARIANTS,
 };
 pub use localize::{
-    corroborate, localize, localize_set, CorroboratedInstruction, ImplicatedInstruction,
+    corroborate, corroborate_with_chain, localize, localize_set, CorroboratedInstruction,
+    ImplicatedInstruction,
 };
 pub use monitor::WindowedMiner;
 pub use pipeline::{Pipeline, PipelineError};

@@ -7,6 +7,7 @@
 //! back to assembly source lines and routines, tell the developer *where*
 //! the abnormal behavior happened.
 
+use crate::causal::CausalChain;
 use crate::sample::{Sample, SampleSet};
 use serde::{Deserialize, Serialize};
 use staticlint::{LintReport, WarningKind};
@@ -139,6 +140,11 @@ pub struct CorroboratedInstruction {
     pub warning_kinds: Vec<WarningKind>,
     /// Anchor PCs of the matched warnings.
     pub warning_pcs: Vec<u16>,
+    /// Whether the site appears in the interval's reconstructed
+    /// [`CausalChain`] — the third evidence stream, absent (`false`)
+    /// when no chain was computed.
+    #[serde(default)]
+    pub in_causal_chain: bool,
 }
 
 impl CorroboratedInstruction {
@@ -161,6 +167,20 @@ pub fn corroborate(
     hits: &[ImplicatedInstruction],
     lint: &LintReport,
 ) -> Vec<CorroboratedInstruction> {
+    corroborate_with_chain(hits, lint, None)
+}
+
+/// [`corroborate`] with a third evidence stream: hits on the interval's
+/// reconstructed [`CausalChain`] outrank equally corroborated hits off
+/// it. Ordering is corroborated first, then chain membership, then
+/// z-score descending, then PC ascending — so the existing
+/// corroborated-first invariant is preserved and the chain only breaks
+/// ties within an evidence tier.
+pub fn corroborate_with_chain(
+    hits: &[ImplicatedInstruction],
+    lint: &LintReport,
+    chain: Option<&CausalChain>,
+) -> Vec<CorroboratedInstruction> {
     let mut out: Vec<CorroboratedInstruction> = hits
         .iter()
         .map(|hit| {
@@ -176,6 +196,7 @@ pub fn corroborate(
             warning_kinds.dedup();
             warning_pcs.dedup();
             CorroboratedInstruction {
+                in_causal_chain: chain.is_some_and(|c| c.contains(hit.pc)),
                 hit: hit.clone(),
                 warning_kinds,
                 warning_pcs,
@@ -185,6 +206,7 @@ pub fn corroborate(
     out.sort_by(|a, b| {
         b.corroborated()
             .cmp(&a.corroborated())
+            .then(b.in_causal_chain.cmp(&a.in_causal_chain))
             .then(
                 b.hit
                     .z_score
@@ -267,6 +289,66 @@ mod tests {
         assert!(fused[0].corroborated());
         assert_eq!(fused[0].warning_kinds, vec![WarningKind::UnreachableCode]);
         assert!(!fused[1].corroborated());
+    }
+
+    #[test]
+    fn tie_breaking_when_flagged_sites_share_a_rank() {
+        // Two statically flagged sites (both in the unreachable `dead:`
+        // routine) share the same z-score: the tie must break by PC
+        // ascending, deterministically, with corroborated sites still
+        // ahead of a clean site of identical z.
+        let program = tinyvm::assemble("main:\n nop\n halt\ndead:\n nop\n nop\n halt\n").unwrap();
+        let lint = staticlint::lint(&program);
+        assert_eq!(lint.warnings.len(), 1, "premise: one unreachable warning");
+        let hit = |pc: u16, z: f64| ImplicatedInstruction {
+            pc,
+            z_score: z,
+            observed: 1.0,
+            expected: 0.0,
+            source_line: program.source_line(pc),
+            routine: program.enclosing_label(pc).map(str::to_owned),
+        };
+        // Feed the hits out of pc order to prove the sort does the work.
+        let fused = corroborate(&[hit(4, 4.0), hit(1, 4.0), hit(2, 4.0), hit(3, 4.0)], &lint);
+        let pcs: Vec<u16> = fused.iter().map(|c| c.hit.pc).collect();
+        // dead: spans pcs 2..=4; pc 1 (main) is statically clean.
+        assert_eq!(pcs, vec![2, 3, 4, 1]);
+        assert!(fused[0].corroborated() && fused[1].corroborated());
+        assert!(!fused[3].corroborated());
+        // Determinism: a permuted input yields the identical order.
+        let again = corroborate(&[hit(3, 4.0), hit(2, 4.0), hit(4, 4.0), hit(1, 4.0)], &lint);
+        assert_eq!(fused, again);
+    }
+
+    #[test]
+    fn chain_membership_breaks_ties_within_a_tier() {
+        let program = tinyvm::assemble("main:\n nop\n halt\ndead:\n nop\n nop\n halt\n").unwrap();
+        let lint = staticlint::lint(&program);
+        let hit = |pc: u16, z: f64| ImplicatedInstruction {
+            pc,
+            z_score: z,
+            observed: 1.0,
+            expected: 0.0,
+            source_line: program.source_line(pc),
+            routine: program.enclosing_label(pc).map(str::to_owned),
+        };
+        let chain = CausalChain {
+            seeds: vec![3],
+            hops: Vec::new(),
+            sliced_executed: vec![3],
+        };
+        // pcs 2 and 3 are both corroborated with equal z; only 3 is on
+        // the chain, so 3 must come first — but a corroborated site must
+        // still outrank a chain-only site (pc 1 is clean).
+        let fused = corroborate_with_chain(
+            &[hit(1, 4.0), hit(2, 4.0), hit(3, 4.0)],
+            &lint,
+            Some(&chain),
+        );
+        let pcs: Vec<u16> = fused.iter().map(|c| c.hit.pc).collect();
+        assert_eq!(pcs, vec![3, 2, 1]);
+        assert!(fused[0].in_causal_chain);
+        assert!(!fused[1].in_causal_chain);
     }
 
     #[test]

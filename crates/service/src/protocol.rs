@@ -317,6 +317,18 @@ pub enum Request {
         /// Lint the fixed variant instead of the buggy one.
         fixed: bool,
     },
+    /// Backward dependence slice over a bundled case-study program;
+    /// the `Ok` payload is **exactly** the bytes `sentomist slice --app
+    /// <name> --json` prints for the same inputs.
+    Slice {
+        /// Bundled app name (`oscilloscope|forwarder|ctp`).
+        app: String,
+        /// Slice the fixed variant instead of the buggy one.
+        fixed: bool,
+        /// Seed pcs; empty defaults to the lint warnings' flagged pcs.
+        #[serde(default)]
+        pcs: Vec<u64>,
+    },
     /// One seeded hunt iteration; response is the iteration record as
     /// pretty JSON.
     Hunt {
@@ -492,6 +504,11 @@ mod tests {
             Request::Lint {
                 app: "forwarder".into(),
                 fixed: false,
+            },
+            Request::Slice {
+                app: "oscilloscope".into(),
+                fixed: true,
+                pcs: vec![3, 9],
             },
             Request::Hunt {
                 case: 2,

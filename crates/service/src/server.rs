@@ -427,6 +427,19 @@ fn handle_request(request: &Request, shared: &Arc<Shared>) -> Result<Vec<u8>, Ru
             let report = staticlint::lint(&program);
             render_json(&report)
         }
+        Request::Slice { app, fixed, pcs } => {
+            // pcs travel as u64 for JSON friendliness; out-of-range
+            // values become a typed slice error downstream, not a wrap.
+            let pcs: Vec<u16> = pcs
+                .iter()
+                .map(|&pc| {
+                    u16::try_from(pc).map_err(|_| fatal(format!("slice pc {pc} exceeds u16")))
+                })
+                .collect::<Result<_, _>>()?;
+            let document =
+                sentomist_apps::slice_document(app, *fixed, &pcs).map_err(|e| fatal(e.0))?;
+            Ok(document.into_bytes())
+        }
         Request::Hunt {
             case,
             fixed,

@@ -45,9 +45,14 @@ pub mod cfg;
 pub mod context;
 pub mod report;
 pub mod rules;
+pub mod slice;
 
 pub use access::{data_objects, Access, DataObject, Loc};
 pub use cfg::{BasicBlock, Cfg};
 pub use context::{Context, ContextMap};
 pub use report::{LintReport, LintStats, Warning, WarningKind};
 pub use rules::lint;
+pub use slice::{
+    slice_report, CrossDep, CrossEdgeReport, DependenceGraph, Slice, SliceError, SliceReport,
+    SliceStats, SlicedInstruction,
+};

@@ -219,7 +219,9 @@ fn iflag_states(program: &Program, cfg: &Cfg, reach: &[bool], entry_pc: u16) -> 
     entry[start] = Some(IFlag::En);
     let mut work = vec![start];
     while let Some(b) = work.pop() {
-        let mut state = entry[b].expect("worklist block has entry state");
+        // Only blocks with a seeded entry state are ever pushed; a bare
+        // `continue` keeps the pass panic-free regardless.
+        let Some(mut state) = entry[b] else { continue };
         for pc in cfg.blocks[b].pcs() {
             state = iflag_step(program.ops[pc as usize], state);
         }
@@ -433,7 +435,9 @@ fn shared_object_rules(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
                     .filter(|&&r| a.access(r).write)
                     .map(|&r| a.access(r).pc)
                     .collect();
-                let anchor = *write_pcs.iter().min().expect("writer has writes");
+                let Some(&anchor) = write_pcs.iter().min() else {
+                    continue;
+                };
                 let mut related: Vec<u16> = write_pcs;
                 related.extend(
                     per_ctx[reader]
@@ -561,7 +565,9 @@ fn active_drop_rule(a: &Analysis<'_>, warnings: &mut Vec<Warning>) {
                             .filter(|&b| drop[b])
                             .flat_map(|b| a.cfg.blocks[b].pcs())
                             .collect();
-                        let anchor = *drop_pcs.iter().min().expect("drop side non-empty");
+                        let Some(&anchor) = drop_pcs.iter().min() else {
+                            continue;
+                        };
                         let payload = &a.objects[produced[0]].name;
                         let mut w = a.warning(
                             WarningKind::ActiveDrop,

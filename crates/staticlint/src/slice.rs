@@ -1,0 +1,835 @@
+//! Static dependence slicing: def/use chains, cross-context write→read
+//! edges, and backward slices from arbitrary seed instructions.
+//!
+//! This pass layers a *dependence graph* over the analyses the linter
+//! already computes — the CFG ([`crate::cfg`]), the execution contexts
+//! and their reachability ([`crate::context`]), and the per-block
+//! abstract accesses ([`crate::access`]):
+//!
+//! * **Register chains.** A classic reaching-definitions dataflow (one
+//!   bit-set of defining pcs per register per block, plus a pseudo
+//!   register for the condition flags) connects every register *use* to
+//!   the definitions that can reach it, across block boundaries. Branch
+//!   instructions use the flags, flag-setting compares use their
+//!   operands, so a `lda r, flag; cmpi r, k; brne …` guard chains the
+//!   branch all the way back to the guarded word.
+//! * **Shared-object chains.** Every resolved data-memory read depends
+//!   on the writes of an overlapping location that can flow to it
+//!   *within one context* (same block and earlier, a loop-carried write
+//!   in a cycling block, or a write in a block that reaches the reader's
+//!   block inside some context's region).
+//! * **Cross-context edges.** A write in context `A` and a read of an
+//!   overlapping location in context `B` form an *interleaving edge*
+//!   only when the reachability analysis proves both sites executable in
+//!   a pair of contexts that [`Context::concurrent_with`] allows to
+//!   interleave — the pruning step that keeps the graph honest about the
+//!   handlers-preempt-everything-but-their-own-line model.
+//!
+//! A [`DependenceGraph::backward_slice`] from any seed pc walks both
+//! edge kinds in reverse, so the slice of a symptom site contains the
+//! handler writes that can corrupt it even though no CFG path connects
+//! the two contexts. Slices are deterministic (sorted outputs, no hash
+//! iteration) and monotone under seed-set union — both properties are
+//! pinned by property tests.
+//!
+//! Precision notes, documented rather than hidden: accesses that resolve
+//! to [`Loc::Unknown`] contribute no dependence edges (the block-local
+//! evaluator resolves every idiom the bundled programs use, so this
+//! under-approximation is empty in practice). Control dependence is
+//! modeled one branch-predecessor level per block — each instruction
+//! depends on the conditional terminators of its block's predecessors,
+//! and the flags chain carries the guard back to its data sources —
+//! rather than via full post-dominance frontiers; a block entered only
+//! through an unconditional jump inherits no control edge from the
+//! jump's own guards.
+
+use crate::access::{data_objects, eval_block, Access, DataObject, Loc};
+use crate::cfg::Cfg;
+use crate::context::{Context, ContextMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tinyvm::isa::NUM_REGS;
+use tinyvm::{Op, Program};
+
+/// Slot index of the condition-flags pseudo register.
+const FLAGS: usize = NUM_REGS;
+/// Tracked definition slots: the register file plus the flags.
+const SLOTS: usize = NUM_REGS + 1;
+
+/// Every way building or querying a slice can fail. Typed — the slicing
+/// layer upholds the same zero-panic bar as the trace store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// A seed pc lies outside the program text.
+    PcOutOfRange {
+        /// The offending seed.
+        pc: u16,
+        /// Program length it exceeded.
+        len: usize,
+    },
+    /// A seed pc sits in a block no context can reach; its slice would
+    /// assert dependence on code that never executes.
+    UnreachableSeed {
+        /// The offending seed.
+        pc: u16,
+    },
+    /// No seed pcs were supplied.
+    EmptySeeds,
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::PcOutOfRange { pc, len } => {
+                write!(f, "seed pc {pc} outside the program (len {len})")
+            }
+            SliceError::UnreachableSeed { pc } => {
+                write!(f, "seed pc {pc} is unreachable from every context")
+            }
+            SliceError::EmptySeeds => f.write_str("no seed pcs to slice from"),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+/// One cross-context write→read dependence edge: context `writer` can
+/// interleave with context `reader` and publish `object` (or a raw word)
+/// between the reader's instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossDep {
+    /// The writing instruction.
+    pub write_pc: u16,
+    /// The reading instruction.
+    pub read_pc: u16,
+    /// The shared data object, when the location lies in a labeled one.
+    pub object: Option<String>,
+    /// A context that can execute the write.
+    pub writer: Context,
+    /// A concurrent context that can execute the read.
+    pub reader: Context,
+}
+
+/// The static dependence graph of one program.
+#[derive(Debug, Clone)]
+pub struct DependenceGraph {
+    program_len: usize,
+    /// `deps[pc]`: sorted, deduplicated pcs that `pc` data-depends on
+    /// within a single context (register chains + same-context memory
+    /// flow).
+    deps: Vec<Vec<u16>>,
+    /// Cross-context interleaving edges, sorted by `(read_pc, write_pc)`.
+    cross: Vec<CrossDep>,
+    /// Edge indices into `cross`, grouped by reading pc.
+    cross_by_read: Vec<Vec<usize>>,
+    /// Whether each pc lies in a block some context can reach.
+    reachable_pc: Vec<bool>,
+}
+
+/// A computed backward slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// The seed pcs, sorted and deduplicated.
+    pub seeds: Vec<u16>,
+    /// Every pc in the slice (seeds included), sorted ascending.
+    pub pcs: Vec<u16>,
+    /// The cross-context edges the slice traversed, sorted by
+    /// `(read_pc, write_pc)`.
+    pub cross: Vec<CrossDep>,
+}
+
+impl Slice {
+    /// Whether `pc` belongs to the slice.
+    pub fn contains(&self, pc: u16) -> bool {
+        self.pcs.binary_search(&pc).is_ok()
+    }
+}
+
+/// A dense bit set over instruction indices.
+#[derive(Clone, PartialEq, Eq)]
+struct PcSet {
+    words: Vec<u64>,
+}
+
+impl PcSet {
+    fn new(len: usize) -> PcSet {
+        PcSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, pc: u16) {
+        self.words[pc as usize / 64] |= 1u64 << (pc as usize % 64);
+    }
+
+    fn union_with(&mut self, other: &PcSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    fn singleton(len: usize, pc: u16) -> PcSet {
+        let mut s = PcSet::new(len);
+        s.insert(pc);
+        s
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| (i * 64 + b) as u16)
+        })
+    }
+}
+
+/// Register/flags slots an instruction reads and the slot it defines.
+fn uses_and_def(op: Op) -> (Vec<usize>, Option<usize>) {
+    match op {
+        Op::Ldi(d, _) | Op::Lda(d, _) | Op::In(d, _) | Op::Pop(d) => (vec![], Some(d.index())),
+        Op::Mov(d, s) => (vec![s.index()], Some(d.index())),
+        Op::Ld(d, b, _) => (vec![b.index()], Some(d.index())),
+        Op::St(b, _, v) => (vec![b.index(), v.index()], None),
+        Op::Sta(_, s) | Op::Out(_, s) | Op::Push(s) => (vec![s.index()], None),
+        Op::Add(d, s)
+        | Op::Sub(d, s)
+        | Op::And(d, s)
+        | Op::Or(d, s)
+        | Op::Xor(d, s)
+        | Op::Mul(d, s) => (vec![d.index(), s.index()], Some(d.index())),
+        Op::Addi(d, _) | Op::Subi(d, _) | Op::Shl(d, _) | Op::Shr(d, _) => {
+            (vec![d.index()], Some(d.index()))
+        }
+        Op::Cmp(a, b) => (vec![a.index(), b.index()], Some(FLAGS)),
+        Op::Cmpi(r, _) => (vec![r.index()], Some(FLAGS)),
+        Op::Br(_, _) => (vec![FLAGS], None),
+        Op::Nop
+        | Op::Halt
+        | Op::Sleep
+        | Op::Jmp(_)
+        | Op::Call(_)
+        | Op::Ret
+        | Op::Reti
+        | Op::Post(_)
+        | Op::Sei
+        | Op::Cli => (vec![], None),
+    }
+}
+
+/// Whether an arithmetic/logic op also defines the flags (in addition to
+/// its register destination).
+fn also_defines_flags(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Add(..)
+            | Op::Sub(..)
+            | Op::And(..)
+            | Op::Or(..)
+            | Op::Xor(..)
+            | Op::Mul(..)
+            | Op::Addi(..)
+            | Op::Subi(..)
+            | Op::Shl(..)
+            | Op::Shr(..)
+    )
+}
+
+/// Whether two resolved locations can alias. [`Loc::Unknown`] aliases
+/// nothing — the documented under-approximation of this pass.
+fn locs_overlap(a: Loc, b: Loc, objects: &[DataObject]) -> bool {
+    match (a, b) {
+        (Loc::Word(x), Loc::Word(y)) => x == y,
+        (Loc::Word(w), Loc::Object(i)) | (Loc::Object(i), Loc::Word(w)) => objects[i].contains(w),
+        (Loc::Object(i), Loc::Object(j)) => i == j,
+        (Loc::Unknown, _) | (_, Loc::Unknown) => false,
+    }
+}
+
+/// The labeled object an access location lies in, if any.
+fn object_of_loc(loc: Loc, objects: &[DataObject]) -> Option<String> {
+    match loc {
+        Loc::Word(w) => objects
+            .iter()
+            .find(|o| o.contains(w))
+            .map(|o| o.name.clone()),
+        Loc::Object(i) => objects.get(i).map(|o| o.name.clone()),
+        Loc::Unknown => None,
+    }
+}
+
+impl DependenceGraph {
+    /// Builds the dependence graph of `program`: register reaching
+    /// definitions, same-context shared-object flow, and concurrency-
+    /// pruned cross-context write→read edges.
+    pub fn build(program: &Program) -> DependenceGraph {
+        let n = program.len();
+        let cfg = Cfg::build(program);
+        let ctx = ContextMap::build(program, &cfg);
+        let objects = data_objects(program);
+        let nb = cfg.blocks.len();
+
+        let reachable_block: Vec<bool> = (0..nb).map(|b| ctx.reachable_anywhere(b)).collect();
+        let mut reachable_pc = vec![false; n];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if reachable_block[b] {
+                for pc in block.pcs() {
+                    reachable_pc[pc as usize] = true;
+                }
+            }
+        }
+
+        let mut deps: Vec<Vec<u16>> = vec![Vec::new(); n];
+        let mut add_dep = |use_pc: u16, def_pc: u16| {
+            let d = &mut deps[use_pc as usize];
+            if !d.contains(&def_pc) {
+                d.push(def_pc);
+            }
+        };
+
+        // --- Register chains: reaching definitions over the CFG. ---
+        // gen[b][slot]: last defining pc of `slot` inside block b.
+        let mut gen: Vec<[Option<u16>; SLOTS]> = vec![[None; SLOTS]; nb];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !reachable_block[b] {
+                continue;
+            }
+            for pc in block.pcs() {
+                let op = program.ops[pc as usize];
+                let (_, def) = uses_and_def(op);
+                if let Some(slot) = def {
+                    gen[b][slot] = Some(pc);
+                }
+                if also_defines_flags(op) {
+                    gen[b][FLAGS] = Some(pc);
+                }
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !reachable_block[b] {
+                continue;
+            }
+            for &s in &block.succs {
+                if reachable_block[s] {
+                    preds[s].push(b);
+                }
+            }
+        }
+        let empty = PcSet::new(n);
+        let mut ins: Vec<Vec<PcSet>> = vec![vec![empty.clone(); SLOTS]; nb];
+        let mut outs: Vec<Vec<PcSet>> = vec![vec![empty.clone(); SLOTS]; nb];
+        loop {
+            let mut changed = false;
+            for b in 0..nb {
+                if !reachable_block[b] {
+                    continue;
+                }
+                for slot in 0..SLOTS {
+                    let mut new_in = PcSet::new(n);
+                    for &p in &preds[b] {
+                        new_in.union_with(&outs[p][slot]);
+                    }
+                    let new_out = match gen[b][slot] {
+                        Some(pc) => PcSet::singleton(n, pc),
+                        None => new_in.clone(),
+                    };
+                    if new_out != outs[b][slot] {
+                        outs[b][slot] = new_out;
+                        changed = true;
+                    }
+                    ins[b][slot] = new_in;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Wire use→def edges: in-block definitions win; upward-exposed
+        // uses take every reaching definition at block entry.
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !reachable_block[b] {
+                continue;
+            }
+            let mut local: [Option<u16>; SLOTS] = [None; SLOTS];
+            for pc in block.pcs() {
+                let op = program.ops[pc as usize];
+                let (uses, def) = uses_and_def(op);
+                for slot in uses {
+                    match local[slot] {
+                        Some(d) => add_dep(pc, d),
+                        None => {
+                            for d in ins[b][slot].iter() {
+                                add_dep(pc, d);
+                            }
+                        }
+                    }
+                }
+                if let Some(slot) = def {
+                    local[slot] = Some(pc);
+                }
+                if also_defines_flags(op) {
+                    local[FLAGS] = Some(pc);
+                }
+            }
+        }
+
+        // --- Control dependence: every instruction of a block depends on
+        // the conditional terminators of the block's predecessors, so a
+        // slice seeded inside a guarded branch (`brne fwd_drop` → the
+        // drop counter) walks back through the guard to the flag loads
+        // that decided it — and from there, via the cross-context edges,
+        // to the concurrent writers of the guarding flag. One level of
+        // branch-predecessor dependence per block; deeper guards chain
+        // block by block through the same rule.
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !reachable_block[b] {
+                continue;
+            }
+            for &p in &preds[b] {
+                let Some(term) = cfg.blocks[p].end.checked_sub(1) else {
+                    continue;
+                };
+                if !matches!(program.ops[term as usize], Op::Br(..)) {
+                    continue;
+                }
+                for pc in block.pcs() {
+                    add_dep(pc, term);
+                }
+            }
+        }
+
+        // --- Shared-object flow: same-context edges and cross-context
+        // interleaving edges. ---
+        let mut accesses: Vec<(usize, Access)> = Vec::new();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if !reachable_block[b] {
+                continue;
+            }
+            let facts = eval_block(program, &objects, block);
+            for acc in facts.accesses {
+                accesses.push((b, acc));
+            }
+        }
+        // Per-context forward block reachability, for the "write can flow
+        // to read within one context" test.
+        let nc = ctx.contexts.len();
+        let mut fwd: Vec<Vec<Option<Vec<bool>>>> = vec![vec![None; nb]; nc];
+        for (c, row) in fwd.iter_mut().enumerate() {
+            for (b, slot) in row.iter_mut().enumerate() {
+                if ctx.reach[c][b] {
+                    *slot = Some(cfg.reachable_within(b, &ctx.reach[c]));
+                }
+            }
+        }
+        let mut cross: Vec<CrossDep> = Vec::new();
+        for &(bw, ref wa) in accesses.iter().filter(|(_, a)| a.write) {
+            for &(br, ref ra) in accesses.iter().filter(|(_, a)| !a.write) {
+                if !locs_overlap(wa.loc, ra.loc, &objects) {
+                    continue;
+                }
+                // Same-context flow: the write can reach the read on a
+                // CFG path of some context.
+                let mut intra = false;
+                for (c, fwd_row) in fwd.iter().enumerate() {
+                    if !(ctx.reach[c][bw] && ctx.reach[c][br]) {
+                        continue;
+                    }
+                    let flows = if bw == br {
+                        wa.pc < ra.pc || cfg.in_cycle(bw, &ctx.reach[c])
+                    } else {
+                        fwd_row[bw].as_ref().is_some_and(|r| r[br])
+                    };
+                    if flows {
+                        intra = true;
+                        break;
+                    }
+                }
+                if intra {
+                    add_dep(ra.pc, wa.pc);
+                }
+                // Cross-context interleaving edge: keep the first
+                // concurrent (writer, reader) context pair in context
+                // order — deterministic, and one representative pair is
+                // all the slice needs.
+                'pair: for cw in 0..nc {
+                    if !ctx.reach[cw][bw] {
+                        continue;
+                    }
+                    for cr in 0..nc {
+                        if cw == cr || !ctx.reach[cr][br] {
+                            continue;
+                        }
+                        let (wctx, rctx) = (ctx.contexts[cw].0, ctx.contexts[cr].0);
+                        if wctx.concurrent_with(&rctx) {
+                            cross.push(CrossDep {
+                                write_pc: wa.pc,
+                                read_pc: ra.pc,
+                                object: object_of_loc(wa.loc, &objects),
+                                writer: wctx,
+                                reader: rctx,
+                            });
+                            break 'pair;
+                        }
+                    }
+                }
+            }
+        }
+        cross.sort_by_key(|e| (e.read_pc, e.write_pc));
+        cross.dedup();
+        let mut cross_by_read: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in cross.iter().enumerate() {
+            cross_by_read[e.read_pc as usize].push(i);
+        }
+        for d in &mut deps {
+            d.sort_unstable();
+            d.dedup();
+        }
+
+        DependenceGraph {
+            program_len: n,
+            deps,
+            cross,
+            cross_by_read,
+            reachable_pc,
+        }
+    }
+
+    /// The program length the graph was built for.
+    pub fn program_len(&self) -> usize {
+        self.program_len
+    }
+
+    /// Whether `pc` can seed a slice: inside the program and inside a
+    /// block some context reaches.
+    pub fn valid_seed(&self, pc: u16) -> bool {
+        (pc as usize) < self.program_len && self.reachable_pc[pc as usize]
+    }
+
+    /// All cross-context write→read edges, sorted by `(read_pc, write_pc)`.
+    pub fn cross_edges(&self) -> &[CrossDep] {
+        &self.cross
+    }
+
+    /// The sorted same-context dependence targets of `pc`.
+    pub fn deps_of(&self, pc: u16) -> &[u16] {
+        self.deps
+            .get(pc as usize)
+            .map_or(&[], std::vec::Vec::as_slice)
+    }
+
+    /// Computes the backward slice from `seeds`: the transitive closure
+    /// of same-context dependences and cross-context write→read edges,
+    /// walked in reverse from every seed.
+    ///
+    /// Deterministic (sorted outputs) and monotone: the slice of a seed
+    /// union contains the union of the individual slices.
+    ///
+    /// # Errors
+    ///
+    /// [`SliceError::EmptySeeds`], [`SliceError::PcOutOfRange`], or
+    /// [`SliceError::UnreachableSeed`] when a seed's block no context
+    /// reaches.
+    pub fn backward_slice(&self, seeds: &[u16]) -> Result<Slice, SliceError> {
+        if seeds.is_empty() {
+            return Err(SliceError::EmptySeeds);
+        }
+        for &pc in seeds {
+            if (pc as usize) >= self.program_len {
+                return Err(SliceError::PcOutOfRange {
+                    pc,
+                    len: self.program_len,
+                });
+            }
+            if !self.reachable_pc[pc as usize] {
+                return Err(SliceError::UnreachableSeed { pc });
+            }
+        }
+        let mut visited = vec![false; self.program_len];
+        let mut traversed = vec![false; self.cross.len()];
+        let mut stack: Vec<u16> = seeds.to_vec();
+        while let Some(pc) = stack.pop() {
+            if std::mem::replace(&mut visited[pc as usize], true) {
+                continue;
+            }
+            for &d in &self.deps[pc as usize] {
+                if !visited[d as usize] {
+                    stack.push(d);
+                }
+            }
+            for &ei in &self.cross_by_read[pc as usize] {
+                traversed[ei] = true;
+                let w = self.cross[ei].write_pc;
+                if !visited[w as usize] {
+                    stack.push(w);
+                }
+            }
+        }
+        let mut sorted_seeds = seeds.to_vec();
+        sorted_seeds.sort_unstable();
+        sorted_seeds.dedup();
+        let pcs: Vec<u16> = (0..self.program_len as u16)
+            .filter(|&pc| visited[pc as usize])
+            .collect();
+        let cross = self
+            .cross
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| traversed[i])
+            .map(|(_, e)| e.clone())
+            .collect();
+        Ok(Slice {
+            seeds: sorted_seeds,
+            pcs,
+            cross,
+        })
+    }
+}
+
+/// One instruction of a serialized slice, with its source evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlicedInstruction {
+    /// Instruction index.
+    pub pc: u16,
+    /// 1-based assembly source line, if known.
+    pub source_line: Option<u32>,
+    /// Enclosing code label.
+    pub routine: Option<String>,
+}
+
+/// One serialized cross-context edge with full site evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossEdgeReport {
+    /// The writing instruction.
+    pub write_pc: u16,
+    /// Source line of the write.
+    pub write_source_line: Option<u32>,
+    /// Routine of the write.
+    pub write_routine: Option<String>,
+    /// Display name of a context that can execute the write.
+    pub writer_context: String,
+    /// The reading instruction.
+    pub read_pc: u16,
+    /// Source line of the read.
+    pub read_source_line: Option<u32>,
+    /// Routine of the read.
+    pub read_routine: Option<String>,
+    /// Display name of a concurrent context that can execute the read.
+    pub reader_context: String,
+    /// The shared data object, when the location lies in a labeled one.
+    pub object: Option<String>,
+}
+
+/// Sizing statistics of a slice report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceStats {
+    /// Instructions in the program.
+    pub instructions: usize,
+    /// Instructions in the slice.
+    pub sliced: usize,
+    /// Cross-context edges the slice traversed.
+    pub cross_edges: usize,
+}
+
+/// The serializable result of `sentomist slice`: the backward slice of
+/// the seed pcs with per-instruction and per-edge source evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceReport {
+    /// The seed pcs, sorted.
+    pub seeds: Vec<u16>,
+    /// The sliced instructions, ascending by pc.
+    pub instructions: Vec<SlicedInstruction>,
+    /// The traversed cross-context edges, sorted by `(read_pc, write_pc)`.
+    pub cross_edges: Vec<CrossEdgeReport>,
+    /// Sizing statistics.
+    pub stats: SliceStats,
+}
+
+/// Renders an edge with the program's source evidence attached.
+pub fn cross_edge_report(program: &Program, edge: &CrossDep) -> CrossEdgeReport {
+    CrossEdgeReport {
+        write_pc: edge.write_pc,
+        write_source_line: program.source_line(edge.write_pc),
+        write_routine: program.enclosing_label(edge.write_pc).map(str::to_string),
+        writer_context: edge.writer.describe(program),
+        read_pc: edge.read_pc,
+        read_source_line: program.source_line(edge.read_pc),
+        read_routine: program.enclosing_label(edge.read_pc).map(str::to_string),
+        reader_context: edge.reader.describe(program),
+        object: edge.object.clone(),
+    }
+}
+
+/// Builds the full serializable slice report for `seeds`.
+///
+/// # Errors
+///
+/// Any [`SliceError`] from [`DependenceGraph::backward_slice`].
+pub fn slice_report(program: &Program, seeds: &[u16]) -> Result<SliceReport, SliceError> {
+    let graph = DependenceGraph::build(program);
+    let slice = graph.backward_slice(seeds)?;
+    Ok(SliceReport {
+        seeds: slice.seeds.clone(),
+        instructions: slice
+            .pcs
+            .iter()
+            .map(|&pc| SlicedInstruction {
+                pc,
+                source_line: program.source_line(pc),
+                routine: program.enclosing_label(pc).map(str::to_string),
+            })
+            .collect(),
+        cross_edges: slice
+            .cross
+            .iter()
+            .map(|e| cross_edge_report(program, e))
+            .collect(),
+        stats: SliceStats {
+            instructions: program.len(),
+            sliced: slice.pcs.len(),
+            cross_edges: slice.cross.len(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> (Program, DependenceGraph) {
+        let p = tinyvm::assemble(src).unwrap();
+        let g = DependenceGraph::build(&p);
+        (p, g)
+    }
+
+    const SHARED: &str = "\
+.handler ADC on_adc
+.task consume
+.data buf 1
+.data flag 1
+main:
+ ldi r1, 1
+ out ADC_CTRL, r1
+ ret
+on_adc:
+ in r1, ADC_DATA
+ sta buf, r1
+ ldi r2, 1
+ sta flag, r2
+ post consume
+ reti
+consume:
+ lda r1, flag
+ cmpi r1, 1
+ brne done
+ lda r2, buf
+ out RADIO_TX_PUSH, r2
+done:
+ ret
+";
+
+    #[test]
+    fn register_chain_links_use_to_def() {
+        let (p, g) = graph_of(SHARED);
+        // `out RADIO_TX_PUSH, r2` uses r2 defined by `lda r2, buf`.
+        let lda_buf = p.label("consume").unwrap() + 3;
+        let out_push = lda_buf + 1;
+        assert!(g.deps_of(out_push).contains(&lda_buf));
+    }
+
+    #[test]
+    fn flags_chain_links_branch_to_compare_to_guard_load() {
+        let (p, g) = graph_of(SHARED);
+        let consume = p.label("consume").unwrap();
+        let (lda_flag, cmpi, brne) = (consume, consume + 1, consume + 2);
+        assert!(g.deps_of(brne).contains(&cmpi));
+        assert!(g.deps_of(cmpi).contains(&lda_flag));
+    }
+
+    #[test]
+    fn cross_context_edges_connect_handler_writes_to_task_reads() {
+        let (p, g) = graph_of(SHARED);
+        let sta_buf = p.label("on_adc").unwrap() + 1;
+        let lda_buf = p.label("consume").unwrap() + 3;
+        let edge = g
+            .cross_edges()
+            .iter()
+            .find(|e| e.write_pc == sta_buf && e.read_pc == lda_buf)
+            .expect("missing handler-write → task-read edge");
+        assert_eq!(edge.object.as_deref(), Some("buf"));
+        assert!(edge.writer.is_irq());
+        assert!(edge.reader.is_task());
+    }
+
+    #[test]
+    fn backward_slice_crosses_contexts() {
+        let (p, g) = graph_of(SHARED);
+        let out_push = p.label("consume").unwrap() + 4;
+        let slice = g.backward_slice(&[out_push]).unwrap();
+        let sta_buf = p.label("on_adc").unwrap() + 1;
+        let in_adc = p.label("on_adc").unwrap();
+        assert!(slice.contains(sta_buf), "handler store missing: {slice:?}");
+        assert!(slice.contains(in_adc), "handler load missing");
+        assert!(!slice.cross.is_empty());
+    }
+
+    #[test]
+    fn slice_errors_are_typed() {
+        let (p, g) = graph_of(SHARED);
+        assert_eq!(g.backward_slice(&[]), Err(SliceError::EmptySeeds));
+        let len = p.len();
+        assert_eq!(
+            g.backward_slice(&[len as u16]),
+            Err(SliceError::PcOutOfRange {
+                pc: len as u16,
+                len
+            })
+        );
+    }
+
+    #[test]
+    fn unreachable_seed_is_rejected() {
+        let (p, g) = graph_of(
+            "\
+main:
+ ret
+orphan:
+ nop
+ ret
+",
+        );
+        let orphan = p.label("orphan").unwrap();
+        assert_eq!(
+            g.backward_slice(&[orphan]),
+            Err(SliceError::UnreachableSeed { pc: orphan })
+        );
+    }
+
+    #[test]
+    fn slices_are_monotone_under_seed_union() {
+        let (p, g) = graph_of(SHARED);
+        let consume = p.label("consume").unwrap();
+        let a = g.backward_slice(&[consume + 4]).unwrap();
+        let b = g.backward_slice(&[consume + 2]).unwrap();
+        let ab = g.backward_slice(&[consume + 4, consume + 2]).unwrap();
+        for pc in a.pcs.iter().chain(&b.pcs) {
+            assert!(ab.contains(*pc), "union slice lost pc {pc}");
+        }
+    }
+
+    #[test]
+    fn report_carries_source_evidence() {
+        let (p, _) = graph_of(SHARED);
+        let out_push = p.label("consume").unwrap() + 4;
+        let report = slice_report(&p, &[out_push]).unwrap();
+        assert_eq!(report.stats.instructions, p.len());
+        assert_eq!(report.stats.sliced, report.instructions.len());
+        assert!(report
+            .instructions
+            .iter()
+            .all(|i| i.source_line.is_some() && i.routine.is_some()));
+        assert!(report
+            .cross_edges
+            .iter()
+            .any(|e| e.reader_context.starts_with("task")));
+    }
+}

@@ -5,6 +5,7 @@
 //! sentomist assemble <app.s>                      check + disassemble
 //! sentomist run <app.s> [opts]                    emulate, save a trace
 //! sentomist lint <app.s | --app NAME> [--json]    static interleaving analysis
+//! sentomist slice <app.s | --app NAME> [--pc N]   backward dependence slice
 //! sentomist mine <trace.json> --irq N [opts]      rank intervals
 //! sentomist localize <trace.json> <app.s> [opts]  implicate instructions
 //! sentomist case <1|2|3>                          run a paper case study
@@ -12,15 +13,18 @@
 //! ```
 
 use sentomist::apps::{
-    bundled_program, campaign_document, fnv64, mine_corpus, CorpusMineOptions, Mode,
-    SupervisedTracedJob,
+    bundled_program, bundled_slice_report, campaign_document, default_slice_seeds, fnv64,
+    mine_corpus, slice_document, CorpusMineOptions, Mode, SupervisedTracedJob,
 };
 use sentomist::core::campaign::{CampaignResult, RunOutcome, Verdict};
 use sentomist::core::chaos::ChaosConfig;
 use sentomist::core::supervise::{
     run_supervised, RunContext, RunFailure, SeedReport, SupervisorOptions,
 };
-use sentomist::core::{corroborate, harvest_set, localize_set, Pipeline, SampleIndex};
+use sentomist::core::{
+    causal_chain, corroborate_with_chain, harvest_set, localize_set, CausalChain, Pipeline,
+    SampleIndex,
+};
 use sentomist::mlcore::{
     KdeDetector, KfdDetector, KnnDetector, MahalanobisDetector, OneClassSvm, OutlierDetector,
     PcaDetector,
@@ -55,19 +59,38 @@ USAGE:
       data-object race rules. --json prints the full report for fixture
       pinning; the exit code is 0 regardless of findings.
 
+  sentomist slice <app.s> [--pc N[,N...]] [--json]
+  sentomist slice --app <oscilloscope|forwarder|ctp> [--fixed] [--pc N[,N...]] [--json]
+      Backward static dependence slice from the seed pcs: every
+      instruction whose data or control effects can reach a seed, plus
+      the cross-context write→read edges that carry shared state between
+      lifecycle contexts the reachability analysis proves can
+      interleave. Without --pc the seeds default to the lint warnings'
+      flagged pcs — a clean-linting program yields an empty slice.
+      --json prints the report document, byte-identical to the mining
+      daemon's Slice response for the bundled apps.
+
   sentomist mine <trace.json> [--irq N] [--detector ocsvm|pca|knn|mahalanobis|kde|kfd]
                  [--nu X] [--top K] [--csv FILE]
-                 [--corroborate <app.s>] [--min-z Z]
+                 [--corroborate <app.s>] [--min-z Z] [--causal]
       Anatomize the trace into event-handling intervals of interrupt N
       (default 0), rank them, and print the suspicion table; --csv also
       writes the full ranking for external plotting. With --corroborate,
       localize the top-ranked interval against <app.s> and join each
       implicated instruction with the static analyzer's warnings —
-      statically corroborated sites rank first.
+      statically corroborated sites rank first. --causal additionally
+      intersects the dynamic interval with the static backward slice
+      from the implicated sites and prints the reconstructed causal
+      chain: the ordered cross-context hops that published the stale
+      state the symptom consumed.
 
   sentomist localize <trace.json> <app.s> [--irq N] [--rank R] [--min-z Z]
+                     [--causal]
       Explain the R-th most suspicious interval (default 1): which
-      instructions deviate from the population.
+      instructions deviate from the population. With --causal, also
+      reconstruct the interval's causal chain and restrict the flat hit
+      list to chain members — a strictly smaller, causally ordered
+      explanation.
 
   sentomist profile <trace.json> <app.s>
       Attribute executed instructions and cycles to routines (the
@@ -129,7 +152,8 @@ USAGE:
       each run, and check the invariant registry —
       transient_symptom_free, known_buggy_interval_ranks_top_k,
       fixed_variant_has_no_negative_outliers,
-      staticlint_dynamic_agreement, mining_determinism. Violations
+      staticlint_dynamic_agreement, mining_determinism,
+      causal_chain_contains_bug_site. Violations
       aggregate into BUG_REPORT.md + bug_report.json under --out
       (default .): per-invariant detection rates, violating seeds and a
       copy-pasteable repro line per bug. --fixed hunts the repaired
@@ -217,6 +241,43 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
         }
     }
     (positional, flags)
+}
+
+/// Rejects flags the subcommand does not define: a typo like
+/// `--iteratoins` must print the usage on stderr and exit nonzero, not
+/// silently run with the default.
+fn reject_unknown_flags(
+    command: &str,
+    flags: &HashMap<String, String>,
+    allowed: &[&str],
+) -> Result<(), Box<dyn Error>> {
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .map(String::as_str)
+        .filter(|name| !allowed.contains(name))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(name) => Err(usage_error(format!("{command}: unknown flag `--{name}`"))),
+        None => Ok(()),
+    }
+}
+
+/// Parses `--pc N[,N...]` into a pc list; absent means "default seeds".
+fn flag_pcs(flags: &HashMap<String, String>) -> Result<Vec<u16>, String> {
+    let Some(raw) = flags.get("pc") else {
+        return Ok(Vec::new());
+    };
+    if raw.is_empty() {
+        return Err("--pc wants a comma-separated pc list".into());
+    }
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u16>()
+                .map_err(|_| format!("--pc wants numbers, got `{s}`"))
+        })
+        .collect()
 }
 
 fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
@@ -340,6 +401,9 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         println!("full ranking written to {csv_path}");
     }
     let Some(app_path) = corroborate_app else {
+        if flags.contains_key("causal") {
+            return Err("mine --causal needs --corroborate <app.s>".into());
+        }
         return Ok(());
     };
     // Fuse: localize the top-ranked interval and join the implicated
@@ -366,7 +430,14 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         .ok_or("ranked sample missing from the harvested set")?;
     let hits = localize_set(&samples, flagged, &program, min_z);
     let lint = sentomist::staticlint::lint(&program);
-    let fused = corroborate(&hits, &lint);
+    let chain = if flags.contains_key("causal") {
+        let interval = samples.meta[flagged].interval;
+        let seeds: Vec<u16> = hits.iter().map(|h| h.pc).collect();
+        causal_chain(&program, &trace, &interval, &seeds, &lint)?
+    } else {
+        None
+    };
+    let fused = corroborate_with_chain(&hits, &lint, chain.as_ref());
     println!(
         "\ncorroborating interval {} (score {:.4}) against {} static warning(s):",
         target.index,
@@ -374,7 +445,7 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         lint.warnings.len()
     );
     for c in fused.iter().take(12) {
-        let tag = if c.corroborated() {
+        let mut tag = if c.corroborated() {
             c.warning_kinds
                 .iter()
                 .map(|k| k.slug())
@@ -383,6 +454,9 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
         } else {
             "-".to_string()
         };
+        if c.in_causal_chain {
+            tag.push_str("+chain");
+        }
         println!(
             "  pc {:>4}  z {:>7.2}  {} (line {})  [{}]",
             c.hit.pc,
@@ -392,12 +466,49 @@ fn cmd_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
             tag
         );
     }
+    if flags.contains_key("causal") {
+        println!();
+        match &chain {
+            Some(c) => print_chain(c),
+            None => println!(
+                "no causal chain: no warning-anchored cross-context edge \
+                 carried state into this interval"
+            ),
+        }
+    }
     Ok(())
+}
+
+/// Renders a reconstructed causal chain: cross-context hops in dynamic
+/// order, each with full site evidence.
+fn print_chain(chain: &CausalChain) {
+    println!(
+        "causal chain: {} hop(s), {} executed sliced instruction(s), seeds {:?}",
+        chain.hops.len(),
+        chain.sliced_executed.len(),
+        chain.seeds
+    );
+    for h in &chain.hops {
+        println!(
+            "  seg {:>3}: [{}] pc {:>4} {} (line {})  --{}-->  [{}] pc {:>4} {} (line {})",
+            h.first_read_segment,
+            h.write.context,
+            h.write.pc,
+            h.write.routine.as_deref().unwrap_or("?"),
+            h.write.source_line.unwrap_or(0),
+            h.object.as_deref().unwrap_or("?"),
+            h.read.context,
+            h.read.pc,
+            h.read.routine.as_deref().unwrap_or("?"),
+            h.read.source_line.unwrap_or(0),
+        );
+    }
 }
 
 /// One of the paper's three bundled case-study programs, by name.
 fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
     let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("lint", &flags, &["app", "fixed", "json"])?;
     let json = flags.contains_key("json");
     let program = match flags.get("app") {
         Some(name) => bundled_program(name, flags.contains_key("fixed"))?,
@@ -412,6 +523,98 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {
         print!("{}", report.table());
+    }
+    Ok(())
+}
+
+/// Renders a slice report as a human table; the `--json` twin is the
+/// serialized document itself.
+fn print_slice_report(report: &sentomist::staticlint::SliceReport) {
+    if report.seeds.is_empty() {
+        println!("no slice seeds: the program lints clean and no --pc was given");
+        return;
+    }
+    println!(
+        "backward slice from {:?}: {} of {} instruction(s), {} cross-context edge(s)",
+        report.seeds, report.stats.sliced, report.stats.instructions, report.stats.cross_edges
+    );
+    for i in &report.instructions {
+        println!(
+            "  pc {:>4}  {} (line {})",
+            i.pc,
+            i.routine.as_deref().unwrap_or("?"),
+            i.source_line.unwrap_or(0)
+        );
+    }
+    for e in &report.cross_edges {
+        println!(
+            "  edge: {} pc {} ({}) --{}--> {} pc {} ({})",
+            e.writer_context,
+            e.write_pc,
+            e.write_routine.as_deref().unwrap_or("?"),
+            e.object.as_deref().unwrap_or("?"),
+            e.reader_context,
+            e.read_pc,
+            e.read_routine.as_deref().unwrap_or("?"),
+        );
+    }
+}
+
+/// `sentomist slice`: the static half of causal-chain reconstruction as
+/// a standalone command. For bundled apps the report comes from
+/// `apps::jobs::slice_document`'s builder — the exact call the mining
+/// daemon answers Slice requests with, so `--app --json` output and a
+/// daemon response are byte-identical by construction.
+fn cmd_slice(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("slice", &flags, &["app", "fixed", "json", "pc"])?;
+    let json = flags.contains_key("json");
+    let pcs = flag_pcs(&flags)?;
+    if let Some(name) = flags.get("app") {
+        if json {
+            print!(
+                "{}",
+                slice_document(name, flags.contains_key("fixed"), &pcs)?
+            );
+        } else {
+            print_slice_report(&bundled_slice_report(
+                name,
+                flags.contains_key("fixed"),
+                &pcs,
+            )?);
+        }
+        return Ok(());
+    }
+    let path = pos
+        .first()
+        .ok_or("slice: missing <app.s> (or --app NAME)")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let program = tinyvm::assemble(&src)?;
+    let seeds = if pcs.is_empty() {
+        default_slice_seeds(&program)
+    } else {
+        pcs
+    };
+    let report = if seeds.is_empty() {
+        sentomist::staticlint::SliceReport {
+            seeds,
+            instructions: Vec::new(),
+            cross_edges: Vec::new(),
+            stats: sentomist::staticlint::SliceStats {
+                instructions: program.len(),
+                sliced: 0,
+                cross_edges: 0,
+            },
+        }
+    } else {
+        sentomist::staticlint::slice_report(&program, &seeds)?
+    };
+    if json {
+        let mut doc = serde_json::to_string_pretty(&report)?;
+        doc.push('\n');
+        print!("{doc}");
+    } else {
+        print_slice_report(&report);
     }
     Ok(())
 }
@@ -445,14 +648,33 @@ fn cmd_localize(args: &[String]) -> Result<(), Box<dyn Error>> {
         .iter()
         .position(|m| m.index == target.index)
         .ok_or("ranked sample missing from the harvested set")?;
+    let hits = localize_set(&samples, flagged, &program, min_z);
+    let chain = if flags.contains_key("causal") {
+        let lint = sentomist::staticlint::lint(&program);
+        let interval = samples.meta[flagged].interval;
+        let seeds: Vec<u16> = hits.iter().map(|h| h.pc).collect();
+        causal_chain(&program, &trace, &interval, &seeds, &lint)?
+    } else {
+        None
+    };
+    // With a chain, restrict the flat hit list to chain members: the
+    // causally connected subset is a strictly smaller explanation than
+    // the full deviation ranking.
+    let shown: Vec<_> = match &chain {
+        Some(c) => hits.iter().filter(|h| c.contains(h.pc)).collect(),
+        None => hits.iter().collect(),
+    };
     println!(
-        "interval {} (rank {rank}, score {:.4}): deviating instructions:",
-        target.index, target.score
+        "interval {} (rank {rank}, score {:.4}): deviating instructions{}:",
+        target.index,
+        target.score,
+        if chain.is_some() {
+            format!(" ({} of {} on the causal chain)", shown.len(), hits.len())
+        } else {
+            String::new()
+        }
     );
-    for hit in localize_set(&samples, flagged, &program, min_z)
-        .into_iter()
-        .take(12)
-    {
+    for hit in shown.iter().take(12) {
         println!(
             "  pc {:>4}  z {:>7.2}  observed {:>7.0}  expected {:>9.1}  {} (line {})",
             hit.pc,
@@ -462,6 +684,16 @@ fn cmd_localize(args: &[String]) -> Result<(), Box<dyn Error>> {
             hit.routine.as_deref().unwrap_or("?"),
             hit.source_line.unwrap_or(0),
         );
+    }
+    if flags.contains_key("causal") {
+        println!();
+        match &chain {
+            Some(c) => print_chain(c),
+            None => println!(
+                "no causal chain: no warning-anchored cross-context edge \
+                 carried state into this interval"
+            ),
+        }
     }
     Ok(())
 }
@@ -837,6 +1069,27 @@ fn cmd_hunt(args: &[String]) -> Result<(), Box<dyn Error>> {
     use std::sync::Arc;
 
     let (_, flags) = parse_flags(args);
+    reject_unknown_flags(
+        "hunt",
+        &flags,
+        &[
+            "case",
+            "fixed",
+            "iterations",
+            "campaign-seed",
+            "threads",
+            "top-k",
+            "out",
+            "store",
+            "json",
+            "progress",
+            "strict",
+            "max-retries",
+            "timeout-ms",
+            "replay",
+            "seed",
+        ],
+    )?;
     let json = flags.contains_key("json");
     let variant = if flags.contains_key("fixed") {
         Variant::Fixed
@@ -1097,6 +1350,7 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn cmd_trace_fsck(args: &[String]) -> Result<(), Box<dyn Error>> {
     let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("trace fsck", &flags, &["repair"])?;
     // `trace fsck --repair <dir>` parses the dir as the flag's value;
     // accept it from either position.
     let root = pos
@@ -1145,7 +1399,8 @@ fn cmd_trace_fsck(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_trace_merge(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let (pos, _) = parse_flags(args);
+    let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("trace merge", &flags, &[])?;
     let root = pos.first().ok_or("trace merge: missing <store-dir>")?;
     let store = TraceStore::open(root)?;
     let shards = store.shard_ids()?;
@@ -1176,7 +1431,8 @@ fn cmd_trace_quarantine(args: &[String]) -> Result<(), Box<dyn Error>> {
         .ok_or_else(|| usage_error("trace quarantine: missing subcommand (ls)".into()))?;
     match sub {
         "ls" => {
-            let (pos, _) = parse_flags(&args[1..]);
+            let (pos, flags) = parse_flags(&args[1..]);
+            reject_unknown_flags("trace quarantine ls", &flags, &[])?;
             let root = pos
                 .first()
                 .ok_or("trace quarantine ls: missing <store-dir>")?;
@@ -1205,6 +1461,7 @@ fn cmd_trace_quarantine(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn cmd_trace_record(args: &[String]) -> Result<(), Box<dyn Error>> {
     let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("trace record", &flags, &["cycles", "seed", "out"])?;
     let path = pos.first().ok_or("trace record: missing <app.s>")?;
     let cycles = flag_u64(&flags, "cycles", 10_000_000)?;
     let seed = flag_u64(&flags, "seed", 42)?;
@@ -1246,7 +1503,8 @@ fn cmd_trace_record(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_trace_ls(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let (pos, _) = parse_flags(args);
+    let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("trace ls", &flags, &[])?;
     let root = pos.first().ok_or("trace ls: missing <store-dir>")?;
     let store = TraceStore::open(root)?;
     if let Some(c) = store.campaign()? {
@@ -1376,6 +1634,7 @@ fn stc_file_salvage(path: &Path) -> Result<(), Box<dyn Error>> {
 
 fn cmd_trace_info(args: &[String]) -> Result<(), Box<dyn Error>> {
     let (pos, flags) = parse_flags(args);
+    reject_unknown_flags("trace info", &flags, &["salvage"])?;
     // `trace info --salvage <path>` parses the path as the flag's value;
     // accept it from either position.
     let target = pos
@@ -1423,6 +1682,11 @@ fn cmd_trace_info(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn cmd_trace_mine(args: &[String]) -> Result<(), Box<dyn Error>> {
     let (pos, flags) = parse_flags(args);
+    reject_unknown_flags(
+        "trace mine",
+        &flags,
+        &["threads", "json", "progress", "quarantine"],
+    )?;
     // `trace mine --quarantine <dir>` parses the dir as the flag's
     // value; accept it from either position.
     let root = pos
@@ -1480,6 +1744,7 @@ fn main() -> ExitCode {
         "assemble" => cmd_assemble(rest),
         "run" => cmd_run(rest),
         "lint" => cmd_lint(rest),
+        "slice" => cmd_slice(rest),
         "mine" => cmd_mine(rest),
         "localize" => cmd_localize(rest),
         "profile" => cmd_profile(rest),

@@ -1,0 +1,226 @@
+//! Causal-chain acceptance: for each case study's pinned scenario seed,
+//! the reconstructed chain must contain both the injected bug site and
+//! its victim read, the fixed variant must emit no chain at all, and the
+//! chain-restricted localization must be strictly smaller than the flat
+//! deviation list. The serialized chains are pinned byte-for-byte by
+//! golden fixtures; regenerate intentionally drifted ones with
+//! `UPDATE_FIXTURES=1 cargo test --test causal`.
+
+use sentomist::apps::{
+    ctp, emulate_scenario, mine_scenario, scenario, scenario_program, HuntCase, MinedScenario,
+    Variant,
+};
+use sentomist::core::{harvest_set, localize_set, SampleIndex, SampleSet};
+use sentomist::tinyvm::isa::irq;
+use sentomist::tinyvm::Program;
+use sentomist::trace::Trace;
+use std::sync::Arc;
+
+/// Per-case ground truth at its pinned scenario seed: the injected bug's
+/// routine, and the routine holding the victim read the chain's hops
+/// must reach.
+const PINNED: &[(HuntCase, u64, &str, &str)] = &[
+    (HuntCase::Oscilloscope, 0xBEF0, "on_read_done", "send_task"),
+    (HuntCase::Forwarder, 0xBEEF, "fwd_drop", "fwd_task"),
+    (HuntCase::Ctp, 0xBEEF, "ctp_fail", "ctp_task"),
+];
+
+fn mined_at(
+    case: HuntCase,
+    variant: Variant,
+    seed: u64,
+) -> (MinedScenario, Vec<Trace>, Arc<Program>) {
+    let s = scenario(case, variant, seed);
+    let traces = emulate_scenario(&s).unwrap();
+    let mined = mine_scenario(&s, &traces).unwrap();
+    let program = scenario_program(&s).unwrap();
+    (mined, traces, program)
+}
+
+/// Rebuilds the sample set `mine_scenario` localized over — the same
+/// harvest calls, so the flat hit list can be recomputed for comparison.
+fn scenario_set(case: HuntCase, traces: &[Trace]) -> SampleSet {
+    match case {
+        HuntCase::Oscilloscope => {
+            harvest_set(&traces[0], irq::ADC, |seq, _| SampleIndex::Seq(seq)).unwrap()
+        }
+        HuntCase::Forwarder => {
+            harvest_set(&traces[1], irq::RX, |seq, _| SampleIndex::Seq(seq)).unwrap()
+        }
+        HuntCase::Ctp => {
+            let mut all = SampleSet::empty();
+            for &node in &ctp::SOURCES {
+                let set = harvest_set(&traces[node as usize], irq::TIMER0, |seq, _| {
+                    SampleIndex::NodeSeq { node, seq }
+                })
+                .unwrap();
+                all.append(&set);
+            }
+            all
+        }
+    }
+}
+
+#[test]
+fn chains_match_golden_fixtures() {
+    for &(case, seed, _, _) in PINNED {
+        let (mined, _, _) = mined_at(case, Variant::Buggy, seed);
+        let chain = mined
+            .chain
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no chain at pinned seed {seed:#x}", case.name()));
+        let mut got = serde_json::to_string_pretty(chain).unwrap();
+        got.push('\n');
+        let path = format!(
+            "{}/tests/fixtures/chain_{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            case.name()
+        );
+        if std::env::var("UPDATE_FIXTURES").is_ok() {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {path}: {e}"));
+        assert_eq!(
+            got,
+            want,
+            "{}: causal chain drifted from {path}; regenerate with \
+             UPDATE_FIXTURES=1 if intentional",
+            case.name()
+        );
+    }
+}
+
+#[test]
+fn chains_contain_the_bug_site_and_its_victim_read() {
+    for &(case, seed, bug_routine, victim_routine) in PINNED {
+        let (mined, _, program) = mined_at(case, Variant::Buggy, seed);
+        assert!(
+            !mined.result.buggy_ranks.is_empty(),
+            "{}: pinned seed {seed:#x} did not trigger",
+            case.name()
+        );
+        let chain = mined.chain.as_ref().unwrap();
+        assert!(
+            mined.chain_contains_bug_site,
+            "{}: chain misses the injected bug site {bug_routine}",
+            case.name()
+        );
+        let covers = |routine: &str| {
+            chain.touches_routine(routine)
+                || chain
+                    .sliced_executed
+                    .iter()
+                    .any(|&pc| program.enclosing_label(pc) == Some(routine))
+        };
+        assert!(
+            covers(bug_routine),
+            "{}: chain evidence misses {bug_routine}",
+            case.name()
+        );
+        assert!(
+            chain
+                .hops
+                .iter()
+                .any(|h| h.read.routine.as_deref() == Some(victim_routine)),
+            "{}: no hop reads in the victim routine {victim_routine}; hops: {:?}",
+            case.name(),
+            chain.hops
+        );
+        // Every hop crosses contexts: the write and read were attributed
+        // to different lifecycle contexts.
+        for h in &chain.hops {
+            assert_ne!(
+                h.write.context,
+                h.read.context,
+                "{}: hop does not cross contexts",
+                case.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_variants_emit_no_chain() {
+    for &(case, seed, _, _) in PINNED {
+        for offset in 0..3 {
+            let (mined, _, _) = mined_at(case, Variant::Fixed, seed + offset);
+            assert!(
+                mined.chain.is_none(),
+                "{}: fixed variant emitted a chain at seed {:#x}",
+                case.name(),
+                seed + offset
+            );
+            assert!(!mined.chain_contains_bug_site);
+        }
+    }
+}
+
+/// The acceptance bound on `localize --causal`: restricting the flat
+/// deviation list to chain members yields a strictly smaller, non-empty
+/// explanation.
+#[test]
+fn causal_localization_is_strictly_smaller_than_the_flat_list() {
+    for &(case, seed, _, _) in PINNED {
+        let (mined, traces, program) = mined_at(case, Variant::Buggy, seed);
+        let chain = mined.chain.as_ref().unwrap();
+        let set = scenario_set(case, &traces);
+        let best = mined.result.buggy_ranks[0];
+        let flagged_index = mined.result.report.ranking[best - 1].index;
+        let row = set
+            .meta
+            .iter()
+            .position(|m| m.index == flagged_index)
+            .unwrap();
+        let flat = localize_set(&set, row, &program, 1.0);
+        let causal: Vec<_> = flat.iter().filter(|h| chain.contains(h.pc)).collect();
+        assert!(
+            !causal.is_empty(),
+            "{}: the chain explains none of the flat hits",
+            case.name()
+        );
+        assert!(
+            causal.len() < flat.len(),
+            "{}: causal restriction did not shrink the list ({} hits)",
+            case.name(),
+            flat.len()
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_seed_space() {
+    for case in [HuntCase::Oscilloscope, HuntCase::Forwarder, HuntCase::Ctp] {
+        for seed in 0xBEE0u64..0xBEE0 + 48 {
+            let (mined, traces, program) = mined_at(case, Variant::Buggy, seed);
+            if mined.result.buggy_ranks.is_empty() {
+                continue;
+            }
+            let Some(chain) = mined.chain.as_ref() else {
+                println!("{} seed={seed:#x} triggered but NO chain", case.name());
+                continue;
+            };
+            let set = scenario_set(case, &traces);
+            let best = mined.result.buggy_ranks[0];
+            let flagged_index = mined.result.report.ranking[best - 1].index;
+            let row = set
+                .meta
+                .iter()
+                .position(|m| m.index == flagged_index)
+                .unwrap();
+            let flat = localize_set(&set, row, &program, 1.0);
+            let causal = flat.iter().filter(|h| chain.contains(h.pc)).count();
+            println!(
+                "{} seed={seed:#x} contains_bug={} hops={} flat={} causal={} shrinks={}",
+                case.name(),
+                mined.chain_contains_bug_site,
+                chain.hops.len(),
+                flat.len(),
+                causal,
+                causal < flat.len()
+            );
+        }
+    }
+}

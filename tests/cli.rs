@@ -202,6 +202,200 @@ fn assembly_error_reports_line() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `trace`, `hunt`, `lint`, and `slice` reject flags they do not
+/// understand instead of silently ignoring them: usage on stderr,
+/// nonzero exit, nothing on stdout.
+#[test]
+fn unknown_flags_are_rejected_with_usage() {
+    for args in [
+        vec!["lint", "--app", "forwarder", "--bogus"],
+        vec!["slice", "--app", "forwarder", "--bogus"],
+        vec!["hunt", "--bogus", "--iterations", "1"],
+        vec!["trace", "ls", "--bogus"],
+        vec!["trace", "record", "--bogus"],
+        vec!["trace", "mine", "--bogus"],
+        vec!["trace", "fsck", "--bogus"],
+        vec!["trace", "info", "--bogus"],
+        vec!["trace", "merge", "--bogus"],
+        vec!["trace", "quarantine", "ls", "--bogus"],
+    ] {
+        let out = cli().args(&args).output().unwrap();
+        assert!(
+            !out.status.success(),
+            "`sentomist {}` should exit nonzero",
+            args.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag `--bogus`"),
+            "`sentomist {}` stderr lacks the unknown-flag error:\n{stderr}",
+            args.join(" ")
+        );
+        assert!(
+            stderr.contains("USAGE:"),
+            "`sentomist {}` stderr lacks the usage text:\n{stderr}",
+            args.join(" ")
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "`sentomist {}` leaked onto stdout: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+/// `sentomist slice --app <name> --json` and `lint --app <name> --json`
+/// must emit exactly the pinned golden fixtures — the same bytes the
+/// mining daemon serves for the matching jobs.
+#[test]
+fn slice_and_lint_json_match_the_golden_fixtures() {
+    for app in ["oscilloscope", "forwarder", "ctp"] {
+        let out = cli()
+            .args(["slice", "--app", app, "--json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let fixture = format!(
+            "{}/tests/fixtures/slice_{app}.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let want = std::fs::read_to_string(&fixture).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            want,
+            "{app}: `slice --app {app} --json` drifted from {fixture}"
+        );
+
+        let out = cli()
+            .args(["lint", "--app", app, "--json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let fixture = format!(
+            "{}/tests/fixtures/lint_{app}.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let want = std::fs::read_to_string(&fixture).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            want.trim(),
+            "{app}: `lint --app {app} --json` drifted from {fixture}"
+        );
+    }
+}
+
+/// The slice command on a source file: explicit `--pc` seeds produce a
+/// human-readable backward slice with the seed instruction in it.
+#[test]
+fn slice_command_slices_assembly_files() {
+    let dir = workdir("cli-slice");
+    let app = dir.join("app.s");
+    std::fs::write(&app, APP).unwrap();
+
+    // pc 21 is `lda r1, buf` in `send` — its slice must pull in the
+    // interrupt handler's buffer writes.
+    let out = cli()
+        .arg("slice")
+        .arg(&app)
+        .args(["--pc", "21"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("backward slice from [21]"), "stdout: {text}");
+    assert!(text.contains("on_adc"), "slice misses the handler: {text}");
+
+    // A seed outside the program is a typed error, not a panic.
+    let out = cli()
+        .arg("slice")
+        .arg(&app)
+        .args(["--pc", "9999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("9999"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mine --causal` and `localize --causal` run end to end on a recorded
+/// trace, and `mine --causal` without `--corroborate` is refused.
+#[test]
+fn causal_flags_work_end_to_end() {
+    let dir = workdir("cli-causal");
+    let app = dir.join("app.s");
+    let trace = dir.join("app.trace.json");
+    std::fs::write(&app, APP).unwrap();
+    let out = cli()
+        .args(["run"])
+        .arg(&app)
+        .args(["--cycles", "2000000", "--seed", "7", "--trace"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --causal needs the static report to anchor against.
+    let out = cli()
+        .args(["mine"])
+        .arg(&trace)
+        .args(["--irq", "2", "--causal"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corroborate"));
+
+    let out = cli()
+        .args(["mine"])
+        .arg(&trace)
+        .args(["--irq", "2", "--corroborate"])
+        .arg(&app)
+        .arg("--causal")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("causal chain"), "stdout: {text}");
+
+    let out = cli()
+        .args(["localize"])
+        .arg(&trace)
+        .arg(&app)
+        .args(["--irq", "2", "--rank", "1", "--causal"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("causal chain"), "stdout: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn unknown_subcommands_print_usage_to_stderr_and_exit_nonzero() {
     // Every unknown- or missing-subcommand branch: nonzero exit, the

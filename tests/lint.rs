@@ -92,6 +92,32 @@ fn lint_json_matches_golden_fixtures() {
     }
 }
 
+/// The JSON emitted by `sentomist slice --app <name> --json` is pinned
+/// byte-for-byte by golden fixtures — the same document the daemon's
+/// `Slice` job serves. Regenerate intentionally drifted ones with
+/// `UPDATE_FIXTURES=1 cargo test --test lint`.
+#[test]
+fn slice_json_matches_golden_fixtures() {
+    for &(name, _, _) in GROUND_TRUTH {
+        let got = sentomist::apps::slice_document(name, false, &[]).unwrap();
+        let path = format!(
+            "{}/tests/fixtures/slice_{name}.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        if std::env::var("UPDATE_FIXTURES").is_ok() {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {path}: {e}"));
+        assert_eq!(
+            got, want,
+            "{name}: slice JSON drifted from {path}; regenerate with \
+             UPDATE_FIXTURES=1 if intentional"
+        );
+    }
+}
+
 /// Round-trip sanity on the same serialization the fixtures pin.
 #[test]
 fn lint_report_survives_json() {

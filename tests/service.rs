@@ -266,6 +266,11 @@ fn bad_requests_get_typed_errors_not_disconnects() {
             app: "nosuchapp".into(),
             fixed: false,
         },
+        Request::Slice {
+            app: "forwarder".into(),
+            fixed: false,
+            pcs: vec![70_000],
+        },
         Request::Hunt {
             case: 9,
             fixed: false,
@@ -319,6 +324,23 @@ fn lint_and_hunt_jobs_match_cli_output() {
     });
     let (cli_lint, _) = run_ok(cli().args(["lint", "--app", "forwarder", "--json"]));
     assert_eq!(daemon_lint, cli_lint.as_bytes());
+
+    // Daemon slice == CLI `slice --app forwarder --json`, both with the
+    // default (lint-flagged) seeds and with explicit --pc seeds.
+    let daemon_slice = daemon.ok(&Request::Slice {
+        app: "forwarder".into(),
+        fixed: false,
+        pcs: vec![],
+    });
+    let (cli_slice, _) = run_ok(cli().args(["slice", "--app", "forwarder", "--json"]));
+    assert_eq!(daemon_slice, cli_slice.as_bytes());
+    let daemon_slice = daemon.ok(&Request::Slice {
+        app: "forwarder".into(),
+        fixed: false,
+        pcs: vec![5],
+    });
+    let (cli_slice, _) = run_ok(cli().args(["slice", "--app", "forwarder", "--pc", "5", "--json"]));
+    assert_eq!(daemon_slice, cli_slice.as_bytes());
 
     // Daemon hunt == CLI `hunt --replay` for the same case/seed/policy.
     let daemon_hunt = daemon.ok(&Request::Hunt {
