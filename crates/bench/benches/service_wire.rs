@@ -1,0 +1,86 @@
+//! Clean-path overhead of the wire-hardening layer.
+//!
+//! PR 10 armed the service path end to end: per-frame read/write
+//! deadlines on the daemon, connect/read/write deadlines plus the
+//! idempotency-gated retry loop on the client, and an FNV-1a payload
+//! checksum on every frame. On a healthy wire none of that machinery
+//! fires, so its cost must be negligible — the robustness acceptance
+//! bar is ≤5% versus the legacy undeadlined client against the same
+//! daemon.
+//!
+//! Both sides run in-process over loopback; each iteration is a full
+//! connect → Ping → response → close round trip, the worst case for
+//! fixed per-connection costs (deadline arming is per-socket-option
+//! syscalls, checksum is per-byte).
+//!
+//! Run with: `cargo bench -p sentomist-bench --bench service_wire`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sentomist_service::{
+    request_with_retry, Client, ClientConfig, Request, Response, RetryPolicy, Server, ServiceConfig,
+};
+
+/// Round trips per timed sample: enough to amortize scheduler noise,
+/// few enough that ten samples finish quickly.
+const ROUND_TRIPS: u64 = 50;
+
+fn service_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_wire");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(ROUND_TRIPS));
+
+    // Legacy path: no deadlines armed on either side, no retry loop,
+    // bare one-shot client. The daemon still checksums (protocol v2 is
+    // unconditional), so this isolates the deadline+retry machinery.
+    {
+        let server = Server::start(ServiceConfig {
+            read_timeout: None,
+            write_timeout: None,
+            ..ServiceConfig::default()
+        })
+        .expect("starting undeadlined daemon");
+        let addr = server.local_addr();
+        group.bench_with_input(BenchmarkId::new("ping", "plain"), &(), |b, ()| {
+            b.iter(|| {
+                for _ in 0..ROUND_TRIPS {
+                    let mut client = Client::connect(addr).expect("connect");
+                    match client.request(&Request::Ping) {
+                        Ok(Response::Ok(p)) => assert_eq!(p, b"pong\n"),
+                        other => panic!("plain ping failed: {other:?}"),
+                    }
+                }
+            })
+        });
+        server.shutdown_and_join();
+    }
+
+    // Hardened path: daemon deadlines at their shipped defaults, client
+    // through `request_with_retry` with the full deadline config and a
+    // live (never-firing) retry budget.
+    {
+        let server = Server::start(ServiceConfig::default()).expect("starting hardened daemon");
+        let addr = server.local_addr().to_string();
+        let config = ClientConfig::service_defaults();
+        let policy = RetryPolicy::default();
+        group.bench_with_input(BenchmarkId::new("ping", "hardened"), &(), |b, ()| {
+            b.iter(|| {
+                for _ in 0..ROUND_TRIPS {
+                    let (response, stats) =
+                        request_with_retry(addr.as_str(), &Request::Ping, &config, &policy)
+                            .expect("hardened ping");
+                    match response {
+                        Response::Ok(p) => assert_eq!(p, b"pong\n"),
+                        other => panic!("hardened ping failed: {other:?}"),
+                    }
+                    assert_eq!(stats.retries, 0, "clean wire must not retry");
+                }
+            })
+        });
+        server.shutdown_and_join();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, service_wire);
+criterion_main!(benches);

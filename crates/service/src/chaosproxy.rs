@@ -1,0 +1,568 @@
+//! A seeded in-process TCP fault proxy — `core::chaos` for the wire.
+//!
+//! The crash harness of PR 7 proved the trace store survives a process
+//! killed at any seed-derived write offset; this module applies the
+//! same discipline to the connection path. A [`ChaosProxy`] sits
+//! between a client and `sentomistd`, forwarding bytes both ways, and
+//! injects wire faults — mid-frame disconnects, split writes, N-bytes-
+//! then-stall slow-loris, half-close truncations, single-byte
+//! corruption — as a **pure function of (chaos seed, connection
+//! index)** in the repo's splitmix64 fault-plan style. Every failure a
+//! soak run observes is replayable from its seed alone.
+//!
+//! Determinism boundary: *which* fault hits *which* connection at
+//! *which* byte offset is pure ([`FaultPlan::fault_for`]); the
+//! interleaving of the two forwarding directions is scheduled by the
+//! OS, as it would be on a real link. The service-level properties the
+//! soak asserts (typed errors, deadline cuts, retry convergence,
+//! byte-identical responses) hold for every interleaving.
+//!
+//! The proxy itself is held to the daemon's own standard: every
+//! forwarder thread is tracked and joined at
+//! [`shutdown_and_join`](ChaosProxy::shutdown_and_join), so a fault
+//! sweep cannot leak threads from the harness any more than from the
+//! daemon under test.
+
+use sentomist_core::supervise::splitmix64;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a forwarder wakes from a blocking read to poll the
+/// shutdown and connection-dead flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One direction of a proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Direction {
+    /// Bytes flowing from the client toward the daemon (requests).
+    ClientToServer,
+    /// Bytes flowing from the daemon toward the client (responses).
+    ServerToClient,
+}
+
+/// A single wire fault, parameterized by absolute byte offsets within
+/// the faulted direction's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WireFault {
+    /// Forward everything untouched.
+    None,
+    /// Forward `offset` bytes, then tear down both directions of the
+    /// connection — the mid-frame disconnect.
+    Disconnect {
+        /// Bytes forwarded before the cut.
+        offset: u64,
+    },
+    /// Deliver every buffer in `chunk`-byte writes with a flush (and
+    /// `TCP_NODELAY`) between them, forcing frame headers to arrive
+    /// split across reads. Content is untouched; this is the fault the
+    /// chunked-delivery proptest mirrors in-memory.
+    SplitWrites {
+        /// Write granularity in bytes (≥ 1).
+        chunk: u64,
+    },
+    /// Forward `offset` bytes, then go silent while holding the
+    /// connection open — the slow-loris. The victim's read deadline is
+    /// what must cut it; the proxy only gives up after the plan's
+    /// `max_stall` as a backstop.
+    Stall {
+        /// Bytes forwarded before the stall.
+        offset: u64,
+    },
+    /// Forward `offset` bytes, then half-close the write side toward
+    /// the destination (clean FIN mid-frame) while still draining the
+    /// source. The receiver sees a typed `Truncated` error, and —
+    /// unlike [`WireFault::Disconnect`] — the opposite direction stays
+    /// alive, so a daemon's `Reject` answer still reaches the client.
+    Truncate {
+        /// Bytes forwarded before the FIN.
+        offset: u64,
+    },
+    /// XOR the byte at `offset` with `0xA5` and keep forwarding — the
+    /// corruption the frame checksum exists to catch.
+    CorruptByte {
+        /// Absolute offset of the damaged byte.
+        offset: u64,
+    },
+}
+
+/// The fault assigned to one proxied connection: at most one fault, in
+/// one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ConnFault {
+    /// Which direction the fault applies to.
+    pub direction: Direction,
+    /// The fault itself ([`WireFault::None`] for a clean connection).
+    pub fault: WireFault,
+}
+
+impl ConnFault {
+    /// A connection the proxy forwards untouched.
+    pub fn clean() -> ConnFault {
+        ConnFault {
+            direction: Direction::ClientToServer,
+            fault: WireFault::None,
+        }
+    }
+}
+
+/// The seeded fault plan: everything the proxy will ever do to
+/// connection *i* is a pure function of `(seed, i)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The chaos seed.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a given connection is faulted.
+    pub rate: f64,
+    /// Backstop on how long a [`WireFault::Stall`] holds its
+    /// connection before the proxy gives up and disconnects. The
+    /// victim's read deadline is expected to fire first.
+    pub max_stall: Duration,
+}
+
+impl FaultPlan {
+    /// A plan faulting roughly `rate` of connections under `seed`.
+    pub fn new(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            max_stall: Duration::from_secs(5),
+        }
+    }
+
+    /// The fault for connection `conn_index` — pure, allocation-free,
+    /// and stable across runs: the replay key for every failure a soak
+    /// observes.
+    ///
+    /// Offsets are drawn from `0..=40` so they land inside the 14-byte
+    /// header or the early payload of realistic frames; a fault whose
+    /// offset the stream never reaches degrades to a no-op, which is
+    /// itself deterministic.
+    pub fn fault_for(&self, conn_index: u64) -> ConnFault {
+        let h = splitmix64(self.seed ^ conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.rate {
+            return ConnFault::clean();
+        }
+        let h = splitmix64(h);
+        let direction = if h & 1 == 0 {
+            Direction::ClientToServer
+        } else {
+            Direction::ServerToClient
+        };
+        let h = splitmix64(h);
+        let offset = splitmix64(h) % 41;
+        let fault = match h % 5 {
+            0 => WireFault::Disconnect { offset },
+            1 => WireFault::SplitWrites {
+                chunk: 1 + splitmix64(h) % 7,
+            },
+            2 => WireFault::Stall { offset },
+            3 => WireFault::Truncate { offset },
+            _ => WireFault::CorruptByte { offset },
+        };
+        ConnFault { direction, fault }
+    }
+}
+
+/// Counters the proxy keeps; a fault counts only when it actually
+/// fired (an offset past the end of a short stream is a no-op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ProxyStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections whose plan carried a real fault.
+    pub faulted_connections: u64,
+    /// Mid-frame disconnects actually executed.
+    pub disconnects: u64,
+    /// Connections delivered via split writes.
+    pub splits: u64,
+    /// Slow-loris stalls actually entered.
+    pub stalls: u64,
+    /// Half-close truncations actually executed.
+    pub truncations: u64,
+    /// Bytes actually corrupted.
+    pub corruptions: u64,
+}
+
+#[derive(Default)]
+struct ProxyCounters {
+    connections: AtomicU64,
+    faulted_connections: AtomicU64,
+    disconnects: AtomicU64,
+    splits: AtomicU64,
+    stalls: AtomicU64,
+    truncations: AtomicU64,
+    corruptions: AtomicU64,
+}
+
+struct ProxyShared {
+    plan: FaultPlan,
+    upstream: SocketAddr,
+    shutdown: AtomicBool,
+    counters: ProxyCounters,
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running fault proxy. Clients connect to
+/// [`local_addr`](ChaosProxy::local_addr); bytes are forwarded to the
+/// upstream daemon with the plan's faults applied.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `127.0.0.1:0` and starts proxying toward `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding the listen socket.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            plan,
+            upstream,
+            shutdown: AtomicBool::new(false),
+            counters: ProxyCounters::default(),
+            forwarders: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(ChaosProxy {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> ProxyStats {
+        let c = &self.shared.counters;
+        ProxyStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            faulted_connections: c.faulted_connections.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            splits: c.splits.load(Ordering::Relaxed),
+            stalls: c.stalls.load(Ordering::Relaxed),
+            truncations: c.truncations.load(Ordering::Relaxed),
+            corruptions: c.corruptions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, tears down live connections, and joins every
+    /// thread the proxy ever spawned. Returns the number of forwarder
+    /// threads joined — the harness's own no-leak proof.
+    pub fn shutdown_and_join(mut self) -> usize {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles = match self.shared.forwarders.lock() {
+            Ok(mut guard) => guard.drain(..).collect::<Vec<_>>(),
+            Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+        };
+        let joined = handles.len();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        joined
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let client = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let conn_index = shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let fault = shared.plan.fault_for(conn_index);
+        if fault.fault != WireFault::None {
+            shared
+                .counters
+                .faulted_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let upstream = match TcpStream::connect_timeout(&shared.upstream, Duration::from_secs(5)) {
+            Ok(stream) => stream,
+            Err(_) => continue, // client sees EOF: a connect-class failure
+        };
+        spawn_forwarders(shared, client, upstream, fault);
+    }
+}
+
+/// Starts the two forwarder threads for one connection and records
+/// their handles for the shutdown join.
+fn spawn_forwarders(
+    shared: &Arc<ProxyShared>,
+    client: TcpStream,
+    upstream: TcpStream,
+    fault: ConnFault,
+) {
+    let dead = Arc::new(AtomicBool::new(false));
+    let fault_in = |direction| {
+        if fault.direction == direction {
+            fault.fault
+        } else {
+            WireFault::None
+        }
+    };
+    let mut handles = Vec::with_capacity(2);
+    for (direction, src, dst) in [
+        (
+            Direction::ClientToServer,
+            client.try_clone(),
+            upstream.try_clone(),
+        ),
+        (
+            Direction::ServerToClient,
+            upstream.try_clone(),
+            client.try_clone(),
+        ),
+    ] {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            kill_pair(&client, &upstream, &dead);
+            break;
+        };
+        let shared = Arc::clone(shared);
+        let dead = Arc::clone(&dead);
+        let fault = fault_in(direction);
+        handles.push(std::thread::spawn(move || {
+            forward(&shared, src, dst, fault, &dead);
+        }));
+    }
+    match shared.forwarders.lock() {
+        Ok(mut guard) => guard.extend(handles),
+        Err(poisoned) => poisoned.into_inner().extend(handles),
+    }
+}
+
+/// Tears down both sockets of a connection; the partner forwarder's
+/// read unblocks with EOF/error and it exits.
+fn kill_pair(a: &TcpStream, b: &TcpStream, dead: &AtomicBool) {
+    dead.store(true, Ordering::SeqCst);
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+/// One direction of one connection: read from `src`, apply the fault,
+/// write to `dst`. Exits on EOF, I/O error, terminal fault, connection
+/// death, or proxy shutdown.
+fn forward(
+    shared: &Arc<ProxyShared>,
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    fault: WireFault,
+    dead: &AtomicBool,
+) {
+    // Short read timeouts keep the thread pollable: it observes the
+    // shutdown and dead flags within one POLL_INTERVAL.
+    let _ = src.set_read_timeout(Some(POLL_INTERVAL));
+    if matches!(fault, WireFault::SplitWrites { .. }) {
+        // Without NODELAY the kernel would coalesce the split writes
+        // and the fault would not reach the victim's reads.
+        let _ = dst.set_nodelay(true);
+    }
+    let counters = &shared.counters;
+    let mut offset: u64 = 0;
+    let mut discard = false; // true after a Truncate fired: drain src, write nothing
+    let mut split_counted = false;
+    let mut buf = [0u8; 4096];
+    loop {
+        if dead.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            kill_pair(&src, &dst, dead);
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF from the source: propagate the FIN and let
+                // the opposite direction finish on its own.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                kill_pair(&src, &dst, dead);
+                return;
+            }
+        };
+        let chunk = &mut buf[..n];
+        let end = offset + n as u64;
+        if discard {
+            offset = end;
+            continue;
+        }
+        match fault {
+            WireFault::None => {
+                if dst.write_all(chunk).is_err() {
+                    kill_pair(&src, &dst, dead);
+                    return;
+                }
+            }
+            WireFault::CorruptByte { offset: at } => {
+                if at >= offset && at < end {
+                    chunk[(at - offset) as usize] ^= 0xA5;
+                    counters.corruptions.fetch_add(1, Ordering::Relaxed);
+                }
+                if dst.write_all(chunk).is_err() {
+                    kill_pair(&src, &dst, dead);
+                    return;
+                }
+            }
+            WireFault::SplitWrites { chunk: size } => {
+                if !split_counted {
+                    counters.splits.fetch_add(1, Ordering::Relaxed);
+                    split_counted = true;
+                }
+                for piece in chunk.chunks(size.max(1) as usize) {
+                    if dst.write_all(piece).and_then(|()| dst.flush()).is_err() {
+                        kill_pair(&src, &dst, dead);
+                        return;
+                    }
+                    // Give the kernel a scheduling point so the victim
+                    // genuinely observes separate reads.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            WireFault::Disconnect { offset: at } => {
+                if at < end {
+                    let keep = at.saturating_sub(offset) as usize;
+                    let _ = dst.write_all(&chunk[..keep]);
+                    counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                    kill_pair(&src, &dst, dead);
+                    return;
+                }
+                if dst.write_all(chunk).is_err() {
+                    kill_pair(&src, &dst, dead);
+                    return;
+                }
+            }
+            WireFault::Truncate { offset: at } => {
+                if at < end {
+                    let keep = at.saturating_sub(offset) as usize;
+                    let _ = dst.write_all(&chunk[..keep]);
+                    let _ = dst.shutdown(Shutdown::Write);
+                    counters.truncations.fetch_add(1, Ordering::Relaxed);
+                    // Keep draining src so the opposite direction can
+                    // still carry the daemon's typed answer back.
+                    discard = true;
+                } else if dst.write_all(chunk).is_err() {
+                    kill_pair(&src, &dst, dead);
+                    return;
+                }
+            }
+            WireFault::Stall { offset: at } => {
+                if at < end {
+                    let keep = at.saturating_sub(offset) as usize;
+                    let _ = dst.write_all(&chunk[..keep]);
+                    counters.stalls.fetch_add(1, Ordering::Relaxed);
+                    stall(shared, &src, &dst, dead);
+                    return;
+                }
+                if dst.write_all(chunk).is_err() {
+                    kill_pair(&src, &dst, dead);
+                    return;
+                }
+            }
+        }
+        offset = end;
+    }
+}
+
+/// The slow-loris hold: keep the connection open and silent until the
+/// victim's deadline cuts it from the far side, the proxy shuts down,
+/// or `max_stall` expires as a backstop.
+fn stall(shared: &Arc<ProxyShared>, src: &TcpStream, dst: &TcpStream, dead: &AtomicBool) {
+    let started = Instant::now();
+    while !dead.load(Ordering::SeqCst)
+        && !shared.shutdown.load(Ordering::SeqCst)
+        && started.elapsed() < shared.plan.max_stall
+    {
+        std::thread::sleep(POLL_INTERVAL);
+    }
+    kill_pair(src, dst, dead);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_are_pure_functions_of_seed_and_index() {
+        let plan = FaultPlan::new(0xC0FFEE, 0.5);
+        for conn in 0..200 {
+            assert_eq!(plan.fault_for(conn), plan.fault_for(conn));
+        }
+        // A different seed reshuffles the plan.
+        let other = FaultPlan::new(0xC0FFEE + 1, 0.5);
+        assert!((0..200).any(|c| plan.fault_for(c) != other.fault_for(c)));
+    }
+
+    #[test]
+    fn fault_rate_is_roughly_respected_and_faults_are_diverse() {
+        let plan = FaultPlan::new(7, 0.5);
+        let faults: Vec<ConnFault> = (0..400).map(|c| plan.fault_for(c)).collect();
+        let faulted = faults.iter().filter(|f| f.fault != WireFault::None).count();
+        assert!(
+            (100..300).contains(&faulted),
+            "rate 0.5 gave {faulted}/400 faulted connections"
+        );
+        let mut kinds = std::collections::BTreeSet::new();
+        for f in &faults {
+            kinds.insert(match f.fault {
+                WireFault::None => 0,
+                WireFault::Disconnect { .. } => 1,
+                WireFault::SplitWrites { .. } => 2,
+                WireFault::Stall { .. } => 3,
+                WireFault::Truncate { .. } => 4,
+                WireFault::CorruptByte { .. } => 5,
+            });
+        }
+        // None + all five fault kinds appear in a 400-connection sweep.
+        assert_eq!(kinds.len(), 6);
+        assert!(faults
+            .iter()
+            .any(|f| f.direction == Direction::ClientToServer && f.fault != WireFault::None));
+        assert!(faults
+            .iter()
+            .any(|f| f.direction == Direction::ServerToClient && f.fault != WireFault::None));
+    }
+
+    #[test]
+    fn rate_zero_is_a_transparent_proxy_plan() {
+        let plan = FaultPlan::new(99, 0.0);
+        assert!((0..200).all(|c| plan.fault_for(c).fault == WireFault::None));
+    }
+
+    #[test]
+    fn rate_one_faults_every_connection() {
+        let plan = FaultPlan::new(99, 1.0);
+        assert!((0..200).all(|c| plan.fault_for(c).fault != WireFault::None));
+    }
+}

@@ -1,25 +1,157 @@
-//! A minimal blocking client for the daemon's protocol — what the load
+//! The blocking client for the daemon's protocol — what the load
 //! generator, the tests and the CI smoke job speak.
+//!
+//! Two layers:
+//!
+//! * [`Client`] — one connection, one request/response at a time, with
+//!   optional connect/read/write deadlines ([`ClientConfig`]);
+//! * [`request_with_retry`] — the self-healing path: a typed
+//!   [`RetryPolicy`] with **deterministic, seed-derived backoff**
+//!   (reusing `core::supervise`'s [`backoff_delay_ms`] shape) that
+//!   opens a fresh connection per attempt and replays only
+//!   [idempotent](Request::is_idempotent) requests. A failure class
+//!   that means "the daemon never ran this" (connect failure, a
+//!   `Reject` frame) and one that is ambiguous (the wire died after
+//!   the request was sent) are both retried — but only when replaying
+//!   is safe by the request's own contract. `Shutdown` is never
+//!   retried. `Overloaded` is a *final* answer, not a failure:
+//!   retrying into a shedding daemon would amplify exactly the load it
+//!   is shedding.
 
-use crate::protocol::{read_frame, write_frame, FrameKind, ProtocolError, Request, Response};
+use crate::protocol::{
+    read_frame_deadline, write_frame, FrameKind, ProtocolError, Request, Response,
+};
+use sentomist_core::supervise::backoff_delay_ms;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Connection-level deadlines. The default is fully blocking (no
+/// deadlines) so existing callers keep their semantics; services and
+/// the load generator use [`ClientConfig::service_defaults`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    /// TCP connect timeout. `None` blocks on the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Overall deadline for receiving one complete response frame,
+    /// however the bytes are chopped. `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-write deadline toward the daemon. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// Deadlines tuned for talking to a live daemon over a possibly
+    /// bad network: 2 s to connect, 30 s per response frame (mine jobs
+    /// replay a corpus), 10 s per write.
+    pub fn service_defaults() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Where in a request's life the wire failed — the classification the
+/// retry policy (and the load generator's exit codes) turn on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFailure {
+    /// Connecting failed: the request was never sent.
+    Connect(ProtocolError),
+    /// The wire failed after connecting (send, receive, deadline,
+    /// corruption): the daemon may or may not have run the request.
+    Wire(ProtocolError),
+    /// The daemon answered `Reject`: the request reached it but never
+    /// ran (bad frame, checksum mismatch, deadline mid-frame). Safe to
+    /// retry by construction.
+    Rejected(String),
+}
+
+impl std::fmt::Display for WireFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireFailure::Connect(e) => write!(f, "connect: {e}"),
+            WireFailure::Wire(e) => write!(f, "wire: {e}"),
+            WireFailure::Rejected(reason) => write!(f, "rejected by daemon: {reason}"),
+        }
+    }
+}
+
+/// A request that failed after exhausting its retry budget (or that
+/// was not safe to retry at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientError {
+    /// Attempts actually made (1 = no retries happened).
+    pub attempts: u32,
+    /// The last failure observed.
+    pub failure: WireFailure,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (after {} attempt(s))", self.failure, self.attempts)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The deterministic retry policy: attempt `1 + max_retries` times,
+/// sleeping [`backoff_delay_ms`]`(seed, attempt, backoff_base_ms)`
+/// between attempts — the same seed always produces the same backoff
+/// schedule, so a chaos soak is replayable end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff in milliseconds (doubled per attempt, seed-jittered).
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 10,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// What a [`request_with_retry`] call observed on the way to its
+/// answer — the counters the load generator aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (1 = clean first try).
+    pub attempts: u32,
+    /// Retries performed (`attempts - 1`).
+    pub retries: u32,
+    /// Attempts that failed to connect.
+    pub connect_failures: u32,
+    /// Attempts that died on the wire after connecting.
+    pub wire_failures: u32,
+    /// Attempts answered with a `Reject` frame.
+    pub rejects: u32,
+    /// Total milliseconds slept in backoff.
+    pub backoff_ms_total: u64,
+}
 
 /// A connected client. One request/response at a time, in order; open
 /// several clients for concurrency.
 pub struct Client {
     stream: TcpStream,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to the daemon.
+    /// Connects to the daemon with no deadlines (legacy behavior).
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Io`] on connect failure.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ProtocolError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ProtocolError::Io(e.to_string()))?;
-        Ok(Client { stream })
+        Client::connect_with(addr, ClientConfig::default())
     }
 
     /// Connects with a connect timeout (needs a resolved address).
@@ -31,33 +163,127 @@ impl Client {
         addr: A,
         timeout: Duration,
     ) -> Result<Client, ProtocolError> {
-        let resolved = addr
-            .to_socket_addrs()
-            .map_err(|e| ProtocolError::Io(e.to_string()))?
-            .next()
-            .ok_or_else(|| ProtocolError::Io("address resolved to nothing".into()))?;
-        let stream = TcpStream::connect_timeout(&resolved, timeout)
-            .map_err(|e| ProtocolError::Io(e.to_string()))?;
-        Ok(Client { stream })
+        Client::connect_with(
+            addr,
+            ClientConfig {
+                connect_timeout: Some(timeout),
+                ..ClientConfig::default()
+            },
+        )
     }
 
-    /// Sends one request and blocks for its response.
+    /// Connects under a full [`ClientConfig`]: connect deadline now,
+    /// read/write deadlines applied to every subsequent request.
     ///
     /// # Errors
     ///
-    /// Any [`ProtocolError`] on the wire.
+    /// [`ProtocolError::Io`] on resolve or connect failure.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> Result<Client, ProtocolError> {
+        let io_err = |e: std::io::Error| ProtocolError::Io(e.to_string());
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr).map_err(io_err)?,
+            Some(timeout) => {
+                let resolved = addr
+                    .to_socket_addrs()
+                    .map_err(io_err)?
+                    .next()
+                    .ok_or_else(|| ProtocolError::Io("address resolved to nothing".into()))?;
+                TcpStream::connect_timeout(&resolved, timeout).map_err(io_err)?
+            }
+        };
+        stream
+            .set_write_timeout(config.write_timeout)
+            .map_err(io_err)?;
+        Ok(Client { stream, config })
+    }
+
+    /// Sends one request and blocks for its response, bounded by the
+    /// configured deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] on the wire; a response that stalls past
+    /// the read deadline is [`ProtocolError::Deadline`].
     pub fn request(&mut self, request: &Request) -> Result<Response, ProtocolError> {
         let payload = request.to_bytes()?;
         write_frame(&mut self.stream, FrameKind::Request, &payload)?;
-        Response::from_frame(read_frame(&mut self.stream)?)
+        Response::from_frame(read_frame_deadline(&self.stream, self.config.read_timeout)?)
     }
 }
 
-/// One-shot convenience: connect, send, receive, disconnect.
+/// One-shot convenience: connect, send, receive, disconnect. No
+/// deadlines, no retries (legacy behavior).
 ///
 /// # Errors
 ///
 /// Any [`ProtocolError`].
 pub fn request<A: ToSocketAddrs>(addr: A, request: &Request) -> Result<Response, ProtocolError> {
     Client::connect(addr)?.request(request)
+}
+
+/// The self-healing request path: a fresh connection per attempt,
+/// deadlines from `config`, deterministic seed-derived backoff between
+/// attempts, and retries **only** when replaying is safe — the request
+/// must be [idempotent](Request::is_idempotent) (`Shutdown` in
+/// particular is never retried). `Ok`, `Error` and `Overloaded`
+/// responses are final answers; connect failures, wire failures and
+/// `Reject` frames are the retryable classes.
+///
+/// # Errors
+///
+/// [`ClientError`] with the last [`WireFailure`] once the retry budget
+/// is exhausted (or immediately, for a non-idempotent request).
+pub fn request_with_retry<A: ToSocketAddrs + Clone>(
+    addr: A,
+    request: &Request,
+    config: &ClientConfig,
+    policy: &RetryPolicy,
+) -> Result<(Response, RetryStats), ClientError> {
+    let mut stats = RetryStats::default();
+    let budget = if request.is_idempotent() {
+        policy.max_retries
+    } else {
+        0
+    };
+    let mut attempt: u32 = 0;
+    loop {
+        stats.attempts += 1;
+        let failure = match try_once(addr.clone(), request, config) {
+            Ok(response) => return Ok((response, stats)),
+            Err(failure) => failure,
+        };
+        match &failure {
+            WireFailure::Connect(_) => stats.connect_failures += 1,
+            WireFailure::Wire(_) => stats.wire_failures += 1,
+            WireFailure::Rejected(_) => stats.rejects += 1,
+        }
+        if attempt >= budget {
+            return Err(ClientError {
+                attempts: stats.attempts,
+                failure,
+            });
+        }
+        let delay = backoff_delay_ms(policy.seed, attempt, policy.backoff_base_ms);
+        stats.backoff_ms_total += delay;
+        stats.retries += 1;
+        std::thread::sleep(Duration::from_millis(delay));
+        attempt += 1;
+    }
+}
+
+/// One attempt: connect, send, receive, classify.
+fn try_once<A: ToSocketAddrs>(
+    addr: A,
+    request: &Request,
+    config: &ClientConfig,
+) -> Result<Response, WireFailure> {
+    let mut client = Client::connect_with(addr, *config).map_err(WireFailure::Connect)?;
+    match client.request(request) {
+        Ok(Response::Rejected(reason)) => Err(WireFailure::Rejected(reason)),
+        Ok(response) => Ok(response),
+        Err(e) => Err(WireFailure::Wire(e)),
+    }
 }

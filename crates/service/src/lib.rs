@@ -8,38 +8,54 @@
 //!
 //! The architecture, front to back:
 //!
-//! * [`protocol`] — 10-byte-header frames with the payload length
+//! * [`protocol`] — 14-byte-header frames (magic, version, kind,
+//!   length, FNV-1a-32 payload checksum) with the payload length
 //!   capped **before** allocation; every malformed input is a typed
-//!   [`ProtocolError`], never a panic. `Ok` responses carry raw result
-//!   bytes, so a mine answer is byte-identical to `sentomist trace
-//!   mine --json` output.
+//!   [`ProtocolError`], never a panic, and in-flight corruption is
+//!   caught by the checksum. `Ok` responses carry raw result bytes, so
+//!   a mine answer is byte-identical to `sentomist trace mine --json`
+//!   output.
 //! * [`queue`] — the bounded admission queue: when it is full the job
 //!   is shed immediately with an `Overloaded` frame (backpressure),
 //!   never buffered without bound.
-//! * [`server`] — the accept loop and a supervised worker fleet
-//!   reusing `core::supervise` (panic isolation, watchdog timeouts,
-//!   deterministic retry), so one poisoned job never takes the daemon
-//!   down.
+//! * [`server`] — the accept loop (per-connection read/write
+//!   deadlines, a bounded connection cap with typed shedding, tracked
+//!   handler threads provably joined at shutdown) and a supervised
+//!   worker fleet reusing `core::supervise` (panic isolation, watchdog
+//!   timeouts, deterministic retry), so one poisoned job or one
+//!   slow-loris peer never takes the daemon down.
 //! * [`cache`] — a read-through result cache keyed on the corpus
 //!   identity and validated against the store's generation-stamped
 //!   [`CorpusFingerprint`](sentomist_tracestore::CorpusFingerprint),
 //!   so repeated mines of an unchanged store skip the replay entirely.
-//! * [`client`] — the blocking client the load generator and tests use.
+//! * [`client`] — the blocking client the load generator and tests
+//!   use, now with I/O deadlines and a typed, seed-deterministic retry
+//!   policy that replays only idempotent requests.
+//! * [`chaosproxy`] — a seeded in-process TCP fault proxy (mid-frame
+//!   disconnects, split writes, slow-loris stalls, truncations,
+//!   single-byte corruption) driving the wire-fault soak; every
+//!   failure is replayable as a pure function of (seed, connection
+//!   index).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaosproxy;
 pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{request, Client};
+pub use chaosproxy::{ChaosProxy, ConnFault, Direction, FaultPlan, ProxyStats, WireFault};
+pub use client::{
+    request, request_with_retry, Client, ClientConfig, ClientError, RetryPolicy, RetryStats,
+    WireFailure,
+};
 pub use protocol::{
-    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameKind, ProtocolError, Request,
-    Response, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+    decode_frame, encode_frame, payload_checksum, read_frame, write_frame, Frame, FrameKind,
+    ProtocolError, Request, Response, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
 pub use queue::{Admission, AdmissionError};
-pub use server::{Server, ServiceConfig, ServiceError, StatsSnapshot};
+pub use server::{Server, ServiceConfig, ServiceError, ShutdownReport, StatsSnapshot};

@@ -1,22 +1,42 @@
-//! The wire protocol: length-prefixed binary frames over TCP.
+//! The wire protocol: length-prefixed, checksummed binary frames over
+//! TCP.
 //!
-//! A frame is a fixed 10-byte header followed by the payload:
+//! A frame is a fixed 14-byte header followed by the payload:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic `b"SNTM"`
-//! 4       1     protocol version (currently 1)
-//! 5       1     frame kind (request / ok / error / overloaded)
+//! 4       1     protocol version (currently 2)
+//! 5       1     frame kind (request / ok / error / overloaded / reject)
 //! 6       4     payload length, u32 little-endian
-//! 10      len   payload bytes
+//! 10      4     FNV-1a-32 checksum of the payload, u32 little-endian
+//! 14      len   payload bytes
 //! ```
 //!
 //! The length field is validated against [`MAX_PAYLOAD`] **before** any
 //! allocation happens, so a hostile or corrupt header can never make the
 //! daemon reserve gigabytes. Every malformed input — wrong magic, unknown
-//! version or kind, oversized length, short read — decodes to a typed
-//! [`ProtocolError`]; the decoder has no panicking path (the protocol
-//! hardening proptest feeds it arbitrary and truncated byte strings).
+//! version or kind, oversized length, short read, checksum mismatch —
+//! decodes to a typed [`ProtocolError`]; the decoder has no panicking
+//! path (the protocol hardening proptest feeds it arbitrary and
+//! truncated byte strings).
+//!
+//! Version 2 hardens the wire against a *faulty network*, not just a
+//! hostile client:
+//!
+//! * the payload checksum catches single-byte (and most multi-byte)
+//!   corruption in flight — load-bearing, because `Ok` payloads carry
+//!   raw result bytes with no inner framing, so an undetected flipped
+//!   byte would silently break the daemon's byte-identity contract with
+//!   offline `trace mine --json`;
+//! * [`FrameKind::Reject`] answers wire-level failures (unparseable
+//!   frame, checksum mismatch, deadline expiry mid-frame). A `Reject`
+//!   means **the request never reached a handler** — distinct from
+//!   `Error` ("your job ran and failed") and `Overloaded` ("shed at
+//!   admission") — which is exactly the signal a retrying client needs;
+//! * a read or write deadline expiring mid-frame surfaces as
+//!   [`ProtocolError::Deadline`], distinct from a peer actually closing
+//!   the stream ([`Truncated`](ProtocolError::Truncated)).
 //!
 //! Request payloads are JSON ([`Request`]); an `Ok` response payload is
 //! the handler's **raw result bytes** — deliberately not re-wrapped in
@@ -28,12 +48,25 @@ use std::io::{Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SNTM";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks (2 added the payload checksum and
+/// the `Reject` frame kind).
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 10;
+pub const HEADER_LEN: usize = 14;
 /// Hard cap on a frame's payload length, enforced before allocation.
 pub const MAX_PAYLOAD: u32 = 8 * 1024 * 1024;
+
+/// FNV-1a-32 over the payload bytes — the checksum carried in every
+/// frame header. Cheap, allocation-free, and strong enough to catch the
+/// single-byte wire corruption the chaos proxy injects (and real links
+/// produce).
+pub fn payload_checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in payload {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +77,14 @@ pub enum FrameKind {
     Ok,
     /// Server → client: the job failed; payload is the UTF-8 error message.
     Error,
-    /// Server → client: admission queue full, job shed. Payload empty.
+    /// Server → client: admission queue (or connection cap) full, job
+    /// shed. Payload empty.
     Overloaded,
+    /// Server → client: the request never reached a handler — the frame
+    /// was unparseable, failed its checksum, or a read deadline expired
+    /// mid-frame. Payload is the UTF-8 reason. Safe to retry by
+    /// construction: nothing ran.
+    Reject,
 }
 
 impl FrameKind {
@@ -56,6 +95,7 @@ impl FrameKind {
             FrameKind::Ok => 2,
             FrameKind::Error => 3,
             FrameKind::Overloaded => 4,
+            FrameKind::Reject => 5,
         }
     }
 
@@ -70,6 +110,7 @@ impl FrameKind {
             2 => Ok(FrameKind::Ok),
             3 => Ok(FrameKind::Error),
             4 => Ok(FrameKind::Overloaded),
+            5 => Ok(FrameKind::Reject),
             other => Err(ProtocolError::BadKind(other)),
         }
     }
@@ -99,6 +140,23 @@ pub enum ProtocolError {
         /// Bytes actually available.
         got: usize,
     },
+    /// The payload did not hash to the checksum the header declared —
+    /// the bytes were corrupted in flight.
+    Checksum {
+        /// The checksum the header declared.
+        declared: u32,
+        /// The checksum the received payload actually hashes to.
+        actual: u32,
+    },
+    /// A read or write deadline expired mid-frame (slow-loris peer,
+    /// stalled link). Distinct from [`Truncated`](ProtocolError::Truncated):
+    /// the stream is still open, it just stopped making progress.
+    Deadline {
+        /// Bytes the frame still needed when the deadline fired.
+        needed: usize,
+        /// Bytes actually transferred by then.
+        got: usize,
+    },
     /// An I/O error while reading or writing a frame.
     Io(String),
     /// The payload failed to decode (bad UTF-8 or bad request JSON).
@@ -117,6 +175,14 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Truncated { needed, got } => {
                 write!(f, "truncated frame: needed {needed} bytes, got {got}")
             }
+            ProtocolError::Checksum { declared, actual } => write!(
+                f,
+                "payload checksum mismatch: header declared {declared:08x}, payload hashes to {actual:08x}"
+            ),
+            ProtocolError::Deadline { needed, got } => write!(
+                f,
+                "deadline expired mid-frame: needed {needed} bytes, got {got}"
+            ),
             ProtocolError::Io(e) => write!(f, "frame i/o: {e}"),
             ProtocolError::Malformed(e) => write!(f, "malformed payload: {e}"),
         }
@@ -124,6 +190,16 @@ impl std::fmt::Display for ProtocolError {
 }
 
 impl std::error::Error for ProtocolError {}
+
+/// Whether an I/O error kind means a socket deadline fired (Linux
+/// reports `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry as `WouldBlock`, other
+/// platforms as `TimedOut`).
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// A parsed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,7 +210,7 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-/// Encodes a frame.
+/// Encodes a frame, stamping the payload checksum into the header.
 ///
 /// # Errors
 ///
@@ -151,20 +227,22 @@ pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Result<Vec<u8>, Protocol
     out.push(VERSION);
     out.push(kind.to_byte());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload_checksum(payload).to_le_bytes());
     out.extend_from_slice(payload);
     Ok(out)
 }
 
-/// Validates a 10-byte header, returning the frame kind and the declared
-/// payload length. The length is checked against [`MAX_PAYLOAD`] here —
-/// before any caller allocates for the payload.
+/// Validates a 14-byte header, returning the frame kind, the declared
+/// payload length and the declared payload checksum. The length is
+/// checked against [`MAX_PAYLOAD`] here — before any caller allocates
+/// for the payload.
 ///
 /// # Errors
 ///
 /// [`ProtocolError::BadMagic`] / [`BadVersion`](ProtocolError::BadVersion)
 /// / [`BadKind`](ProtocolError::BadKind) /
 /// [`Oversized`](ProtocolError::Oversized).
-pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u32), ProtocolError> {
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u32, u32), ProtocolError> {
     let magic = [header[0], header[1], header[2], header[3]];
     if magic != MAGIC {
         return Err(ProtocolError::BadMagic(magic));
@@ -180,17 +258,20 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u32), Proto
             max: MAX_PAYLOAD,
         });
     }
-    Ok((kind, declared))
+    let checksum = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    Ok((kind, declared, checksum))
 }
 
 /// Decodes one frame from the front of `bytes`, returning the frame and
 /// the number of bytes consumed. Never panics and never allocates more
-/// than the (capped) declared payload length.
+/// than the (capped) declared payload length; the payload checksum is
+/// verified before the frame is returned.
 ///
 /// # Errors
 ///
 /// Any [`ProtocolError`]; short input is
-/// [`Truncated`](ProtocolError::Truncated).
+/// [`Truncated`](ProtocolError::Truncated), in-flight corruption is
+/// [`Checksum`](ProtocolError::Checksum).
 pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), ProtocolError> {
     if bytes.len() < HEADER_LEN {
         return Err(ProtocolError::Truncated {
@@ -200,7 +281,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), ProtocolError> {
     }
     let mut header = [0u8; HEADER_LEN];
     header.copy_from_slice(&bytes[..HEADER_LEN]);
-    let (kind, declared) = parse_header(&header)?;
+    let (kind, declared, checksum) = parse_header(&header)?;
     let total = HEADER_LEN + declared as usize;
     if bytes.len() < total {
         return Err(ProtocolError::Truncated {
@@ -208,33 +289,50 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), ProtocolError> {
             got: bytes.len(),
         });
     }
+    let payload = &bytes[HEADER_LEN..total];
+    let actual = payload_checksum(payload);
+    if actual != checksum {
+        return Err(ProtocolError::Checksum {
+            declared: checksum,
+            actual,
+        });
+    }
     Ok((
         Frame {
             kind,
-            payload: bytes[HEADER_LEN..total].to_vec(),
+            payload: payload.to_vec(),
         },
         total,
     ))
 }
 
-/// Reads exactly one frame from `r`.
+/// Reads exactly one frame from `r`, verifying its checksum.
 ///
 /// # Errors
 ///
 /// Any [`ProtocolError`]; a stream that ends mid-frame is
-/// [`Truncated`](ProtocolError::Truncated), other I/O failures are
-/// [`Io`](ProtocolError::Io).
+/// [`Truncated`](ProtocolError::Truncated), a socket deadline firing
+/// mid-frame is [`Deadline`](ProtocolError::Deadline), other I/O
+/// failures are [`Io`](ProtocolError::Io).
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtocolError> {
     let mut header = [0u8; HEADER_LEN];
     read_exact_or(r, &mut header, 0)?;
-    let (kind, declared) = parse_header(&header)?;
+    let (kind, declared, checksum) = parse_header(&header)?;
     let mut payload = vec![0u8; declared as usize];
     read_exact_or(r, &mut payload, HEADER_LEN)?;
+    let actual = payload_checksum(&payload);
+    if actual != checksum {
+        return Err(ProtocolError::Checksum {
+            declared: checksum,
+            actual,
+        });
+    }
     Ok(Frame { kind, payload })
 }
 
 /// `read_exact` with typed errors: a clean EOF mid-frame maps to
-/// [`ProtocolError::Truncated`] (with `already` bytes consumed so far),
+/// [`ProtocolError::Truncated`], a socket deadline firing to
+/// [`ProtocolError::Deadline`] (with `already` bytes consumed so far),
 /// anything else to [`ProtocolError::Io`].
 fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], already: usize) -> Result<(), ProtocolError> {
     let mut filled = 0usize;
@@ -248,6 +346,12 @@ fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], already: usize) -> Result<(
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => {
+                return Err(ProtocolError::Deadline {
+                    needed: already + buf.len(),
+                    got: already + filled,
+                })
+            }
             Err(e) => return Err(ProtocolError::Io(e.to_string())),
         }
     }
@@ -258,16 +362,98 @@ fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], already: usize) -> Result<(
 ///
 /// # Errors
 ///
-/// [`ProtocolError::Oversized`] / [`Io`](ProtocolError::Io).
+/// [`ProtocolError::Oversized`] / [`Deadline`](ProtocolError::Deadline)
+/// when a write deadline fires / [`Io`](ProtocolError::Io).
 pub fn write_frame<W: Write>(
     w: &mut W,
     kind: FrameKind,
     payload: &[u8],
 ) -> Result<(), ProtocolError> {
     let bytes = encode_frame(kind, payload)?;
-    w.write_all(&bytes)
-        .and_then(|()| w.flush())
-        .map_err(|e| ProtocolError::Io(e.to_string()))
+    w.write_all(&bytes).and_then(|()| w.flush()).map_err(|e| {
+        if is_timeout(e.kind()) {
+            ProtocolError::Deadline {
+                needed: bytes.len(),
+                got: 0,
+            }
+        } else {
+            ProtocolError::Io(e.to_string())
+        }
+    })
+}
+
+/// A [`Read`] adapter that enforces one **overall** deadline across
+/// however many reads a frame takes.
+///
+/// `set_read_timeout` alone cannot do this: it bounds each *call*, so
+/// a slow-loris peer dripping one byte per interval resets the clock
+/// forever. This wrapper re-arms the socket timeout with the
+/// *remaining* budget before every read, so the total wait is bounded
+/// no matter how the bytes are chopped.
+struct DeadlineReader<'a> {
+    stream: &'a std::net::TcpStream,
+    deadline: std::time::Instant,
+    /// When the socket timeout was last armed, if ever. Re-arming is a
+    /// syscall per read; skipping it while the armed value is less than
+    /// [`ARM_SLACK`] stale keeps the fast path at one arm per frame and
+    /// loosens the deadline by at most that slack.
+    armed_at: Option<std::time::Instant>,
+}
+
+/// How stale an armed per-call timeout may get before a read re-arms
+/// it with the true remaining budget.
+const ARM_SLACK: std::time::Duration = std::time::Duration::from_millis(5);
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let now = std::time::Instant::now();
+        let remaining = self.deadline.saturating_duration_since(now);
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "frame deadline expired",
+            ));
+        }
+        let stale = self
+            .armed_at
+            .is_none_or(|at| now.saturating_duration_since(at) >= ARM_SLACK);
+        if stale {
+            self.stream.set_read_timeout(Some(remaining))?;
+            self.armed_at = Some(now);
+        }
+        (&mut &*self.stream).read(buf)
+    }
+}
+
+/// Reads one frame from a socket under an overall per-frame deadline
+/// (`None` = block forever). A peer that stalls — or drips bytes too
+/// slowly — past the budget yields [`ProtocolError::Deadline`]; a
+/// `Deadline` with `got: 0` means the peer sent nothing at all (an
+/// idle connection), which callers may treat as a quiet close rather
+/// than a fault.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`], as [`read_frame`].
+pub fn read_frame_deadline(
+    stream: &std::net::TcpStream,
+    timeout: Option<std::time::Duration>,
+) -> Result<Frame, ProtocolError> {
+    match timeout {
+        None => read_frame(&mut &*stream),
+        Some(timeout) => {
+            let mut reader = DeadlineReader {
+                stream,
+                deadline: std::time::Instant::now() + timeout,
+                armed_at: None,
+            };
+            // The socket's read timeout is deliberately left armed on
+            // return: every reader in this crate goes through this
+            // function and re-arms on its first read, and disarming
+            // would cost a syscall per frame on the clean path.
+            read_frame(&mut reader)
+        }
+    }
 }
 
 /// A job request, JSON-encoded in a [`FrameKind::Request`] payload.
@@ -342,7 +528,7 @@ pub enum Request {
         top_k: u64,
     },
     /// Service counters (answered inline, never queued); response is
-    /// [`StatsSnapshot`] JSON.
+    /// [`StatsSnapshot`](crate::server::StatsSnapshot) JSON.
     Stats,
     /// Graceful shutdown: the daemon acknowledges with an empty `Ok`,
     /// stops accepting, drains workers, and exits 0.
@@ -350,6 +536,27 @@ pub enum Request {
 }
 
 impl Request {
+    /// Whether a retry of this request is safe after an ambiguous wire
+    /// failure (the response may have been lost *after* the job ran).
+    ///
+    /// `Mine`, `Lint`, `Slice` and `Stats` are pure reads — `Mine`
+    /// against a generation-stamped corpus whose fingerprint, not wall
+    /// clock, keys the result — and `Ping` carries no work at all, so
+    /// running any of them twice observably equals running it once.
+    /// `Sleep` and `Panic` consume worker capacity, `Emulate` and
+    /// `Hunt` re-run heavy compute, and `Shutdown` is a state change
+    /// that must never be replayed; none of those are retried.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Mine { .. }
+                | Request::Lint { .. }
+                | Request::Slice { .. }
+                | Request::Stats
+        )
+    }
+
     /// JSON payload bytes for this request.
     ///
     /// # Errors
@@ -380,8 +587,13 @@ pub enum Response {
     Ok(Vec<u8>),
     /// The job failed; the error message.
     Error(String),
-    /// The admission queue was full and the job was shed.
+    /// The admission queue (or connection cap) was full and the job was
+    /// shed.
     Overloaded,
+    /// The request never reached a handler: the frame was unparseable,
+    /// failed its checksum, or stalled past a read deadline. Carries
+    /// the reason; safe to retry by construction.
+    Rejected(String),
 }
 
 impl Response {
@@ -391,6 +603,7 @@ impl Response {
             Response::Ok(bytes) => (FrameKind::Ok, bytes.as_slice()),
             Response::Error(msg) => (FrameKind::Error, msg.as_bytes()),
             Response::Overloaded => (FrameKind::Overloaded, &[]),
+            Response::Rejected(msg) => (FrameKind::Reject, msg.as_bytes()),
         }
     }
 
@@ -399,7 +612,7 @@ impl Response {
     /// # Errors
     ///
     /// [`ProtocolError::Malformed`] when a request frame arrives where a
-    /// response belongs, or an error payload is not UTF-8.
+    /// response belongs, or an error/reject payload is not UTF-8.
     pub fn from_frame(frame: Frame) -> Result<Response, ProtocolError> {
         match frame.kind {
             FrameKind::Ok => Ok(Response::Ok(frame.payload)),
@@ -407,6 +620,9 @@ impl Response {
                 .map(Response::Error)
                 .map_err(|e| ProtocolError::Malformed(e.to_string())),
             FrameKind::Overloaded => Ok(Response::Overloaded),
+            FrameKind::Reject => String::from_utf8(frame.payload)
+                .map(Response::Rejected)
+                .map_err(|e| ProtocolError::Malformed(e.to_string())),
             FrameKind::Request => Err(ProtocolError::Malformed(
                 "request frame in response position".into(),
             )),
@@ -425,6 +641,7 @@ mod tests {
             (FrameKind::Ok, Vec::new()),
             (FrameKind::Error, vec![0u8; 1000]),
             (FrameKind::Overloaded, Vec::new()),
+            (FrameKind::Reject, b"deadline expired".to_vec()),
         ] {
             let bytes = encode_frame(kind, &payload).unwrap();
             let (frame, consumed) = decode_frame(&bytes).unwrap();
@@ -467,7 +684,7 @@ mod tests {
             ));
         }
         assert!(matches!(
-            decode_frame(b"XXXXXXXXXXXXXXXX"),
+            decode_frame(b"XXXXXXXXXXXXXXXXXXXX"),
             Err(ProtocolError::BadMagic(_))
         ));
         let mut wrong_version = bytes.clone();
@@ -482,6 +699,65 @@ mod tests {
             decode_frame(&wrong_kind),
             Err(ProtocolError::BadKind(200))
         ));
+    }
+
+    #[test]
+    fn any_single_byte_payload_corruption_is_caught() {
+        let bytes = encode_frame(FrameKind::Ok, b"mined document bytes").unwrap();
+        for at in HEADER_LEN..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[at] ^= 0xA5;
+            match decode_frame(&damaged) {
+                Err(ProtocolError::Checksum { declared, actual }) => assert_ne!(declared, actual),
+                other => panic!("corruption at byte {at} gave {other:?}"),
+            }
+            let mut cursor = std::io::Cursor::new(damaged);
+            assert!(matches!(
+                read_frame(&mut cursor),
+                Err(ProtocolError::Checksum { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn idempotency_matrix_matches_the_retry_policy() {
+        let idempotent = [
+            Request::Ping,
+            Request::Mine {
+                store: "corpus".into(),
+                quarantine: false,
+            },
+            Request::Lint {
+                app: "forwarder".into(),
+                fixed: false,
+            },
+            Request::Slice {
+                app: "ctp".into(),
+                fixed: true,
+                pcs: vec![],
+            },
+            Request::Stats,
+        ];
+        let not = [
+            Request::Sleep { ms: 5 },
+            Request::Panic,
+            Request::Emulate {
+                case: String::new(),
+                period: 20,
+                seconds: 1,
+                nu: 0.05,
+                seed: 1,
+            },
+            Request::Hunt {
+                case: 1,
+                fixed: false,
+                seed: 1,
+                top_k: 3,
+            },
+            Request::Shutdown,
+        ];
+        assert!(idempotent.iter().all(Request::is_idempotent));
+        assert!(!not.iter().any(Request::is_idempotent));
     }
 
     #[test]
@@ -531,6 +807,7 @@ mod tests {
             Response::Ok(b"payload".to_vec()),
             Response::Error("boom".into()),
             Response::Overloaded,
+            Response::Rejected("checksum mismatch".into()),
         ] {
             let (kind, payload) = response.to_frame();
             let bytes = encode_frame(kind, payload).unwrap();

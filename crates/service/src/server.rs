@@ -1,20 +1,38 @@
 //! The daemon: accept loop, connection handling, supervised worker
 //! fleet, and the job handlers.
 //!
-//! Life of a request: a connection thread reads one frame, parses the
-//! [`Request`], and **tries** to admit it to the bounded queue. At
-//! capacity the job is shed right there with an
-//! [`Overloaded`](Response::Overloaded) frame — backpressure, never
-//! unbounded buffering. A worker pops the job and runs its handler
-//! under [`supervise_once`] — the same fault envelope a campaign seed
-//! gets: panic isolation, watchdog timeout, deterministic retry — so a
-//! poisoned job answers with a typed error instead of taking the daemon
-//! down. Mine jobs consult the fingerprint-validated
-//! [`ResultCache`](crate::cache::ResultCache) before touching the store.
+//! Life of a request: a tracked connection thread reads one frame
+//! under the per-frame read deadline, parses the [`Request`], and
+//! **tries** to admit it to the bounded queue. At capacity the job is
+//! shed right there with an [`Overloaded`](Response::Overloaded) frame
+//! — backpressure, never unbounded buffering. A worker pops the job
+//! and runs its handler under [`supervise_once`] — the same fault
+//! envelope a campaign seed gets: panic isolation, watchdog timeout,
+//! deterministic retry — so a poisoned job answers with a typed error
+//! instead of taking the daemon down. Mine jobs consult the
+//! fingerprint-validated [`ResultCache`](crate::cache::ResultCache)
+//! before touching the store.
+//!
+//! The wire-fault hardening (PR 10) lives at the connection layer:
+//!
+//! * every handler thread is registered in a connection registry —
+//!   its stream kept for the shutdown kick, its `JoinHandle` reaped as
+//!   connections finish and **joined** at shutdown, so the
+//!   [`ShutdownReport`] can prove zero leaked threads under any fault
+//!   plan;
+//! * each connection carries a read deadline (per *frame*, re-armed
+//!   with the remaining budget on every read, so a slow-loris drip
+//!   cannot reset it) and a write deadline;
+//! * connections beyond [`ServiceConfig::max_connections`] are shed
+//!   with a typed `Overloaded` frame instead of an accept backlog;
+//! * wire-level failures — unparseable frames, checksum mismatches,
+//!   deadline expiries — answer with [`Response::Rejected`], meaning
+//!   "nothing ran, safe to retry", distinct from `Error` ("your job
+//!   ran and failed").
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{
-    read_frame, write_frame, FrameKind, ProtocolError, Request, Response, MAX_PAYLOAD,
+    read_frame_deadline, write_frame, FrameKind, ProtocolError, Request, Response, MAX_PAYLOAD,
 };
 use crate::queue::{Admission, AdmissionError};
 use sentomist_apps::{bundled_program, mine_corpus, CorpusMineOptions, HuntCase, Mode, Variant};
@@ -22,11 +40,13 @@ use sentomist_core::hunt::InvariantPolicy;
 use sentomist_core::supervise::{supervise_once, RunFailure, SupervisorOptions};
 use sentomist_tracestore::TraceStore;
 use serde::Serialize;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -48,6 +68,18 @@ pub struct ServiceConfig {
     /// Threads a single mine job sweeps the store with (never affects
     /// document bytes).
     pub mine_threads: usize,
+    /// Per-frame read deadline on every connection: the total time a
+    /// peer gets to deliver one complete request frame, however it
+    /// chops the bytes. `None` disables it (a slow-loris then holds
+    /// its handler thread forever — only for tests).
+    pub read_timeout: Option<Duration>,
+    /// Write deadline per socket write toward a client. `None`
+    /// disables it.
+    pub write_timeout: Option<Duration>,
+    /// Concurrent-connection cap: accepts beyond it are shed with a
+    /// typed `Overloaded` frame instead of queueing an unbounded
+    /// accept backlog. `0` disables the cap.
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +92,9 @@ impl Default for ServiceConfig {
             max_retries: 0,
             timeout: None,
             mine_threads: 1,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 256,
         }
     }
 }
@@ -93,6 +128,15 @@ pub struct StatsSnapshot {
     pub shed: u64,
     /// Connections accepted since start.
     pub connections: u64,
+    /// Connections shed at the concurrency cap.
+    pub connections_shed: u64,
+    /// Connection handler threads alive right now.
+    pub live_connections: u64,
+    /// Requests answered `Rejected` (wire-level: bad frame, checksum
+    /// mismatch, deadline expiry — the job never ran).
+    pub rejected: u64,
+    /// Connections cut by the per-frame read deadline mid-frame.
+    pub deadline_cuts: u64,
     /// Mine documents served from the result cache.
     pub cache_hits: u64,
     /// Mine lookups that went to the store.
@@ -105,11 +149,38 @@ pub struct StatsSnapshot {
     pub workers: u64,
 }
 
+/// What shutdown proved: every thread the daemon ever spawned,
+/// accounted for. `handlers_spawned == handlers_joined` (with
+/// `handlers_panicked` of those joins observing a panic) is the
+/// no-thread-leak guarantee the wire-fault soak asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShutdownReport {
+    /// Connection handler threads spawned over the daemon's lifetime
+    /// (including cap-shed connections).
+    pub handlers_spawned: u64,
+    /// Handler threads joined (reaped during the run or at shutdown).
+    pub handlers_joined: u64,
+    /// Joined handler threads that had panicked.
+    pub handlers_panicked: u64,
+    /// Worker threads joined.
+    pub workers_joined: u64,
+}
+
+impl ShutdownReport {
+    /// True iff every spawned thread was joined and none panicked.
+    pub fn clean(&self) -> bool {
+        self.handlers_spawned == self.handlers_joined && self.handlers_panicked == 0
+    }
+}
+
 struct Counters {
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
     connections: AtomicU64,
+    connections_shed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_cuts: AtomicU64,
     job_serial: AtomicU64,
 }
 
@@ -121,11 +192,124 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
+/// Bookkeeping for every connection handler thread the daemon spawns.
+///
+/// Invariant: a connection id lives in `streams` from accept until its
+/// handler finishes (so `streams.len()` is the live-connection count
+/// and the shutdown kick knows every socket), and in `handles` from
+/// spawn until the handle is joined — either reaped from `finished`
+/// while serving, or drained at shutdown. Nothing is ever detached.
+#[derive(Default)]
+struct RegistryInner {
+    next_id: u64,
+    streams: HashMap<u64, TcpStream>,
+    handles: HashMap<u64, JoinHandle<()>>,
+    finished: Vec<u64>,
+    spawned: u64,
+    joined: u64,
+    panicked: u64,
+}
+
+#[derive(Default)]
+struct ConnRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl ConnRegistry {
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a new connection's kick handle; returns its id.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.streams.insert(id, stream);
+        id
+    }
+
+    /// Records the handler thread for a registered connection.
+    fn attach(&self, id: u64, handle: JoinHandle<()>) {
+        let mut inner = self.lock();
+        inner.spawned += 1;
+        inner.handles.insert(id, handle);
+    }
+
+    /// Called by a handler thread as its last act: the connection no
+    /// longer needs a shutdown kick, and its handle is ready to reap.
+    fn mark_finished(&self, id: u64) {
+        let mut inner = self.lock();
+        inner.streams.remove(&id);
+        inner.finished.push(id);
+    }
+
+    fn live(&self) -> usize {
+        self.lock().streams.len()
+    }
+
+    /// Joins the handlers of finished connections. Runs on the accept
+    /// thread between accepts, so a long-lived daemon under connection
+    /// churn holds O(live) handles, not O(ever-accepted).
+    fn reap_finished(&self) {
+        let ready: Vec<JoinHandle<()>> = {
+            let mut inner = self.lock();
+            let ids = std::mem::take(&mut inner.finished);
+            ids.iter()
+                .filter_map(|id| inner.handles.remove(id))
+                .collect()
+        };
+        // Join outside the lock: these threads have already returned,
+        // but a panicking unwind can still take a moment.
+        for handle in ready {
+            self.count_join(handle);
+        }
+    }
+
+    /// Kicks every live connection so blocked reads/writes return.
+    fn kick_all(&self) {
+        let inner = self.lock();
+        for stream in inner.streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Drains and joins every remaining handle (shutdown path).
+    fn join_all(&self) {
+        loop {
+            let remaining: Vec<JoinHandle<()>> = {
+                let mut inner = self.lock();
+                inner.finished.clear();
+                inner.handles.drain().map(|(_, handle)| handle).collect()
+            };
+            if remaining.is_empty() {
+                return;
+            }
+            for handle in remaining {
+                self.count_join(handle);
+            }
+        }
+    }
+
+    fn count_join(&self, handle: JoinHandle<()>) {
+        let panicked = handle.join().is_err();
+        let mut inner = self.lock();
+        inner.joined += 1;
+        if panicked {
+            inner.panicked += 1;
+        }
+    }
+}
+
 struct Shared {
     config: ServiceConfig,
     queue: Admission<Job>,
     cache: ResultCache,
     counters: Counters,
+    registry: ConnRegistry,
     shutdown: AtomicBool,
     shutdown_signal: (Mutex<bool>, Condvar),
 }
@@ -137,6 +321,10 @@ impl Shared {
             failed: self.counters.failed.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
             connections: self.counters.connections.load(Ordering::Relaxed),
+            connections_shed: self.counters.connections_shed.load(Ordering::Relaxed),
+            live_connections: self.registry.live() as u64,
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            deadline_cuts: self.counters.deadline_cuts.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             queue_depth: self.queue.len() as u64,
@@ -185,8 +373,12 @@ impl Server {
                 failed: AtomicU64::new(0),
                 shed: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
+                connections_shed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                deadline_cuts: AtomicU64::new(0),
                 job_serial: AtomicU64::new(0),
             },
+            registry: ConnRegistry::default(),
             shutdown: AtomicBool::new(false),
             shutdown_signal: (Mutex::new(false), Condvar::new()),
             config,
@@ -221,8 +413,9 @@ impl Server {
 
     /// Blocks until shutdown is requested (by a client's `Shutdown`
     /// frame or [`Server::shutdown_and_join`]), then joins the accept
-    /// loop and the drained worker fleet.
-    pub fn wait(mut self) {
+    /// loop, every connection handler, and the drained worker fleet,
+    /// returning the thread accounting.
+    pub fn wait(mut self) -> ShutdownReport {
         {
             let (lock, cvar) = &self.shared.shutdown_signal;
             if let Ok(mut flagged) = lock.lock() {
@@ -234,17 +427,18 @@ impl Server {
                 }
             }
         }
-        self.join();
+        self.join()
     }
 
     /// Requests shutdown and joins every thread: stops admission, wakes
-    /// the accept loop, drains queued jobs, then returns.
-    pub fn shutdown_and_join(mut self) {
+    /// the accept loop, kicks live connections, drains queued jobs,
+    /// then returns the thread accounting.
+    pub fn shutdown_and_join(mut self) -> ShutdownReport {
         self.shared.request_shutdown();
-        self.join();
+        self.join()
     }
 
-    fn join(&mut self) {
+    fn join(&mut self) -> ShutdownReport {
         self.shared.request_shutdown();
         // The accept loop blocks in accept(); a throwaway self-connect
         // wakes it so it can observe the flag and exit.
@@ -252,8 +446,24 @@ impl Server {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        // Kick every live connection: blocked frame reads return
+        // immediately instead of waiting out their deadlines.
+        self.shared.registry.kick_all();
+        // Workers first — handler threads blocked on a job reply need
+        // the drained workers to answer before they can exit.
+        let mut workers_joined = 0u64;
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            if handle.join().is_ok() {
+                workers_joined += 1;
+            }
+        }
+        self.shared.registry.join_all();
+        let inner = self.shared.registry.lock();
+        ShutdownReport {
+            handlers_spawned: inner.spawned,
+            handlers_joined: inner.joined,
+            handlers_panicked: inner.panicked,
+            workers_joined,
         }
     }
 }
@@ -263,40 +473,95 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match stream {
-            Ok(stream) => {
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(shared);
-                std::thread::spawn(move || handle_connection(stream, &shared));
-            }
+        let stream = match stream {
+            Ok(stream) => stream,
             Err(_) => continue,
-        }
+        };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        // Reap finished handlers between accepts so the handle map
+        // stays proportional to live connections.
+        shared.registry.reap_finished();
+        let cap = shared.config.max_connections;
+        let at_cap = cap != 0 && shared.registry.live() >= cap;
+        let Ok(kick) = stream.try_clone() else {
+            // Without a kick handle the thread could not be provably
+            // joined at shutdown; refuse the connection instead.
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        };
+        let id = shared.registry.register(kick);
+        let shared_conn = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            if at_cap {
+                shared_conn
+                    .counters
+                    .connections_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                shed_connection(stream);
+            } else {
+                handle_connection(stream, &shared_conn);
+            }
+            shared_conn.registry.mark_finished(id);
+        });
+        shared.registry.attach(id, handle);
     }
 }
 
+/// Sheds a connection accepted beyond the concurrency cap: one typed
+/// `Overloaded` frame, a brief drain so the peer's in-flight request
+/// bytes don't turn the close into a RST before it reads our answer,
+/// then close.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_frame(&mut stream, FrameKind::Overloaded, &[]);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut drain = [0u8; 1024];
+    let _ = (&stream).read(&mut drain);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// One client connection: frames in, responses out, strictly in order.
-/// Runs until clean EOF, a framing error (answered once, then the
-/// stream is no longer trustworthy), or daemon shutdown.
+/// Runs until clean EOF, an idle read deadline, a wire-level fault
+/// (answered with a `Reject` frame — then the stream is no longer
+/// trustworthy and is closed), or daemon shutdown.
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame_deadline(&stream, shared.config.read_timeout) {
             Ok(frame) => frame,
             Err(ProtocolError::Truncated { got: 0, .. }) => return, // clean close
+            Err(ProtocolError::Deadline { got: 0, .. }) => return,  // idle past the deadline
             Err(e) => {
-                let _ = write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes());
+                // The frame failed at the wire level: nothing ran, so
+                // the answer is a retry-safe Reject, not an Error. A
+                // desynced or stalling stream is not worth trusting
+                // for another frame.
+                if matches!(e, ProtocolError::Deadline { .. }) {
+                    shared
+                        .counters
+                        .deadline_cuts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut stream, FrameKind::Reject, e.to_string().as_bytes());
+                let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
         };
         if frame.kind != FrameKind::Request {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             let msg = format!("expected a request frame, got {:?}", frame.kind);
-            let _ = write_frame(&mut stream, FrameKind::Error, msg.as_bytes());
+            let _ = write_frame(&mut stream, FrameKind::Reject, msg.as_bytes());
             return;
         }
         let request = match Request::from_bytes(&frame.payload) {
             Ok(request) => request,
             Err(e) => {
-                let _ = write_frame(&mut stream, FrameKind::Error, e.to_string().as_bytes());
-                continue; // framing is intact; only this payload was bad
+                // Framing (and checksum) were intact; only this payload
+                // was bad. Reject it and keep the connection.
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut stream, FrameKind::Reject, e.to_string().as_bytes());
+                continue;
             }
         };
         let response = match request {

@@ -1,13 +1,66 @@
-//! Protocol hardening: arbitrary, truncated and oversized byte strings
-//! fed to the frame decoder return typed errors — never a panic, never
-//! an allocation beyond the declared-length cap.
+//! Protocol hardening: arbitrary, truncated, corrupted and oversized
+//! byte strings fed to the frame decoder return typed errors — never a
+//! panic, never an allocation beyond the declared-length cap — and any
+//! valid frame decodes identically no matter how the wire chops it
+//! into read-sized pieces.
 
 use proptest::prelude::*;
 use proptest::test_runner::ProptestConfig;
 use sentomist_service::protocol::{
-    decode_frame, encode_frame, read_frame, Frame, FrameKind, ProtocolError, Request, HEADER_LEN,
-    MAGIC, MAX_PAYLOAD, VERSION,
+    decode_frame, encode_frame, payload_checksum, read_frame, Frame, FrameKind, ProtocolError,
+    Request, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
+use std::io::Read;
+
+/// A reader that hands back a frame's bytes in caller-chosen chunk
+/// sizes — the in-memory twin of the chaos proxy's split-writes fault.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    turn: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> ChunkedReader {
+        ChunkedReader {
+            data,
+            pos: 0,
+            chunks,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.chunks[self.turn % self.chunks.len()].max(1);
+        self.turn += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Regression: a frame whose 14-byte header arrives split across two
+/// reads (every possible split point, including mid-length and
+/// mid-checksum) must decode identically to a single-read delivery.
+#[test]
+fn header_split_across_reads_decodes_identically() {
+    let payload = b"split-header regression payload";
+    let bytes = encode_frame(FrameKind::Request, payload).unwrap();
+    for cut in 1..HEADER_LEN {
+        let mut reader = ChunkedReader::new(bytes.clone(), vec![cut, bytes.len()]);
+        let frame =
+            read_frame(&mut reader).unwrap_or_else(|e| panic!("header split at {cut} failed: {e}"));
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.payload, payload);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -31,7 +84,8 @@ proptest! {
                 | ProtocolError::BadVersion(_)
                 | ProtocolError::BadKind(_)
                 | ProtocolError::Oversized { .. }
-                | ProtocolError::Truncated { .. },
+                | ProtocolError::Truncated { .. }
+                | ProtocolError::Checksum { .. },
             ) => {}
             Err(other) => panic!("unexpected decode error class: {other:?}"),
         }
@@ -45,7 +99,7 @@ proptest! {
     #[test]
     fn every_truncation_is_typed(
         payload in prop::collection::vec(0u8..=255, 0..48),
-        kind_raw in 1u8..5,
+        kind_raw in 1u8..6,
         cut_fraction in 0.0f64..1.0,
     ) {
         let kind = FrameKind::from_byte(kind_raw).unwrap();
@@ -67,11 +121,11 @@ proptest! {
     }
 
     /// Any header declaring a payload beyond the cap is rejected from
-    /// the 10 header bytes alone — before any payload allocation — no
+    /// the 14 header bytes alone — before any payload allocation — no
     /// matter what kind byte it carries or how much data follows.
     #[test]
     fn oversized_declarations_never_allocate(
-        kind_raw in 1u8..5,
+        kind_raw in 1u8..6,
         excess in 1u32..=1024,
         trailing in prop::collection::vec(0u8..=255, 0..16),
     ) {
@@ -81,6 +135,7 @@ proptest! {
         bytes.push(VERSION);
         bytes.push(kind_raw);
         bytes.extend_from_slice(&declared.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // checksum field
         bytes.extend_from_slice(&trailing);
         match decode_frame(&bytes) {
             Err(ProtocolError::Oversized { declared: d, max }) => {
@@ -115,12 +170,53 @@ proptest! {
     #[test]
     fn well_formed_frames_round_trip(
         payload in prop::collection::vec(0u8..=255, 0..256),
-        kind_raw in 1u8..5,
+        kind_raw in 1u8..6,
     ) {
         let kind = FrameKind::from_byte(kind_raw).unwrap();
         let bytes = encode_frame(kind, &payload).unwrap();
         let (frame, consumed) = decode_frame(&bytes).unwrap();
         assert_eq!(consumed, bytes.len());
         assert_eq!(frame, Frame { kind, payload });
+    }
+
+    /// Chunked delivery equivalence: a valid frame handed to the
+    /// streaming reader in arbitrary 1..8-byte pieces decodes to
+    /// exactly the frame a single contiguous read produces.
+    #[test]
+    fn any_chunked_delivery_decodes_equivalently(
+        payload in prop::collection::vec(0u8..=255, 0..192),
+        kind_raw in 1u8..6,
+        chunks in prop::collection::vec(1usize..8, 1..48),
+    ) {
+        let kind = FrameKind::from_byte(kind_raw).unwrap();
+        let bytes = encode_frame(kind, &payload).unwrap();
+        let (whole, _) = decode_frame(&bytes).unwrap();
+        let mut reader = ChunkedReader::new(bytes, chunks);
+        let chunked = read_frame(&mut reader).unwrap();
+        assert_eq!(chunked, whole);
+        assert_eq!(chunked, Frame { kind, payload });
+    }
+
+    /// Flipping any single payload byte of a valid frame trips the
+    /// checksum — the wire-corruption guarantee the byte-identity
+    /// contract rests on.
+    #[test]
+    fn single_byte_corruption_always_trips_the_checksum(
+        payload in prop::collection::vec(0u8..=255, 1..128),
+        kind_raw in 1u8..6,
+        at_fraction in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let kind = FrameKind::from_byte(kind_raw).unwrap();
+        let mut bytes = encode_frame(kind, &payload).unwrap();
+        let at = HEADER_LEN + ((payload.len() - 1) as f64 * at_fraction) as usize;
+        bytes[at] ^= flip;
+        match decode_frame(&bytes) {
+            Err(ProtocolError::Checksum { declared, actual }) => {
+                assert_eq!(declared, payload_checksum(&payload));
+                assert_ne!(declared, actual);
+            }
+            other => panic!("corruption at {at} gave {other:?}"),
+        }
     }
 }

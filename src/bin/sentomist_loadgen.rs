@@ -1,12 +1,14 @@
 //! `sentomist_loadgen` — seeded, reproducible load generation for
 //! `sentomistd`, in the style of scalability-suite rps ramps.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **Single-shot** (`--once`): send one request and write the raw
 //!   response payload to stdout (or `--out FILE`) — the mode the CI
 //!   smoke job uses to `cmp` a daemon mine against offline `sentomist
 //!   trace mine` output. `--shutdown` is the one-frame clean-stop.
+//!   Every failure class has its own documented exit code and a
+//!   `failure class:` line on stderr.
 //! * **Ramp** (default): an open-loop rps ramp
 //!   (`--initial-rps/--increment-rps/--target-rps/--duration-per-step`)
 //!   that schedules requests at fixed spacing regardless of completions
@@ -15,11 +17,24 @@
 //!   `BENCH_service.json`: p50/p99 latency plus ok/error/shed counts
 //!   per step, and the max sustainable rps — the highest step the
 //!   daemon absorbed without shedding or erroring.
+//! * **Chaos** (`--chaos SEED`, composes with both): start an
+//!   in-process seeded TCP fault proxy in front of the daemon and
+//!   route every request through it. Faults (mid-frame disconnects,
+//!   split writes, slow-loris stalls, truncations, single-byte
+//!   corruption) hit a `--chaos-rate` fraction of connections, each
+//!   replayable from the seed. Requests run through the deterministic
+//!   retry policy (`--retries/--retry-backoff-ms`) — only idempotent
+//!   requests are ever replayed — and retry/fault counters land in the
+//!   report and on stderr.
 
 use sentomist::core::supervise::splitmix64;
-use sentomist::service::{request, Client, Request, Response};
+use sentomist::service::{
+    request_with_retry, ChaosProxy, Client, ClientConfig, ClientError, FaultPlan, ProxyStats,
+    Request, Response, RetryPolicy, RetryStats, WireFailure,
+};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -53,8 +68,27 @@ RAMP (open-loop, seeded):
     --seed S                       base seed (default 42)
     --bench-out FILE               report path (default BENCH_service.json)
 
-EXIT STATUS (single-shot): 0 ok, 1 error response or wire failure,
-3 overloaded (shed). Ramp mode exits 0 and records sheds in the report."
+WIRE (deadlines, retries, chaos):
+    --connect-timeout-ms MS        TCP connect deadline (default 2000)
+    --read-timeout-ms MS           per-response-frame deadline (default 30000)
+    --write-timeout-ms MS          per-write deadline (default 10000)
+    --retries N                    retry budget for idempotent requests
+                                   (default 0; 8 under --chaos)
+    --retry-backoff-ms MS          deterministic backoff base (default 10)
+    --chaos SEED                   start an in-process fault proxy in
+                                   front of --addr and route through it
+    --chaos-rate R                 fraction of connections faulted
+                                   (default 0.25)
+
+EXIT STATUS (single-shot / shutdown):
+    0  ok — the response payload was written
+    1  the daemon ran the job and answered Error
+    2  connection refused / connect failure (request never sent)
+    3  overloaded — the daemon shed the job with a typed frame
+    4  wire/protocol failure — corrupt, truncated, stalled or rejected
+       stream (after exhausting any retry budget)
+The failure class is also printed to stderr as `failure class: ...`.
+Ramp mode exits 0 and records sheds/errors/retries in the report."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -140,7 +174,88 @@ fn build_request(flags: &HashMap<String, String>, seed: u64) -> Result<Request, 
     })
 }
 
-/// One ramp step's aggregated results.
+/// Everything about how requests reach the daemon: deadlines, retry
+/// policy, and the optional chaos proxy in the path.
+struct WirePlan {
+    /// Where requests actually go (the proxy when chaos is on).
+    addr: String,
+    client: ClientConfig,
+    policy: RetryPolicy,
+    proxy: Option<ChaosProxy>,
+    chaos_seed: Option<u64>,
+    chaos_rate: f64,
+}
+
+impl WirePlan {
+    fn from_flags(addr: &str, flags: &HashMap<String, String>) -> Result<WirePlan, String> {
+        let chaos_seed = match flags.get("chaos") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("--chaos wants a seed, got `{v}`"))?,
+            ),
+        };
+        let chaos_rate = flag_f64(flags, "chaos-rate", 0.25)?;
+        let connect_ms = flag_u64(flags, "connect-timeout-ms", 2_000)?;
+        let read_ms = flag_u64(flags, "read-timeout-ms", 30_000)?;
+        let write_ms = flag_u64(flags, "write-timeout-ms", 10_000)?;
+        let client = ClientConfig {
+            connect_timeout: (connect_ms > 0).then(|| Duration::from_millis(connect_ms)),
+            read_timeout: (read_ms > 0).then(|| Duration::from_millis(read_ms)),
+            write_timeout: (write_ms > 0).then(|| Duration::from_millis(write_ms)),
+        };
+        // Under chaos a connection-level fault is the expected case,
+        // not the exception; give the retry loop room by default.
+        let default_retries = if chaos_seed.is_some() { 8 } else { 0 };
+        let policy = RetryPolicy {
+            max_retries: flag_u64(flags, "retries", default_retries)? as u32,
+            backoff_base_ms: flag_u64(flags, "retry-backoff-ms", 10)?,
+            seed: flag_u64(flags, "seed", 42)?,
+        };
+        let (addr, proxy) = match chaos_seed {
+            None => (addr.to_string(), None),
+            Some(seed) => {
+                let upstream = resolve(addr)?;
+                let proxy = ChaosProxy::start(upstream, FaultPlan::new(seed, chaos_rate))
+                    .map_err(|e| format!("starting chaos proxy: {e}"))?;
+                eprintln!(
+                    "chaos proxy on {} -> {upstream} (seed {seed}, rate {chaos_rate})",
+                    proxy.local_addr()
+                );
+                (proxy.local_addr().to_string(), Some(proxy))
+            }
+        };
+        Ok(WirePlan {
+            addr,
+            client,
+            policy,
+            proxy,
+            chaos_seed,
+            chaos_rate,
+        })
+    }
+
+    /// Tears down the proxy (joining its forwarder threads) and
+    /// returns its fault counters.
+    fn finish(self) -> Option<ProxyStats> {
+        self.proxy.map(|proxy| {
+            let stats = proxy.stats();
+            proxy.shutdown_and_join();
+            stats
+        })
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolved to nothing"))
+}
+
+/// One ramp step's aggregated results. The invariant `requests == ok +
+/// errors + shed` holds with wire failures (retry budget exhausted)
+/// counted under `errors` and itemized in `wire_failed`.
 #[derive(Debug, Clone, Serialize)]
 struct StepReport {
     rps: u64,
@@ -148,6 +263,11 @@ struct StepReport {
     ok: u64,
     errors: u64,
     shed: u64,
+    /// Requests that exhausted their retry budget on the wire (a
+    /// subset of `errors`).
+    wire_failed: u64,
+    /// Retries performed across the step's requests.
+    retries: u64,
     p50_ms: f64,
     p99_ms: f64,
     max_ms: f64,
@@ -163,6 +283,45 @@ struct BenchConfig {
     seed: u64,
 }
 
+/// Wire-level accounting for the whole run: what the retry layer saw,
+/// and (under `--chaos`) what the proxy actually injected.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+struct WireReport {
+    chaos: bool,
+    chaos_seed: u64,
+    chaos_rate: f64,
+    retries: u64,
+    connect_failures: u64,
+    wire_failures: u64,
+    rejects: u64,
+    proxy_connections: u64,
+    proxy_faulted_connections: u64,
+    proxy_disconnects: u64,
+    proxy_splits: u64,
+    proxy_stalls: u64,
+    proxy_truncations: u64,
+    proxy_corruptions: u64,
+}
+
+impl WireReport {
+    fn absorb(&mut self, stats: &RetryStats) {
+        self.retries += u64::from(stats.retries);
+        self.connect_failures += u64::from(stats.connect_failures);
+        self.wire_failures += u64::from(stats.wire_failures);
+        self.rejects += u64::from(stats.rejects);
+    }
+
+    fn absorb_proxy(&mut self, stats: &ProxyStats) {
+        self.proxy_connections = stats.connections;
+        self.proxy_faulted_connections = stats.faulted_connections;
+        self.proxy_disconnects = stats.disconnects;
+        self.proxy_splits = stats.splits;
+        self.proxy_stalls = stats.stalls;
+        self.proxy_truncations = stats.truncations;
+        self.proxy_corruptions = stats.corruptions;
+    }
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     config: BenchConfig,
@@ -170,6 +329,7 @@ struct BenchReport {
     /// Highest rps step served with zero sheds and zero errors
     /// (0 when even the first step shed).
     max_sustainable_rps: u64,
+    wire: WireReport,
 }
 
 fn percentile(sorted_ms: &[f64], pct: u64) -> f64 {
@@ -180,25 +340,44 @@ fn percentile(sorted_ms: &[f64], pct: u64) -> f64 {
     sorted_ms[idx]
 }
 
-/// One request at its scheduled slot: connect, send, classify. Latency
-/// is measured from the *scheduled* time, so queueing delay the daemon
-/// imposes under overload is charged to the daemon, not hidden.
-fn fire(addr: &str, request: Request, scheduled: Instant) -> (u8, f64) {
-    let outcome = request_once(addr, &request);
+/// Outcome classes for one scheduled request.
+const OUT_OK: u8 = 0;
+const OUT_ERROR: u8 = 1;
+const OUT_SHED: u8 = 2;
+const OUT_WIRE: u8 = 3;
+
+/// One request at its scheduled slot: connect (through the retry
+/// layer), send, classify. Latency is measured from the *scheduled*
+/// time, so queueing delay the daemon imposes under overload is
+/// charged to the daemon, not hidden.
+fn fire(
+    addr: &str,
+    request: Request,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    scheduled: Instant,
+) -> (u8, f64, RetryStats) {
+    let (outcome, stats) = match request_with_retry(addr, &request, &config, &policy) {
+        Ok((Response::Ok(_), stats)) => (OUT_OK, stats),
+        Ok((Response::Error(_), stats)) => (OUT_ERROR, stats),
+        Ok((Response::Overloaded, stats)) => (OUT_SHED, stats),
+        // request_with_retry never yields Ok(Rejected); keep the class
+        // total anyway.
+        Ok((Response::Rejected(_), stats)) => (OUT_WIRE, stats),
+        Err(e) => (
+            OUT_WIRE,
+            RetryStats {
+                attempts: e.attempts,
+                retries: e.attempts.saturating_sub(1),
+                ..RetryStats::default()
+            },
+        ),
+    };
     let latency_ms = scheduled.elapsed().as_secs_f64() * 1e3;
-    (outcome, latency_ms)
+    (outcome, latency_ms, stats)
 }
 
-/// 0 = ok, 1 = error, 2 = shed.
-fn request_once(addr: &str, req: &Request) -> u8 {
-    match request(addr, req) {
-        Ok(Response::Ok(_)) => 0,
-        Ok(Response::Error(_)) | Err(_) => 1,
-        Ok(Response::Overloaded) => 2,
-    }
-}
-
-fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+fn run_ramp(wire: WirePlan, flags: &HashMap<String, String>) -> Result<(), String> {
     let config = BenchConfig {
         job: flags.get("job").cloned().unwrap_or_else(|| "ping".into()),
         initial_rps: flag_u64(flags, "initial-rps", 2)?.max(1),
@@ -206,6 +385,16 @@ fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
         target_rps: flag_u64(flags, "target-rps", 10)?,
         duration_per_step_s: flag_u64(flags, "duration-per-step", 2)?.max(1),
         seed: flag_u64(flags, "seed", 42)?,
+    };
+    let mut wire_report = WireReport {
+        chaos: wire.chaos_seed.is_some(),
+        chaos_seed: wire.chaos_seed.unwrap_or(0),
+        chaos_rate: if wire.chaos_seed.is_some() {
+            wire.chaos_rate
+        } else {
+            0.0
+        },
+        ..WireReport::default()
     };
     let mut steps = Vec::new();
     let mut slot: u64 = 0;
@@ -221,23 +410,41 @@ fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
             if scheduled > now {
                 std::thread::sleep(scheduled - now);
             }
-            let request = build_request(flags, splitmix64(config.seed.wrapping_add(slot)))?;
+            let slot_seed = splitmix64(config.seed.wrapping_add(slot));
+            let request = build_request(flags, slot_seed)?;
             slot += 1;
-            let addr = addr.to_string();
-            handles.push(std::thread::spawn(move || fire(&addr, request, scheduled)));
+            let addr = wire.addr.clone();
+            let client = wire.client;
+            // Per-slot backoff seed: every request's retry schedule is
+            // distinct but fully determined by (base seed, slot).
+            let policy = RetryPolicy {
+                seed: slot_seed,
+                ..wire.policy
+            };
+            handles.push(std::thread::spawn(move || {
+                fire(&addr, request, client, policy, scheduled)
+            }));
         }
         let mut ok = 0u64;
         let mut errors = 0u64;
         let mut shed = 0u64;
+        let mut wire_failed = 0u64;
+        let mut retries = 0u64;
         let mut latencies: Vec<f64> = Vec::with_capacity(handles.len());
         for handle in handles {
             match handle.join() {
-                Ok((outcome, ms)) => {
+                Ok((outcome, ms, stats)) => {
                     match outcome {
-                        0 => ok += 1,
-                        1 => errors += 1,
-                        _ => shed += 1,
+                        OUT_OK => ok += 1,
+                        OUT_SHED => shed += 1,
+                        OUT_WIRE => {
+                            errors += 1;
+                            wire_failed += 1;
+                        }
+                        _ => errors += 1,
                     }
+                    retries += u64::from(stats.retries);
+                    wire_report.absorb(&stats);
                     latencies.push(ms);
                 }
                 Err(_) => errors += 1,
@@ -250,13 +457,22 @@ fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
             ok,
             errors,
             shed,
+            wire_failed,
+            retries,
             p50_ms: percentile(&latencies, 50),
             p99_ms: percentile(&latencies, 99),
             max_ms: latencies.last().copied().unwrap_or(0.0),
         };
         eprintln!(
-            "step rps={} requests={} ok={} errors={} shed={} p50={:.2}ms p99={:.2}ms",
-            step.rps, step.requests, step.ok, step.errors, step.shed, step.p50_ms, step.p99_ms
+            "step rps={} requests={} ok={} errors={} shed={} retries={} p50={:.2}ms p99={:.2}ms",
+            step.rps,
+            step.requests,
+            step.ok,
+            step.errors,
+            step.shed,
+            step.retries,
+            step.p50_ms,
+            step.p99_ms
         );
         steps.push(step);
         rps += config.increment_rps;
@@ -267,10 +483,24 @@ fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.rps)
         .max()
         .unwrap_or(0);
+    if let Some(proxy_stats) = wire.finish() {
+        wire_report.absorb_proxy(&proxy_stats);
+        eprintln!(
+            "chaos proxy: {} connections, {} faulted ({} disconnects, {} splits, {} stalls, {} truncations, {} corruptions)",
+            proxy_stats.connections,
+            proxy_stats.faulted_connections,
+            proxy_stats.disconnects,
+            proxy_stats.splits,
+            proxy_stats.stalls,
+            proxy_stats.truncations,
+            proxy_stats.corruptions
+        );
+    }
     let report = BenchReport {
         config,
         steps,
         max_sustainable_rps,
+        wire: wire_report,
     };
     let json =
         serde_json::to_string_pretty(&report).map_err(|e| format!("serializing report: {e}"))?;
@@ -284,11 +514,41 @@ fn run_ramp(addr: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn run_once(addr: &str, flags: &HashMap<String, String>) -> Result<u8, String> {
+/// Maps a terminal failure to its documented exit code and prints the
+/// failure class to stderr.
+fn classify_failure(error: &ClientError) -> u8 {
+    match &error.failure {
+        WireFailure::Connect(e) => {
+            eprintln!(
+                "failure class: connect ({e}; after {} attempt(s))",
+                error.attempts
+            );
+            2
+        }
+        WireFailure::Wire(e) => {
+            eprintln!(
+                "failure class: wire/protocol ({e}; after {} attempt(s))",
+                error.attempts
+            );
+            4
+        }
+        WireFailure::Rejected(reason) => {
+            eprintln!(
+                "failure class: wire/protocol (rejected by daemon: {reason}; after {} attempt(s))",
+                error.attempts
+            );
+            4
+        }
+    }
+}
+
+fn run_once(wire: &WirePlan, flags: &HashMap<String, String>) -> Result<u8, String> {
     let request = build_request(flags, flag_u64(flags, "seed", 42)?)?;
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-    match client.request(&request).map_err(|e| e.to_string())? {
-        Response::Ok(payload) => {
+    let code = match request_with_retry(wire.addr.as_str(), &request, &wire.client, &wire.policy) {
+        Ok((Response::Ok(payload), stats)) => {
+            if stats.retries > 0 {
+                eprintln!("succeeded after {} attempt(s)", stats.attempts);
+            }
             match flags.get("out").filter(|s| !s.is_empty()) {
                 Some(path) => {
                     std::fs::write(path, &payload).map_err(|e| format!("writing {path}: {e}"))?
@@ -301,17 +561,23 @@ fn run_once(addr: &str, flags: &HashMap<String, String>) -> Result<u8, String> {
                         .map_err(|e| format!("writing stdout: {e}"))?;
                 }
             }
-            Ok(0)
+            0
         }
-        Response::Error(message) => {
-            eprintln!("error response: {message}");
-            Ok(1)
+        Ok((Response::Error(message), _)) => {
+            eprintln!("failure class: error-response ({message})");
+            1
         }
-        Response::Overloaded => {
-            eprintln!("overloaded: job shed by admission control");
-            Ok(3)
+        Ok((Response::Overloaded, _)) => {
+            eprintln!("failure class: overloaded (job shed by admission control)");
+            3
         }
-    }
+        Ok((Response::Rejected(reason), _)) => {
+            eprintln!("failure class: wire/protocol (rejected by daemon: {reason})");
+            4
+        }
+        Err(e) => classify_failure(&e),
+    };
+    Ok(code)
 }
 
 fn run(args: &[String]) -> Result<u8, String> {
@@ -325,19 +591,37 @@ fn run(args: &[String]) -> Result<u8, String> {
         .filter(|s| !s.is_empty())
         .ok_or("missing --addr HOST:PORT")?
         .clone();
+    let wire = WirePlan::from_flags(&addr, &flags)?;
     if flags.contains_key("shutdown") {
-        return match request(addr.as_str(), &Request::Shutdown).map_err(|e| e.to_string())? {
-            Response::Ok(_) => {
-                eprintln!("daemon acknowledged shutdown");
-                Ok(0)
+        // Shutdown is deliberately outside the retry machinery: it is
+        // never safe to replay, and it bypasses any chaos proxy so a
+        // soak can always stop its daemon deterministically.
+        let code = match Client::connect_with(addr.as_str(), wire.client) {
+            Err(e) => {
+                eprintln!("failure class: connect ({e})");
+                2
             }
-            other => Err(format!("unexpected shutdown response: {other:?}")),
+            Ok(mut client) => match client.request(&Request::Shutdown) {
+                Ok(Response::Ok(_)) => {
+                    eprintln!("daemon acknowledged shutdown");
+                    0
+                }
+                Ok(other) => return Err(format!("unexpected shutdown response: {other:?}")),
+                Err(e) => {
+                    eprintln!("failure class: wire/protocol ({e})");
+                    4
+                }
+            },
         };
+        wire.finish();
+        return Ok(code);
     }
     if flags.contains_key("once") {
-        run_once(&addr, &flags)
+        let code = run_once(&wire, &flags);
+        wire.finish();
+        code
     } else {
-        run_ramp(&addr, &flags).map(|()| 0)
+        run_ramp(wire, &flags).map(|()| 0)
     }
 }
 

@@ -16,21 +16,32 @@ fn usage() -> &'static str {
 USAGE:
     sentomistd [--host H] [--port P] [--workers N] [--queue-capacity N]
                [--cache-capacity N] [--retries N] [--timeout-ms MS]
-               [--mine-threads N]
+               [--mine-threads N] [--read-timeout-ms MS]
+               [--write-timeout-ms MS] [--max-connections N]
 
 OPTIONS:
-    --host H            listen host (default 127.0.0.1)
-    --port P            listen port; 0 picks a free port (default 7344)
-    --workers N         worker threads (default 2)
-    --queue-capacity N  bounded admission queue size (default 64)
-    --cache-capacity N  result-cache capacity in documents (default 16)
-    --retries N         retries for transient job failures (default 0)
-    --timeout-ms MS     per-attempt watchdog, 0 = none (default 0)
-    --mine-threads N    store-sweep threads per mine job (default 1)
+    --host H              listen host (default 127.0.0.1)
+    --port P              listen port; 0 picks a free port (default 7344)
+    --workers N           worker threads (default 2)
+    --queue-capacity N    bounded admission queue size (default 64)
+    --cache-capacity N    result-cache capacity in documents (default 16)
+    --retries N           retries for transient job failures (default 0)
+    --timeout-ms MS       per-attempt watchdog, 0 = none (default 0)
+    --mine-threads N      store-sweep threads per mine job (default 1)
+    --read-timeout-ms MS  per-frame read deadline on every connection;
+                          a peer gets MS ms total to deliver one request
+                          frame however it chops the bytes. 0 disables
+                          (default 30000)
+    --write-timeout-ms MS per-write deadline toward clients, 0 disables
+                          (default 10000)
+    --max-connections N   concurrent-connection cap; accepts beyond it
+                          are shed with a typed Overloaded frame.
+                          0 disables (default 256)
 
 The daemon prints `listening on HOST:PORT` once ready, then serves
 until a client sends a Shutdown frame (`sentomist_loadgen --shutdown`),
-exiting 0."
+exiting 0. At shutdown it prints a thread-accounting line to stderr
+(`... 0 leaked`) — the no-thread-leak proof the chaos soak greps."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -75,6 +86,8 @@ fn run(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| "127.0.0.1".into());
     let port = flag_u64(&flags, "port", 7344)?;
     let timeout_ms = flag_u64(&flags, "timeout-ms", 0)?;
+    let read_timeout_ms = flag_u64(&flags, "read-timeout-ms", 30_000)?;
+    let write_timeout_ms = flag_u64(&flags, "write-timeout-ms", 10_000)?;
     let config = ServiceConfig {
         addr: format!("{host}:{port}"),
         workers: flag_u64(&flags, "workers", 2)? as usize,
@@ -83,6 +96,9 @@ fn run(args: &[String]) -> Result<(), String> {
         max_retries: flag_u64(&flags, "retries", 0)? as u32,
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         mine_threads: flag_u64(&flags, "mine-threads", 1)? as usize,
+        read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms)),
+        write_timeout: (write_timeout_ms > 0).then(|| Duration::from_millis(write_timeout_ms)),
+        max_connections: flag_u64(&flags, "max-connections", 256)? as usize,
     };
     let server = Server::start(config).map_err(|e| e.to_string())?;
     println!("listening on {}", server.local_addr());
@@ -90,8 +106,22 @@ fn run(args: &[String]) -> Result<(), String> {
     // it is not sitting in a stdio buffer while we block in wait().
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    server.wait();
-    eprintln!("sentomistd: shutdown complete");
+    let report = server.wait();
+    let leaked = report.handlers_spawned - report.handlers_joined;
+    eprintln!(
+        "sentomistd: shutdown complete (handlers spawned={} joined={} panicked={}, workers joined={}, {} leaked)",
+        report.handlers_spawned,
+        report.handlers_joined,
+        report.handlers_panicked,
+        report.workers_joined,
+        leaked
+    );
+    if !report.clean() {
+        return Err(format!(
+            "unclean shutdown: {leaked} leaked handler thread(s), {} panicked",
+            report.handlers_panicked
+        ));
+    }
     Ok(())
 }
 

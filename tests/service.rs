@@ -283,8 +283,9 @@ fn bad_requests_get_typed_errors_not_disconnects() {
             other => panic!("expected Error for {request:?}, got {other:?}"),
         }
     }
-    // A malformed request payload is answered on the same connection,
-    // which stays usable for the next (valid) request.
+    // A malformed request payload is answered on the same connection
+    // with a retry-safe Reject (nothing ran), and the connection stays
+    // usable for the next (valid) request.
     let mut client = daemon.client();
     // Craft a request frame with invalid JSON by hand.
     use sentomist::service::{read_frame, write_frame, FrameKind, Response as Resp};
@@ -292,8 +293,8 @@ fn bad_requests_get_typed_errors_not_disconnects() {
     write_frame(&mut stream, FrameKind::Request, b"not json").unwrap();
     let frame = read_frame(&mut stream).unwrap();
     match Resp::from_frame(frame).unwrap() {
-        Resp::Error(message) => assert!(message.contains("malformed")),
-        other => panic!("expected Error, got {other:?}"),
+        Resp::Rejected(message) => assert!(message.contains("malformed")),
+        other => panic!("expected Rejected, got {other:?}"),
     }
     write_frame(
         &mut stream,
